@@ -1,0 +1,140 @@
+"""Ablation — kernel choice for novel test selection.
+
+The paper stresses that "the real challenge ... is not in the learning
+algorithm, but in developing a proper kernel evaluation software
+module" ([14]).  This ablation holds the selection flow fixed and swaps
+the kernel: the behaviour-aware blended spectrum kernel against a plain
+unigram kernel and an RBF on naive length features.  The domain-aware
+kernel should retain coverage with fewer simulated tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.flows import format_table
+from repro.kernels import BlendedSpectrumKernel, Kernel, RBFKernel, SpectrumKernel
+from repro.verification import (
+    NoveltyTestSelector,
+    Randomizer,
+    TestTemplate,
+    run_selection_experiment,
+)
+
+STREAM_SIZE = 900
+
+
+class LengthFeatureKernel(Kernel):
+    """Deliberately weak baseline: RBF on (length, #loads, #stores).
+
+    Sees the *shape* of a test but not its behaviour — the kind of
+    kernel one gets without domain knowledge.
+    """
+
+    def __init__(self):
+        self._rbf = RBFKernel(gamma=0.05)
+
+    @staticmethod
+    def _features(tokens):
+        loads = sum(1 for t in tokens if t.startswith("L"))
+        stores = sum(1 for t in tokens if t.startswith("S"))
+        return np.array([len(tokens) / 10.0, loads / 5.0, stores / 5.0])
+
+    def __call__(self, x, z):
+        return self._rbf(self._features(x), self._features(z))
+
+    def matrix(self, samples):
+        X = np.array([self._features(s) for s in samples])
+        return self._rbf.matrix(X)
+
+    def cross_matrix(self, samples_a, samples_b):
+        A = np.array([self._features(s) for s in samples_a])
+        B = np.array([self._features(s) for s in samples_b])
+        return self._rbf.cross_matrix(A, B)
+
+
+KERNELS = [
+    ("blended spectrum (k<=3)", lambda: BlendedSpectrumKernel(max_k=3)),
+    ("unigram spectrum (k=1)", lambda: SpectrumKernel(k=1)),
+    ("RBF on length features", LengthFeatureKernel),
+]
+
+
+@pytest.fixture(scope="module")
+def stream():
+    randomizer = Randomizer(random_state=19)
+    return list(randomizer.stream(TestTemplate(), STREAM_SIZE))
+
+
+def test_abl_kernel_choice(benchmark, stream, record_result):
+    def run_all():
+        rows = []
+        for name, factory in KERNELS:
+            selector = NoveltyTestSelector(
+                kernel=factory(), nu=0.05, seed_count=10, retrain_every=20,
+                lexical_backstop=False,
+            )
+            result = run_selection_experiment(stream, selector=selector)
+            rows.append(
+                [
+                    name,
+                    result.n_selected,
+                    result.selection_final_coverage,
+                    result.max_coverage,
+                    f"{result.coverage_match_fraction:.1%}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    record_result(
+        "abl_kernels",
+        format_table(
+            ["kernel", "tests simulated", "coverage", "max",
+             "coverage kept"],
+            rows,
+            title="Ablation: the kernel is where the domain knowledge "
+                  "lives ([14])",
+        ),
+    )
+    by_name = {row[0]: row for row in rows}
+    blended_cov = by_name["blended spectrum (k<=3)"][2]
+    naive_cov = by_name["RBF on length features"][2]
+    # the behaviour-aware kernel keeps (weakly) more coverage than the
+    # behaviour-blind one at comparable simulation budgets
+    assert blended_cov >= naive_cov
+
+
+def test_abl_lexical_backstop_contribution(benchmark, stream,
+                                           record_result):
+    """Second ablation: the unseen-token backstop recovers the rare
+    tail that distributional novelty alone misses."""
+
+    def run_pair():
+        rows = []
+        for backstop in (True, False):
+            selector = NoveltyTestSelector(
+                nu=0.05, seed_count=10, retrain_every=20,
+                lexical_backstop=backstop,
+            )
+            result = run_selection_experiment(stream, selector=selector)
+            rows.append(
+                [
+                    "with backstop" if backstop else "model only",
+                    result.n_selected,
+                    f"{result.coverage_match_fraction:.1%}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    record_result(
+        "abl_backstop",
+        format_table(
+            ["selector", "tests simulated", "coverage kept"],
+            rows,
+            title="Ablation: lexical-novelty backstop",
+        ),
+    )
+    with_backstop = float(rows[0][2].rstrip("%"))
+    without = float(rows[1][2].rstrip("%"))
+    assert with_backstop >= without

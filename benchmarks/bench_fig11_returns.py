@@ -1,0 +1,107 @@
+"""Fig. 11 — modeling customer returns.
+
+The paper's three plots: (1) a known return learned and projected as an
+outlier in a 3-dimensional test space; (2) the model captures another
+return manufactured months later; (3) the same model identifies returns
+from a sister product manufactured a year later.
+
+The bench runs the full study on the parametric-test substrate: select
+the 3-test space from the known returns, train a robust outlier model
+on the passing population, and screen the later and sister populations.
+"""
+
+import pytest
+
+from repro.flows import format_table
+from repro.mfgtest import CustomerReturnStudy
+
+
+@pytest.fixture(scope="module")
+def report():
+    study = CustomerReturnStudy(random_state=2)
+    return study.run(
+        n_train=10_000,
+        n_later=10_000,
+        n_sister=10_000,
+        train_defect_rate=0.0006,
+        later_defect_rate=0.0006,
+        sister_defect_rate=0.0008,
+    )
+
+
+def test_fig11_three_plots(benchmark, report, record_result):
+    benchmark.pedantic(
+        lambda: CustomerReturnStudy(random_state=9).run(
+            n_train=3000, n_later=3000, n_sister=3000,
+            train_defect_rate=0.0015, later_defect_rate=0.0015,
+            sister_defect_rate=0.0015,
+        ),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for plot, outcome in [
+        ("(1) training returns as outliers", report.training),
+        ("(2) later batch", report.later_batch),
+        ("(3) sister product", report.sister_product),
+    ]:
+        rows.append(
+            [
+                plot,
+                outcome.n_chips,
+                f"{outcome.n_returns_flagged}/{outcome.n_returns}",
+                f"{outcome.overkill_rate:.4%}",
+            ]
+        )
+    record_result(
+        "fig11_returns",
+        format_table(
+            ["plot", "shipped chips", "returns flagged", "overkill"],
+            rows,
+            title=(
+                "Fig. 11: outlier model in test space "
+                f"{report.selected_tests}"
+            ),
+        ),
+    )
+    # plot 1: the known returns project as outliers
+    assert report.training.return_capture_rate == 1.0
+    # plot 2: the model captures the later return(s)
+    assert report.later_batch.n_returns > 0
+    assert report.later_batch.return_capture_rate == 1.0
+    # plot 3: sister-product returns identified as outliers
+    assert report.sister_product.n_returns > 0
+    assert report.sister_product.return_capture_rate >= 0.75
+
+
+def test_fig11_automotive_overkill_constraint(benchmark, report,
+                                              record_result):
+    """Zero-return goals only tolerate a screen that sacrifices almost
+    no good parts; check the overkill across all three populations."""
+    benchmark(lambda: report.rows())
+    worst = max(
+        report.training.overkill_rate,
+        report.later_batch.overkill_rate,
+        report.sister_product.overkill_rate,
+    )
+    record_result(
+        "fig11_overkill",
+        format_table(
+            ["population", "overkill"],
+            [
+                [o.population, f"{o.overkill_rate:.4%}"]
+                for o in (report.training, report.later_batch,
+                          report.sister_product)
+            ],
+            title="Fig. 11: yield cost of the screen",
+        ),
+    )
+    assert worst < 0.005
+
+
+def test_fig11_selected_space_is_the_defect_signature(benchmark, report):
+    """Important-test selection recovers the tests the latent defect
+    actually disturbs — the interpretable part of the flow."""
+    benchmark(lambda: list(report.selected_tests))
+    from repro.mfgtest import DEFAULT_DEFECT_SIGNATURE
+
+    assert set(report.selected_tests) <= set(DEFAULT_DEFECT_SIGNATURE)

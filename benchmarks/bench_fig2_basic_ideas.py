@@ -1,0 +1,83 @@
+"""Fig. 2 / Section 2.1 — the four basic ideas on a 2-D two-class task.
+
+The paper illustrates nearest-neighbor vs model-based classification on
+a simple two-dimensional problem; Section 2.1 adds density estimation
+(Eq. 1) and Bayesian inference.  This bench runs one representative of
+each idea on the same data and reports accuracies: on an easy problem
+all four ideas work (the paper's point — the algorithm choice is the
+easy part).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.validation import train_test_split
+from repro.flows import format_table
+from repro.learn import (
+    GaussianNaiveBayes,
+    KNeighborsClassifier,
+    LogisticRegression,
+    QuadraticDiscriminantAnalysis,
+)
+
+
+def make_problem(seed=0, n=400):
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [
+            rng.normal((-1.5, 0.0), 0.9, size=(n // 2, 2)),
+            rng.normal((1.5, 0.5), 0.9, size=(n // 2, 2)),
+        ]
+    )
+    y = np.repeat([0, 1], n // 2)
+    return train_test_split(X, y, test_fraction=0.3, random_state=seed)
+
+
+MODELS = [
+    ("nearest neighbor", lambda: KNeighborsClassifier(n_neighbors=7)),
+    ("model based (linear)", lambda: LogisticRegression(max_iter=500)),
+    ("density estimation (Eq. 1)", QuadraticDiscriminantAnalysis),
+    ("Bayesian inference (naive)", GaussianNaiveBayes),
+]
+
+
+@pytest.mark.parametrize("name,factory", MODELS, ids=[m[0] for m in MODELS])
+def test_fig2_basic_idea(benchmark, name, factory, record_result):
+    X_train, X_test, y_train, y_test = make_problem()
+    model = factory().fit(X_train, y_train)
+    predictions = benchmark(lambda: model.predict(X_test))
+    accuracy = float(np.mean(predictions == y_test))
+    assert accuracy > 0.85
+    record_result(
+        f"fig2_{name.split()[0]}",
+        format_table(
+            ["basic idea", "test accuracy"],
+            [[name, accuracy]],
+            title="Fig. 2 / Sec 2.1 basic ideas",
+        ),
+    )
+
+
+def test_fig2_summary_table(benchmark, record_result):
+    X_train, X_test, y_train, y_test = make_problem()
+
+    def fit_and_score_all():
+        rows = []
+        for name, factory in MODELS:
+            model = factory().fit(X_train, y_train)
+            rows.append([name, model.score(X_test, y_test)])
+        return rows
+
+    rows = benchmark.pedantic(fit_and_score_all, rounds=1, iterations=1)
+    record_result(
+        "fig2_summary",
+        format_table(
+            ["basic idea", "test accuracy"],
+            rows,
+            title="Fig. 2: all four ideas solve the easy 2-D problem",
+        ),
+    )
+    # all basic ideas land in the same band on an easy problem
+    accuracies = [row[1] for row in rows]
+    assert min(accuracies) > 0.85
+    assert max(accuracies) - min(accuracies) < 0.1

@@ -1,0 +1,100 @@
+"""Fig. 5 — training vs validation error as model complexity grows.
+
+Two instantiations of the figure:
+
+1. a fixed-structure sweep (decision-tree depth) showing training error
+   falling monotonically while validation error turns back up past the
+   optimum (the overfitting knee);
+2. the SVM regularization story of Section 2.3: sweeping C (the E +
+   lambda*C trade-off) moves the model complexity sum(alpha) and the
+   validation error through the same shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.validation import complexity_curve
+from repro.flows import format_table
+from repro.kernels import RBFKernel
+from repro.learn import SVC, DecisionTreeClassifier
+
+
+def noisy_problem(seed=0, n_train=300, n_val=400, flip=0.25):
+    rng = np.random.default_rng(seed)
+    X_train = rng.uniform(-1, 1, size=(n_train, 2))
+    y_clean = (X_train[:, 0] + 0.4 * X_train[:, 1] > 0).astype(int)
+    flips = rng.uniform(size=n_train) < flip
+    y_train = np.where(flips, 1 - y_clean, y_clean)
+    X_val = rng.uniform(-1, 1, size=(n_val, 2))
+    y_val = (X_val[:, 0] + 0.4 * X_val[:, 1] > 0).astype(int)
+    return X_train, y_train, X_val, y_val
+
+
+def test_fig5_tree_depth_curve(benchmark, record_result):
+    X_train, y_train, X_val, y_val = noisy_problem()
+    depths = [1, 2, 3, 5, 8, 12, 16]
+
+    def sweep():
+        return complexity_curve(
+            lambda: DecisionTreeClassifier(random_state=0),
+            "max_depth",
+            depths,
+            X_train, y_train, X_val, y_val,
+        )
+
+    curve = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [depth, train_error, validation_error]
+        for depth, train_error, validation_error in curve.rows()
+    ]
+    record_result(
+        "fig5_tree_depth",
+        format_table(
+            ["max_depth", "train error", "validation error"],
+            rows,
+            title="Fig. 5 (tree-depth instantiation)",
+        ),
+    )
+    # training error monotone non-increasing across the sweep ends
+    assert curve.train_errors[-1] < curve.train_errors[0]
+    # validation error minimized strictly inside the sweep
+    assert curve.overfitting_detected()
+    assert curve.best_value() <= 8
+
+
+def test_fig5_svm_regularization_curve(benchmark, record_result):
+    X_train, y_train, X_val, y_val = noisy_problem(seed=3, n_train=200)
+    c_values = [0.03, 0.1, 0.3, 1.0, 10.0, 100.0, 1000.0]
+
+    def sweep():
+        rows = []
+        for C in c_values:
+            model = SVC(kernel=RBFKernel(3.0), C=C, random_state=0)
+            model.fit(X_train, y_train)
+            rows.append(
+                [
+                    C,
+                    model.model_complexity(),
+                    1.0 - model.score(X_train, y_train),
+                    1.0 - model.score(X_val, y_val),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_result(
+        "fig5_svm_regularization",
+        format_table(
+            ["C", "complexity sum(alpha)", "train error", "validation error"],
+            rows,
+            title="Fig. 5 (SVM E + lambda*C instantiation)",
+        ),
+    )
+    complexities = [row[1] for row in rows]
+    train_errors = [row[2] for row in rows]
+    validation_errors = [row[3] for row in rows]
+    # larger C buys lower training error via higher complexity
+    assert complexities[-1] > complexities[0]
+    assert train_errors[-1] <= train_errors[0]
+    # the best validation error is NOT at the most complex end
+    assert np.argmin(validation_errors) < len(c_values) - 1

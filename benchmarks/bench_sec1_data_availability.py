@@ -1,0 +1,72 @@
+"""Section 1 — the data-availability principle, measured.
+
+"Data availability concerns the information content of the data for the
+learning result to show some statistical significance ... one may not
+have the time to wait for more data."  For the litho flow, data =
+golden-simulation-labeled windows, and each label costs simulation
+time.  This bench sweeps the number of labeled training windows and
+reports model quality, locating the knee where more simulation stops
+paying — the quantity an engineer needs before committing to the flow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import roc_auc
+from repro.flows import format_table
+from repro.litho import (
+    LayoutGenerator,
+    LithographySimulator,
+    VariabilityPredictor,
+    window_grid,
+)
+
+
+@pytest.fixture(scope="module")
+def litho_pools():
+    generator = LayoutGenerator(random_state=7)
+    train = generator.generate(rows=224, cols=224)
+    test = generator.generate(rows=224, cols=224)
+    simulator = LithographySimulator()
+    train_anchors, train_clips = window_grid(train, 32, 8)
+    _, train_labels = simulator.label_windows(train, train_anchors, 32)
+    test_anchors, test_clips = window_grid(test, 32, 8)
+    _, test_labels = simulator.label_windows(test, test_anchors, 32)
+    return train_clips, train_labels, test_clips, test_labels
+
+
+def test_sec1_label_budget_curve(benchmark, litho_pools, record_result):
+    train_clips, train_labels, test_clips, test_labels = litho_pools
+    rng = np.random.default_rng(0)
+    order = rng.permutation(len(train_clips))
+
+    def auc_at(n_labels):
+        subset = order[:n_labels]
+        labels = train_labels[subset]
+        if len(np.unique(labels)) < 2:
+            return float("nan")
+        clips = [train_clips[i] for i in subset]
+        predictor = VariabilityPredictor(random_state=0).fit(clips, labels)
+        scores = predictor.decision_function(test_clips)
+        return roc_auc(test_labels, scores)
+
+    sizes = [40, 80, 160, 320, len(train_clips)]
+
+    def sweep():
+        return [(n, auc_at(n)) for n in sizes]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_result(
+        "sec1_data_availability",
+        format_table(
+            ["labeled (simulated) windows", "AUC on unseen layout"],
+            rows,
+            title="Sec. 1 data availability: model quality vs label budget",
+        ),
+    )
+    aucs = [auc for _, auc in rows if not np.isnan(auc)]
+    # more labels help...
+    assert aucs[-1] > aucs[0]
+    # ...but the curve flattens: the last doubling buys little
+    assert aucs[-1] - aucs[-2] < (aucs[-2] - aucs[0]) + 0.05
+    assert aucs[-1] > 0.85

@@ -1,0 +1,250 @@
+"""Section 2.4 — the algorithm catalogue, exercised end to end.
+
+The paper enumerates the families practitioners draw from:
+classification (SVM, trees, forests, neural networks), five regression
+families, six clustering algorithms, novelty detection, PCA/ICA, and
+rule learning.  This bench runs every family on a benchmark suite suited
+to it and prints one capability table — the sanity check that the
+toolkit really covers the catalogue.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    AffinityPropagation,
+    AgglomerativeClustering,
+    DBSCAN,
+    KMeans,
+    MeanShift,
+    SpectralClustering,
+    adjusted_rand_index,
+)
+from repro.flows import format_table
+from repro.kernels import LinearKernel, RBFKernel
+from repro.learn import (
+    SVC,
+    SVR,
+    CN2SD,
+    DecisionTreeClassifier,
+    GaussianNaiveBayes,
+    GaussianProcessRegressor,
+    KNeighborsClassifier,
+    KNeighborsRegressor,
+    LeastSquaresRegressor,
+    LinearDiscriminantAnalysis,
+    LogisticRegression,
+    MLPClassifier,
+    OneClassSVM,
+    QuadraticDiscriminantAnalysis,
+    RandomForestClassifier,
+    RidgeRegressor,
+    mine_association_rules,
+)
+from repro.transform import CCA, FastICA, PCA, PLSRegression
+
+
+def classification_suite(seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [rng.normal(-1.6, 0.8, size=(80, 4)), rng.normal(1.6, 0.8, size=(80, 4))]
+    )
+    y = np.repeat([0, 1], 80)
+    order = rng.permutation(len(y))
+    return X[order], y[order]
+
+
+def regression_suite(seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(120, 3))
+    y = 1.5 * X[:, 0] - X[:, 1] + 0.5 * X[:, 2] + rng.normal(0, 0.05, 120)
+    return X, y
+
+
+def clustering_suite(seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [rng.normal(c, 0.35, size=(40, 2)) for c in (-4.0, 0.0, 4.0)]
+    )
+    y = np.repeat([0, 1, 2], 40)
+    return X, y
+
+
+CLASSIFIERS = [
+    ("kNN", lambda: KNeighborsClassifier(n_neighbors=5)),
+    ("logistic", lambda: LogisticRegression(max_iter=400)),
+    ("LDA", LinearDiscriminantAnalysis),
+    ("QDA", QuadraticDiscriminantAnalysis),
+    ("naive Bayes", GaussianNaiveBayes),
+    ("SVM (RBF)", lambda: SVC(kernel=RBFKernel(0.3), random_state=0)),
+    ("decision tree", lambda: DecisionTreeClassifier(random_state=0)),
+    ("random forest",
+     lambda: RandomForestClassifier(n_estimators=15, random_state=0)),
+    ("MLP", lambda: MLPClassifier(hidden_layers=(8,), max_iter=150,
+                                  random_state=0)),
+]
+
+REGRESSORS = [
+    ("nearest neighbor", lambda: KNeighborsRegressor(n_neighbors=5)),
+    ("LSF", LeastSquaresRegressor),
+    ("regularized LSF", lambda: RidgeRegressor(alpha=0.5)),
+    ("SVR", lambda: SVR(kernel=LinearKernel(), C=10.0, epsilon=0.05)),
+    ("Gaussian process",
+     lambda: GaussianProcessRegressor(kernel=RBFKernel(0.5), noise=1e-2)),
+]
+
+CLUSTERERS = [
+    ("K-means", lambda: KMeans(n_clusters=3, random_state=0)),
+    ("affinity propagation", AffinityPropagation),
+    ("mean shift", lambda: MeanShift(bandwidth=1.6)),
+    ("spectral", lambda: SpectralClustering(n_clusters=3, gamma=1.0,
+                                            random_state=0)),
+    ("hierarchical", lambda: AgglomerativeClustering(n_clusters=3)),
+    ("DBSCAN", lambda: DBSCAN(eps=1.0, min_samples=4)),
+]
+
+
+def test_sec2_classification_families(benchmark, record_result):
+    X, y = classification_suite()
+
+    def run_all():
+        rows = []
+        for name, factory in CLASSIFIERS:
+            model = factory().fit(X, y)
+            rows.append([name, model.score(X, y)])
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    record_result(
+        "sec2_classification",
+        format_table(["classifier", "accuracy"], rows,
+                     title="Sec. 2.4 classification families"),
+    )
+    assert all(row[1] > 0.9 for row in rows)
+
+
+def test_sec2_regression_families(benchmark, record_result):
+    X, y = regression_suite()
+
+    def run_all():
+        rows = []
+        for name, factory in REGRESSORS:
+            model = factory().fit(X, y)
+            rows.append([name, model.score(X, y)])
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    record_result(
+        "sec2_regression",
+        format_table(["regressor (the [20] five)", "R^2"], rows,
+                     title="Sec. 2.4 regression families"),
+    )
+    assert all(row[1] > 0.8 for row in rows)
+
+
+def test_sec2_clustering_families(benchmark, record_result):
+    X, y = clustering_suite()
+
+    def run_all():
+        rows = []
+        for name, factory in CLUSTERERS:
+            model = factory()
+            labels = model.fit_predict(X)
+            rows.append([name, adjusted_rand_index(y, labels)])
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    record_result(
+        "sec2_clustering",
+        format_table(["clusterer", "adjusted Rand"], rows,
+                     title="Sec. 2.4 clustering families"),
+    )
+    assert all(row[1] > 0.85 for row in rows)
+
+
+def test_sec2_unsupervised_and_rules(benchmark, record_result):
+    rng = np.random.default_rng(1)
+
+    def run_all():
+        rows = []
+        # novelty detection
+        familiar = rng.normal(size=(100, 3))
+        novelty = OneClassSVM(kernel=RBFKernel(0.15), nu=0.1).fit(familiar)
+        rows.append(
+            ["one-class SVM flags 5-sigma point",
+             bool(novelty.is_novel(np.full((1, 3), 5.0))[0])]
+        )
+        # PCA
+        t = rng.normal(size=(200, 2))
+        X = t @ rng.normal(size=(2, 6)) + rng.normal(0, 0.05, (200, 6))
+        pca = PCA(n_components=2).fit(X)
+        rows.append(
+            ["PCA: 2 components explain", float(
+                pca.explained_variance_ratio_.sum())]
+        )
+        # ICA
+        sources = np.column_stack(
+            [np.sign(np.sin(np.linspace(0, 30, 500))),
+             rng.uniform(-1, 1, 500)]
+        )
+        mixed = sources @ np.array([[1.0, 0.5], [0.4, 1.0]])
+        ica = FastICA(n_components=2, random_state=0).fit(mixed)
+        recovered = ica.transform(mixed)
+        corr = np.abs(np.corrcoef(recovered.T, sources.T)[:2, 2:])
+        rows.append(["ICA source recovery (worst corr)",
+                     float(corr.max(axis=1).min())])
+        # PLS / CCA
+        Y = X[:, :2] + rng.normal(0, 0.05, (200, 2))
+        rows.append(
+            ["PLS R^2 (matrix Y)",
+             PLSRegression(n_components=2).fit(X, Y).score(X, Y)]
+        )
+        rows.append(
+            ["CCA top correlation",
+             float(CCA(n_components=1).fit(X, Y).correlations_[0])]
+        )
+        # rule learning
+        Xr = rng.uniform(size=(300, 4))
+        yr = ((Xr[:, 0] > 0.7) & (Xr[:, 2] < 0.4)).astype(int)
+        learner = CN2SD(target_class=1).fit(Xr, yr)
+        rows.append(["CN2-SD top-rule precision",
+                     learner.rules_[0].precision])
+        # association mining
+        transactions = [
+            {"load", "unaligned"} if i % 2 else {"load", "store"}
+            for i in range(40)
+        ]
+        rules = mine_association_rules(transactions, 0.3, 0.8)
+        rows.append(["association rules mined", len(rules)])
+        # semi-supervised: 2 labels color 200 samples
+        from repro.learn import UNLABELED, LabelPropagation
+
+        X_semi = np.vstack(
+            [rng.normal(-2, 0.5, size=(100, 2)),
+             rng.normal(2, 0.5, size=(100, 2))]
+        )
+        y_true = np.repeat([0, 1], 100)
+        y_semi = np.full(200, UNLABELED)
+        y_semi[0], y_semi[100] = 0, 1
+        propagation = LabelPropagation(gamma=0.5).fit(X_semi, y_semi)
+        rows.append(
+            ["label propagation (2 labels -> 200)",
+             float(np.mean(propagation.transduction_ == y_true))]
+        )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    record_result(
+        "sec2_unsupervised",
+        format_table(["capability", "result"], rows,
+                     title="Sec. 2.4 unsupervised / rules catalogue"),
+    )
+    values = dict((row[0], row[1]) for row in rows)
+    assert values["one-class SVM flags 5-sigma point"]
+    assert values["PCA: 2 components explain"] > 0.95
+    assert values["ICA source recovery (worst corr)"] > 0.9
+    assert values["PLS R^2 (matrix Y)"] > 0.9
+    assert values["CCA top correlation"] > 0.9
+    assert values["CN2-SD top-rule precision"] > 0.7
+    assert values["association rules mined"] > 0
+    assert values["label propagation (2 labels -> 200)"] > 0.95

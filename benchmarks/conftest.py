@@ -1,0 +1,24 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each bench regenerates one table or figure of the paper and both prints
+the rows (visible with ``pytest -s``) and persists them under
+``benchmarks/results/`` so the artifacts survive output capture.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Return a callable ``record(name, text)`` that prints and saves."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def record(name: str, text: str) -> None:
+        print(f"\n=== {name} ===\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return record

@@ -1,0 +1,81 @@
+"""Example: Fmax prediction with the five regression families ([20]).
+
+The paper's Section 2.4 cites a study comparing nearest neighbor, LSF,
+regularized LSF, SVR and Gaussian-process regression for predicting a
+chip's maximum frequency from parametric test data.  This example runs
+that comparison on the parametric-test substrate, sweeps the training
+budget (the data-availability question), and shows the GP's extra
+deliverable: calibrated uncertainty.
+
+Run:  python examples/fmax_prediction.py
+"""
+
+import numpy as np
+
+from repro.core import StandardScaler, train_test_split
+from repro.flows import format_table
+from repro.kernels import RBFKernel, median_heuristic_gamma
+from repro.learn import GaussianProcessRegressor
+from repro.mfgtest import FmaxStudy
+
+
+def family_comparison():
+    print("=" * 70)
+    print("Five regression families on one Fmax task ([20])")
+    print("=" * 70)
+    study = FmaxStudy(random_state=0)
+    result = study.run(n_chips=1500)
+    print(
+        format_table(
+            ["family", "R^2", "RMSE"],
+            [[name, r2, rmse] for name, r2, rmse in result.rows],
+        )
+    )
+    print(f"winner: {result.best_family()} "
+          "(Fmax is nonlinear in the tests: saturation + thermal "
+          "throttling)")
+    return study
+
+
+def uncertainty_demo(study):
+    print()
+    print("=" * 70)
+    print("What the GP adds: knowing when it does not know")
+    print("=" * 70)
+    X, fmax = study.make_data(n_chips=600)
+    X_train, X_test, y_train, y_test = train_test_split(
+        X, fmax, test_fraction=0.5, random_state=1
+    )
+    scaler = StandardScaler().fit(X_train[:200])
+    Z_train = scaler.transform(X_train[:200])
+    Z_test = scaler.transform(X_test)
+    gamma = median_heuristic_gamma(Z_train)
+    gp = GaussianProcessRegressor(
+        kernel=RBFKernel(gamma), noise=1e-2
+    ).fit(Z_train, y_train[:200])
+    mean, std = gp.predict(Z_test, return_std=True)
+
+    residual = np.abs(mean - y_test)
+    confident = std < np.median(std)
+    print(
+        format_table(
+            ["prediction bucket", "chips", "mean |error| (MHz-like)"],
+            [
+                ["GP confident (low sigma)", int(confident.sum()),
+                 float(residual[confident].mean())],
+                ["GP unsure (high sigma)", int((~confident).sum()),
+                 float(residual[~confident].mean())],
+            ],
+        )
+    )
+    inside = np.mean(np.abs(mean - y_test) <= 2 * std + 1e-9)
+    print(f"fraction of chips within the GP's 2-sigma band: {inside:.1%}")
+
+
+def main():
+    study = family_comparison()
+    uncertainty_demo(study)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Quickstart: the core toolkit in five minutes.
+
+Walks the concepts of the paper's Section 2 on synthetic data:
+
+1. a Fig. 1 dataset and train/test methodology;
+2. the four basic ideas of Section 2.1 on one classification problem;
+3. the kernel trick (Fig. 3): one SVM, two learning spaces;
+4. overfitting and regularization (Fig. 5 / Section 2.3).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import Dataset, StandardScaler, complexity_curve, train_test_split
+from repro.flows import format_table
+from repro.kernels import LinearKernel, PolynomialKernel
+from repro.learn import (
+    SVC,
+    DecisionTreeClassifier,
+    GaussianNaiveBayes,
+    KNeighborsClassifier,
+    LogisticRegression,
+    QuadraticDiscriminantAnalysis,
+)
+
+
+def section_1_dataset():
+    print("=" * 70)
+    print("1. The Fig. 1 dataset abstraction")
+    print("=" * 70)
+    rng = np.random.default_rng(0)
+    X = np.vstack(
+        [rng.normal(-1.5, 0.8, size=(100, 3)), rng.normal(1.5, 0.8, size=(100, 3))]
+    )
+    y = np.repeat([0, 1], 100)
+    data = Dataset(X, y, feature_names=["vdd_droop", "temp", "freq"])
+    print(data)
+    print("class counts:", data.class_counts())
+    train, test = data.split(test_fraction=0.3, random_state=1)
+    print(f"split into {len(train)} train / {len(test)} test samples")
+    return train, test
+
+
+def section_2_basic_ideas(train, test):
+    print()
+    print("=" * 70)
+    print("2. Section 2.1: four basic ideas, one problem")
+    print("=" * 70)
+    models = [
+        ("nearest neighbor", KNeighborsClassifier(n_neighbors=7)),
+        ("model estimation (linear)", LogisticRegression(max_iter=400)),
+        ("density estimation (Eq. 1)", QuadraticDiscriminantAnalysis()),
+        ("Bayesian inference", GaussianNaiveBayes()),
+    ]
+    rows = []
+    for name, model in models:
+        model.fit(train.X, train.y)
+        rows.append([name, model.score(test.X, test.y)])
+    print(format_table(["basic idea", "test accuracy"], rows))
+
+
+def section_3_kernel_trick():
+    print()
+    print("=" * 70)
+    print("3. Fig. 3: the kernel trick")
+    print("=" * 70)
+    rng = np.random.default_rng(2)
+    n = 80
+    radii = np.concatenate(
+        [rng.uniform(0, 1, n), rng.uniform(2, 3, n)]
+    )
+    angles = rng.uniform(0, 2 * np.pi, 2 * n)
+    X = np.column_stack([radii * np.cos(angles), radii * np.sin(angles)])
+    y = np.repeat([0, 1], n)
+
+    linear = SVC(kernel=LinearKernel(), C=1.0, random_state=0).fit(X, y)
+    quadratic = SVC(
+        kernel=PolynomialKernel(degree=2, coef0=0.0), C=10.0, random_state=0
+    ).fit(X, y)
+    print(
+        format_table(
+            ["learning space", "accuracy", "support vectors"],
+            [
+                ["input space (linear kernel)", linear.score(X, y),
+                 linear.n_support_],
+                ["feature space (<x,z>^2)", quadratic.score(X, y),
+                 quadratic.n_support_],
+            ],
+        )
+    )
+    print("same SMO algorithm; only the kernel changed (Fig. 4).")
+
+
+def section_4_overfitting():
+    print()
+    print("=" * 70)
+    print("4. Fig. 5: overfitting vs model complexity")
+    print("=" * 70)
+    rng = np.random.default_rng(3)
+    X_train = rng.uniform(-1, 1, size=(250, 2))
+    y_clean = (X_train[:, 0] > 0).astype(int)
+    flip = rng.uniform(size=250) < 0.25
+    y_train = np.where(flip, 1 - y_clean, y_clean)
+    X_val = rng.uniform(-1, 1, size=(300, 2))
+    y_val = (X_val[:, 0] > 0).astype(int)
+
+    curve = complexity_curve(
+        lambda: DecisionTreeClassifier(random_state=0),
+        "max_depth",
+        [1, 2, 4, 6, 10, 14],
+        X_train, y_train, X_val, y_val,
+    )
+    rows = [[v, t, w] for v, t, w in curve.rows()]
+    print(format_table(["max_depth", "train error", "validation error"],
+                       rows))
+    print(f"best complexity: max_depth={curve.best_value()}; "
+          f"overfitting detected past it: {curve.overfitting_detected()}")
+
+
+def main():
+    train, test = section_1_dataset()
+    section_2_basic_ideas(train, test)
+    section_3_kernel_trick()
+    section_4_overfitting()
+
+
+if __name__ == "__main__":
+    main()

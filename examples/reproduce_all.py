@@ -1,0 +1,181 @@
+"""Reproduce every figure and table of the paper in one run.
+
+Runs a scaled version of each experiment back to back and prints one
+summary table of paper-claim vs measured-here.  The full-size runs with
+per-experiment detail live in ``benchmarks/`` (see EXPERIMENTS.md); this
+script is the five-minute end-to-end sanity pass.
+
+Run:  python examples/reproduce_all.py
+"""
+
+import numpy as np
+
+from repro.flows import format_table
+
+
+def fig3():
+    from repro.kernels import LinearKernel, PolynomialKernel
+    from repro.learn import SVC
+
+    rng = np.random.default_rng(0)
+    radii = np.r_[rng.uniform(0, 1, 70), rng.uniform(2, 3, 70)]
+    angles = rng.uniform(0, 2 * np.pi, 140)
+    X = np.c_[radii * np.cos(angles), radii * np.sin(angles)]
+    y = np.r_[np.zeros(70), np.ones(70)]
+    linear = SVC(kernel=LinearKernel(), random_state=0).fit(X, y)
+    quad = SVC(
+        kernel=PolynomialKernel(degree=2, coef0=0.0), C=10.0,
+        random_state=0,
+    ).fit(X, y)
+    return (
+        "Fig. 3 kernel trick",
+        "separable only in Phi-space",
+        f"linear acc {linear.score(X, y):.2f}, "
+        f"<x,z>^2 acc {quad.score(X, y):.2f}",
+    )
+
+
+def fig5():
+    from repro.core import complexity_curve
+    from repro.learn import DecisionTreeClassifier
+
+    rng = np.random.default_rng(1)
+    X = rng.uniform(-1, 1, size=(250, 2))
+    y_clean = (X[:, 0] > 0).astype(int)
+    y = np.where(rng.uniform(size=250) < 0.25, 1 - y_clean, y_clean)
+    X_val = rng.uniform(-1, 1, size=(250, 2))
+    y_val = (X_val[:, 0] > 0).astype(int)
+    curve = complexity_curve(
+        lambda: DecisionTreeClassifier(random_state=0),
+        "max_depth", [1, 3, 6, 10, 14], X, y, X_val, y_val,
+    )
+    return (
+        "Fig. 5 overfitting",
+        "validation error turns up past the knee",
+        f"overfitting detected: {curve.overfitting_detected()}, "
+        f"best depth {curve.best_value()}",
+    )
+
+
+def fig7():
+    from repro.verification import (
+        NoveltyTestSelector,
+        Randomizer,
+        TestTemplate,
+        run_selection_experiment,
+    )
+
+    programs = list(Randomizer(random_state=3).stream(TestTemplate(), 600))
+    selector = NoveltyTestSelector(nu=0.05, seed_count=10)
+    result = run_selection_experiment(programs, selector=selector)
+    return (
+        "Fig. 7 test selection",
+        "~95% simulation saving at equal coverage",
+        f"{result.saving:.0%} saving, "
+        f"{result.coverage_match_fraction:.0%} coverage kept",
+    )
+
+
+def table1():
+    from repro.verification import (
+        Randomizer,
+        TemplateRefinementFlow,
+        TestTemplate,
+    )
+
+    flow = TemplateRefinementFlow(Randomizer(random_state=42))
+    stages = flow.run(TestTemplate(), stage_sizes=(300, 80, 40))
+    return (
+        "Table 1 refinement",
+        "400 tests cover A0-A1 only; 50 refined tests cover all",
+        f"original covers {len(stages[0].covered_points())}/8, "
+        f"final covers {len(stages[-1].covered_points())}/8",
+    )
+
+
+def fig9():
+    from repro.litho import LayoutGenerator, run_variability_experiment
+
+    generator = LayoutGenerator(random_state=7)
+    report, _ = run_variability_experiment(
+        generator.generate(rows=192, cols=192),
+        generator.generate(rows=192, cols=192),
+        stride=8, random_state=0,
+    )
+    return (
+        "Fig. 9 litho model M",
+        "most simulator hotspots identified",
+        f"recall {report.recall:.2f}, AUC {report.auc:.2f}",
+    )
+
+
+def fig10():
+    from repro.timing import run_dstc_experiment
+
+    result = run_dstc_experiment(n_paths=300, random_state=11)
+    return (
+        "Fig. 10 DSTC",
+        "rule blames layer-4/5 & 5/6 vias (metal-5 issue)",
+        f"rule features: {', '.join(result.rule_features())}",
+    )
+
+
+def fig11():
+    from repro.mfgtest import CustomerReturnStudy
+
+    report = CustomerReturnStudy(random_state=2).run(
+        n_train=5000, n_later=5000, n_sister=5000,
+        train_defect_rate=0.001, later_defect_rate=0.001,
+        sister_defect_rate=0.001,
+    )
+    captured = (
+        report.training.n_returns_flagged
+        + report.later_batch.n_returns_flagged
+        + report.sister_product.n_returns_flagged
+    )
+    total = (
+        report.training.n_returns
+        + report.later_batch.n_returns
+        + report.sister_product.n_returns
+    )
+    return (
+        "Fig. 11 returns",
+        "model catches later + sister-product returns",
+        f"{captured}/{total} returns flagged across all populations",
+    )
+
+
+def fig12():
+    from repro.mfgtest import run_drop_study
+
+    result = run_drop_study(
+        n_history=100_000, n_future=80_000,
+        future_excursion_rate=1e-4, random_state=1,
+    )
+    dropped = all(d.recommended_drop for d in result.decisions)
+    return (
+        "Fig. 12 difficult case",
+        "data says drop; future escapes anyway",
+        f"drop recommended: {dropped}, "
+        f"future escapes: {result.total_escapes()}",
+    )
+
+
+def main():
+    experiments = [fig3, fig5, fig7, table1, fig9, fig10, fig11, fig12]
+    rows = []
+    for experiment in experiments:
+        print(f"running {experiment.__name__} ...", flush=True)
+        rows.append(list(experiment()))
+    print()
+    print(
+        format_table(
+            ["experiment", "paper claim", "measured here"],
+            rows,
+            title="Wang & Abadir (DAC 2014) — reproduction summary",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

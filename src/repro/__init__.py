@@ -1,0 +1,50 @@
+"""repro: a data-mining-in-EDA toolkit.
+
+Reproduction of Wang & Abadir, "Data Mining In EDA — Basic Principles,
+Promises, and Constraints" (DAC 2014): the full learning-algorithm
+catalogue of Section 2 implemented from scratch, plus simulated EDA
+substrates for each of the paper's case studies —
+
+- ``repro.verification`` — constrained-random processor verification
+  with novelty-driven test selection (Fig. 7) and rule-learning template
+  refinement (Table 1);
+- ``repro.litho`` — layout variability prediction with the histogram
+  intersection kernel (Fig. 9);
+- ``repro.timing`` — design-silicon timing correlation diagnosis
+  (Fig. 10);
+- ``repro.mfgtest`` — customer-return screening (Fig. 11) and the
+  test-drop difficult case (Fig. 12).
+
+Learning machinery lives in ``repro.core`` (datasets, metrics, model
+selection), ``repro.kernels``, ``repro.learn``, ``repro.cluster`` and
+``repro.transform``; methodology-level tooling in ``repro.flows``.
+"""
+
+from . import (
+    cluster,
+    core,
+    flows,
+    kernels,
+    learn,
+    litho,
+    mfgtest,
+    timing,
+    transform,
+    verification,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "cluster",
+    "core",
+    "flows",
+    "kernels",
+    "learn",
+    "litho",
+    "mfgtest",
+    "timing",
+    "transform",
+    "verification",
+    "__version__",
+]

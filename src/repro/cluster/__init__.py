@@ -1,0 +1,32 @@
+"""Unsupervised clustering algorithms (Section 2.4 catalogue)."""
+
+from .affinity import AffinityPropagation
+from .dbscan import DBSCAN, NOISE
+from .hierarchical import AgglomerativeClustering
+from .kmeans import KMeans, kmeans_plus_plus
+from .meanshift import MeanShift, estimate_bandwidth
+from .metrics import adjusted_rand_index, cluster_purity, silhouette_score
+from .selection import (
+    StabilityReport,
+    clustering_stability,
+    select_n_clusters,
+)
+from .spectral import SpectralClustering
+
+__all__ = [
+    "AffinityPropagation",
+    "AgglomerativeClustering",
+    "DBSCAN",
+    "KMeans",
+    "MeanShift",
+    "NOISE",
+    "SpectralClustering",
+    "StabilityReport",
+    "adjusted_rand_index",
+    "cluster_purity",
+    "clustering_stability",
+    "estimate_bandwidth",
+    "kmeans_plus_plus",
+    "select_n_clusters",
+    "silhouette_score",
+]

@@ -1,0 +1,95 @@
+"""Affinity propagation clustering (Frey & Dueck message passing)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import ClusterMixin, Estimator, as_2d_array
+
+
+class AffinityPropagation(Estimator, ClusterMixin):
+    """Exemplar-based clustering by responsibility/availability messages.
+
+    Discovers the number of clusters from the ``preference`` (higher
+    preference = more exemplars); defaults to the median similarity.
+    """
+
+    def __init__(self, damping: float = 0.7, max_iter: int = 200,
+                 convergence_iter: int = 15, preference: float = None):
+        self.damping = damping
+        self.max_iter = max_iter
+        self.convergence_iter = convergence_iter
+        self.preference = preference
+
+    def fit(self, X) -> "AffinityPropagation":
+        X = as_2d_array(X)
+        if not 0.5 <= self.damping < 1.0:
+            raise ValueError("damping must be in [0.5, 1)")
+        n = len(X)
+        sq = np.sum(X * X, axis=1)
+        similarity = -(sq[:, None] + sq[None, :] - 2.0 * X @ X.T)
+        preference = (
+            self.preference
+            if self.preference is not None
+            else float(np.median(similarity[~np.eye(n, dtype=bool)]))
+        )
+        np.fill_diagonal(similarity, preference)
+
+        responsibility = np.zeros((n, n))
+        availability = np.zeros((n, n))
+        stable_count = 0
+        previous_exemplars = None
+        for _ in range(self.max_iter):
+            # responsibilities
+            combined = availability + similarity
+            first = combined.max(axis=1)
+            first_index = combined.argmax(axis=1)
+            masked = combined.copy()
+            masked[np.arange(n), first_index] = -np.inf
+            second = masked.max(axis=1)
+            new_responsibility = similarity - first[:, None]
+            new_responsibility[np.arange(n), first_index] = (
+                similarity[np.arange(n), first_index] - second
+            )
+            responsibility = (
+                self.damping * responsibility
+                + (1.0 - self.damping) * new_responsibility
+            )
+            # availabilities
+            clipped = np.maximum(responsibility, 0.0)
+            np.fill_diagonal(clipped, np.diag(responsibility))
+            column_sums = clipped.sum(axis=0)
+            new_availability = np.minimum(
+                0.0, column_sums[None, :] - clipped
+            )
+            diag = column_sums - np.diag(clipped)
+            np.fill_diagonal(new_availability, diag)
+            availability = (
+                self.damping * availability
+                + (1.0 - self.damping) * new_availability
+            )
+
+            exemplars = np.flatnonzero(
+                np.diag(responsibility + availability) > 0
+            )
+            if previous_exemplars is not None and np.array_equal(
+                exemplars, previous_exemplars
+            ):
+                stable_count += 1
+                if stable_count >= self.convergence_iter:
+                    break
+            else:
+                stable_count = 0
+            previous_exemplars = exemplars
+
+        if len(exemplars) == 0:
+            exemplars = np.array(
+                [int(np.argmax(np.diag(responsibility + availability)))]
+            )
+        assignment = np.argmax(similarity[:, exemplars], axis=1)
+        assignment[exemplars] = np.arange(len(exemplars))
+        self.cluster_centers_indices_ = exemplars
+        self.cluster_centers_ = X[exemplars]
+        self.labels_ = assignment
+        self.n_clusters_ = len(exemplars)
+        return self

@@ -1,0 +1,71 @@
+"""DBSCAN density clustering.
+
+Unlike the centroid methods, DBSCAN discovers cluster *count* from data
+and labels low-density samples as noise (-1) — useful when wafer-level
+failure modes form an unknown number of parametric clusters.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..core.base import ClusterMixin, Estimator, as_2d_array
+
+NOISE = -1
+
+
+class DBSCAN(Estimator, ClusterMixin):
+    """Density-based clustering.
+
+    Parameters
+    ----------
+    eps:
+        Neighborhood radius.
+    min_samples:
+        Minimum neighborhood size (including the point itself) for a
+        point to be a core point.
+    """
+
+    def __init__(self, eps: float = 0.5, min_samples: int = 5):
+        self.eps = eps
+        self.min_samples = min_samples
+
+    def fit(self, X) -> "DBSCAN":
+        X = as_2d_array(X)
+        if self.eps <= 0:
+            raise ValueError("eps must be positive")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be at least 1")
+        n = len(X)
+        sq = np.sum(X * X, axis=1)
+        d2 = np.clip(sq[:, None] + sq[None, :] - 2.0 * X @ X.T, 0.0, None)
+        within = d2 <= self.eps**2
+        neighbor_lists = [np.flatnonzero(row) for row in within]
+        is_core = np.array(
+            [len(nbrs) >= self.min_samples for nbrs in neighbor_lists]
+        )
+
+        labels = np.full(n, NOISE, dtype=int)
+        cluster = 0
+        for seed in range(n):
+            if labels[seed] != NOISE or not is_core[seed]:
+                continue
+            # breadth-first expansion from this unvisited core point
+            labels[seed] = cluster
+            queue = deque(neighbor_lists[seed])
+            while queue:
+                point = queue.popleft()
+                if labels[point] == NOISE:
+                    labels[point] = cluster
+                    if is_core[point]:
+                        queue.extend(
+                            p for p in neighbor_lists[point]
+                            if labels[p] == NOISE
+                        )
+            cluster += 1
+        self.labels_ = labels
+        self.core_sample_mask_ = is_core
+        self.n_clusters_ = cluster
+        return self

@@ -1,0 +1,75 @@
+"""Agglomerative hierarchical clustering (single/complete/average linkage)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import ClusterMixin, Estimator, as_2d_array
+
+
+class AgglomerativeClustering(Estimator, ClusterMixin):
+    """Bottom-up merging until ``n_clusters`` remain.
+
+    Uses Lance-Williams distance updates on a dense distance matrix, so
+    it is suitable for the few-thousand-sample datasets typical of EDA
+    mining sessions rather than whole-fab volumes.
+    """
+
+    def __init__(self, n_clusters: int = 2, linkage: str = "average"):
+        self.n_clusters = n_clusters
+        self.linkage = linkage
+
+    def fit(self, X) -> "AgglomerativeClustering":
+        X = as_2d_array(X)
+        n = len(X)
+        if self.n_clusters < 1:
+            raise ValueError("n_clusters must be at least 1")
+        if self.n_clusters > n:
+            raise ValueError("more clusters than samples")
+        if self.linkage not in ("single", "complete", "average"):
+            raise ValueError("linkage must be single, complete, or average")
+
+        sq = np.sum(X * X, axis=1)
+        distances = np.sqrt(
+            np.clip(sq[:, None] + sq[None, :] - 2.0 * X @ X.T, 0.0, None)
+        )
+        np.fill_diagonal(distances, np.inf)
+        active = np.ones(n, dtype=bool)
+        sizes = np.ones(n, dtype=int)
+        members = {i: [i] for i in range(n)}
+        merges = []
+
+        for _ in range(n - self.n_clusters):
+            flat = np.argmin(
+                np.where(active[:, None] & active[None, :], distances, np.inf)
+            )
+            i, j = int(flat // n), int(flat % n)
+            if i > j:
+                i, j = j, i
+            merges.append((i, j, float(distances[i, j])))
+            # Lance-Williams update of cluster i <- i U j
+            d_i = distances[i].copy()
+            d_j = distances[j].copy()
+            if self.linkage == "single":
+                merged = np.minimum(d_i, d_j)
+            elif self.linkage == "complete":
+                merged = np.maximum(d_i, d_j)
+            else:  # average
+                merged = (sizes[i] * d_i + sizes[j] * d_j) / (
+                    sizes[i] + sizes[j]
+                )
+            distances[i] = merged
+            distances[:, i] = merged
+            distances[i, i] = np.inf
+            active[j] = False
+            distances[j] = np.inf
+            distances[:, j] = np.inf
+            sizes[i] += sizes[j]
+            members[i].extend(members.pop(j))
+
+        labels = np.empty(n, dtype=int)
+        for cluster_index, root in enumerate(sorted(members)):
+            labels[members[root]] = cluster_index
+        self.labels_ = labels
+        self.merges_ = merges
+        return self

@@ -1,0 +1,103 @@
+"""K-means clustering with k-means++ seeding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import ClusterMixin, Estimator, as_2d_array, check_fitted
+from ..core.rng import ensure_rng
+
+
+def kmeans_plus_plus(X: np.ndarray, n_clusters: int, rng) -> np.ndarray:
+    """k-means++ initial centers: spread seeds by D^2 sampling."""
+    n = len(X)
+    centers = np.empty((n_clusters, X.shape[1]))
+    first = int(rng.integers(0, n))
+    centers[0] = X[first]
+    closest_sq = np.sum((X - centers[0]) ** 2, axis=1)
+    for k in range(1, n_clusters):
+        total = closest_sq.sum()
+        if total <= 0:
+            centers[k:] = X[rng.integers(0, n, size=n_clusters - k)]
+            break
+        probabilities = closest_sq / total
+        pick = int(rng.choice(n, p=probabilities))
+        centers[k] = X[pick]
+        closest_sq = np.minimum(
+            closest_sq, np.sum((X - centers[k]) ** 2, axis=1)
+        )
+    return centers
+
+
+class KMeans(Estimator, ClusterMixin):
+    """Lloyd's algorithm with k-means++ initialization and restarts.
+
+    Attributes
+    ----------
+    cluster_centers_:
+        ``(n_clusters, n_features)`` centroid array.
+    labels_:
+        Cluster index per training sample.
+    inertia_:
+        Sum of squared distances to the assigned centroid.
+    """
+
+    def __init__(self, n_clusters: int = 3, n_init: int = 5,
+                 max_iter: int = 200, tol: float = 1e-6, random_state=None):
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.random_state = random_state
+
+    def _single_run(self, X, rng):
+        centers = kmeans_plus_plus(X, self.n_clusters, rng)
+        labels = np.zeros(len(X), dtype=int)
+        for _ in range(self.max_iter):
+            distances = (
+                np.sum(X * X, axis=1)[:, None]
+                - 2.0 * X @ centers.T
+                + np.sum(centers * centers, axis=1)[None, :]
+            )
+            labels = np.argmin(distances, axis=1)
+            new_centers = centers.copy()
+            for k in range(self.n_clusters):
+                members = X[labels == k]
+                if len(members):
+                    new_centers[k] = members.mean(axis=0)
+                else:
+                    # re-seed an empty cluster at the farthest point
+                    farthest = int(np.argmax(distances.min(axis=1)))
+                    new_centers[k] = X[farthest]
+            shift = float(np.sum((new_centers - centers) ** 2))
+            centers = new_centers
+            if shift < self.tol:
+                break
+        distances = np.sum((X - centers[labels]) ** 2, axis=1)
+        return centers, labels, float(distances.sum())
+
+    def fit(self, X) -> "KMeans":
+        X = as_2d_array(X)
+        if self.n_clusters < 1:
+            raise ValueError("n_clusters must be at least 1")
+        if self.n_clusters > len(X):
+            raise ValueError("more clusters than samples")
+        rng = ensure_rng(self.random_state)
+        best = None
+        for _ in range(max(1, self.n_init)):
+            centers, labels, inertia = self._single_run(X, rng)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia)
+        self.cluster_centers_, self.labels_, self.inertia_ = best
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Assign each sample to its nearest fitted centroid."""
+        check_fitted(self, "cluster_centers_")
+        X = as_2d_array(X)
+        distances = (
+            np.sum(X * X, axis=1)[:, None]
+            - 2.0 * X @ self.cluster_centers_.T
+            + np.sum(self.cluster_centers_**2, axis=1)[None, :]
+        )
+        return np.argmin(distances, axis=1)

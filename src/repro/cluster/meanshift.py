@@ -1,0 +1,89 @@
+"""Mean-shift clustering: mode seeking with a flat kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import ClusterMixin, Estimator, as_2d_array, check_fitted
+
+
+def estimate_bandwidth(X, quantile: float = 0.3) -> float:
+    """Bandwidth heuristic: the *quantile*-th pairwise distance."""
+    X = as_2d_array(X)
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError("quantile must be in (0, 1]")
+    sq = np.sum(X * X, axis=1)
+    d2 = np.clip(sq[:, None] + sq[None, :] - 2.0 * X @ X.T, 0.0, None)
+    distances = np.sqrt(d2[np.triu_indices(len(X), k=1)])
+    if len(distances) == 0:
+        return 1.0
+    value = float(np.quantile(distances, quantile))
+    return value if value > 0 else 1.0
+
+
+class MeanShift(Estimator, ClusterMixin):
+    """Flat-kernel mean shift.
+
+    Every sample ascends to the mean of its ``bandwidth`` neighborhood
+    until convergence; converged positions within ``bandwidth/2`` of each
+    other are merged into one mode (= cluster center).
+    """
+
+    def __init__(self, bandwidth: float = None, max_iter: int = 100,
+                 tol: float = 1e-4):
+        self.bandwidth = bandwidth
+        self.max_iter = max_iter
+        self.tol = tol
+
+    def fit(self, X) -> "MeanShift":
+        X = as_2d_array(X)
+        bandwidth = (
+            self.bandwidth if self.bandwidth is not None
+            else estimate_bandwidth(X)
+        )
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        points = X.copy()
+        for _ in range(self.max_iter):
+            sq_p = np.sum(points * points, axis=1)
+            sq_x = np.sum(X * X, axis=1)
+            d2 = np.clip(
+                sq_p[:, None] + sq_x[None, :] - 2.0 * points @ X.T, 0.0, None
+            )
+            inside = d2 <= bandwidth**2
+            counts = inside.sum(axis=1, keepdims=True).astype(float)
+            counts[counts == 0.0] = 1.0
+            new_points = (inside @ X) / counts
+            shift = float(np.max(np.linalg.norm(new_points - points, axis=1)))
+            points = new_points
+            if shift < self.tol:
+                break
+
+        # merge converged points into modes
+        centers = []
+        labels = np.full(len(X), -1, dtype=int)
+        for index, point in enumerate(points):
+            assigned = False
+            for mode_index, center in enumerate(centers):
+                if np.linalg.norm(point - center) < bandwidth / 2.0:
+                    labels[index] = mode_index
+                    assigned = True
+                    break
+            if not assigned:
+                centers.append(point)
+                labels[index] = len(centers) - 1
+        self.cluster_centers_ = np.array(centers)
+        self.labels_ = labels
+        self.bandwidth_ = bandwidth
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Assign samples to the nearest discovered mode."""
+        check_fitted(self, "cluster_centers_")
+        X = as_2d_array(X)
+        d2 = (
+            np.sum(X * X, axis=1)[:, None]
+            - 2.0 * X @ self.cluster_centers_.T
+            + np.sum(self.cluster_centers_**2, axis=1)[None, :]
+        )
+        return np.argmin(d2, axis=1)

@@ -1,0 +1,88 @@
+"""Clustering quality metrics.
+
+The paper warns that clustering "is easy to apply but the result may not
+be robust"; these metrics are how the flows in this library *judge* a
+clustering before acting on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import as_1d_array, as_2d_array
+
+
+def silhouette_score(X, labels) -> float:
+    """Mean silhouette over all samples (clusters of size 1 score 0)."""
+    X = as_2d_array(X)
+    labels = as_1d_array(labels)
+    if len(X) != len(labels):
+        raise ValueError("X and labels must have equal length")
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        raise ValueError("silhouette requires at least 2 clusters")
+    sq = np.sum(X * X, axis=1)
+    distances = np.sqrt(
+        np.clip(sq[:, None] + sq[None, :] - 2.0 * X @ X.T, 0.0, None)
+    )
+    scores = np.zeros(len(X))
+    for i in range(len(X)):
+        own = labels[i]
+        own_mask = labels == own
+        n_own = int(own_mask.sum())
+        if n_own <= 1:
+            scores[i] = 0.0
+            continue
+        a = distances[i, own_mask].sum() / (n_own - 1)
+        b = np.inf
+        for other in unique:
+            if other == own:
+                continue
+            other_mask = labels == other
+            b = min(b, float(distances[i, other_mask].mean()))
+        denominator = max(a, b)
+        scores[i] = 0.0 if denominator == 0 else (b - a) / denominator
+    return float(scores.mean())
+
+
+def adjusted_rand_index(labels_true, labels_pred) -> float:
+    """ARI between two labelings; 1 = identical, ~0 = random agreement."""
+    labels_true = as_1d_array(labels_true)
+    labels_pred = as_1d_array(labels_pred)
+    if len(labels_true) != len(labels_pred):
+        raise ValueError("labelings must have equal length")
+    classes_true = np.unique(labels_true)
+    classes_pred = np.unique(labels_pred)
+    contingency = np.zeros((len(classes_true), len(classes_pred)), dtype=int)
+    for i, a in enumerate(classes_true):
+        for j, b in enumerate(classes_pred):
+            contingency[i, j] = int(
+                np.sum((labels_true == a) & (labels_pred == b))
+            )
+
+    def comb2(x):
+        return x * (x - 1) / 2.0
+
+    sum_cells = comb2(contingency).sum()
+    sum_rows = comb2(contingency.sum(axis=1)).sum()
+    sum_cols = comb2(contingency.sum(axis=0)).sum()
+    total = comb2(len(labels_true))
+    expected = sum_rows * sum_cols / total if total else 0.0
+    max_index = (sum_rows + sum_cols) / 2.0
+    if max_index == expected:
+        return 1.0
+    return float((sum_cells - expected) / (max_index - expected))
+
+
+def cluster_purity(labels_true, labels_pred) -> float:
+    """Fraction of samples whose cluster's majority true label matches."""
+    labels_true = as_1d_array(labels_true)
+    labels_pred = as_1d_array(labels_pred)
+    if len(labels_true) != len(labels_pred):
+        raise ValueError("labelings must have equal length")
+    correct = 0
+    for cluster in np.unique(labels_pred):
+        members = labels_true[labels_pred == cluster]
+        _, counts = np.unique(members, return_counts=True)
+        correct += int(counts.max())
+    return correct / len(labels_true)

@@ -1,0 +1,124 @@
+"""Cluster-count selection and robustness assessment.
+
+Section 2.4: "Clustering is easy to apply but the result may not be
+robust.  The performance of a clustering algorithm largely depends on
+the definition of the learning space."  These utilities turn that
+warning into practice: pick the cluster count by silhouette, and
+*measure* a clustering's robustness by how well it survives
+resampling — an unstable clustering is a result the methodology says
+should not be acted on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.base import as_2d_array, clone
+from ..core.rng import ensure_rng
+from .kmeans import KMeans
+from .metrics import adjusted_rand_index, silhouette_score
+
+
+def select_n_clusters(X, candidates: Sequence[int] = (2, 3, 4, 5, 6),
+                      clusterer_factory=None, random_state=None
+                      ) -> Tuple[int, List[Tuple[int, float]]]:
+    """Pick the candidate cluster count with the best silhouette.
+
+    Returns ``(best_k, [(k, silhouette), ...])``.
+
+    Parameters
+    ----------
+    clusterer_factory:
+        ``factory(k) -> clusterer``; defaults to seeded K-means.
+    """
+    X = as_2d_array(X)
+    candidates = [int(k) for k in candidates]
+    if any(k < 2 for k in candidates):
+        raise ValueError("cluster counts must be at least 2")
+    if clusterer_factory is None:
+        def clusterer_factory(k):
+            return KMeans(n_clusters=k, random_state=random_state)
+
+    scores: List[Tuple[int, float]] = []
+    for k in candidates:
+        if k >= len(X):
+            continue
+        labels = clusterer_factory(k).fit_predict(X)
+        if len(np.unique(labels)) < 2:
+            scores.append((k, -1.0))
+            continue
+        scores.append((k, silhouette_score(X, labels)))
+    if not scores:
+        raise ValueError("no feasible candidate cluster counts")
+    best_k = max(scores, key=lambda item: item[1])[0]
+    return best_k, scores
+
+
+@dataclass
+class StabilityReport:
+    """Resampling-stability assessment of one clustering configuration."""
+
+    mean_ari: float
+    ari_samples: List[float] = field(default_factory=list)
+    n_resamples: int = 0
+
+    @property
+    def is_stable(self) -> bool:
+        """Rule of thumb: mean pairwise ARI above 0.8."""
+        return self.mean_ari > 0.8
+
+
+def clustering_stability(X, clusterer, n_resamples: int = 10,
+                         sample_fraction: float = 0.8,
+                         random_state=None) -> StabilityReport:
+    """Measure label stability under resampling.
+
+    Fits the clusterer on random subsamples, extends each subsample
+    clustering to the full dataset by nearest-centroid assignment, and
+    reports the mean pairwise adjusted Rand index between the resampled
+    labelings.  Near 1: the structure is real.  Near 0: the "clusters"
+    are artifacts of the draw — the paper's non-robust case.
+    """
+    X = as_2d_array(X)
+    if not 0.1 <= sample_fraction <= 1.0:
+        raise ValueError("sample_fraction must be in [0.1, 1]")
+    if n_resamples < 2:
+        raise ValueError("need at least 2 resamples")
+    rng = ensure_rng(random_state)
+    n = len(X)
+    size = max(2, int(round(sample_fraction * n)))
+
+    labelings = []
+    for _ in range(n_resamples):
+        indices = rng.choice(n, size=size, replace=False)
+        model = clone(clusterer)
+        sub_labels = model.fit_predict(X[indices])
+        # extend to all points via the subsample's cluster centroids
+        centroids = []
+        for label in np.unique(sub_labels):
+            if label < 0:
+                continue  # noise label (DBSCAN)
+            centroids.append(X[indices][sub_labels == label].mean(axis=0))
+        if len(centroids) < 1:
+            labelings.append(np.zeros(n, dtype=int))
+            continue
+        centroids = np.array(centroids)
+        d2 = (
+            np.sum(X * X, axis=1)[:, None]
+            - 2.0 * X @ centroids.T
+            + np.sum(centroids * centroids, axis=1)[None, :]
+        )
+        labelings.append(np.argmin(d2, axis=1))
+
+    aris = []
+    for i in range(len(labelings)):
+        for j in range(i + 1, len(labelings)):
+            aris.append(adjusted_rand_index(labelings[i], labelings[j]))
+    return StabilityReport(
+        mean_ari=float(np.mean(aris)),
+        ari_samples=[float(a) for a in aris],
+        n_resamples=n_resamples,
+    )

@@ -1,0 +1,73 @@
+"""Spectral clustering on a kernel/affinity graph.
+
+The clustering counterpart of the kernel trick: the learning space is
+defined by an affinity function, the algorithm (k-means) runs in the
+embedding given by the leading eigenvectors of the normalized graph
+Laplacian.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import ClusterMixin, Estimator, as_2d_array
+from .kmeans import KMeans
+
+
+class SpectralClustering(Estimator, ClusterMixin):
+    """Normalized-cut spectral clustering.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters.
+    affinity:
+        ``"rbf"`` (Gaussian on Euclidean distance, bandwidth ``gamma``)
+        or ``"precomputed"`` (``fit`` receives an affinity matrix).
+    gamma:
+        RBF affinity bandwidth.
+    """
+
+    def __init__(self, n_clusters: int = 2, affinity: str = "rbf",
+                 gamma: float = 1.0, random_state=None):
+        self.n_clusters = n_clusters
+        self.affinity = affinity
+        self.gamma = gamma
+        self.random_state = random_state
+
+    def _affinity_matrix(self, X) -> np.ndarray:
+        if self.affinity == "precomputed":
+            A = np.asarray(X, dtype=float)
+            if A.ndim != 2 or A.shape[0] != A.shape[1]:
+                raise ValueError("precomputed affinity must be square")
+            return A
+        if self.affinity == "rbf":
+            X = as_2d_array(X)
+            sq = np.sum(X * X, axis=1)
+            d2 = np.clip(sq[:, None] + sq[None, :] - 2.0 * X @ X.T, 0.0, None)
+            return np.exp(-self.gamma * d2)
+        raise ValueError("affinity must be 'rbf' or 'precomputed'")
+
+    def fit(self, X) -> "SpectralClustering":
+        if self.n_clusters < 1:
+            raise ValueError("n_clusters must be at least 1")
+        A = self._affinity_matrix(X)
+        np.fill_diagonal(A, 0.0)
+        degree = A.sum(axis=1)
+        degree[degree <= 0.0] = 1e-12
+        inv_sqrt = 1.0 / np.sqrt(degree)
+        # symmetric normalized Laplacian L = I - D^-1/2 A D^-1/2
+        laplacian = np.eye(len(A)) - (inv_sqrt[:, None] * A) * inv_sqrt[None, :]
+        eigenvalues, eigenvectors = np.linalg.eigh(laplacian)
+        embedding = eigenvectors[:, : self.n_clusters]
+        # row-normalize (Ng-Jordan-Weiss)
+        norms = np.linalg.norm(embedding, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        embedding = embedding / norms
+        kmeans = KMeans(
+            n_clusters=self.n_clusters, random_state=self.random_state
+        ).fit(embedding)
+        self.labels_ = kmeans.labels_
+        self.embedding_ = embedding
+        self.eigenvalues_ = eigenvalues[: self.n_clusters]
+        return self

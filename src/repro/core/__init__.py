@@ -1,0 +1,66 @@
+"""Core framework: datasets, estimator protocol, metrics, validation."""
+
+from .base import (
+    ClassifierMixin,
+    ClusterMixin,
+    Estimator,
+    RegressorMixin,
+    TransformerMixin,
+    clone,
+)
+from .dataset import Dataset
+from .exceptions import (
+    ConvergenceWarning,
+    DataShapeError,
+    NotFittedError,
+    ReproError,
+)
+from .pipeline import Pipeline
+from .preprocessing import (
+    MinMaxScaler,
+    RobustScaler,
+    SimpleImputer,
+    StandardScaler,
+)
+from .rng import ensure_rng, spawn_rng
+from .validation import (
+    ComplexityCurve,
+    KFold,
+    LearningCurve,
+    StratifiedKFold,
+    complexity_curve,
+    cross_val_score,
+    grid_search,
+    learning_curve,
+    train_test_split,
+)
+
+__all__ = [
+    "ClassifierMixin",
+    "ClusterMixin",
+    "ComplexityCurve",
+    "ConvergenceWarning",
+    "DataShapeError",
+    "Dataset",
+    "Estimator",
+    "KFold",
+    "LearningCurve",
+    "MinMaxScaler",
+    "NotFittedError",
+    "Pipeline",
+    "RegressorMixin",
+    "ReproError",
+    "RobustScaler",
+    "SimpleImputer",
+    "StandardScaler",
+    "StratifiedKFold",
+    "TransformerMixin",
+    "clone",
+    "complexity_curve",
+    "cross_val_score",
+    "ensure_rng",
+    "grid_search",
+    "learning_curve",
+    "spawn_rng",
+    "train_test_split",
+]

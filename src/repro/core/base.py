@@ -1,0 +1,185 @@
+"""Estimator base classes and the parameter API.
+
+All learning machines in the library follow the same small protocol:
+
+- construction takes only hyper-parameters and stores them verbatim;
+- ``fit(X, y)`` learns state and stores it in attributes ending in ``_``;
+- ``predict``/``transform`` consume the fitted state;
+- ``get_params``/``set_params`` expose hyper-parameters so that model
+  selection utilities (grid search, cross-validation) can clone and
+  reconfigure estimators generically.
+
+This mirrors the separation Fig. 4 of the paper draws between a learning
+algorithm and the data access path: the estimator object is the
+algorithm; data only flows through ``fit``.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+
+import numpy as np
+
+from .exceptions import DataShapeError, NotFittedError
+
+
+class Estimator:
+    """Base class providing the hyper-parameter API.
+
+    Subclasses must store every constructor argument on ``self`` under
+    the same name and perform no work in ``__init__``.
+    """
+
+    @classmethod
+    def _param_names(cls):
+        signature = inspect.signature(cls.__init__)
+        return [
+            name
+            for name, param in signature.parameters.items()
+            if name != "self"
+            and param.kind not in (param.VAR_POSITIONAL, param.VAR_KEYWORD)
+        ]
+
+    def get_params(self) -> dict:
+        """Return hyper-parameters as a ``{name: value}`` dict."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params) -> "Estimator":
+        """Set hyper-parameters; unknown names raise ``ValueError``."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"{type(self).__name__} has no parameter {name!r}; "
+                    f"valid parameters are {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def __repr__(self):
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+    def __eq__(self, other):
+        """Structural equality on hyper-parameters (not fitted state).
+
+        Lets clones compare equal to their prototypes, including through
+        nested estimators (wrappers) and kernels.
+        """
+        if type(self) is not type(other):
+            return NotImplemented
+        mine = self.get_params()
+        theirs = other.get_params()
+        if set(mine) != set(theirs):
+            return False
+        for key, value in mine.items():
+            other_value = theirs[key]
+            if isinstance(value, np.ndarray) or isinstance(
+                other_value, np.ndarray
+            ):
+                if not np.array_equal(value, other_value):
+                    return False
+            elif value != other_value:
+                return False
+        return True
+
+    # hyper-parameter equality is structural; hashing stays by identity
+    __hash__ = object.__hash__
+
+
+def clone(estimator: Estimator) -> Estimator:
+    """Return an unfitted copy of *estimator* with identical parameters."""
+    params = {k: copy.deepcopy(v) for k, v in estimator.get_params().items()}
+    return type(estimator)(**params)
+
+
+def check_fitted(estimator, attributes) -> None:
+    """Raise :class:`NotFittedError` unless all *attributes* exist."""
+    if isinstance(attributes, str):
+        attributes = [attributes]
+    missing = [a for a in attributes if getattr(estimator, a, None) is None]
+    if missing:
+        raise NotFittedError(
+            f"{type(estimator).__name__} is not fitted yet "
+            f"(missing {missing}); call fit() first"
+        )
+
+
+def as_2d_array(X, name: str = "X") -> np.ndarray:
+    """Validate and return *X* as a 2-D float array."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise DataShapeError(f"{name} must be 2-D, got shape {X.shape}")
+    if X.shape[0] == 0:
+        raise DataShapeError(f"{name} has no samples")
+    if not np.all(np.isfinite(X)):
+        raise DataShapeError(f"{name} contains NaN or infinite values")
+    return X
+
+
+def as_1d_array(y, name: str = "y", dtype=None) -> np.ndarray:
+    """Validate and return *y* as a 1-D array."""
+    y = np.asarray(y) if dtype is None else np.asarray(y, dtype=dtype)
+    if y.ndim != 1:
+        raise DataShapeError(f"{name} must be 1-D, got shape {y.shape}")
+    return y
+
+
+def check_paired(X, y) -> None:
+    """Raise unless *X* and *y* agree on the number of samples."""
+    if len(X) != len(y):
+        raise DataShapeError(
+            f"X and y disagree on sample count: {len(X)} != {len(y)}"
+        )
+
+
+class ClassifierMixin:
+    """Mixin adding ``score`` (accuracy) for classifiers."""
+
+    _estimator_kind = "classifier"
+
+    def score(self, X, y) -> float:
+        """Mean accuracy of ``predict(X)`` against *y*."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))
+
+
+class RegressorMixin:
+    """Mixin adding ``score`` (R^2) for regressors."""
+
+    _estimator_kind = "regressor"
+
+    def score(self, X, y) -> float:
+        """Coefficient of determination R^2 of ``predict(X)``."""
+        y = np.asarray(y, dtype=float)
+        pred = np.asarray(self.predict(X), dtype=float)
+        ss_res = float(np.sum((y - pred) ** 2))
+        ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+        if ss_tot == 0.0:
+            return 0.0 if ss_res > 0 else 1.0
+        return 1.0 - ss_res / ss_tot
+
+
+class TransformerMixin:
+    """Mixin adding ``fit_transform`` for transformers."""
+
+    _estimator_kind = "transformer"
+
+    def fit_transform(self, X, y=None):
+        """Fit to *X* then transform it in one call."""
+        self.fit(X) if y is None else self.fit(X, y)
+        return self.transform(X)
+
+
+class ClusterMixin:
+    """Mixin adding ``fit_predict`` for clusterers."""
+
+    _estimator_kind = "clusterer"
+
+    def fit_predict(self, X):
+        """Fit to *X* and return the cluster labels."""
+        self.fit(X)
+        return self.labels_

@@ -1,0 +1,148 @@
+"""The dataset abstraction of Fig. 1 of the paper.
+
+A dataset as seen by a learning algorithm is a sample-by-feature matrix
+``X`` with optional labels ``y`` (supervised), a label matrix ``Y``
+(multivariate regression, PLS/CCA), or nothing (unsupervised).  The
+:class:`Dataset` class carries names alongside the numbers so that mined
+results (rules, selected features) can be reported in domain terms — a
+usage-model concern the paper calls out in Section 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .base import as_2d_array
+from .exceptions import DataShapeError
+from .rng import ensure_rng
+
+
+@dataclass
+class Dataset:
+    """A named sample-by-feature dataset.
+
+    Parameters
+    ----------
+    X:
+        Sample matrix of shape ``(n_samples, n_features)``.
+    y:
+        Optional label vector (classification or regression targets).
+    feature_names:
+        Optional names for the columns of ``X``; auto-generated as
+        ``f0..f{n-1}`` when omitted (matching the paper's notation).
+    sample_names:
+        Optional names for the rows of ``X``.
+    """
+
+    X: np.ndarray
+    y: Optional[np.ndarray] = None
+    feature_names: List[str] = field(default_factory=list)
+    sample_names: List[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.X = as_2d_array(self.X)
+        if self.y is not None:
+            self.y = np.asarray(self.y)
+            if len(self.y) != len(self.X):
+                raise DataShapeError(
+                    f"y has {len(self.y)} entries for {len(self.X)} samples"
+                )
+        if not self.feature_names:
+            self.feature_names = [f"f{i}" for i in range(self.X.shape[1])]
+        elif len(self.feature_names) != self.X.shape[1]:
+            raise DataShapeError(
+                f"{len(self.feature_names)} feature names for "
+                f"{self.X.shape[1]} features"
+            )
+        if self.sample_names and len(self.sample_names) != len(self.X):
+            raise DataShapeError(
+                f"{len(self.sample_names)} sample names for "
+                f"{len(self.X)} samples"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        """Number of rows (samples) in ``X``."""
+        return self.X.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Number of columns (features) in ``X``."""
+        return self.X.shape[1]
+
+    @property
+    def is_supervised(self) -> bool:
+        """Whether the dataset carries labels."""
+        return self.y is not None
+
+    # ------------------------------------------------------------------
+    def feature(self, name: str) -> np.ndarray:
+        """Return the column named *name*."""
+        try:
+            idx = self.feature_names.index(name)
+        except ValueError:
+            raise KeyError(f"no feature named {name!r}") from None
+        return self.X[:, idx]
+
+    def select_features(self, names: Sequence[str]) -> "Dataset":
+        """Return a new dataset restricted to the named features."""
+        indices = [self.feature_names.index(n) for n in names]
+        return Dataset(
+            self.X[:, indices],
+            None if self.y is None else self.y.copy(),
+            list(names),
+            list(self.sample_names),
+        )
+
+    def subset(self, indices) -> "Dataset":
+        """Return a new dataset restricted to the given sample indices."""
+        indices = np.asarray(indices)
+        return Dataset(
+            self.X[indices],
+            None if self.y is None else self.y[indices],
+            list(self.feature_names),
+            [self.sample_names[i] for i in indices] if self.sample_names else [],
+        )
+
+    def shuffled(self, random_state=None) -> "Dataset":
+        """Return a copy with samples in random order."""
+        rng = ensure_rng(random_state)
+        order = rng.permutation(self.n_samples)
+        return self.subset(order)
+
+    def split(self, test_fraction: float = 0.25, random_state=None):
+        """Split into ``(train, test)`` datasets by random sampling."""
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError("test_fraction must be in (0, 1)")
+        rng = ensure_rng(random_state)
+        order = rng.permutation(self.n_samples)
+        n_test = max(1, int(round(self.n_samples * test_fraction)))
+        return self.subset(order[n_test:]), self.subset(order[:n_test])
+
+    def class_counts(self) -> dict:
+        """Return ``{label: count}`` for a supervised dataset."""
+        if self.y is None:
+            raise ValueError("dataset is unsupervised; no labels to count")
+        labels, counts = np.unique(self.y, return_counts=True)
+        return {label: int(count) for label, count in zip(labels, counts)}
+
+    def imbalance_ratio(self) -> float:
+        """Majority/minority class count ratio (Section 2.4 concern)."""
+        counts = sorted(self.class_counts().values())
+        if counts[0] == 0:
+            return float("inf")
+        return counts[-1] / counts[0]
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+    def __repr__(self):
+        kind = "supervised" if self.is_supervised else "unsupervised"
+        return (
+            f"Dataset({self.n_samples} samples x {self.n_features} "
+            f"features, {kind})"
+        )

@@ -1,0 +1,17 @@
+"""Exception types shared across the library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class NotFittedError(ReproError):
+    """Raised when ``predict``/``transform`` is called before ``fit``."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Warning category for optimizers that stop before converging."""
+
+
+class DataShapeError(ReproError, ValueError):
+    """Raised when input arrays have inconsistent or invalid shapes."""

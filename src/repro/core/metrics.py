@@ -1,0 +1,236 @@
+"""Evaluation metrics for classification, regression, and screening.
+
+Besides the standard ML metrics, this module includes the quantities the
+paper's case studies report: simulation-saving percentages (Fig. 7),
+hotspot recall/precision (Fig. 9), and escape counts (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+# ----------------------------------------------------------------------
+# classification
+# ----------------------------------------------------------------------
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exactly-matching predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ValueError("y_true and y_pred must have equal length")
+    if len(y_true) == 0:
+        raise ValueError("empty label arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> Tuple[np.ndarray, list]:
+    """Return ``(matrix, labels)`` with rows = true, columns = predicted."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if labels is None:
+        labels = sorted(set(y_true.tolist()) | set(y_pred.tolist()))
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return matrix, list(labels)
+
+
+def precision_recall_f1(y_true, y_pred, positive=1) -> Tuple[float, float, float]:
+    """Precision, recall and F1 for the *positive* class.
+
+    Empty denominators yield 0.0 rather than NaN, the convention for
+    screening problems where a model may flag nothing.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    tp = int(np.sum((y_pred == positive) & (y_true == positive)))
+    fp = int(np.sum((y_pred == positive) & (y_true != positive)))
+    fn = int(np.sum((y_pred != positive) & (y_true == positive)))
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return precision, recall, f1
+
+
+def balanced_accuracy(y_true, y_pred) -> float:
+    """Mean per-class recall; robust under class imbalance (Sec. 2.4)."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    recalls = []
+    for label in np.unique(y_true):
+        mask = y_true == label
+        recalls.append(float(np.mean(y_pred[mask] == label)))
+    return float(np.mean(recalls))
+
+
+def roc_curve(y_true, scores, positive=1):
+    """Return ``(fpr, tpr, thresholds)`` sweeping the score threshold."""
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=float)
+    order = np.argsort(-scores)
+    y_sorted = (y_true[order] == positive).astype(int)
+    n_pos = int(y_sorted.sum())
+    n_neg = len(y_sorted) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_curve needs both positive and negative samples")
+    tps = np.cumsum(y_sorted)
+    fps = np.cumsum(1 - y_sorted)
+    # keep only threshold positions where the score actually changes
+    distinct = np.where(np.diff(scores[order]))[0]
+    idx = np.r_[distinct, len(y_sorted) - 1]
+    tpr = np.r_[0.0, tps[idx] / n_pos]
+    fpr = np.r_[0.0, fps[idx] / n_neg]
+    thresholds = np.r_[np.inf, scores[order][idx]]
+    return fpr, tpr, thresholds
+
+
+def auc(x, y) -> float:
+    """Trapezoidal area under a curve given by points ``(x, y)``."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    order = np.argsort(x)
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz
+    return float(trapezoid(y[order], x[order]))
+
+
+def roc_auc(y_true, scores, positive=1) -> float:
+    """Area under the ROC curve."""
+    fpr, tpr, _ = roc_curve(y_true, scores, positive=positive)
+    return auc(fpr, tpr)
+
+
+def precision_recall_curve(y_true, scores, positive=1):
+    """Return ``(precision, recall, thresholds)`` sweeping the score.
+
+    Points are ordered by decreasing threshold; an initial
+    ``(1.0, 0.0)`` anchor is prepended, matching the usual convention.
+    """
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=float)
+    positives = int(np.sum(y_true == positive))
+    if positives == 0:
+        raise ValueError("need at least one positive sample")
+    order = np.argsort(-scores)
+    hits = (y_true[order] == positive).astype(int)
+    tps = np.cumsum(hits)
+    flagged = np.arange(1, len(hits) + 1)
+    distinct = np.where(np.diff(scores[order]))[0]
+    idx = np.r_[distinct, len(hits) - 1]
+    precision = np.r_[1.0, tps[idx] / flagged[idx]]
+    recall = np.r_[0.0, tps[idx] / positives]
+    thresholds = np.r_[np.inf, scores[order][idx]]
+    # truncate once full recall is reached: lower thresholds only
+    # degrade precision without finding anything new
+    full = np.flatnonzero(recall >= 1.0)
+    if len(full):
+        cut = int(full[0]) + 1
+        precision = precision[:cut]
+        recall = recall[:cut]
+        thresholds = thresholds[:cut]
+    return precision, recall, thresholds
+
+
+def average_precision(y_true, scores, positive=1) -> float:
+    """Area under the precision-recall curve (step interpolation).
+
+    The ranking metric of choice for screening problems where positives
+    are rare and ROC-AUC is too forgiving.
+    """
+    precision, recall, _ = precision_recall_curve(
+        y_true, scores, positive=positive
+    )
+    return float(np.sum(np.diff(recall) * precision[1:]))
+
+
+# ----------------------------------------------------------------------
+# regression
+# ----------------------------------------------------------------------
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean of squared residuals."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """Square root of :func:`mean_squared_error`."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean of absolute residuals."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination (1 - SS_res / SS_tot)."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def pearson_correlation(x, y) -> float:
+    """Pearson correlation coefficient (the Fig. 12 test-similarity stat)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) != len(y):
+        raise ValueError("arrays must have equal length")
+    sx = x.std()
+    sy = y.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(np.mean((x - x.mean()) * (y - y.mean())) / (sx * sy))
+
+
+# ----------------------------------------------------------------------
+# case-study metrics
+# ----------------------------------------------------------------------
+def simulation_saving(n_without_selection: int, n_with_selection: int) -> float:
+    """Fractional saving in simulated tests (Fig. 7's headline number)."""
+    if n_without_selection <= 0:
+        raise ValueError("baseline test count must be positive")
+    return 1.0 - n_with_selection / n_without_selection
+
+
+def screening_report(y_true, y_pred, positive=1) -> Dict[str, float]:
+    """Precision/recall/F1 plus raw counts for a screening decision."""
+    precision, recall, f1 = precision_recall_f1(y_true, y_pred, positive)
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    return {
+        "precision": precision,
+        "recall": recall,
+        "f1": f1,
+        "n_flagged": int(np.sum(y_pred == positive)),
+        "n_true_positive": int(
+            np.sum((y_pred == positive) & (y_true == positive))
+        ),
+        "n_missed": int(np.sum((y_pred != positive) & (y_true == positive))),
+    }
+
+
+def escape_count(fails_dropped_test, caught_by_kept_tests) -> int:
+    """Number of parts failing a dropped test but passing all kept tests.
+
+    This is the yellow-dot count of Fig. 12: the quantity a
+    guaranteed-result formulation would need to bound, and cannot.
+    """
+    fails = np.asarray(fails_dropped_test, dtype=bool)
+    caught = np.asarray(caught_by_kept_tests, dtype=bool)
+    if len(fails) != len(caught):
+        raise ValueError("arrays must have equal length")
+    return int(np.sum(fails & ~caught))

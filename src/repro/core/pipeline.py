@@ -1,0 +1,103 @@
+"""Transformer/estimator pipelines.
+
+The paper's usage-model principle: a mining flow should not cost its
+user more effort than the problem itself.  A :class:`Pipeline` packages
+the routine preprocessing (scaling, selection, projection) with the
+final learner behind the standard estimator protocol, so flows and
+cross-validation treat the whole chain as one model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .base import Estimator, check_fitted, clone
+
+
+class Pipeline(Estimator):
+    """A chain of transformers ending in a final estimator.
+
+    Parameters
+    ----------
+    steps:
+        ``[(name, transformer), ..., (name, estimator)]``.  Every step
+        but the last must implement ``fit``/``transform``; the last may
+        be any estimator (or another transformer).
+    """
+
+    def __init__(self, steps: Sequence[Tuple[str, object]]):
+        steps = list(steps)
+        if not steps:
+            raise ValueError("pipeline needs at least one step")
+        names = [name for name, _ in steps]
+        if len(set(names)) != len(names):
+            raise ValueError("step names must be unique")
+        self.steps = steps
+
+    # ------------------------------------------------------------------
+    @property
+    def named_steps(self) -> dict:
+        return dict(self.steps)
+
+    @property
+    def _final(self):
+        return self.steps[-1][1]
+
+    def _transform_through(self, X, fitted_steps):
+        for _, transformer in fitted_steps:
+            X = transformer.transform(X)
+        return X
+
+    def fit(self, X, y=None) -> "Pipeline":
+        self.fitted_steps_: List[Tuple[str, object]] = []
+        for name, step in self.steps[:-1]:
+            fitted = clone(step)
+            if y is None:
+                fitted.fit(X)
+            else:
+                try:
+                    fitted.fit(X, y)
+                except TypeError:
+                    fitted.fit(X)
+            X = fitted.transform(X)
+            self.fitted_steps_.append((name, fitted))
+        final_name, final_step = self.steps[-1]
+        final = clone(final_step)
+        if y is None:
+            final.fit(X)
+        else:
+            final.fit(X, y)
+        self.final_estimator_ = final
+        self.fitted_steps_.append((final_name, final))
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "final_estimator_")
+        X = self._transform_through(X, self.fitted_steps_[:-1])
+        return self.final_estimator_.predict(X)
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_fitted(self, "final_estimator_")
+        X = self._transform_through(X, self.fitted_steps_[:-1])
+        return self.final_estimator_.predict_proba(X)
+
+    def decision_function(self, X) -> np.ndarray:
+        check_fitted(self, "final_estimator_")
+        X = self._transform_through(X, self.fitted_steps_[:-1])
+        return self.final_estimator_.decision_function(X)
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "final_estimator_")
+        return self._transform_through(X, self.fitted_steps_)
+
+    def score(self, X, y) -> float:
+        check_fitted(self, "final_estimator_")
+        X = self._transform_through(X, self.fitted_steps_[:-1])
+        return self.final_estimator_.score(X, y)
+
+    @property
+    def _estimator_kind(self):
+        return getattr(self._final, "_estimator_kind", "estimator")

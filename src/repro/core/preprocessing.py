@@ -1,0 +1,143 @@
+"""Feature scaling and cleaning transforms.
+
+Parametric test data and EDA features arrive on wildly different scales
+(currents in nA next to frequencies in GHz); distance- and kernel-based
+learners need comparable scales, so scalers are the first stage of nearly
+every flow in this library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Estimator, TransformerMixin, as_2d_array, check_fitted
+
+
+class StandardScaler(Estimator, TransformerMixin):
+    """Scale features to zero mean and unit variance.
+
+    Constant features are left centered but not divided (their scale is
+    set to 1) so the transform never produces NaNs.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X, y=None) -> "StandardScaler":
+        X = as_2d_array(X)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            scale = X.std(axis=0)
+            scale[scale == 0.0] = 1.0
+            self.scale_ = scale
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, ["mean_", "scale_"])
+        X = as_2d_array(X)
+        return (X - self.mean_) / self.scale_
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_fitted(self, ["mean_", "scale_"])
+        X = as_2d_array(X)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(Estimator, TransformerMixin):
+    """Scale features into ``[feature_min, feature_max]`` (default [0, 1])."""
+
+    def __init__(self, feature_min: float = 0.0, feature_max: float = 1.0):
+        if feature_max <= feature_min:
+            raise ValueError("feature_max must exceed feature_min")
+        self.feature_min = feature_min
+        self.feature_max = feature_max
+
+    def fit(self, X, y=None) -> "MinMaxScaler":
+        X = as_2d_array(X)
+        self.data_min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.data_min_
+        span[span == 0.0] = 1.0
+        self.data_range_ = span
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, ["data_min_", "data_range_"])
+        X = as_2d_array(X)
+        unit = (X - self.data_min_) / self.data_range_
+        return unit * (self.feature_max - self.feature_min) + self.feature_min
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_fitted(self, ["data_min_", "data_range_"])
+        X = as_2d_array(X)
+        unit = (X - self.feature_min) / (self.feature_max - self.feature_min)
+        return unit * self.data_range_ + self.data_min_
+
+
+class RobustScaler(Estimator, TransformerMixin):
+    """Scale by median and inter-quartile range.
+
+    Preferred for test-floor data where outliers (the very parts we want
+    to find) would distort mean/std estimates.
+    """
+
+    def __init__(self, quantile_low: float = 25.0, quantile_high: float = 75.0):
+        if not 0.0 <= quantile_low < quantile_high <= 100.0:
+            raise ValueError("quantiles must satisfy 0 <= low < high <= 100")
+        self.quantile_low = quantile_low
+        self.quantile_high = quantile_high
+
+    def fit(self, X, y=None) -> "RobustScaler":
+        X = as_2d_array(X)
+        self.center_ = np.median(X, axis=0)
+        low = np.percentile(X, self.quantile_low, axis=0)
+        high = np.percentile(X, self.quantile_high, axis=0)
+        iqr = high - low
+        iqr[iqr == 0.0] = 1.0
+        self.scale_ = iqr
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, ["center_", "scale_"])
+        X = as_2d_array(X)
+        return (X - self.center_) / self.scale_
+
+
+class SimpleImputer(Estimator, TransformerMixin):
+    """Replace NaNs with a per-feature statistic (mean/median/constant)."""
+
+    def __init__(self, strategy: str = "mean", fill_value: float = 0.0):
+        if strategy not in ("mean", "median", "constant"):
+            raise ValueError("strategy must be 'mean', 'median', or 'constant'")
+        self.strategy = strategy
+        self.fill_value = fill_value
+
+    def fit(self, X, y=None) -> "SimpleImputer":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        import warnings
+
+        if self.strategy == "constant":
+            fill = np.full(X.shape[1], self.fill_value)
+        else:
+            with warnings.catch_warnings():
+                # all-NaN columns are handled below via fill_value
+                warnings.simplefilter("ignore", category=RuntimeWarning)
+                if self.strategy == "mean":
+                    fill = np.nanmean(X, axis=0)
+                else:
+                    fill = np.nanmedian(X, axis=0)
+        fill = np.where(np.isnan(fill), self.fill_value, fill)
+        self.fill_ = fill
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "fill_")
+        X = np.array(X, dtype=float, copy=True)
+        mask = np.isnan(X)
+        if mask.any():
+            X[mask] = np.broadcast_to(self.fill_, X.shape)[mask]
+        return X

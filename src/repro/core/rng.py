@@ -1,0 +1,42 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``random_state``
+argument that may be ``None``, an integer seed, or a ready-made
+:class:`numpy.random.Generator`.  :func:`ensure_rng` normalizes all three
+into a ``Generator`` so downstream code never branches on the type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_rng(random_state=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *random_state*.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` (fresh entropy), an ``int`` seed, or an existing
+        ``Generator`` (returned unchanged).
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        "random_state must be None, an int, or a numpy Generator, "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Derive an independent child generator from *rng*.
+
+    Used when a component needs to hand reproducible-but-independent
+    streams to sub-components (e.g. each tree in a random forest).
+    """
+    seed = int(rng.integers(0, 2**63 - 1))
+    return np.random.default_rng(seed)

@@ -1,0 +1,300 @@
+"""Model selection: splits, cross-validation, and complexity curves.
+
+The complexity-curve utilities implement the machinery behind Fig. 5 of
+the paper: sweep a capacity hyper-parameter, record training and
+validation error, and locate the point past which validation error rises
+while training error keeps falling (overfitting).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from .base import clone
+from .metrics import accuracy, mean_squared_error
+from .rng import ensure_rng
+
+
+def train_test_split(X, y=None, test_fraction: float = 0.25, random_state=None):
+    """Randomly split arrays into train/test partitions.
+
+    Returns ``(X_train, X_test)`` or ``(X_train, X_test, y_train, y_test)``.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    X = np.asarray(X)
+    rng = ensure_rng(random_state)
+    order = rng.permutation(len(X))
+    n_test = max(1, int(round(len(X) * test_fraction)))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    if y is None:
+        return X[train_idx], X[test_idx]
+    y = np.asarray(y)
+    if len(y) != len(X):
+        raise ValueError("X and y must have equal length")
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+class KFold:
+    """Deterministic (optionally shuffled) k-fold index generator."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = False, random_state=None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X):
+        """Yield ``(train_indices, test_indices)`` for each fold."""
+        n = len(X)
+        if n < self.n_splits:
+            raise ValueError(
+                f"cannot split {n} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n)
+        if self.shuffle:
+            ensure_rng(self.random_state).shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n // self.n_splits, dtype=int)
+        fold_sizes[: n % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test = indices[start : start + size]
+            train = np.concatenate([indices[:start], indices[start + size :]])
+            yield train, test
+            start += size
+
+
+class StratifiedKFold:
+    """K-fold that preserves per-class proportions in every fold."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = False, random_state=None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y):
+        """Yield ``(train_indices, test_indices)`` stratified on *y*."""
+        y = np.asarray(y)
+        rng = ensure_rng(self.random_state)
+        fold_of = np.empty(len(y), dtype=int)
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            if self.shuffle:
+                rng.shuffle(members)
+            fold_of[members] = np.arange(len(members)) % self.n_splits
+        for k in range(self.n_splits):
+            test = np.flatnonzero(fold_of == k)
+            if len(test) == 0:
+                raise ValueError(
+                    "a fold received no samples; reduce n_splits"
+                )
+            train = np.flatnonzero(fold_of != k)
+            yield train, test
+
+
+def cross_val_score(estimator, X, y, cv=None, scorer: Callable = None) -> np.ndarray:
+    """Fit/score *estimator* over the folds of *cv* and return the scores.
+
+    The estimator is :func:`~repro.core.base.clone`\\ d for every fold so
+    state never leaks across folds.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    cv = cv if cv is not None else KFold(n_splits=5)
+    scores = []
+    split_args = (X, y) if isinstance(cv, StratifiedKFold) else (X,)
+    for train_idx, test_idx in cv.split(*split_args):
+        model = clone(estimator)
+        model.fit(X[train_idx], y[train_idx])
+        if scorer is None:
+            scores.append(model.score(X[test_idx], y[test_idx]))
+        else:
+            scores.append(scorer(y[test_idx], model.predict(X[test_idx])))
+    return np.asarray(scores, dtype=float)
+
+
+@dataclass
+class ComplexityCurve:
+    """Result of a Fig. 5 style capacity sweep."""
+
+    parameter: str
+    values: List = field(default_factory=list)
+    train_errors: List[float] = field(default_factory=list)
+    validation_errors: List[float] = field(default_factory=list)
+
+    def best_index(self) -> int:
+        """Index of the complexity value with minimal validation error."""
+        return int(np.argmin(self.validation_errors))
+
+    def best_value(self):
+        """Complexity value minimizing validation error."""
+        return self.values[self.best_index()]
+
+    def overfitting_detected(self) -> bool:
+        """True when validation error rises past its minimum while
+        training error keeps (weakly) falling — the Fig. 5 shape."""
+        best = self.best_index()
+        if best == len(self.values) - 1:
+            return False
+        after = self.validation_errors[best + 1 :]
+        train_after = self.train_errors[best:]
+        validation_rises = max(after) > self.validation_errors[best] + 1e-12
+        train_not_rising = train_after[-1] <= self.train_errors[best] + 1e-9
+        return bool(validation_rises and train_not_rising)
+
+    def rows(self):
+        """Rows ``(value, train_error, validation_error)`` for reporting."""
+        return list(zip(self.values, self.train_errors, self.validation_errors))
+
+
+def complexity_curve(
+    estimator_factory: Callable,
+    parameter: str,
+    values: Sequence,
+    X_train,
+    y_train,
+    X_val,
+    y_val,
+    error: Callable = None,
+) -> ComplexityCurve:
+    """Sweep a capacity parameter and record train/validation error.
+
+    Parameters
+    ----------
+    estimator_factory:
+        Zero-argument callable returning a fresh estimator.
+    parameter:
+        Hyper-parameter name to sweep via ``set_params``.
+    values:
+        Capacity values, ordered from simplest to most complex.
+    error:
+        ``error(y_true, y_pred) -> float``; defaults to misclassification
+        rate for classifiers and MSE for regressors.
+    """
+    curve = ComplexityCurve(parameter=parameter)
+    for value in values:
+        model = estimator_factory()
+        model.set_params(**{parameter: value})
+        model.fit(X_train, y_train)
+        if error is None:
+            kind = getattr(model, "_estimator_kind", "classifier")
+            if kind == "regressor":
+                err = lambda t, p: mean_squared_error(t, p)  # noqa: E731
+            else:
+                err = lambda t, p: 1.0 - accuracy(t, p)  # noqa: E731
+        else:
+            err = error
+        curve.values.append(value)
+        curve.train_errors.append(float(err(y_train, model.predict(X_train))))
+        curve.validation_errors.append(float(err(y_val, model.predict(X_val))))
+    return curve
+
+
+@dataclass
+class LearningCurve:
+    """Result of a data-availability sweep (Section 1's principle 2).
+
+    How much data does the learning need before the result shows
+    statistical significance?  The curve records validation error as a
+    function of training-set size; the knee is where collecting more
+    data stops paying.
+    """
+
+    sizes: List[int] = field(default_factory=list)
+    train_errors: List[float] = field(default_factory=list)
+    validation_errors: List[float] = field(default_factory=list)
+
+    def rows(self):
+        return list(zip(self.sizes, self.train_errors,
+                        self.validation_errors))
+
+    def knee_size(self, tolerance: float = 0.02) -> int:
+        """Smallest size whose validation error is within *tolerance*
+        of the best achieved — the data budget actually needed."""
+        best = min(self.validation_errors)
+        for size, error in zip(self.sizes, self.validation_errors):
+            if error <= best + tolerance:
+                return size
+        return self.sizes[-1]
+
+
+def learning_curve(
+    estimator,
+    X,
+    y,
+    sizes: Sequence[int],
+    X_val,
+    y_val,
+    error: Callable = None,
+    random_state=None,
+) -> LearningCurve:
+    """Fit clones of *estimator* on growing prefixes of shuffled data.
+
+    Parameters
+    ----------
+    sizes:
+        Training-set sizes to probe (each must be <= len(X)).
+    error:
+        ``error(y_true, y_pred) -> float``; defaults to
+        misclassification rate / MSE by estimator kind.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    rng = ensure_rng(random_state)
+    order = rng.permutation(len(X))
+    curve = LearningCurve()
+    for size in sizes:
+        size = int(size)
+        if not 1 <= size <= len(X):
+            raise ValueError(f"size {size} out of range [1, {len(X)}]")
+        subset = order[:size]
+        model = clone(estimator)
+        model.fit(X[subset], y[subset])
+        if error is None:
+            kind = getattr(model, "_estimator_kind", "classifier")
+            if kind == "regressor":
+                err = mean_squared_error
+            else:
+                err = lambda t, p: 1.0 - accuracy(t, p)  # noqa: E731
+        else:
+            err = error
+        curve.sizes.append(size)
+        curve.train_errors.append(
+            float(err(y[subset], model.predict(X[subset])))
+        )
+        curve.validation_errors.append(
+            float(err(y_val, model.predict(X_val)))
+        )
+    return curve
+
+
+def grid_search(
+    estimator,
+    param_grid: Dict[str, Sequence],
+    X,
+    y,
+    cv=None,
+    scorer: Callable = None,
+):
+    """Exhaustive hyper-parameter search by cross-validation.
+
+    Returns ``(best_params, best_score, all_results)`` where
+    ``all_results`` is a list of ``(params, mean_score)`` pairs and higher
+    scores are better.
+    """
+    names = list(param_grid)
+    results = []
+    for combo in itertools.product(*(param_grid[name] for name in names)):
+        params = dict(zip(names, combo))
+        model = clone(estimator).set_params(**params)
+        scores = cross_val_score(model, X, y, cv=cv, scorer=scorer)
+        results.append((params, float(scores.mean())))
+    best_params, best_score = max(results, key=lambda item: item[1])
+    return best_params, best_score, results

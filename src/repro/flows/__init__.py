@@ -1,0 +1,19 @@
+"""Methodology-level flows and reporting utilities."""
+
+from .methodology import (
+    IterationRecord,
+    KnowledgeDiscoveryLoop,
+    MethodologyChecklist,
+    PrincipleAssessment,
+)
+from .report import format_series, format_table, sparkline
+
+__all__ = [
+    "IterationRecord",
+    "KnowledgeDiscoveryLoop",
+    "MethodologyChecklist",
+    "PrincipleAssessment",
+    "format_series",
+    "format_table",
+    "sparkline",
+]

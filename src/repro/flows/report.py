@@ -1,0 +1,77 @@
+"""Plain-text reporting helpers for benches and examples.
+
+The paper stresses that "effective presentation of the mining results to
+facilitate user interaction" is part of the methodology; these helpers
+render rule lists, tables, and coverage curves the way the benchmark
+harness prints them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    headers = [str(h) for h in headers]
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_series(xs: Sequence, ys: Sequence, x_label: str = "x",
+                  y_label: str = "y", max_points: int = 20,
+                  title: str = "") -> str:
+    """Render a (sub-sampled) numeric series as a two-column table."""
+    if len(xs) != len(ys):
+        raise ValueError("series must have equal length")
+    n = len(xs)
+    if n > max_points:
+        step = max(1, n // max_points)
+        indices = list(range(0, n, step))
+        if indices[-1] != n - 1:
+            indices.append(n - 1)
+    else:
+        indices = list(range(n))
+    rows = [(xs[i], ys[i]) for i in indices]
+    return format_table([x_label, y_label], rows, title=title)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line unicode sparkline of a numeric series."""
+    values = list(values)
+    if not values:
+        return ""
+    if len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    blocks = "▁▂▃▄▅▆▇█"
+    low = min(values)
+    span = (max(values) - low) or 1.0
+    return "".join(
+        blocks[min(int((v - low) / span * (len(blocks) - 1)), len(blocks) - 1)]
+        for v in values
+    )

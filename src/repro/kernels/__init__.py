@@ -1,0 +1,53 @@
+"""Kernel functions: the learning-space half of Fig. 4's separation."""
+
+from .base import (
+    Kernel,
+    PrecomputedKernel,
+    center_gram,
+    gram_matrix,
+    is_positive_semidefinite,
+    normalize_gram,
+)
+from .composite import NormalizedKernel, ProductKernel, ScaledKernel, SumKernel
+from .histogram import ChiSquaredKernel, HistogramIntersectionKernel
+from .sequence import (
+    BlendedSpectrumKernel,
+    SpectrumKernel,
+    ngram_counts,
+    spectrum_feature_map,
+)
+from .vector import (
+    LaplacianKernel,
+    LinearKernel,
+    PolynomialKernel,
+    RBFKernel,
+    SigmoidKernel,
+    explicit_degree2_map,
+    median_heuristic_gamma,
+)
+
+__all__ = [
+    "BlendedSpectrumKernel",
+    "ChiSquaredKernel",
+    "HistogramIntersectionKernel",
+    "Kernel",
+    "LaplacianKernel",
+    "LinearKernel",
+    "NormalizedKernel",
+    "PolynomialKernel",
+    "PrecomputedKernel",
+    "ProductKernel",
+    "RBFKernel",
+    "ScaledKernel",
+    "SigmoidKernel",
+    "SpectrumKernel",
+    "SumKernel",
+    "center_gram",
+    "explicit_degree2_map",
+    "gram_matrix",
+    "is_positive_semidefinite",
+    "median_heuristic_gamma",
+    "ngram_counts",
+    "normalize_gram",
+    "spectrum_feature_map",
+]

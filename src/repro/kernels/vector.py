@@ -1,0 +1,170 @@
+"""Kernels over real vectors.
+
+Includes the paper's worked example: the degree-2 polynomial kernel
+``k(x, x') = <x, x'>^2`` whose implicit feature map
+``Phi(x1, x2) = (x1^2, x2^2, sqrt(2) x1 x2)`` makes concentric classes
+linearly separable (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Kernel
+
+
+def _as_matrix(samples) -> np.ndarray:
+    X = np.asarray(samples, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(1, -1)
+    return X
+
+
+class LinearKernel(Kernel):
+    """Dot product: learning stays in the input space."""
+
+    def __call__(self, x, z) -> float:
+        return float(np.dot(np.asarray(x, float), np.asarray(z, float)))
+
+    def matrix(self, samples) -> np.ndarray:
+        X = _as_matrix(samples)
+        return X @ X.T
+
+    def cross_matrix(self, samples_a, samples_b) -> np.ndarray:
+        return _as_matrix(samples_a) @ _as_matrix(samples_b).T
+
+
+class PolynomialKernel(Kernel):
+    """``k(x, z) = (gamma <x, z> + coef0)^degree``.
+
+    ``PolynomialKernel(degree=2, gamma=1.0, coef0=0.0)`` is exactly the
+    paper's ``<x, z>^2`` example.
+    """
+
+    def __init__(self, degree: int = 2, gamma: float = 1.0, coef0: float = 0.0):
+        if degree < 1:
+            raise ValueError("degree must be at least 1")
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        if coef0 < 0:
+            raise ValueError("coef0 must be non-negative for a PSD kernel")
+        self.degree = int(degree)
+        self.gamma = float(gamma)
+        self.coef0 = float(coef0)
+
+    def __call__(self, x, z) -> float:
+        dot = float(np.dot(np.asarray(x, float), np.asarray(z, float)))
+        return (self.gamma * dot + self.coef0) ** self.degree
+
+    def matrix(self, samples) -> np.ndarray:
+        X = _as_matrix(samples)
+        return (self.gamma * (X @ X.T) + self.coef0) ** self.degree
+
+    def cross_matrix(self, samples_a, samples_b) -> np.ndarray:
+        A = _as_matrix(samples_a)
+        B = _as_matrix(samples_b)
+        return (self.gamma * (A @ B.T) + self.coef0) ** self.degree
+
+
+def explicit_degree2_map(x) -> np.ndarray:
+    """The paper's explicit map Phi(x1, x2) = (x1^2, x2^2, sqrt(2) x1 x2).
+
+    Provided so tests can verify the kernel trick identity
+    ``k(x, z) = <Phi(x), Phi(z)>`` directly.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.shape != (2,):
+        raise ValueError("the illustrated map is defined for 2-D inputs")
+    return np.array([x[0] ** 2, x[1] ** 2, np.sqrt(2.0) * x[0] * x[1]])
+
+
+class RBFKernel(Kernel):
+    """Gaussian radial basis function ``exp(-gamma ||x - z||^2)``."""
+
+    def __init__(self, gamma: float = 1.0):
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self.gamma = float(gamma)
+
+    def __call__(self, x, z) -> float:
+        diff = np.asarray(x, float) - np.asarray(z, float)
+        return float(np.exp(-self.gamma * np.dot(diff, diff)))
+
+    def _sq_dists(self, A, B) -> np.ndarray:
+        sq_a = np.sum(A * A, axis=1)[:, None]
+        sq_b = np.sum(B * B, axis=1)[None, :]
+        d2 = sq_a + sq_b - 2.0 * (A @ B.T)
+        return np.clip(d2, 0.0, None)
+
+    def matrix(self, samples) -> np.ndarray:
+        X = _as_matrix(samples)
+        return np.exp(-self.gamma * self._sq_dists(X, X))
+
+    def cross_matrix(self, samples_a, samples_b) -> np.ndarray:
+        A = _as_matrix(samples_a)
+        B = _as_matrix(samples_b)
+        return np.exp(-self.gamma * self._sq_dists(A, B))
+
+
+class LaplacianKernel(Kernel):
+    """``exp(-gamma ||x - z||_1)``; heavier tails than the RBF."""
+
+    def __init__(self, gamma: float = 1.0):
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self.gamma = float(gamma)
+
+    def __call__(self, x, z) -> float:
+        diff = np.asarray(x, float) - np.asarray(z, float)
+        return float(np.exp(-self.gamma * np.sum(np.abs(diff))))
+
+    def matrix(self, samples) -> np.ndarray:
+        X = _as_matrix(samples)
+        d1 = np.sum(np.abs(X[:, None, :] - X[None, :, :]), axis=2)
+        return np.exp(-self.gamma * d1)
+
+    def cross_matrix(self, samples_a, samples_b) -> np.ndarray:
+        A = _as_matrix(samples_a)
+        B = _as_matrix(samples_b)
+        d1 = np.sum(np.abs(A[:, None, :] - B[None, :, :]), axis=2)
+        return np.exp(-self.gamma * d1)
+
+
+class SigmoidKernel(Kernel):
+    """``tanh(gamma <x, z> + coef0)``.
+
+    Not PSD for all parameter choices (a classical caveat); included for
+    completeness of the catalogue.
+    """
+
+    def __init__(self, gamma: float = 0.01, coef0: float = 0.0):
+        self.gamma = float(gamma)
+        self.coef0 = float(coef0)
+
+    def __call__(self, x, z) -> float:
+        dot = float(np.dot(np.asarray(x, float), np.asarray(z, float)))
+        return float(np.tanh(self.gamma * dot + self.coef0))
+
+    def matrix(self, samples) -> np.ndarray:
+        X = _as_matrix(samples)
+        return np.tanh(self.gamma * (X @ X.T) + self.coef0)
+
+    def cross_matrix(self, samples_a, samples_b) -> np.ndarray:
+        A = _as_matrix(samples_a)
+        B = _as_matrix(samples_b)
+        return np.tanh(self.gamma * (A @ B.T) + self.coef0)
+
+
+def median_heuristic_gamma(X) -> float:
+    """RBF bandwidth heuristic: ``gamma = 1 / (2 * median pairwise d^2)``."""
+    X = _as_matrix(X)
+    n = len(X)
+    if n < 2:
+        return 1.0
+    sq = np.sum(X * X, axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (X @ X.T)
+    upper = d2[np.triu_indices(n, k=1)]
+    med = float(np.median(upper))
+    if med <= 0:
+        return 1.0
+    return 1.0 / (2.0 * med)

@@ -1,0 +1,104 @@
+"""Learning algorithms: the full catalogue of Section 2 of the paper."""
+
+from .association import (
+    AssociationRule,
+    apriori_frequent_itemsets,
+    generate_rules,
+    mine_association_rules,
+)
+from .calibration import PlattCalibratedClassifier
+from .discriminant import (
+    LinearDiscriminantAnalysis,
+    QuadraticDiscriminantAnalysis,
+)
+from .feature_selection import (
+    OutlierSeparationSelector,
+    SelectKBest,
+    correlation_score,
+    f_score,
+    mutual_information_score,
+)
+from .forest import RandomForestClassifier, RandomForestRegressor
+from .gaussian_process import GaussianProcessRegressor
+from .knn import KNeighborsClassifier, KNeighborsRegressor
+from .linear import (
+    KernelRidgeRegressor,
+    LeastSquaresRegressor,
+    LogisticRegression,
+    RidgeRegressor,
+)
+from .multiclass import OneVsRestClassifier
+from .naive_bayes import BernoulliNaiveBayes, GaussianNaiveBayes
+from .neural_network import MLPClassifier, MLPRegressor
+from .one_class_svm import OneClassSVM
+from .rebalance import (
+    imbalance_ratio,
+    random_oversample,
+    random_undersample,
+    smote,
+)
+from .rules import CN2SD, Condition, Rule, RuleSetClassifier
+from .semi_supervised import (
+    UNLABELED,
+    LabelPropagation,
+    SelfTrainingClassifier,
+)
+from .svm import SVC
+from .svr import SVR
+from .tree import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    TreeNode,
+    entropy_impurity,
+    gini_impurity,
+    mse_impurity,
+)
+
+__all__ = [
+    "AssociationRule",
+    "BernoulliNaiveBayes",
+    "CN2SD",
+    "Condition",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GaussianNaiveBayes",
+    "GaussianProcessRegressor",
+    "KNeighborsClassifier",
+    "KNeighborsRegressor",
+    "KernelRidgeRegressor",
+    "LabelPropagation",
+    "LeastSquaresRegressor",
+    "LinearDiscriminantAnalysis",
+    "LogisticRegression",
+    "MLPClassifier",
+    "MLPRegressor",
+    "OneClassSVM",
+    "OneVsRestClassifier",
+    "OutlierSeparationSelector",
+    "PlattCalibratedClassifier",
+    "QuadraticDiscriminantAnalysis",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "RidgeRegressor",
+    "Rule",
+    "RuleSetClassifier",
+    "SVC",
+    "SVR",
+    "SelectKBest",
+    "SelfTrainingClassifier",
+    "TreeNode",
+    "UNLABELED",
+    "apriori_frequent_itemsets",
+    "correlation_score",
+    "entropy_impurity",
+    "f_score",
+    "generate_rules",
+    "gini_impurity",
+    "imbalance_ratio",
+    "mine_association_rules",
+    "mse_impurity",
+    "mutual_information_score",
+    "random_oversample",
+    "random_undersample",
+    "smote",
+]

@@ -1,0 +1,129 @@
+"""Association rule mining (Apriori, [26]).
+
+Rule learning in the unsupervised context: uncover frequent patterns in
+transaction-style data.  In this library's flows it mines co-occurring
+layout/test/instruction attributes, e.g. "tests that exercise unaligned
+loads also tend to exercise byte-reversed stores".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """``antecedent => consequent`` with its interestingness measures."""
+
+    antecedent: FrozenSet
+    consequent: FrozenSet
+    support: float
+    confidence: float
+    lift: float
+
+    def __str__(self):
+        lhs = ", ".join(sorted(map(str, self.antecedent)))
+        rhs = ", ".join(sorted(map(str, self.consequent)))
+        return (
+            f"{{{lhs}}} => {{{rhs}}} "
+            f"(support={self.support:.3f}, confidence={self.confidence:.3f}, "
+            f"lift={self.lift:.2f})"
+        )
+
+
+def apriori_frequent_itemsets(
+    transactions: Sequence[Iterable], min_support: float
+) -> Dict[FrozenSet, float]:
+    """Return ``{itemset: support}`` for all itemsets above *min_support*.
+
+    Standard level-wise Apriori: candidates of size k+1 are joins of
+    frequent size-k itemsets, pruned by the downward-closure property.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError("min_support must be in (0, 1]")
+    transaction_sets = [frozenset(t) for t in transactions]
+    n = len(transaction_sets)
+    if n == 0:
+        raise ValueError("no transactions")
+
+    def support_of(candidates):
+        counts = {c: 0 for c in candidates}
+        for transaction in transaction_sets:
+            for candidate in candidates:
+                if candidate <= transaction:
+                    counts[candidate] += 1
+        return {
+            c: count / n
+            for c, count in counts.items()
+            if count / n >= min_support
+        }
+
+    items = {frozenset([item]) for t in transaction_sets for item in t}
+    frequent = support_of(items)
+    all_frequent = dict(frequent)
+    k = 1
+    while frequent:
+        k += 1
+        previous = sorted(frequent, key=lambda s: sorted(map(str, s)))
+        candidates = set()
+        for a, b in combinations(previous, 2):
+            union = a | b
+            if len(union) != k:
+                continue
+            # downward closure: every (k-1)-subset must be frequent
+            if all(
+                frozenset(subset) in frequent
+                for subset in combinations(union, k - 1)
+            ):
+                candidates.add(union)
+        frequent = support_of(candidates)
+        all_frequent.update(frequent)
+    return all_frequent
+
+
+def generate_rules(
+    frequent_itemsets: Dict[FrozenSet, float],
+    min_confidence: float = 0.6,
+) -> List[AssociationRule]:
+    """Generate rules from frequent itemsets, sorted by lift descending."""
+    if not 0.0 < min_confidence <= 1.0:
+        raise ValueError("min_confidence must be in (0, 1]")
+    rules = []
+    for itemset, support in frequent_itemsets.items():
+        if len(itemset) < 2:
+            continue
+        for size in range(1, len(itemset)):
+            for antecedent_items in combinations(sorted(itemset, key=str), size):
+                antecedent = frozenset(antecedent_items)
+                consequent = itemset - antecedent
+                antecedent_support = frequent_itemsets.get(antecedent)
+                consequent_support = frequent_itemsets.get(consequent)
+                if antecedent_support is None or consequent_support is None:
+                    continue
+                confidence = support / antecedent_support
+                if confidence < min_confidence:
+                    continue
+                lift = confidence / consequent_support
+                rules.append(
+                    AssociationRule(
+                        antecedent=antecedent,
+                        consequent=consequent,
+                        support=support,
+                        confidence=confidence,
+                        lift=lift,
+                    )
+                )
+    rules.sort(key=lambda r: (-r.lift, -r.confidence, -r.support))
+    return rules
+
+
+def mine_association_rules(
+    transactions: Sequence[Iterable],
+    min_support: float = 0.1,
+    min_confidence: float = 0.6,
+) -> List[AssociationRule]:
+    """One-call Apriori: frequent itemsets then rule generation."""
+    frequent = apriori_frequent_itemsets(transactions, min_support)
+    return generate_rules(frequent, min_confidence)

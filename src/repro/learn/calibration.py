@@ -1,0 +1,99 @@
+"""Probability calibration (Platt scaling).
+
+Margin classifiers like the SVM output scores, not probabilities; flows
+that *act* on predictions — self-training thresholds, screening cost
+trade-offs — need calibrated confidence.  Platt scaling fits a logistic
+link ``P(y=1|s) = sigmoid(a*s + b)`` on held-out decision scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import (
+    ClassifierMixin,
+    Estimator,
+    as_1d_array,
+    check_fitted,
+    check_paired,
+    clone,
+)
+from ..core.rng import ensure_rng
+
+
+def _fit_platt(scores: np.ndarray, targets: np.ndarray,
+               max_iter: int = 2000, learning_rate: float = 0.1):
+    """Fit sigmoid parameters (a, b) by gradient descent on log loss."""
+    a, b = 1.0, 0.0
+    scale = float(np.std(scores)) or 1.0
+    normalized = scores / scale
+    for _ in range(max_iter):
+        z = np.clip(a * normalized + b, -35, 35)
+        p = 1.0 / (1.0 + np.exp(-z))
+        gradient_a = float(np.mean((p - targets) * normalized))
+        gradient_b = float(np.mean(p - targets))
+        a -= learning_rate * gradient_a
+        b -= learning_rate * gradient_b
+    return a / scale, b
+
+
+class PlattCalibratedClassifier(Estimator, ClassifierMixin):
+    """Wrap a binary margin classifier with calibrated probabilities.
+
+    Parameters
+    ----------
+    base:
+        Binary classifier exposing ``decision_function``.
+    holdout_fraction:
+        Fraction of the training data reserved for fitting the sigmoid
+        (calibrating on the training scores themselves would be
+        over-confident).
+    """
+
+    def __init__(self, base, holdout_fraction: float = 0.25,
+                 random_state=None):
+        self.base = base
+        self.holdout_fraction = holdout_fraction
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "PlattCalibratedClassifier":
+        y = as_1d_array(y)
+        check_paired(X, y)
+        if not 0.05 <= self.holdout_fraction <= 0.5:
+            raise ValueError("holdout_fraction must be in [0.05, 0.5]")
+        classes = np.unique(y)
+        if len(classes) != 2:
+            raise ValueError("Platt calibration is for binary problems")
+        self.classes_ = classes
+        rng = ensure_rng(self.random_state)
+        X = np.asarray(X)
+        order = rng.permutation(len(X))
+        n_holdout = max(4, int(round(self.holdout_fraction * len(X))))
+        holdout, train = order[:n_holdout], order[n_holdout:]
+        if len(np.unique(y[train])) < 2 or len(np.unique(y[holdout])) < 2:
+            # tiny or skewed data: calibrate in-sample rather than fail
+            train = holdout = order
+
+        self.model_ = clone(self.base)
+        self.model_.fit(X[train], y[train])
+        scores = np.asarray(
+            self.model_.decision_function(X[holdout]), dtype=float
+        )
+        targets = (y[holdout] == self.classes_[1]).astype(float)
+        self.a_, self.b_ = _fit_platt(scores, targets)
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        check_fitted(self, "model_")
+        return self.model_.decision_function(X)
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Columns ordered as ``classes_``; rows sum to one."""
+        scores = np.asarray(self.decision_function(X), dtype=float)
+        z = np.clip(self.a_ * scores + self.b_, -35, 35)
+        positive = 1.0 / (1.0 + np.exp(-z))
+        return np.column_stack([1.0 - positive, positive])
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

@@ -1,0 +1,152 @@
+"""Discriminant analysis — Section 2.1's third basic idea.
+
+Estimate each class's density as a multivariate normal and decide by the
+log-likelihood ratio (the paper's Eq. 1):
+
+    D(x) = log [ P(x | N(mu1, Sigma1)) / P(x | N(mu2, Sigma2)) ]
+
+QDA keeps per-class covariances (exactly Eq. 1); LDA pools them, which
+collapses the boundary to a hyperplane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import (
+    ClassifierMixin,
+    Estimator,
+    as_1d_array,
+    as_2d_array,
+    check_fitted,
+    check_paired,
+)
+
+
+def _regularized_covariance(members: np.ndarray, regularization: float) -> np.ndarray:
+    cov = np.cov(members, rowvar=False, bias=False)
+    cov = np.atleast_2d(cov)
+    scale = max(float(np.trace(cov)) / cov.shape[0], 1e-12)
+    return cov + regularization * scale * np.eye(cov.shape[0])
+
+
+class _GaussianDiscriminantBase(Estimator, ClassifierMixin):
+    def __init__(self, regularization: float = 1e-4, priors=None):
+        self.regularization = regularization
+        self.priors = priors
+
+    def _fit_common(self, X, y):
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_paired(X, y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) < 2:
+            raise ValueError("need at least two classes")
+        if self.priors is None:
+            self.priors_ = np.array(
+                [np.mean(y == label) for label in self.classes_]
+            )
+        else:
+            self.priors_ = np.asarray(self.priors, dtype=float)
+            if len(self.priors_) != len(self.classes_):
+                raise ValueError("one prior per class required")
+            self.priors_ = self.priors_ / self.priors_.sum()
+        self.means_ = np.array(
+            [X[y == label].mean(axis=0) for label in self.classes_]
+        )
+        return X, y
+
+    def _log_posteriors(self, X) -> np.ndarray:
+        raise NotImplementedError
+
+    def predict(self, X) -> np.ndarray:
+        scores = self._log_posteriors(X)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Posterior class probabilities, columns ordered as ``classes_``."""
+        scores = self._log_posteriors(X)
+        scores -= scores.max(axis=1, keepdims=True)
+        likelihood = np.exp(scores)
+        return likelihood / likelihood.sum(axis=1, keepdims=True)
+
+    def decision_function(self, X) -> np.ndarray:
+        """Eq. 1's log-likelihood-ratio D(x) for binary problems.
+
+        Positive values favour ``classes_[1]``.
+        """
+        if len(self.classes_) != 2:
+            raise ValueError("decision_function is defined for binary problems")
+        scores = self._log_posteriors(X)
+        return scores[:, 1] - scores[:, 0]
+
+
+class LinearDiscriminantAnalysis(_GaussianDiscriminantBase):
+    """Gaussian classes with a pooled covariance (linear boundary)."""
+
+    def fit(self, X, y) -> "LinearDiscriminantAnalysis":
+        X, y = self._fit_common(X, y)
+        n, d = X.shape
+        pooled = np.zeros((d, d))
+        for label, mean in zip(self.classes_, self.means_):
+            members = X[y == label]
+            centered = members - mean
+            pooled += centered.T @ centered
+        pooled /= max(n - len(self.classes_), 1)
+        scale = max(float(np.trace(pooled)) / d, 1e-12)
+        pooled += self.regularization * scale * np.eye(d)
+        self.covariance_ = pooled
+        self._precision = np.linalg.inv(pooled)
+        return self
+
+    def _log_posteriors(self, X) -> np.ndarray:
+        check_fitted(self, "covariance_")
+        X = as_2d_array(X)
+        scores = np.zeros((len(X), len(self.classes_)))
+        for index, mean in enumerate(self.means_):
+            # linear discriminant: x' S^-1 mu - mu' S^-1 mu / 2 + log prior
+            w = self._precision @ mean
+            scores[:, index] = (
+                X @ w - 0.5 * float(mean @ w) + np.log(self.priors_[index])
+            )
+        return scores
+
+
+class QuadraticDiscriminantAnalysis(_GaussianDiscriminantBase):
+    """Gaussian classes with per-class covariance — the literal Eq. 1."""
+
+    def fit(self, X, y) -> "QuadraticDiscriminantAnalysis":
+        X, y = self._fit_common(X, y)
+        self.covariances_ = []
+        self._precisions = []
+        self._log_dets = []
+        for label in self.classes_:
+            members = X[y == label]
+            if len(members) < 2:
+                raise ValueError(
+                    f"class {label!r} has fewer than 2 samples; "
+                    "cannot estimate a covariance"
+                )
+            cov = _regularized_covariance(members, self.regularization)
+            self.covariances_.append(cov)
+            self._precisions.append(np.linalg.inv(cov))
+            sign, log_det = np.linalg.slogdet(cov)
+            if sign <= 0:
+                raise np.linalg.LinAlgError("covariance is not PD")
+            self._log_dets.append(log_det)
+        return self
+
+    def _log_posteriors(self, X) -> np.ndarray:
+        check_fitted(self, "covariances_")
+        X = as_2d_array(X)
+        scores = np.zeros((len(X), len(self.classes_)))
+        for index, mean in enumerate(self.means_):
+            centered = X - mean
+            mahalanobis = np.sum(
+                (centered @ self._precisions[index]) * centered, axis=1
+            )
+            scores[:, index] = (
+                -0.5 * (mahalanobis + self._log_dets[index])
+                + np.log(self.priors_[index])
+            )
+        return scores

@@ -1,0 +1,166 @@
+"""Feature selection, including the extreme-imbalance regime.
+
+Section 2.4: "Given an extremely imbalanced dataset, the problem becomes
+more like a feature selection problem than a traditional classification
+problem" — with a handful of customer returns against millions of passing
+parts, the actionable output is *which tests matter*, not a classifier.
+
+Two families are provided:
+
+- classical univariate scoring (F-score, correlation, mutual
+  information) with :class:`SelectKBest`;
+- :class:`OutlierSeparationSelector`, modelled on the important-test
+  selection of [17]: rank each test by how far the rare positives sit
+  from the bulk of the passing population in that test alone, using
+  robust (median/IQR) statistics so the rare class never distorts the
+  reference distribution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.base import (
+    Estimator,
+    TransformerMixin,
+    as_1d_array,
+    as_2d_array,
+    check_fitted,
+    check_paired,
+)
+
+
+def f_score(X, y) -> np.ndarray:
+    """One-way ANOVA F statistic per feature (higher = more separating)."""
+    X = as_2d_array(X)
+    y = as_1d_array(y)
+    check_paired(X, y)
+    classes = np.unique(y)
+    if len(classes) < 2:
+        raise ValueError("need at least two classes")
+    overall_mean = X.mean(axis=0)
+    between = np.zeros(X.shape[1])
+    within = np.zeros(X.shape[1])
+    for label in classes:
+        members = X[y == label]
+        between += len(members) * (members.mean(axis=0) - overall_mean) ** 2
+        within += ((members - members.mean(axis=0)) ** 2).sum(axis=0)
+    df_between = len(classes) - 1
+    df_within = max(len(X) - len(classes), 1)
+    within[within == 0.0] = 1e-12
+    return (between / df_between) / (within / df_within)
+
+
+def correlation_score(X, y) -> np.ndarray:
+    """|Pearson correlation| of each feature with the target."""
+    X = as_2d_array(X)
+    y = as_1d_array(y, dtype=float)
+    check_paired(X, y)
+    Xc = X - X.mean(axis=0)
+    yc = y - y.mean()
+    x_std = X.std(axis=0)
+    y_std = y.std()
+    denominator = x_std * y_std
+    denominator[denominator == 0.0] = 1e-12
+    return np.abs((Xc * yc[:, None]).mean(axis=0) / denominator)
+
+
+def mutual_information_score(X, y, n_bins: int = 8) -> np.ndarray:
+    """Histogram-estimated mutual information between features and labels."""
+    X = as_2d_array(X)
+    y = as_1d_array(y)
+    check_paired(X, y)
+    classes = np.unique(y)
+    scores = np.zeros(X.shape[1])
+    class_priors = np.array([np.mean(y == c) for c in classes])
+    for feature in range(X.shape[1]):
+        column = X[:, feature]
+        edges = np.histogram_bin_edges(column, bins=n_bins)
+        bins = np.clip(np.digitize(column, edges[1:-1]), 0, n_bins - 1)
+        mi = 0.0
+        for b in range(n_bins):
+            in_bin = bins == b
+            p_bin = float(np.mean(in_bin))
+            if p_bin == 0.0:
+                continue
+            for c_index, label in enumerate(classes):
+                joint = float(np.mean(in_bin & (y == label)))
+                if joint > 0.0:
+                    mi += joint * np.log(
+                        joint / (p_bin * class_priors[c_index])
+                    )
+        scores[feature] = max(mi, 0.0)
+    return scores
+
+
+class SelectKBest(Estimator, TransformerMixin):
+    """Keep the *k* features with the highest univariate score."""
+
+    def __init__(self, k: int = 10, scorer=f_score):
+        self.k = k
+        self.scorer = scorer
+
+    def fit(self, X, y) -> "SelectKBest":
+        X = as_2d_array(X)
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+        scores = np.asarray(self.scorer(X, y), dtype=float)
+        self.scores_ = scores
+        k = min(self.k, X.shape[1])
+        self.selected_indices_ = np.sort(np.argsort(-scores)[:k])
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "selected_indices_")
+        X = as_2d_array(X)
+        return X[:, self.selected_indices_]
+
+
+class OutlierSeparationSelector(Estimator, TransformerMixin):
+    """Important-test selection for extremely imbalanced screening ([17]).
+
+    For each feature, compute the robust z-score of every *positive*
+    (rare-class) sample against the *negative* population's median/IQR,
+    and score the feature by the mean absolute robust z of the positives.
+    Features where returns sit many robust sigmas from the passing bulk
+    are the tests worth keeping in an outlier screen.
+    """
+
+    def __init__(self, k: int = 3, positive_class=1):
+        self.k = k
+        self.positive_class = positive_class
+
+    def fit(self, X, y) -> "OutlierSeparationSelector":
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_paired(X, y)
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+        positives = X[y == self.positive_class]
+        negatives = X[y != self.positive_class]
+        if len(positives) == 0:
+            raise ValueError("no positive samples to separate")
+        if len(negatives) < 4:
+            raise ValueError("too few negative samples for robust statistics")
+        center = np.median(negatives, axis=0)
+        q75 = np.percentile(negatives, 75, axis=0)
+        q25 = np.percentile(negatives, 25, axis=0)
+        spread = (q75 - q25) / 1.349  # IQR -> sigma for a normal
+        spread[spread <= 0.0] = 1e-12
+        robust_z = np.abs((positives - center) / spread)
+        self.scores_ = robust_z.mean(axis=0)
+        k = min(self.k, X.shape[1])
+        self.selected_indices_ = np.sort(np.argsort(-self.scores_)[:k])
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "selected_indices_")
+        X = as_2d_array(X)
+        return X[:, self.selected_indices_]
+
+    def selected_names(self, feature_names: Sequence[str]) -> List[str]:
+        """Map selected indices back to domain test names."""
+        check_fitted(self, "selected_indices_")
+        return [feature_names[i] for i in self.selected_indices_]

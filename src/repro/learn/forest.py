@@ -1,0 +1,123 @@
+"""Random forests ([8] — Breiman 2001).
+
+Bagged CART trees with per-split feature subsampling.  In the paper's
+terms a "collection of trees" model; in practice the robust default for
+feature-based EDA mining when a single interpretable tree underfits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import (
+    ClassifierMixin,
+    Estimator,
+    RegressorMixin,
+    as_1d_array,
+    as_2d_array,
+    check_fitted,
+    check_paired,
+)
+from ..core.rng import ensure_rng, spawn_rng
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class _BaseForest(Estimator):
+    def __init__(self, n_estimators: int = 30, max_depth: int = 8,
+                 min_samples_split: int = 2, min_samples_leaf: int = 1,
+                 max_features="sqrt", bootstrap: bool = True,
+                 random_state=None):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+
+    def _make_tree(self, rng):
+        raise NotImplementedError
+
+    def fit(self, X, y):
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_paired(X, y)
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1")
+        rng = ensure_rng(self.random_state)
+        self._prepare_targets(y)
+        self.estimators_ = []
+        n = len(X)
+        importances = np.zeros(X.shape[1])
+        for _ in range(self.n_estimators):
+            tree_rng = spawn_rng(rng)
+            if self.bootstrap:
+                indices = tree_rng.integers(0, n, size=n)
+            else:
+                indices = np.arange(n)
+            tree = self._make_tree(tree_rng)
+            tree.fit(X[indices], y[indices])
+            importances += tree.feature_importances_
+            self.estimators_.append(tree)
+        total = importances.sum()
+        self.feature_importances_ = (
+            importances / total if total > 0 else importances
+        )
+        return self
+
+    def _prepare_targets(self, y):
+        pass
+
+
+class RandomForestClassifier(_BaseForest, ClassifierMixin):
+    """Majority-vote ensemble of randomized CART classifiers."""
+
+    def _prepare_targets(self, y):
+        self.classes_ = np.unique(y)
+
+    def _make_tree(self, rng):
+        return DecisionTreeClassifier(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            random_state=rng,
+        )
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Mean of per-tree leaf class frequencies."""
+        check_fitted(self, "estimators_")
+        X = as_2d_array(X)
+        proba = np.zeros((len(X), len(self.classes_)))
+        for tree in self.estimators_:
+            tree_proba = tree.predict_proba(X)
+            # align columns: each tree saw a bootstrap that may miss classes
+            for column, label in enumerate(tree.classes_):
+                target = int(np.flatnonzero(self.classes_ == label)[0])
+                proba[:, target] += tree_proba[:, column]
+        return proba / len(self.estimators_)
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+
+class RandomForestRegressor(_BaseForest, RegressorMixin):
+    """Mean ensemble of randomized CART regressors."""
+
+    def _make_tree(self, rng):
+        return DecisionTreeRegressor(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            random_state=rng,
+        )
+
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "estimators_")
+        X = as_2d_array(X)
+        predictions = np.stack(
+            [tree.predict(X) for tree in self.estimators_]
+        )
+        return predictions.mean(axis=0)

@@ -1,0 +1,131 @@
+"""Nearest-neighbor learners — Section 2.1's first basic idea.
+
+"The category of a point can be inferred by the majority of data points
+surrounding it. Then, the trick is in how to define majority." — the
+``weights`` parameter offers the two standard answers (uniform count vs
+distance weighting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import (
+    ClassifierMixin,
+    Estimator,
+    RegressorMixin,
+    as_1d_array,
+    as_2d_array,
+    check_fitted,
+    check_paired,
+)
+
+
+def _pairwise_distances(A: np.ndarray, B: np.ndarray, metric: str) -> np.ndarray:
+    if metric == "euclidean":
+        sq_a = np.sum(A * A, axis=1)[:, None]
+        sq_b = np.sum(B * B, axis=1)[None, :]
+        d2 = np.clip(sq_a + sq_b - 2.0 * (A @ B.T), 0.0, None)
+        return np.sqrt(d2)
+    if metric == "manhattan":
+        return np.sum(np.abs(A[:, None, :] - B[None, :, :]), axis=2)
+    if metric == "chebyshev":
+        return np.max(np.abs(A[:, None, :] - B[None, :, :]), axis=2)
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+class _KNNBase(Estimator):
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform",
+                 metric: str = "euclidean"):
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self.metric = metric
+
+    def fit(self, X, y):
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_paired(X, y)
+        if self.n_neighbors < 1:
+            raise ValueError("n_neighbors must be at least 1")
+        if self.n_neighbors > len(X):
+            raise ValueError(
+                f"n_neighbors={self.n_neighbors} exceeds "
+                f"{len(X)} training samples"
+            )
+        if self.weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.X_train_ = X
+        self.y_train_ = y
+        return self
+
+    def _neighbors(self, X):
+        check_fitted(self, "X_train_")
+        X = as_2d_array(X)
+        distances = _pairwise_distances(X, self.X_train_, self.metric)
+        order = np.argsort(distances, axis=1)[:, : self.n_neighbors]
+        neighbor_distances = np.take_along_axis(distances, order, axis=1)
+        return order, neighbor_distances
+
+    def _weights_for(self, neighbor_distances: np.ndarray) -> np.ndarray:
+        if self.weights == "uniform":
+            return np.ones_like(neighbor_distances)
+        # inverse-distance weights; an exact hit dominates
+        with np.errstate(divide="ignore"):
+            w = 1.0 / neighbor_distances
+        exact = ~np.isfinite(w)
+        if exact.any():
+            w[exact.any(axis=1)] = 0.0
+            w[exact] = 1.0
+        return w
+
+
+class KNeighborsClassifier(_KNNBase, ClassifierMixin):
+    """Classify by (weighted) majority vote of the k nearest samples."""
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        super().fit(X, y)
+        self.classes_ = np.unique(self.y_train_)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        order, neighbor_distances = self._neighbors(X)
+        weights = self._weights_for(neighbor_distances)
+        classes = np.unique(self.y_train_)
+        votes = np.zeros((len(order), len(classes)))
+        neighbor_labels = self.y_train_[order]
+        for c_index, label in enumerate(classes):
+            votes[:, c_index] = np.sum(
+                weights * (neighbor_labels == label), axis=1
+            )
+        return classes[np.argmax(votes, axis=1)]
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Per-class vote fractions, columns ordered by sorted class label."""
+        order, neighbor_distances = self._neighbors(X)
+        weights = self._weights_for(neighbor_distances)
+        classes = np.unique(self.y_train_)
+        votes = np.zeros((len(order), len(classes)))
+        neighbor_labels = self.y_train_[order]
+        for c_index, label in enumerate(classes):
+            votes[:, c_index] = np.sum(
+                weights * (neighbor_labels == label), axis=1
+            )
+        totals = votes.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        return votes / totals
+
+
+class KNeighborsRegressor(_KNNBase, RegressorMixin):
+    """Predict the (weighted) mean target of the k nearest samples."""
+
+    def fit(self, X, y):
+        y = as_1d_array(y, dtype=float)
+        return super().fit(X, y)
+
+    def predict(self, X) -> np.ndarray:
+        order, neighbor_distances = self._neighbors(X)
+        weights = self._weights_for(neighbor_distances)
+        targets = self.y_train_[order].astype(float)
+        weight_sums = weights.sum(axis=1)
+        weight_sums[weight_sums == 0.0] = 1.0
+        return np.sum(weights * targets, axis=1) / weight_sums

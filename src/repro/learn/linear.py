@@ -1,0 +1,197 @@
+"""Linear models: least-squares fit, ridge (regularized LSF), logistic.
+
+These are the "model estimation" basic idea of Section 2.1 — assume a
+linear hyperplane ``M(f1..fn) = w . f + b`` and estimate the parameters
+from data — plus the regularized variants that implement the paper's
+overfitting-control story (Section 2.3: minimize ``E + lambda * C``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import (
+    ClassifierMixin,
+    Estimator,
+    RegressorMixin,
+    as_1d_array,
+    as_2d_array,
+    check_fitted,
+    check_paired,
+)
+
+
+class LeastSquaresRegressor(Estimator, RegressorMixin):
+    """Ordinary least-squares fit (the paper's "LSF").
+
+    Solves ``min_w ||X w + b - y||^2`` via the pseudo-inverse, so rank
+    deficiency is handled gracefully.
+    """
+
+    def __init__(self, fit_intercept: bool = True):
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X, y) -> "LeastSquaresRegressor":
+        X = as_2d_array(X)
+        y = as_1d_array(y, dtype=float)
+        check_paired(X, y)
+        if self.fit_intercept:
+            A = np.hstack([X, np.ones((len(X), 1))])
+        else:
+            A = X
+        solution, *_ = np.linalg.lstsq(A, y, rcond=None)
+        if self.fit_intercept:
+            self.coef_ = solution[:-1]
+            self.intercept_ = float(solution[-1])
+        else:
+            self.coef_ = solution
+            self.intercept_ = 0.0
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "coef_")
+        X = as_2d_array(X)
+        return X @ self.coef_ + self.intercept_
+
+
+class RidgeRegressor(Estimator, RegressorMixin):
+    """Regularized LSF: ``min_w ||Xw + b - y||^2 + alpha ||w||^2``.
+
+    The direct instantiation of the paper's ``E + lambda C`` objective
+    for linear models; ``alpha`` plays the role of lambda.
+    """
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True):
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X, y) -> "RidgeRegressor":
+        X = as_2d_array(X)
+        y = as_1d_array(y, dtype=float)
+        check_paired(X, y)
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            y_mean = float(y.mean())
+            Xc = X - x_mean
+            yc = y - y_mean
+        else:
+            x_mean = np.zeros(X.shape[1])
+            y_mean = 0.0
+            Xc, yc = X, y
+        n_features = X.shape[1]
+        gram = Xc.T @ Xc + self.alpha * np.eye(n_features)
+        self.coef_ = np.linalg.solve(gram, Xc.T @ yc)
+        self.intercept_ = y_mean - float(x_mean @ self.coef_)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "coef_")
+        X = as_2d_array(X)
+        return X @ self.coef_ + self.intercept_
+
+
+class KernelRidgeRegressor(Estimator, RegressorMixin):
+    """Ridge regression in a kernel-induced feature space.
+
+    The model takes the paper's Eq. 2 form: a weighted sum of kernel
+    similarities to the training samples.
+    """
+
+    def __init__(self, kernel=None, alpha: float = 1.0):
+        self.kernel = kernel
+        self.alpha = alpha
+
+    def _kernel(self):
+        if self.kernel is not None:
+            return self.kernel
+        from ..kernels.vector import RBFKernel
+
+        return RBFKernel(gamma=1.0)
+
+    def fit(self, X, y) -> "KernelRidgeRegressor":
+        y = as_1d_array(y, dtype=float)
+        check_paired(X, y)
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        kernel = self._kernel()
+        K = kernel.matrix(X)
+        n = len(y)
+        self.dual_coef_ = np.linalg.solve(K + self.alpha * np.eye(n), y)
+        self.X_train_ = X
+        self.kernel_ = kernel
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "dual_coef_")
+        K = self.kernel_.cross_matrix(X, self.X_train_)
+        return K @ self.dual_coef_
+
+
+class LogisticRegression(Estimator, ClassifierMixin):
+    """Binary logistic regression trained by full-batch gradient descent
+    with L2 regularization.
+
+    Labels may be any two values; they are mapped internally to {0, 1}.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 1e-3,
+        learning_rate: float = 0.1,
+        max_iter: int = 500,
+        tol: float = 1e-6,
+    ):
+        self.alpha = alpha
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.tol = tol
+
+    def fit(self, X, y) -> "LogisticRegression":
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_paired(X, y)
+        classes = np.unique(y)
+        if len(classes) != 2:
+            raise ValueError(
+                f"LogisticRegression is binary; got {len(classes)} classes"
+            )
+        self.classes_ = classes
+        t = (y == classes[1]).astype(float)
+        n, d = X.shape
+        w = np.zeros(d)
+        b = 0.0
+        previous_loss = np.inf
+        for _ in range(self.max_iter):
+            z = X @ w + b
+            p = 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))
+            gradient_w = X.T @ (p - t) / n + self.alpha * w
+            gradient_b = float(np.mean(p - t))
+            w -= self.learning_rate * gradient_w
+            b -= self.learning_rate * gradient_b
+            eps = 1e-12
+            loss = float(
+                -np.mean(t * np.log(p + eps) + (1 - t) * np.log(1 - p + eps))
+                + 0.5 * self.alpha * w @ w
+            )
+            if abs(previous_loss - loss) < self.tol:
+                break
+            previous_loss = loss
+        self.coef_ = w
+        self.intercept_ = b
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        check_fitted(self, "coef_")
+        X = as_2d_array(X)
+        return X @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Probability of the second class (``classes_[1]``)."""
+        z = self.decision_function(X)
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return np.where(proba >= 0.5, self.classes_[1], self.classes_[0])

@@ -1,0 +1,79 @@
+"""One-vs-rest multiclass reduction.
+
+SVM and logistic regression are inherently binary; EDA labels often are
+not (failure-mode categories, wafer zones, coverage bins).  The
+classical reduction trains one binary scorer per class and predicts the
+class whose scorer is most confident.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import (
+    ClassifierMixin,
+    Estimator,
+    as_1d_array,
+    check_fitted,
+    check_paired,
+    clone,
+)
+
+
+class OneVsRestClassifier(Estimator, ClassifierMixin):
+    """Train one binary copy of *base* per class.
+
+    The base estimator must expose ``decision_function`` or
+    ``predict_proba``; each per-class model is fit on
+    "this class vs everything else" labels, and prediction takes the
+    arg-max over per-class scores.
+    """
+
+    def __init__(self, base):
+        self.base = base
+
+    def fit(self, X, y) -> "OneVsRestClassifier":
+        y = as_1d_array(y)
+        check_paired(X, y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) < 2:
+            raise ValueError("need at least two classes")
+        self.estimators_ = []
+        for label in self.classes_:
+            binary = (y == label).astype(int)
+            model = clone(self.base)
+            model.fit(X, binary)
+            self.estimators_.append(model)
+        return self
+
+    def _score_one(self, model, X) -> np.ndarray:
+        """Confidence that samples belong to the model's positive class."""
+        if hasattr(model, "decision_function"):
+            scores = np.asarray(model.decision_function(X), dtype=float)
+            # orient: positive class is 1 in the binary encoding
+            if hasattr(model, "classes_") and model.classes_[1] != 1:
+                scores = -scores
+            return scores
+        proba = np.asarray(model.predict_proba(X), dtype=float)
+        if proba.ndim == 1:
+            return proba
+        positive_column = int(np.flatnonzero(model.classes_ == 1)[0])
+        return proba[:, positive_column]
+
+    def decision_matrix(self, X) -> np.ndarray:
+        """Per-class confidence scores, columns ordered as ``classes_``."""
+        check_fitted(self, "estimators_")
+        return np.column_stack(
+            [self._score_one(model, X) for model in self.estimators_]
+        )
+
+    def predict(self, X) -> np.ndarray:
+        scores = self.decision_matrix(X)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Softmax-normalized per-class scores (a usable surrogate)."""
+        scores = self.decision_matrix(X)
+        scores = scores - scores.max(axis=1, keepdims=True)
+        exp = np.exp(scores)
+        return exp / exp.sum(axis=1, keepdims=True)

@@ -1,0 +1,204 @@
+"""Multi-layer perceptrons trained by backpropagation.
+
+The paper's exemplar of the *first* overfitting-avoidance idea
+(Section 2.3): predefine a model structure of limited complexity (the
+hidden-layer sizes) and minimize training error within it.  The
+``hidden_layers`` tuple is therefore the capacity knob the Fig. 5 bench
+sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..core.base import (
+    ClassifierMixin,
+    Estimator,
+    RegressorMixin,
+    as_1d_array,
+    as_2d_array,
+    check_fitted,
+    check_paired,
+)
+from ..core.rng import ensure_rng
+
+
+def _activation(name: str):
+    if name == "tanh":
+        return np.tanh, lambda a: 1.0 - a * a
+    if name == "relu":
+        return (
+            lambda z: np.maximum(z, 0.0),
+            lambda a: (a > 0).astype(float),
+        )
+    if name == "logistic":
+        sigmoid = lambda z: 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))  # noqa: E731
+        return sigmoid, lambda a: a * (1.0 - a)
+    raise ValueError("activation must be 'tanh', 'relu', or 'logistic'")
+
+
+class _BaseMLP(Estimator):
+    def __init__(self, hidden_layers: Tuple[int, ...] = (16,),
+                 activation: str = "tanh", learning_rate: float = 0.01,
+                 alpha: float = 1e-4, max_iter: int = 300,
+                 batch_size: int = 32, tol: float = 1e-6,
+                 random_state=None):
+        self.hidden_layers = hidden_layers
+        self.activation = activation
+        self.learning_rate = learning_rate
+        self.alpha = alpha
+        self.max_iter = max_iter
+        self.batch_size = batch_size
+        self.tol = tol
+        self.random_state = random_state
+
+    # subclass hooks -----------------------------------------------------
+    def _output_size(self) -> int:
+        raise NotImplementedError
+
+    def _output_and_delta(self, z_out, target):
+        """Return (output activations, delta at the output layer)."""
+        raise NotImplementedError
+
+    def _loss(self, output, target) -> float:
+        raise NotImplementedError
+
+    # ---------------------------------------------------------------------
+    def _initialize(self, n_inputs: int, rng) -> None:
+        sizes = [n_inputs, *self.hidden_layers, self._output_size()]
+        self.weights_ = []
+        self.biases_ = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            self.weights_.append(
+                rng.uniform(-limit, limit, size=(fan_in, fan_out))
+            )
+            self.biases_.append(np.zeros(fan_out))
+
+    def _forward(self, X):
+        act, _ = _activation(self.activation)
+        activations = [X]
+        for layer in range(len(self.weights_) - 1):
+            z = activations[-1] @ self.weights_[layer] + self.biases_[layer]
+            activations.append(act(z))
+        z_out = activations[-1] @ self.weights_[-1] + self.biases_[-1]
+        return activations, z_out
+
+    def _fit_loop(self, X, target) -> None:
+        rng = ensure_rng(self.random_state)
+        self._initialize(X.shape[1], rng)
+        _, act_grad = _activation(self.activation)
+        n = len(X)
+        batch = min(self.batch_size, n)
+        previous_loss = np.inf
+        self.loss_curve_ = []
+        for _ in range(self.max_iter):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                activations, z_out = self._forward(X[idx])
+                output, delta = self._output_and_delta(z_out, target[idx])
+                epoch_loss += self._loss(output, target[idx]) * len(idx)
+                # backpropagate
+                gradients_w = []
+                gradients_b = []
+                for layer in reversed(range(len(self.weights_))):
+                    gradients_w.append(
+                        activations[layer].T @ delta / len(idx)
+                        + self.alpha * self.weights_[layer]
+                    )
+                    gradients_b.append(delta.mean(axis=0))
+                    if layer > 0:
+                        delta = (delta @ self.weights_[layer].T) * act_grad(
+                            activations[layer]
+                        )
+                gradients_w.reverse()
+                gradients_b.reverse()
+                for layer in range(len(self.weights_)):
+                    self.weights_[layer] -= self.learning_rate * gradients_w[layer]
+                    self.biases_[layer] -= self.learning_rate * gradients_b[layer]
+            epoch_loss /= n
+            self.loss_curve_.append(epoch_loss)
+            if abs(previous_loss - epoch_loss) < self.tol:
+                break
+            previous_loss = epoch_loss
+
+    def n_parameters(self) -> int:
+        """Total learned parameter count — a model-complexity measure."""
+        check_fitted(self, "weights_")
+        return int(
+            sum(w.size for w in self.weights_)
+            + sum(b.size for b in self.biases_)
+        )
+
+
+class MLPClassifier(_BaseMLP, ClassifierMixin):
+    """Feed-forward softmax classifier."""
+
+    def fit(self, X, y) -> "MLPClassifier":
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_paired(X, y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) < 2:
+            raise ValueError("need at least two classes")
+        one_hot = (y[:, None] == self.classes_[None, :]).astype(float)
+        self._fit_loop(X, one_hot)
+        return self
+
+    def _output_size(self) -> int:
+        return len(self.classes_)
+
+    def _output_and_delta(self, z_out, target):
+        z = z_out - z_out.max(axis=1, keepdims=True)
+        exp = np.exp(z)
+        softmax = exp / exp.sum(axis=1, keepdims=True)
+        return softmax, softmax - target
+
+    def _loss(self, output, target) -> float:
+        return float(-np.mean(np.sum(target * np.log(output + 1e-12), axis=1)))
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Softmax class probabilities, columns ordered as ``classes_``."""
+        check_fitted(self, "weights_")
+        X = as_2d_array(X)
+        _, z_out = self._forward(X)
+        z = z_out - z_out.max(axis=1, keepdims=True)
+        exp = np.exp(z)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+
+class MLPRegressor(_BaseMLP, RegressorMixin):
+    """Feed-forward regressor with squared loss."""
+
+    def fit(self, X, y) -> "MLPRegressor":
+        X = as_2d_array(X)
+        y = as_1d_array(y, dtype=float)
+        check_paired(X, y)
+        self._y_mean = float(y.mean())
+        self._y_scale = float(y.std()) or 1.0
+        target = ((y - self._y_mean) / self._y_scale).reshape(-1, 1)
+        self._fit_loop(X, target)
+        return self
+
+    def _output_size(self) -> int:
+        return 1
+
+    def _output_and_delta(self, z_out, target):
+        return z_out, z_out - target
+
+    def _loss(self, output, target) -> float:
+        return float(np.mean((output - target) ** 2))
+
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "weights_")
+        X = as_2d_array(X)
+        _, z_out = self._forward(X)
+        return z_out[:, 0] * self._y_scale + self._y_mean

@@ -1,0 +1,128 @@
+"""Dataset rebalancing for imbalanced classification ([15]).
+
+Section 2.4: rebalancing helps moderate imbalance; under *extreme*
+imbalance it stops being the right tool (the ablation bench
+``bench_abl_imbalance`` demonstrates exactly this crossover).  Three
+standard techniques are provided: random undersampling of the majority,
+random oversampling of the minority, and SMOTE-style synthetic minority
+oversampling (interpolation between minority neighbors).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.base import as_1d_array, as_2d_array, check_paired
+from ..core.rng import ensure_rng
+
+
+def _split_classes(X, y):
+    classes, counts = np.unique(y, return_counts=True)
+    if len(classes) != 2:
+        raise ValueError("rebalancing utilities support binary problems")
+    minority = classes[np.argmin(counts)]
+    majority = classes[np.argmax(counts)]
+    if minority == majority:  # equal counts; pick deterministically
+        minority, majority = classes[0], classes[1]
+    return minority, majority
+
+
+def random_undersample(X, y, ratio: float = 1.0, random_state=None
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Drop majority samples until ``n_majority <= ratio * n_minority``."""
+    X = as_2d_array(X)
+    y = as_1d_array(y)
+    check_paired(X, y)
+    if ratio <= 0:
+        raise ValueError("ratio must be positive")
+    rng = ensure_rng(random_state)
+    minority, majority = _split_classes(X, y)
+    minority_idx = np.flatnonzero(y == minority)
+    majority_idx = np.flatnonzero(y == majority)
+    n_keep = min(len(majority_idx),
+                 max(1, int(round(ratio * len(minority_idx)))))
+    kept = rng.choice(majority_idx, size=n_keep, replace=False)
+    indices = np.concatenate([minority_idx, kept])
+    rng.shuffle(indices)
+    return X[indices], y[indices]
+
+
+def random_oversample(X, y, ratio: float = 1.0, random_state=None
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Duplicate minority samples until ``n_minority >= ratio * n_majority``."""
+    X = as_2d_array(X)
+    y = as_1d_array(y)
+    check_paired(X, y)
+    if ratio <= 0:
+        raise ValueError("ratio must be positive")
+    rng = ensure_rng(random_state)
+    minority, majority = _split_classes(X, y)
+    minority_idx = np.flatnonzero(y == minority)
+    majority_idx = np.flatnonzero(y == majority)
+    n_target = max(len(minority_idx),
+                   int(round(ratio * len(majority_idx))))
+    extra = n_target - len(minority_idx)
+    if extra <= 0:
+        return X.copy(), y.copy()
+    draws = rng.choice(minority_idx, size=extra, replace=True)
+    X_out = np.vstack([X, X[draws]])
+    y_out = np.concatenate([y, y[draws]])
+    order = rng.permutation(len(y_out))
+    return X_out[order], y_out[order]
+
+
+def smote(X, y, n_synthetic: int = None, k_neighbors: int = 5,
+          random_state=None) -> Tuple[np.ndarray, np.ndarray]:
+    """SMOTE: synthesize minority samples on segments between neighbors.
+
+    Each synthetic point is ``x + u * (neighbor - x)`` with
+    ``u ~ Uniform(0, 1)``, for a random minority sample ``x`` and one of
+    its ``k_neighbors`` nearest minority neighbors.
+
+    Parameters
+    ----------
+    n_synthetic:
+        Number of points to synthesize; defaults to balancing the
+        classes exactly.
+    """
+    X = as_2d_array(X)
+    y = as_1d_array(y)
+    check_paired(X, y)
+    rng = ensure_rng(random_state)
+    minority, majority = _split_classes(X, y)
+    minority_X = X[y == minority]
+    majority_count = int(np.sum(y == majority))
+    if len(minority_X) < 2:
+        raise ValueError("SMOTE needs at least 2 minority samples")
+    if n_synthetic is None:
+        n_synthetic = max(0, majority_count - len(minority_X))
+    if n_synthetic == 0:
+        return X.copy(), y.copy()
+    k = min(k_neighbors, len(minority_X) - 1)
+    # minority-only neighbor table
+    diffs = minority_X[:, None, :] - minority_X[None, :, :]
+    distances = np.sqrt(np.sum(diffs * diffs, axis=2))
+    np.fill_diagonal(distances, np.inf)
+    neighbor_table = np.argsort(distances, axis=1)[:, :k]
+
+    base = rng.integers(0, len(minority_X), size=n_synthetic)
+    pick = rng.integers(0, k, size=n_synthetic)
+    neighbors = neighbor_table[base, pick]
+    u = rng.uniform(0.0, 1.0, size=(n_synthetic, 1))
+    synthetic = minority_X[base] + u * (minority_X[neighbors] - minority_X[base])
+
+    X_out = np.vstack([X, synthetic])
+    y_out = np.concatenate([y, np.full(n_synthetic, minority, dtype=y.dtype)])
+    order = rng.permutation(len(y_out))
+    return X_out[order], y_out[order]
+
+
+def imbalance_ratio(y) -> float:
+    """Majority-to-minority count ratio of a binary label vector."""
+    y = as_1d_array(y)
+    _, counts = np.unique(y, return_counts=True)
+    if counts.min() == 0:
+        return float("inf")
+    return float(counts.max() / counts.min())

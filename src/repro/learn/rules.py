@@ -1,0 +1,364 @@
+"""Subgroup-discovery rule learning in the CN2-SD style ([9]).
+
+The knowledge-discovery workhorse of the paper's case studies: learn the
+*properties* of an interesting subset of samples (tests hitting a rare
+coverage point, Table 1; silicon-slow paths, Fig. 10) as human-readable
+rules like ``via45 > 12 AND via56 > 8 => slow``, then feed those rules
+back to an engineer or a test-template generator.
+
+Implementation: beam search over conjunctions of single-feature
+conditions (thresholds at value midpoints for numeric features, equality
+for low-cardinality features), scored by *weighted relative accuracy*
+
+    WRAcc(rule) = p(cond) * ( p(class | cond) - p(class) )
+
+under CN2-SD's weighted covering: after a rule is accepted, the weights
+of the examples it covers are multiplied by ``gamma`` so later rules must
+explain different examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.base import (
+    ClassifierMixin,
+    Estimator,
+    as_1d_array,
+    as_2d_array,
+    check_fitted,
+    check_paired,
+)
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A single test on one feature: ``feature <op> value``."""
+
+    feature: int
+    operator: str  # "<=", ">", "=="
+    value: float
+    feature_name: str = ""
+
+    def matches(self, X: np.ndarray) -> np.ndarray:
+        column = X[:, self.feature]
+        if self.operator == "<=":
+            return column <= self.value
+        if self.operator == ">":
+            return column > self.value
+        if self.operator == "==":
+            return np.isclose(column, self.value)
+        raise ValueError(f"unknown operator {self.operator!r}")
+
+    def __str__(self):
+        name = self.feature_name or f"f{self.feature}"
+        if self.operator == "==":
+            return f"{name} == {self.value:g}"
+        return f"{name} {self.operator} {self.value:g}"
+
+
+@dataclass
+class Rule:
+    """A conjunction of conditions predicting ``target_class``."""
+
+    conditions: Tuple[Condition, ...]
+    target_class: object
+    quality: float = 0.0
+    coverage: int = 0
+    precision: float = 0.0
+
+    def matches(self, X: np.ndarray) -> np.ndarray:
+        mask = np.ones(len(X), dtype=bool)
+        for condition in self.conditions:
+            mask &= condition.matches(X)
+        return mask
+
+    def features_used(self) -> List[int]:
+        return sorted({c.feature for c in self.conditions})
+
+    def __str__(self):
+        if not self.conditions:
+            body = "TRUE"
+        else:
+            body = " AND ".join(str(c) for c in self.conditions)
+        return (
+            f"IF {body} THEN class={self.target_class} "
+            f"(quality={self.quality:.4f}, coverage={self.coverage}, "
+            f"precision={self.precision:.3f})"
+        )
+
+
+def _candidate_conditions(
+    X: np.ndarray,
+    feature_names: Sequence[str],
+    max_thresholds: int,
+) -> List[Condition]:
+    """Enumerate single-feature conditions over the dataset."""
+    conditions: List[Condition] = []
+    for feature in range(X.shape[1]):
+        values = np.unique(X[:, feature])
+        name = feature_names[feature] if feature_names else ""
+        if len(values) <= 1:
+            continue
+        if len(values) <= 5:
+            # low-cardinality: equality tests plus boundary thresholds
+            for value in values:
+                conditions.append(Condition(feature, "==", float(value), name))
+        midpoints = (values[:-1] + values[1:]) / 2.0
+        if len(midpoints) > max_thresholds:
+            picks = np.linspace(0, len(midpoints) - 1, max_thresholds)
+            midpoints = midpoints[picks.astype(int)]
+        for threshold in midpoints:
+            conditions.append(Condition(feature, "<=", float(threshold), name))
+            conditions.append(Condition(feature, ">", float(threshold), name))
+    return conditions
+
+
+def weighted_relative_accuracy(
+    covered: np.ndarray, positive: np.ndarray, weights: np.ndarray
+) -> float:
+    """WRAcc of a rule given coverage mask, class mask, example weights."""
+    total = float(weights.sum())
+    if total <= 0:
+        return 0.0
+    weight_covered = float(weights[covered].sum())
+    if weight_covered <= 0:
+        return 0.0
+    p_cond = weight_covered / total
+    p_class = float(weights[positive].sum()) / total
+    p_class_given_cond = float(weights[covered & positive].sum()) / weight_covered
+    return p_cond * (p_class_given_cond - p_class)
+
+
+class CN2SD(Estimator):
+    """CN2-SD subgroup discovery for one target class.
+
+    Parameters
+    ----------
+    target_class:
+        The class whose subgroups are sought (e.g. "hit", "slow",
+        "return").  Required — subgroup discovery is class-directed.
+    beam_width:
+        Number of partial rules kept per refinement level.
+    max_conditions:
+        Maximum conjunct length of a rule.
+    max_rules:
+        Maximum size of the learned rule set.
+    gamma:
+        Weighted-covering decay in ``[0, 1)``: covered examples keep
+        ``gamma`` of their weight after each accepted rule (0 = classic
+        CN2 removal).
+    min_coverage:
+        A rule must cover at least this many target-class examples.
+    max_thresholds:
+        Per-feature cap on candidate numeric thresholds.
+    """
+
+    def __init__(self, target_class=1, beam_width: int = 5,
+                 max_conditions: int = 3, max_rules: int = 5,
+                 gamma: float = 0.5, min_coverage: int = 2,
+                 max_thresholds: int = 12):
+        self.target_class = target_class
+        self.beam_width = beam_width
+        self.max_conditions = max_conditions
+        self.max_rules = max_rules
+        self.gamma = gamma
+        self.min_coverage = min_coverage
+        self.max_thresholds = max_thresholds
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _signature(rule: Rule):
+        return tuple(
+            sorted(
+                ((c.feature, c.operator, c.value) for c in rule.conditions)
+            )
+        )
+
+    def _best_rule(self, X, positive, weights, conditions,
+                   excluded=frozenset()) -> Optional[Rule]:
+        """Beam search for the single best rule under current weights.
+
+        Rules whose signature is in *excluded* (already accepted in a
+        previous covering round) may stay in the beam for refinement but
+        are never returned as the best rule.
+        """
+        empty = Rule(conditions=(), target_class=self.target_class)
+        beam: List[Tuple[float, Rule, np.ndarray]] = [
+            (0.0, empty, np.ones(len(X), dtype=bool))
+        ]
+        best_rule = None
+        best_quality = 0.0
+        for _ in range(self.max_conditions):
+            candidates: List[Tuple[float, Rule, np.ndarray]] = []
+            seen = set()
+            for _, rule, covered in beam:
+                used = {c.feature for c in rule.conditions}
+                for condition in conditions:
+                    if condition.feature in used:
+                        continue
+                    new_covered = covered & condition.matches(X)
+                    if new_covered.sum() == covered.sum():
+                        # condition does not narrow the rule; skip the
+                        # trivial refinement
+                        continue
+                    n_positive = int(np.sum(new_covered & positive))
+                    if n_positive < self.min_coverage:
+                        continue
+                    quality = weighted_relative_accuracy(
+                        new_covered, positive, weights
+                    )
+                    key = tuple(
+                        sorted(
+                            [*rule.conditions, condition],
+                            key=lambda c: (c.feature, c.operator, c.value),
+                        )
+                    )
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    new_rule = Rule(
+                        conditions=(*rule.conditions, condition),
+                        target_class=self.target_class,
+                        quality=quality,
+                    )
+                    candidates.append((quality, new_rule, new_covered))
+            if not candidates:
+                break
+            candidates.sort(key=lambda item: -item[0])
+            beam = candidates[: self.beam_width]
+            for quality, rule, _ in beam:
+                if quality <= best_quality:
+                    break
+                if self._signature(rule) not in excluded:
+                    best_quality, best_rule = quality, rule
+                    break
+        return best_rule
+
+    def fit(self, X, y, feature_names: Sequence[str] = ()) -> "CN2SD":
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_paired(X, y)
+        if not 0.0 <= self.gamma < 1.0:
+            raise ValueError("gamma must be in [0, 1)")
+        positive = y == self.target_class
+        if not positive.any():
+            raise ValueError(
+                f"no examples of target class {self.target_class!r}"
+            )
+        conditions = _candidate_conditions(
+            X, list(feature_names), self.max_thresholds
+        )
+        weights = np.ones(len(X), dtype=float)
+        uncovered = np.ones(len(X), dtype=bool)
+        self.rules_ = []
+        excluded = set()
+        attempts = 0
+        max_attempts = self.max_rules * 5
+        while len(self.rules_) < self.max_rules and attempts < max_attempts:
+            attempts += 1
+            rule = self._best_rule(
+                X, positive, weights, conditions, excluded=excluded
+            )
+            if rule is None or rule.quality <= 1e-9:
+                break
+            excluded.add(self._signature(rule))
+            covered = rule.matches(X)
+            if not np.any(covered & positive & uncovered):
+                # explains no new positives — a rephrasing of an earlier
+                # rule; exclude it and keep searching
+                continue
+            uncovered &= ~covered
+            rule.coverage = int(np.sum(covered & positive))
+            n_covered = int(covered.sum())
+            rule.precision = (
+                rule.coverage / n_covered if n_covered else 0.0
+            )
+            self.rules_.append(rule)
+            weights[covered & positive] *= self.gamma
+            if weights[positive].sum() < 0.05 * positive.sum():
+                break
+        self.feature_names_ = list(feature_names)
+        self.n_features_ = X.shape[1]
+        return self
+
+    # ------------------------------------------------------------------
+    def covers(self, X) -> np.ndarray:
+        """Boolean mask: samples matched by at least one rule."""
+        check_fitted(self, "rules_")
+        X = as_2d_array(X)
+        mask = np.zeros(len(X), dtype=bool)
+        for rule in self.rules_:
+            mask |= rule.matches(X)
+        return mask
+
+    def predict(self, X) -> np.ndarray:
+        """``target_class`` where any rule fires, ``None``-ish 0 otherwise.
+
+        Returns an object array with ``target_class`` or the string
+        ``"other"`` — subgroup discovery describes a class rather than
+        partitioning the space.
+        """
+        mask = self.covers(X)
+        out = np.empty(len(mask), dtype=object)
+        out[mask] = self.target_class
+        out[~mask] = "other"
+        return out
+
+    def features_used(self) -> List[int]:
+        """Indices of every feature mentioned by any learned rule."""
+        check_fitted(self, "rules_")
+        return sorted({f for rule in self.rules_ for f in rule.features_used()})
+
+    def describe(self) -> str:
+        """Multi-line human-readable rule list (the engineer-facing view)."""
+        check_fitted(self, "rules_")
+        if not self.rules_:
+            return "(no rules learned)"
+        return "\n".join(str(rule) for rule in self.rules_)
+
+
+class RuleSetClassifier(Estimator, ClassifierMixin):
+    """Binary classifier wrapping a CN2-SD rule set.
+
+    Predicts ``positive_class`` when any rule fires and
+    ``negative_class`` otherwise, giving rule learning a standard
+    estimator interface for cross-validation and comparison benches.
+    """
+
+    def __init__(self, positive_class=1, negative_class=0, beam_width: int = 5,
+                 max_conditions: int = 3, max_rules: int = 5,
+                 gamma: float = 0.5, min_coverage: int = 2):
+        self.positive_class = positive_class
+        self.negative_class = negative_class
+        self.beam_width = beam_width
+        self.max_conditions = max_conditions
+        self.max_rules = max_rules
+        self.gamma = gamma
+        self.min_coverage = min_coverage
+
+    def fit(self, X, y, feature_names: Sequence[str] = ()) -> "RuleSetClassifier":
+        self.learner_ = CN2SD(
+            target_class=self.positive_class,
+            beam_width=self.beam_width,
+            max_conditions=self.max_conditions,
+            max_rules=self.max_rules,
+            gamma=self.gamma,
+            min_coverage=self.min_coverage,
+        )
+        self.learner_.fit(X, y, feature_names=feature_names)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "learner_")
+        mask = self.learner_.covers(X)
+        out = np.where(mask, self.positive_class, self.negative_class)
+        return out
+
+    @property
+    def rules_(self):
+        check_fitted(self, "learner_")
+        return self.learner_.rules_

@@ -1,0 +1,179 @@
+"""Semi-supervised learning.
+
+Section 2 of the paper: "When some (usually much fewer) samples are with
+labels and others have no label, the learning is then called
+semi-supervised."  The EDA reality behind it: simulation labels are
+expensive (litho runs, silicon measurements) while unlabeled samples
+(layout clips, tests, chips) are abundant.
+
+Two standard methods are provided: graph-based label propagation, and a
+self-training wrapper that promotes any probabilistic classifier of this
+library into a semi-supervised learner.  Unlabeled samples are marked
+with ``UNLABELED`` (-1) in ``y``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import (
+    ClassifierMixin,
+    Estimator,
+    as_1d_array,
+    as_2d_array,
+    check_fitted,
+    check_paired,
+    clone,
+)
+
+#: sentinel label for unlabeled samples
+UNLABELED = -1
+
+
+class LabelPropagation(Estimator, ClassifierMixin):
+    """Graph-based label propagation (Zhu & Ghahramani style).
+
+    Builds an RBF affinity graph over all samples and iterates
+    ``F <- D^-1 W F`` with labeled rows clamped, until the soft labels
+    converge.  Labels flow along high-density regions, so a handful of
+    labels can color whole clusters.
+
+    Parameters
+    ----------
+    gamma:
+        RBF affinity bandwidth.
+    max_iter, tol:
+        Iteration control for the propagation fixpoint.
+    """
+
+    def __init__(self, gamma: float = 1.0, max_iter: int = 500,
+                 tol: float = 1e-6):
+        self.gamma = gamma
+        self.max_iter = max_iter
+        self.tol = tol
+
+    def fit(self, X, y) -> "LabelPropagation":
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_paired(X, y)
+        if self.gamma <= 0:
+            raise ValueError("gamma must be positive")
+        labeled = y != UNLABELED
+        if not labeled.any():
+            raise ValueError("need at least one labeled sample")
+        self.classes_ = np.unique(y[labeled])
+        if len(self.classes_) < 2:
+            raise ValueError("need labels from at least two classes")
+
+        sq = np.sum(X * X, axis=1)
+        d2 = np.clip(sq[:, None] + sq[None, :] - 2.0 * X @ X.T, 0.0, None)
+        W = np.exp(-self.gamma * d2)
+        np.fill_diagonal(W, 0.0)
+        degree = W.sum(axis=1)
+        degree[degree <= 0.0] = 1e-12
+        transition = W / degree[:, None]
+
+        F = np.zeros((len(X), len(self.classes_)))
+        clamp = np.zeros_like(F)
+        for column, label in enumerate(self.classes_):
+            clamp[:, column] = (y == label).astype(float)
+        F[labeled] = clamp[labeled]
+
+        for _ in range(self.max_iter):
+            F_next = transition @ F
+            F_next[labeled] = clamp[labeled]
+            delta = float(np.abs(F_next - F).max())
+            F = F_next
+            if delta < self.tol:
+                break
+
+        row_sums = F.sum(axis=1, keepdims=True)
+        row_sums[row_sums == 0.0] = 1.0
+        self.label_distributions_ = F / row_sums
+        self.transduction_ = self.classes_[np.argmax(F, axis=1)]
+        self.X_train_ = X
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Label new points by propagating from the training graph."""
+        check_fitted(self, "label_distributions_")
+        X = as_2d_array(X)
+        sq_new = np.sum(X * X, axis=1)
+        sq_train = np.sum(self.X_train_ * self.X_train_, axis=1)
+        d2 = np.clip(
+            sq_new[:, None] + sq_train[None, :] - 2.0 * X @ self.X_train_.T,
+            0.0, None,
+        )
+        W = np.exp(-self.gamma * d2)
+        scores = W @ self.label_distributions_
+        return self.classes_[np.argmax(scores, axis=1)]
+
+
+class SelfTrainingClassifier(Estimator, ClassifierMixin):
+    """Self-training: iteratively pseudo-label confident unlabeled data.
+
+    Wraps any classifier exposing ``predict_proba``.  Each round the
+    base model is fit on the currently-labeled pool, the unlabeled
+    samples it is most confident about (probability above ``threshold``)
+    receive pseudo-labels, and the loop repeats until nothing new
+    qualifies.
+
+    Parameters
+    ----------
+    base:
+        Prototype classifier (cloned each round).
+    threshold:
+        Minimum predicted probability for pseudo-labeling.
+    max_rounds:
+        Upper bound on self-training rounds.
+    """
+
+    def __init__(self, base, threshold: float = 0.9, max_rounds: int = 10):
+        self.base = base
+        self.threshold = threshold
+        self.max_rounds = max_rounds
+
+    def fit(self, X, y) -> "SelfTrainingClassifier":
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_paired(X, y)
+        if not 0.5 < self.threshold <= 1.0:
+            raise ValueError("threshold must be in (0.5, 1]")
+        working = y.copy()
+        labeled = working != UNLABELED
+        if not labeled.any():
+            raise ValueError("need at least one labeled sample")
+        self.rounds_ = 0
+        self.n_pseudo_labeled_ = 0
+        model = None
+        for _ in range(self.max_rounds):
+            model = clone(self.base)
+            model.fit(X[labeled], working[labeled])
+            remaining = np.flatnonzero(~labeled)
+            if len(remaining) == 0:
+                break
+            probabilities = model.predict_proba(X[remaining])
+            confidence = probabilities.max(axis=1)
+            winners = probabilities.argmax(axis=1)
+            promote = confidence >= self.threshold
+            self.rounds_ += 1
+            if not promote.any():
+                break
+            indices = remaining[promote]
+            working[indices] = model.classes_[winners[promote]]
+            labeled[indices] = True
+            self.n_pseudo_labeled_ += int(promote.sum())
+        # final fit on everything labeled so far
+        self.model_ = clone(self.base)
+        self.model_.fit(X[labeled], working[labeled])
+        self.classes_ = self.model_.classes_
+        self.transduction_ = working
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "model_")
+        return self.model_.predict(X)
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_fitted(self, "model_")
+        return self.model_.predict_proba(X)

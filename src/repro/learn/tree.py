@@ -1,0 +1,278 @@
+"""Classification and regression trees (CART, [7] in the paper).
+
+A model-based learner whose "model" is a tree rather than an equation —
+the paper's reminder that model estimation is not limited to linear
+forms.  Trees also feed the random forest ([8]) and provide the
+interpretable structure knowledge-discovery flows want.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.base import (
+    ClassifierMixin,
+    Estimator,
+    RegressorMixin,
+    as_1d_array,
+    as_2d_array,
+    check_fitted,
+    check_paired,
+)
+from ..core.rng import ensure_rng
+
+
+@dataclass
+class TreeNode:
+    """A node of a fitted CART tree."""
+
+    prediction: object
+    n_samples: int
+    impurity: float
+    feature: Optional[int] = None
+    threshold: Optional[float] = None
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+    class_distribution: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def n_leaves(self) -> int:
+        if self.is_leaf:
+            return 1
+        return self.left.n_leaves() + self.right.n_leaves()
+
+
+def gini_impurity(y: np.ndarray) -> float:
+    """Gini impurity ``1 - sum_c p_c^2``."""
+    if len(y) == 0:
+        return 0.0
+    _, counts = np.unique(y, return_counts=True)
+    p = counts / len(y)
+    return float(1.0 - np.sum(p * p))
+
+
+def entropy_impurity(y: np.ndarray) -> float:
+    """Shannon entropy in nats."""
+    if len(y) == 0:
+        return 0.0
+    _, counts = np.unique(y, return_counts=True)
+    p = counts / len(y)
+    return float(-np.sum(p * np.log(p + 1e-300)))
+
+
+def mse_impurity(y: np.ndarray) -> float:
+    """Variance of the targets (MSE of the mean predictor)."""
+    if len(y) == 0:
+        return 0.0
+    return float(np.var(y))
+
+
+class _BaseDecisionTree(Estimator):
+    def __init__(self, max_depth: int = 8, min_samples_split: int = 2,
+                 min_samples_leaf: int = 1, max_features=None,
+                 random_state=None):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    # subclasses define these
+    def _impurity(self, y) -> float:
+        raise NotImplementedError
+
+    def _leaf_prediction(self, y):
+        raise NotImplementedError
+
+    def _n_candidate_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if self.max_features == "log2":
+            return max(1, int(np.log2(n_features)) or 1)
+        if isinstance(self.max_features, (int, np.integer)):
+            return max(1, min(int(self.max_features), n_features))
+        if isinstance(self.max_features, float):
+            return max(1, min(int(self.max_features * n_features), n_features))
+        raise ValueError(f"bad max_features: {self.max_features!r}")
+
+    def _best_split(self, X, y, feature_indices):
+        """Return ``(feature, threshold, gain)`` or ``None``."""
+        parent_impurity = self._impurity(y)
+        n = len(y)
+        best = None
+        best_gain = 1e-12
+        for feature in feature_indices:
+            values = X[:, feature]
+            order = np.argsort(values, kind="stable")
+            sorted_values = values[order]
+            sorted_y = y[order]
+            # candidate thresholds at value changes only
+            change = np.flatnonzero(np.diff(sorted_values) > 1e-12) + 1
+            for cut in change:
+                if (cut < self.min_samples_leaf
+                        or n - cut < self.min_samples_leaf):
+                    continue
+                left_y = sorted_y[:cut]
+                right_y = sorted_y[cut:]
+                weighted = (
+                    cut * self._impurity(left_y)
+                    + (n - cut) * self._impurity(right_y)
+                ) / n
+                gain = parent_impurity - weighted
+                if gain > best_gain:
+                    best_gain = gain
+                    threshold = 0.5 * (
+                        sorted_values[cut - 1] + sorted_values[cut]
+                    )
+                    best = (int(feature), float(threshold), float(gain))
+        return best
+
+    def _build(self, X, y, depth: int, rng) -> TreeNode:
+        node = TreeNode(
+            prediction=self._leaf_prediction(y),
+            n_samples=len(y),
+            impurity=self._impurity(y),
+            class_distribution=self._class_distribution(y),
+        )
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or node.impurity <= 1e-12
+        ):
+            return node
+        n_features = X.shape[1]
+        n_candidates = self._n_candidate_features(n_features)
+        if n_candidates < n_features:
+            feature_indices = rng.choice(
+                n_features, size=n_candidates, replace=False
+            )
+        else:
+            feature_indices = np.arange(n_features)
+        split = self._best_split(X, y, feature_indices)
+        if split is None:
+            return node
+        feature, threshold, gain = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1, rng)
+        node.right = self._build(X[~mask], y[~mask], depth + 1, rng)
+        self._importance[feature] += gain * len(y)
+        return node
+
+    def _class_distribution(self, y):
+        return None
+
+    def fit(self, X, y):
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_paired(X, y)
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self._prepare_targets(y)
+        rng = ensure_rng(self.random_state)
+        self._importance = np.zeros(X.shape[1])
+        self.root_ = self._build(X, self._encode_targets(y), 0, rng)
+        total = self._importance.sum()
+        self.feature_importances_ = (
+            self._importance / total if total > 0 else self._importance
+        )
+        self.n_features_ = X.shape[1]
+        return self
+
+    def _prepare_targets(self, y):
+        pass
+
+    def _encode_targets(self, y):
+        return y
+
+    def _predict_one(self, node: TreeNode, x):
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node.prediction
+
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "root_")
+        X = as_2d_array(X)
+        return np.array([self._predict_one(self.root_, x) for x in X])
+
+    def depth(self) -> int:
+        """Depth of the fitted tree."""
+        check_fitted(self, "root_")
+        return self.root_.depth()
+
+    def n_leaves(self) -> int:
+        """Number of leaves of the fitted tree."""
+        check_fitted(self, "root_")
+        return self.root_.n_leaves()
+
+
+class DecisionTreeClassifier(_BaseDecisionTree, ClassifierMixin):
+    """CART classifier with gini or entropy impurity."""
+
+    def __init__(self, criterion: str = "gini", max_depth: int = 8,
+                 min_samples_split: int = 2, min_samples_leaf: int = 1,
+                 max_features=None, random_state=None):
+        super().__init__(max_depth, min_samples_split, min_samples_leaf,
+                         max_features, random_state)
+        self.criterion = criterion
+
+    def _impurity(self, y) -> float:
+        if self.criterion == "gini":
+            return gini_impurity(y)
+        if self.criterion == "entropy":
+            return entropy_impurity(y)
+        raise ValueError("criterion must be 'gini' or 'entropy'")
+
+    def _prepare_targets(self, y):
+        self.classes_ = np.unique(y)
+
+    def _leaf_prediction(self, y):
+        labels, counts = np.unique(y, return_counts=True)
+        return labels[np.argmax(counts)]
+
+    def _class_distribution(self, y):
+        return np.array(
+            [np.mean(y == label) for label in self.classes_]
+        )
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Leaf class frequencies, columns ordered as ``classes_``."""
+        check_fitted(self, "root_")
+        X = as_2d_array(X)
+        out = np.zeros((len(X), len(self.classes_)))
+        for row, x in enumerate(X):
+            node = self.root_
+            while not node.is_leaf:
+                node = (
+                    node.left if x[node.feature] <= node.threshold
+                    else node.right
+                )
+            out[row] = node.class_distribution
+        return out
+
+
+class DecisionTreeRegressor(_BaseDecisionTree, RegressorMixin):
+    """CART regressor with variance-reduction splits."""
+
+    def _impurity(self, y) -> float:
+        return mse_impurity(y)
+
+    def _leaf_prediction(self, y):
+        return float(np.mean(y))
+
+    def _encode_targets(self, y):
+        return np.asarray(y, dtype=float)

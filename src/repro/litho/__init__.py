@@ -1,0 +1,35 @@
+"""Lithography substrate: layouts, variability simulation, HI-kernel
+hotspot prediction (Fig. 8 / Fig. 9)."""
+
+from .features import (
+    clip_histogram_features,
+    density_histogram,
+    edge_histogram,
+    histogram_feature_matrix,
+    run_length_histogram,
+    smoothed_density_histogram,
+)
+from .layout import Layout, LayoutGenerator, window_grid
+from .predictor import (
+    VariabilityPredictionReport,
+    VariabilityPredictor,
+    run_variability_experiment,
+)
+from .simulator import LithographySimulator, ProcessWindow
+
+__all__ = [
+    "Layout",
+    "LayoutGenerator",
+    "LithographySimulator",
+    "ProcessWindow",
+    "VariabilityPredictionReport",
+    "VariabilityPredictor",
+    "clip_histogram_features",
+    "density_histogram",
+    "edge_histogram",
+    "histogram_feature_matrix",
+    "run_length_histogram",
+    "run_variability_experiment",
+    "smoothed_density_histogram",
+    "window_grid",
+]

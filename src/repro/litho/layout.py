@@ -1,0 +1,124 @@
+"""Synthetic Manhattan layouts.
+
+A layout is a binary pixel grid (1 = metal).  The generator mixes the
+pattern families whose printability differs under lithography: wide
+blocks (easy), regular gratings at varying pitch (hard when the pitch
+nears the optical resolution), and isolated thin lines with line-ends
+(hard).  This gives the variability simulator something physical to
+disagree about and the learner something real to learn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from ..core.rng import ensure_rng
+
+
+@dataclass
+class Layout:
+    """A binary Manhattan layout image (rows x cols, 1 = metal)."""
+
+    pixels: np.ndarray
+
+    def __post_init__(self):
+        pixels = np.asarray(self.pixels)
+        if pixels.ndim != 2:
+            raise ValueError("layout pixels must be a 2-D array")
+        self.pixels = (pixels > 0).astype(np.uint8)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.pixels.shape
+
+    def density(self) -> float:
+        """Fraction of metal pixels."""
+        return float(self.pixels.mean())
+
+    def window(self, row: int, col: int, size: int) -> np.ndarray:
+        """Extract a ``size x size`` clip anchored at (row, col)."""
+        if (row < 0 or col < 0 or row + size > self.shape[0]
+                or col + size > self.shape[1]):
+            raise ValueError("window exceeds layout bounds")
+        return self.pixels[row : row + size, col : col + size]
+
+    def windows(self, size: int, stride: int) -> Iterator[Tuple[int, int, np.ndarray]]:
+        """Yield ``(row, col, clip)`` over a regular window grid."""
+        if size < 1 or stride < 1:
+            raise ValueError("size and stride must be positive")
+        for row in range(0, self.shape[0] - size + 1, stride):
+            for col in range(0, self.shape[1] - size + 1, stride):
+                yield row, col, self.window(row, col, size)
+
+
+class LayoutGenerator:
+    """Randomized Manhattan layout synthesis."""
+
+    def __init__(self, random_state=None):
+        self._rng = ensure_rng(random_state)
+
+    def _add_block(self, pixels, rng) -> None:
+        rows, cols = pixels.shape
+        height = int(rng.integers(rows // 8, rows // 3))
+        width = int(rng.integers(cols // 8, cols // 3))
+        top = int(rng.integers(0, rows - height))
+        left = int(rng.integers(0, cols - width))
+        pixels[top : top + height, left : left + width] = 1
+
+    def _add_grating(self, pixels, rng, min_pitch: int) -> None:
+        rows, cols = pixels.shape
+        line_width = int(rng.integers(1, 4))
+        space = int(rng.integers(max(1, min_pitch - line_width), 6))
+        pitch = line_width + space
+        n_lines = int(rng.integers(4, 10))
+        extent = int(rng.integers(rows // 6, rows // 2))
+        horizontal = bool(rng.uniform() < 0.5)
+        top = int(rng.integers(0, rows - extent))
+        left = int(rng.integers(0, cols - n_lines * pitch - 1))
+        for line in range(n_lines):
+            offset = left + line * pitch
+            if horizontal:
+                pixels[offset : offset + line_width, top : top + extent] = 1
+            else:
+                pixels[top : top + extent, offset : offset + line_width] = 1
+
+    def _add_thin_line(self, pixels, rng) -> None:
+        rows, cols = pixels.shape
+        length = int(rng.integers(rows // 8, rows // 2))
+        width = 1 if rng.uniform() < 0.7 else 2
+        top = int(rng.integers(0, rows - length))
+        left = int(rng.integers(0, cols - length))
+        if rng.uniform() < 0.5:
+            pixels[top : top + width, left : left + length] = 1
+        else:
+            pixels[top : top + length, left : left + width] = 1
+
+    def generate(self, rows: int = 256, cols: int = 256,
+                 n_blocks: int = 6, n_gratings: int = 8,
+                 n_thin_lines: int = 12, min_pitch: int = 2) -> Layout:
+        """Generate one layout mixing the three pattern families."""
+        if rows < 32 or cols < 32:
+            raise ValueError("layout must be at least 32x32")
+        pixels = np.zeros((rows, cols), dtype=np.uint8)
+        rng = self._rng
+        for _ in range(n_blocks):
+            self._add_block(pixels, rng)
+        for _ in range(n_gratings):
+            self._add_grating(pixels, rng, min_pitch)
+        for _ in range(n_thin_lines):
+            self._add_thin_line(pixels, rng)
+        return Layout(pixels)
+
+
+def window_grid(layout: Layout, size: int = 32,
+                stride: int = 16) -> Tuple[List[Tuple[int, int]], List[np.ndarray]]:
+    """Collect all window anchors and clips as parallel lists."""
+    anchors: List[Tuple[int, int]] = []
+    clips: List[np.ndarray] = []
+    for row, col, clip in layout.windows(size, stride):
+        anchors.append((row, col))
+        clips.append(clip)
+    return anchors, clips

@@ -1,0 +1,152 @@
+"""Lithography variability simulation — the "golden reference" of Fig. 8.
+
+The paper's layout-variability study ([13]) used full lithography
+simulation as ground truth.  We stand in a reduced optical model that
+keeps the physics the learning problem depends on:
+
+- the **aerial image** is the layout convolved with a Gaussian optical
+  kernel (a one-term Hopkins decomposition);
+- the **printed image** is the aerial image thresholded at the resist
+  dose-to-clear;
+- **process variability** is probed over a focus-exposure matrix: the
+  print is recomputed at defocus corners (wider kernel) and dose corners
+  (shifted threshold), and a pixel's variability is how often the
+  corners disagree about printing it.
+
+Dense fine-pitch gratings and isolated thin lines lose contrast first,
+so exactly the patterns lithographers call hotspots come out as
+high-variability regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+from .layout import Layout
+
+
+@dataclass
+class ProcessWindow:
+    """The focus/dose corners probed by the variability analysis."""
+
+    nominal_blur: float = 1.6
+    defocus_blurs: Tuple[float, ...] = (2.2, 2.8)
+    nominal_threshold: float = 0.45
+    dose_offsets: Tuple[float, ...] = (-0.07, 0.07)
+
+    def corners(self) -> List[Tuple[float, float]]:
+        """All (blur, threshold) corners including nominal."""
+        blurs = [self.nominal_blur, *self.defocus_blurs]
+        thresholds = [
+            self.nominal_threshold + offset
+            for offset in (0.0, *self.dose_offsets)
+        ]
+        return [(blur, threshold) for blur in blurs for threshold in thresholds]
+
+
+class LithographySimulator:
+    """Aerial-image computation and variability scoring.
+
+    ``n_aerial_evaluations`` / ``n_print_evaluations`` count the
+    optical-model work performed — the quantity that scales with process
+    rigor and that a trained predictor avoids entirely.
+    """
+
+    def __init__(self, process: ProcessWindow = None):
+        self.process = process or ProcessWindow()
+        self.n_aerial_evaluations = 0
+        self.n_print_evaluations = 0
+
+    # ------------------------------------------------------------------
+    def aerial_image(self, layout: Layout, blur: float = None) -> np.ndarray:
+        """Optical intensity in [0, 1] at the given defocus blur."""
+        blur = blur if blur is not None else self.process.nominal_blur
+        if blur <= 0:
+            raise ValueError("blur must be positive")
+        self.n_aerial_evaluations += 1
+        return gaussian_filter(
+            layout.pixels.astype(float), sigma=blur, mode="constant"
+        )
+
+    def printed_image(self, layout: Layout, blur: float = None,
+                      threshold: float = None) -> np.ndarray:
+        """Binary resist print at one process corner."""
+        threshold = (
+            threshold if threshold is not None
+            else self.process.nominal_threshold
+        )
+        self.n_print_evaluations += 1
+        return (self.aerial_image(layout, blur) >= threshold).astype(np.uint8)
+
+    # ------------------------------------------------------------------
+    def variability_map(self, layout: Layout) -> np.ndarray:
+        """Per-pixel variability in [0, 1].
+
+        The fraction of process corners whose print decision differs
+        from the corner-majority; 0 = prints identically everywhere in
+        the window, 0.5 = maximally unstable.
+        """
+        corners = self.process.corners()
+        prints = np.stack(
+            [
+                self.printed_image(layout, blur, threshold)
+                for blur, threshold in corners
+            ]
+        ).astype(float)
+        mean_print = prints.mean(axis=0)
+        # disagreement is highest when mean is near 0.5
+        return 1.0 - 2.0 * np.abs(mean_print - 0.5)
+
+    def window_variability(self, layout: Layout, row: int, col: int,
+                           size: int) -> float:
+        """Mean variability of a clip, normalized by its drawn edge length.
+
+        Windows with no metal at all have zero variability by definition.
+        """
+        variability = self.variability_map(layout)
+        clip = variability[row : row + size, col : col + size]
+        return float(clip.mean())
+
+    def label_windows(self, layout: Layout, anchors, size: int,
+                      hotspot_threshold: float = None):
+        """Score and label every window; returns ``(scores, labels)``.
+
+        ``labels`` is 1 for high-variability (hotspot) windows.  When
+        *hotspot_threshold* is None the 85th percentile of the scores is
+        used, mimicking a lithographer flagging the worst areas.
+        """
+        variability = self.variability_map(layout)
+        scores = np.array(
+            [
+                float(variability[row : row + size, col : col + size].mean())
+                for row, col in anchors
+            ]
+        )
+        if hotspot_threshold is None:
+            hotspot_threshold = float(np.percentile(scores, 85))
+        labels = (scores > hotspot_threshold).astype(int)
+        return scores, labels
+
+    def margin_training_labels(self, layout: Layout, anchors, size: int,
+                               hot_percentile: float = 85.0,
+                               good_percentile: float = 60.0):
+        """Training labels with the ambiguous middle dropped.
+
+        Returns ``(keep_mask, labels)``: windows above *hot_percentile*
+        are hotspots, below *good_percentile* are good, and the band in
+        between is excluded from training — the standard hotspot-
+        learning trick for fighting label noise at the decision
+        boundary.  Evaluation should still use :meth:`label_windows`.
+        """
+        if not 0.0 <= good_percentile < hot_percentile <= 100.0:
+            raise ValueError("need 0 <= good < hot <= 100 percentiles")
+        scores, _ = self.label_windows(layout, anchors, size)
+        hot_cut = float(np.percentile(scores, hot_percentile))
+        good_cut = float(np.percentile(scores, good_percentile))
+        labels = (scores > hot_cut).astype(int)
+        keep = (scores > hot_cut) | (scores <= good_cut)
+        return keep, labels

@@ -1,0 +1,88 @@
+"""Manufacturing-test substrate: parametric test data, customer-return
+screening (Fig. 11) and the test-drop difficult case (Fig. 12)."""
+
+from .costreduction import (
+    DropDecision,
+    DropStudyBatch,
+    DropStudyResult,
+    TestDropGenerator,
+    analyze_drop_candidate,
+    run_drop_study,
+)
+from .fmax import FmaxStudy, FmaxStudyResult, fmax_from_factors
+from .iddq import (
+    ICAIddqScreen,
+    IddqDataset,
+    generate_iddq_data,
+    total_current_screen,
+)
+from .outlier import (
+    OneClassSVMDetector,
+    PCAOutlierDetector,
+    RobustMahalanobisDetector,
+)
+from .returns import (
+    DEFAULT_DEFECT_SIGNATURE,
+    CustomerReturnStudy,
+    ReturnStudyReport,
+    ScreeningOutcome,
+)
+from .testgen import (
+    ParametricTestGenerator,
+    ProductSpec,
+    TestDataset,
+    default_product_spec,
+)
+from .wafer import (
+    WaferMap,
+    WaferSignature,
+    make_wafer_map,
+    random_signature,
+    signature_features,
+)
+from .wafer_analysis import (
+    SIGNATURE_FEATURE_NAMES,
+    InterWaferAnalysis,
+    WaferAnalysisResult,
+    fit_signature,
+    generate_wafer_lot,
+    spatial_basis,
+)
+
+__all__ = [
+    "CustomerReturnStudy",
+    "DEFAULT_DEFECT_SIGNATURE",
+    "DropDecision",
+    "DropStudyBatch",
+    "DropStudyResult",
+    "FmaxStudy",
+    "FmaxStudyResult",
+    "ICAIddqScreen",
+    "IddqDataset",
+    "InterWaferAnalysis",
+    "OneClassSVMDetector",
+    "PCAOutlierDetector",
+    "ParametricTestGenerator",
+    "ProductSpec",
+    "ReturnStudyReport",
+    "RobustMahalanobisDetector",
+    "SIGNATURE_FEATURE_NAMES",
+    "ScreeningOutcome",
+    "TestDataset",
+    "TestDropGenerator",
+    "WaferAnalysisResult",
+    "WaferMap",
+    "WaferSignature",
+    "analyze_drop_candidate",
+    "default_product_spec",
+    "fit_signature",
+    "fmax_from_factors",
+    "generate_iddq_data",
+    "generate_wafer_lot",
+    "make_wafer_map",
+    "random_signature",
+    "run_drop_study",
+    "signature_features",
+    "spatial_basis",
+    "total_current_screen",
+]

@@ -1,0 +1,226 @@
+"""Test-cost reduction and the limits of data mining — Fig. 12 ([33]).
+
+The paper's deliberately *difficult* case.  On 1M chips, every part that
+failed candidate test A was also caught by retained tests 1 and 2, and
+A's measurements correlate ~0.97 with both.  Every mining method says
+"drop A".  In the next 0.5M chips a new failure mode appears: parts fail
+A while passing tests 1 and 2 — escapes (the yellow dots).  A
+formulation demanding a *guaranteed* escape bound is therefore
+unanswerable from the first 1M chips: the data simply does not contain
+the future mode.
+
+The generator models this honestly: candidate tests are near-duplicates
+of kept tests in the base process, and an *excursion mode* that breaks
+the correlation switches on only after the drop decision is made.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.metrics import escape_count, pearson_correlation
+from ..core.rng import ensure_rng
+
+
+@dataclass
+class DropStudyBatch:
+    """One production period's measurements for the drop study."""
+
+    name: str
+    measurements: Dict[str, np.ndarray]
+    limits: Dict[str, Tuple[float, float]]
+    excursion_mask: np.ndarray
+
+    @property
+    def n_chips(self) -> int:
+        return len(self.excursion_mask)
+
+    def fails(self, test: str) -> np.ndarray:
+        lower, upper = self.limits[test]
+        values = self.measurements[test]
+        return (values < lower) | (values > upper)
+
+
+class TestDropGenerator:
+    """Generates the two-period dataset of the Fig. 12 scenario.
+
+    Tests 1 and 2 are independent-ish process measurements; candidate
+    tests A and B are linear blends of them plus small noise (hence the
+    ~0.96-0.97 correlations).  The excursion mode shifts only the
+    candidate tests, with a rate of 0 in period 1.
+    """
+
+    # not a pytest test class despite the domain-standard name
+    __test__ = False
+
+    def __init__(self, correlation_noise: float = 0.22,
+                 excursion_shift: float = 8.0, kept_limit_sigma: float = 3.2,
+                 candidate_limit_sigma: float = 4.0, random_state=None):
+        self.correlation_noise = correlation_noise
+        self.excursion_shift = excursion_shift
+        self.kept_limit_sigma = kept_limit_sigma
+        self.candidate_limit_sigma = candidate_limit_sigma
+        self._rng = ensure_rng(random_state)
+
+    def generate(self, n_chips: int, name: str,
+                 excursion_rate: float = 0.0) -> DropStudyBatch:
+        if n_chips < 1:
+            raise ValueError("n_chips must be positive")
+        if not 0.0 <= excursion_rate <= 1.0:
+            raise ValueError("excursion_rate must be in [0, 1]")
+        rng = self._rng
+        # tests 1 and 2 probe nearly the same physics (rho ~ 0.9): only
+        # then can a third test correlate ~0.97 with *both*, as in the
+        # paper's plots
+        test1 = rng.normal(0.0, 1.0, size=n_chips)
+        test2 = 0.9 * test1 + np.sqrt(1 - 0.9**2) * rng.normal(
+            0.0, 1.0, size=n_chips
+        )
+        noise = self.correlation_noise
+        test_a = (
+            0.50 * test1 + 0.50 * test2
+            + 0.5 * noise * rng.normal(0.0, 1.0, size=n_chips)
+        )
+        test_b = (
+            0.55 * test1 + 0.45 * test2
+            + 0.7 * noise * rng.normal(0.0, 1.0, size=n_chips)
+        )
+        excursion = rng.uniform(size=n_chips) < excursion_rate
+        if excursion.any():
+            # the new mode hits only the physics the candidate tests see
+            test_a[excursion] += self.excursion_shift
+            test_b[excursion] += self.excursion_shift
+        measurements = {
+            "test1": test1,
+            "test2": test2,
+            "testA": test_a,
+            "testB": test_b,
+        }
+        # kept tests screen tightly; candidate tests have looser limits
+        # relative to their own spread — which is *why* in-family
+        # candidate fails are always also kept-test fails
+        sd_a = float(np.sqrt(0.5 + 0.45 + (0.5 * noise) ** 2))
+        sd_b = float(np.sqrt(0.3025 + 0.2025 + 0.45 * 0.9 + (0.7 * noise) ** 2))
+        limits = {
+            "test1": (-self.kept_limit_sigma, self.kept_limit_sigma),
+            "test2": (-self.kept_limit_sigma, self.kept_limit_sigma),
+            "testA": (
+                -self.candidate_limit_sigma * sd_a,
+                self.candidate_limit_sigma * sd_a,
+            ),
+            "testB": (
+                -self.candidate_limit_sigma * sd_b,
+                self.candidate_limit_sigma * sd_b,
+            ),
+        }
+        return DropStudyBatch(
+            name=name,
+            measurements=measurements,
+            limits=limits,
+            excursion_mask=excursion,
+        )
+
+
+@dataclass
+class DropDecision:
+    """Mining-side analysis of whether a candidate test is droppable."""
+
+    candidate: str
+    kept_tests: List[str]
+    correlations: Dict[str, float]
+    n_candidate_fails: int
+    n_uncaught_fails: int
+    recommended_drop: bool
+
+    def describe(self) -> str:
+        correlation_text = ", ".join(
+            f"corr({self.candidate},{kept})={value:.3f}"
+            for kept, value in self.correlations.items()
+        )
+        verdict = "DROP" if self.recommended_drop else "KEEP"
+        return (
+            f"{self.candidate}: {correlation_text}; "
+            f"{self.n_candidate_fails} fails, "
+            f"{self.n_uncaught_fails} uncaught -> {verdict}"
+        )
+
+
+@dataclass
+class DropStudyResult:
+    """Fig. 12 outcome: the decision and its forward consequences."""
+
+    decisions: List[DropDecision]
+    future_escapes: Dict[str, int]
+    n_future_chips: int
+    excursion_rate: float = 0.0
+
+    def total_escapes(self) -> int:
+        return sum(self.future_escapes.values())
+
+
+def analyze_drop_candidate(batch: DropStudyBatch, candidate: str,
+                           kept_tests: List[str]) -> DropDecision:
+    """The mining analysis an engineer would run on the history batch.
+
+    Recommends dropping when the candidate's fails are fully covered by
+    kept tests *in the observed data* and its measurements are highly
+    correlated with the kept tests.
+    """
+    candidate_fails = batch.fails(candidate)
+    caught = np.zeros(batch.n_chips, dtype=bool)
+    for kept in kept_tests:
+        caught |= batch.fails(kept)
+    uncaught = int(np.sum(candidate_fails & ~caught))
+    correlations = {
+        kept: pearson_correlation(
+            batch.measurements[candidate], batch.measurements[kept]
+        )
+        for kept in kept_tests
+    }
+    recommended = uncaught == 0 and all(
+        value > 0.9 for value in correlations.values()
+    )
+    return DropDecision(
+        candidate=candidate,
+        kept_tests=list(kept_tests),
+        correlations=correlations,
+        n_candidate_fails=int(candidate_fails.sum()),
+        n_uncaught_fails=uncaught,
+        recommended_drop=recommended,
+    )
+
+
+def run_drop_study(n_history: int = 200_000, n_future: int = 100_000,
+                   future_excursion_rate: float = 5e-5,
+                   random_state=None) -> DropStudyResult:
+    """Full Fig. 12 experiment (counts scaled from the paper's 1M/0.5M).
+
+    Returns the (data-supported!) drop decisions made on the history
+    batch and the escapes those decisions cause in the future batch.
+    """
+    generator = TestDropGenerator(random_state=random_state)
+    history = generator.generate(n_history, "history", excursion_rate=0.0)
+    future = generator.generate(
+        n_future, "future", excursion_rate=future_excursion_rate
+    )
+    decisions = []
+    future_escapes: Dict[str, int] = {}
+    for candidate in ("testA", "testB"):
+        decision = analyze_drop_candidate(
+            history, candidate, ["test1", "test2"]
+        )
+        decisions.append(decision)
+        if decision.recommended_drop:
+            caught = future.fails("test1") | future.fails("test2")
+            future_escapes[candidate] = escape_count(
+                future.fails(candidate), caught
+            )
+    return DropStudyResult(
+        decisions=decisions,
+        future_escapes=future_escapes,
+        n_future_chips=n_future,
+        excursion_rate=future_excursion_rate,
+    )

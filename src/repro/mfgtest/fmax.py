@@ -1,0 +1,132 @@
+"""Fmax prediction from parametric test data ([20]).
+
+The paper's Section 2.4 cites a comparative study of five regression
+families — nearest neighbor, least-squares fit, regularized LSF, SVR,
+and Gaussian process — for predicting a chip's maximum operating
+frequency from its parametric measurements.  This module provides the
+workload: a physically-flavoured Fmax model on top of the latent-factor
+test data, and a harness that trains and scores all five families.
+
+Fmax physics in the model: frequency rises with the process speed
+factor but saturates (critical paths limit), falls with the leakage
+factor (thermal throttling), and carries measurement noise.  The test
+measurements see the same factors linearly, so Fmax is a *nonlinear*
+function of the observable tests — which is what separates the five
+families on this task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.metrics import r2_score, root_mean_squared_error
+from ..core.preprocessing import StandardScaler
+from ..core.rng import ensure_rng
+from ..core.validation import train_test_split
+from ..kernels.vector import RBFKernel, median_heuristic_gamma
+from ..learn.gaussian_process import GaussianProcessRegressor
+from ..learn.knn import KNeighborsRegressor
+from ..learn.linear import LeastSquaresRegressor, RidgeRegressor
+from ..learn.svr import SVR
+from .testgen import ParametricTestGenerator, ProductSpec, default_product_spec
+
+
+def fmax_from_factors(factors: np.ndarray, noise_sigma: float = 0.5,
+                      rng=None) -> np.ndarray:
+    """Chip Fmax (arbitrary MHz-like units) from latent process factors.
+
+    ``factors[:, 0]`` is the speed factor, ``factors[:, 1]`` (when
+    present) the leakage factor.
+    """
+    rng = ensure_rng(rng)
+    factors = np.asarray(factors, dtype=float)
+    speed = factors[:, 0]
+    leakage = factors[:, 1] if factors.shape[1] > 1 else np.zeros(len(factors))
+    base = 1000.0
+    # saturating speed response + leakage-driven throttling
+    fmax = (
+        base
+        + 120.0 * np.tanh(0.8 * speed)
+        - 25.0 * np.clip(leakage, 0.0, None) ** 2
+    )
+    return fmax + rng.normal(0.0, noise_sigma, size=len(fmax))
+
+
+@dataclass
+class FmaxStudyResult:
+    """Per-family accuracy on the held-out chips."""
+
+    rows: List[Tuple[str, float, float]]  # (family, R^2, RMSE)
+    n_train: int
+    n_test: int
+
+    def best_family(self) -> str:
+        return max(self.rows, key=lambda row: row[1])[0]
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: r2 for name, r2, _ in self.rows}
+
+
+class FmaxStudy:
+    """The [20] comparison: five regression families on one Fmax task."""
+
+    def __init__(self, spec: ProductSpec = None, random_state=None):
+        self._rng = ensure_rng(random_state)
+        self.spec = spec or default_product_spec(rng=ensure_rng(0xF0A0))
+
+    def make_data(self, n_chips: int = 1500):
+        """Generate chips and their measured Fmax."""
+        generator = ParametricTestGenerator(self.spec, random_state=self._rng)
+        dataset = generator.generate(n_chips)
+        fmax = fmax_from_factors(dataset.factors, rng=self._rng)
+        return dataset.X, fmax
+
+    def families(self, X_train) -> List[Tuple[str, object]]:
+        gamma = median_heuristic_gamma(X_train)
+        return [
+            ("nearest neighbor", KNeighborsRegressor(
+                n_neighbors=7, weights="distance")),
+            ("LSF", LeastSquaresRegressor()),
+            ("regularized LSF", RidgeRegressor(alpha=1.0)),
+            ("SVR", SVR(kernel=RBFKernel(gamma), C=50.0, epsilon=0.02)),
+            ("Gaussian process", GaussianProcessRegressor(
+                kernel=RBFKernel(gamma), noise=1e-2)),
+        ]
+
+    def run(self, n_chips: int = 1500, test_fraction: float = 0.3,
+            max_train: int = 250) -> FmaxStudyResult:
+        """Generate data, fit all five families, score on held-out chips.
+
+        ``max_train`` caps the training-set size for the kernel methods
+        (SVR/GP are cubic in training count); the cap applies to all
+        families so the comparison stays fair.
+        """
+        X, fmax = self.make_data(n_chips)
+        X_train, X_test, y_train, y_test = train_test_split(
+            X, fmax, test_fraction=test_fraction,
+            random_state=self._rng,
+        )
+        if len(X_train) > max_train:
+            X_train = X_train[:max_train]
+            y_train = y_train[:max_train]
+        scaler = StandardScaler().fit(X_train)
+        Z_train = scaler.transform(X_train)
+        Z_test = scaler.transform(X_test)
+        # normalize targets for the kernel methods' scale assumptions
+        rows = []
+        for name, model in self.families(Z_train):
+            model.fit(Z_train, y_train)
+            predictions = model.predict(Z_test)
+            rows.append(
+                (
+                    name,
+                    r2_score(y_test, predictions),
+                    root_mean_squared_error(y_test, predictions),
+                )
+            )
+        return FmaxStudyResult(
+            rows=rows, n_train=len(Z_train), n_test=len(Z_test)
+        )

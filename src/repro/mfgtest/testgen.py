@@ -1,0 +1,243 @@
+"""Parametric test-data generation.
+
+Chips are drawn from a latent-factor model: a handful of process factors
+(speed, leakage, matching, ...) load onto every parametric test, wafer
+spatial signatures shift the factors, and per-test measurement noise is
+added on top.  The result is the strongly-correlated, limit-screened
+test data the paper's test-mining case studies operate on.
+
+This module replaces the proprietary automotive test floor of [16]/[33]:
+the learning problems only need the *geometry* of such data (correlated
+bulk, limits, rare out-of-family parts), which the factor model
+reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.rng import ensure_rng
+from .wafer import WaferMap, make_wafer_map, random_signature
+
+
+@dataclass
+class ProductSpec:
+    """Statistical definition of one product's parametric tests.
+
+    Parameters
+    ----------
+    loadings:
+        ``(n_tests, n_factors)`` factor loading matrix.
+    noise_sigma:
+        Per-test measurement noise standard deviations.
+    limit_sigma:
+        Test limits at +/- this many standard deviations of the
+        *population* distribution of each test.
+    """
+
+    name: str
+    test_names: List[str]
+    loadings: np.ndarray
+    noise_sigma: np.ndarray
+    limit_sigma: float = 4.0
+    factor_shift: np.ndarray = None  # product-level factor mean shift
+
+    def __post_init__(self):
+        self.loadings = np.asarray(self.loadings, dtype=float)
+        self.noise_sigma = np.asarray(self.noise_sigma, dtype=float)
+        if self.loadings.shape[0] != len(self.test_names):
+            raise ValueError("one loading row per test required")
+        if len(self.noise_sigma) != len(self.test_names):
+            raise ValueError("one noise sigma per test required")
+        if self.factor_shift is None:
+            self.factor_shift = np.zeros(self.loadings.shape[1])
+
+    @property
+    def n_tests(self) -> int:
+        return len(self.test_names)
+
+    @property
+    def n_factors(self) -> int:
+        return self.loadings.shape[1]
+
+    def population_sigma(self) -> np.ndarray:
+        """Per-test population standard deviation implied by the model."""
+        return np.sqrt(
+            np.sum(self.loadings**2, axis=1) + self.noise_sigma**2
+        )
+
+    def limits(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(lower, upper) spec limits per test."""
+        sigma = self.population_sigma()
+        center = self.loadings @ self.factor_shift
+        return (
+            center - self.limit_sigma * sigma,
+            center + self.limit_sigma * sigma,
+        )
+
+    def sister(self, name: str, factor_shift_scale: float = 0.6,
+               rng=None) -> "ProductSpec":
+        """Derive a sister product: same tests and mechanisms, shifted
+        process centering (the Fig. 11 plot-3 scenario)."""
+        rng = ensure_rng(rng)
+        shift = rng.normal(0.0, factor_shift_scale, size=self.n_factors)
+        return ProductSpec(
+            name=name,
+            test_names=list(self.test_names),
+            loadings=self.loadings.copy(),
+            noise_sigma=self.noise_sigma.copy(),
+            limit_sigma=self.limit_sigma,
+            factor_shift=self.factor_shift + shift,
+        )
+
+
+def default_product_spec(n_tests: int = 12, n_factors: int = 3,
+                         name: str = "productA", rng=None) -> ProductSpec:
+    """A generic mixed-signal product spec with random factor loadings."""
+    rng = ensure_rng(rng)
+    if n_tests < 2 or n_factors < 1:
+        raise ValueError("need at least 2 tests and 1 factor")
+    loadings = rng.normal(0.0, 1.0, size=(n_tests, n_factors))
+    # make the first factor dominant (global speed/process)
+    loadings[:, 0] = np.abs(loadings[:, 0]) + 0.8
+    noise_sigma = rng.uniform(0.15, 0.35, size=n_tests)
+    test_names = [f"T{i:02d}" for i in range(n_tests)]
+    return ProductSpec(
+        name=name,
+        test_names=test_names,
+        loadings=loadings,
+        noise_sigma=noise_sigma,
+    )
+
+
+@dataclass
+class TestDataset:
+    """Measured test data for a population of chips."""
+
+    # not a pytest test class despite the domain-standard name
+    __test__ = False
+
+    product: ProductSpec
+    X: np.ndarray  # (n_chips, n_tests) measurements
+    factors: np.ndarray  # (n_chips, n_factors) latent factors
+    wafer_ids: np.ndarray
+    defect_mask: np.ndarray  # chips carrying a latent defect
+
+    @property
+    def n_chips(self) -> int:
+        return len(self.X)
+
+    def pass_mask(self) -> np.ndarray:
+        """Chips inside every test limit (shipped parts).
+
+        Missing measurements (NaN) count as failing — a chip cannot
+        ship on an unmeasured test.  Impute before mining instead.
+        """
+        lower, upper = self.product.limits()
+        with np.errstate(invalid="ignore"):
+            return np.all((self.X >= lower) & (self.X <= upper), axis=1)
+
+    def passing(self) -> "TestDataset":
+        """Restrict to shipped (all-tests-pass) chips."""
+        mask = self.pass_mask()
+        return TestDataset(
+            product=self.product,
+            X=self.X[mask],
+            factors=self.factors[mask],
+            wafer_ids=self.wafer_ids[mask],
+            defect_mask=self.defect_mask[mask],
+        )
+
+    def test_column(self, test_name: str) -> np.ndarray:
+        index = self.product.test_names.index(test_name)
+        return self.X[:, index]
+
+
+class ParametricTestGenerator:
+    """Draws chip populations from a :class:`ProductSpec`.
+
+    A latent defect (used by the customer-return study) perturbs a
+    sparse *defect signature* of tests by sub-limit amounts: the part
+    still passes everything but sits out-of-family in the joint
+    distribution of the affected tests.
+    """
+
+    def __init__(self, spec: ProductSpec, wafer_map: WaferMap = None,
+                 dies_per_wafer: int = None, random_state=None):
+        self.spec = spec
+        self.wafer_map = wafer_map or make_wafer_map()
+        self._rng = ensure_rng(random_state)
+        self.dies_per_wafer = dies_per_wafer or self.wafer_map.n_dies
+
+    def generate(self, n_chips: int, defect_rate: float = 0.0,
+                 defect_signature: Optional[Dict[str, float]] = None,
+                 measurement_dropout: float = 0.0) -> TestDataset:
+        """Generate *n_chips* with optional latent defects.
+
+        Parameters
+        ----------
+        defect_rate:
+            Probability a chip carries the latent defect.
+        defect_signature:
+            ``{test_name: shift_in_population_sigmas}`` applied to
+            defective chips.  Shifts should be small enough to stay
+            inside limits (that is the point: the defect is invisible to
+            limit-based screening).
+        measurement_dropout:
+            Probability that any single measurement is missing (NaN) —
+            tester time-outs and datalog truncation on real floors.
+            Downstream flows must impute before mining
+            (:class:`repro.core.SimpleImputer`).
+        """
+        if n_chips < 1:
+            raise ValueError("n_chips must be positive")
+        if not 0.0 <= defect_rate <= 1.0:
+            raise ValueError("defect_rate must be in [0, 1]")
+        if not 0.0 <= measurement_dropout < 1.0:
+            raise ValueError("measurement_dropout must be in [0, 1)")
+        rng = self._rng
+        spec = self.spec
+        n_wafers = int(np.ceil(n_chips / self.dies_per_wafer))
+        factors = np.empty((n_chips, spec.n_factors))
+        wafer_ids = np.empty(n_chips, dtype=int)
+        produced = 0
+        for wafer in range(n_wafers):
+            count = min(self.dies_per_wafer, n_chips - produced)
+            signature = random_signature(rng)
+            spatial = signature.field(self.wafer_map)
+            picks = rng.choice(
+                self.wafer_map.n_dies, size=count, replace=False
+            ) if count <= self.wafer_map.n_dies else rng.integers(
+                0, self.wafer_map.n_dies, size=count
+            )
+            base = rng.normal(0.0, 1.0, size=(count, spec.n_factors))
+            base[:, 0] += spatial[picks]  # spatial structure on factor 0
+            base += spec.factor_shift
+            factors[produced : produced + count] = base
+            wafer_ids[produced : produced + count] = wafer
+            produced += count
+
+        noise = rng.normal(
+            0.0, 1.0, size=(n_chips, spec.n_tests)
+        ) * spec.noise_sigma
+        X = factors @ spec.loadings.T + noise
+
+        defect_mask = rng.uniform(size=n_chips) < defect_rate
+        if defect_signature and defect_mask.any():
+            sigma = spec.population_sigma()
+            for test_name, shift in defect_signature.items():
+                index = spec.test_names.index(test_name)
+                X[defect_mask, index] += shift * sigma[index]
+        if measurement_dropout > 0.0:
+            missing = rng.uniform(size=X.shape) < measurement_dropout
+            X[missing] = np.nan
+        return TestDataset(
+            product=spec,
+            X=X,
+            factors=factors,
+            wafer_ids=wafer_ids,
+            defect_mask=defect_mask,
+        )

@@ -1,0 +1,93 @@
+"""Wafer spatial model.
+
+Parametric test values carry wafer-level structure: radial (center-to-
+edge) gradients, linear tilts, and lot-to-lot shifts.  The generator
+uses these to make chips *correlated* the way real test data is, and the
+inter-wafer pattern utilities support the [32]-style abnormality
+analysis demo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.rng import ensure_rng
+
+
+@dataclass
+class WaferMap:
+    """Die positions on a circular wafer."""
+
+    rows: int
+    cols: int
+    positions: np.ndarray  # (n_dies, 2) normalized (x, y) in [-1, 1]
+
+    @property
+    def n_dies(self) -> int:
+        return len(self.positions)
+
+    def radius(self) -> np.ndarray:
+        """Normalized distance of each die from wafer center."""
+        return np.sqrt(np.sum(self.positions**2, axis=1))
+
+
+def make_wafer_map(rows: int = 20, cols: int = 20) -> WaferMap:
+    """Regular die grid clipped to the unit circle."""
+    if rows < 2 or cols < 2:
+        raise ValueError("wafer grid must be at least 2x2")
+    ys, xs = np.meshgrid(
+        np.linspace(-1.0, 1.0, rows), np.linspace(-1.0, 1.0, cols),
+        indexing="ij",
+    )
+    points = np.stack([xs.ravel(), ys.ravel()], axis=1)
+    inside = np.sum(points**2, axis=1) <= 1.0
+    return WaferMap(rows=rows, cols=cols, positions=points[inside])
+
+
+@dataclass
+class WaferSignature:
+    """Per-wafer spatial systematics applied to the latent process factor."""
+
+    radial: float  # center-to-edge gradient strength
+    tilt: Tuple[float, float]  # linear gradient (x, y)
+    offset: float  # whole-wafer shift
+
+    def field(self, wafer_map: WaferMap) -> np.ndarray:
+        """Evaluate the spatial field at every die."""
+        r = wafer_map.radius()
+        x = wafer_map.positions[:, 0]
+        y = wafer_map.positions[:, 1]
+        return (
+            self.offset
+            + self.radial * (r**2 - 0.5)
+            + self.tilt[0] * x
+            + self.tilt[1] * y
+        )
+
+
+def random_signature(rng=None, radial_scale: float = 0.5,
+                     tilt_scale: float = 0.3,
+                     offset_scale: float = 0.4) -> WaferSignature:
+    """Draw a plausible wafer signature."""
+    rng = ensure_rng(rng)
+    return WaferSignature(
+        radial=float(rng.normal(0.0, radial_scale)),
+        tilt=(
+            float(rng.normal(0.0, tilt_scale)),
+            float(rng.normal(0.0, tilt_scale)),
+        ),
+        offset=float(rng.normal(0.0, offset_scale)),
+    )
+
+
+def signature_features(signature: WaferSignature) -> List[float]:
+    """Numeric descriptor of a signature (for inter-wafer clustering)."""
+    return [
+        signature.radial,
+        signature.tilt[0],
+        signature.tilt[1],
+        signature.offset,
+    ]

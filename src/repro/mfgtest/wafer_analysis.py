@@ -1,0 +1,149 @@
+"""Inter-wafer abnormality analysis ([32]).
+
+The paper's pattern-mining citation: mining *across* wafers for
+systematic spatial abnormalities.  Each wafer's die-level measurements
+are reduced to a spatial signature (offset, radial curvature, x/y tilt)
+by least-squares fitting a basis of spatial patterns; wafers whose
+signatures sit out of family against the lot population are flagged,
+and clustering groups recurring abnormality modes (e.g. "edge-hot ring"
+vs "tilted").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster.kmeans import KMeans
+from ..core.rng import ensure_rng
+from .outlier import RobustMahalanobisDetector
+from .wafer import WaferMap, WaferSignature, make_wafer_map
+
+#: names of the fitted signature coefficients, in column order
+SIGNATURE_FEATURE_NAMES: Tuple[str, ...] = (
+    "offset",
+    "radial",
+    "tilt_x",
+    "tilt_y",
+)
+
+
+def spatial_basis(wafer_map: WaferMap) -> np.ndarray:
+    """Design matrix of spatial patterns evaluated at every die.
+
+    Columns: constant, centered radial (r^2 - 0.5), x, y — matching
+    :class:`~repro.mfgtest.wafer.WaferSignature`'s field.
+    """
+    r = wafer_map.radius()
+    x = wafer_map.positions[:, 0]
+    y = wafer_map.positions[:, 1]
+    return np.column_stack([np.ones(len(r)), r**2 - 0.5, x, y])
+
+
+def fit_signature(wafer_map: WaferMap, die_values: np.ndarray) -> np.ndarray:
+    """Least-squares spatial signature of one wafer's die values."""
+    die_values = np.asarray(die_values, dtype=float)
+    if len(die_values) != wafer_map.n_dies:
+        raise ValueError("one value per die required")
+    basis = spatial_basis(wafer_map)
+    coefficients, *_ = np.linalg.lstsq(basis, die_values, rcond=None)
+    return coefficients
+
+
+def generate_wafer_lot(n_wafers: int = 60, abnormal_rate: float = 0.08,
+                       wafer_map: WaferMap = None, noise: float = 0.15,
+                       random_state=None):
+    """Synthesize a lot: normal wafers plus strongly-patterned outliers.
+
+    Returns ``(wafer_map, die_value_matrix, abnormal_mask)`` where the
+    matrix is (n_wafers, n_dies).  Abnormal wafers carry one of two
+    recurring modes: a strong radial (edge-hot) pattern or a strong
+    tilt, both far outside the normal signature population.
+    """
+    if n_wafers < 5:
+        raise ValueError("need at least 5 wafers")
+    rng = ensure_rng(random_state)
+    wafer_map = wafer_map or make_wafer_map()
+    abnormal = rng.uniform(size=n_wafers) < abnormal_rate
+    values = np.empty((n_wafers, wafer_map.n_dies))
+    for index in range(n_wafers):
+        if abnormal[index]:
+            if rng.uniform() < 0.5:
+                signature = WaferSignature(
+                    radial=float(rng.normal(3.0, 0.3)),
+                    tilt=(0.0, 0.0),
+                    offset=float(rng.normal(0.0, 0.1)),
+                )
+            else:
+                direction = rng.normal(size=2)
+                direction = 2.5 * direction / np.linalg.norm(direction)
+                signature = WaferSignature(
+                    radial=0.0,
+                    tilt=(float(direction[0]), float(direction[1])),
+                    offset=float(rng.normal(0.0, 0.1)),
+                )
+        else:
+            signature = WaferSignature(
+                radial=float(rng.normal(0.0, 0.2)),
+                tilt=(
+                    float(rng.normal(0.0, 0.15)),
+                    float(rng.normal(0.0, 0.15)),
+                ),
+                offset=float(rng.normal(0.0, 0.2)),
+            )
+        values[index] = signature.field(wafer_map) + rng.normal(
+            0.0, noise, size=wafer_map.n_dies
+        )
+    return wafer_map, values, abnormal
+
+
+@dataclass
+class WaferAnalysisResult:
+    """Outcome of the inter-wafer analysis."""
+
+    signatures: np.ndarray  # (n_wafers, 4) fitted coefficients
+    abnormal_flags: np.ndarray
+    abnormal_clusters: Optional[np.ndarray]  # mode label per flagged wafer
+
+    @property
+    def n_flagged(self) -> int:
+        return int(self.abnormal_flags.sum())
+
+    def flagged_indices(self) -> List[int]:
+        return np.flatnonzero(self.abnormal_flags).tolist()
+
+
+class InterWaferAnalysis:
+    """Signature fitting + outlier flagging + mode clustering."""
+
+    def __init__(self, threshold_quantile: float = 0.999,
+                 n_modes: int = 2, random_state=None):
+        self.threshold_quantile = threshold_quantile
+        self.n_modes = n_modes
+        self.random_state = random_state
+
+    def run(self, wafer_map: WaferMap,
+            die_values: np.ndarray) -> WaferAnalysisResult:
+        die_values = np.asarray(die_values, dtype=float)
+        signatures = np.array(
+            [fit_signature(wafer_map, row) for row in die_values]
+        )
+        detector = RobustMahalanobisDetector(
+            threshold_quantile=self.threshold_quantile
+        )
+        detector.fit(signatures)
+        flags = detector.is_outlier(signatures)
+        clusters = None
+        flagged = signatures[flags]
+        if len(flagged) >= self.n_modes:
+            km = KMeans(
+                n_clusters=self.n_modes, random_state=self.random_state
+            ).fit(flagged)
+            clusters = km.labels_
+        return WaferAnalysisResult(
+            signatures=signatures,
+            abnormal_flags=flags,
+            abnormal_clusters=clusters,
+        )

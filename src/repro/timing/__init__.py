@@ -1,0 +1,37 @@
+"""Timing substrate: static timer, silicon model with injected
+systematic effects, and DSTC diagnosis (Fig. 10)."""
+
+from .dstc import DSTCAnalysis, DSTCResult, run_dstc_experiment
+from .features import PATH_FEATURE_NAMES, path_feature_matrix, path_features
+from .library import (
+    CELLS,
+    METAL_LAYERS,
+    VIA_TYPES,
+    cell_delay,
+    via_delay,
+    wire_delay,
+)
+from .netlist import Path, PathGenerator, Stage
+from .silicon import SiliconModel, SystematicEffect
+from .timer import StaticTimer
+
+__all__ = [
+    "CELLS",
+    "DSTCAnalysis",
+    "DSTCResult",
+    "METAL_LAYERS",
+    "PATH_FEATURE_NAMES",
+    "Path",
+    "PathGenerator",
+    "SiliconModel",
+    "Stage",
+    "StaticTimer",
+    "SystematicEffect",
+    "VIA_TYPES",
+    "cell_delay",
+    "path_feature_matrix",
+    "path_features",
+    "run_dstc_experiment",
+    "via_delay",
+    "wire_delay",
+]

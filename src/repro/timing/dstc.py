@@ -1,0 +1,169 @@
+"""Design-silicon timing correlation analysis — the Fig. 10 flow.
+
+Given predicted and measured delays for a block's paths:
+
+1. compute each path's relative mismatch (silicon vs. timer);
+2. cluster the mismatch distribution into *fast* and *slow* populations
+   (the left plot of Fig. 10);
+3. learn CN2-SD rules describing the slow cluster in terms of path
+   features (the right plot): with the injected metal-5 effect the
+   expected finding is "many layer-4-5 / layer-5-6 vias => slow".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.kmeans import KMeans
+from ..learn.rules import CN2SD, Rule
+from .features import PATH_FEATURE_NAMES, path_feature_matrix
+from .netlist import Path
+from .silicon import SiliconModel
+from .timer import StaticTimer
+
+
+@dataclass
+class DSTCResult:
+    """Outcome of one DSTC analysis."""
+
+    path_names: List[str]
+    predicted: np.ndarray
+    measured: np.ndarray
+    mismatch: np.ndarray  # relative: (measured - predicted) / predicted
+    slow_mask: np.ndarray  # True for the slow cluster
+    cluster_centers: Tuple[float, float]  # (fast, slow) mean mismatch
+    rules: List[Rule] = field(default_factory=list)
+    cluster_stability: float = float("nan")  # resampling ARI of the split
+
+    @property
+    def n_slow(self) -> int:
+        return int(self.slow_mask.sum())
+
+    @property
+    def n_fast(self) -> int:
+        return int((~self.slow_mask).sum())
+
+    @property
+    def cluster_separation(self) -> float:
+        """Gap between the slow and fast cluster centers."""
+        return self.cluster_centers[1] - self.cluster_centers[0]
+
+    def rule_features(self) -> List[str]:
+        """Names of features mentioned by the learned rules."""
+        names = []
+        for rule in self.rules:
+            for condition in rule.conditions:
+                name = PATH_FEATURE_NAMES[condition.feature]
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def describe(self) -> str:
+        lines = [
+            f"{len(self.path_names)} paths: {self.n_fast} fast "
+            f"(mean mismatch {self.cluster_centers[0]:+.3f}), "
+            f"{self.n_slow} slow (mean mismatch "
+            f"{self.cluster_centers[1]:+.3f})",
+        ]
+        lines.extend(str(rule) for rule in self.rules)
+        return "\n".join(lines)
+
+
+class DSTCAnalysis:
+    """Mismatch clustering plus rule-based diagnosis."""
+
+    def __init__(self, max_rules: int = 2, max_conditions: int = 2,
+                 min_coverage: int = 5, assess_stability: bool = True,
+                 random_state=None):
+        self.max_rules = max_rules
+        self.max_conditions = max_conditions
+        self.min_coverage = min_coverage
+        self.assess_stability = assess_stability
+        self.random_state = random_state
+
+    def analyze(self, paths: Sequence[Path], predicted: Dict[str, float],
+                measured: Dict[str, float]) -> DSTCResult:
+        """Run the full analysis over one block's paths."""
+        names = [path.name for path in paths]
+        pred = np.array([predicted[name] for name in names])
+        meas = np.array([measured[name] for name in names])
+        if np.any(pred <= 0):
+            raise ValueError("predicted delays must be positive")
+        mismatch = (meas - pred) / pred
+
+        # two-cluster split of the mismatch distribution, with a
+        # robustness check per the paper's clustering caveat: an
+        # unstable split means there is no real fast/slow structure
+        km = KMeans(n_clusters=2, random_state=self.random_state)
+        stability = float("nan")
+        if self.assess_stability:
+            from ..cluster.selection import clustering_stability
+
+            stability = clustering_stability(
+                mismatch.reshape(-1, 1),
+                KMeans(n_clusters=2, random_state=self.random_state),
+                n_resamples=6,
+                random_state=self.random_state,
+            ).mean_ari
+        km.fit(mismatch.reshape(-1, 1))
+        centers = km.cluster_centers_[:, 0]
+        slow_cluster = int(np.argmax(centers))
+        slow_mask = km.labels_ == slow_cluster
+        fast_center = float(centers[1 - slow_cluster])
+        slow_center = float(centers[slow_cluster])
+
+        # explain the slow cluster with rules over path features
+        X = path_feature_matrix(paths)
+        labels = slow_mask.astype(int)
+        rules: List[Rule] = []
+        if 0 < labels.sum() < len(labels):
+            learner = CN2SD(
+                target_class=1,
+                max_rules=self.max_rules,
+                max_conditions=self.max_conditions,
+                min_coverage=min(self.min_coverage, int(labels.sum())),
+            )
+            learner.fit(X, labels, feature_names=list(PATH_FEATURE_NAMES))
+            rules = learner.rules_
+
+        return DSTCResult(
+            path_names=names,
+            predicted=pred,
+            measured=meas,
+            mismatch=mismatch,
+            slow_mask=slow_mask,
+            cluster_centers=(fast_center, slow_center),
+            rules=rules,
+            cluster_stability=stability,
+        )
+
+
+def run_dstc_experiment(
+    n_paths: int = 400,
+    timer: StaticTimer = None,
+    silicon: SiliconModel = None,
+    random_state=None,
+) -> DSTCResult:
+    """Fig. 10 end-to-end on a generated block.
+
+    Generates paths, times them, "measures" them on the (defaulted)
+    silicon model with the metal-5 effect, and runs the analysis.
+    """
+    from .netlist import PathGenerator
+
+    generator = PathGenerator(random_state=random_state)
+    paths = generator.generate_block(n_paths, block="blk0")
+    timer = timer or StaticTimer()
+    if silicon is None:
+        from .silicon import SystematicEffect
+
+        silicon = SiliconModel(
+            effect=SystematicEffect(), random_state=random_state
+        )
+    predicted = timer.report(paths)
+    measured = silicon.measure_all(paths)
+    analysis = DSTCAnalysis(random_state=random_state)
+    return analysis.analyze(paths, predicted, measured)

@@ -1,0 +1,45 @@
+"""Feature extraction for timing paths.
+
+The feature-based counterpart of the kernel flows: DSTC mining works on
+engineered path features (Section 5's second knowledge-injection point),
+so every physical attribute a diagnosis rule could mention becomes a
+named column — including the via counts Fig. 10's rule is built from.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .library import CELLS, METAL_LAYERS, VIA_TYPES
+from .netlist import Path
+
+#: feature names in column order
+PATH_FEATURE_NAMES: Tuple[str, ...] = (
+    "depth",
+    "total_fanout",
+    "max_fanout",
+    *(f"wire_{layer}" for layer in METAL_LAYERS),
+    *(f"n_{via}" for via in VIA_TYPES),
+    *(f"n_{cell}" for cell in sorted(CELLS)),
+)
+
+
+def path_features(path: Path) -> np.ndarray:
+    """Feature vector for one path, in :data:`PATH_FEATURE_NAMES` order."""
+    fanouts = [stage.fanout for stage in path.stages]
+    values: List[float] = [
+        float(path.depth),
+        float(sum(fanouts)),
+        float(max(fanouts) if fanouts else 0),
+    ]
+    values.extend(path.total_wire(layer) for layer in METAL_LAYERS)
+    values.extend(float(path.total_vias(via)) for via in VIA_TYPES)
+    values.extend(float(path.cell_count(cell)) for cell in sorted(CELLS))
+    return np.array(values)
+
+
+def path_feature_matrix(paths: Sequence[Path]) -> np.ndarray:
+    """Stack features for many paths."""
+    return np.array([path_features(path) for path in paths])

@@ -1,0 +1,96 @@
+"""Cell and interconnect library for the toy timing substrate.
+
+Delay numbers are in arbitrary "ps-like" units; only their relative
+structure matters for the DSTC experiment (Fig. 10), where the question
+is *which paths* the timer mispredicts, not absolute accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: metal layers available for routing
+METAL_LAYERS: Tuple[str, ...] = ("M1", "M2", "M3", "M4", "M5", "M6")
+
+#: via types between adjacent layers
+VIA_TYPES: Tuple[str, ...] = ("via12", "via23", "via34", "via45", "via56")
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Static timing data for one library cell."""
+
+    name: str
+    base_delay: float  # intrinsic delay
+    load_factor: float  # additional delay per unit of fanout
+
+
+CELLS: Dict[str, CellSpec] = {
+    spec.name: spec
+    for spec in [
+        CellSpec("INV", base_delay=8.0, load_factor=2.0),
+        CellSpec("BUF", base_delay=12.0, load_factor=1.6),
+        CellSpec("NAND2", base_delay=11.0, load_factor=2.4),
+        CellSpec("NOR2", base_delay=13.0, load_factor=2.8),
+        CellSpec("AND2", base_delay=14.0, load_factor=2.2),
+        CellSpec("OR2", base_delay=15.0, load_factor=2.3),
+        CellSpec("XOR2", base_delay=18.0, load_factor=3.0),
+        CellSpec("AOI21", base_delay=16.0, load_factor=3.2),
+        CellSpec("MUX2", base_delay=17.0, load_factor=2.9),
+        CellSpec("DFF", base_delay=25.0, load_factor=2.0),
+    ]
+}
+
+#: nominal wire delay per unit length, per metal layer (upper layers are
+#: thicker and faster)
+WIRE_DELAY_PER_UNIT: Dict[str, float] = {
+    "M1": 0.90,
+    "M2": 0.80,
+    "M3": 0.55,
+    "M4": 0.45,
+    "M5": 0.30,
+    "M6": 0.25,
+}
+
+#: nominal delay contribution per via
+VIA_DELAY: Dict[str, float] = {
+    "via12": 1.2,
+    "via23": 1.2,
+    "via34": 1.5,
+    "via45": 1.8,
+    "via56": 2.0,
+}
+
+
+def cell_delay(cell_name: str, fanout: int) -> float:
+    """Nominal delay of a cell driving *fanout* loads."""
+    try:
+        spec = CELLS[cell_name]
+    except KeyError:
+        raise KeyError(f"unknown cell {cell_name!r}") from None
+    if fanout < 1:
+        raise ValueError("fanout must be at least 1")
+    return spec.base_delay + spec.load_factor * fanout
+
+
+def wire_delay(layer: str, length: float) -> float:
+    """Nominal delay of *length* units of wire on *layer*."""
+    try:
+        per_unit = WIRE_DELAY_PER_UNIT[layer]
+    except KeyError:
+        raise KeyError(f"unknown layer {layer!r}") from None
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    return per_unit * length
+
+
+def via_delay(via_type: str, count: int = 1) -> float:
+    """Nominal delay of *count* vias of *via_type*."""
+    try:
+        per_via = VIA_DELAY[via_type]
+    except KeyError:
+        raise KeyError(f"unknown via type {via_type!r}") from None
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return per_via * count

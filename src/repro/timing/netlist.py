@@ -1,0 +1,137 @@
+"""Path-level netlist model and random path generation.
+
+DSTC ([29]-[31]) works at the granularity of *timing paths*: a launch
+flop, a chain of combinational stages with their interconnect, and a
+capture flop.  :class:`Path` captures exactly what both the timer and
+the feature extractor need: per-stage cells/fanouts and per-layer wire
+and via usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..core.rng import ensure_rng
+from .library import CELLS, METAL_LAYERS, VIA_TYPES
+
+
+@dataclass
+class Stage:
+    """One combinational stage: a cell plus the wire it drives."""
+
+    cell: str
+    fanout: int
+    wire_lengths: Dict[str, float] = field(default_factory=dict)
+    via_counts: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.cell not in CELLS:
+            raise ValueError(f"unknown cell {self.cell!r}")
+        if self.fanout < 1:
+            raise ValueError("fanout must be at least 1")
+        for layer in self.wire_lengths:
+            if layer not in METAL_LAYERS:
+                raise ValueError(f"unknown layer {layer!r}")
+        for via in self.via_counts:
+            if via not in VIA_TYPES:
+                raise ValueError(f"unknown via type {via!r}")
+
+
+@dataclass
+class Path:
+    """A full register-to-register timing path."""
+
+    name: str
+    block: str
+    stages: List[Stage]
+
+    @property
+    def depth(self) -> int:
+        return len(self.stages)
+
+    def total_wire(self, layer: str) -> float:
+        return sum(s.wire_lengths.get(layer, 0.0) for s in self.stages)
+
+    def total_vias(self, via_type: str) -> int:
+        return sum(s.via_counts.get(via_type, 0) for s in self.stages)
+
+    def cell_count(self, cell: str) -> int:
+        return sum(1 for s in self.stages if s.cell == cell)
+
+
+class PathGenerator:
+    """Random generator of plausible timing paths.
+
+    Routing style varies per path: some paths stay on the low layers
+    (short local routes), others escalate to M5/M6 for long hops and pay
+    the via stacks to get there — the population structure the Fig. 10
+    analysis clusters.
+    """
+
+    COMBINATIONAL = [c for c in CELLS if c != "DFF"]
+
+    def __init__(self, random_state=None, global_fraction: float = 0.35):
+        if not 0.0 <= global_fraction <= 1.0:
+            raise ValueError("global_fraction must be in [0, 1]")
+        self._rng = ensure_rng(random_state)
+        self.global_fraction = global_fraction
+
+    def generate(self, name: str = "", block: str = "blk0",
+                 min_depth: int = 6, max_depth: int = 22) -> Path:
+        rng = self._rng
+        depth = int(rng.integers(min_depth, max_depth + 1))
+        # routing style is a per-path property: local paths stay on the
+        # low layers, global paths escalate long hops to M5/M6 — two
+        # genuinely different physical populations within one block
+        is_global = bool(rng.uniform() < self.global_fraction)
+        # a global path prefers one top layer (its router track assignment)
+        preferred_top = "M5" if rng.uniform() < 0.75 else "M6"
+        stages: List[Stage] = []
+        for position in range(depth):
+            cell = (
+                "DFF" if position == depth - 1
+                else str(rng.choice(self.COMBINATIONAL))
+            )
+            fanout = int(rng.integers(1, 5))
+            wire_lengths: Dict[str, float] = {}
+            via_counts: Dict[str, int] = {}
+            # each stage drives one route; long hops go high
+            hop_length = float(rng.gamma(2.0, 4.0))
+            goes_high = is_global and hop_length > 4.0
+            if goes_high:
+                top_layer = preferred_top
+                top_index = METAL_LAYERS.index(top_layer)
+                # climb the via stack up and back down
+                for level in range(top_index):
+                    via = VIA_TYPES[level]
+                    via_counts[via] = via_counts.get(via, 0) + 2
+                wire_lengths[top_layer] = hop_length * 0.8
+                wire_lengths["M2"] = hop_length * 0.2
+            else:
+                low_layer = str(rng.choice(["M1", "M2", "M3", "M4"]))
+                wire_lengths[low_layer] = hop_length
+                if low_layer != "M1" and rng.uniform() < 0.6:
+                    index = METAL_LAYERS.index(low_layer)
+                    for level in range(index):
+                        via = VIA_TYPES[level]
+                        via_counts[via] = via_counts.get(via, 0) + 2
+            stages.append(
+                Stage(
+                    cell=cell,
+                    fanout=fanout,
+                    wire_lengths=wire_lengths,
+                    via_counts=via_counts,
+                )
+            )
+        return Path(name=name or f"path{id(stages) % 10_000}",
+                    block=block, stages=stages)
+
+    def generate_block(self, n_paths: int, block: str = "blk0") -> List[Path]:
+        """Generate all paths of one design block."""
+        if n_paths < 1:
+            raise ValueError("n_paths must be positive")
+        return [
+            self.generate(name=f"{block}_p{i}", block=block)
+            for i in range(n_paths)
+        ]

@@ -1,0 +1,111 @@
+"""Silicon delay model: the *measured* side of DSTC.
+
+Real silicon differs from the timer through (a) a global process corner,
+(b) per-path random variation, and — the Fig. 10 phenomenon — (c)
+*systematic, unmodeled* effects tied to physical features.  The default
+injected effect is a metal-5 interconnect problem: every layer-4-5 and
+layer-5-6 via contributes extra unmodeled resistance, and M5 wire runs
+slow.  Paths heavy in M5 routing therefore come out slower than
+predicted, while everything else lands slightly fast (the silicon corner
+is a touch fast of nominal) — reproducing the two-cluster plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..core.rng import ensure_rng
+from .netlist import Path
+from .timer import StaticTimer
+
+
+@dataclass
+class SystematicEffect:
+    """An unmodeled silicon effect the timer knows nothing about.
+
+    ``extra_via_delay`` adds delay per via of each type;
+    ``wire_delay_scale`` multiplies the nominal wire delay per layer;
+    ``cell_delay_scale`` multiplies the nominal delay of specific cell
+    types (e.g. a mischaracterized library cell).  The default instance
+    is the Fig. 10 metal-5 problem; alternative instances let ablations
+    check the diagnosis flow recovers *whatever* was injected.
+    """
+
+    name: str = "metal5_resistance"
+    extra_via_delay: Dict[str, float] = field(
+        default_factory=lambda: {"via45": 2.2, "via56": 2.6}
+    )
+    wire_delay_scale: Dict[str, float] = field(
+        default_factory=lambda: {"M5": 1.35}
+    )
+    cell_delay_scale: Dict[str, float] = field(default_factory=dict)
+
+    def extra_delay(self, path: Path, timer: StaticTimer) -> float:
+        """Unmodeled delay this effect adds to *path*."""
+        from .library import cell_delay, wire_delay
+
+        extra = 0.0
+        for via_type, per_via in self.extra_via_delay.items():
+            extra += per_via * path.total_vias(via_type)
+        for layer, scale in self.wire_delay_scale.items():
+            nominal = wire_delay(layer, path.total_wire(layer))
+            extra += (scale - 1.0) * nominal
+        for cell, scale in self.cell_delay_scale.items():
+            for stage in path.stages:
+                if stage.cell == cell:
+                    extra += (scale - 1.0) * cell_delay(
+                        stage.cell, stage.fanout
+                    )
+        return extra
+
+    @classmethod
+    def slow_cell(cls, cell: str = "XOR2",
+                  scale: float = 1.8) -> "SystematicEffect":
+        """A mischaracterized-cell effect (alternative ground truth)."""
+        return cls(
+            name=f"slow_{cell.lower()}",
+            extra_via_delay={},
+            wire_delay_scale={},
+            cell_delay_scale={cell: scale},
+        )
+
+
+class SiliconModel:
+    """Generates "measured" path delays.
+
+    Parameters
+    ----------
+    corner:
+        Global speed multiplier (0.95 = silicon is 5% fast of the
+        timer's nominal — typical of a healthy fast-ish lot).
+    noise_sigma:
+        Relative standard deviation of per-path random variation.
+    effect:
+        The injected systematic effect; ``None`` disables it (a control
+        for ablation benches).
+    """
+
+    def __init__(self, corner: float = 0.95, noise_sigma: float = 0.015,
+                 effect: SystematicEffect = None, random_state=None):
+        if corner <= 0:
+            raise ValueError("corner must be positive")
+        if noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+        self.corner = corner
+        self.noise_sigma = noise_sigma
+        self.effect = effect
+        self._rng = ensure_rng(random_state)
+        self._timer = StaticTimer()
+
+    def measure(self, path: Path) -> float:
+        """One silicon delay measurement for *path*."""
+        delay = self.corner * self._timer.path_delay(path)
+        if self.effect is not None:
+            delay += self.effect.extra_delay(path, self._timer)
+        noise = float(self._rng.normal(0.0, self.noise_sigma))
+        return delay * (1.0 + noise)
+
+    def measure_all(self, paths) -> Dict[str, float]:
+        """Measured delay per path name."""
+        return {path.name: self.measure(path) for path in paths}

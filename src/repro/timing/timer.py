@@ -1,0 +1,79 @@
+"""Static timing analysis: the *predicted* side of DSTC.
+
+The timer sums library delays with nominal interconnect models — it
+knows nothing about the silicon's systematic deviations, which is
+precisely why the Fig. 10 mismatch exists for the learner to explain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .library import cell_delay, via_delay, wire_delay
+from .netlist import Path
+
+
+class StaticTimer:
+    """Sum-of-stages path timer.
+
+    ``derate`` applies a global pessimism/optimism factor, mirroring the
+    margining knobs of production signoff.
+    """
+
+    def __init__(self, derate: float = 1.0):
+        if derate <= 0:
+            raise ValueError("derate must be positive")
+        self.derate = derate
+
+    def stage_delay(self, stage) -> float:
+        """Nominal delay of one stage (cell + wires + vias)."""
+        delay = cell_delay(stage.cell, stage.fanout)
+        for layer, length in stage.wire_lengths.items():
+            delay += wire_delay(layer, length)
+        for via_type, count in stage.via_counts.items():
+            delay += via_delay(via_type, count)
+        return delay
+
+    def path_delay(self, path: Path) -> float:
+        """Predicted delay of a full path."""
+        return self.derate * sum(
+            self.stage_delay(stage) for stage in path.stages
+        )
+
+    def report(self, paths: Iterable[Path]) -> Dict[str, float]:
+        """Predicted delay per path name."""
+        return {path.name: self.path_delay(path) for path in paths}
+
+    def critical_paths(self, paths: Iterable[Path], top_n: int) -> List[Path]:
+        """The *top_n* slowest paths by predicted delay — the set a
+        signoff flow would scrutinize (the paper's "top 12K")."""
+        if top_n < 1:
+            raise ValueError("top_n must be positive")
+        ranked = sorted(paths, key=self.path_delay, reverse=True)
+        return ranked[:top_n]
+
+    def slack_report(self, paths: Iterable[Path],
+                     clock_period: float) -> Dict[str, float]:
+        """Setup slack per path at the given clock period."""
+        if clock_period <= 0:
+            raise ValueError("clock_period must be positive")
+        return {
+            path.name: clock_period - self.path_delay(path)
+            for path in paths
+        }
+
+    def worst_negative_slack(self, paths: Iterable[Path],
+                             clock_period: float) -> float:
+        """WNS: the most negative slack (0 when all paths meet timing)."""
+        slacks = self.slack_report(paths, clock_period).values()
+        worst = min(slacks, default=0.0)
+        return min(worst, 0.0)
+
+    def total_negative_slack(self, paths: Iterable[Path],
+                             clock_period: float) -> float:
+        """TNS: sum of all negative slacks (0 when timing is met)."""
+        return sum(
+            slack
+            for slack in self.slack_report(paths, clock_period).values()
+            if slack < 0.0
+        )

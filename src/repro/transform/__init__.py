@@ -1,0 +1,8 @@
+"""Data transformations: PCA, ICA, PLS, CCA (Section 2.4 catalogue)."""
+
+from .cca import CCA
+from .ica import FastICA
+from .pca import PCA
+from .pls import PLSRegression
+
+__all__ = ["CCA", "FastICA", "PCA", "PLSRegression"]

@@ -1,0 +1,78 @@
+"""Principal component analysis ([22]; applied to test data in [24]).
+
+PCA explores correlations among the input features to extract
+uncorrelated new features (principal components) — the paper's tool of
+choice for reducing a high-dimensional test-measurement matrix to the
+small outlier space of Fig. 11.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import Estimator, TransformerMixin, as_2d_array, check_fitted
+
+
+class PCA(Estimator, TransformerMixin):
+    """PCA via singular value decomposition of the centered data.
+
+    Parameters
+    ----------
+    n_components:
+        Number of components to keep; ``None`` keeps
+        ``min(n_samples, n_features)``.
+    whiten:
+        Scale projected components to unit variance.
+    """
+
+    def __init__(self, n_components: int = None, whiten: bool = False):
+        self.n_components = n_components
+        self.whiten = whiten
+
+    def fit(self, X, y=None) -> "PCA":
+        X = as_2d_array(X)
+        n, d = X.shape
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        max_components = min(n, d)
+        k = (
+            max_components
+            if self.n_components is None
+            else min(self.n_components, max_components)
+        )
+        if k < 1:
+            raise ValueError("n_components must be at least 1")
+        self.components_ = vt[:k]
+        explained = (singular_values**2) / max(n - 1, 1)
+        total = explained.sum()
+        self.explained_variance_ = explained[:k]
+        self.explained_variance_ratio_ = (
+            explained[:k] / total if total > 0 else explained[:k]
+        )
+        self.singular_values_ = singular_values[:k]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "components_")
+        X = as_2d_array(X)
+        projected = (X - self.mean_) @ self.components_.T
+        if self.whiten:
+            scale = np.sqrt(np.clip(self.explained_variance_, 1e-12, None))
+            projected = projected / scale
+        return projected
+
+    def inverse_transform(self, X) -> np.ndarray:
+        """Map component scores back to the original feature space."""
+        check_fitted(self, "components_")
+        X = np.asarray(X, dtype=float)
+        if self.whiten:
+            scale = np.sqrt(np.clip(self.explained_variance_, 1e-12, None))
+            X = X * scale
+        return X @ self.components_ + self.mean_
+
+    def reconstruction_error(self, X) -> float:
+        """Mean squared error of projecting to k components and back."""
+        X = as_2d_array(X)
+        reconstructed = self.inverse_transform(self.transform(X))
+        return float(np.mean((X - reconstructed) ** 2))

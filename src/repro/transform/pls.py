@@ -1,0 +1,132 @@
+"""Partial least squares regression between two matrices X and Y.
+
+The paper's Section 2 notes the right-hand side of a learning problem can
+itself be a matrix Y, with PLS "designed for regression between two
+matrices" — e.g. many layout parameters against many measured responses.
+NIPALS implementation with deflation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import Estimator, TransformerMixin, as_2d_array, check_fitted
+
+
+class PLSRegression(Estimator, TransformerMixin):
+    """NIPALS partial least squares (PLS2: multivariate Y).
+
+    Attributes
+    ----------
+    x_weights_, y_weights_:
+        Per-component weight vectors.
+    coef_:
+        ``(n_features_x, n_features_y)`` regression matrix so that
+        ``Y_hat = (X - x_mean) @ coef_ + y_mean``.
+    """
+
+    def __init__(self, n_components: int = 2, max_iter: int = 500,
+                 tol: float = 1e-8):
+        self.n_components = n_components
+        self.max_iter = max_iter
+        self.tol = tol
+
+    def fit(self, X, Y) -> "PLSRegression":
+        X = as_2d_array(X, "X")
+        Y = np.asarray(Y, dtype=float)
+        if Y.ndim == 1:
+            Y = Y.reshape(-1, 1)
+        if len(X) != len(Y):
+            raise ValueError("X and Y must have equal sample counts")
+        k = self.n_components
+        if k < 1 or k > min(X.shape):
+            raise ValueError(
+                f"n_components must be in [1, {min(X.shape)}]"
+            )
+        self.x_mean_ = X.mean(axis=0)
+        self.y_mean_ = Y.mean(axis=0)
+        Xd = X - self.x_mean_
+        Yd = Y - self.y_mean_
+
+        n_x = X.shape[1]
+        n_y = Y.shape[1]
+        self.x_weights_ = np.zeros((n_x, k))
+        self.y_weights_ = np.zeros((n_y, k))
+        self.x_loadings_ = np.zeros((n_x, k))
+        self.y_loadings_ = np.zeros((n_y, k))
+        self.x_scores_ = np.zeros((len(X), k))
+
+        for component in range(k):
+            u = Yd[:, [int(np.argmax(Yd.var(axis=0)))]]
+            for _ in range(self.max_iter):
+                w = Xd.T @ u
+                w_norm = np.linalg.norm(w)
+                if w_norm < 1e-12:
+                    break
+                w /= w_norm
+                t = Xd @ w
+                q = Yd.T @ t
+                q_norm = np.linalg.norm(q)
+                if q_norm < 1e-12:
+                    break
+                q /= q_norm
+                u_new = Yd @ q
+                if np.linalg.norm(u_new - u) < self.tol:
+                    u = u_new
+                    break
+                u = u_new
+            t = Xd @ w
+            tt = float((t.T @ t).item())
+            if tt < 1e-12:
+                # degenerate residual; stop extracting components
+                self.x_weights_ = self.x_weights_[:, :component]
+                self.y_weights_ = self.y_weights_[:, :component]
+                self.x_loadings_ = self.x_loadings_[:, :component]
+                self.y_loadings_ = self.y_loadings_[:, :component]
+                self.x_scores_ = self.x_scores_[:, :component]
+                break
+            p = Xd.T @ t / tt
+            c = Yd.T @ t / tt
+            Xd = Xd - t @ p.T
+            Yd = Yd - t @ c.T
+            self.x_weights_[:, component] = w[:, 0]
+            self.y_weights_[:, component] = q[:, 0]
+            self.x_loadings_[:, component] = p[:, 0]
+            self.y_loadings_[:, component] = c[:, 0]
+            self.x_scores_[:, component] = t[:, 0]
+
+        W = self.x_weights_
+        P = self.x_loadings_
+        C = self.y_loadings_
+        # rotation that maps X directly to scores: W (P'W)^-1
+        self.x_rotations_ = W @ np.linalg.pinv(P.T @ W)
+        self.coef_ = self.x_rotations_ @ C.T
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Project X onto the latent components (scores)."""
+        check_fitted(self, "x_rotations_")
+        X = as_2d_array(X)
+        return (X - self.x_mean_) @ self.x_rotations_
+
+    def predict(self, X) -> np.ndarray:
+        """Predict Y; returns 1-D when Y had a single column."""
+        check_fitted(self, "coef_")
+        X = as_2d_array(X)
+        Y_hat = (X - self.x_mean_) @ self.coef_ + self.y_mean_
+        return Y_hat[:, 0] if Y_hat.shape[1] == 1 else Y_hat
+
+    def score(self, X, Y) -> float:
+        """Mean per-column R^2 of the prediction."""
+        Y = np.asarray(Y, dtype=float)
+        if Y.ndim == 1:
+            Y = Y.reshape(-1, 1)
+        prediction = self.predict(X)
+        if prediction.ndim == 1:
+            prediction = prediction.reshape(-1, 1)
+        scores = []
+        for column in range(Y.shape[1]):
+            ss_res = float(np.sum((Y[:, column] - prediction[:, column]) ** 2))
+            ss_tot = float(np.sum((Y[:, column] - Y[:, column].mean()) ** 2))
+            scores.append(1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0)
+        return float(np.mean(scores))

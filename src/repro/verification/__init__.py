@@ -1,0 +1,81 @@
+"""Processor-verification substrate: ISA, randomizer, LSU simulator,
+novel-test selection (Fig. 7) and template refinement (Table 1)."""
+
+from .closure import ClosureReport, CoverageClosureFlow, PhaseReport
+from .coverage import SPECIAL_POINT_NAMES, SPECIAL_POINTS, CoverageModel
+from .isa import (
+    CACHE_LINE_BYTES,
+    LOAD_OPCODES,
+    MEMORY_OPCODES,
+    N_REGISTERS,
+    OPCODES,
+    REGIONS,
+    STORE_OPCODES,
+    access_alignment,
+    is_memory_opcode,
+    region_of,
+)
+from .program import KNOB_NAMES, Instruction, Program, knob_feature_matrix
+from .randomizer import (
+    DEFAULT_KNOB_RANGES,
+    HARD_KNOB_LIMITS,
+    Randomizer,
+    TestTemplate,
+)
+from .refinement import (
+    LearningRound,
+    StageResult,
+    TemplateRefinementFlow,
+    rule_to_knob_constraints,
+)
+from .selection import (
+    CoverageTrace,
+    NoveltyTestSelector,
+    SelectionExperimentResult,
+    run_selection_experiment,
+)
+from .simulator import (
+    CACHE_LINES,
+    STORE_BUFFER_DEPTH,
+    LoadStoreUnitSimulator,
+    SimulationResult,
+)
+
+__all__ = [
+    "CACHE_LINES",
+    "CACHE_LINE_BYTES",
+    "ClosureReport",
+    "CoverageClosureFlow",
+    "CoverageModel",
+    "CoverageTrace",
+    "DEFAULT_KNOB_RANGES",
+    "HARD_KNOB_LIMITS",
+    "Instruction",
+    "KNOB_NAMES",
+    "LOAD_OPCODES",
+    "LearningRound",
+    "LoadStoreUnitSimulator",
+    "MEMORY_OPCODES",
+    "N_REGISTERS",
+    "NoveltyTestSelector",
+    "OPCODES",
+    "PhaseReport",
+    "Program",
+    "REGIONS",
+    "Randomizer",
+    "STORE_BUFFER_DEPTH",
+    "STORE_OPCODES",
+    "SPECIAL_POINTS",
+    "SPECIAL_POINT_NAMES",
+    "SelectionExperimentResult",
+    "SimulationResult",
+    "StageResult",
+    "TemplateRefinementFlow",
+    "TestTemplate",
+    "access_alignment",
+    "is_memory_opcode",
+    "knob_feature_matrix",
+    "region_of",
+    "rule_to_knob_constraints",
+    "run_selection_experiment",
+]

@@ -1,0 +1,183 @@
+"""Coverage closure: both Fig. 6 data-mining hooks in one flow.
+
+The paper's Fig. 6 marks two places to apply mining in a constrained-
+random environment: filtering the randomizer's output (novel test
+selection) and improving the test template (rule learning).  A real
+verification effort uses both: selection buys cheap *breadth* early,
+and once the generic template's coverage saturates, template refinement
+buys the rare *depth* the randomizer would almost never reach.
+
+:class:`CoverageClosureFlow` runs that combined campaign and reports
+per-phase accounting, so the cost of closure with mining can be
+compared against simulate-everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .coverage import SPECIAL_POINT_NAMES, CoverageModel
+from .randomizer import Randomizer, TestTemplate
+from .refinement import StageResult, TemplateRefinementFlow
+from .selection import NoveltyTestSelector
+from .simulator import LoadStoreUnitSimulator
+
+
+@dataclass
+class PhaseReport:
+    """Accounting for one phase of the campaign."""
+
+    phase: str
+    n_generated: int
+    n_simulated: int
+    cross_covered: int
+    special_covered: int
+
+
+@dataclass
+class ClosureReport:
+    """Final accounting of the combined campaign."""
+
+    phases: List[PhaseReport] = field(default_factory=list)
+    coverage: Optional[CoverageModel] = None
+
+    @property
+    def total_generated(self) -> int:
+        return sum(p.n_generated for p in self.phases)
+
+    @property
+    def total_simulated(self) -> int:
+        return sum(p.n_simulated for p in self.phases)
+
+    @property
+    def special_closure(self) -> float:
+        """Fraction of special points covered at the end."""
+        if self.coverage is None:
+            return 0.0
+        return len(self.coverage.covered_special_points()) / len(
+            SPECIAL_POINT_NAMES
+        )
+
+    def rows(self):
+        return [
+            [p.phase, p.n_generated, p.n_simulated, p.cross_covered,
+             p.special_covered]
+            for p in self.phases
+        ]
+
+
+class CoverageClosureFlow:
+    """Selection for breadth, then refinement for depth.
+
+    Parameters
+    ----------
+    randomizer:
+        Shared test generator.
+    selector:
+        Novelty filter for phase 1 (defaults to the Fig. 7 setup).
+    breadth_budget:
+        Number of randomizer tests streamed through the filter in
+        phase 1.
+    refinement_stages:
+        Test counts for the phase-2 learning rounds (Table 1 style);
+        the first entry reuses phase 1's simulated tests as the learning
+        corpus, so it is *additional* tests per round.
+    """
+
+    def __init__(self, randomizer: Randomizer,
+                 selector: NoveltyTestSelector = None,
+                 breadth_budget: int = 600,
+                 refinement_stages=(80, 40)):
+        self.randomizer = randomizer
+        self.selector = selector or NoveltyTestSelector(
+            nu=0.05, seed_count=10, retrain_every=20
+        )
+        self.breadth_budget = breadth_budget
+        self.refinement_stages = tuple(refinement_stages)
+
+    def run(self, template: TestTemplate) -> ClosureReport:
+        report = ClosureReport()
+        simulator = LoadStoreUnitSimulator()
+        refinement = TemplateRefinementFlow(self.randomizer)
+
+        # ---- phase 1: novelty-filtered breadth --------------------------
+        phase1_programs = []
+        phase1_hits = []
+        for program in self.randomizer.stream(
+            template, self.breadth_budget, prefix="breadth_"
+        ):
+            if self.selector.consider(program):
+                result = simulator.simulate(program)
+                phase1_programs.append(program)
+                phase1_hits.append(result.special_hits)
+        report.phases.append(
+            PhaseReport(
+                phase="breadth (novelty selection)",
+                n_generated=self.breadth_budget,
+                n_simulated=len(phase1_programs),
+                cross_covered=simulator.coverage.n_cross_covered,
+                special_covered=len(
+                    simulator.coverage.covered_special_points()
+                ),
+            )
+        )
+
+        # seed the refinement learner with phase 1's corpus
+        refinement.stages.append(
+            StageResult(
+                stage_name="breadth",
+                template=template,
+                programs=phase1_programs,
+                hit_counts=dict(simulator.coverage.special_hits),
+                hits_per_test=phase1_hits,
+            )
+        )
+
+        # ---- phase 2: rule-learning depth -------------------------------
+        current = template
+        for round_index, n_tests in enumerate(self.refinement_stages, 1):
+            learned = refinement.learn_round()
+            current = current.biased(
+                learned.constraints, name=f"closure_round{round_index}"
+            )
+            # simulate the refined tests on the *shared* simulator so all
+            # coverage accumulates in one place, and record the stage in
+            # the refinement flow so the next round learns from it too
+            round_programs = []
+            round_hits = []
+            before = dict(simulator.coverage.special_hits)
+            for program in self.randomizer.stream(
+                current, n_tests, prefix=f"depth{round_index}_"
+            ):
+                result = simulator.simulate(program)
+                round_programs.append(program)
+                round_hits.append(result.special_hits)
+            stage_counts = {
+                point: simulator.coverage.special_hits[point]
+                - before[point]
+                for point in simulator.coverage.special_hits
+            }
+            refinement.stages.append(
+                StageResult(
+                    stage_name=f"depth_{round_index}",
+                    template=current,
+                    programs=round_programs,
+                    hit_counts=stage_counts,
+                    hits_per_test=round_hits,
+                )
+            )
+            report.phases.append(
+                PhaseReport(
+                    phase=f"depth round {round_index} (refined template)",
+                    n_generated=n_tests,
+                    n_simulated=n_tests,
+                    cross_covered=simulator.coverage.n_cross_covered,
+                    special_covered=len(
+                        simulator.coverage.covered_special_points()
+                    ),
+                )
+            )
+
+        report.coverage = simulator.coverage
+        return report

@@ -1,0 +1,156 @@
+"""Coverage model for the load-store unit.
+
+Two families of coverage points:
+
+- **cross coverage** over (category, access size, alignment, region) plus
+  micro-architectural event points (cache miss, store-to-load
+  forwarding, SC failure, ...): the saturation target of the Fig. 7
+  experiment;
+- **special points A0..A7**: rare conjunctions of behaviours within a
+  single test, matching Table 1's coverage points of interest.  A0 and
+  A1 are reachable by a generic template; A2..A7 require test properties
+  the original template rarely produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Set
+
+#: special-point definitions: name -> (description, predicate over a
+#: per-test event summary dict)
+SpecialPredicate = Callable[[Dict[str, int]], bool]
+
+
+def _special_point_table() -> Dict[str, tuple]:
+    return {
+        "A0": (
+            "at least one misaligned load",
+            lambda s: s["misaligned_loads"] >= 1,
+        ),
+        "A1": (
+            "at least one store-to-load forwarding",
+            lambda s: s["forwardings"] >= 1,
+        ),
+        "A2": (
+            ">=6 misaligned accesses and >=3 forwardings in one test",
+            lambda s: s["misaligned_accesses"] >= 6 and s["forwardings"] >= 3,
+        ),
+        "A3": (
+            ">=2 store-conditional failures in one test",
+            lambda s: s["sc_failures"] >= 2,
+        ),
+        "A4": (
+            "store buffer filled to capacity at least four times",
+            lambda s: s["buffer_full"] >= 4,
+        ),
+        "A5": (
+            ">=2 forwardings from misaligned stores",
+            lambda s: s["misaligned_forwardings"] >= 2,
+        ),
+        "A6": (
+            ">=8 forwardings in one test",
+            lambda s: s["forwardings"] >= 8,
+        ),
+        "A7": (
+            ">=3 atomic (LL/SC) events and >=7 misaligned accesses",
+            lambda s: s["atomic_events"] >= 3
+            and s["misaligned_accesses"] >= 7,
+        ),
+    }
+
+
+SPECIAL_POINTS: Dict[str, tuple] = _special_point_table()
+SPECIAL_POINT_NAMES: List[str] = list(SPECIAL_POINTS)
+
+
+@dataclass
+class CoverageModel:
+    """Accumulates hit counts for cross points and special points."""
+
+    cross_hits: Dict[str, int] = field(default_factory=dict)
+    special_hits: Dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name in SPECIAL_POINT_NAMES}
+    )
+
+    # ------------------------------------------------------------------
+    def record_cross(self, point: str, count: int = 1) -> None:
+        """Add *count* hits to a cross-coverage point (created lazily)."""
+        self.cross_hits[point] = self.cross_hits.get(point, 0) + count
+
+    def record_test_summary(self, summary: Dict[str, int]) -> List[str]:
+        """Evaluate the special points against one test's event summary.
+
+        Returns the names of special points the test hit.
+        """
+        hits = []
+        for name, (_, predicate) in SPECIAL_POINTS.items():
+            if predicate(summary):
+                self.special_hits[name] += 1
+                hits.append(name)
+        return hits
+
+    # ------------------------------------------------------------------
+    @property
+    def covered_cross_points(self) -> Set[str]:
+        return {p for p, c in self.cross_hits.items() if c > 0}
+
+    @property
+    def n_cross_covered(self) -> int:
+        return len(self.covered_cross_points)
+
+    def covered_special_points(self) -> Set[str]:
+        return {p for p, c in self.special_hits.items() if c > 0}
+
+    def merge(self, other: "CoverageModel") -> None:
+        """Fold another model's hits into this one."""
+        for point, count in other.cross_hits.items():
+            self.record_cross(point, count)
+        for point, count in other.special_hits.items():
+            self.special_hits[point] += count
+
+    def copy(self) -> "CoverageModel":
+        clone = CoverageModel()
+        clone.cross_hits = dict(self.cross_hits)
+        clone.special_hits = dict(self.special_hits)
+        return clone
+
+    def special_row(self) -> List[int]:
+        """Hit counts in A0..A7 order (one Table 1 row)."""
+        return [self.special_hits[name] for name in SPECIAL_POINT_NAMES]
+
+    def group_summary(self) -> Dict[str, Dict[str, int]]:
+        """Cross coverage grouped by point family.
+
+        Groups are the first dotted component of the point name (the
+        opcode for instruction points, ``event`` for event points);
+        each group reports ``points`` covered and total ``hits``.
+        """
+        groups: Dict[str, Dict[str, int]] = {}
+        for point, count in self.cross_hits.items():
+            family = point.split(".", 1)[0]
+            entry = groups.setdefault(family, {"points": 0, "hits": 0})
+            if count > 0:
+                entry["points"] += 1
+                entry["hits"] += count
+        return groups
+
+    def report(self) -> str:
+        """Human-readable coverage summary (the engineer-facing view)."""
+        lines = [
+            f"cross points covered: {self.n_cross_covered}",
+            "by family:",
+        ]
+        for family, entry in sorted(self.group_summary().items()):
+            lines.append(
+                f"  {family:12s} {entry['points']:4d} points, "
+                f"{entry['hits']:6d} hits"
+            )
+        lines.append("special points:")
+        for name in SPECIAL_POINT_NAMES:
+            description, _ = SPECIAL_POINTS[name]
+            count = self.special_hits[name]
+            mark = "covered" if count else "UNCOVERED"
+            lines.append(f"  {name}: {mark:9s} ({count:4d} hits) — "
+                         f"{description}")
+        return "\n".join(lines)

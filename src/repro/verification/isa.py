@@ -1,0 +1,125 @@
+"""A toy load-store-oriented RISC ISA.
+
+The paper's novel-test-selection case study ([14]) ran against a
+commercial processor's load-store unit (LSU).  This module defines the
+instruction set of a small stand-in processor whose LSU exhibits the
+same coverage-relevant dimensions: access size, sign extension,
+alignment, address region, atomics (load-linked / store-conditional),
+and barriers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: architected general-purpose registers
+N_REGISTERS = 16
+
+#: memory regions an access can target, with their base addresses
+REGIONS: Dict[str, int] = {
+    "dram": 0x0000_0000,
+    "stack": 0x4000_0000,
+    "mmio": 0x8000_0000,
+    "scratchpad": 0xC000_0000,
+}
+
+#: bytes of addressable space per region (toy-sized)
+REGION_SIZE = 0x1_0000
+
+#: data-cache line size in bytes
+CACHE_LINE_BYTES = 32
+
+
+@dataclass(frozen=True)
+class OpcodeSpec:
+    """Static properties of one opcode."""
+
+    name: str
+    category: str  # "load" | "store" | "atomic" | "alu" | "branch" | "barrier"
+    access_bytes: int = 0  # memory access width; 0 for non-memory ops
+    sign_extends: bool = False
+    is_locked: bool = False  # LL/SC style atomic pair member
+
+
+#: the full opcode table
+OPCODES: Dict[str, OpcodeSpec] = {
+    spec.name: spec
+    for spec in [
+        # loads
+        OpcodeSpec("LB", "load", 1, sign_extends=True),
+        OpcodeSpec("LBU", "load", 1),
+        OpcodeSpec("LH", "load", 2, sign_extends=True),
+        OpcodeSpec("LHU", "load", 2),
+        OpcodeSpec("LW", "load", 4, sign_extends=True),
+        OpcodeSpec("LWU", "load", 4),
+        OpcodeSpec("LD", "load", 8),
+        # stores
+        OpcodeSpec("SB", "store", 1),
+        OpcodeSpec("SH", "store", 2),
+        OpcodeSpec("SW", "store", 4),
+        OpcodeSpec("SD", "store", 8),
+        # atomics
+        OpcodeSpec("LL", "atomic", 4, is_locked=True),
+        OpcodeSpec("SC", "atomic", 4, is_locked=True),
+        # ALU
+        OpcodeSpec("ADD", "alu"),
+        OpcodeSpec("SUB", "alu"),
+        OpcodeSpec("AND", "alu"),
+        OpcodeSpec("OR", "alu"),
+        OpcodeSpec("XOR", "alu"),
+        OpcodeSpec("SLL", "alu"),
+        # control / ordering
+        OpcodeSpec("BEQ", "branch"),
+        OpcodeSpec("BNE", "branch"),
+        OpcodeSpec("SYNC", "barrier"),
+        OpcodeSpec("NOP", "alu"),
+    ]
+}
+
+LOAD_OPCODES: Tuple[str, ...] = tuple(
+    name for name, spec in OPCODES.items() if spec.category == "load"
+)
+STORE_OPCODES: Tuple[str, ...] = tuple(
+    name for name, spec in OPCODES.items() if spec.category == "store"
+)
+ATOMIC_OPCODES: Tuple[str, ...] = ("LL", "SC")
+ALU_OPCODES: Tuple[str, ...] = tuple(
+    name for name, spec in OPCODES.items() if spec.category == "alu"
+)
+BRANCH_OPCODES: Tuple[str, ...] = tuple(
+    name for name, spec in OPCODES.items() if spec.category == "branch"
+)
+MEMORY_OPCODES: Tuple[str, ...] = LOAD_OPCODES + STORE_OPCODES + ATOMIC_OPCODES
+
+
+def is_memory_opcode(name: str) -> bool:
+    """Whether the opcode touches the LSU at all."""
+    return OPCODES[name].category in ("load", "store", "atomic")
+
+
+def access_alignment(address: int, access_bytes: int) -> str:
+    """Classify an access: "aligned", "misaligned", or "line_crossing".
+
+    Line-crossing misaligned accesses are the nastiest LSU corner: the
+    access straddles two cache lines.
+    """
+    if access_bytes <= 1:
+        return "aligned"
+    if address % access_bytes == 0:
+        return "aligned"
+    first_line = address // CACHE_LINE_BYTES
+    last_line = (address + access_bytes - 1) // CACHE_LINE_BYTES
+    if first_line != last_line:
+        return "line_crossing"
+    return "misaligned"
+
+
+def region_of(address: int) -> str:
+    """Name of the region containing *address*."""
+    best_name = "dram"
+    best_base = -1
+    for name, base in REGIONS.items():
+        if base <= address and base > best_base:
+            best_name, best_base = name, base
+    return best_name

@@ -1,0 +1,224 @@
+"""Assembly programs: the *samples* of the verification mining flows.
+
+The paper stresses that with a kernel, samples "can be represented in any
+form" — here a sample is a :class:`Program`, a sequence of
+:class:`Instruction` objects.  ``tokens()`` provides the view the
+spectrum kernel consumes, and ``knob_features()`` provides the
+feature-vector view the rule-learning flow consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .isa import (
+    MEMORY_OPCODES,
+    OPCODES,
+    access_alignment,
+    is_memory_opcode,
+    region_of,
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One instruction instance.
+
+    ``address`` is the effective memory address for memory operations
+    (already resolved; the toy generator does not model address
+    computation through registers).
+    """
+
+    opcode: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    address: int = 0
+
+    def __post_init__(self):
+        if self.opcode not in OPCODES:
+            raise ValueError(f"unknown opcode {self.opcode!r}")
+
+    @property
+    def spec(self):
+        return OPCODES[self.opcode]
+
+    @property
+    def is_memory(self) -> bool:
+        return is_memory_opcode(self.opcode)
+
+    @property
+    def alignment(self) -> str:
+        if not self.is_memory:
+            return "aligned"
+        return access_alignment(self.address, self.spec.access_bytes)
+
+    @property
+    def region(self) -> str:
+        return region_of(self.address)
+
+    def token(self) -> str:
+        """Token for sequence kernels: opcode tagged with LSU-relevant
+        qualifiers so behaviourally different uses look different."""
+        if not self.is_memory:
+            return self.opcode
+        return f"{self.opcode}.{self.alignment[:3]}.{self.region[:3]}"
+
+    def __str__(self):
+        if self.is_memory:
+            return f"{self.opcode} r{self.rd}, 0x{self.address:08x}"
+        return f"{self.opcode} r{self.rd}, r{self.rs1}, r{self.rs2}"
+
+
+# names of the per-test generation knobs, in feature order
+KNOB_NAMES: Tuple[str, ...] = (
+    "load_fraction",
+    "store_fraction",
+    "atomic_fraction",
+    "misaligned_fraction",
+    "line_cross_fraction",
+    "mmio_fraction",
+    "scratchpad_fraction",
+    "address_reuse",
+    "barrier_fraction",
+    "length",
+)
+
+
+@dataclass
+class Program:
+    """A functional test: an instruction sequence plus its provenance.
+
+    ``knobs`` records the generator parameters this test was drawn with;
+    they double as the test's feature vector for rule learning, which is
+    exactly how [28] lifts "properties of a special test" back into a
+    test template.
+    """
+
+    instructions: List[Instruction]
+    knobs: Dict[str, float] = field(default_factory=dict)
+    name: str = ""
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def tokens(self) -> List[str]:
+        """Token sequence for the spectrum kernel."""
+        return [instruction.token() for instruction in self.instructions]
+
+    def opcode_histogram(self) -> Dict[str, int]:
+        """Opcode usage counts."""
+        counts: Dict[str, int] = {}
+        for instruction in self.instructions:
+            counts[instruction.opcode] = counts.get(instruction.opcode, 0) + 1
+        return counts
+
+    def measured_features(self) -> Dict[str, float]:
+        """Realized (not intended) statistics of the program."""
+        n = max(len(self.instructions), 1)
+        memory_ops = [i for i in self.instructions if i.is_memory]
+        n_mem = max(len(memory_ops), 1)
+        addresses = [i.address for i in memory_ops]
+        unique_fraction = (
+            len(set(addresses)) / len(addresses) if addresses else 1.0
+        )
+        return {
+            "load_fraction": sum(
+                1 for i in self.instructions if i.spec.category == "load"
+            ) / n,
+            "store_fraction": sum(
+                1 for i in self.instructions if i.spec.category == "store"
+            ) / n,
+            "atomic_fraction": sum(
+                1 for i in self.instructions if i.spec.category == "atomic"
+            ) / n,
+            "misaligned_fraction": sum(
+                1 for i in memory_ops if i.alignment == "misaligned"
+            ) / n_mem,
+            "line_cross_fraction": sum(
+                1 for i in memory_ops if i.alignment == "line_crossing"
+            ) / n_mem,
+            "mmio_fraction": sum(
+                1 for i in memory_ops if i.region == "mmio"
+            ) / n_mem,
+            "scratchpad_fraction": sum(
+                1 for i in memory_ops if i.region == "scratchpad"
+            ) / n_mem,
+            "address_reuse": 1.0 - unique_fraction,
+            "barrier_fraction": sum(
+                1 for i in self.instructions if i.spec.category == "barrier"
+            ) / n,
+            "length": float(len(self.instructions)),
+        }
+
+    def knob_features(self) -> np.ndarray:
+        """Generation-knob feature vector in :data:`KNOB_NAMES` order."""
+        source = self.knobs if self.knobs else self.measured_features()
+        return np.array([float(source.get(k, 0.0)) for k in KNOB_NAMES])
+
+    def listing(self) -> str:
+        """Assembly-style text listing."""
+        return "\n".join(str(i) for i in self.instructions)
+
+    @classmethod
+    def from_listing(cls, text: str, name: str = "") -> "Program":
+        """Parse an assembly-style listing back into a program.
+
+        Accepts the format :meth:`listing` emits, so tests and flows can
+        round-trip through text — the form real verification
+        environments exchange tests in ([14]'s samples are assembly
+        files).  Blank lines and ``#`` comments are ignored.
+        """
+        instructions: List[Instruction] = []
+        for line_number, raw_line in enumerate(text.splitlines(), 1):
+            line = raw_line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            instructions.append(_parse_instruction(line, line_number))
+        return cls(instructions=instructions, name=name)
+
+
+def _parse_instruction(line: str, line_number: int) -> Instruction:
+    parts = line.replace(",", " ").split()
+    opcode = parts[0].upper()
+    if opcode not in OPCODES:
+        raise ValueError(
+            f"line {line_number}: unknown opcode {opcode!r}"
+        )
+    operands = parts[1:]
+
+    def parse_register(token: str) -> int:
+        if not token.lower().startswith("r"):
+            raise ValueError(
+                f"line {line_number}: expected register, got {token!r}"
+            )
+        return int(token[1:])
+
+    if is_memory_opcode(opcode):
+        if len(operands) != 2:
+            raise ValueError(
+                f"line {line_number}: memory op needs 'rD, address'"
+            )
+        return Instruction(
+            opcode,
+            rd=parse_register(operands[0]),
+            address=int(operands[1], 0),
+        )
+    if opcode in ("SYNC", "NOP") and not operands:
+        return Instruction(opcode)
+    registers = [parse_register(token) for token in operands]
+    registers += [0] * (3 - len(registers))
+    return Instruction(
+        opcode, rd=registers[0], rs1=registers[1], rs2=registers[2]
+    )
+
+
+def knob_feature_matrix(programs) -> np.ndarray:
+    """Stack the knob features of many programs into a matrix."""
+    return np.array([p.knob_features() for p in programs])

@@ -1,0 +1,247 @@
+"""Constrained-random test generation — the "randomizer" of Fig. 6.
+
+A :class:`TestTemplate` is the engineer-owned artifact: per-knob ranges
+from which each generated test draws its own operating point.  The
+:class:`Randomizer` instantiates templates into :class:`Program` tests.
+Template refinement (Table 1's loop) works by *constraining* knob ranges
+based on learned rules, so the same machinery serves both the original
+and the refined templates.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from ..core.rng import ensure_rng
+from .isa import (
+    ALU_OPCODES,
+    BRANCH_OPCODES,
+    CACHE_LINE_BYTES,
+    LOAD_OPCODES,
+    N_REGISTERS,
+    REGION_SIZE,
+    REGIONS,
+    STORE_OPCODES,
+)
+from .program import KNOB_NAMES, Instruction, Program
+
+#: default knob ranges for a generic (conservative) LSU template — the
+#: kind of first-cut template an engineer writes before any learning
+DEFAULT_KNOB_RANGES: Dict[str, Tuple[float, float]] = {
+    "load_fraction": (0.15, 0.35),
+    "store_fraction": (0.10, 0.30),
+    "atomic_fraction": (0.01, 0.08),
+    "misaligned_fraction": (0.00, 0.06),
+    "line_cross_fraction": (0.00, 0.03),
+    "mmio_fraction": (0.00, 0.10),
+    "scratchpad_fraction": (0.00, 0.10),
+    "address_reuse": (0.00, 0.30),
+    "barrier_fraction": (0.00, 0.04),
+    "length": (20.0, 60.0),
+}
+
+#: absolute per-knob limits a refined template may push toward; learning
+#: discovers the *direction*, the hard limit bounds the magnitude
+HARD_KNOB_LIMITS: Dict[str, Tuple[float, float]] = {
+    "load_fraction": (0.05, 0.50),
+    "store_fraction": (0.05, 0.50),
+    "atomic_fraction": (0.00, 0.20),
+    "misaligned_fraction": (0.00, 0.50),
+    "line_cross_fraction": (0.00, 0.30),
+    "mmio_fraction": (0.00, 0.40),
+    "scratchpad_fraction": (0.00, 0.40),
+    "address_reuse": (0.00, 0.90),
+    "barrier_fraction": (0.00, 0.15),
+    "length": (8.0, 120.0),
+}
+
+
+@dataclass
+class TestTemplate:
+    """Knob ranges defining a family of constrained-random tests."""
+
+    # not a pytest test class despite the domain-standard name
+    __test__ = False
+
+    knob_ranges: Dict[str, Tuple[float, float]] = field(
+        default_factory=lambda: copy.deepcopy(DEFAULT_KNOB_RANGES)
+    )
+    name: str = "default"
+
+    def __post_init__(self):
+        for knob in KNOB_NAMES:
+            if knob not in self.knob_ranges:
+                raise ValueError(f"template is missing knob {knob!r}")
+        for knob, (low, high) in self.knob_ranges.items():
+            if low > high:
+                raise ValueError(f"knob {knob!r} has low > high")
+
+    def sample_knobs(self, rng) -> Dict[str, float]:
+        """Draw one test's operating point uniformly from the ranges."""
+        return {
+            knob: float(rng.uniform(low, high))
+            for knob, (low, high) in self.knob_ranges.items()
+        }
+
+    def constrained(self, constraints: Dict[str, Tuple[float, float]],
+                    name: str = "") -> "TestTemplate":
+        """Return a copy with knob ranges intersected with *constraints*.
+
+        An empty intersection collapses to the constraint midpoint — the
+        learned rule overrides the original range, which is what the
+        engineer-in-the-loop would do.
+        """
+        new_ranges = copy.deepcopy(self.knob_ranges)
+        for knob, (low, high) in constraints.items():
+            if knob not in new_ranges:
+                raise KeyError(f"unknown knob {knob!r}")
+            old_low, old_high = new_ranges[knob]
+            merged_low = max(old_low, low)
+            merged_high = min(old_high, high)
+            if merged_low > merged_high:
+                midpoint = (low + high) / 2.0
+                merged_low = merged_high = midpoint
+            new_ranges[knob] = (merged_low, merged_high)
+        return TestTemplate(
+            knob_ranges=new_ranges, name=name or f"{self.name}+constrained"
+        )
+
+    def biased(self, constraints: Dict[str, Tuple[float, float]],
+               name: str = "") -> "TestTemplate":
+        """Return a rewritten template biased toward learned properties.
+
+        Unlike :meth:`constrained`, the new ranges may *extend beyond*
+        the current template: a ``knob > v`` finding opens the range up
+        to the hard knob limit, modelling the engineer rewriting the
+        template to emphasize the discovered property (the Table 1
+        usage).  ``-inf``/``+inf`` bounds map to the hard limits.
+        """
+        new_ranges = copy.deepcopy(self.knob_ranges)
+        for knob, (low, high) in constraints.items():
+            if knob not in new_ranges:
+                raise KeyError(f"unknown knob {knob!r}")
+            hard_low, hard_high = HARD_KNOB_LIMITS[knob]
+            new_low = hard_low if low == float("-inf") else max(low, hard_low)
+            new_high = (
+                hard_high if high == float("inf") else min(high, hard_high)
+            )
+            if new_low > new_high:
+                new_low = new_high = (new_low + new_high) / 2.0
+            new_ranges[knob] = (new_low, new_high)
+        return TestTemplate(
+            knob_ranges=new_ranges, name=name or f"{self.name}+biased"
+        )
+
+
+class Randomizer:
+    """Instantiates templates into concrete test programs."""
+
+    def __init__(self, random_state=None):
+        self._rng = ensure_rng(random_state)
+
+    # ------------------------------------------------------------------
+    def _pick_region(self, knobs, rng) -> str:
+        u = rng.uniform()
+        if u < knobs["mmio_fraction"]:
+            return "mmio"
+        if u < knobs["mmio_fraction"] + knobs["scratchpad_fraction"]:
+            return "scratchpad"
+        return "dram" if rng.uniform() < 0.7 else "stack"
+
+    def _pick_address(self, knobs, rng, access_bytes: int,
+                      used_addresses: List[int]) -> int:
+        if used_addresses and rng.uniform() < knobs["address_reuse"]:
+            return int(rng.choice(used_addresses))
+        region = self._pick_region(knobs, rng)
+        base = REGIONS[region]
+        # draw an aligned anchor, then perturb per the alignment knobs
+        slots = (REGION_SIZE - CACHE_LINE_BYTES) // max(access_bytes, 1)
+        offset = int(rng.integers(0, max(slots, 1))) * max(access_bytes, 1)
+        address = base + offset
+        if access_bytes > 1:
+            u = rng.uniform()
+            if u < knobs["line_cross_fraction"]:
+                # place the access so it straddles a line boundary
+                line = address // CACHE_LINE_BYTES
+                address = (
+                    line * CACHE_LINE_BYTES
+                    + CACHE_LINE_BYTES
+                    - int(rng.integers(1, access_bytes))
+                )
+            elif u < knobs["line_cross_fraction"] + knobs["misaligned_fraction"]:
+                bump = int(rng.integers(1, access_bytes))
+                address += bump
+                # avoid accidentally crossing a line: pull back if needed
+                if (address % CACHE_LINE_BYTES) + access_bytes > CACHE_LINE_BYTES:
+                    address -= access_bytes
+        return address
+
+    def generate(self, template: TestTemplate, name: str = "") -> Program:
+        """Generate one test program from *template*."""
+        rng = self._rng
+        knobs = template.sample_knobs(rng)
+        length = max(4, int(round(knobs["length"])))
+        instructions: List[Instruction] = []
+        used_addresses: List[int] = []
+        pending_ll_address = None
+        for _ in range(length):
+            u = rng.uniform()
+            load_cut = knobs["load_fraction"]
+            store_cut = load_cut + knobs["store_fraction"]
+            atomic_cut = store_cut + knobs["atomic_fraction"]
+            barrier_cut = atomic_cut + knobs["barrier_fraction"]
+            rd = int(rng.integers(0, N_REGISTERS))
+            rs1 = int(rng.integers(0, N_REGISTERS))
+            rs2 = int(rng.integers(0, N_REGISTERS))
+            if u < load_cut:
+                opcode = str(rng.choice(LOAD_OPCODES))
+                access = {"LB": 1, "LBU": 1, "LH": 2, "LHU": 2,
+                          "LW": 4, "LWU": 4, "LD": 8}[opcode]
+                address = self._pick_address(knobs, rng, access, used_addresses)
+                used_addresses.append(address)
+                instructions.append(
+                    Instruction(opcode, rd=rd, address=address)
+                )
+            elif u < store_cut:
+                opcode = str(rng.choice(STORE_OPCODES))
+                access = {"SB": 1, "SH": 2, "SW": 4, "SD": 8}[opcode]
+                address = self._pick_address(knobs, rng, access, used_addresses)
+                used_addresses.append(address)
+                instructions.append(
+                    Instruction(opcode, rd=rd, address=address)
+                )
+            elif u < atomic_cut:
+                if pending_ll_address is None:
+                    address = self._pick_address(knobs, rng, 4, used_addresses)
+                    pending_ll_address = address
+                    instructions.append(
+                        Instruction("LL", rd=rd, address=address)
+                    )
+                else:
+                    # close the LL with an SC to the same address; whether
+                    # the SC *succeeds* depends on intervening stores to
+                    # the reserved line (a behaviour, not a knob)
+                    address = pending_ll_address
+                    pending_ll_address = None
+                    instructions.append(
+                        Instruction("SC", rd=rd, address=address)
+                    )
+                used_addresses.append(instructions[-1].address)
+            elif u < barrier_cut:
+                instructions.append(Instruction("SYNC"))
+            else:
+                pool = ALU_OPCODES if rng.uniform() < 0.8 else BRANCH_OPCODES
+                instructions.append(
+                    Instruction(str(rng.choice(pool)), rd=rd, rs1=rs1, rs2=rs2)
+                )
+        return Program(instructions=instructions, knobs=knobs, name=name)
+
+    def stream(self, template: TestTemplate, n_tests: int,
+               prefix: str = "t") -> Iterator[Program]:
+        """Yield *n_tests* programs, named ``{prefix}{index}``."""
+        if n_tests < 0:
+            raise ValueError("n_tests must be non-negative")
+        for index in range(n_tests):
+            yield self.generate(template, name=f"{prefix}{index}")

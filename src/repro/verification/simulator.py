@@ -1,0 +1,189 @@
+"""Behavioural simulator of a small load-store unit.
+
+Models the micro-architectural structures whose corner cases the
+coverage model watches: an LRU data cache, a finite store buffer with
+store-to-load forwarding, an LL/SC reservation, and SYNC barriers.  One
+``simulate(program)`` call returns the events the program provoked; the
+driver folds them into a :class:`~repro.verification.coverage.CoverageModel`.
+
+Simulation here stands in for the "19+ hours in server farm simulation"
+of the paper's Fig. 7 environment: the *relative* cost of simulating a
+test is what the selection flow optimizes, so wall-clock realism is not
+required — behavioural richness (which tests produce which events) is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .coverage import CoverageModel
+from .isa import CACHE_LINE_BYTES
+from .program import Program
+
+#: store-buffer capacity (entries)
+STORE_BUFFER_DEPTH = 4
+
+#: data-cache capacity in lines
+CACHE_LINES = 16
+
+
+@dataclass
+class SimulationResult:
+    """Events one program produced."""
+
+    cross_points: Dict[str, int] = field(default_factory=dict)
+    summary: Dict[str, int] = field(default_factory=dict)
+    special_hits: List[str] = field(default_factory=list)
+
+    @property
+    def n_cross_points(self) -> int:
+        return len(self.cross_points)
+
+
+class LoadStoreUnitSimulator:
+    """Executes programs against the LSU model and scores coverage."""
+
+    def __init__(self):
+        self.coverage = CoverageModel()
+        self.n_simulated = 0
+
+    # ------------------------------------------------------------------
+    def simulate(self, program: Program) -> SimulationResult:
+        """Run one program; update global coverage and return its events."""
+        result = SimulationResult()
+        cache: List[int] = []  # LRU list of resident line numbers
+        store_buffer: List[Tuple[int, int, bool]] = []  # (addr, bytes, misaligned)
+        reservation: Optional[int] = None  # reserved line number
+        summary = {
+            "misaligned_loads": 0,
+            "misaligned_accesses": 0,
+            "forwardings": 0,
+            "misaligned_forwardings": 0,
+            "sc_failures": 0,
+            "sc_successes": 0,
+            "buffer_full": 0,
+            "atomic_events": 0,
+            "cache_misses": 0,
+            "sync_drains": 0,
+            "mmio_after_sync": 0,
+        }
+        instructions_since_sync = 999
+
+        def touch_cache(address: int, access_bytes: int) -> bool:
+            """Access the cache; return True on miss (of any line)."""
+            missed = False
+            first = address // CACHE_LINE_BYTES
+            last = (address + max(access_bytes, 1) - 1) // CACHE_LINE_BYTES
+            for line in range(first, last + 1):
+                if line in cache:
+                    cache.remove(line)
+                else:
+                    missed = True
+                    if len(cache) >= CACHE_LINES:
+                        cache.pop(0)
+                cache.append(line)
+            return missed
+
+        def overlapping_store(address: int, access_bytes: int):
+            for entry in reversed(store_buffer):
+                entry_address, entry_bytes, entry_misaligned = entry
+                if (address < entry_address + entry_bytes
+                        and entry_address < address + access_bytes):
+                    return entry
+            return None
+
+        def cross_point(instruction) -> str:
+            return ".".join(
+                [
+                    instruction.opcode,
+                    instruction.alignment,
+                    instruction.region,
+                ]
+            )
+
+        for instruction in program:
+            category = instruction.spec.category
+            if category in ("load", "store", "atomic"):
+                access_bytes = instruction.spec.access_bytes
+                address = instruction.address
+                alignment = instruction.alignment
+                if alignment != "aligned":
+                    summary["misaligned_accesses"] += 1
+                missed = touch_cache(address, access_bytes)
+                if missed:
+                    summary["cache_misses"] += 1
+                point = cross_point(instruction)
+                result.cross_points[point] = (
+                    result.cross_points.get(point, 0) + 1
+                )
+
+                if category == "load" or instruction.opcode == "LL":
+                    if alignment != "aligned" and category == "load":
+                        summary["misaligned_loads"] += 1
+                    entry = overlapping_store(address, access_bytes)
+                    if entry is not None:
+                        summary["forwardings"] += 1
+                        if entry[2]:
+                            summary["misaligned_forwardings"] += 1
+                    if instruction.region == "mmio" and instructions_since_sync <= 2:
+                        summary["mmio_after_sync"] += 1
+
+                if instruction.opcode == "LL":
+                    reservation = address // CACHE_LINE_BYTES
+                    summary["atomic_events"] += 1
+                elif instruction.opcode == "SC":
+                    summary["atomic_events"] += 1
+                    line = address // CACHE_LINE_BYTES
+                    if reservation is not None and reservation == line:
+                        summary["sc_successes"] += 1
+                    else:
+                        summary["sc_failures"] += 1
+                    reservation = None
+
+                if category == "store" or instruction.opcode == "SC":
+                    if len(store_buffer) >= STORE_BUFFER_DEPTH:
+                        summary["buffer_full"] += 1
+                        store_buffer.pop(0)  # forced drain
+                    store_buffer.append(
+                        (address, access_bytes, alignment != "aligned")
+                    )
+                    # a store to the reserved line kills the reservation
+                    if reservation is not None and instruction.opcode != "SC":
+                        first = address // CACHE_LINE_BYTES
+                        last = (
+                            address + max(access_bytes, 1) - 1
+                        ) // CACHE_LINE_BYTES
+                        if first <= reservation <= last:
+                            reservation = None
+                instructions_since_sync += 1
+            elif category == "barrier":
+                if store_buffer:
+                    summary["sync_drains"] += 1
+                store_buffer.clear()
+                instructions_since_sync = 0
+            else:
+                # ALU/branch: the buffer drains one entry in the shadow
+                if store_buffer:
+                    store_buffer.pop(0)
+                instructions_since_sync += 1
+
+        # event-level cross points
+        for event in ("buffer_full", "sc_failures", "sc_successes",
+                      "sync_drains", "mmio_after_sync",
+                      "misaligned_forwardings", "forwardings"):
+            if summary[event] > 0:
+                result.cross_points[f"event.{event}"] = summary[event]
+
+        result.summary = summary
+        for point, count in result.cross_points.items():
+            self.coverage.record_cross(point, count)
+        result.special_hits = self.coverage.record_test_summary(summary)
+        self.n_simulated += 1
+        return result
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget all accumulated coverage."""
+        self.coverage = CoverageModel()
+        self.n_simulated = 0

@@ -1,0 +1,221 @@
+"""API-contract tests applied to every estimator in the library.
+
+Each estimator must: store constructor args verbatim, survive
+get_params/set_params/clone round-trips, refuse to predict before fit,
+and produce outputs of the documented shape after fit.  Testing the
+contract generically keeps the whole catalogue honest as it grows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NotFittedError, clone
+from repro.kernels import RBFKernel
+
+# ---------------------------------------------------------------------
+# registry: (constructor, task) where task picks the fitting data
+# ---------------------------------------------------------------------
+
+
+def classifier_data(rng):
+    X = np.vstack(
+        [rng.normal(-2, 0.6, size=(25, 3)), rng.normal(2, 0.6, size=(25, 3))]
+    )
+    y = np.repeat([0, 1], 25)
+    return X, y
+
+
+def regressor_data(rng):
+    X = rng.uniform(-1, 1, size=(40, 2))
+    y = X[:, 0] * 2.0 + rng.normal(0, 0.05, 40)
+    return X, y
+
+
+def unsupervised_data(rng):
+    return np.vstack(
+        [rng.normal(-3, 0.4, size=(20, 2)), rng.normal(3, 0.4, size=(20, 2))]
+    )
+
+
+def _make_registry():
+    from repro import cluster, learn, transform
+    from repro.mfgtest import (
+        OneClassSVMDetector,
+        PCAOutlierDetector,
+        RobustMahalanobisDetector,
+    )
+
+    classifiers = [
+        lambda: learn.KNeighborsClassifier(n_neighbors=3),
+        lambda: learn.LogisticRegression(max_iter=100),
+        learn.GaussianNaiveBayes,
+        learn.BernoulliNaiveBayes,
+        learn.LinearDiscriminantAnalysis,
+        learn.QuadraticDiscriminantAnalysis,
+        lambda: learn.SVC(kernel=RBFKernel(0.5), random_state=0),
+        lambda: learn.DecisionTreeClassifier(max_depth=4, random_state=0),
+        lambda: learn.RandomForestClassifier(n_estimators=5, random_state=0),
+        lambda: learn.MLPClassifier(hidden_layers=(4,), max_iter=30,
+                                    random_state=0),
+        lambda: learn.RuleSetClassifier(max_rules=2),
+        lambda: learn.OneVsRestClassifier(
+            learn.LogisticRegression(max_iter=100)
+        ),
+        lambda: learn.PlattCalibratedClassifier(
+            learn.SVC(kernel=RBFKernel(0.5), random_state=0),
+            random_state=0,
+        ),
+        lambda: learn.SelfTrainingClassifier(
+            learn.GaussianNaiveBayes(), threshold=0.95
+        ),
+    ]
+    regressors = [
+        lambda: learn.KNeighborsRegressor(n_neighbors=3),
+        learn.LeastSquaresRegressor,
+        lambda: learn.RidgeRegressor(alpha=0.1),
+        lambda: learn.KernelRidgeRegressor(kernel=RBFKernel(1.0),
+                                           alpha=0.01),
+        lambda: learn.SVR(kernel=RBFKernel(1.0), C=5.0, epsilon=0.05),
+        lambda: learn.GaussianProcessRegressor(kernel=RBFKernel(1.0),
+                                               noise=1e-3),
+        lambda: learn.DecisionTreeRegressor(max_depth=4, random_state=0),
+        lambda: learn.RandomForestRegressor(n_estimators=5, random_state=0),
+        lambda: learn.MLPRegressor(hidden_layers=(4,), max_iter=30,
+                                   random_state=0),
+    ]
+    clusterers = [
+        lambda: cluster.KMeans(n_clusters=2, random_state=0),
+        lambda: cluster.AgglomerativeClustering(n_clusters=2),
+        lambda: cluster.DBSCAN(eps=1.0, min_samples=3),
+        lambda: cluster.SpectralClustering(n_clusters=2, random_state=0),
+        lambda: cluster.MeanShift(bandwidth=2.0),
+        cluster.AffinityPropagation,
+    ]
+    transformers = [
+        lambda: transform.PCA(n_components=2),
+        lambda: transform.FastICA(n_components=2, random_state=0),
+    ]
+    detectors = [
+        RobustMahalanobisDetector,
+        lambda: OneClassSVMDetector(kernel=RBFKernel(0.3), nu=0.1),
+        lambda: PCAOutlierDetector(n_components=1),
+    ]
+    return classifiers, regressors, clusterers, transformers, detectors
+
+
+(CLASSIFIERS, REGRESSORS, CLUSTERERS, TRANSFORMERS,
+ DETECTORS) = _make_registry()
+
+
+def _name(factory):
+    return type(factory()).__name__
+
+
+@pytest.mark.parametrize("factory", CLASSIFIERS, ids=_name)
+class TestClassifierContract:
+    def test_params_roundtrip_and_clone(self, factory):
+        model = factory()
+        params = model.get_params()
+        copy = clone(model)
+        assert copy.get_params() == params
+
+    def test_unfitted_predict_raises(self, factory, rng):
+        X, _ = classifier_data(rng)
+        with pytest.raises((NotFittedError, RuntimeError, AttributeError)):
+            factory().predict(X)
+
+    def test_fit_predict_shapes(self, factory, rng):
+        X, y = classifier_data(rng)
+        model = factory().fit(X, y)
+        predictions = model.predict(X)
+        assert len(predictions) == len(X)
+        assert set(np.unique(predictions)) <= set(np.unique(y)) | {"other"}
+
+    def test_fit_returns_self(self, factory, rng):
+        X, y = classifier_data(rng)
+        model = factory()
+        assert model.fit(X, y) is model
+
+    def test_separable_data_high_accuracy(self, factory, rng):
+        X, y = classifier_data(rng)
+        model = factory().fit(X, y)
+        assert model.score(X, y) > 0.85
+
+
+@pytest.mark.parametrize("factory", REGRESSORS, ids=_name)
+class TestRegressorContract:
+    def test_params_roundtrip_and_clone(self, factory):
+        model = factory()
+        copy = clone(model)
+        assert copy.get_params() == model.get_params()
+
+    def test_fit_predict_shapes(self, factory, rng):
+        X, y = regressor_data(rng)
+        model = factory().fit(X, y)
+        predictions = model.predict(X)
+        assert predictions.shape == (len(X),)
+        assert np.all(np.isfinite(predictions))
+
+    def test_linear_trend_learned(self, factory, rng):
+        X, y = regressor_data(rng)
+        model = factory().fit(X, y)
+        assert model.score(X, y) > 0.5
+
+
+@pytest.mark.parametrize("factory", CLUSTERERS, ids=_name)
+class TestClustererContract:
+    def test_labels_shape(self, factory, rng):
+        X = unsupervised_data(rng)
+        model = factory().fit(X)
+        assert model.labels_.shape == (len(X),)
+
+    def test_fit_predict_matches_labels(self, factory, rng):
+        X = unsupervised_data(rng)
+        model = factory()
+        labels = model.fit_predict(X)
+        np.testing.assert_array_equal(labels, model.labels_)
+
+    def test_two_far_blobs_separate(self, factory, rng):
+        X = unsupervised_data(rng)
+        labels = factory().fit_predict(X)
+        first_half = set(labels[:20].tolist()) - {-1}
+        second_half = set(labels[20:].tolist()) - {-1}
+        assert first_half.isdisjoint(second_half)
+
+
+@pytest.mark.parametrize("factory", TRANSFORMERS, ids=_name)
+class TestTransformerContract:
+    def test_fit_transform_equals_fit_then_transform(self, factory, rng):
+        X = unsupervised_data(rng)
+        a = factory()
+        direct = a.fit_transform(X)
+        b = factory().fit(X)
+        np.testing.assert_allclose(direct, b.transform(X), atol=1e-8)
+
+    def test_output_is_2d_finite(self, factory, rng):
+        X = unsupervised_data(rng)
+        out = factory().fit_transform(X)
+        assert out.ndim == 2
+        assert np.all(np.isfinite(out))
+
+
+@pytest.mark.parametrize("factory", DETECTORS, ids=_name)
+class TestDetectorContract:
+    def test_scores_and_flags_align(self, factory, rng):
+        X = rng.normal(size=(300, 2))
+        detector = factory().fit(X)
+        scores = detector.score_samples(X)
+        flags = detector.is_outlier(X)
+        assert scores.shape == (len(X),)
+        assert flags.dtype == bool
+
+    def test_extreme_point_flagged(self, factory, rng):
+        X = rng.normal(size=(300, 2))
+        detector = factory().fit(X)
+        assert detector.is_outlier(np.array([[25.0, 25.0]]))[0]
+
+    def test_predict_convention(self, factory, rng):
+        X = rng.normal(size=(200, 2))
+        detector = factory().fit(X)
+        predictions = detector.predict(X)
+        assert set(np.unique(predictions)) <= {-1, 1}

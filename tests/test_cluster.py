@@ -1,0 +1,233 @@
+"""Tests for the clustering catalogue (Section 2.4)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    NOISE,
+    AffinityPropagation,
+    AgglomerativeClustering,
+    DBSCAN,
+    KMeans,
+    MeanShift,
+    SpectralClustering,
+    adjusted_rand_index,
+    cluster_purity,
+    estimate_bandwidth,
+    silhouette_score,
+)
+
+
+@pytest.fixture
+def three_blobs(rng):
+    X = np.vstack(
+        [
+            rng.normal((-4.0, 0.0), 0.4, size=(30, 2)),
+            rng.normal((4.0, 0.0), 0.4, size=(30, 2)),
+            rng.normal((0.0, 5.0), 0.4, size=(30, 2)),
+        ]
+    )
+    y = np.repeat([0, 1, 2], 30)
+    return X, y
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, three_blobs):
+        X, y = three_blobs
+        model = KMeans(n_clusters=3, random_state=0).fit(X)
+        assert adjusted_rand_index(y, model.labels_) > 0.95
+
+    def test_inertia_decreases_with_k(self, three_blobs):
+        X, _ = three_blobs
+        inertias = [
+            KMeans(n_clusters=k, random_state=0).fit(X).inertia_
+            for k in (1, 2, 3, 5)
+        ]
+        assert inertias == sorted(inertias, reverse=True)
+
+    def test_predict_assigns_nearest_center(self, three_blobs):
+        X, _ = three_blobs
+        model = KMeans(n_clusters=3, random_state=0).fit(X)
+        probe = model.cluster_centers_[1] + 0.01
+        assert model.predict(probe.reshape(1, -1))[0] == 1
+
+    def test_seeded_determinism(self, three_blobs):
+        X, _ = three_blobs
+        a = KMeans(n_clusters=3, random_state=5).fit(X)
+        b = KMeans(n_clusters=3, random_state=5).fit(X)
+        np.testing.assert_array_equal(a.labels_, b.labels_)
+
+    def test_rejects_more_clusters_than_samples(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=5).fit(np.zeros((3, 2)))
+
+    def test_fit_predict_matches_labels(self, three_blobs):
+        X, _ = three_blobs
+        model = KMeans(n_clusters=3, random_state=0)
+        labels = model.fit_predict(X)
+        np.testing.assert_array_equal(labels, model.labels_)
+
+
+class TestAgglomerative:
+    def test_recovers_blobs_all_linkages(self, three_blobs):
+        X, y = three_blobs
+        for linkage in ("single", "complete", "average"):
+            model = AgglomerativeClustering(
+                n_clusters=3, linkage=linkage
+            ).fit(X)
+            assert adjusted_rand_index(y, model.labels_) > 0.9, linkage
+
+    def test_merge_count(self, three_blobs):
+        X, _ = three_blobs
+        model = AgglomerativeClustering(n_clusters=3).fit(X)
+        assert len(model.merges_) == len(X) - 3
+
+    def test_single_linkage_chains_elongated_cluster(self, rng):
+        # a long thin line plus a compact blob: single linkage keeps the
+        # line whole, complete linkage tends to cut it
+        line = np.column_stack(
+            [np.linspace(0, 10, 40), rng.normal(0, 0.05, 40)]
+        )
+        blob = rng.normal((5.0, 5.0), 0.2, size=(20, 2))
+        X = np.vstack([line, blob])
+        truth = np.array([0] * 40 + [1] * 20)
+        single = AgglomerativeClustering(2, linkage="single").fit(X)
+        assert adjusted_rand_index(truth, single.labels_) > 0.95
+
+    def test_rejects_unknown_linkage(self):
+        with pytest.raises(ValueError):
+            AgglomerativeClustering(linkage="ward").fit(np.zeros((5, 2)))
+
+
+class TestDBSCAN:
+    def test_finds_clusters_and_noise(self, three_blobs):
+        X, y = three_blobs
+        X_noisy = np.vstack([X, [[100.0, 100.0]]])
+        model = DBSCAN(eps=1.0, min_samples=4).fit(X_noisy)
+        assert model.n_clusters_ == 3
+        assert model.labels_[-1] == NOISE
+
+    def test_discovers_count_without_k(self, rng):
+        X = np.vstack(
+            [rng.normal(c, 0.2, size=(25, 2)) for c in (-5.0, 0.0, 5.0, 10.0)]
+        )
+        model = DBSCAN(eps=1.0, min_samples=4).fit(X)
+        assert model.n_clusters_ == 4
+
+    def test_eps_too_small_marks_everything_noise(self, three_blobs):
+        X, _ = three_blobs
+        model = DBSCAN(eps=1e-6, min_samples=3).fit(X)
+        assert np.all(model.labels_ == NOISE)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            DBSCAN(eps=0.0).fit(np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            DBSCAN(min_samples=0).fit(np.zeros((5, 2)))
+
+
+class TestSpectral:
+    def test_recovers_blobs(self, three_blobs):
+        X, y = three_blobs
+        model = SpectralClustering(
+            n_clusters=3, gamma=1.0, random_state=0
+        ).fit(X)
+        assert adjusted_rand_index(y, model.labels_) > 0.9
+
+    def test_separates_rings_where_kmeans_fails(self, rings):
+        X, y = rings
+        spectral = SpectralClustering(
+            n_clusters=2, gamma=4.0, random_state=0
+        ).fit(X)
+        kmeans = KMeans(n_clusters=2, random_state=0).fit(X)
+        assert adjusted_rand_index(y, spectral.labels_) > 0.9
+        assert adjusted_rand_index(y, kmeans.labels_) < 0.5
+
+    def test_precomputed_affinity(self, three_blobs):
+        X, y = three_blobs
+        sq = np.sum(X**2, axis=1)
+        A = np.exp(-(sq[:, None] + sq[None, :] - 2 * X @ X.T))
+        model = SpectralClustering(
+            n_clusters=3, affinity="precomputed", random_state=0
+        ).fit(A)
+        assert adjusted_rand_index(y, model.labels_) > 0.9
+
+
+class TestMeanShift:
+    def test_discovers_modes(self, three_blobs):
+        X, y = three_blobs
+        model = MeanShift(bandwidth=1.5).fit(X)
+        assert len(model.cluster_centers_) == 3
+        assert cluster_purity(y, model.labels_) > 0.95
+
+    def test_bandwidth_heuristic_positive(self, three_blobs):
+        X, _ = three_blobs
+        assert estimate_bandwidth(X) > 0
+
+    def test_predict_nearest_mode(self, three_blobs):
+        X, _ = three_blobs
+        model = MeanShift(bandwidth=1.5).fit(X)
+        labels = model.predict(model.cluster_centers_)
+        assert sorted(labels.tolist()) == list(
+            range(len(model.cluster_centers_))
+        )
+
+
+class TestAffinityPropagation:
+    def test_discovers_blob_count(self, three_blobs):
+        X, y = three_blobs
+        model = AffinityPropagation().fit(X)
+        assert model.n_clusters_ == 3
+        assert cluster_purity(y, model.labels_) > 0.95
+
+    def test_exemplars_are_data_points(self, three_blobs):
+        X, _ = three_blobs
+        model = AffinityPropagation().fit(X)
+        data_rows = {tuple(row) for row in X}
+        for center in model.cluster_centers_:
+            assert tuple(center) in data_rows
+
+    def test_preference_controls_cluster_count(self, three_blobs):
+        X, _ = three_blobs
+        few = AffinityPropagation(preference=-500.0).fit(X)
+        many = AffinityPropagation(preference=-1.0).fit(X)
+        assert many.n_clusters_ >= few.n_clusters_
+
+    def test_rejects_bad_damping(self):
+        with pytest.raises(ValueError):
+            AffinityPropagation(damping=0.3).fit(np.zeros((5, 2)))
+
+
+class TestClusterMetrics:
+    def test_ari_identical_labelings(self):
+        labels = [0, 0, 1, 1, 2]
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_ari_invariant_to_label_permutation(self):
+        a = [0, 0, 1, 1]
+        b = [1, 1, 0, 0]
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_ari_random_near_zero(self, rng):
+        a = rng.integers(0, 3, size=500)
+        b = rng.integers(0, 3, size=500)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_silhouette_high_for_separated(self, three_blobs):
+        X, y = three_blobs
+        assert silhouette_score(X, y) > 0.7
+
+    def test_silhouette_low_for_random_labels(self, three_blobs, rng):
+        X, _ = three_blobs
+        random_labels = rng.integers(0, 3, size=len(X))
+        assert silhouette_score(X, random_labels) < 0.1
+
+    def test_silhouette_requires_two_clusters(self, three_blobs):
+        X, _ = three_blobs
+        with pytest.raises(ValueError):
+            silhouette_score(X, np.zeros(len(X)))
+
+    def test_purity_bounds(self, three_blobs, rng):
+        X, y = three_blobs
+        assert cluster_purity(y, y) == 1.0
+        assert 0.0 < cluster_purity(y, rng.integers(0, 3, len(y))) <= 1.0

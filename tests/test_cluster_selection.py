@@ -1,0 +1,116 @@
+"""Tests for cluster-count selection and stability assessment."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    KMeans,
+    StabilityReport,
+    clustering_stability,
+    select_n_clusters,
+)
+
+
+@pytest.fixture
+def four_blobs(rng):
+    return np.vstack(
+        [
+            rng.normal(c, 0.3, size=(30, 2))
+            for c in ((-4, -4), (-4, 4), (4, -4), (4, 4))
+        ]
+    )
+
+
+class TestSelectNClusters:
+    def test_finds_true_count(self, four_blobs):
+        best_k, scores = select_n_clusters(
+            four_blobs, candidates=(2, 3, 4, 5, 6), random_state=0
+        )
+        assert best_k == 4
+
+    def test_scores_reported_for_all_candidates(self, four_blobs):
+        _, scores = select_n_clusters(
+            four_blobs, candidates=(2, 3, 4), random_state=0
+        )
+        assert [k for k, _ in scores] == [2, 3, 4]
+
+    def test_custom_factory(self, four_blobs):
+        from repro.cluster import AgglomerativeClustering
+
+        best_k, _ = select_n_clusters(
+            four_blobs,
+            candidates=(2, 4, 6),
+            clusterer_factory=lambda k: AgglomerativeClustering(n_clusters=k),
+        )
+        assert best_k == 4
+
+    def test_rejects_k_below_two(self, four_blobs):
+        with pytest.raises(ValueError):
+            select_n_clusters(four_blobs, candidates=(1, 2))
+
+    def test_skips_infeasible_counts(self, rng):
+        X = rng.normal(size=(5, 2))
+        best_k, scores = select_n_clusters(
+            X, candidates=(2, 10), random_state=0
+        )
+        assert best_k == 2
+        assert len(scores) == 1
+
+
+class TestClusteringStability:
+    def test_real_structure_is_stable(self, four_blobs):
+        report = clustering_stability(
+            four_blobs,
+            KMeans(n_clusters=4, random_state=0),
+            n_resamples=8,
+            random_state=1,
+        )
+        assert report.mean_ari > 0.9
+        assert report.is_stable
+
+    def test_structureless_data_is_unstable(self, rng):
+        # an isotropic high-dimensional Gaussian has no clusters, so any
+        # k-means partition is an artifact of the draw (the paper's
+        # non-robust case); note that *low*-dimensional uniform data is
+        # NOT a good null here — the optimal quantizer of a square is
+        # nearly unique, so k-means looks deceptively stable on it
+        X = rng.normal(size=(120, 10))
+        report = clustering_stability(
+            X,
+            KMeans(n_clusters=5, random_state=0, n_init=1),
+            n_resamples=8,
+            random_state=1,
+        )
+        assert report.mean_ari < 0.6
+        assert not report.is_stable
+
+    def test_stable_beats_unstable(self, four_blobs, rng):
+        structured = clustering_stability(
+            four_blobs, KMeans(n_clusters=4, random_state=0),
+            n_resamples=6, random_state=2,
+        )
+        noise = clustering_stability(
+            rng.normal(size=(120, 10)),
+            KMeans(n_clusters=4, random_state=0, n_init=1),
+            n_resamples=6, random_state=2,
+        )
+        assert structured.mean_ari > noise.mean_ari
+
+    def test_pairwise_sample_count(self, four_blobs):
+        report = clustering_stability(
+            four_blobs, KMeans(n_clusters=4, random_state=0),
+            n_resamples=5, random_state=0,
+        )
+        assert len(report.ari_samples) == 10  # C(5, 2)
+
+    def test_parameter_validation(self, four_blobs):
+        model = KMeans(n_clusters=2, random_state=0)
+        with pytest.raises(ValueError):
+            clustering_stability(four_blobs, model, n_resamples=1)
+        with pytest.raises(ValueError):
+            clustering_stability(four_blobs, model, sample_fraction=0.01)
+
+    def test_report_dataclass(self):
+        report = StabilityReport(mean_ari=0.95, ari_samples=[0.95],
+                                 n_resamples=2)
+        assert report.is_stable

@@ -1,0 +1,144 @@
+"""Tests for the estimator protocol (repro.core.base)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import (
+    Estimator,
+    as_1d_array,
+    as_2d_array,
+    check_fitted,
+    check_paired,
+    clone,
+)
+from repro.core.exceptions import DataShapeError, NotFittedError
+from repro.learn import KNeighborsClassifier, RidgeRegressor
+
+
+class Toy(Estimator):
+    def __init__(self, alpha=1.0, beta="x"):
+        self.alpha = alpha
+        self.beta = beta
+
+
+class TestParamAPI:
+    def test_get_params_returns_constructor_args(self):
+        toy = Toy(alpha=3.0, beta="y")
+        assert toy.get_params() == {"alpha": 3.0, "beta": "y"}
+
+    def test_set_params_roundtrip(self):
+        toy = Toy()
+        toy.set_params(alpha=9.0)
+        assert toy.alpha == 9.0
+
+    def test_set_params_rejects_unknown(self):
+        with pytest.raises(ValueError, match="no parameter"):
+            Toy().set_params(gamma=1)
+
+    def test_repr_mentions_params(self):
+        assert "alpha=2" in repr(Toy(alpha=2))
+
+
+class TestStructuralEquality:
+    def test_clone_compares_equal(self):
+        from repro.kernels import RBFKernel
+        from repro.learn import SVC
+
+        model = SVC(kernel=RBFKernel(0.7), C=2.0, random_state=0)
+        assert clone(model) == model
+
+    def test_different_params_not_equal(self):
+        assert Toy(alpha=1.0) != Toy(alpha=2.0)
+
+    def test_different_types_not_equal(self):
+        from repro.learn import LogisticRegression, RidgeRegressor
+
+        assert LogisticRegression() != RidgeRegressor()
+
+    def test_nested_wrapper_equality(self):
+        from repro.learn import LogisticRegression, OneVsRestClassifier
+
+        a = OneVsRestClassifier(LogisticRegression(alpha=0.1))
+        b = OneVsRestClassifier(LogisticRegression(alpha=0.1))
+        c = OneVsRestClassifier(LogisticRegression(alpha=0.5))
+        assert a == b
+        assert a != c
+
+    def test_fitted_state_ignored(self, blobs):
+        from repro.learn import GaussianNaiveBayes
+
+        X, y = blobs
+        fitted = GaussianNaiveBayes().fit(X, y)
+        fresh = GaussianNaiveBayes()
+        assert fitted == fresh  # equality is on hyper-parameters only
+
+    def test_usable_in_identity_keyed_dict(self):
+        toy = Toy()
+        registry = {toy: "x"}
+        assert registry[toy] == "x"
+
+
+class TestClone:
+    def test_clone_copies_params_not_state(self):
+        model = RidgeRegressor(alpha=0.5)
+        model.fit([[1.0], [2.0], [3.0]], [1.0, 2.0, 3.0])
+        copy = clone(model)
+        assert copy.alpha == 0.5
+        assert not hasattr(copy, "coef_")
+
+    def test_clone_deep_copies_mutable_params(self):
+        model = Toy(beta=[1, 2])
+        copy = clone(model)
+        copy.beta.append(3)
+        assert model.beta == [1, 2]
+
+
+class TestCheckFitted:
+    def test_raises_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KNeighborsClassifier().predict([[0.0, 0.0]])
+
+    def test_passes_after_fit(self, blobs):
+        X, y = blobs
+        model = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        check_fitted(model, ["X_train_", "y_train_"])  # no raise
+
+
+class TestArrayValidation:
+    def test_as_2d_promotes_1d(self):
+        out = as_2d_array([1.0, 2.0, 3.0])
+        assert out.shape == (3, 1)
+
+    def test_as_2d_rejects_3d(self):
+        with pytest.raises(DataShapeError):
+            as_2d_array(np.zeros((2, 2, 2)))
+
+    def test_as_2d_rejects_nan(self):
+        with pytest.raises(DataShapeError, match="NaN"):
+            as_2d_array([[1.0, np.nan]])
+
+    def test_as_2d_rejects_empty(self):
+        with pytest.raises(DataShapeError):
+            as_2d_array(np.zeros((0, 3)))
+
+    def test_as_1d_rejects_matrix(self):
+        with pytest.raises(DataShapeError):
+            as_1d_array(np.zeros((2, 2)))
+
+    def test_check_paired_mismatch(self):
+        with pytest.raises(DataShapeError):
+            check_paired(np.zeros((3, 1)), np.zeros(4))
+
+
+class TestMixinScores:
+    def test_classifier_score_is_accuracy(self, blobs):
+        X, y = blobs
+        model = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        assert model.score(X, y) == pytest.approx(
+            float(np.mean(model.predict(X) == y))
+        )
+
+    def test_regressor_score_is_r2(self, linear_regression_data):
+        X, y = linear_regression_data
+        model = RidgeRegressor(alpha=1e-6).fit(X, y)
+        assert model.score(X, y) > 0.99

@@ -1,0 +1,93 @@
+"""Tests for the Fig. 1 dataset abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import Dataset
+from repro.core.exceptions import DataShapeError
+
+
+@pytest.fixture
+def small():
+    X = np.arange(12, dtype=float).reshape(4, 3)
+    y = np.array([0, 1, 0, 1])
+    return Dataset(X, y, feature_names=["a", "b", "c"])
+
+
+class TestConstruction:
+    def test_auto_feature_names_match_paper_notation(self):
+        data = Dataset(np.zeros((2, 3)))
+        assert data.feature_names == ["f0", "f1", "f2"]
+
+    def test_rejects_label_length_mismatch(self):
+        with pytest.raises(DataShapeError):
+            Dataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_rejects_feature_name_mismatch(self):
+        with pytest.raises(DataShapeError):
+            Dataset(np.zeros((2, 3)), feature_names=["only_one"])
+
+    def test_supervised_flag(self, small):
+        assert small.is_supervised
+        assert not Dataset(np.zeros((2, 2))).is_supervised
+
+    def test_len_and_shape(self, small):
+        assert len(small) == 4
+        assert small.n_samples == 4
+        assert small.n_features == 3
+
+
+class TestAccessors:
+    def test_feature_by_name(self, small):
+        np.testing.assert_array_equal(
+            small.feature("b"), np.array([1.0, 4.0, 7.0, 10.0])
+        )
+
+    def test_feature_unknown_name(self, small):
+        with pytest.raises(KeyError):
+            small.feature("zz")
+
+    def test_select_features_preserves_labels(self, small):
+        sub = small.select_features(["c", "a"])
+        assert sub.feature_names == ["c", "a"]
+        np.testing.assert_array_equal(sub.y, small.y)
+        np.testing.assert_array_equal(sub.X[:, 1], small.feature("a"))
+
+    def test_subset_keeps_pairing(self, small):
+        sub = small.subset([2, 0])
+        np.testing.assert_array_equal(sub.y, [0, 0])
+        np.testing.assert_array_equal(sub.X[0], small.X[2])
+
+
+class TestSplits:
+    def test_split_partitions_all_samples(self, small):
+        train, test = small.split(test_fraction=0.25, random_state=0)
+        assert len(train) + len(test) == len(small)
+
+    def test_split_rejects_bad_fraction(self, small):
+        with pytest.raises(ValueError):
+            small.split(test_fraction=1.5)
+
+    def test_shuffled_is_permutation(self, small):
+        shuffled = small.shuffled(random_state=1)
+        assert sorted(shuffled.X.sum(axis=1)) == sorted(
+            small.X.sum(axis=1)
+        )
+
+    def test_split_is_seeded(self, small):
+        a1, _ = small.split(random_state=7)
+        a2, _ = small.split(random_state=7)
+        np.testing.assert_array_equal(a1.X, a2.X)
+
+
+class TestClassStatistics:
+    def test_class_counts(self, small):
+        assert small.class_counts() == {0: 2, 1: 2}
+
+    def test_imbalance_ratio(self):
+        data = Dataset(np.zeros((10, 1)), np.array([0] * 9 + [1]))
+        assert data.imbalance_ratio() == pytest.approx(9.0)
+
+    def test_class_counts_requires_labels(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 2))).class_counts()

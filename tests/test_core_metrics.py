@@ -1,0 +1,140 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    accuracy,
+    auc,
+    balanced_accuracy,
+    confusion_matrix,
+    escape_count,
+    mean_absolute_error,
+    mean_squared_error,
+    pearson_correlation,
+    precision_recall_f1,
+    r2_score,
+    roc_auc,
+    roc_curve,
+    root_mean_squared_error,
+    screening_report,
+    simulation_saving,
+)
+
+
+class TestClassificationMetrics:
+    def test_accuracy_perfect_and_zero(self):
+        assert accuracy([1, 0, 1], [1, 0, 1]) == 1.0
+        assert accuracy([1, 0], [0, 1]) == 0.0
+
+    def test_accuracy_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 0])
+
+    def test_accuracy_rejects_empty(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+    def test_confusion_matrix_layout(self):
+        matrix, labels = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert labels == [0, 1]
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 2]])
+
+    def test_precision_recall_f1_known_values(self):
+        # 2 TP, 1 FP, 1 FN
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        precision, recall, f1 = precision_recall_f1(y_true, y_pred)
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(2 / 3)
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_precision_zero_when_nothing_flagged(self):
+        precision, recall, f1 = precision_recall_f1([1, 0], [0, 0])
+        assert (precision, recall, f1) == (0.0, 0.0, 0.0)
+
+    def test_balanced_accuracy_under_imbalance(self):
+        y_true = [0] * 98 + [1] * 2
+        y_pred = [0] * 100  # majority vote
+        assert accuracy(y_true, y_pred) == pytest.approx(0.98)
+        assert balanced_accuracy(y_true, y_pred) == pytest.approx(0.5)
+
+
+class TestROC:
+    def test_perfect_separation_auc_one(self):
+        scores = [0.9, 0.8, 0.2, 0.1]
+        labels = [1, 1, 0, 0]
+        assert roc_auc(labels, scores) == pytest.approx(1.0)
+
+    def test_inverted_scores_auc_zero(self):
+        assert roc_auc([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9]) == pytest.approx(0.0)
+
+    def test_random_scores_auc_half(self, rng):
+        labels = rng.integers(0, 2, size=4000)
+        scores = rng.uniform(size=4000)
+        assert roc_auc(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_roc_curve_monotone(self, rng):
+        labels = rng.integers(0, 2, size=200)
+        scores = rng.uniform(size=200)
+        fpr, tpr, _ = roc_curve(labels, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_roc_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_curve([1, 1], [0.1, 0.2])
+
+    def test_auc_unordered_input(self):
+        assert auc([1.0, 0.0], [1.0, 0.0]) == pytest.approx(0.5)
+
+
+class TestRegressionMetrics:
+    def test_mse_mae_rmse_consistency(self):
+        y_true = np.array([0.0, 0.0])
+        y_pred = np.array([3.0, -3.0])
+        assert mean_squared_error(y_true, y_pred) == pytest.approx(9.0)
+        assert root_mean_squared_error(y_true, y_pred) == pytest.approx(3.0)
+        assert mean_absolute_error(y_true, y_pred) == pytest.approx(3.0)
+
+    def test_r2_perfect_is_one(self):
+        y = np.arange(10.0)
+        assert r2_score(y, y) == 1.0
+
+    def test_r2_mean_predictor_is_zero(self):
+        y = np.arange(10.0)
+        assert r2_score(y, np.full(10, y.mean())) == pytest.approx(0.0)
+
+    def test_pearson_known_sign(self):
+        x = np.arange(50.0)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_pearson_constant_input_is_zero(self):
+        assert pearson_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+
+class TestCaseStudyMetrics:
+    def test_simulation_saving_fig7_number(self):
+        # the paper's headline: 310 instead of 6000+ tests => ~95%
+        assert simulation_saving(6000, 310) == pytest.approx(0.948, abs=1e-3)
+
+    def test_simulation_saving_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            simulation_saving(0, 10)
+
+    def test_screening_report_counts(self):
+        report = screening_report([1, 1, 0, 0], [1, 0, 1, 0])
+        assert report["n_flagged"] == 2
+        assert report["n_true_positive"] == 1
+        assert report["n_missed"] == 1
+
+    def test_escape_count_matches_fig12_definition(self):
+        fails_dropped = [True, True, False, True]
+        caught = [True, False, False, False]
+        # chips 2 and 4 fail the dropped test and are not caught
+        assert escape_count(fails_dropped, caught) == 2
+
+    def test_escape_count_length_check(self):
+        with pytest.raises(ValueError):
+            escape_count([True], [True, False])

@@ -1,0 +1,94 @@
+"""Tests for the Pipeline utility."""
+
+import numpy as np
+import pytest
+
+from repro.core import NotFittedError, Pipeline, StandardScaler
+from repro.core.validation import cross_val_score
+from repro.learn import SVC, LogisticRegression, SelectKBest
+from repro.kernels import RBFKernel
+from repro.transform import PCA
+
+
+class TestPipelineBasics:
+    def test_scale_then_classify(self, blobs):
+        X, y = blobs
+        X_scaled_away = X * np.array([1e-6, 1e6])  # pathological scales
+        pipeline = Pipeline(
+            [
+                ("scale", StandardScaler()),
+                ("svm", SVC(kernel=RBFKernel(0.5), random_state=0)),
+            ]
+        )
+        pipeline.fit(X_scaled_away, y)
+        assert pipeline.score(X_scaled_away, y) > 0.95
+
+    def test_transformers_see_transformed_data(self, blobs):
+        X, y = blobs
+        pipeline = Pipeline(
+            [
+                ("scale", StandardScaler()),
+                ("pca", PCA(n_components=1)),
+                ("clf", LogisticRegression(max_iter=400)),
+            ]
+        )
+        pipeline.fit(X, y)
+        # the chain's transform is 1-D after PCA
+        assert pipeline.fitted_steps_[1][1].components_.shape == (1, 2)
+
+    def test_supervised_transformer_receives_y(self, rng):
+        X = rng.normal(size=(150, 6))
+        y = (X[:, 4] > 0).astype(int)
+        pipeline = Pipeline(
+            [
+                ("select", SelectKBest(k=1)),
+                ("clf", LogisticRegression(max_iter=400)),
+            ]
+        )
+        pipeline.fit(X, y)
+        assert pipeline.fitted_steps_[0][1].selected_indices_[0] == 4
+        assert pipeline.score(X, y) > 0.9
+
+    def test_predict_before_fit_raises(self, blobs):
+        X, _ = blobs
+        pipeline = Pipeline([("scale", StandardScaler())])
+        with pytest.raises(NotFittedError):
+            pipeline.transform(X)
+
+    def test_unique_step_names_required(self):
+        with pytest.raises(ValueError):
+            Pipeline([("a", StandardScaler()), ("a", StandardScaler())])
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([])
+
+    def test_named_steps_access(self, blobs):
+        pipeline = Pipeline(
+            [("scale", StandardScaler()),
+             ("clf", LogisticRegression())]
+        )
+        assert isinstance(pipeline.named_steps["scale"], StandardScaler)
+
+
+class TestPipelineInModelSelection:
+    def test_cross_validation_treats_pipeline_as_estimator(self, blobs):
+        X, y = blobs
+        pipeline = Pipeline(
+            [
+                ("scale", StandardScaler()),
+                ("clf", LogisticRegression(max_iter=300)),
+            ]
+        )
+        scores = cross_val_score(pipeline, X, y)
+        assert scores.mean() > 0.9
+
+    def test_prototype_steps_never_mutated(self, blobs):
+        X, y = blobs
+        scaler = StandardScaler()
+        pipeline = Pipeline(
+            [("scale", scaler), ("clf", LogisticRegression(max_iter=200))]
+        )
+        pipeline.fit(X, y)
+        # the prototype passed in stays unfitted (clone semantics)
+        assert not hasattr(scaler, "mean_")

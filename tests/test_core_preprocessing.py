@@ -1,0 +1,112 @@
+"""Tests for scalers and imputation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MinMaxScaler,
+    NotFittedError,
+    RobustScaler,
+    SimpleImputer,
+    StandardScaler,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_no_nan(self):
+        X = np.column_stack([np.ones(5), np.arange(5.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.normal(0.0, 2.0, size=(30, 3))
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X
+        )
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform([[1.0]])
+
+    def test_without_centering(self, rng):
+        X = rng.normal(10.0, 1.0, size=(50, 2))
+        Z = StandardScaler(with_mean=False).fit_transform(X)
+        assert Z.mean() > 5.0  # mean preserved (only scaled)
+
+
+class TestMinMaxScaler:
+    def test_range(self, rng):
+        X = rng.normal(0.0, 5.0, size=(100, 3))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() == pytest.approx(0.0)
+        assert Z.max() == pytest.approx(1.0)
+
+    def test_custom_range(self, rng):
+        X = rng.uniform(size=(50, 2))
+        Z = MinMaxScaler(feature_min=-1.0, feature_max=1.0).fit_transform(X)
+        assert Z.min() == pytest.approx(-1.0)
+        assert Z.max() == pytest.approx(1.0)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_min=1.0, feature_max=0.0)
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.uniform(-3, 3, size=(40, 2))
+        scaler = MinMaxScaler().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X
+        )
+
+
+class TestRobustScaler:
+    def test_outliers_do_not_move_center(self, rng):
+        X = rng.normal(0.0, 1.0, size=(500, 1))
+        X_dirty = np.vstack([X, [[1000.0]] * 5])
+        clean = RobustScaler().fit(X)
+        dirty = RobustScaler().fit(X_dirty)
+        assert abs(clean.center_[0] - dirty.center_[0]) < 0.1
+
+    def test_median_maps_to_zero(self, rng):
+        X = rng.normal(7.0, 2.0, size=(101, 1))
+        Z = RobustScaler().fit_transform(X)
+        assert np.median(Z) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_bad_quantiles(self):
+        with pytest.raises(ValueError):
+            RobustScaler(quantile_low=80.0, quantile_high=20.0)
+
+
+class TestSimpleImputer:
+    def test_mean_strategy(self):
+        X = np.array([[1.0, np.nan], [3.0, 4.0], [np.nan, 8.0]])
+        out = SimpleImputer(strategy="mean").fit_transform(X)
+        assert out[2, 0] == pytest.approx(2.0)
+        assert out[0, 1] == pytest.approx(6.0)
+
+    def test_median_strategy(self):
+        X = np.array([[1.0], [2.0], [100.0], [np.nan]])
+        out = SimpleImputer(strategy="median").fit_transform(X)
+        assert out[3, 0] == pytest.approx(2.0)
+
+    def test_constant_strategy(self):
+        X = np.array([[np.nan, 1.0]])
+        out = SimpleImputer(strategy="constant", fill_value=-9.0)
+        assert out.fit_transform(X)[0, 0] == -9.0
+
+    def test_all_nan_column_uses_fill_value(self):
+        X = np.array([[np.nan], [np.nan]])
+        out = SimpleImputer(strategy="mean", fill_value=0.5).fit_transform(X)
+        np.testing.assert_allclose(out, 0.5)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            SimpleImputer(strategy="mode")

@@ -1,0 +1,175 @@
+"""Edge-case and failure-injection tests across modules.
+
+Covers the awkward inputs each component must survive: degenerate
+programs, empty traces, collapsed template ranges, single-sample
+datasets, and pathological kernel inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.verification import (
+    CoverageTrace,
+    Instruction,
+    LoadStoreUnitSimulator,
+    Program,
+    TestTemplate,
+)
+
+
+class TestSimulatorEdgeCases:
+    def test_empty_program(self):
+        simulator = LoadStoreUnitSimulator()
+        result = simulator.simulate(Program([]))
+        assert result.cross_points == {}
+        assert result.special_hits == []
+
+    def test_alu_only_program_touches_no_lsu(self):
+        simulator = LoadStoreUnitSimulator()
+        result = simulator.simulate(
+            Program([Instruction("ADD"), Instruction("XOR")])
+        )
+        assert simulator.coverage.n_cross_covered == 0
+
+    def test_sc_without_ll_fails(self):
+        simulator = LoadStoreUnitSimulator()
+        result = simulator.simulate(
+            Program([Instruction("SC", address=0x100)])
+        )
+        assert result.summary["sc_failures"] == 1
+
+    def test_line_crossing_access_touches_two_lines(self):
+        from repro.verification import CACHE_LINE_BYTES
+
+        simulator = LoadStoreUnitSimulator()
+        boundary = 4 * CACHE_LINE_BYTES
+        # the crossing access caches BOTH lines (one miss event), so the
+        # two aligned follow-ups within the same test both hit
+        result = simulator.simulate(
+            Program(
+                [
+                    Instruction("LW", address=boundary - 2),
+                    Instruction("LW", address=boundary - 4),
+                    Instruction("LW", address=boundary),
+                ]
+            )
+        )
+        assert result.summary["cache_misses"] == 1
+
+    def test_repeated_sync_is_harmless(self):
+        simulator = LoadStoreUnitSimulator()
+        result = simulator.simulate(
+            Program([Instruction("SYNC")] * 5)
+        )
+        assert result.summary["sync_drains"] == 0  # nothing to drain
+
+
+class TestTemplateEdgeCases:
+    def test_constrained_empty_intersection_collapses_to_midpoint(self):
+        template = TestTemplate()
+        refined = template.constrained(
+            {"misaligned_fraction": (0.5, 0.9)}  # disjoint from (0, .06)
+        )
+        low, high = refined.knob_ranges["misaligned_fraction"]
+        assert low == high == pytest.approx(0.7)
+
+    def test_point_range_sampling(self, rng):
+        template = TestTemplate()
+        template.knob_ranges["misaligned_fraction"] = (0.05, 0.05)
+        knobs = template.sample_knobs(rng)
+        assert knobs["misaligned_fraction"] == pytest.approx(0.05)
+
+
+class TestCoverageTrace:
+    def test_tests_to_reach_none_when_unreached(self):
+        trace = CoverageTrace()
+        trace.record(1, 5)
+        trace.record(2, 8)
+        assert trace.tests_to_reach(100) is None
+        assert trace.tests_to_reach(8) == 2
+        assert trace.tests_to_reach(5) == 1
+
+    def test_empty_trace(self):
+        trace = CoverageTrace()
+        assert trace.final_coverage == 0
+        assert trace.tests_to_reach(1) is None
+
+
+class TestSingleishSamples:
+    def test_svc_with_two_samples(self):
+        from repro.learn import SVC
+        from repro.kernels import LinearKernel
+
+        model = SVC(kernel=LinearKernel(), C=1.0, random_state=0)
+        model.fit(np.array([[0.0], [1.0]]), np.array([0, 1]))
+        assert model.predict(np.array([[-1.0]]))[0] == 0
+        assert model.predict(np.array([[2.0]]))[0] == 1
+
+    def test_one_class_on_single_sample(self):
+        from repro.learn import OneClassSVM
+        from repro.kernels import RBFKernel
+
+        model = OneClassSVM(kernel=RBFKernel(1.0), nu=0.5)
+        model.fit(np.array([[0.0, 0.0]]))
+        assert model.predict(np.array([[0.0, 0.0]]))[0] == 1
+        assert model.predict(np.array([[5.0, 5.0]]))[0] == -1
+
+    def test_kmeans_single_cluster(self, rng):
+        from repro.cluster import KMeans
+
+        X = rng.normal(size=(10, 2))
+        model = KMeans(n_clusters=1, random_state=0).fit(X)
+        assert set(model.labels_.tolist()) == {0}
+        np.testing.assert_allclose(
+            model.cluster_centers_[0], X.mean(axis=0), atol=1e-9
+        )
+
+    def test_pca_more_components_than_rank(self):
+        from repro.transform import PCA
+
+        X = np.array([[1.0, 2.0], [2.0, 4.0], [3.0, 6.0]])  # rank 1
+        pca = PCA().fit(X)
+        assert pca.explained_variance_ratio_[0] > 0.999
+
+
+class TestKernelEdgeCases:
+    def test_spectrum_kernel_single_token_programs(self):
+        from repro.kernels import SpectrumKernel
+
+        k = SpectrumKernel(k=2)
+        # programs shorter than k have no bigrams at all
+        assert k(["LD"], ["LD"]) == 0.0
+
+    def test_hi_kernel_all_zero_histograms(self):
+        from repro.kernels import HistogramIntersectionKernel
+
+        k = HistogramIntersectionKernel()
+        K = k.matrix(np.zeros((3, 4)))
+        assert np.all(np.isfinite(K))
+
+    def test_rbf_identical_points_gram_is_ones(self):
+        from repro.kernels import RBFKernel
+
+        X = np.ones((4, 2))
+        np.testing.assert_allclose(RBFKernel(1.0).matrix(X), 1.0)
+
+
+class TestMetricsEdgeCases:
+    def test_r2_constant_truth(self):
+        from repro.core.metrics import r2_score
+
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+    def test_confusion_matrix_with_unseen_predicted_label(self):
+        from repro.core.metrics import confusion_matrix
+
+        matrix, labels = confusion_matrix([0, 0], [0, 9])
+        assert labels == [0, 9]
+        assert matrix[0, 1] == 1
+
+    def test_format_series_single_point(self):
+        from repro.flows import format_series
+
+        text = format_series([1], [2])
+        assert "1" in text and "2" in text

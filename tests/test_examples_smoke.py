@@ -1,0 +1,53 @@
+"""Smoke tests for the example scripts.
+
+Each example must import cleanly (no syntax or import-path drift) and
+expose a ``main()`` entry point.  Full executions are exercised
+manually / by the benches; importability is what CI must guarantee.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+class TestExamples:
+    def test_imports_cleanly(self, path):
+        module = load_module(path)
+        assert module is not None
+
+    def test_has_main(self, path):
+        module = load_module(path)
+        assert callable(getattr(module, "main", None))
+
+    def test_has_module_docstring(self, path):
+        module = load_module(path)
+        assert module.__doc__
+        assert "Run:" in module.__doc__
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLE_FILES}
+    assert {
+        "quickstart",
+        "verification_test_selection",
+        "litho_hotspot_prediction",
+        "timing_dstc_diagnosis",
+        "customer_returns_screening",
+        "knowledge_discovery_loop",
+        "fmax_prediction",
+        "reproduce_all",
+    } <= names

@@ -1,0 +1,128 @@
+"""Tests for methodology tooling and reporting."""
+
+import pytest
+
+from repro.flows import (
+    KnowledgeDiscoveryLoop,
+    MethodologyChecklist,
+    format_series,
+    format_table,
+    sparkline,
+)
+
+
+class TestMethodologyChecklist:
+    def test_complete_and_viable(self):
+        checklist = MethodologyChecklist("novel test selection")
+        for principle in MethodologyChecklist.PRINCIPLES:
+            checklist.assess(principle, True, "ok")
+        assert checklist.is_complete()
+        assert checklist.is_viable()
+
+    def test_incomplete_not_viable(self):
+        checklist = MethodologyChecklist("x")
+        checklist.assess("data availability", True, "logs exist")
+        assert not checklist.is_complete()
+        assert not checklist.is_viable()
+
+    def test_failed_principle_not_viable(self):
+        # the Fig. 12 case: a guaranteed-result demand fails principle 1
+        checklist = MethodologyChecklist("test drop with escape guarantee")
+        checklist.assess(
+            "no guaranteed result required",
+            False,
+            "formulation demands a bounded escape rate",
+        )
+        for principle in MethodologyChecklist.PRINCIPLES[1:]:
+            checklist.assess(principle, True, "ok")
+        assert checklist.is_complete()
+        assert not checklist.is_viable()
+
+    def test_unknown_principle_rejected(self):
+        with pytest.raises(ValueError):
+            MethodologyChecklist("x").assess("vibes", True, "")
+
+    def test_describe_lists_marks(self):
+        checklist = MethodologyChecklist("demo")
+        checklist.assess("data availability", False, "no data")
+        text = checklist.describe()
+        assert "FAIL" in text
+        assert "unassessed" in text
+
+
+class TestKnowledgeDiscoveryLoop:
+    def test_accepts_on_first_good_result(self):
+        loop = KnowledgeDiscoveryLoop(
+            mine=lambda context: context * 2,
+            judge=lambda result: (result >= 4, "need >= 4"),
+            adjust=lambda context, feedback: context + 1,
+        )
+        assert loop.run(2) == 4
+        assert loop.n_iterations == 1
+
+    def test_iterates_with_feedback(self):
+        loop = KnowledgeDiscoveryLoop(
+            mine=lambda context: context,
+            judge=lambda result: (result >= 3, "too small"),
+            adjust=lambda context, feedback: context + 1,
+        )
+        assert loop.run(0) == 3
+        assert loop.n_iterations == 4
+        assert not loop.history[0].accepted
+        assert loop.history[-1].accepted
+
+    def test_returns_none_when_never_accepted(self):
+        loop = KnowledgeDiscoveryLoop(
+            mine=lambda context: context,
+            judge=lambda result: (False, "never good enough"),
+            adjust=lambda context, feedback: context,
+            max_iterations=3,
+        )
+        assert loop.run(0) is None
+        assert loop.n_iterations == 3
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            KnowledgeDiscoveryLoop(
+                mine=lambda c: c, judge=lambda r: (True, ""),
+                adjust=lambda c, f: c, max_iterations=0,
+            )
+
+
+class TestReporting:
+    def test_table_alignment(self):
+        text = format_table(
+            ["stage", "tests"], [["original", 400], ["refined", 100]],
+            title="Table 1",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table 1"
+        assert "stage" in lines[1]
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_table_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_series_subsampling(self):
+        xs = list(range(100))
+        ys = [x * x for x in xs]
+        text = format_series(xs, ys, max_points=10)
+        assert text.count("\n") < 20
+        assert "99" in text  # last point always included
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series([1, 2], [1])
+
+    def test_sparkline_length_and_charset(self):
+        line = sparkline([0, 1, 2, 3, 2, 1, 0], width=7)
+        assert len(line) == 7
+        assert set(line) <= set("▁▂▃▄▅▆▇█")
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""

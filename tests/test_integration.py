@@ -1,0 +1,236 @@
+"""Cross-module integration tests: miniature versions of each paper
+experiment wired end-to-end through the public API.
+
+The full-size runs live in benchmarks/; these check that the pieces
+compose and the qualitative shapes hold at small scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import StandardScaler, train_test_split
+from repro.kernels import PolynomialKernel, RBFKernel
+from repro.learn import SVC, OneClassSVM
+
+
+class TestFig3Pipeline:
+    """Kernel trick end-to-end: scaler -> SVC with degree-2 kernel."""
+
+    def test_rings_pipeline(self, rings):
+        X, y = rings
+        X_train, X_test, y_train, y_test = train_test_split(
+            X, y, test_fraction=0.3, random_state=0
+        )
+        scaler = StandardScaler().fit(X_train)
+        model = SVC(
+            kernel=PolynomialKernel(degree=2, coef0=1.0), C=10.0,
+            random_state=0,
+        )
+        model.fit(scaler.transform(X_train), y_train)
+        assert model.score(scaler.transform(X_test), y_test) > 0.9
+
+
+class TestFig7Miniature:
+    def test_selection_beats_exhaustive_simulation(self):
+        from repro.verification import (
+            NoveltyTestSelector,
+            Randomizer,
+            TestTemplate,
+            run_selection_experiment,
+        )
+
+        rand = Randomizer(random_state=17)
+        programs = list(rand.stream(TestTemplate(), 300))
+        selector = NoveltyTestSelector(nu=0.1, seed_count=8)
+        result = run_selection_experiment(programs, selector=selector)
+        assert result.n_selected < 0.55 * result.n_stream
+        assert result.coverage_match_fraction > 0.9
+
+
+class TestTable1Miniature:
+    def test_two_learning_rounds_lift_rare_coverage(self):
+        from repro.verification import (
+            Randomizer,
+            TemplateRefinementFlow,
+            TestTemplate,
+        )
+
+        flow = TemplateRefinementFlow(Randomizer(random_state=29))
+        stages = flow.run(TestTemplate(), stage_sizes=(200, 60, 30))
+        original_covered = len(stages[0].covered_points())
+        final_covered = len(stages[-1].covered_points())
+        assert final_covered >= original_covered + 3
+
+
+class TestFig9Miniature:
+    def test_model_reproduces_simulator_map(self):
+        from repro.litho import (
+            LayoutGenerator,
+            run_variability_experiment,
+        )
+
+        generator = LayoutGenerator(random_state=31)
+        train = generator.generate(rows=160, cols=160)
+        test = generator.generate(rows=160, cols=160)
+        report, details = run_variability_experiment(
+            train, test, stride=8, random_state=0
+        )
+        assert report.recall > 0.5
+        assert report.auc > 0.75
+        # the decision map has the same geometry as the truth map
+        assert len(details["predictions"]) == len(details["truth"])
+
+
+class TestFig10Miniature:
+    def test_diagnosis_recovers_injected_mechanism(self):
+        from repro.timing import run_dstc_experiment
+
+        result = run_dstc_experiment(n_paths=250, random_state=41)
+        assert result.cluster_separation > 0.05
+        blamed = set(result.rule_features())
+        assert blamed & {"n_via45", "n_via56", "wire_M5"}
+
+
+class TestFig11Miniature:
+    def test_outlier_model_transfers_forward_in_time(self):
+        from repro.mfgtest import CustomerReturnStudy
+
+        study = CustomerReturnStudy(random_state=43)
+        report = study.run(
+            n_train=4000, n_later=4000, n_sister=4000,
+            train_defect_rate=0.0015, later_defect_rate=0.0015,
+            sister_defect_rate=0.0015,
+        )
+        assert report.training.return_capture_rate == 1.0
+        assert report.later_batch.return_capture_rate > 0.0
+        assert report.sister_product.return_capture_rate > 0.0
+
+
+class TestFig12Miniature:
+    def test_data_supported_drop_still_escapes(self):
+        from repro.mfgtest import run_drop_study
+
+        result = run_drop_study(
+            n_history=60_000, n_future=60_000,
+            future_excursion_rate=2e-4, random_state=47,
+        )
+        # the mining analysis finds nothing wrong with dropping...
+        assert all(d.recommended_drop for d in result.decisions)
+        assert all(d.n_uncaught_fails == 0 for d in result.decisions)
+        # ...and the future produces escapes anyway
+        assert result.total_escapes() > 0
+
+
+class TestKernelAlgorithmSeparation:
+    """Fig. 4: the same algorithm runs on vectors, histograms, programs."""
+
+    def test_one_class_svm_on_three_sample_types(self, rng):
+        from repro.kernels import (
+            HistogramIntersectionKernel,
+            SpectrumKernel,
+        )
+
+        # vectors
+        vector_model = OneClassSVM(kernel=RBFKernel(0.2), nu=0.1)
+        vector_model.fit(rng.normal(size=(40, 3)))
+        assert vector_model.predict(np.array([[9.0, 9.0, 9.0]]))[0] == -1
+
+        # histograms
+        histogram_model = OneClassSVM(
+            kernel=HistogramIntersectionKernel(), nu=0.1
+        )
+        histogram_model.fit(rng.dirichlet(np.ones(5) * 8, size=40))
+        spiked = np.array([[0.96, 0.01, 0.01, 0.01, 0.01]])
+        assert histogram_model.novelty_score(spiked)[0] > float(
+            np.mean(
+                histogram_model.novelty_score(
+                    rng.dirichlet(np.ones(5) * 8, size=20)
+                )
+            )
+        )
+
+        # programs
+        program_model = OneClassSVM(kernel=SpectrumKernel(k=2), nu=0.1)
+        program_model.fit([["LD", "ST", "ADD"] * 3 for _ in range(20)])
+        assert program_model.is_novel([["MUL", "DIV"] * 4])[0]
+
+
+class TestSemiSupervisedLitho:
+    """Section 2's semi-supervised regime on the litho substrate:
+    golden-simulation labels are expensive, unlabeled windows are free.
+    A handful of simulated labels plus self-training approaches the
+    fully-labeled model."""
+
+    def test_few_labels_plus_self_training(self):
+        import numpy as np
+
+        from repro.core.metrics import roc_auc
+        from repro.kernels import HistogramIntersectionKernel
+        from repro.learn import (
+            SVC,
+            UNLABELED,
+            PlattCalibratedClassifier,
+            SelfTrainingClassifier,
+        )
+        from repro.litho import (
+            LayoutGenerator,
+            LithographySimulator,
+            histogram_feature_matrix,
+            window_grid,
+        )
+
+        generator = LayoutGenerator(random_state=31)
+        train = generator.generate(rows=160, cols=160)
+        test = generator.generate(rows=160, cols=160)
+        simulator = LithographySimulator()
+        train_anchors, train_clips = window_grid(train, 32, 8)
+        _, train_labels = simulator.label_windows(
+            train, train_anchors, 32
+        )
+        test_anchors, test_clips = window_grid(test, 32, 8)
+        _, test_labels = simulator.label_windows(test, test_anchors, 32)
+        H_train = histogram_feature_matrix(train_clips)
+        H_test = histogram_feature_matrix(test_clips)
+
+        rng = np.random.default_rng(0)
+        n_labeled = 80  # 80 golden simulations instead of ~440
+        labeled_idx = rng.choice(len(H_train), n_labeled, replace=False)
+        y_semi = np.full(len(H_train), UNLABELED)
+        y_semi[labeled_idx] = train_labels[labeled_idx]
+
+        def make_base():
+            return PlattCalibratedClassifier(
+                SVC(kernel=HistogramIntersectionKernel(), C=20.0,
+                    random_state=0),
+                random_state=0,
+            )
+
+        few = make_base().fit(H_train[labeled_idx],
+                              train_labels[labeled_idx])
+        semi = SelfTrainingClassifier(
+            make_base(), threshold=0.95
+        ).fit(H_train, y_semi)
+        few_auc = roc_auc(test_labels, few.predict_proba(H_test)[:, 1])
+        semi_auc = roc_auc(test_labels, semi.predict_proba(H_test)[:, 1])
+        assert semi.n_pseudo_labeled_ > 0
+        assert semi_auc > 0.85
+        assert semi_auc >= few_auc - 0.06  # never much worse, often better
+
+
+class TestMethodologyOnFig12:
+    """Section 5 + Section 4 together: the checklist flags the
+    guaranteed-escape formulation as non-viable before any mining."""
+
+    def test_checklist_gates_the_difficult_case(self):
+        from repro.flows import MethodologyChecklist
+
+        checklist = MethodologyChecklist("drop test A with <=1 escape/0.5M")
+        checklist.assess(
+            "no guaranteed result required", False,
+            "zero-escape guarantee cannot follow from finite history",
+        )
+        checklist.assess("data availability", True, "1M chips logged")
+        checklist.assess("added value over existing flow", True,
+                         "test-time saving")
+        checklist.assess("no extra engineering burden", True, "automated")
+        assert not checklist.is_viable()

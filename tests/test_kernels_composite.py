@@ -1,0 +1,119 @@
+"""Tests for kernel combinators and Gram utilities."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    LinearKernel,
+    NormalizedKernel,
+    PolynomialKernel,
+    PrecomputedKernel,
+    ProductKernel,
+    RBFKernel,
+    ScaledKernel,
+    SumKernel,
+    center_gram,
+    is_positive_semidefinite,
+    normalize_gram,
+)
+
+
+class TestSumKernel:
+    def test_weighted_sum(self, rng):
+        x, z = rng.normal(size=2), rng.normal(size=2)
+        k = SumKernel([LinearKernel(), RBFKernel(1.0)], weights=[2.0, 3.0])
+        expected = 2.0 * LinearKernel()(x, z) + 3.0 * RBFKernel(1.0)(x, z)
+        assert k(x, z) == pytest.approx(expected)
+
+    def test_preserves_psd(self, rng):
+        X = rng.normal(size=(15, 3))
+        K = SumKernel([LinearKernel(), RBFKernel(0.5)]).matrix(X)
+        assert is_positive_semidefinite(K)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            SumKernel([LinearKernel()], weights=[-1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SumKernel([])
+
+
+class TestProductKernel:
+    def test_elementwise_product(self, rng):
+        x, z = rng.normal(size=3), rng.normal(size=3)
+        k = ProductKernel([RBFKernel(1.0), RBFKernel(2.0)])
+        assert k(x, z) == pytest.approx(
+            RBFKernel(1.0)(x, z) * RBFKernel(2.0)(x, z)
+        )
+
+    def test_preserves_psd_schur(self, rng):
+        X = rng.normal(size=(12, 2))
+        K = ProductKernel(
+            [RBFKernel(0.5), PolynomialKernel(2, coef0=1.0)]
+        ).matrix(X)
+        assert is_positive_semidefinite(K)
+
+
+class TestScaledAndNormalized:
+    def test_scaled(self, rng):
+        x, z = rng.normal(size=2), rng.normal(size=2)
+        assert ScaledKernel(LinearKernel(), 4.0)(x, z) == pytest.approx(
+            4.0 * float(np.dot(x, z))
+        )
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ScaledKernel(LinearKernel(), -1.0)
+
+    def test_normalized_diag_is_one(self, rng):
+        X = rng.normal(size=(8, 3)) + 2.0
+        K = NormalizedKernel(PolynomialKernel(2, coef0=1.0)).matrix(X)
+        np.testing.assert_allclose(np.diag(K), 1.0)
+
+    def test_normalized_bounded(self, rng):
+        X = rng.normal(size=(10, 3))
+        K = NormalizedKernel(PolynomialKernel(2, coef0=1.0)).matrix(X)
+        assert np.all(np.abs(K) <= 1.0 + 1e-9)
+
+
+class TestPrecomputedKernel:
+    def test_indexing(self):
+        K = np.array([[2.0, 0.5], [0.5, 1.0]])
+        k = PrecomputedKernel(K)
+        assert k(0, 1) == 0.5
+        np.testing.assert_allclose(k.matrix([1, 0]), [[1.0, 0.5], [0.5, 2.0]])
+
+    def test_cross_matrix(self):
+        K = np.arange(9, dtype=float).reshape(3, 3)
+        k = PrecomputedKernel(K)
+        np.testing.assert_allclose(
+            k.cross_matrix([0, 2], [1]), [[1.0], [7.0]]
+        )
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            PrecomputedKernel(np.zeros((2, 3)))
+
+
+class TestGramUtilities:
+    def test_center_gram_zeroes_feature_mean(self, rng):
+        X = rng.normal(size=(20, 4)) + 3.0
+        K = LinearKernel().matrix(X)
+        Kc = center_gram(K)
+        # centering in feature space == centering X then linear kernel
+        Xc = X - X.mean(axis=0)
+        np.testing.assert_allclose(Kc, Xc @ Xc.T, atol=1e-8)
+
+    def test_normalize_gram_unit_diag(self, rng):
+        X = rng.normal(size=(10, 3))
+        K = PolynomialKernel(2, coef0=1.0).matrix(X)
+        np.testing.assert_allclose(np.diag(normalize_gram(K)), 1.0)
+
+    def test_psd_check_detects_non_psd(self):
+        K = np.array([[1.0, 2.0], [2.0, 1.0]])  # eigenvalues 3, -1
+        assert not is_positive_semidefinite(K)
+
+    def test_psd_check_detects_asymmetry(self):
+        K = np.array([[1.0, 0.5], [0.2, 1.0]])
+        assert not is_positive_semidefinite(K)

@@ -1,0 +1,95 @@
+"""Tests for histogram kernels (Fig. 9's HI kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    ChiSquaredKernel,
+    HistogramIntersectionKernel,
+    is_positive_semidefinite,
+)
+
+
+class TestHistogramIntersection:
+    def test_identical_normalized_histograms_score_one(self):
+        k = HistogramIntersectionKernel(normalize=True)
+        h = np.array([1.0, 2.0, 3.0])
+        assert k(h, h) == pytest.approx(1.0)
+
+    def test_disjoint_histograms_score_zero(self):
+        k = HistogramIntersectionKernel()
+        assert k([1.0, 0.0], [0.0, 1.0]) == pytest.approx(0.0)
+
+    def test_intersection_value_unnormalized(self):
+        k = HistogramIntersectionKernel(normalize=False)
+        assert k([3.0, 1.0], [2.0, 5.0]) == pytest.approx(3.0)
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            HistogramIntersectionKernel()([-1.0, 2.0], [1.0, 1.0])
+
+    def test_normalization_makes_scale_invariant(self):
+        k = HistogramIntersectionKernel(normalize=True)
+        h = np.array([1.0, 3.0, 2.0])
+        g = np.array([2.0, 1.0, 1.0])
+        assert k(h, g) == pytest.approx(k(10 * h, 5 * g))
+
+    def test_psd_on_random_histograms(self, rng):
+        H = rng.uniform(size=(25, 10))
+        K = HistogramIntersectionKernel().matrix(H)
+        assert is_positive_semidefinite(K)
+
+    def test_matrix_matches_pairwise(self, rng):
+        H = rng.uniform(size=(7, 5))
+        k = HistogramIntersectionKernel()
+        K = k.matrix(H)
+        for i in range(7):
+            for j in range(7):
+                assert K[i, j] == pytest.approx(k(H[i], H[j]))
+
+    def test_cross_matrix(self, rng):
+        A = rng.uniform(size=(3, 5))
+        B = rng.uniform(size=(4, 5))
+        k = HistogramIntersectionKernel()
+        K = k.cross_matrix(A, B)
+        assert K.shape == (3, 4)
+        assert K[1, 2] == pytest.approx(k(A[1], B[2]))
+
+    def test_empty_histogram_scores_safely(self):
+        k = HistogramIntersectionKernel(normalize=True)
+        value = k([0.0, 0.0], [1.0, 1.0])
+        assert np.isfinite(value)
+
+
+class TestChiSquaredKernel:
+    def test_identical_scores_one(self, rng):
+        k = ChiSquaredKernel(gamma=1.0)
+        h = rng.uniform(size=8)
+        assert k(h, h) == pytest.approx(1.0)
+
+    def test_bounded_in_unit_interval(self, rng):
+        k = ChiSquaredKernel(gamma=0.5)
+        H = rng.uniform(size=(10, 6))
+        K = k.matrix(H)
+        assert np.all(K > 0.0)
+        assert np.all(K <= 1.0 + 1e-12)
+
+    def test_zero_over_zero_bins_ignored(self):
+        k = ChiSquaredKernel(gamma=1.0, normalize=False)
+        value = k([0.0, 1.0], [0.0, 1.0])
+        assert value == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_gamma(self):
+        with pytest.raises(ValueError):
+            ChiSquaredKernel(gamma=0.0)
+
+    def test_psd_on_random_histograms(self, rng):
+        H = rng.uniform(size=(20, 8))
+        assert is_positive_semidefinite(ChiSquaredKernel(1.0).matrix(H))
+
+    def test_more_different_means_lower(self):
+        k = ChiSquaredKernel(gamma=1.0)
+        base = np.array([1.0, 1.0, 1.0, 1.0])
+        close = np.array([1.1, 0.9, 1.0, 1.0])
+        far = np.array([4.0, 0.1, 0.1, 0.1])
+        assert k(base, close) > k(base, far)

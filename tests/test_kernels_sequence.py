@@ -1,0 +1,119 @@
+"""Tests for sequence (spectrum) kernels over token programs."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    BlendedSpectrumKernel,
+    SpectrumKernel,
+    is_positive_semidefinite,
+    ngram_counts,
+    spectrum_feature_map,
+)
+
+
+class TestNgramCounts:
+    def test_counts_bigrams(self):
+        counts = ngram_counts(["a", "b", "a", "b"], 2)
+        assert counts[("a", "b")] == 2
+        assert counts[("b", "a")] == 1
+
+    def test_k_longer_than_sequence_is_empty(self):
+        assert ngram_counts(["a"], 3) == {}
+
+    def test_rejects_k_zero(self):
+        with pytest.raises(ValueError):
+            ngram_counts(["a"], 0)
+
+
+class TestSpectrumKernel:
+    def test_identical_programs_score_one(self):
+        k = SpectrumKernel(k=2)
+        program = ["LD", "ST", "ADD", "LD"]
+        assert k(program, program) == pytest.approx(1.0)
+
+    def test_disjoint_vocabularies_score_zero(self):
+        k = SpectrumKernel(k=1)
+        assert k(["LD", "ST"], ["MUL", "DIV"]) == 0.0
+
+    def test_shared_ngrams_increase_similarity(self):
+        k = SpectrumKernel(k=2)
+        a = ["LD", "ST", "ADD"]
+        b = ["LD", "ST", "SUB"]  # shares bigram (LD, ST)
+        c = ["SUB", "ADD", "LD"]  # shares no bigram with a
+        assert k(a, b) > k(a, c)
+
+    def test_unnormalized_counts_scale_with_repeats(self):
+        k = SpectrumKernel(k=1, normalize=False)
+        assert k(["X"] * 4, ["X"] * 3) == pytest.approx(12.0)
+
+    def test_empty_program_scores_zero(self):
+        k = SpectrumKernel(k=2)
+        assert k([], ["LD", "ST"]) == 0.0
+
+    def test_matrix_symmetric_and_psd(self, rng):
+        vocabulary = ["LD", "ST", "ADD", "SUB", "MUL"]
+        programs = [
+            [vocabulary[i] for i in rng.integers(0, 5, size=12)]
+            for _ in range(15)
+        ]
+        K = SpectrumKernel(k=2).matrix(programs)
+        np.testing.assert_allclose(K, K.T)
+        assert is_positive_semidefinite(K)
+
+    def test_matrix_matches_pairwise(self):
+        programs = [["a", "b", "c"], ["a", "b"], ["c", "c", "a"]]
+        k = SpectrumKernel(k=1)
+        K = k.matrix(programs)
+        for i, pi in enumerate(programs):
+            for j, pj in enumerate(programs):
+                assert K[i, j] == pytest.approx(k(pi, pj))
+
+    def test_tokenizer_hook(self):
+        k = SpectrumKernel(k=1, tokenizer=lambda s: s.split())
+        assert k("LD ST", "LD ST") == pytest.approx(1.0)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            SpectrumKernel(k=0)
+
+
+class TestBlendedSpectrumKernel:
+    def test_self_similarity_one(self):
+        k = BlendedSpectrumKernel(max_k=3)
+        program = ["a", "b", "c", "a", "b"]
+        assert k(program, program) == pytest.approx(1.0)
+
+    def test_matrix_matches_call(self):
+        programs = [["a", "b", "c"], ["b", "c", "d"], ["x", "y", "z"]]
+        k = BlendedSpectrumKernel(max_k=2, decay=0.5)
+        K = k.matrix(programs)
+        for i, pi in enumerate(programs):
+            for j, pj in enumerate(programs):
+                assert K[i, j] == pytest.approx(k(pi, pj))
+
+    def test_order_sensitivity_via_higher_k(self):
+        # same unigrams, different order: blended (k>=2) tells them apart
+        a = ["LD", "ST", "ADD", "LD", "ST", "ADD"]
+        b = ["ADD", "LD", "ST", "ADD", "LD", "ST"]
+        c = ["ADD", "ADD", "ST", "ST", "LD", "LD"]
+        blended = BlendedSpectrumKernel(max_k=3)
+        assert blended(a, b) > blended(a, c)
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            BlendedSpectrumKernel(decay=0.0)
+
+
+class TestSpectrumFeatureMap:
+    def test_explicit_map_reproduces_kernel(self):
+        programs = [["a", "b", "a"], ["b", "a", "b"], ["c", "a", "c"]]
+        X, vocabulary = spectrum_feature_map(programs, k=2)
+        k = SpectrumKernel(k=2, normalize=False)
+        K_kernel = k.matrix(programs)
+        K_explicit = X @ X.T
+        np.testing.assert_allclose(K_kernel, K_explicit)
+
+    def test_vocabulary_is_sorted_ngrams(self):
+        _, vocabulary = spectrum_feature_map([["b", "a"]], k=1)
+        assert vocabulary == [("a",), ("b",)]

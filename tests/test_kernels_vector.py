@@ -1,0 +1,143 @@
+"""Tests for vector kernels, including the paper's Fig. 3 kernel trick."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    LaplacianKernel,
+    LinearKernel,
+    PolynomialKernel,
+    RBFKernel,
+    SigmoidKernel,
+    explicit_degree2_map,
+    is_positive_semidefinite,
+    median_heuristic_gamma,
+)
+
+
+class TestLinearKernel:
+    def test_is_dot_product(self):
+        k = LinearKernel()
+        assert k([1.0, 2.0], [3.0, 4.0]) == pytest.approx(11.0)
+
+    def test_matrix_matches_pairwise(self, rng):
+        X = rng.normal(size=(10, 3))
+        k = LinearKernel()
+        K = k.matrix(X)
+        for i in range(10):
+            for j in range(10):
+                assert K[i, j] == pytest.approx(k(X[i], X[j]))
+
+    def test_cross_matrix_shape(self, rng):
+        A = rng.normal(size=(4, 3))
+        B = rng.normal(size=(6, 3))
+        assert LinearKernel().cross_matrix(A, B).shape == (4, 6)
+
+
+class TestKernelTrickIdentity:
+    """The paper's worked example: k(x,z) = <x,z>^2 = <Phi(x), Phi(z)>."""
+
+    def test_kernel_equals_feature_space_dot(self, rng):
+        k = PolynomialKernel(degree=2, gamma=1.0, coef0=0.0)
+        for _ in range(20):
+            x = rng.normal(size=2)
+            z = rng.normal(size=2)
+            explicit = float(
+                explicit_degree2_map(x) @ explicit_degree2_map(z)
+            )
+            assert k(x, z) == pytest.approx(explicit)
+
+    def test_explicit_map_rejects_wrong_dim(self):
+        with pytest.raises(ValueError):
+            explicit_degree2_map(np.zeros(3))
+
+    def test_rings_linearly_separable_in_feature_space(self, rings):
+        # in Phi-space, the squared radius x1^2 + x2^2 is a linear
+        # function of the first two coordinates -> a hyperplane splits
+        X, y = rings
+        mapped = np.array([explicit_degree2_map(x) for x in X])
+        radius_proxy = mapped[:, 0] + mapped[:, 1]
+        threshold = 2.0
+        predicted = (radius_proxy > threshold).astype(int)
+        assert np.mean(predicted == y) == 1.0
+
+
+class TestPolynomialKernel:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            PolynomialKernel(degree=0)
+        with pytest.raises(ValueError):
+            PolynomialKernel(gamma=0.0)
+        with pytest.raises(ValueError):
+            PolynomialKernel(coef0=-1.0)
+
+    def test_psd_on_random_data(self, rng):
+        X = rng.normal(size=(25, 4))
+        K = PolynomialKernel(degree=3, coef0=1.0).matrix(X)
+        assert is_positive_semidefinite(K)
+
+
+class TestRBFKernel:
+    def test_self_similarity_is_one(self, rng):
+        k = RBFKernel(gamma=0.7)
+        x = rng.normal(size=5)
+        assert k(x, x) == pytest.approx(1.0)
+
+    def test_decays_with_distance(self):
+        k = RBFKernel(gamma=1.0)
+        near = k([0.0], [0.1])
+        far = k([0.0], [3.0])
+        assert near > far
+
+    def test_matrix_matches_pairwise(self, rng):
+        X = rng.normal(size=(8, 3))
+        k = RBFKernel(gamma=0.5)
+        K = k.matrix(X)
+        for i in range(8):
+            assert K[i, i] == pytest.approx(1.0)
+            for j in range(8):
+                assert K[i, j] == pytest.approx(k(X[i], X[j]))
+
+    def test_psd(self, rng):
+        X = rng.normal(size=(30, 3))
+        assert is_positive_semidefinite(RBFKernel(2.0).matrix(X))
+
+    def test_rejects_nonpositive_gamma(self):
+        with pytest.raises(ValueError):
+            RBFKernel(gamma=0.0)
+
+
+class TestLaplacianKernel:
+    def test_uses_l1_distance(self):
+        k = LaplacianKernel(gamma=1.0)
+        assert k([0.0, 0.0], [1.0, 1.0]) == pytest.approx(np.exp(-2.0))
+
+    def test_matrix_and_cross_consistent(self, rng):
+        X = rng.normal(size=(6, 2))
+        k = LaplacianKernel(gamma=0.3)
+        np.testing.assert_allclose(k.matrix(X), k.cross_matrix(X, X))
+
+
+class TestSigmoidKernel:
+    def test_bounded_by_one(self, rng):
+        k = SigmoidKernel(gamma=0.1, coef0=0.0)
+        X = rng.normal(size=(10, 4))
+        assert np.all(np.abs(k.matrix(X)) <= 1.0)
+
+
+class TestMedianHeuristic:
+    def test_positive_and_finite(self, rng):
+        X = rng.normal(size=(50, 3))
+        gamma = median_heuristic_gamma(X)
+        assert gamma > 0
+        assert np.isfinite(gamma)
+
+    def test_degenerate_data_falls_back(self):
+        assert median_heuristic_gamma(np.ones((5, 2))) == 1.0
+        assert median_heuristic_gamma(np.ones((1, 2))) == 1.0
+
+    def test_scales_inversely_with_spread(self, rng):
+        X = rng.normal(size=(50, 2))
+        tight = median_heuristic_gamma(X)
+        wide = median_heuristic_gamma(X * 10.0)
+        assert tight > wide

@@ -1,0 +1,120 @@
+"""Tests for Apriori association rule mining ([26])."""
+
+import pytest
+
+from repro.learn import (
+    apriori_frequent_itemsets,
+    generate_rules,
+    mine_association_rules,
+)
+
+MARKET = [
+    {"bread", "milk"},
+    {"bread", "diapers", "beer", "eggs"},
+    {"milk", "diapers", "beer", "cola"},
+    {"bread", "milk", "diapers", "beer"},
+    {"bread", "milk", "diapers", "cola"},
+]
+
+
+class TestFrequentItemsets:
+    def test_singleton_supports(self):
+        frequent = apriori_frequent_itemsets(MARKET, min_support=0.4)
+        assert frequent[frozenset(["bread"])] == pytest.approx(0.8)
+        assert frequent[frozenset(["beer"])] == pytest.approx(0.6)
+
+    def test_pair_supports(self):
+        frequent = apriori_frequent_itemsets(MARKET, min_support=0.4)
+        assert frequent[frozenset(["diapers", "beer"])] == pytest.approx(0.6)
+
+    def test_below_threshold_excluded(self):
+        frequent = apriori_frequent_itemsets(MARKET, min_support=0.4)
+        assert frozenset(["eggs"]) not in frequent
+
+    def test_downward_closure(self):
+        frequent = apriori_frequent_itemsets(MARKET, min_support=0.4)
+        for itemset in frequent:
+            if len(itemset) > 1:
+                for item in itemset:
+                    assert itemset - {item} in frequent
+
+    def test_min_support_one_returns_only_universal(self):
+        frequent = apriori_frequent_itemsets(
+            [{"a", "b"}, {"a"}], min_support=1.0
+        )
+        assert set(frequent) == {frozenset(["a"])}
+
+    def test_rejects_bad_support(self):
+        with pytest.raises(ValueError):
+            apriori_frequent_itemsets(MARKET, min_support=0.0)
+
+    def test_rejects_empty_transactions(self):
+        with pytest.raises(ValueError):
+            apriori_frequent_itemsets([], min_support=0.5)
+
+
+class TestRuleGeneration:
+    def test_classic_diapers_beer_rule(self):
+        rules = mine_association_rules(
+            MARKET, min_support=0.4, min_confidence=0.7
+        )
+        found = [
+            r for r in rules
+            if r.antecedent == frozenset(["beer"])
+            and r.consequent == frozenset(["diapers"])
+        ]
+        assert found
+        assert found[0].confidence == pytest.approx(1.0)
+        assert found[0].lift > 1.0
+
+    def test_confidence_threshold_filters(self):
+        loose = mine_association_rules(MARKET, 0.4, min_confidence=0.6)
+        strict = mine_association_rules(MARKET, 0.4, min_confidence=0.95)
+        assert len(strict) <= len(loose)
+        assert all(r.confidence >= 0.95 for r in strict)
+
+    def test_rules_sorted_by_lift(self):
+        rules = mine_association_rules(MARKET, 0.4, 0.6)
+        lifts = [r.lift for r in rules]
+        assert lifts == sorted(lifts, reverse=True)
+
+    def test_lift_definition(self):
+        frequent = apriori_frequent_itemsets(MARKET, min_support=0.4)
+        rules = generate_rules(frequent, min_confidence=0.6)
+        for rule in rules:
+            expected = rule.confidence / frequent[rule.consequent]
+            assert rule.lift == pytest.approx(expected)
+
+    def test_string_rendering(self):
+        rules = mine_association_rules(MARKET, 0.4, 0.7)
+        text = str(rules[0])
+        assert "=>" in text
+        assert "confidence=" in text
+
+    def test_rejects_bad_confidence(self):
+        frequent = apriori_frequent_itemsets(MARKET, 0.4)
+        with pytest.raises(ValueError):
+            generate_rules(frequent, min_confidence=0.0)
+
+
+class TestOnEDAFlavoredData:
+    def test_instruction_attribute_cooccurrence(self):
+        # tests exercising unaligned loads tend to exercise locked ops
+        transactions = []
+        for i in range(30):
+            items = {"has_load"}
+            if i % 3 == 0:
+                items |= {"unaligned", "locked"}
+            if i % 5 == 0:
+                items.add("mmio")
+            transactions.append(items)
+        rules = mine_association_rules(
+            transactions, min_support=0.2, min_confidence=0.9
+        )
+        pair = [
+            r for r in rules
+            if r.antecedent == frozenset(["unaligned"])
+            and "locked" in r.consequent
+        ]
+        assert pair
+        assert pair[0].confidence == pytest.approx(1.0)

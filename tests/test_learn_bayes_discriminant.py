@@ -1,0 +1,135 @@
+"""Tests for naive Bayes (Section 2.1 idea #4) and discriminant
+analysis (idea #3, the paper's Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.learn import (
+    BernoulliNaiveBayes,
+    GaussianNaiveBayes,
+    LinearDiscriminantAnalysis,
+    QuadraticDiscriminantAnalysis,
+)
+
+
+class TestGaussianNaiveBayes:
+    def test_separates_blobs(self, blobs):
+        X, y = blobs
+        assert GaussianNaiveBayes().fit(X, y).score(X, y) > 0.95
+
+    def test_posteriors_sum_to_one(self, blobs):
+        X, y = blobs
+        proba = GaussianNaiveBayes().fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_priors_reflect_class_frequencies(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = np.array([0] * 80 + [1] * 20)
+        model = GaussianNaiveBayes().fit(X, y)
+        np.testing.assert_allclose(model.class_prior_, [0.8, 0.2])
+
+    def test_constant_feature_is_harmless(self, blobs):
+        X, y = blobs
+        X_aug = np.column_stack([X, np.ones(len(X))])
+        model = GaussianNaiveBayes().fit(X_aug, y)
+        assert np.all(np.isfinite(model.predict_proba(X_aug)))
+
+    def test_requires_two_classes(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes().fit(X, np.zeros(10))
+
+    def test_three_class_problem(self, rng):
+        X = np.vstack(
+            [rng.normal(c, 0.4, size=(30, 2)) for c in (-3.0, 0.0, 3.0)]
+        )
+        y = np.repeat([0, 1, 2], 30)
+        assert GaussianNaiveBayes().fit(X, y).score(X, y) > 0.95
+
+
+class TestBernoulliNaiveBayes:
+    def test_learns_presence_pattern(self, rng):
+        # class 1 almost always has feature 0 on; class 0 off
+        n = 200
+        y = rng.integers(0, 2, size=n)
+        X = rng.uniform(size=(n, 4))
+        X[:, 0] = np.where(
+            y == 1, rng.uniform(0.8, 1.0, n), rng.uniform(0.0, 0.2, n)
+        )
+        model = BernoulliNaiveBayes().fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_laplace_smoothing_avoids_zero_probability(self):
+        X = np.array([[1.0, 1.0], [0.0, 0.0]])
+        y = np.array([1, 0])
+        model = BernoulliNaiveBayes(alpha=1.0).fit(X, y)
+        # an unseen combination must still get a finite posterior
+        proba = model.predict_proba([[1.0, 0.0]])
+        assert np.all(np.isfinite(proba))
+        assert np.all(proba > 0.0)
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ValueError):
+            BernoulliNaiveBayes(alpha=0.0)
+
+
+class TestLDA:
+    def test_separates_blobs(self, blobs):
+        X, y = blobs
+        assert LinearDiscriminantAnalysis().fit(X, y).score(X, y) > 0.95
+
+    def test_boundary_is_linear(self, rng):
+        # along any segment, prediction changes at most once for LDA
+        X = np.vstack(
+            [rng.normal(-2, 1.0, size=(50, 2)), rng.normal(2, 1.0, size=(50, 2))]
+        )
+        y = np.repeat([0, 1], 50)
+        model = LinearDiscriminantAnalysis().fit(X, y)
+        ts = np.linspace(0, 1, 200)
+        segment = np.outer(1 - ts, [-5.0, -5.0]) + np.outer(ts, [5.0, 5.0])
+        labels = model.predict(segment)
+        assert np.sum(np.diff(labels.astype(int)) != 0) <= 1
+
+    def test_custom_priors_shift_boundary(self, blobs):
+        X, y = blobs
+        neutral = LinearDiscriminantAnalysis().fit(X, y)
+        biased = LinearDiscriminantAnalysis(priors=[0.99, 0.01]).fit(X, y)
+        point = np.array([[0.0, 0.0]])  # ambiguous midpoint
+        assert biased.predict_proba(point)[0, 0] > neutral.predict_proba(
+            point
+        )[0, 0]
+
+
+class TestQDA:
+    def test_eq1_decision_function_sign(self, blobs):
+        X, y = blobs
+        model = QuadraticDiscriminantAnalysis().fit(X, y)
+        scores = model.decision_function(X)
+        predicted = model.predict(X)
+        agree = (scores > 0) == (predicted == model.classes_[1])
+        assert np.mean(agree) > 0.99
+
+    def test_handles_unequal_covariances_better_than_lda(self, rng):
+        # class 0: tight blob inside class 1's wide ring-ish cloud
+        X0 = rng.normal(0.0, 0.3, size=(150, 2))
+        X1 = rng.normal(0.0, 3.0, size=(150, 2))
+        keep = np.linalg.norm(X1, axis=1) > 1.5
+        X1 = X1[keep][:100]
+        X = np.vstack([X0, X1])
+        y = np.array([0] * len(X0) + [1] * len(X1))
+        qda_score = QuadraticDiscriminantAnalysis().fit(X, y).score(X, y)
+        lda_score = LinearDiscriminantAnalysis().fit(X, y).score(X, y)
+        assert qda_score > lda_score
+
+    def test_decision_function_binary_only(self, rng):
+        X = rng.normal(size=(60, 2))
+        y = np.repeat([0, 1, 2], 20)
+        model = QuadraticDiscriminantAnalysis().fit(X + y[:, None], y)
+        with pytest.raises(ValueError):
+            model.decision_function(X)
+
+    def test_rejects_singleton_class(self, rng):
+        X = rng.normal(size=(11, 2))
+        y = np.array([0] * 10 + [1])
+        with pytest.raises(ValueError):
+            QuadraticDiscriminantAnalysis().fit(X, y)

@@ -1,0 +1,104 @@
+"""Tests for Platt-scaled probability calibration."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import RBFKernel
+from repro.learn import (
+    SVC,
+    PlattCalibratedClassifier,
+    SelfTrainingClassifier,
+    UNLABELED,
+)
+
+
+@pytest.fixture
+def overlapping(rng):
+    X = np.vstack(
+        [rng.normal(-1.0, 1.0, size=(150, 2)),
+         rng.normal(1.0, 1.0, size=(150, 2))]
+    )
+    y = np.repeat([0, 1], 150)
+    order = rng.permutation(300)
+    return X[order], y[order]
+
+
+class TestPlattCalibration:
+    def test_probabilities_valid(self, overlapping):
+        X, y = overlapping
+        model = PlattCalibratedClassifier(
+            SVC(kernel=RBFKernel(0.5), C=1.0, random_state=0),
+            random_state=0,
+        ).fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.all(proba >= 0.0)
+        assert np.all(proba <= 1.0)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_probability_monotone_in_score(self, overlapping):
+        X, y = overlapping
+        model = PlattCalibratedClassifier(
+            SVC(kernel=RBFKernel(0.5), C=1.0, random_state=0),
+            random_state=0,
+        ).fit(X, y)
+        scores = model.decision_function(X)
+        proba = model.predict_proba(X)[:, 1]
+        order = np.argsort(scores)
+        assert np.all(np.diff(proba[order]) >= -1e-12)
+
+    def test_calibration_quality(self, overlapping):
+        """Among samples predicted ~p, about p should be positive."""
+        X, y = overlapping
+        model = PlattCalibratedClassifier(
+            SVC(kernel=RBFKernel(0.5), C=1.0, random_state=0),
+            random_state=0,
+        ).fit(X, y)
+        proba = model.predict_proba(X)[:, 1]
+        confident = proba > 0.8
+        if confident.sum() >= 20:
+            observed = float(np.mean(y[confident] == 1))
+            assert observed > 0.7
+
+    def test_accuracy_preserved(self, overlapping):
+        X, y = overlapping
+        raw = SVC(kernel=RBFKernel(0.5), C=1.0, random_state=0).fit(X, y)
+        calibrated = PlattCalibratedClassifier(
+            SVC(kernel=RBFKernel(0.5), C=1.0, random_state=0),
+            random_state=0,
+        ).fit(X, y)
+        assert calibrated.score(X, y) > raw.score(X, y) - 0.08
+
+    def test_enables_svm_self_training(self, rng):
+        """The composition the module exists for: SVC gains
+        predict_proba, so it can drive the self-training loop."""
+        X = np.vstack(
+            [rng.normal(-2, 0.6, size=(60, 2)),
+             rng.normal(2, 0.6, size=(60, 2))]
+        )
+        y_true = np.repeat([0, 1], 60)
+        y = np.full(120, UNLABELED)
+        y[[0, 1, 60, 61]] = y_true[[0, 1, 60, 61]]
+        semi = SelfTrainingClassifier(
+            PlattCalibratedClassifier(
+                SVC(kernel=RBFKernel(0.5), C=1.0, random_state=0),
+                random_state=0,
+            ),
+            threshold=0.9,
+        ).fit(X, y)
+        assert semi.n_pseudo_labeled_ > 0
+        assert float(np.mean(semi.predict(X) == y_true)) > 0.9
+
+    def test_rejects_multiclass(self, rng):
+        X = rng.normal(size=(30, 2))
+        y = np.repeat([0, 1, 2], 10)
+        with pytest.raises(ValueError):
+            PlattCalibratedClassifier(
+                SVC(random_state=0)
+            ).fit(X, y)
+
+    def test_rejects_bad_holdout(self, overlapping):
+        X, y = overlapping
+        with pytest.raises(ValueError):
+            PlattCalibratedClassifier(
+                SVC(random_state=0), holdout_fraction=0.9
+            ).fit(X, y)

@@ -1,0 +1,92 @@
+"""Tests for nearest-neighbor learners (Section 2.1 idea #1)."""
+
+import numpy as np
+import pytest
+
+from repro.learn import KNeighborsClassifier, KNeighborsRegressor
+
+
+class TestKNNClassifier:
+    def test_one_neighbor_memorizes_training_set(self, blobs):
+        X, y = blobs
+        model = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_majority_vote(self):
+        X = np.array([[0.0], [0.1], [0.2], [10.0]])
+        y = np.array([0, 0, 0, 1])
+        model = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        assert model.predict([[0.05]])[0] == 0
+
+    def test_distance_weights_break_ties_toward_closer(self):
+        # 2 far class-0 points vs 1 near class-1 point, k=3
+        X = np.array([[0.0], [4.0], [4.1]])
+        y = np.array([1, 0, 0])
+        uniform = KNeighborsClassifier(n_neighbors=3, weights="uniform")
+        distance = KNeighborsClassifier(n_neighbors=3, weights="distance")
+        assert uniform.fit(X, y).predict([[0.2]])[0] == 0
+        assert distance.fit(X, y).predict([[0.2]])[0] == 1
+
+    def test_predict_proba_rows_sum_to_one(self, blobs):
+        X, y = blobs
+        model = KNeighborsClassifier(n_neighbors=5).fit(X, y)
+        proba = model.predict_proba(X[:10])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_exact_hit_dominates_distance_weighting(self):
+        X = np.array([[0.0], [1.0], [1.1]])
+        y = np.array([1, 0, 0])
+        model = KNeighborsClassifier(
+            n_neighbors=3, weights="distance"
+        ).fit(X, y)
+        assert model.predict([[0.0]])[0] == 1
+
+    def test_manhattan_metric(self, blobs):
+        X, y = blobs
+        model = KNeighborsClassifier(
+            n_neighbors=3, metric="manhattan"
+        ).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_rejects_k_larger_than_dataset(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=5).fit(
+                [[0.0], [1.0]], [0, 1]
+            )
+
+    def test_rejects_unknown_metric(self, blobs):
+        X, y = blobs
+        model = KNeighborsClassifier(metric="cosine").fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict(X[:1])
+
+    def test_rejects_bad_weights(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(weights="gravity").fit(X, y)
+
+
+class TestKNNRegressor:
+    def test_interpolates_smooth_function(self, sine_regression):
+        X, y = sine_regression
+        model = KNeighborsRegressor(n_neighbors=5).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_one_neighbor_reproduces_training_targets(self, sine_regression):
+        X, y = sine_regression
+        model = KNeighborsRegressor(n_neighbors=1).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y)
+
+    def test_prediction_is_neighbor_mean(self):
+        X = np.array([[0.0], [1.0], [10.0]])
+        y = np.array([2.0, 4.0, 100.0])
+        model = KNeighborsRegressor(n_neighbors=2).fit(X, y)
+        assert model.predict([[0.5]])[0] == pytest.approx(3.0)
+
+    def test_distance_weighted_regression_pulls_to_closer(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        model = KNeighborsRegressor(
+            n_neighbors=2, weights="distance"
+        ).fit(X, y)
+        assert model.predict([[0.1]])[0] < 5.0

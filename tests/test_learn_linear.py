@@ -1,0 +1,131 @@
+"""Tests for LSF, ridge (regularized LSF), kernel ridge, logistic."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import RBFKernel
+from repro.learn import (
+    KernelRidgeRegressor,
+    LeastSquaresRegressor,
+    LogisticRegression,
+    RidgeRegressor,
+)
+
+
+class TestLeastSquares:
+    def test_recovers_exact_coefficients(self, linear_regression_data):
+        X, y = linear_regression_data
+        model = LeastSquaresRegressor().fit(X, y)
+        np.testing.assert_allclose(model.coef_, [2.0, -1.0], atol=0.02)
+        assert model.intercept_ == pytest.approx(0.5, abs=0.02)
+
+    def test_without_intercept(self, rng):
+        X = rng.normal(size=(50, 1))
+        y = 3.0 * X[:, 0]
+        model = LeastSquaresRegressor(fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+        assert model.coef_[0] == pytest.approx(3.0)
+
+    def test_handles_rank_deficiency(self, rng):
+        x = rng.normal(size=50)
+        X = np.column_stack([x, x])  # perfectly collinear
+        y = x * 2.0
+        model = LeastSquaresRegressor().fit(X, y)
+        assert np.all(np.isfinite(model.coef_))
+        assert model.score(X, y) > 0.999
+
+
+class TestRidge:
+    def test_alpha_zero_matches_lsf(self, linear_regression_data):
+        X, y = linear_regression_data
+        lsf = LeastSquaresRegressor().fit(X, y)
+        ridge = RidgeRegressor(alpha=1e-10).fit(X, y)
+        np.testing.assert_allclose(ridge.coef_, lsf.coef_, atol=1e-5)
+
+    def test_shrinkage_monotone_in_alpha(self, linear_regression_data):
+        X, y = linear_regression_data
+        norms = [
+            float(np.linalg.norm(RidgeRegressor(alpha=a).fit(X, y).coef_))
+            for a in (0.01, 1.0, 100.0)
+        ]
+        assert norms[0] > norms[1] > norms[2]
+
+    def test_regularization_reduces_validation_error_on_noise(self, rng):
+        # the paper's E + lambda*C story: with many noise features, some
+        # regularization beats none out-of-sample
+        n, d = 40, 30
+        X = rng.normal(size=(n, d))
+        beta = np.zeros(d)
+        beta[:3] = [1.0, -2.0, 1.5]
+        y = X @ beta + rng.normal(0, 0.8, size=n)
+        X_val = rng.normal(size=(200, d))
+        y_val = X_val @ beta + rng.normal(0, 0.8, size=200)
+        unregularized = RidgeRegressor(alpha=1e-8).fit(X, y)
+        regularized = RidgeRegressor(alpha=5.0).fit(X, y)
+        assert regularized.score(X_val, y_val) > unregularized.score(
+            X_val, y_val
+        )
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            RidgeRegressor(alpha=-1.0)
+
+
+class TestKernelRidge:
+    def test_fits_nonlinear_function(self, sine_regression):
+        X, y = sine_regression
+        model = KernelRidgeRegressor(
+            kernel=RBFKernel(gamma=1.0), alpha=1e-3
+        ).fit(X, y)
+        assert model.score(X, y) > 0.98
+
+    def test_takes_eq2_form(self, sine_regression):
+        # model output == kernel-weighted sum over training samples
+        X, y = sine_regression
+        model = KernelRidgeRegressor(
+            kernel=RBFKernel(gamma=1.0), alpha=1e-2
+        ).fit(X, y)
+        x_new = np.array([[0.7]])
+        manual = sum(
+            coefficient * model.kernel_(x_new[0], x_train)
+            for coefficient, x_train in zip(model.dual_coef_, X)
+        )
+        assert model.predict(x_new)[0] == pytest.approx(manual)
+
+    def test_rejects_nonpositive_alpha(self, sine_regression):
+        X, y = sine_regression
+        with pytest.raises(ValueError):
+            KernelRidgeRegressor(alpha=0.0).fit(X, y)
+
+
+class TestLogisticRegression:
+    def test_separates_blobs(self, blobs):
+        X, y = blobs
+        model = LogisticRegression(max_iter=800).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_probabilities_are_probabilities(self, blobs):
+        X, y = blobs
+        model = LogisticRegression().fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.all(proba >= 0.0)
+        assert np.all(proba <= 1.0)
+
+    def test_decision_function_sign_matches_prediction(self, blobs):
+        X, y = blobs
+        model = LogisticRegression().fit(X, y)
+        scores = model.decision_function(X)
+        predicted = model.predict(X)
+        assert np.all((scores >= 0) == (predicted == model.classes_[1]))
+
+    def test_rejects_multiclass(self, rng):
+        X = rng.normal(size=(30, 2))
+        y = rng.integers(0, 3, size=30)
+        with pytest.raises(ValueError, match="binary"):
+            LogisticRegression().fit(X, y)
+
+    def test_arbitrary_label_values(self, blobs):
+        X, y = blobs
+        labels = np.where(y == 0, "pass", "fail")
+        model = LogisticRegression().fit(X, labels)
+        assert set(model.predict(X)) <= {"pass", "fail"}

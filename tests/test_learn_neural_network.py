@@ -1,0 +1,113 @@
+"""Tests for the MLP (Section 2.3's fixed-structure capacity control)."""
+
+import numpy as np
+import pytest
+
+from repro.learn import MLPClassifier, MLPRegressor
+
+
+class TestMLPClassifier:
+    def test_separates_blobs(self, blobs):
+        X, y = blobs
+        model = MLPClassifier(
+            hidden_layers=(8,), max_iter=200, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_solves_xor_with_hidden_layer(self, rng):
+        # the classical not-linearly-separable problem
+        X = rng.uniform(-1, 1, size=(400, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        model = MLPClassifier(
+            hidden_layers=(16,), learning_rate=0.05, max_iter=400,
+            random_state=0,
+        ).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_multiclass_softmax(self, rng):
+        X = np.vstack(
+            [rng.normal(c, 0.5, size=(40, 2)) for c in (-3.0, 0.0, 3.0)]
+        )
+        y = np.repeat([0, 1, 2], 40)
+        model = MLPClassifier(
+            hidden_layers=(8,), max_iter=300, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.9
+        proba = model.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_loss_curve_decreases(self, blobs):
+        X, y = blobs
+        model = MLPClassifier(
+            hidden_layers=(8,), max_iter=100, random_state=0
+        ).fit(X, y)
+        assert model.loss_curve_[-1] < model.loss_curve_[0]
+
+    def test_n_parameters_counts_capacity(self, blobs):
+        X, y = blobs
+        small = MLPClassifier(hidden_layers=(4,), max_iter=5, random_state=0)
+        large = MLPClassifier(hidden_layers=(64,), max_iter=5, random_state=0)
+        small.fit(X, y)
+        large.fit(X, y)
+        assert large.n_parameters() > small.n_parameters()
+        # exact count for the small net: 2*4+4 + 4*2+2 = 22
+        assert small.n_parameters() == 22
+
+    def test_relu_and_logistic_activations(self, blobs):
+        X, y = blobs
+        for activation in ("relu", "logistic"):
+            model = MLPClassifier(
+                hidden_layers=(8,), activation=activation, max_iter=200,
+                random_state=0,
+            ).fit(X, y)
+            assert model.score(X, y) > 0.9, activation
+
+    def test_unknown_activation_raises(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            MLPClassifier(activation="swish").fit(X, y)
+
+    def test_seeded_reproducibility(self, blobs):
+        X, y = blobs
+        a = MLPClassifier(hidden_layers=(8,), max_iter=30, random_state=7)
+        b = MLPClassifier(hidden_layers=(8,), max_iter=30, random_state=7)
+        np.testing.assert_allclose(
+            a.fit(X, y).predict_proba(X), b.fit(X, y).predict_proba(X)
+        )
+
+
+class TestMLPRegressor:
+    def test_fits_sine(self, sine_regression):
+        X, y = sine_regression
+        model = MLPRegressor(
+            hidden_layers=(32,), learning_rate=0.02, max_iter=500,
+            random_state=0,
+        ).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_target_normalization_roundtrip(self, rng):
+        # large-offset targets must come back on their original scale
+        X = rng.uniform(-1, 1, size=(100, 1))
+        y = 1000.0 + 5.0 * X[:, 0]
+        model = MLPRegressor(
+            hidden_layers=(8,), max_iter=300, random_state=0
+        ).fit(X, y)
+        predictions = model.predict(X)
+        assert abs(predictions.mean() - 1000.0) < 5.0
+
+    def test_capacity_affects_train_fit(self, rng):
+        # a single tanh unit is monotone and cannot track a sine; a wide
+        # layer can (the fixed-structure capacity knob of Section 2.3)
+        X = rng.uniform(-2, 2, size=(150, 1))
+        y = np.sin(3 * X[:, 0])
+        tiny = MLPRegressor(
+            hidden_layers=(1,), learning_rate=0.05, max_iter=600,
+            random_state=0,
+        )
+        big = MLPRegressor(
+            hidden_layers=(48,), learning_rate=0.05, max_iter=600,
+            random_state=0,
+        )
+        tiny.fit(X, y)
+        big.fit(X, y)
+        assert big.score(X, y) > tiny.score(X, y) + 0.1

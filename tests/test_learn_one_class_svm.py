@@ -1,0 +1,98 @@
+"""Tests for one-class SVM novelty detection (Figs. 7 and 11 engine)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import RBFKernel, SpectrumKernel
+from repro.learn import OneClassSVM
+
+
+class TestOneClassBasics:
+    def test_flags_far_point_as_novel(self, rng):
+        X = rng.normal(0.0, 1.0, size=(80, 2))
+        model = OneClassSVM(kernel=RBFKernel(0.5), nu=0.1).fit(X)
+        assert model.predict(np.array([[10.0, 10.0]]))[0] == -1
+
+    def test_accepts_central_point(self, rng):
+        # bandwidth from the median heuristic so the support estimate is
+        # a filled region rather than a thin shell
+        X = rng.normal(0.0, 1.0, size=(80, 2))
+        model = OneClassSVM(kernel=RBFKernel(0.12), nu=0.1).fit(X)
+        assert model.predict(np.array([[0.0, 0.0]]))[0] == 1
+
+    def test_nu_bounds_training_outlier_fraction(self, rng):
+        X = rng.normal(0.0, 1.0, size=(150, 2))
+        for nu in (0.05, 0.2, 0.4):
+            model = OneClassSVM(kernel=RBFKernel(0.5), nu=nu).fit(X)
+            outlier_fraction = float(np.mean(model.predict(X) == -1))
+            assert outlier_fraction <= nu + 0.1
+
+    def test_larger_nu_tightens_boundary(self, rng):
+        X = rng.normal(0.0, 1.0, size=(120, 2))
+        probes = rng.normal(0.0, 2.0, size=(200, 2))
+        loose = OneClassSVM(kernel=RBFKernel(0.5), nu=0.05).fit(X)
+        tight = OneClassSVM(kernel=RBFKernel(0.5), nu=0.5).fit(X)
+        assert np.mean(tight.is_novel(probes)) >= np.mean(
+            loose.is_novel(probes)
+        )
+
+    def test_novelty_score_is_negated_decision(self, rng):
+        X = rng.normal(size=(50, 2))
+        model = OneClassSVM(kernel=RBFKernel(1.0), nu=0.2).fit(X)
+        probes = rng.normal(size=(10, 2))
+        np.testing.assert_allclose(
+            model.novelty_score(probes), -model.decision_function(probes)
+        )
+
+    def test_rejects_bad_nu(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            OneClassSVM(nu=0.0).fit(X)
+        with pytest.raises(ValueError):
+            OneClassSVM(nu=1.5).fit(X)
+
+    def test_rejects_empty_training(self):
+        with pytest.raises(ValueError):
+            OneClassSVM().fit(np.empty((0, 2)))
+
+    def test_dual_constraints_hold(self, rng):
+        X = rng.normal(size=(60, 2))
+        nu = 0.2
+        model = OneClassSVM(kernel=RBFKernel(0.5), nu=nu).fit(X)
+        assert model.alpha_.sum() == pytest.approx(1.0)
+        assert np.all(model.alpha_ >= -1e-12)
+        assert np.all(model.alpha_ <= 1.0 / (nu * len(X)) + 1e-9)
+
+
+class TestOneClassOnPrograms:
+    """The [14] configuration: novelty over assembly-like programs."""
+
+    def test_detects_novel_program_family(self):
+        familiar = [["LD", "ST", "ADD"] * 4 for _ in range(25)]
+        model = OneClassSVM(kernel=SpectrumKernel(k=2), nu=0.15)
+        model.fit(familiar)
+        novel = [["MUL", "DIV", "XOR"] * 4]
+        redundant = [["LD", "ST", "ADD"] * 4]
+        assert model.is_novel(novel)[0]
+        assert not model.is_novel(redundant)[0]
+
+    def test_novelty_score_ranks_by_dissimilarity(self):
+        familiar = [["LD", "ST"] * 6 for _ in range(20)]
+        model = OneClassSVM(kernel=SpectrumKernel(k=2), nu=0.2)
+        model.fit(familiar)
+        near = [["LD", "ST"] * 5 + [("ADD")]]
+        far = [["MUL", "DIV"] * 6]
+        scores = model.novelty_score([near[0], far[0]])
+        assert scores[1] > scores[0]
+
+
+class TestGaussianMixtureGeometry:
+    def test_captures_both_modes(self, rng):
+        X = np.vstack(
+            [rng.normal(-3, 0.5, size=(60, 2)), rng.normal(3, 0.5, size=(60, 2))]
+        )
+        model = OneClassSVM(kernel=RBFKernel(1.0), nu=0.1).fit(X)
+        # both mode centers are inliers, the midpoint between them is not
+        assert model.predict(np.array([[-3.0, -3.0]]))[0] == 1
+        assert model.predict(np.array([[3.0, 3.0]]))[0] == 1
+        assert model.predict(np.array([[0.0, 0.0]]))[0] == -1

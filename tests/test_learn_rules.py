@@ -1,0 +1,144 @@
+"""Tests for CN2-SD subgroup discovery (the Table 1 / Fig. 10 learner)."""
+
+import numpy as np
+import pytest
+
+from repro.learn import CN2SD, RuleSetClassifier
+from repro.learn.rules import (
+    Condition,
+    Rule,
+    weighted_relative_accuracy,
+)
+
+
+class TestCondition:
+    def test_threshold_matching(self):
+        X = np.array([[1.0], [5.0]])
+        assert Condition(0, "<=", 3.0).matches(X).tolist() == [True, False]
+        assert Condition(0, ">", 3.0).matches(X).tolist() == [False, True]
+
+    def test_equality_matching(self):
+        X = np.array([[2.0], [3.0]])
+        assert Condition(0, "==", 2.0).matches(X).tolist() == [True, False]
+
+    def test_str_uses_feature_name(self):
+        condition = Condition(1, ">", 0.5, feature_name="via45")
+        assert "via45 > 0.5" in str(condition)
+
+
+class TestWRAcc:
+    def test_zero_for_uninformative_rule(self):
+        covered = np.array([True, True, False, False])
+        positive = np.array([True, False, True, False])
+        weights = np.ones(4)
+        assert weighted_relative_accuracy(
+            covered, positive, weights
+        ) == pytest.approx(0.0)
+
+    def test_positive_for_enriching_rule(self):
+        covered = np.array([True, True, False, False])
+        positive = np.array([True, True, False, False])
+        weights = np.ones(4)
+        assert weighted_relative_accuracy(covered, positive, weights) > 0
+
+    def test_weighting_reduces_covered_value(self):
+        covered = np.array([True, True, False, False])
+        positive = np.array([True, True, False, False])
+        full = weighted_relative_accuracy(covered, positive, np.ones(4))
+        decayed = weighted_relative_accuracy(
+            covered, positive, np.array([0.1, 0.1, 1.0, 1.0])
+        )
+        assert decayed < full
+
+
+class TestCN2SD:
+    def test_recovers_conjunctive_concept(self, rng):
+        X = rng.uniform(size=(400, 4))
+        y = ((X[:, 1] > 0.7) & (X[:, 3] < 0.3)).astype(int)
+        learner = CN2SD(target_class=1, max_rules=3).fit(
+            X, y, feature_names=["a", "b", "c", "d"]
+        )
+        assert learner.rules_
+        top = learner.rules_[0]
+        assert set(top.features_used()) == {1, 3}
+        assert top.precision > 0.8
+
+    def test_recovers_disjunctive_concept(self, rng):
+        X = rng.uniform(size=(500, 4))
+        y = ((X[:, 0] > 0.85) | (X[:, 2] < 0.1)).astype(int)
+        learner = CN2SD(
+            target_class=1, max_rules=4, max_conditions=2
+        ).fit(X, y)
+        used = learner.features_used()
+        assert 0 in used
+        assert 2 in used
+
+    def test_rules_cover_most_positives(self, rng):
+        X = rng.uniform(size=(400, 3))
+        y = (X[:, 0] > 0.6).astype(int)
+        learner = CN2SD(target_class=1, max_rules=3).fit(X, y)
+        covered = learner.covers(X)
+        recall = np.sum(covered & (y == 1)) / np.sum(y == 1)
+        assert recall > 0.8
+
+    def test_no_duplicate_rules(self, rng):
+        X = rng.uniform(size=(300, 4))
+        y = ((X[:, 1] > 0.5) & (X[:, 2] > 0.5)).astype(int)
+        learner = CN2SD(target_class=1, max_rules=5).fit(X, y)
+        signatures = [
+            tuple(sorted((c.feature, c.operator, c.value)
+                         for c in rule.conditions))
+            for rule in learner.rules_
+        ]
+        assert len(signatures) == len(set(signatures))
+
+    def test_describe_is_engineer_readable(self, rng):
+        X = rng.uniform(size=(200, 2))
+        y = (X[:, 0] > 0.5).astype(int)
+        learner = CN2SD(target_class=1).fit(
+            X, y, feature_names=["via45_count", "wire_m5"]
+        )
+        assert "via45_count" in learner.describe()
+        assert "IF" in learner.describe()
+
+    def test_requires_target_examples(self, rng):
+        X = rng.uniform(size=(50, 2))
+        with pytest.raises(ValueError, match="target class"):
+            CN2SD(target_class=1).fit(X, np.zeros(50, dtype=int))
+
+    def test_gamma_validation(self, rng):
+        X = rng.uniform(size=(50, 2))
+        y = (X[:, 0] > 0.5).astype(int)
+        with pytest.raises(ValueError):
+            CN2SD(gamma=1.0).fit(X, y)
+
+    def test_max_conditions_respected(self, rng):
+        X = rng.uniform(size=(300, 5))
+        y = ((X[:, 0] > 0.5) & (X[:, 1] > 0.5) & (X[:, 2] > 0.5)).astype(int)
+        learner = CN2SD(target_class=1, max_conditions=2).fit(X, y)
+        for rule in learner.rules_:
+            assert len(rule.conditions) <= 2
+
+    def test_low_cardinality_features_get_equality_conditions(self):
+        X = np.column_stack(
+            [np.tile([0.0, 1.0], 50), np.random.default_rng(0).uniform(size=100)]
+        )
+        y = (X[:, 0] == 1.0).astype(int)
+        learner = CN2SD(target_class=1, max_conditions=1).fit(X, y)
+        assert learner.rules_[0].precision == 1.0
+
+
+class TestRuleSetClassifier:
+    def test_behaves_as_binary_classifier(self, rng):
+        X = rng.uniform(size=(300, 3))
+        y = (X[:, 1] > 0.6).astype(int)
+        model = RuleSetClassifier(max_rules=3).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_custom_class_labels(self, rng):
+        X = rng.uniform(size=(200, 2))
+        y = np.where(X[:, 0] > 0.5, "slow", "fast")
+        model = RuleSetClassifier(
+            positive_class="slow", negative_class="fast"
+        ).fit(X, y)
+        assert set(model.predict(X)) <= {"slow", "fast"}

@@ -1,0 +1,165 @@
+"""Tests for feature selection and rebalancing (Section 2.4)."""
+
+import numpy as np
+import pytest
+
+from repro.learn import (
+    OutlierSeparationSelector,
+    SelectKBest,
+    correlation_score,
+    f_score,
+    imbalance_ratio,
+    mutual_information_score,
+    random_oversample,
+    random_undersample,
+    smote,
+)
+
+
+@pytest.fixture
+def labeled(rng):
+    """Five features, only features 1 and 3 carry class signal."""
+    n = 300
+    y = rng.integers(0, 2, size=n)
+    X = rng.normal(size=(n, 5))
+    X[:, 1] += 2.0 * y
+    X[:, 3] -= 1.5 * y
+    return X, y
+
+
+class TestUnivariateScores:
+    def test_f_score_ranks_signal_features(self, labeled):
+        X, y = labeled
+        scores = f_score(X, y)
+        assert set(np.argsort(-scores)[:2]) == {1, 3}
+
+    def test_correlation_score_ranks_signal_features(self, labeled):
+        X, y = labeled
+        scores = correlation_score(X, y.astype(float))
+        assert set(np.argsort(-scores)[:2]) == {1, 3}
+
+    def test_mutual_information_ranks_signal_features(self, labeled):
+        X, y = labeled
+        scores = mutual_information_score(X, y)
+        assert set(np.argsort(-scores)[:2]) == {1, 3}
+
+    def test_mi_nonnegative(self, labeled):
+        X, y = labeled
+        assert np.all(mutual_information_score(X, y) >= 0.0)
+
+    def test_f_score_requires_two_classes(self, rng):
+        X = rng.normal(size=(20, 2))
+        with pytest.raises(ValueError):
+            f_score(X, np.zeros(20))
+
+
+class TestSelectKBest:
+    def test_selects_top_k(self, labeled):
+        X, y = labeled
+        selector = SelectKBest(k=2).fit(X, y)
+        assert set(selector.selected_indices_) == {1, 3}
+        assert selector.transform(X).shape == (len(X), 2)
+
+    def test_k_larger_than_features_keeps_all(self, labeled):
+        X, y = labeled
+        selector = SelectKBest(k=99).fit(X, y)
+        assert len(selector.selected_indices_) == X.shape[1]
+
+    def test_rejects_k_zero(self, labeled):
+        X, y = labeled
+        with pytest.raises(ValueError):
+            SelectKBest(k=0).fit(X, y)
+
+
+class TestOutlierSeparationSelector:
+    def test_finds_defect_signature_tests(self, rng):
+        # 2 returns vs 1000 passing parts: classification is hopeless,
+        # but the separating features are findable (Section 2.4's point)
+        n_pass = 1000
+        X = rng.normal(size=(n_pass + 2, 8))
+        X[-2:, 2] += 5.0
+        X[-2:, 6] -= 4.0
+        y = np.array([0] * n_pass + [1, 1])
+        selector = OutlierSeparationSelector(k=2).fit(X, y)
+        assert set(selector.selected_indices_) == {2, 6}
+
+    def test_selected_names_maps_to_tests(self, rng):
+        X = rng.normal(size=(102, 3))
+        X[-2:, 1] += 6.0
+        y = np.array([0] * 100 + [1, 1])
+        selector = OutlierSeparationSelector(k=1).fit(X, y)
+        names = selector.selected_names(["T00", "T01", "T02"])
+        assert names == ["T01"]
+
+    def test_requires_positives(self, rng):
+        X = rng.normal(size=(50, 3))
+        with pytest.raises(ValueError):
+            OutlierSeparationSelector().fit(X, np.zeros(50))
+
+    def test_robust_to_scale(self, rng):
+        # blowing up an uninformative feature's scale must not matter
+        X = rng.normal(size=(202, 4))
+        X[-2:, 3] += 5.0
+        X[:, 0] *= 1e6
+        y = np.array([0] * 200 + [1, 1])
+        selector = OutlierSeparationSelector(k=1).fit(X, y)
+        assert selector.selected_indices_[0] == 3
+
+
+class TestRebalancing:
+    def test_imbalance_ratio(self):
+        assert imbalance_ratio([0] * 90 + [1] * 10) == pytest.approx(9.0)
+
+    def test_undersample_balances(self, rng):
+        X = rng.normal(size=(110, 2))
+        y = np.array([0] * 100 + [1] * 10)
+        X_out, y_out = random_undersample(X, y, random_state=0)
+        assert imbalance_ratio(y_out) == pytest.approx(1.0)
+        assert len(X_out) == 20
+
+    def test_oversample_balances_without_dropping(self, rng):
+        X = rng.normal(size=(110, 2))
+        y = np.array([0] * 100 + [1] * 10)
+        X_out, y_out = random_oversample(X, y, random_state=0)
+        assert np.sum(y_out == 0) == 100
+        assert np.sum(y_out == 1) == 100
+
+    def test_oversample_duplicates_are_real_samples(self, rng):
+        X = rng.normal(size=(55, 2))
+        y = np.array([0] * 50 + [1] * 5)
+        X_out, y_out = random_oversample(X, y, random_state=0)
+        minority_rows = {tuple(row) for row in X[y == 1]}
+        for row in X_out[y_out == 1]:
+            assert tuple(row) in minority_rows
+
+    def test_smote_synthesizes_new_points(self, rng):
+        X = rng.normal(size=(55, 2))
+        y = np.array([0] * 50 + [1] * 5)
+        X_out, y_out = smote(X, y, random_state=0)
+        original = {tuple(row) for row in X[y == 1]}
+        synthetic = [
+            row for row in X_out[y_out == 1] if tuple(row) not in original
+        ]
+        assert len(synthetic) == 45
+
+    def test_smote_points_on_minority_segments(self, rng):
+        # with 2 minority points all synthetics lie on the segment
+        X = np.vstack([rng.normal(size=(20, 2)), [[0.0, 0.0]], [[1.0, 1.0]]])
+        y = np.array([0] * 20 + [1, 1])
+        X_out, y_out = smote(X, y, n_synthetic=10, random_state=0)
+        synthetic = X_out[y_out == 1][-10:]
+        for point in synthetic:
+            assert point[0] == pytest.approx(point[1], abs=1e-9)
+            assert -1e-9 <= point[0] <= 1.0 + 1e-9
+
+    def test_smote_needs_two_minority_samples(self, rng):
+        X = rng.normal(size=(21, 2))
+        y = np.array([0] * 20 + [1])
+        with pytest.raises(ValueError):
+            smote(X, y)
+
+    def test_rejects_multiclass(self, rng):
+        X = rng.normal(size=(30, 2))
+        y = np.repeat([0, 1, 2], 10)
+        with pytest.raises(ValueError):
+            random_undersample(X, y)

@@ -1,0 +1,129 @@
+"""Tests for semi-supervised learning (Section 2's third regime)."""
+
+import numpy as np
+import pytest
+
+from repro.learn import (
+    UNLABELED,
+    GaussianNaiveBayes,
+    KNeighborsClassifier,
+    LabelPropagation,
+    SelfTrainingClassifier,
+)
+
+
+@pytest.fixture
+def two_moons_like(rng):
+    """Two dense blobs, only one labeled sample per class."""
+    X = np.vstack(
+        [rng.normal(-2.0, 0.5, size=(60, 2)), rng.normal(2.0, 0.5, size=(60, 2))]
+    )
+    y_true = np.repeat([0, 1], 60)
+    y = np.full(120, UNLABELED)
+    y[0] = 0
+    y[60] = 1
+    return X, y, y_true
+
+
+class TestLabelPropagation:
+    def test_two_labels_color_both_clusters(self, two_moons_like):
+        X, y, y_true = two_moons_like
+        model = LabelPropagation(gamma=0.5).fit(X, y)
+        accuracy = float(np.mean(model.transduction_ == y_true))
+        assert accuracy > 0.95
+
+    def test_labeled_samples_stay_clamped(self, two_moons_like):
+        X, y, _ = two_moons_like
+        model = LabelPropagation(gamma=0.5).fit(X, y)
+        assert model.transduction_[0] == 0
+        assert model.transduction_[60] == 1
+
+    def test_predict_on_new_points(self, two_moons_like):
+        X, y, _ = two_moons_like
+        model = LabelPropagation(gamma=0.5).fit(X, y)
+        predictions = model.predict(np.array([[-2.0, 0.0], [2.0, 0.0]]))
+        assert predictions.tolist() == [0, 1]
+
+    def test_label_distributions_are_distributions(self, two_moons_like):
+        X, y, _ = two_moons_like
+        model = LabelPropagation(gamma=0.5).fit(X, y)
+        np.testing.assert_allclose(
+            model.label_distributions_.sum(axis=1), 1.0, atol=1e-9
+        )
+
+    def test_requires_labeled_samples(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            LabelPropagation().fit(X, np.full(10, UNLABELED))
+
+    def test_requires_two_classes(self, rng):
+        X = rng.normal(size=(10, 2))
+        y = np.full(10, UNLABELED)
+        y[0] = 0
+        with pytest.raises(ValueError):
+            LabelPropagation().fit(X, y)
+
+    def test_rejects_bad_gamma(self, two_moons_like):
+        X, y, _ = two_moons_like
+        with pytest.raises(ValueError):
+            LabelPropagation(gamma=0.0).fit(X, y)
+
+
+class TestSelfTraining:
+    def test_improves_over_labeled_only_baseline(self, rng):
+        X = np.vstack(
+            [rng.normal(-1.5, 0.8, size=(100, 2)),
+             rng.normal(1.5, 0.8, size=(100, 2))]
+        )
+        y_true = np.repeat([0, 1], 100)
+        y = np.full(200, UNLABELED)
+        labeled_indices = [0, 1, 2, 100, 101, 102]
+        y[labeled_indices] = y_true[labeled_indices]
+
+        X_test = np.vstack(
+            [rng.normal(-1.5, 0.8, size=(100, 2)),
+             rng.normal(1.5, 0.8, size=(100, 2))]
+        )
+        y_test = np.repeat([0, 1], 100)
+
+        baseline = GaussianNaiveBayes().fit(
+            X[labeled_indices], y[labeled_indices]
+        )
+        semi = SelfTrainingClassifier(
+            GaussianNaiveBayes(), threshold=0.95
+        ).fit(X, y)
+        assert semi.score(X_test, y_test) >= baseline.score(X_test, y_test)
+        assert semi.n_pseudo_labeled_ > 0
+
+    def test_threshold_one_promotes_only_certainties(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = np.full(50, UNLABELED)
+        y[:4] = [0, 0, 1, 1]
+        X[:2] -= 4.0
+        X[2:4] += 4.0
+        model = SelfTrainingClassifier(
+            KNeighborsClassifier(n_neighbors=3), threshold=1.0
+        ).fit(X, y)
+        # kNN proba of 3 agreeing neighbors is exactly 1 -> some promoted
+        assert model.rounds_ >= 1
+
+    def test_transduction_covers_labeled(self, two_moons_like):
+        X, y, y_true = two_moons_like
+        model = SelfTrainingClassifier(
+            GaussianNaiveBayes(), threshold=0.9
+        ).fit(X, y)
+        assert model.transduction_[0] == 0
+        assert model.transduction_[60] == 1
+
+    def test_rejects_bad_threshold(self, two_moons_like):
+        X, y, _ = two_moons_like
+        with pytest.raises(ValueError):
+            SelfTrainingClassifier(GaussianNaiveBayes(),
+                                   threshold=0.4).fit(X, y)
+
+    def test_requires_some_labels(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            SelfTrainingClassifier(GaussianNaiveBayes()).fit(
+                X, np.full(10, UNLABELED)
+            )

@@ -1,0 +1,131 @@
+"""Tests for the SMO kernel SVM (Section 2.3, Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import LinearKernel, PolynomialKernel, RBFKernel
+from repro.learn import SVC
+
+
+class TestSVCBasics:
+    def test_separates_blobs(self, blobs):
+        X, y = blobs
+        model = SVC(kernel=RBFKernel(0.5), C=1.0, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_linear_kernel_fails_on_rings(self, rings):
+        X, y = rings
+        model = SVC(kernel=LinearKernel(), C=1.0, random_state=0).fit(X, y)
+        assert model.score(X, y) < 0.75  # not linearly separable (Fig. 3)
+
+    def test_degree2_kernel_separates_rings(self, rings):
+        # the paper's kernel-trick demonstration
+        X, y = rings
+        model = SVC(
+            kernel=PolynomialKernel(degree=2, coef0=1.0), C=10.0,
+            random_state=0,
+        ).fit(X, y)
+        assert model.score(X, y) > 0.97
+
+    def test_sparsity_most_alphas_zero(self, blobs):
+        X, y = blobs
+        model = SVC(kernel=RBFKernel(0.5), C=1.0, random_state=0).fit(X, y)
+        assert model.n_support_ < len(X) // 2
+
+    def test_model_is_eq2_form(self, blobs):
+        # prediction = sum_i alpha_i y_i k(x, x_i) + b over support vectors
+        X, y = blobs
+        model = SVC(kernel=RBFKernel(0.5), C=1.0, random_state=0).fit(X, y)
+        x_new = X[0]
+        manual = model.intercept_ + sum(
+            coefficient * model.kernel_(x_new, sv)
+            for coefficient, sv in zip(
+                model.dual_coef_, model.support_vectors_
+            )
+        )
+        assert model.decision_function([x_new])[0] == pytest.approx(manual)
+
+    def test_decision_sign_matches_predict(self, blobs):
+        X, y = blobs
+        model = SVC(kernel=RBFKernel(0.5), random_state=0).fit(X, y)
+        scores = model.decision_function(X)
+        predicted = model.predict(X)
+        assert np.all((scores >= 0) == (predicted == model.classes_[1]))
+
+    def test_arbitrary_labels(self, blobs):
+        X, y = blobs
+        labels = np.where(y == 0, "good", "bad")
+        model = SVC(kernel=RBFKernel(0.5), random_state=0).fit(X, labels)
+        assert set(model.predict(X)) <= {"good", "bad"}
+
+    def test_rejects_multiclass(self, rng):
+        X = rng.normal(size=(30, 2))
+        y = rng.integers(0, 3, size=30)
+        with pytest.raises(ValueError, match="binary"):
+            SVC().fit(X, y)
+
+    def test_rejects_nonpositive_C(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            SVC(C=0.0).fit(X, y)
+
+
+class TestRegularization:
+    def test_complexity_grows_with_C(self, rng):
+        # overlapping classes: small C = simpler model (Section 2.3)
+        X = np.vstack(
+            [rng.normal(-0.5, 1.0, size=(60, 2)),
+             rng.normal(0.5, 1.0, size=(60, 2))]
+        )
+        y = np.repeat([0, 1], 60)
+        loose = SVC(kernel=RBFKernel(0.5), C=0.01, random_state=0).fit(X, y)
+        tight = SVC(kernel=RBFKernel(0.5), C=100.0, random_state=0).fit(X, y)
+        assert tight.model_complexity() >= loose.model_complexity() * 0.9
+
+    def test_small_C_generalizes_on_noisy_labels(self, rng):
+        X = np.vstack(
+            [rng.normal(-2, 0.8, size=(80, 2)),
+             rng.normal(2, 0.8, size=(80, 2))]
+        )
+        y = np.repeat([0, 1], 80)
+        flip = rng.uniform(size=160) < 0.15
+        y_noisy = np.where(flip, 1 - y, y)
+        X_val = np.vstack(
+            [rng.normal(-2, 0.8, size=(100, 2)),
+             rng.normal(2, 0.8, size=(100, 2))]
+        )
+        y_val = np.repeat([0, 1], 100)
+        gentle = SVC(kernel=RBFKernel(2.0), C=0.5, random_state=0)
+        harsh = SVC(kernel=RBFKernel(2.0), C=500.0, random_state=0)
+        gentle.fit(X, y_noisy)
+        harsh.fit(X, y_noisy)
+        assert gentle.score(X_val, y_val) >= harsh.score(X_val, y_val) - 0.02
+
+
+class TestKernelPluggability:
+    def test_accepts_histogram_kernel(self, rng):
+        from repro.kernels import HistogramIntersectionKernel
+
+        H = np.vstack(
+            [
+                rng.dirichlet(np.ones(6) * 5.0, size=30),
+                rng.dirichlet(np.array([10, 1, 1, 1, 1, 10.0]), size=30),
+            ]
+        )
+        y = np.repeat([0, 1], 30)
+        model = SVC(
+            kernel=HistogramIntersectionKernel(), C=5.0, random_state=0
+        ).fit(H, y)
+        assert model.score(H, y) > 0.8
+
+    def test_accepts_sequence_kernel(self):
+        from repro.kernels import SpectrumKernel
+
+        programs = [["LD", "ST"] * 6 for _ in range(10)] + [
+            ["MUL", "DIV"] * 6 for _ in range(10)
+        ]
+        y = np.repeat([0, 1], 10)
+        model = SVC(
+            kernel=SpectrumKernel(k=2), C=1.0, random_state=0
+        ).fit(programs, y)
+        assert model.score(programs, y) == 1.0

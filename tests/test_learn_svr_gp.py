@@ -1,0 +1,138 @@
+"""Tests for SVR and Gaussian-process regression."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import LinearKernel, RBFKernel
+from repro.learn import SVR, GaussianProcessRegressor
+
+
+class TestSVR:
+    def test_fits_sine(self, sine_regression):
+        X, y = sine_regression
+        model = SVR(kernel=RBFKernel(1.0), C=10.0, epsilon=0.05).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_linear_kernel_recovers_slope(self, rng):
+        X = rng.uniform(-2, 2, size=(40, 1))
+        y = 1.5 * X[:, 0] + 0.3
+        model = SVR(kernel=LinearKernel(), C=50.0, epsilon=0.01).fit(X, y)
+        predictions = model.predict(np.array([[0.0], [1.0]]))
+        slope = predictions[1] - predictions[0]
+        assert slope == pytest.approx(1.5, abs=0.1)
+
+    def test_epsilon_tube_controls_sparsity(self, sine_regression):
+        X, y = sine_regression
+        narrow = SVR(kernel=RBFKernel(1.0), C=10.0, epsilon=0.01).fit(X, y)
+        wide = SVR(kernel=RBFKernel(1.0), C=10.0, epsilon=0.5).fit(X, y)
+        assert wide.n_support_ < narrow.n_support_
+
+    def test_residuals_mostly_inside_tube(self, sine_regression):
+        X, y = sine_regression
+        eps = 0.1
+        model = SVR(kernel=RBFKernel(1.0), C=100.0, epsilon=eps).fit(X, y)
+        residuals = np.abs(model.predict(X) - y)
+        assert np.mean(residuals <= eps + 0.05) > 0.85
+
+    def test_rejects_bad_params(self, sine_regression):
+        X, y = sine_regression
+        with pytest.raises(ValueError):
+            SVR(C=0.0).fit(X, y)
+        with pytest.raises(ValueError):
+            SVR(epsilon=-0.1).fit(X, y)
+
+    def test_eq2_form(self, sine_regression):
+        X, y = sine_regression
+        model = SVR(kernel=RBFKernel(1.0), C=10.0, epsilon=0.1).fit(X, y)
+        x_new = np.array([0.3])
+        manual = model.intercept_ + sum(
+            coefficient * model.kernel_(x_new, sv)
+            for coefficient, sv in zip(
+                model.dual_coef_, model.support_vectors_
+            )
+        )
+        assert model.predict([x_new])[0] == pytest.approx(manual)
+
+
+class TestGaussianProcess:
+    def test_interpolates_noiseless_data(self, rng):
+        X = np.linspace(-2, 2, 12).reshape(-1, 1)
+        y = np.sin(X[:, 0])
+        model = GaussianProcessRegressor(
+            kernel=RBFKernel(1.0), noise=1e-8
+        ).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-3)
+
+    def test_uncertainty_grows_away_from_data(self, rng):
+        X = rng.uniform(-1, 1, size=(30, 1))
+        y = np.sin(2 * X[:, 0])
+        model = GaussianProcessRegressor(
+            kernel=RBFKernel(1.0), noise=1e-4
+        ).fit(X, y)
+        _, std_near = model.predict(np.array([[0.0]]), return_std=True)
+        _, std_far = model.predict(np.array([[6.0]]), return_std=True)
+        assert std_far[0] > std_near[0] * 3
+
+    def test_predictive_std_nonnegative(self, sine_regression):
+        X, y = sine_regression
+        model = GaussianProcessRegressor(kernel=RBFKernel(1.0)).fit(X, y)
+        _, std = model.predict(X, return_std=True)
+        assert np.all(std >= 0.0)
+
+    def test_noise_smooths_fit(self, rng):
+        X = rng.uniform(-2, 2, size=(50, 1))
+        y = np.sin(X[:, 0]) + rng.normal(0, 0.3, size=50)
+        exact = GaussianProcessRegressor(
+            kernel=RBFKernel(4.0), noise=1e-8
+        ).fit(X, y)
+        smoothed = GaussianProcessRegressor(
+            kernel=RBFKernel(4.0), noise=0.1
+        ).fit(X, y)
+        # exact interpolation chases the noise; smoothed does not
+        assert exact.score(X, y) > smoothed.score(X, y)
+        grid = np.linspace(-2, 2, 100).reshape(-1, 1)
+        truth = np.sin(grid[:, 0])
+        smoothed_error = np.mean((smoothed.predict(grid) - truth) ** 2)
+        exact_error = np.mean((exact.predict(grid) - truth) ** 2)
+        assert smoothed_error < exact_error
+
+    def test_log_marginal_likelihood_finite(self, sine_regression):
+        X, y = sine_regression
+        model = GaussianProcessRegressor(kernel=RBFKernel(1.0)).fit(X, y)
+        assert np.isfinite(model.log_marginal_likelihood_)
+
+    def test_rejects_negative_noise(self, sine_regression):
+        X, y = sine_regression
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(noise=-1.0).fit(X, y)
+
+
+class TestFiveRegressionFamilies:
+    """The paper cites [20]: five regression families compared for Fmax
+    prediction.  All five must fit a common smooth target well."""
+
+    def test_all_families_fit_smooth_target(self, rng):
+        from repro.learn import (
+            KNeighborsRegressor,
+            LeastSquaresRegressor,
+            RidgeRegressor,
+        )
+
+        X = rng.uniform(-1, 1, size=(120, 3))
+        y = (
+            1.0
+            + 2.0 * X[:, 0]
+            - 1.0 * X[:, 1]
+            + 0.5 * X[:, 2]
+            + rng.normal(0, 0.05, size=120)
+        )
+        models = [
+            KNeighborsRegressor(n_neighbors=5),
+            LeastSquaresRegressor(),
+            RidgeRegressor(alpha=0.1),
+            SVR(kernel=LinearKernel(), C=10.0, epsilon=0.05),
+            GaussianProcessRegressor(kernel=RBFKernel(0.5), noise=1e-2),
+        ]
+        for model in models:
+            model.fit(X, y)
+            assert model.score(X, y) > 0.8, type(model).__name__

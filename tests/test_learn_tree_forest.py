@@ -1,0 +1,172 @@
+"""Tests for CART trees and random forests ([7], [8])."""
+
+import numpy as np
+import pytest
+
+from repro.learn import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+    entropy_impurity,
+    gini_impurity,
+    mse_impurity,
+)
+
+
+class TestImpurities:
+    def test_gini_pure_is_zero(self):
+        assert gini_impurity(np.array([1, 1, 1])) == 0.0
+
+    def test_gini_balanced_binary_is_half(self):
+        assert gini_impurity(np.array([0, 1, 0, 1])) == pytest.approx(0.5)
+
+    def test_entropy_pure_is_zero(self):
+        assert entropy_impurity(np.array([2, 2])) == pytest.approx(0.0)
+
+    def test_entropy_balanced_is_log2(self):
+        assert entropy_impurity(np.array([0, 1])) == pytest.approx(np.log(2))
+
+    def test_mse_is_variance(self):
+        y = np.array([1.0, 3.0])
+        assert mse_impurity(y) == pytest.approx(1.0)
+
+    def test_empty_inputs(self):
+        assert gini_impurity(np.array([])) == 0.0
+        assert mse_impurity(np.array([])) == 0.0
+
+
+class TestDecisionTreeClassifier:
+    def test_learns_axis_aligned_concept(self, rng):
+        X = rng.uniform(-1, 1, size=(300, 2))
+        y = ((X[:, 0] > 0.2) & (X[:, 1] < -0.1)).astype(int)
+        model = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert model.score(X, y) > 0.97
+
+    def test_depth_limit_respected(self, rng):
+        X = rng.uniform(size=(200, 3))
+        y = rng.integers(0, 2, size=200)
+        model = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert model.depth() <= 3
+
+    def test_min_samples_leaf_respected(self, rng):
+        X = rng.uniform(size=(100, 2))
+        y = rng.integers(0, 2, size=100)
+        model = DecisionTreeClassifier(
+            max_depth=10, min_samples_leaf=10
+        ).fit(X, y)
+
+        def check(node):
+            if node.is_leaf:
+                assert node.n_samples >= 10
+            else:
+                check(node.left)
+                check(node.right)
+
+        check(model.root_)
+
+    def test_feature_importances_identify_signal(self, rng):
+        X = rng.uniform(size=(400, 5))
+        y = (X[:, 2] > 0.5).astype(int)
+        model = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert np.argmax(model.feature_importances_) == 2
+        assert model.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_predict_proba_at_leaves(self, rng):
+        X = rng.uniform(size=(200, 2))
+        y = (X[:, 0] > 0.5).astype(int)
+        model = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        proba = model.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_entropy_criterion_works(self, blobs):
+        X, y = blobs
+        model = DecisionTreeClassifier(criterion="entropy").fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_unknown_criterion_raises(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(criterion="chaos").fit(X, y)
+
+    def test_pure_node_stops_splitting(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 0, 0])
+        model = DecisionTreeClassifier().fit(X, y)
+        assert model.root_.is_leaf
+
+
+class TestDecisionTreeRegressor:
+    def test_fits_step_function(self, rng):
+        X = rng.uniform(-1, 1, size=(300, 1))
+        y = np.where(X[:, 0] > 0.0, 5.0, -5.0)
+        model = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        assert model.score(X, y) > 0.99
+
+    def test_deeper_tree_fits_train_better(self, sine_regression):
+        X, y = sine_regression
+        shallow = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        deep = DecisionTreeRegressor(max_depth=8).fit(X, y)
+        assert deep.score(X, y) >= shallow.score(X, y)
+
+    def test_leaf_prediction_is_mean(self):
+        X = np.array([[0.0], [0.1], [5.0], [5.1]])
+        y = np.array([1.0, 3.0, 10.0, 12.0])
+        model = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        # optimal single split is at the group boundary; the left leaf
+        # predicts mean(1, 3)
+        assert model.predict([[0.05]])[0] == pytest.approx(2.0)
+        assert model.predict([[5.05]])[0] == pytest.approx(11.0)
+
+
+class TestRandomForest:
+    def test_classifier_beats_single_tree_on_noise(self, rng):
+        X = rng.uniform(-1, 1, size=(300, 6))
+        y = ((X[:, 0] + 0.5 * X[:, 1] + 0.25 * X[:, 2]) > 0).astype(int)
+        flip = rng.uniform(size=300) < 0.15
+        y_train = np.where(flip, 1 - y, y)
+        X_val = rng.uniform(-1, 1, size=(500, 6))
+        y_val = ((X_val[:, 0] + 0.5 * X_val[:, 1] + 0.25 * X_val[:, 2]) > 0
+                 ).astype(int)
+        tree = DecisionTreeClassifier(max_depth=12, random_state=0)
+        forest = RandomForestClassifier(
+            n_estimators=30, max_depth=12, random_state=0
+        )
+        tree.fit(X, y_train)
+        forest.fit(X, y_train)
+        assert forest.score(X_val, y_val) >= tree.score(X_val, y_val)
+
+    def test_probability_aggregation(self, blobs):
+        X, y = blobs
+        forest = RandomForestClassifier(
+            n_estimators=10, random_state=0
+        ).fit(X, y)
+        proba = forest.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_regressor_smooths(self, sine_regression):
+        X, y = sine_regression
+        forest = RandomForestRegressor(
+            n_estimators=20, max_depth=6, random_state=0
+        ).fit(X, y)
+        assert forest.score(X, y) > 0.85
+
+    def test_reproducible_with_seed(self, blobs):
+        X, y = blobs
+        a = RandomForestClassifier(n_estimators=5, random_state=42).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=42).fit(X, y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))
+
+    def test_importances_normalized(self, rng):
+        X = rng.uniform(size=(200, 4))
+        y = (X[:, 1] > 0.5).astype(int)
+        forest = RandomForestClassifier(
+            n_estimators=10, random_state=0
+        ).fit(X, y)
+        assert forest.feature_importances_.sum() == pytest.approx(1.0)
+        assert np.argmax(forest.feature_importances_) == 1
+
+    def test_rejects_zero_estimators(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0).fit(X, y)

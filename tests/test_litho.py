@@ -1,0 +1,201 @@
+"""Tests for the lithography substrate (Fig. 8 / Fig. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.litho import (
+    Layout,
+    LayoutGenerator,
+    LithographySimulator,
+    ProcessWindow,
+    VariabilityPredictor,
+    clip_histogram_features,
+    density_histogram,
+    edge_histogram,
+    histogram_feature_matrix,
+    run_length_histogram,
+    run_variability_experiment,
+    window_grid,
+)
+
+
+class TestLayout:
+    def test_binarizes_pixels(self):
+        layout = Layout(np.array([[0, 2], [5, 0]]))
+        assert set(np.unique(layout.pixels)) <= {0, 1}
+
+    def test_density(self):
+        layout = Layout(np.array([[1, 0], [0, 0]]))
+        assert layout.density() == pytest.approx(0.25)
+
+    def test_window_bounds_checked(self):
+        layout = Layout(np.zeros((10, 10)))
+        with pytest.raises(ValueError):
+            layout.window(8, 8, 4)
+
+    def test_window_grid_covers_layout(self):
+        layout = Layout(np.zeros((64, 64)))
+        anchors, clips = window_grid(layout, size=32, stride=16)
+        assert len(anchors) == 9
+        assert clips[0].shape == (32, 32)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            Layout(np.zeros(10))
+
+
+class TestLayoutGenerator:
+    def test_seeded_determinism(self):
+        a = LayoutGenerator(random_state=5).generate()
+        b = LayoutGenerator(random_state=5).generate()
+        np.testing.assert_array_equal(a.pixels, b.pixels)
+
+    def test_nonempty_and_nonfull(self):
+        layout = LayoutGenerator(random_state=0).generate()
+        assert 0.02 < layout.density() < 0.9
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            LayoutGenerator().generate(rows=8, cols=8)
+
+
+class TestFeatures:
+    def test_density_histogram_mass(self):
+        clip = np.ones((16, 16))
+        histogram = density_histogram(clip, block=4, n_bins=8)
+        assert histogram.sum() == 16  # 4x4 blocks
+        assert histogram[-1] == 16  # all blocks fully dense
+
+    def test_run_length_histogram_counts_runs(self):
+        clip = np.zeros((4, 8), dtype=int)
+        clip[0, 0:3] = 1  # one horizontal run of 3
+        histogram = run_length_histogram(clip, max_run=8)
+        assert histogram[2] >= 1  # run length 3 -> bin index 2
+
+    def test_run_length_long_runs_clamped(self):
+        clip = np.ones((1, 50), dtype=int)
+        histogram = run_length_histogram(clip, max_run=4)
+        assert histogram[3] > 0
+
+    def test_edge_histogram_dense_grating_vs_block(self):
+        grating = np.zeros((16, 16), dtype=int)
+        grating[:, ::2] = 1
+        block = np.zeros((16, 16), dtype=int)
+        block[4:12, 4:12] = 1
+        grating_hist = edge_histogram(grating)
+        block_hist = edge_histogram(block)
+        # grating scanlines have many transitions -> mass in higher bins
+        upper = len(grating_hist) // 2
+        assert grating_hist[upper:].sum() > block_hist[upper:].sum()
+
+    def test_feature_vector_nonnegative(self, rng):
+        clip = (rng.uniform(size=(32, 32)) > 0.5).astype(int)
+        features = clip_histogram_features(clip)
+        assert np.all(features >= 0)
+
+    def test_feature_matrix_shape(self, rng):
+        clips = [(rng.uniform(size=(32, 32)) > 0.5).astype(int)
+                 for _ in range(5)]
+        H = histogram_feature_matrix(clips)
+        assert H.shape[0] == 5
+        assert H.shape[1] == len(clip_histogram_features(clips[0]))
+
+
+class TestLithographySimulator:
+    def test_aerial_image_bounded(self):
+        layout = LayoutGenerator(random_state=1).generate(rows=64, cols=64)
+        image = LithographySimulator().aerial_image(layout)
+        assert image.min() >= 0.0
+        assert image.max() <= 1.0 + 1e-9
+
+    def test_wide_line_prints_fine_line_may_not(self):
+        pixels = np.zeros((64, 64), dtype=int)
+        pixels[10:22, 8:56] = 1  # 12-wide bar
+        pixels[40:41, 8:56] = 1  # 1-wide line
+        simulator = LithographySimulator()
+        printed = simulator.printed_image(Layout(pixels))
+        assert printed[16, 32] == 1  # center of wide bar prints
+        assert printed[40, 32] == 0  # thin line lost at this blur
+
+    def test_variability_concentrates_at_edges(self):
+        pixels = np.zeros((64, 64), dtype=int)
+        pixels[16:48, 16:48] = 1
+        variability = LithographySimulator().variability_map(Layout(pixels))
+        assert variability[32, 32] < 0.2  # deep inside: stable
+        edge_band = variability[32, 12:21]  # around the left edge
+        assert edge_band.max() > variability[32, 32]
+
+    def test_fine_grating_more_variable_than_block(self):
+        grating = np.zeros((64, 64), dtype=int)
+        for start in range(8, 56, 4):
+            grating[8:56, start : start + 2] = 1
+        block = np.zeros((64, 64), dtype=int)
+        block[8:56, 8:56] = 1
+        simulator = LithographySimulator()
+        grating_score = simulator.variability_map(Layout(grating)).mean()
+        block_score = simulator.variability_map(Layout(block)).mean()
+        assert grating_score > block_score
+
+    def test_label_windows_percentile_default(self):
+        layout = LayoutGenerator(random_state=2).generate(rows=128, cols=128)
+        anchors, _ = window_grid(layout, 32, 16)
+        scores, labels = LithographySimulator().label_windows(
+            layout, anchors, 32
+        )
+        assert len(scores) == len(anchors)
+        assert 0 < labels.sum() < len(labels)
+
+    def test_process_window_corners(self):
+        process = ProcessWindow()
+        corners = process.corners()
+        assert (process.nominal_blur, process.nominal_threshold) in corners
+        assert len(corners) == 9
+
+    def test_rejects_nonpositive_blur(self):
+        layout = Layout(np.zeros((32, 32)))
+        with pytest.raises(ValueError):
+            LithographySimulator().aerial_image(layout, blur=0.0)
+
+
+class TestVariabilityPrediction:
+    @pytest.fixture(scope="class")
+    def report(self):
+        generator = LayoutGenerator(random_state=7)
+        train = generator.generate(rows=192, cols=192)
+        test = generator.generate(rows=192, cols=192)
+        report, details = run_variability_experiment(
+            train, test, window_size=32, stride=8, random_state=0
+        )
+        return report, details
+
+    def test_recall_is_high(self, report):
+        # Fig. 9: most simulator-flagged hotspots found by the model
+        assert report[0].recall > 0.6
+
+    def test_auc_beats_chance(self, report):
+        assert report[0].auc > 0.8
+
+    def test_details_align(self, report):
+        _, details = report
+        assert len(details["truth"]) == len(details["scores"])
+        assert len(details["anchors"]) == len(details["truth"])
+
+    def test_one_class_mode_runs(self):
+        generator = LayoutGenerator(random_state=9)
+        train = generator.generate(rows=128, cols=128)
+        anchors, clips = window_grid(train, 32, 16)
+        simulator = LithographySimulator()
+        _, labels = simulator.label_windows(train, anchors, 32)
+        predictor = VariabilityPredictor(mode="one_class", nu=0.2)
+        predictor.fit(clips, labels)
+        predictions = predictor.predict(clips)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            VariabilityPredictor(mode="magic")
+
+    def test_unfitted_predictor_raises(self, rng):
+        predictor = VariabilityPredictor()
+        with pytest.raises(RuntimeError):
+            predictor.predict([(rng.uniform(size=(32, 32)) > 0.5)])

@@ -1,0 +1,326 @@
+"""Tests for the manufacturing-test substrate (Figs. 11 and 12)."""
+
+import numpy as np
+import pytest
+
+from repro.mfgtest import (
+    CustomerReturnStudy,
+    OneClassSVMDetector,
+    PCAOutlierDetector,
+    ParametricTestGenerator,
+    RobustMahalanobisDetector,
+    TestDropGenerator,
+    WaferMap,
+    analyze_drop_candidate,
+    default_product_spec,
+    make_wafer_map,
+    random_signature,
+    run_drop_study,
+)
+from repro.core.metrics import pearson_correlation
+
+
+class TestWaferModel:
+    def test_wafer_map_inside_circle(self):
+        wafer = make_wafer_map(20, 20)
+        assert np.all(wafer.radius() <= 1.0 + 1e-9)
+        assert wafer.n_dies > 200
+
+    def test_signature_field_shape(self, rng):
+        wafer = make_wafer_map()
+        signature = random_signature(rng)
+        assert signature.field(wafer).shape == (wafer.n_dies,)
+
+    def test_radial_signature_varies_center_to_edge(self):
+        from repro.mfgtest import WaferSignature
+
+        wafer = make_wafer_map()
+        signature = WaferSignature(radial=1.0, tilt=(0.0, 0.0), offset=0.0)
+        field = signature.field(wafer)
+        center = field[np.argmin(wafer.radius())]
+        edge = field[np.argmax(wafer.radius())]
+        assert edge > center
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            make_wafer_map(1, 5)
+
+
+class TestParametricGenerator:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        spec = default_product_spec(rng=np.random.default_rng(0))
+        generator = ParametricTestGenerator(spec, random_state=1)
+        return generator.generate(4000)
+
+    def test_shapes(self, dataset):
+        assert dataset.X.shape == (4000, dataset.product.n_tests)
+
+    def test_tests_are_correlated(self, dataset):
+        # the dominant shared factor induces strong cross-test correlation
+        correlations = [
+            abs(pearson_correlation(dataset.X[:, 0], dataset.X[:, j]))
+            for j in range(1, dataset.product.n_tests)
+        ]
+        assert max(correlations) > 0.5
+
+    def test_pass_rate_reasonable(self, dataset):
+        pass_rate = dataset.pass_mask().mean()
+        assert pass_rate > 0.9
+
+    def test_passing_subset_all_within_limits(self, dataset):
+        shipped = dataset.passing()
+        lower, upper = shipped.product.limits()
+        assert np.all(shipped.X >= lower)
+        assert np.all(shipped.X <= upper)
+
+    def test_defect_injection_shifts_targets(self):
+        spec = default_product_spec(rng=np.random.default_rng(2))
+        generator = ParametricTestGenerator(spec, random_state=3)
+        clean = generator.generate(2000, defect_rate=0.0)
+        dirty = ParametricTestGenerator(
+            spec, random_state=3
+        ).generate(2000, defect_rate=1.0, defect_signature={"T03": 2.0})
+        index = spec.test_names.index("T03")
+        shift = dirty.X[:, index].mean() - clean.X[:, index].mean()
+        assert shift > 1.0
+
+    def test_sister_product_is_shifted_same_loadings(self):
+        spec = default_product_spec(rng=np.random.default_rng(4))
+        sister = spec.sister("s", rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(sister.loadings, spec.loadings)
+        assert not np.allclose(sister.factor_shift, spec.factor_shift)
+
+    def test_wafer_ids_assigned(self, dataset):
+        assert dataset.wafer_ids.max() > 0
+
+    def test_measurement_dropout_injects_nans(self):
+        spec = default_product_spec(rng=np.random.default_rng(6))
+        generator = ParametricTestGenerator(spec, random_state=7)
+        data = generator.generate(2000, measurement_dropout=0.02)
+        missing_rate = float(np.mean(np.isnan(data.X)))
+        assert missing_rate == pytest.approx(0.02, abs=0.01)
+
+    def test_missing_measurements_never_ship(self):
+        spec = default_product_spec(rng=np.random.default_rng(6))
+        generator = ParametricTestGenerator(spec, random_state=7)
+        data = generator.generate(500, measurement_dropout=0.05)
+        has_nan = np.isnan(data.X).any(axis=1)
+        assert not np.any(data.pass_mask() & has_nan)
+
+    def test_imputation_restores_mineable_matrix(self):
+        from repro.core import SimpleImputer
+
+        spec = default_product_spec(rng=np.random.default_rng(6))
+        generator = ParametricTestGenerator(spec, random_state=7)
+        data = generator.generate(1000, measurement_dropout=0.03)
+        imputed = SimpleImputer(strategy="median").fit_transform(data.X)
+        assert not np.any(np.isnan(imputed))
+        # imputation preserves the bulk statistics the screens rely on
+        clean = ParametricTestGenerator(
+            spec, random_state=7
+        ).generate(1000)
+        np.testing.assert_allclose(
+            np.nanmedian(imputed, axis=0),
+            np.median(clean.X, axis=0),
+            atol=0.3,
+        )
+
+    def test_dropout_validation(self):
+        spec = default_product_spec(rng=np.random.default_rng(6))
+        generator = ParametricTestGenerator(spec, random_state=7)
+        with pytest.raises(ValueError):
+            generator.generate(10, measurement_dropout=1.0)
+
+
+class TestOutlierDetectors:
+    @pytest.fixture
+    def population(self, rng):
+        return rng.multivariate_normal(
+            [0, 0, 0],
+            [[1.0, 0.6, 0.3], [0.6, 1.0, 0.5], [0.3, 0.5, 1.0]],
+            size=2000,
+        )
+
+    def test_mahalanobis_flags_joint_outlier(self, population):
+        detector = RobustMahalanobisDetector(
+            threshold_quantile=0.995
+        ).fit(population)
+        # a point inside every marginal but outside the correlation
+        probe = np.array([[2.0, -2.0, 0.0]])
+        assert detector.is_outlier(probe)[0]
+
+    def test_mahalanobis_accepts_in_family(self, population):
+        detector = RobustMahalanobisDetector(
+            threshold_quantile=0.995
+        ).fit(population)
+        assert not detector.is_outlier(np.array([[0.5, 0.5, 0.5]]))[0]
+
+    def test_mahalanobis_overkill_near_quantile(self, population):
+        detector = RobustMahalanobisDetector(
+            threshold_quantile=0.99
+        ).fit(population)
+        flagged = np.mean(detector.is_outlier(population))
+        assert flagged == pytest.approx(0.01, abs=0.005)
+
+    def test_mahalanobis_robust_to_contamination(self, population):
+        dirty = np.vstack([population, np.full((30, 3), 15.0)])
+        detector = RobustMahalanobisDetector().fit(dirty)
+        assert detector.is_outlier(np.full((1, 3), 15.0))[0]
+
+    def test_one_class_wrapper_interface(self, population):
+        detector = OneClassSVMDetector(nu=0.05).fit(population[:300])
+        scores = detector.score_samples(population[:50])
+        assert len(scores) == 50
+        assert detector.is_outlier(np.array([[20.0, 20.0, 20.0]]))[0]
+
+    def test_pca_detector_flags_off_subspace_point(self, rng):
+        # data lives on a 1-D line in 3-D; off-line points are outliers
+        t = rng.normal(size=1000)
+        X = np.column_stack([t, 2 * t, -t]) + rng.normal(
+            0, 0.05, size=(1000, 3)
+        )
+        detector = PCAOutlierDetector(n_components=1).fit(X)
+        assert detector.is_outlier(np.array([[0.0, 0.0, 3.0]]))[0]
+        assert not detector.is_outlier(np.array([[1.0, 2.0, -1.0]]))[0]
+
+    def test_detector_parameter_validation(self, population):
+        with pytest.raises(ValueError):
+            RobustMahalanobisDetector(trim_fraction=0.7).fit(population)
+        with pytest.raises(ValueError):
+            RobustMahalanobisDetector(threshold_quantile=0.2).fit(population)
+
+
+class TestCustomerReturnStudy:
+    @pytest.fixture(scope="class")
+    def report(self):
+        study = CustomerReturnStudy(random_state=2)
+        return study.run(
+            n_train=6000, n_later=6000, n_sister=6000,
+            train_defect_rate=0.001, later_defect_rate=0.001,
+            sister_defect_rate=0.001,
+        )
+
+    def test_selected_space_matches_defect_signature(self, report):
+        assert set(report.selected_tests) == {"T03", "T07", "T09"}
+
+    def test_training_returns_are_outliers(self, report):
+        # Fig. 11 plot 1
+        assert report.training.return_capture_rate == 1.0
+
+    def test_later_batch_returns_captured(self, report):
+        # Fig. 11 plot 2
+        assert report.later_batch.n_returns > 0
+        assert report.later_batch.return_capture_rate >= 0.5
+
+    def test_sister_product_returns_captured(self, report):
+        # Fig. 11 plot 3
+        assert report.sister_product.n_returns > 0
+        assert report.sister_product.return_capture_rate >= 0.5
+
+    def test_overkill_stays_small(self, report):
+        for outcome in (report.training, report.later_batch,
+                        report.sister_product):
+            assert outcome.overkill_rate < 0.01
+
+    def test_rows_render(self, report):
+        rows = report.rows()
+        assert rows[0][0] == "selected test space"
+        assert len(rows) == 4
+
+    def test_projection_separates_returns(self):
+        """Fig. 11's plot geometry: in the learned 3-D space, returns
+        sit far from the passing cloud."""
+        study = CustomerReturnStudy(random_state=2)
+        study.run(
+            n_train=4000, n_later=2000, n_sister=2000,
+            train_defect_rate=0.0015, later_defect_rate=0.0015,
+            sister_defect_rate=0.0015,
+        )
+        later = study._generate_shipped(study.spec, 4000, 0.0015)
+        coordinates = study.projection(later)
+        assert coordinates.shape == (later.n_chips, 3)
+        # the returns break the *correlation structure*, so Mahalanobis
+        # distance (the detector's score) is the separating measure —
+        # raw Euclidean radius in the projected space need not be
+        scores = study.detector_.score_samples(coordinates)
+        good_scores = scores[~later.defect_mask]
+        return_scores = scores[later.defect_mask]
+        if later.defect_mask.any():
+            assert return_scores.min() > np.percentile(good_scores, 99.9)
+
+    def test_projection_requires_run(self):
+        study = CustomerReturnStudy(random_state=3)
+        dataset = study._generate_shipped(study.spec, 100, 0.0)
+        with pytest.raises(RuntimeError):
+            study.projection(dataset)
+
+
+class TestDropStudy:
+    def test_history_supports_dropping(self):
+        generator = TestDropGenerator(random_state=0)
+        history = generator.generate(100_000, "history", excursion_rate=0.0)
+        decision = analyze_drop_candidate(
+            history, "testA", ["test1", "test2"]
+        )
+        assert decision.recommended_drop
+        assert decision.n_uncaught_fails == 0
+        assert min(decision.correlations.values()) > 0.9
+
+    def test_correlations_match_paper_values(self):
+        generator = TestDropGenerator(random_state=1)
+        batch = generator.generate(100_000, "b")
+        rho_a1 = pearson_correlation(
+            batch.measurements["testA"], batch.measurements["test1"]
+        )
+        rho_b1 = pearson_correlation(
+            batch.measurements["testB"], batch.measurements["test1"]
+        )
+        assert rho_a1 == pytest.approx(0.97, abs=0.01)
+        assert rho_b1 == pytest.approx(0.96, abs=0.015)
+
+    def test_excursion_produces_escapes(self):
+        result = run_drop_study(
+            n_history=100_000,
+            n_future=80_000,
+            future_excursion_rate=1e-4,
+            random_state=2,
+        )
+        assert all(d.recommended_drop for d in result.decisions)
+        assert result.total_escapes() > 0
+
+    def test_no_excursion_no_escapes(self):
+        result = run_drop_study(
+            n_history=60_000,
+            n_future=40_000,
+            future_excursion_rate=0.0,
+            random_state=3,
+        )
+        assert result.total_escapes() == 0
+
+    def test_uncaught_fails_block_drop(self):
+        generator = TestDropGenerator(
+            correlation_noise=3.0,  # destroy the correlation
+            candidate_limit_sigma=2.0,
+            random_state=4,
+        )
+        history = generator.generate(50_000, "history")
+        decision = analyze_drop_candidate(
+            history, "testA", ["test1", "test2"]
+        )
+        assert not decision.recommended_drop
+
+    def test_decision_describe(self):
+        generator = TestDropGenerator(random_state=5)
+        history = generator.generate(20_000, "history")
+        decision = analyze_drop_candidate(history, "testA", ["test1"])
+        text = decision.describe()
+        assert "corr(testA,test1)" in text
+        assert text.endswith(("DROP", "KEEP"))
+
+    def test_generator_parameter_validation(self):
+        generator = TestDropGenerator(random_state=0)
+        with pytest.raises(ValueError):
+            generator.generate(0, "x")
+        with pytest.raises(ValueError):
+            generator.generate(10, "x", excursion_rate=2.0)

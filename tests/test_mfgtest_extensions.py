@@ -1,0 +1,180 @@
+"""Tests for the cited-work extensions: Fmax prediction ([20]), IDDQ/ICA
+screening ([25]), and inter-wafer abnormality analysis ([32])."""
+
+import numpy as np
+import pytest
+
+from repro.mfgtest import (
+    FmaxStudy,
+    ICAIddqScreen,
+    InterWaferAnalysis,
+    fit_signature,
+    fmax_from_factors,
+    generate_iddq_data,
+    generate_wafer_lot,
+    make_wafer_map,
+    spatial_basis,
+    total_current_screen,
+)
+from repro.mfgtest.wafer import WaferSignature
+
+
+class TestFmaxModel:
+    def test_fmax_rises_with_speed_factor(self, rng):
+        slow = fmax_from_factors(np.array([[-2.0, 0.0, 0.0]]),
+                                 noise_sigma=0.0)
+        fast = fmax_from_factors(np.array([[2.0, 0.0, 0.0]]),
+                                 noise_sigma=0.0)
+        assert fast[0] > slow[0]
+
+    def test_fmax_saturates(self):
+        f2 = fmax_from_factors(np.array([[2.0, 0.0]]), noise_sigma=0.0)[0]
+        f4 = fmax_from_factors(np.array([[4.0, 0.0]]), noise_sigma=0.0)[0]
+        f0 = fmax_from_factors(np.array([[0.0, 0.0]]), noise_sigma=0.0)[0]
+        assert (f4 - f2) < (f2 - f0)  # diminishing returns
+
+    def test_leakage_throttles(self):
+        cool = fmax_from_factors(np.array([[0.0, 0.0]]), noise_sigma=0.0)[0]
+        hot = fmax_from_factors(np.array([[0.0, 2.5]]), noise_sigma=0.0)[0]
+        assert hot < cool
+
+
+class TestFmaxStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return FmaxStudy(random_state=0).run(n_chips=900)
+
+    def test_all_five_families_reported(self, result):
+        names = [row[0] for row in result.rows]
+        assert names == [
+            "nearest neighbor", "LSF", "regularized LSF", "SVR",
+            "Gaussian process",
+        ]
+
+    def test_all_families_predictive(self, result):
+        assert all(r2 > 0.7 for _, r2, _ in result.rows)
+
+    def test_kernel_methods_beat_linear_on_nonlinear_fmax(self, result):
+        scores = result.as_dict()
+        assert scores["Gaussian process"] > scores["LSF"]
+        assert scores["SVR"] > scores["LSF"]
+
+    def test_best_family_is_nonlinear(self, result):
+        assert result.best_family() in ("Gaussian process", "SVR",
+                                        "nearest neighbor")
+
+    def test_rmse_consistent_with_r2(self, result):
+        ordered_by_r2 = sorted(result.rows, key=lambda r: -r[1])
+        ordered_by_rmse = sorted(result.rows, key=lambda r: r[2])
+        assert ordered_by_r2[0][0] == ordered_by_rmse[0][0]
+
+
+class TestIddq:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate_iddq_data(
+            n_chips=2000, defect_rate=0.01, random_state=1
+        )
+
+    def test_shapes_and_ground_truth(self, data):
+        assert data.measurements.shape == (2000, 8)
+        assert data.defect_mask.sum() > 0
+        assert np.all(data.defect_current[~data.defect_mask] == 0.0)
+
+    def test_background_dominates_totals(self, data):
+        totals = data.measurements.sum(axis=1)
+        correlation = np.corrcoef(totals, data.background)[0, 1]
+        assert correlation > 0.95
+
+    def test_ica_screen_catches_defects(self, data):
+        screen = ICAIddqScreen(
+            n_components=3, threshold=6.0, random_state=0
+        ).fit(data.measurements)
+        flags = screen.flag(data.measurements)
+        caught = np.sum(flags & data.defect_mask)
+        assert caught / data.defect_mask.sum() > 0.8
+
+    def test_ica_screen_overkill_is_small(self, data):
+        screen = ICAIddqScreen(
+            n_components=3, threshold=6.0, random_state=0
+        ).fit(data.measurements)
+        flags = screen.flag(data.measurements)
+        overkill = np.sum(flags & ~data.defect_mask)
+        assert overkill / (~data.defect_mask).sum() < 0.02
+
+    def test_total_current_screen_misses_masked_defects(self, data):
+        # the [25] motivation: background variation hides the defect
+        flags, limit = total_current_screen(data.measurements)
+        caught = np.sum(flags & data.defect_mask)
+        assert caught / data.defect_mask.sum() < 0.3
+        assert limit > 0
+
+    def test_unfitted_screen_raises(self, data):
+        with pytest.raises(RuntimeError):
+            ICAIddqScreen().score(data.measurements)
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            generate_iddq_data(n_chips=5)
+        with pytest.raises(ValueError):
+            generate_iddq_data(defect_rate=1.5)
+
+
+class TestWaferAnalysis:
+    def test_basis_columns_match_signature_field(self):
+        wafer_map = make_wafer_map()
+        signature = WaferSignature(radial=0.7, tilt=(0.2, -0.3), offset=1.1)
+        field = signature.field(wafer_map)
+        fitted = fit_signature(wafer_map, field)
+        np.testing.assert_allclose(
+            fitted, [1.1, 0.7, 0.2, -0.3], atol=1e-9
+        )
+
+    def test_fit_signature_rejects_wrong_length(self):
+        wafer_map = make_wafer_map()
+        with pytest.raises(ValueError):
+            fit_signature(wafer_map, np.zeros(3))
+
+    def test_basis_shape(self):
+        wafer_map = make_wafer_map()
+        assert spatial_basis(wafer_map).shape == (wafer_map.n_dies, 4)
+
+    def test_lot_analysis_flags_abnormal_wafers(self):
+        wafer_map, values, abnormal = generate_wafer_lot(
+            n_wafers=80, abnormal_rate=0.1, random_state=2
+        )
+        result = InterWaferAnalysis(random_state=0).run(wafer_map, values)
+        caught = np.sum(result.abnormal_flags & abnormal)
+        missed = np.sum(~result.abnormal_flags & abnormal)
+        false = np.sum(result.abnormal_flags & ~abnormal)
+        assert caught >= abnormal.sum() - 1
+        assert missed <= 1
+        assert false <= 2
+
+    def test_modes_cluster_radial_vs_tilt(self):
+        wafer_map, values, abnormal = generate_wafer_lot(
+            n_wafers=120, abnormal_rate=0.15, random_state=5
+        )
+        result = InterWaferAnalysis(
+            n_modes=2, random_state=0
+        ).run(wafer_map, values)
+        if result.abnormal_clusters is None:
+            pytest.skip("too few abnormal wafers flagged in this draw")
+        flagged_signatures = result.signatures[result.abnormal_flags]
+        # one cluster should be radial-heavy, the other tilt-heavy
+        radial_by_cluster = [
+            np.abs(flagged_signatures[result.abnormal_clusters == k, 1]).mean()
+            for k in range(2)
+        ]
+        tilt_by_cluster = [
+            np.abs(
+                flagged_signatures[result.abnormal_clusters == k, 2:]
+            ).mean()
+            for k in range(2)
+        ]
+        radial_mode = int(np.argmax(radial_by_cluster))
+        assert tilt_by_cluster[1 - radial_mode] > tilt_by_cluster[radial_mode]
+
+    def test_lot_generator_validation(self):
+        with pytest.raises(ValueError):
+            generate_wafer_lot(n_wafers=2)

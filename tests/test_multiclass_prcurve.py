@@ -1,0 +1,115 @@
+"""Tests for one-vs-rest multiclass reduction and PR-curve metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import average_precision, precision_recall_curve
+from repro.kernels import RBFKernel
+from repro.learn import SVC, LogisticRegression, OneVsRestClassifier
+
+
+@pytest.fixture
+def three_classes(rng):
+    X = np.vstack(
+        [rng.normal(c, 0.5, size=(40, 2)) for c in (-3.0, 0.0, 3.0)]
+    )
+    y = np.repeat(["slow", "typical", "fast"], 40)
+    return X, y
+
+
+class TestOneVsRest:
+    def test_multiclass_svm(self, three_classes):
+        X, y = three_classes
+        model = OneVsRestClassifier(
+            SVC(kernel=RBFKernel(0.5), C=5.0, random_state=0)
+        ).fit(X, y)
+        assert model.score(X, y) > 0.95
+        assert set(model.predict(X)) <= {"slow", "typical", "fast"}
+
+    def test_multiclass_logistic(self, three_classes):
+        X, y = three_classes
+        model = OneVsRestClassifier(
+            LogisticRegression(max_iter=400)
+        ).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_one_estimator_per_class(self, three_classes):
+        X, y = three_classes
+        model = OneVsRestClassifier(
+            LogisticRegression(max_iter=100)
+        ).fit(X, y)
+        assert len(model.estimators_) == 3
+
+    def test_decision_matrix_shape(self, three_classes):
+        X, y = three_classes
+        model = OneVsRestClassifier(
+            LogisticRegression(max_iter=100)
+        ).fit(X, y)
+        assert model.decision_matrix(X).shape == (len(X), 3)
+
+    def test_predict_proba_rows_sum_to_one(self, three_classes):
+        X, y = three_classes
+        model = OneVsRestClassifier(
+            LogisticRegression(max_iter=100)
+        ).fit(X, y)
+        np.testing.assert_allclose(
+            model.predict_proba(X).sum(axis=1), 1.0, atol=1e-9
+        )
+
+    def test_rejects_single_class(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            OneVsRestClassifier(LogisticRegression()).fit(X, np.zeros(10))
+
+    def test_base_prototype_untouched(self, three_classes):
+        X, y = three_classes
+        base = LogisticRegression(max_iter=100)
+        OneVsRestClassifier(base).fit(X, y)
+        assert not hasattr(base, "coef_")
+
+
+class TestPrecisionRecallCurve:
+    def test_perfect_ranking(self):
+        labels = [1, 1, 0, 0]
+        scores = [0.9, 0.8, 0.2, 0.1]
+        precision, recall, _ = precision_recall_curve(labels, scores)
+        assert recall[-1] == 1.0
+        assert np.all(precision >= 0.99)
+        assert average_precision(labels, scores) == pytest.approx(1.0)
+
+    def test_worst_ranking(self):
+        labels = [0, 0, 0, 0, 0, 0, 0, 0, 1, 1]
+        scores = np.linspace(1.0, 0.1, 10)  # positives ranked last
+        ap = average_precision(labels, scores)
+        assert ap < 0.25
+
+    def test_random_scores_ap_near_prevalence(self, rng):
+        labels = (rng.uniform(size=4000) < 0.1).astype(int)
+        scores = rng.uniform(size=4000)
+        ap = average_precision(labels, scores)
+        assert ap == pytest.approx(0.1, abs=0.04)
+
+    def test_recall_monotone(self, rng):
+        labels = rng.integers(0, 2, size=200)
+        scores = rng.uniform(size=200)
+        _, recall, _ = precision_recall_curve(labels, scores)
+        assert np.all(np.diff(recall) >= 0)
+
+    def test_requires_positives(self):
+        with pytest.raises(ValueError):
+            precision_recall_curve([0, 0], [0.1, 0.2])
+
+    def test_ap_flags_what_roc_hides(self, rng):
+        """With 1% positives, a mediocre ranker can have high ROC-AUC
+        but visibly poor average precision — the reason screening flows
+        report AP."""
+        from repro.core.metrics import roc_auc
+
+        n = 5000
+        labels = (rng.uniform(size=n) < 0.01).astype(int)
+        # noisy scores: positives shifted by 1.5 sigma only
+        scores = rng.normal(0, 1, size=n) + 1.5 * labels
+        auc_value = roc_auc(labels, scores)
+        ap_value = average_precision(labels, scores)
+        assert auc_value > 0.8
+        assert ap_value < 0.5

@@ -1,0 +1,175 @@
+"""Second property-based suite: invariants of the learning machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.validation import KFold, StratifiedKFold
+from repro.learn import DecisionTreeClassifier, OneClassSVM
+from repro.kernels import RBFKernel
+from repro.transform import PCA
+
+bounded_floats = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSplitProperties:
+    @given(n=st.integers(6, 60), k=st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_kfold_is_a_partition(self, n, k):
+        if n < k:
+            return
+        folds = list(KFold(n_splits=k).split(np.zeros(n)))
+        all_test = sorted(
+            int(i) for _, test in folds for i in test
+        )
+        assert all_test == list(range(n))
+        for train, test in folds:
+            assert not set(train.tolist()) & set(test.tolist())
+            assert len(train) + len(test) == n
+
+    @given(
+        n_a=st.integers(6, 40),
+        n_b=st.integers(6, 40),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_stratified_kfold_balance(self, n_a, n_b, seed):
+        y = np.array([0] * n_a + [1] * n_b)
+        rng = np.random.default_rng(seed)
+        rng.shuffle(y)
+        k = 3
+        for _, test in StratifiedKFold(n_splits=k).split(np.zeros(len(y)), y):
+            labels = y[test]
+            # each fold's class counts are within 1 of the fair share
+            assert abs(int(np.sum(labels == 0)) - n_a // k) <= 1
+            assert abs(int(np.sum(labels == 1)) - n_b // k) <= 1
+
+
+class TestTreeProperties:
+    @given(
+        X=st.integers(20, 60).flatmap(
+            lambda n: arrays(np.float64, (n, 3), elements=bounded_floats)
+        ),
+        max_depth=st.integers(1, 6),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_depth_bound_always_respected(self, X, max_depth, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, size=len(X))
+        if len(np.unique(y)) < 2:
+            y[0] = 1 - y[0]
+        tree = DecisionTreeClassifier(
+            max_depth=max_depth, random_state=seed
+        ).fit(X, y)
+        assert tree.depth() <= max_depth
+
+    @given(
+        X=st.integers(10, 40).flatmap(
+            lambda n: arrays(np.float64, (n, 2), elements=bounded_floats)
+        ),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_predictions_are_training_labels(self, X, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 3, size=len(X))
+        tree = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y)
+        assert set(np.unique(tree.predict(X))) <= set(np.unique(y))
+
+
+class TestOneClassProperties:
+    @given(
+        n=st.integers(15, 60),
+        nu=st.floats(0.05, 0.9),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_dual_feasibility_always_holds(self, n, nu, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 2))
+        model = OneClassSVM(kernel=RBFKernel(0.5), nu=nu).fit(X)
+        assert model.alpha_.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(model.alpha_ >= -1e-12)
+        assert np.all(model.alpha_ <= 1.0 / (nu * n) + 1e-9)
+
+    @given(
+        n=st.integers(20, 60),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_training_outlier_fraction_bounded(self, n, seed):
+        nu = 0.2
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 2))
+        model = OneClassSVM(kernel=RBFKernel(0.5), nu=nu).fit(X)
+        outlier_fraction = float(np.mean(model.predict(X) == -1))
+        # nu bounds the training outlier fraction asymptotically; allow
+        # finite-sample slack of a handful of boundary support vectors
+        assert outlier_fraction <= nu + 5.0 / n + 0.05
+
+
+class TestPCAProperties:
+    @given(
+        X=st.integers(8, 40).flatmap(
+            lambda n: arrays(np.float64, (n, 4), elements=bounded_floats)
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_components_orthonormal(self, X):
+        X = X + np.arange(len(X), dtype=float)[:, None]  # ensure spread
+        pca = PCA(n_components=2).fit(X)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(2), atol=1e-8)
+
+    @given(
+        X=st.integers(10, 30).flatmap(
+            lambda n: arrays(np.float64, (n, 5), elements=bounded_floats)
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_reconstruction_error_monotone_in_components(self, X):
+        X = X + np.arange(len(X), dtype=float)[:, None]
+        errors = [
+            PCA(n_components=k).fit(X).reconstruction_error(X)
+            for k in (1, 2, 3)
+        ]
+        assert errors[0] + 1e-9 >= errors[1] >= errors[2] - 1e-9
+
+    @given(
+        X=st.integers(8, 30).flatmap(
+            lambda n: arrays(np.float64, (n, 3), elements=bounded_floats)
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_explained_variance_ratio_valid(self, X):
+        pca = PCA().fit(X)
+        ratios = pca.explained_variance_ratio_
+        assert np.all(ratios >= -1e-12)
+        assert ratios.sum() <= 1.0 + 1e-9
+        # descending
+        assert np.all(np.diff(ratios) <= 1e-12)
+
+
+class TestTemplateProperties:
+    @given(
+        low=st.floats(0.0, 0.4),
+        width=st.floats(0.01, 0.4),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_biased_template_samples_within_bounds(self, low, width, seed):
+        from repro.verification import HARD_KNOB_LIMITS, TestTemplate
+
+        template = TestTemplate().biased(
+            {"misaligned_fraction": (low, low + width)}
+        )
+        rng = np.random.default_rng(seed)
+        knobs = template.sample_knobs(rng)
+        hard_low, hard_high = HARD_KNOB_LIMITS["misaligned_fraction"]
+        assert hard_low - 1e-12 <= knobs["misaligned_fraction"]
+        assert knobs["misaligned_fraction"] <= hard_high + 1e-12

@@ -1,0 +1,282 @@
+"""Tests for the timing substrate and the Fig. 10 DSTC flow."""
+
+import numpy as np
+import pytest
+
+from repro.timing import (
+    CELLS,
+    DSTCAnalysis,
+    PATH_FEATURE_NAMES,
+    Path,
+    PathGenerator,
+    SiliconModel,
+    Stage,
+    StaticTimer,
+    SystematicEffect,
+    cell_delay,
+    path_feature_matrix,
+    path_features,
+    run_dstc_experiment,
+    via_delay,
+    wire_delay,
+)
+
+
+class TestLibrary:
+    def test_cell_delay_grows_with_fanout(self):
+        assert cell_delay("INV", 4) > cell_delay("INV", 1)
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            cell_delay("SUPERGATE", 1)
+
+    def test_wire_delay_linear_in_length(self):
+        assert wire_delay("M2", 10.0) == pytest.approx(
+            2 * wire_delay("M2", 5.0)
+        )
+
+    def test_upper_layers_faster_per_unit(self):
+        assert wire_delay("M6", 1.0) < wire_delay("M1", 1.0)
+
+    def test_via_delay_counts(self):
+        assert via_delay("via45", 3) == pytest.approx(3 * via_delay("via45"))
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            wire_delay("M1", -1.0)
+        with pytest.raises(ValueError):
+            via_delay("via12", -1)
+        with pytest.raises(ValueError):
+            cell_delay("INV", 0)
+
+
+class TestNetlist:
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            Stage(cell="NOPE", fanout=1)
+        with pytest.raises(ValueError):
+            Stage(cell="INV", fanout=0)
+        with pytest.raises(ValueError):
+            Stage(cell="INV", fanout=1, wire_lengths={"M9": 1.0})
+
+    def test_path_aggregations(self):
+        path = Path(
+            name="p",
+            block="b",
+            stages=[
+                Stage("INV", 1, {"M5": 3.0}, {"via45": 2}),
+                Stage("DFF", 1, {"M5": 1.0}, {"via45": 2, "via56": 2}),
+            ],
+        )
+        assert path.depth == 2
+        assert path.total_wire("M5") == pytest.approx(4.0)
+        assert path.total_vias("via45") == 4
+        assert path.cell_count("DFF") == 1
+
+    def test_generator_depth_bounds(self):
+        generator = PathGenerator(random_state=0)
+        for _ in range(20):
+            path = generator.generate(min_depth=5, max_depth=9)
+            assert 5 <= path.depth <= 9
+
+    def test_generator_ends_with_flop(self):
+        path = PathGenerator(random_state=1).generate()
+        assert path.stages[-1].cell == "DFF"
+
+    def test_global_fraction_controls_m5_usage(self):
+        local_only = PathGenerator(random_state=2, global_fraction=0.0)
+        global_heavy = PathGenerator(random_state=2, global_fraction=1.0)
+        local_vias = sum(
+            p.total_vias("via45")
+            for p in local_only.generate_block(30)
+        )
+        global_vias = sum(
+            p.total_vias("via45")
+            for p in global_heavy.generate_block(30)
+        )
+        assert local_vias == 0
+        assert global_vias > 30
+
+    def test_block_naming(self):
+        paths = PathGenerator(random_state=0).generate_block(3, block="core")
+        assert [p.name for p in paths] == ["core_p0", "core_p1", "core_p2"]
+
+
+class TestTimer:
+    def test_path_delay_is_sum_of_stage_delays(self):
+        path = Path(
+            "p", "b",
+            [Stage("INV", 2, {"M1": 4.0}, {"via12": 2}),
+             Stage("DFF", 1)],
+        )
+        timer = StaticTimer()
+        expected = (
+            cell_delay("INV", 2) + wire_delay("M1", 4.0)
+            + via_delay("via12", 2) + cell_delay("DFF", 1)
+        )
+        assert timer.path_delay(path) == pytest.approx(expected)
+
+    def test_derate_scales(self):
+        path = PathGenerator(random_state=0).generate()
+        assert StaticTimer(derate=1.1).path_delay(path) == pytest.approx(
+            1.1 * StaticTimer().path_delay(path)
+        )
+
+    def test_critical_paths_sorted(self):
+        paths = PathGenerator(random_state=3).generate_block(40)
+        timer = StaticTimer()
+        top = timer.critical_paths(paths, 5)
+        delays = [timer.path_delay(p) for p in top]
+        assert delays == sorted(delays, reverse=True)
+        assert delays[0] == max(timer.path_delay(p) for p in paths)
+
+
+class TestSiliconModel:
+    def test_no_effect_tracks_timer_with_corner(self):
+        paths = PathGenerator(random_state=4).generate_block(30)
+        silicon = SiliconModel(
+            corner=0.95, noise_sigma=0.0, effect=None, random_state=0
+        )
+        timer = StaticTimer()
+        for path in paths:
+            assert silicon.measure(path) == pytest.approx(
+                0.95 * timer.path_delay(path)
+            )
+
+    def test_effect_slows_via_heavy_paths_only(self):
+        effect = SystematicEffect()
+        quiet = SiliconModel(noise_sigma=0.0, effect=None, random_state=0)
+        loud = SiliconModel(noise_sigma=0.0, effect=effect, random_state=0)
+        local_path = Path("p", "b", [Stage("INV", 1, {"M1": 5.0}), Stage("DFF", 1)])
+        global_path = Path(
+            "q", "b",
+            [Stage("INV", 1, {"M5": 5.0}, {"via45": 4, "via56": 4}),
+             Stage("DFF", 1)],
+        )
+        assert loud.measure(local_path) == pytest.approx(
+            quiet.measure(local_path)
+        )
+        assert loud.measure(global_path) > quiet.measure(global_path)
+
+    def test_noise_is_seeded(self):
+        path = PathGenerator(random_state=5).generate()
+        a = SiliconModel(random_state=9).measure(path)
+        b = SiliconModel(random_state=9).measure(path)
+        assert a == b
+
+
+class TestPathFeatures:
+    def test_feature_vector_length_matches_names(self):
+        path = PathGenerator(random_state=0).generate()
+        assert len(path_features(path)) == len(PATH_FEATURE_NAMES)
+
+    def test_via_counts_land_in_named_columns(self):
+        path = Path(
+            "p", "b",
+            [Stage("INV", 1, {}, {"via45": 6}), Stage("DFF", 1)],
+        )
+        features = path_features(path)
+        index = PATH_FEATURE_NAMES.index("n_via45")
+        assert features[index] == 6.0
+
+    def test_matrix_shape(self):
+        paths = PathGenerator(random_state=1).generate_block(7)
+        assert path_feature_matrix(paths).shape == (
+            7, len(PATH_FEATURE_NAMES)
+        )
+
+
+class TestDSTC:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_dstc_experiment(n_paths=300, random_state=11)
+
+    def test_two_clusters_found(self, result):
+        assert result.n_slow > 20
+        assert result.n_fast > 20
+
+    def test_slow_cluster_is_slower(self, result):
+        assert result.cluster_centers[1] > result.cluster_centers[0]
+        assert result.cluster_separation > 0.05
+
+    def test_fast_cluster_near_corner(self, result):
+        # healthy paths land near the global corner (5% fast)
+        assert result.cluster_centers[0] == pytest.approx(-0.05, abs=0.02)
+
+    def test_rule_blames_metal5_vias(self, result):
+        # the Fig. 10 diagnosis: layers-4-5 / 5-6 vias explain slowness
+        blamed = set(result.rule_features())
+        assert blamed & {"n_via45", "n_via56", "wire_M5"}
+
+    def test_rule_precision_high(self, result):
+        assert result.rules_[0].precision > 0.9 if hasattr(
+            result, "rules_"
+        ) else result.rules[0].precision > 0.9
+
+    def test_describe_mentions_counts(self, result):
+        text = result.describe()
+        assert "fast" in text
+        assert "slow" in text
+        assert "IF" in text
+
+    def test_control_without_effect_has_no_real_clusters(self):
+        silicon = SiliconModel(effect=None, random_state=3)
+        result = run_dstc_experiment(
+            n_paths=200, silicon=silicon, random_state=3
+        )
+        # without the injected effect the mismatch spread is pure noise
+        assert result.cluster_separation < 0.03
+
+    def test_rejects_nonpositive_predictions(self):
+        analysis = DSTCAnalysis()
+        path = PathGenerator(random_state=0).generate(name="p0")
+        with pytest.raises(ValueError):
+            analysis.analyze([path], {"p0": 0.0}, {"p0": 1.0})
+
+    def test_cluster_stability_reflects_real_structure(self):
+        """The Section 2.4 clustering caveat, applied: the fast/slow
+        split is perfectly resampling-stable when the bimodal structure
+        is real, and less stable on the no-effect control."""
+        real = run_dstc_experiment(n_paths=300, random_state=5)
+        control = run_dstc_experiment(
+            n_paths=300,
+            silicon=SiliconModel(effect=None, random_state=5),
+            random_state=5,
+        )
+        assert real.cluster_stability > 0.99
+        assert control.cluster_stability < real.cluster_stability
+
+    def test_stability_assessment_optional(self):
+        import numpy as np
+
+        analysis = DSTCAnalysis(assess_stability=False)
+        generator = PathGenerator(random_state=0)
+        paths = generator.generate_block(50)
+        timer = StaticTimer()
+        predicted = timer.report(paths)
+        measured = {p.name: predicted[p.name] * 1.01 for p in paths}
+        result = analysis.analyze(paths, predicted, measured)
+        assert np.isnan(result.cluster_stability)
+
+    def test_diagnosis_generalizes_to_slow_cell_effect(self):
+        """Inject a mischaracterized cell instead of the metal-5 issue;
+        the same flow should blame the cell count, not vias."""
+        silicon = SiliconModel(
+            effect=SystematicEffect.slow_cell("XOR2", 1.8),
+            random_state=7,
+        )
+        result = run_dstc_experiment(
+            n_paths=400, silicon=silicon, random_state=7
+        )
+        assert "n_XOR2" in result.rule_features()
+
+    def test_slow_cell_effect_delay_accounting(self):
+        effect = SystematicEffect.slow_cell("INV", 2.0)
+        path = Path(
+            "p", "b",
+            [Stage("INV", 2), Stage("NAND2", 1), Stage("DFF", 1)],
+        )
+        from repro.timing import StaticTimer, cell_delay
+
+        extra = effect.extra_delay(path, StaticTimer())
+        assert extra == pytest.approx(cell_delay("INV", 2))

@@ -1,0 +1,179 @@
+"""Tests for PCA, ICA, PLS, and CCA."""
+
+import numpy as np
+import pytest
+
+from repro.transform import CCA, FastICA, PCA, PLSRegression
+
+
+class TestPCA:
+    def test_components_orthonormal(self, rng):
+        X = rng.normal(size=(100, 5))
+        pca = PCA(n_components=3).fit(X)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(3), atol=1e-10)
+
+    def test_explained_variance_ratio_sums_to_one_full_rank(self, rng):
+        X = rng.normal(size=(50, 4))
+        pca = PCA().fit(X)
+        assert pca.explained_variance_ratio_.sum() == pytest.approx(1.0)
+
+    def test_first_component_captures_dominant_direction(self, rng):
+        t = rng.normal(size=200)
+        X = np.column_stack([t, 0.5 * t, rng.normal(0, 0.01, 200)])
+        pca = PCA(n_components=1).fit(X)
+        assert pca.explained_variance_ratio_[0] > 0.99
+        direction = np.abs(pca.components_[0])
+        assert direction[0] > direction[2]
+
+    def test_transform_decorrelates(self, rng):
+        X = rng.multivariate_normal(
+            [0, 0], [[2.0, 1.5], [1.5, 2.0]], size=500
+        )
+        scores = PCA().fit_transform(X)
+        covariance = np.cov(scores, rowvar=False)
+        assert abs(covariance[0, 1]) < 0.05
+
+    def test_inverse_transform_full_rank_roundtrip(self, rng):
+        X = rng.normal(size=(40, 3))
+        pca = PCA().fit(X)
+        np.testing.assert_allclose(
+            pca.inverse_transform(pca.transform(X)), X, atol=1e-10
+        )
+
+    def test_reconstruction_error_grows_with_truncation(self, rng):
+        X = rng.normal(size=(80, 6))
+        errors = [
+            PCA(n_components=k).fit(X).reconstruction_error(X)
+            for k in (6, 3, 1)
+        ]
+        assert errors[0] == pytest.approx(0.0, abs=1e-12)
+        assert errors[0] <= errors[1] <= errors[2]
+
+    def test_whiten_unit_variance(self, rng):
+        X = rng.multivariate_normal(
+            [0, 0], [[5.0, 2.0], [2.0, 3.0]], size=400
+        )
+        scores = PCA(whiten=True).fit_transform(X)
+        np.testing.assert_allclose(scores.std(axis=0), 1.0, atol=0.05)
+
+    def test_dimensionality_reduction_of_test_matrix(self, rng):
+        # the [24] use: reduce a correlated test matrix to few components
+        factors = rng.normal(size=(300, 2))
+        loadings = rng.normal(size=(10, 2))
+        X = factors @ loadings.T + rng.normal(0, 0.05, size=(300, 10))
+        pca = PCA(n_components=2).fit(X)
+        assert pca.explained_variance_ratio_.sum() > 0.95
+
+
+class TestFastICA:
+    def test_unmixes_independent_sources(self, rng):
+        # two independent non-Gaussian sources, linearly mixed
+        n = 2000
+        s1 = np.sign(np.sin(np.linspace(0, 40, n)))  # square wave
+        s2 = rng.uniform(-1, 1, size=n)  # uniform noise
+        S = np.column_stack([s1, s2])
+        A = np.array([[1.0, 0.6], [0.4, 1.0]])
+        X = S @ A.T
+        ica = FastICA(n_components=2, random_state=0).fit(X)
+        recovered = ica.transform(X)
+        # each recovered component must correlate strongly with exactly
+        # one true source (up to sign and order)
+        corr = np.abs(np.corrcoef(recovered.T, S.T)[:2, 2:])
+        best = corr.max(axis=1)
+        assert np.all(best > 0.9)
+        assert {int(np.argmax(corr[0])), int(np.argmax(corr[1]))} == {0, 1}
+
+    def test_inverse_transform_roundtrip(self, rng):
+        X = rng.uniform(size=(200, 3))
+        ica = FastICA(random_state=0).fit(X)
+        np.testing.assert_allclose(
+            ica.inverse_transform(ica.transform(X)), X, atol=1e-8
+        )
+
+    def test_sources_nearly_uncorrelated(self, rng):
+        X = rng.uniform(size=(500, 3)) @ rng.normal(size=(3, 3))
+        sources = FastICA(random_state=0).fit_transform(X)
+        covariance = np.cov(sources, rowvar=False)
+        off_diagonal = covariance - np.diag(np.diag(covariance))
+        assert np.max(np.abs(off_diagonal)) < 0.1
+
+    def test_rejects_zero_components(self, rng):
+        with pytest.raises(ValueError):
+            FastICA(n_components=0).fit(rng.normal(size=(10, 2)))
+
+
+class TestPLS:
+    def test_predicts_multivariate_targets(self, rng):
+        X = rng.normal(size=(150, 6))
+        B = rng.normal(size=(6, 2))
+        Y = X @ B + rng.normal(0, 0.05, size=(150, 2))
+        pls = PLSRegression(n_components=4).fit(X, Y)
+        assert pls.score(X, Y) > 0.95
+
+    def test_single_column_y_returns_1d(self, rng):
+        X = rng.normal(size=(60, 3))
+        y = X[:, 0] * 2.0
+        pls = PLSRegression(n_components=2).fit(X, y)
+        assert pls.predict(X).ndim == 1
+
+    def test_handles_collinear_features_where_lsf_struggles(self, rng):
+        # PLS extracts latent directions, so collinearity is benign
+        t = rng.normal(size=(100, 2))
+        X = np.column_stack([t[:, 0], t[:, 0] * 0.999, t[:, 1]])
+        y = t[:, 0] + t[:, 1]
+        pls = PLSRegression(n_components=2).fit(X, y)
+        assert pls.score(X, y.reshape(-1, 1)) > 0.95
+
+    def test_scores_shape(self, rng):
+        X = rng.normal(size=(50, 4))
+        Y = rng.normal(size=(50, 2))
+        pls = PLSRegression(n_components=3).fit(X, Y)
+        assert pls.transform(X).shape == (50, 3)
+
+    def test_rejects_bad_components(self, rng):
+        X = rng.normal(size=(20, 3))
+        with pytest.raises(ValueError):
+            PLSRegression(n_components=0).fit(X, X[:, 0])
+
+
+class TestCCA:
+    def test_finds_shared_signal(self, rng):
+        shared = rng.normal(size=(300, 1))
+        X = np.hstack([shared + rng.normal(0, 0.1, size=(300, 1)),
+                       rng.normal(size=(300, 2))])
+        Y = np.hstack([rng.normal(size=(300, 1)),
+                       shared + rng.normal(0, 0.1, size=(300, 1))])
+        cca = CCA(n_components=1).fit(X, Y)
+        assert cca.correlations_[0] > 0.9
+
+    def test_independent_views_low_correlation(self, rng):
+        X = rng.normal(size=(500, 3))
+        Y = rng.normal(size=(500, 3))
+        cca = CCA(n_components=1).fit(X, Y)
+        assert cca.correlations_[0] < 0.35
+
+    def test_transform_variates_correlate_as_reported(self, rng):
+        shared = rng.normal(size=(400, 2))
+        X = shared @ rng.normal(size=(2, 4)) + rng.normal(
+            0, 0.1, size=(400, 4)
+        )
+        Y = shared @ rng.normal(size=(2, 3)) + rng.normal(
+            0, 0.1, size=(400, 3)
+        )
+        cca = CCA(n_components=2).fit(X, Y)
+        assert cca.score(X, Y) == pytest.approx(
+            float(cca.correlations_.mean()), abs=0.05
+        )
+
+    def test_correlations_sorted_descending(self, rng):
+        X = rng.normal(size=(100, 4))
+        Y = rng.normal(size=(100, 4))
+        cca = CCA(n_components=3).fit(X, Y)
+        assert list(cca.correlations_) == sorted(
+            cca.correlations_, reverse=True
+        )
+
+    def test_rejects_sample_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            CCA().fit(rng.normal(size=(10, 2)), rng.normal(size=(12, 2)))

@@ -1,0 +1,130 @@
+"""Tests for the learning-curve utility (Section 1's data-availability
+principle) and the STA slack report."""
+
+import numpy as np
+import pytest
+
+from repro.core import learning_curve
+from repro.learn import KNeighborsClassifier, RidgeRegressor
+from repro.timing import Path, PathGenerator, Stage, StaticTimer
+
+
+class TestLearningCurve:
+    @pytest.fixture
+    def classification_problem(self, rng):
+        X = np.vstack(
+            [rng.normal(-1.2, 0.8, size=(200, 2)),
+             rng.normal(1.2, 0.8, size=(200, 2))]
+        )
+        y = np.repeat([0, 1], 200)
+        order = rng.permutation(400)
+        X_val = np.vstack(
+            [rng.normal(-1.2, 0.8, size=(150, 2)),
+             rng.normal(1.2, 0.8, size=(150, 2))]
+        )
+        y_val = np.repeat([0, 1], 150)
+        return X[order], y[order], X_val, y_val
+
+    def test_validation_error_improves_with_data(
+        self, classification_problem
+    ):
+        X, y, X_val, y_val = classification_problem
+        curve = learning_curve(
+            KNeighborsClassifier(n_neighbors=5),
+            X, y, sizes=[10, 40, 160, 400],
+            X_val=X_val, y_val=y_val, random_state=0,
+        )
+        assert curve.validation_errors[-1] <= curve.validation_errors[0]
+
+    def test_knee_detects_saturation(self, classification_problem):
+        X, y, X_val, y_val = classification_problem
+        curve = learning_curve(
+            KNeighborsClassifier(n_neighbors=5),
+            X, y, sizes=[10, 40, 160, 400],
+            X_val=X_val, y_val=y_val, random_state=0,
+        )
+        knee = curve.knee_size(tolerance=0.03)
+        assert knee in curve.sizes
+        assert knee < 400  # easy problem saturates before all the data
+
+    def test_rows_align(self, classification_problem):
+        X, y, X_val, y_val = classification_problem
+        curve = learning_curve(
+            KNeighborsClassifier(n_neighbors=3),
+            X, y, sizes=[20, 50], X_val=X_val, y_val=y_val,
+            random_state=0,
+        )
+        rows = curve.rows()
+        assert len(rows) == 2
+        assert rows[0][0] == 20
+
+    def test_regressor_uses_mse(self, rng):
+        X = rng.uniform(-1, 1, size=(120, 2))
+        y = X[:, 0] + rng.normal(0, 0.05, 120)
+        curve = learning_curve(
+            RidgeRegressor(alpha=0.01),
+            X, y, sizes=[10, 100],
+            X_val=X, y_val=y, random_state=0,
+        )
+        assert curve.validation_errors[1] < 0.1
+
+    def test_rejects_out_of_range_size(self, rng):
+        X = rng.normal(size=(20, 2))
+        y = rng.integers(0, 2, size=20)
+        with pytest.raises(ValueError):
+            learning_curve(
+                KNeighborsClassifier(n_neighbors=1),
+                X, y, sizes=[50], X_val=X, y_val=y,
+            )
+
+    def test_seeded_shuffle(self, classification_problem):
+        X, y, X_val, y_val = classification_problem
+        a = learning_curve(
+            KNeighborsClassifier(n_neighbors=3), X, y, sizes=[30],
+            X_val=X_val, y_val=y_val, random_state=7,
+        )
+        b = learning_curve(
+            KNeighborsClassifier(n_neighbors=3), X, y, sizes=[30],
+            X_val=X_val, y_val=y_val, random_state=7,
+        )
+        assert a.validation_errors == b.validation_errors
+
+
+class TestSlackReport:
+    @pytest.fixture
+    def block(self):
+        return PathGenerator(random_state=0).generate_block(50)
+
+    def test_slack_definition(self):
+        path = Path("p", "b", [Stage("INV", 1), Stage("DFF", 1)])
+        timer = StaticTimer()
+        delay = timer.path_delay(path)
+        slack = timer.slack_report([path], clock_period=delay + 5.0)["p"]
+        assert slack == pytest.approx(5.0)
+
+    def test_wns_zero_when_timing_met(self, block):
+        timer = StaticTimer()
+        generous = max(timer.path_delay(p) for p in block) + 1.0
+        assert timer.worst_negative_slack(block, generous) == 0.0
+        assert timer.total_negative_slack(block, generous) == 0.0
+
+    def test_wns_matches_slowest_path(self, block):
+        timer = StaticTimer()
+        slowest = max(timer.path_delay(p) for p in block)
+        clock = slowest - 10.0
+        assert timer.worst_negative_slack(block, clock) == pytest.approx(
+            -10.0
+        )
+
+    def test_tns_sums_violations(self, block):
+        timer = StaticTimer()
+        clock = float(np.median([timer.path_delay(p) for p in block]))
+        tns = timer.total_negative_slack(block, clock)
+        slacks = timer.slack_report(block, clock)
+        manual = sum(s for s in slacks.values() if s < 0)
+        assert tns == pytest.approx(manual)
+        assert tns < 0
+
+    def test_rejects_bad_clock(self, block):
+        with pytest.raises(ValueError):
+            StaticTimer().slack_report(block, 0.0)

@@ -1,0 +1,202 @@
+"""Tests for the verification substrate: ISA, programs, randomizer."""
+
+import numpy as np
+import pytest
+
+from repro.verification import (
+    CACHE_LINE_BYTES,
+    DEFAULT_KNOB_RANGES,
+    KNOB_NAMES,
+    Instruction,
+    OPCODES,
+    Program,
+    Randomizer,
+    TestTemplate,
+    access_alignment,
+    is_memory_opcode,
+    knob_feature_matrix,
+    region_of,
+)
+
+
+class TestISA:
+    def test_opcode_table_categories(self):
+        assert OPCODES["LW"].category == "load"
+        assert OPCODES["SW"].category == "store"
+        assert OPCODES["LL"].is_locked
+        assert OPCODES["SYNC"].category == "barrier"
+
+    def test_memory_opcode_predicate(self):
+        assert is_memory_opcode("LB")
+        assert is_memory_opcode("SC")
+        assert not is_memory_opcode("ADD")
+
+    def test_alignment_classification(self):
+        assert access_alignment(0x100, 4) == "aligned"
+        assert access_alignment(0x101, 4) == "misaligned"
+        # access starting 2 bytes before a line boundary, 4 bytes wide
+        boundary = 3 * CACHE_LINE_BYTES
+        assert access_alignment(boundary - 2, 4) == "line_crossing"
+
+    def test_byte_access_always_aligned(self):
+        assert access_alignment(0x123, 1) == "aligned"
+
+    def test_region_lookup(self):
+        assert region_of(0x0000_1000) == "dram"
+        assert region_of(0x4000_0010) == "stack"
+        assert region_of(0x8000_0004) == "mmio"
+        assert region_of(0xC000_0000) == "scratchpad"
+
+
+class TestInstructionAndProgram:
+    def test_rejects_unknown_opcode(self):
+        with pytest.raises(ValueError):
+            Instruction("FNORD")
+
+    def test_token_encodes_behaviour(self):
+        load = Instruction("LW", address=0x8000_0001)
+        assert load.token() == "LW.mis.mmi"
+        alu = Instruction("ADD")
+        assert alu.token() == "ADD"
+
+    def test_measured_features_fracs_in_unit_interval(self):
+        rand = Randomizer(random_state=0)
+        program = rand.generate(TestTemplate())
+        features = program.measured_features()
+        for name, value in features.items():
+            if name != "length":
+                assert 0.0 <= value <= 1.0, name
+
+    def test_knob_features_order(self):
+        program = Program(
+            instructions=[Instruction("NOP")],
+            knobs={name: 0.5 for name in KNOB_NAMES},
+        )
+        np.testing.assert_allclose(program.knob_features(), 0.5)
+
+    def test_listing_is_assembly_like(self):
+        program = Program([Instruction("LW", rd=3, address=0x10)])
+        assert "LW r3" in program.listing()
+
+    def test_opcode_histogram(self):
+        program = Program(
+            [Instruction("ADD"), Instruction("ADD"), Instruction("NOP")]
+        )
+        assert program.opcode_histogram() == {"ADD": 2, "NOP": 1}
+
+    def test_listing_roundtrip(self):
+        rand = Randomizer(random_state=4)
+        original = rand.generate(TestTemplate(), name="t")
+        parsed = Program.from_listing(original.listing(), name="t")
+        assert parsed.tokens() == original.tokens()
+        assert len(parsed) == len(original)
+
+    def test_from_listing_ignores_comments_and_blanks(self):
+        text = """
+        # a test fragment
+        LW r3, 0x100
+
+        ADD r1, r2, r3   # comment
+        SYNC
+        """
+        program = Program.from_listing(text)
+        assert [i.opcode for i in program] == ["LW", "ADD", "SYNC"]
+        assert program.instructions[0].address == 0x100
+
+    def test_from_listing_rejects_unknown_opcode(self):
+        with pytest.raises(ValueError, match="unknown opcode"):
+            Program.from_listing("FROB r1, r2, r3")
+
+    def test_from_listing_rejects_bad_operands(self):
+        with pytest.raises(ValueError):
+            Program.from_listing("LW 0x100")  # missing register
+        with pytest.raises(ValueError):
+            Program.from_listing("LW r1")  # missing address
+
+
+class TestTemplateAndRandomizer:
+    def test_template_requires_all_knobs(self):
+        with pytest.raises(ValueError):
+            TestTemplate(knob_ranges={"load_fraction": (0.1, 0.2)})
+
+    def test_sample_knobs_within_ranges(self, rng):
+        template = TestTemplate()
+        knobs = template.sample_knobs(rng)
+        for name, value in knobs.items():
+            low, high = DEFAULT_KNOB_RANGES[name]
+            assert low <= value <= high
+
+    def test_constrained_intersects(self):
+        template = TestTemplate()
+        refined = template.constrained({"misaligned_fraction": (0.02, 0.9)})
+        low, high = refined.knob_ranges["misaligned_fraction"]
+        assert low == pytest.approx(0.02)
+        assert high == pytest.approx(0.06)  # original cap kept
+
+    def test_biased_extends_beyond_original(self):
+        template = TestTemplate()
+        biased = template.biased(
+            {"misaligned_fraction": (0.04, float("inf"))}
+        )
+        low, high = biased.knob_ranges["misaligned_fraction"]
+        assert low == pytest.approx(0.04)
+        assert high > 0.06  # pushed past the original template cap
+
+    def test_biased_rejects_unknown_knob(self):
+        with pytest.raises(KeyError):
+            TestTemplate().biased({"frobnication": (0.0, 1.0)})
+
+    def test_generated_program_statistics_follow_knobs(self):
+        rand = Randomizer(random_state=7)
+        template = TestTemplate().biased(
+            {"misaligned_fraction": (0.4, float("inf")),
+             "load_fraction": (0.4, float("inf"))}
+        )
+        programs = [rand.generate(template) for _ in range(30)]
+        measured = np.mean(
+            [p.measured_features()["misaligned_fraction"] for p in programs]
+        )
+        baseline_programs = [
+            rand.generate(TestTemplate()) for _ in range(30)
+        ]
+        baseline = np.mean(
+            [p.measured_features()["misaligned_fraction"]
+             for p in baseline_programs]
+        )
+        assert measured > baseline * 2
+
+    def test_stream_names_and_count(self):
+        rand = Randomizer(random_state=1)
+        programs = list(rand.stream(TestTemplate(), 5, prefix="x"))
+        assert len(programs) == 5
+        assert programs[3].name == "x3"
+
+    def test_stream_rejects_negative(self):
+        rand = Randomizer()
+        with pytest.raises(ValueError):
+            list(rand.stream(TestTemplate(), -1))
+
+    def test_generation_is_seeded(self):
+        a = [p.tokens() for p in Randomizer(9).stream(TestTemplate(), 3)]
+        b = [p.tokens() for p in Randomizer(9).stream(TestTemplate(), 3)]
+        assert a == b
+
+    def test_sc_targets_ll_address(self):
+        rand = Randomizer(random_state=3)
+        template = TestTemplate().biased(
+            {"atomic_fraction": (0.15, float("inf"))}
+        )
+        for program in rand.stream(template, 20):
+            pending = None
+            for instruction in program:
+                if instruction.opcode == "LL":
+                    pending = instruction.address
+                elif instruction.opcode == "SC":
+                    assert instruction.address == pending
+                    pending = None
+
+    def test_knob_feature_matrix_shape(self):
+        rand = Randomizer(random_state=2)
+        programs = list(rand.stream(TestTemplate(), 4))
+        matrix = knob_feature_matrix(programs)
+        assert matrix.shape == (4, len(KNOB_NAMES))

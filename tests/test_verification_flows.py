@@ -1,0 +1,176 @@
+"""Tests for the Fig. 7 selection flow and Table 1 refinement flow.
+
+These run scaled-down versions of the benchmark experiments so the suite
+stays fast; the full-size runs live in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.verification import (
+    NoveltyTestSelector,
+    Randomizer,
+    SPECIAL_POINT_NAMES,
+    TemplateRefinementFlow,
+    TestTemplate,
+    rule_to_knob_constraints,
+    run_selection_experiment,
+)
+from repro.learn.rules import Condition, Rule
+
+
+@pytest.fixture(scope="module")
+def selection_result():
+    rand = Randomizer(random_state=3)
+    programs = list(rand.stream(TestTemplate(), 250))
+    selector = NoveltyTestSelector(nu=0.1, seed_count=8, retrain_every=15)
+    return run_selection_experiment(programs, selector=selector), selector
+
+
+class TestNoveltySelection:
+    def test_selection_simulates_fewer_tests(self, selection_result):
+        result, _ = selection_result
+        assert result.n_selected < result.n_stream * 0.6
+
+    def test_selection_matches_most_coverage(self, selection_result):
+        result, _ = selection_result
+        assert result.coverage_match_fraction > 0.9
+
+    def test_positive_saving_at_matched_coverage(self, selection_result):
+        result, _ = selection_result
+        if result.selection_tests_to_match is not None:
+            assert result.saving > 0.2
+
+    def test_traces_monotone(self, selection_result):
+        result, _ = selection_result
+        assert list(result.baseline_trace.coverage) == sorted(
+            result.baseline_trace.coverage
+        )
+        assert list(result.selection_trace.coverage) == sorted(
+            result.selection_trace.coverage
+        )
+
+    def test_selector_accepts_seeds_unconditionally(self):
+        rand = Randomizer(random_state=0)
+        selector = NoveltyTestSelector(seed_count=5)
+        accepted = [
+            selector.consider(p) for p in rand.stream(TestTemplate(), 5)
+        ]
+        assert all(accepted)
+
+    def test_selector_rejects_some_later_tests(self):
+        rand = Randomizer(random_state=0)
+        selector = NoveltyTestSelector(
+            nu=0.05, seed_count=10, retrain_every=10
+        )
+        decisions = [
+            selector.consider(p) for p in rand.stream(TestTemplate(), 120)
+        ]
+        assert not all(decisions)
+
+    def test_lexical_backstop_counts_accepts(self, selection_result):
+        _, selector = selection_result
+        assert selector.n_lexical_accepts > 0
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            run_selection_experiment([])
+
+
+class TestRuleToConstraints:
+    def test_greater_than_opens_upward(self):
+        rule = Rule(
+            conditions=(Condition(3, ">", 0.2),), target_class=1
+        )
+        constraints = rule_to_knob_constraints(rule)
+        knob = list(constraints)[0]
+        low, high = constraints[knob]
+        assert low == pytest.approx(0.2)
+        assert high == np.inf
+
+    def test_less_equal_caps_downward(self):
+        rule = Rule(conditions=(Condition(0, "<=", 0.3),), target_class=1)
+        constraints = rule_to_knob_constraints(rule)
+        low, high = list(constraints.values())[0]
+        assert low == -np.inf
+        assert high == pytest.approx(0.3)
+
+    def test_two_conditions_same_knob_merge(self):
+        rule = Rule(
+            conditions=(
+                Condition(1, ">", 0.1),
+                Condition(1, "<=", 0.5),
+            ),
+            target_class=1,
+        )
+        constraints = rule_to_knob_constraints(rule)
+        low, high = list(constraints.values())[0]
+        assert (low, high) == (pytest.approx(0.1), pytest.approx(0.5))
+
+
+class TestRefinementFlow:
+    @pytest.fixture(scope="class")
+    def flow(self):
+        rand = Randomizer(random_state=42)
+        flow = TemplateRefinementFlow(rand)
+        flow.run(TestTemplate(), stage_sizes=(250, 80, 40))
+        return flow
+
+    def test_three_stages_recorded(self, flow):
+        assert [s.n_tests for s in flow.stages] == [250, 80, 40]
+
+    def test_original_covers_only_easy_points(self, flow):
+        original = flow.stages[0]
+        covered = set(original.covered_points())
+        assert "A0" in covered
+        assert "A1" in covered
+        rare = {"A2", "A5", "A6"}
+        missed_rare = rare - covered
+        assert len(missed_rare) >= 2
+
+    def test_refined_stages_lift_coverage(self, flow):
+        original_covered = set(flow.stages[0].covered_points())
+        final_covered = set(flow.stages[-1].covered_points())
+        assert len(final_covered) > len(original_covered)
+
+    def test_final_stage_covers_nearly_all_points(self, flow):
+        final_covered = set(flow.stages[-1].covered_points())
+        assert len(final_covered) >= len(SPECIAL_POINT_NAMES) - 1
+
+    def test_hit_rate_per_test_increases(self, flow):
+        original = flow.stages[0]
+        final = flow.stages[-1]
+        original_rate = sum(original.row()) / original.n_tests
+        final_rate = sum(final.row()) / final.n_tests
+        assert final_rate > original_rate * 2
+
+    def test_learning_rounds_produce_rules(self, flow):
+        assert len(flow.rounds) == 2
+        assert flow.rounds[0].rules
+        # round-1 learning can only target points the original hit
+        assert set(flow.rounds[0].target_points) <= set(SPECIAL_POINT_NAMES)
+
+    def test_constraints_push_behavior_knobs(self, flow):
+        pushed = set()
+        for round_record in flow.rounds:
+            pushed |= set(round_record.constraints)
+        behaviour_knobs = {
+            "misaligned_fraction",
+            "address_reuse",
+            "store_fraction",
+            "load_fraction",
+            "atomic_fraction",
+            "length",
+            "line_cross_fraction",
+            "barrier_fraction",
+            "mmio_fraction",
+            "scratchpad_fraction",
+        }
+        assert pushed
+        assert pushed <= behaviour_knobs
+
+    def test_table_rows_match_stages(self, flow):
+        table = flow.table()
+        assert len(table) == 3
+        names = [row[0] for row in table]
+        assert names == ["original", "learning_1", "learning_2"]
