@@ -11,6 +11,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.base import ClusterMixin, Estimator, as_2d_array
+from ..kernels.base import Kernel
+from ..kernels.vector import RBFKernel
 from .kmeans import KMeans
 
 
@@ -22,20 +24,35 @@ class SpectralClustering(Estimator, ClusterMixin):
     n_clusters:
         Number of clusters.
     affinity:
-        ``"rbf"`` (Gaussian on Euclidean distance, bandwidth ``gamma``)
-        or ``"precomputed"`` (``fit`` receives an affinity matrix).
+        ``"rbf"`` (Gaussian on Euclidean distance, bandwidth ``gamma``),
+        ``"precomputed"`` (``fit`` receives an affinity matrix), or any
+        :class:`repro.kernels.Kernel` — so program and histogram samples
+        cluster through the same Fig. 4 separation as the classifiers.
     gamma:
         RBF affinity bandwidth.
+    engine:
+        A :class:`repro.kernels.GramEngine` used to evaluate kernel
+        affinities; ``None`` uses the shared default engine.
     """
 
-    def __init__(self, n_clusters: int = 2, affinity: str = "rbf",
-                 gamma: float = 1.0, random_state=None):
+    def __init__(self, n_clusters: int = 2, affinity="rbf",
+                 gamma: float = 1.0, random_state=None, engine=None):
         self.n_clusters = n_clusters
         self.affinity = affinity
         self.gamma = gamma
         self.random_state = random_state
+        self.engine = engine
+
+    def _engine(self):
+        if self.engine is not None:
+            return self.engine
+        from ..kernels.engine import default_engine
+
+        return default_engine()
 
     def _affinity_matrix(self, X) -> np.ndarray:
+        if isinstance(self.affinity, Kernel):
+            return self._engine().gram(self.affinity, X)
         if self.affinity == "precomputed":
             A = np.asarray(X, dtype=float)
             if A.ndim != 2 or A.shape[0] != A.shape[1]:
@@ -43,10 +60,8 @@ class SpectralClustering(Estimator, ClusterMixin):
             return A
         if self.affinity == "rbf":
             X = as_2d_array(X)
-            sq = np.sum(X * X, axis=1)
-            d2 = np.clip(sq[:, None] + sq[None, :] - 2.0 * X @ X.T, 0.0, None)
-            return np.exp(-self.gamma * d2)
-        raise ValueError("affinity must be 'rbf' or 'precomputed'")
+            return self._engine().gram(RBFKernel(gamma=self.gamma), X)
+        raise ValueError("affinity must be 'rbf', 'precomputed', or a Kernel")
 
     def fit(self, X) -> "SpectralClustering":
         if self.n_clusters < 1:

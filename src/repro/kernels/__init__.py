@@ -9,6 +9,7 @@ from .base import (
     normalize_gram,
 )
 from .composite import NormalizedKernel, ProductKernel, ScaledKernel, SumKernel
+from .engine import GramCounters, GramEngine, default_engine, set_default_engine
 from .histogram import ChiSquaredKernel, HistogramIntersectionKernel
 from .sequence import (
     BlendedSpectrumKernel,
@@ -29,6 +30,8 @@ from .vector import (
 __all__ = [
     "BlendedSpectrumKernel",
     "ChiSquaredKernel",
+    "GramCounters",
+    "GramEngine",
     "HistogramIntersectionKernel",
     "Kernel",
     "LaplacianKernel",
@@ -43,11 +46,13 @@ __all__ = [
     "SpectrumKernel",
     "SumKernel",
     "center_gram",
+    "default_engine",
     "explicit_degree2_map",
     "gram_matrix",
     "is_positive_semidefinite",
     "median_heuristic_gamma",
     "ngram_counts",
     "normalize_gram",
+    "set_default_engine",
     "spectrum_feature_map",
 ]

@@ -12,9 +12,51 @@ vectorized kernels may override ``matrix``/``cross_matrix`` for speed.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Sequence
 
 import numpy as np
+
+
+def _freeze(value):
+    """Render *value* as a hashable structure for :meth:`Kernel.cache_key`.
+
+    Mirrors the semantics of :meth:`Kernel.__eq__`: two values that
+    compare equal there freeze to equal structures (so structurally
+    equal kernels share hash and cache identity).
+    """
+    if isinstance(value, Kernel):
+        return ("kernel", value.cache_key())
+    if isinstance(value, np.ndarray):
+        if value.dtype == object:
+            return ("ndarray", repr(value.tolist()))
+        contiguous = np.ascontiguousarray(value)
+        digest = hashlib.blake2b(contiguous.tobytes(), digest_size=16)
+        return ("ndarray", value.shape, value.dtype.str, digest.digest())
+    if isinstance(value, dict):
+        items = sorted(
+            ((k, _freeze(v)) for k, v in value.items()),
+            key=lambda kv: repr(kv[0]),
+        )
+        return ("dict", tuple(items))
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(_freeze(v) for v in value))
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted((_freeze(v) for v in value), key=repr)))
+    if value is None or isinstance(
+        value, (bool, int, float, complex, str, bytes)
+    ):
+        return value
+    if callable(value):
+        # functions compare by identity in __eq__, so identity (plus a
+        # readable qualname) is the right cache granularity
+        return (
+            "callable",
+            getattr(value, "__module__", None),
+            getattr(value, "__qualname__", repr(value)),
+            id(value),
+        )
+    return ("repr", repr(value))
 
 
 class Kernel:
@@ -69,14 +111,40 @@ class Kernel:
                 return False
         return True
 
-    # equality is structural but kernels stay usable as dict keys via
-    # identity hashing
-    __hash__ = object.__hash__
+    def cache_key(self) -> tuple:
+        """Hashable structural identity: type plus frozen configuration.
+
+        Equal kernels (per :meth:`__eq__`) produce equal keys, so any
+        dict or cache keyed on kernels — in particular the
+        :class:`~repro.kernels.engine.GramEngine` block cache — treats a
+        reconstructed kernel with the same hyper-parameters as the same
+        kernel.  The key reflects current state; mutating a kernel's
+        parameters changes it.
+        """
+        return (
+            type(self).__module__,
+            type(self).__qualname__,
+            _freeze(self.__dict__),
+        )
+
+    # hashing is structural and consistent with __eq__ (equal kernels
+    # hash equal), so kernels work as dict/cache keys
+    def __hash__(self):
+        return hash(self.cache_key())
 
 
-def gram_matrix(kernel: Kernel, samples: Sequence) -> np.ndarray:
-    """Evaluate *kernel* over all pairs of *samples*."""
-    return kernel.matrix(samples)
+def gram_matrix(kernel: Kernel, samples: Sequence, engine=None) -> np.ndarray:
+    """Evaluate *kernel* over all pairs of *samples*.
+
+    Thin shim over the shared :class:`~repro.kernels.engine.GramEngine`
+    (blockwise evaluation + caching); pass *engine* to use a private
+    one.  The historical call signature is unchanged.
+    """
+    if engine is None:
+        from .engine import default_engine
+
+        engine = default_engine()
+    return engine.gram(kernel, samples)
 
 
 def center_gram(K: np.ndarray) -> np.ndarray:

@@ -1,0 +1,460 @@
+"""Shared Gram-matrix engine: blockwise evaluation, caching, counters.
+
+Section 2.2 makes the kernel the single point through which every
+learning algorithm sees data (Fig. 4) — which also makes Gram-matrix
+evaluation the shared hot path of every kernel flow in this library.
+The :class:`GramEngine` centralizes that path:
+
+- **Blockwise evaluation.**  Symmetric and cross Gram matrices are
+  assembled from rectangular blocks.  When the kernel provides a
+  vectorized collection path (an overridden ``matrix``/``cross_matrix``)
+  each block uses it; kernels that only define ``__call__`` (arbitrary
+  object samples: assembly programs, layout clips) fall back to a
+  chunked pairwise loop that can run on a thread pool.
+- **Caching.**  Computed blocks are cached under a key combining the
+  kernel's *structural* identity (:meth:`Kernel.cache_key`) with content
+  fingerprints of the sample blocks, inside an LRU with a byte budget.
+  Repeated fits on the same data — grid searches, cross-validation
+  sweeps, the selection flow's periodic retrains — hit the cache instead
+  of re-evaluating the kernel.
+- **Instrumentation.**  Counters record block computations, cache
+  hits/misses, fresh pair evaluations, evictions, and wall time, so
+  benchmarks can attribute speedups precisely.
+
+A process-wide engine (:func:`default_engine`) is shared by every
+estimator unless an explicit engine is passed, so independent fits on
+the same data share one cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, fields
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import Kernel
+
+__all__ = [
+    "GramCounters",
+    "GramEngine",
+    "default_engine",
+    "set_default_engine",
+]
+
+
+# ---------------------------------------------------------------------
+# Sample fingerprinting
+# ---------------------------------------------------------------------
+
+def _digest(*chunks: bytes) -> bytes:
+    h = hashlib.blake2b(digest_size=16)
+    for chunk in chunks:
+        h.update(chunk)
+    return h.digest()
+
+
+def _array_digest(arr: np.ndarray) -> bytes:
+    if arr.dtype == object:
+        return _digest(b"objarr", repr(arr.tolist()).encode())
+    arr = np.ascontiguousarray(arr)
+    return _digest(
+        b"ndarray",
+        str(arr.shape).encode(),
+        arr.dtype.str.encode(),
+        arr.tobytes(),
+    )
+
+
+def sample_fingerprint(sample) -> bytes:
+    """Content fingerprint of a single sample (any supported type)."""
+    if isinstance(sample, np.ndarray):
+        return _array_digest(sample)
+    if isinstance(sample, bytes):
+        return _digest(b"bytes", sample)
+    if isinstance(sample, str):
+        return _digest(b"str", sample.encode())
+    if isinstance(sample, (list, tuple)):
+        return _digest(b"seq", repr(tuple(sample)).encode())
+    if isinstance(sample, (bool, int, float, complex)):
+        return _digest(b"num", repr(sample).encode())
+    return _digest(b"repr", repr(sample).encode())
+
+
+def _block_spans(n: int, block_size: int):
+    return [(start, min(start + block_size, n)) for start in range(0, n, block_size)]
+
+
+class _Samples:
+    """A sliceable sample collection with lazily fingerprinted blocks."""
+
+    def __init__(self, samples):
+        if isinstance(samples, np.ndarray):
+            self.data = samples
+            self._is_array = True
+        else:
+            self.data = list(samples)
+            self._is_array = False
+
+    def __len__(self):
+        return len(self.data)
+
+    def block(self, span: Tuple[int, int]):
+        return self.data[span[0] : span[1]]
+
+    def fingerprint(self, span: Tuple[int, int]) -> bytes:
+        block = self.data[span[0] : span[1]]
+        if self._is_array:
+            return _array_digest(np.asarray(block))
+        return _digest(b"block", *[sample_fingerprint(s) for s in block])
+
+
+# ---------------------------------------------------------------------
+# Counters
+# ---------------------------------------------------------------------
+
+@dataclass
+class GramCounters:
+    """Instrumentation for one :class:`GramEngine`.
+
+    ``cache_hits``/``cache_misses`` count *blocks* looked up in the
+    cache; ``pair_evaluations`` counts Gram entries computed fresh (a
+    hit contributes zero); ``compute_seconds`` is wall time spent inside
+    block computation only.
+    """
+
+    gram_calls: int = 0
+    cross_calls: int = 0
+    blocks_computed: int = 0
+    uncached_blocks: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evictions: int = 0
+    pair_evaluations: int = 0
+    compute_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cacheable block lookups served from the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        record = {f.name: getattr(self, f.name) for f in fields(self)}
+        record["hit_rate"] = self.hit_rate
+        return record
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, f.default)
+
+
+# ---------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------
+
+class GramEngine:
+    """Blockwise, cached, optionally parallel Gram-matrix evaluator.
+
+    Parameters
+    ----------
+    block_size:
+        Edge length of the square/rectangular blocks the output matrix
+        is assembled from.  Collections at most this large are evaluated
+        in a single kernel call, preserving the exact float behaviour of
+        the kernel's own ``matrix``/``cross_matrix``.
+    cache_bytes:
+        LRU byte budget for cached blocks; ``0`` disables caching.
+    n_jobs:
+        Worker threads for the pairwise fallback used by kernels without
+        a vectorized collection path.  ``1`` means serial; ``-1`` uses
+        ``os.cpu_count()``.  Parallel and serial evaluation produce
+        bitwise-identical results (same chunks, same assembly order).
+    chunk_size:
+        Rows per work unit in the pairwise fallback.
+    """
+
+    def __init__(self, block_size: int = 256, cache_bytes: int = 64 * 2**20,
+                 n_jobs: int = 1, chunk_size: int = 32):
+        if block_size < 1:
+            raise ValueError("block_size must be at least 1")
+        if cache_bytes < 0:
+            raise ValueError("cache_bytes must be non-negative")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        if n_jobs == 0:
+            raise ValueError("n_jobs must be a positive int or -1")
+        self.block_size = int(block_size)
+        self.cache_bytes = int(cache_bytes)
+        self.n_jobs = int(n_jobs)
+        self.chunk_size = int(chunk_size)
+        self.counters = GramCounters()
+        self._cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._cached_bytes = 0
+        self._lock = threading.RLock()
+
+    # -- engines are shared infrastructure, not hyper-parameter values;
+    #    clone()/deepcopy of an estimator must not fork the cache (and a
+    #    live lock cannot be deep-copied anyway)
+    def __deepcopy__(self, memo) -> "GramEngine":
+        return self
+
+    def __repr__(self):
+        return (
+            f"GramEngine(block_size={self.block_size}, "
+            f"cache_bytes={self.cache_bytes}, n_jobs={self.n_jobs})"
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def gram(self, kernel: Kernel, samples: Sequence) -> np.ndarray:
+        """Symmetric Gram matrix ``K[i, j] = k(samples[i], samples[j])``.
+
+        Always returns a freshly allocated array; mutating it cannot
+        poison the cache.
+        """
+        with self._lock:
+            self.counters.gram_calls += 1
+        store = _Samples(samples)
+        n = len(store)
+        K = np.empty((n, n), dtype=float)
+        if n == 0:
+            return K
+        kernel_key = self._kernel_key(kernel)
+        spans = _block_spans(n, self.block_size)
+        fps = (
+            [store.fingerprint(span) for span in spans]
+            if kernel_key is not None
+            else None
+        )
+        for bi, span_a in enumerate(spans):
+            for bj in range(bi, len(spans)):
+                span_b = spans[bj]
+                diagonal = bi == bj
+                key = None
+                if kernel_key is not None:
+                    kind = "sym" if diagonal else "rect"
+                    key = (kernel_key, kind, fps[bi], fps[bj])
+                block = self._lookup(key)
+                if block is None:
+                    block_a = store.block(span_a)
+                    start = time.perf_counter()
+                    if diagonal:
+                        block = self._sym_block(kernel, block_a)
+                    else:
+                        block = self._rect_block(
+                            kernel, block_a, store.block(span_b)
+                        )
+                    self._account(block, time.perf_counter() - start)
+                    self._store(key, block)
+                a0, a1 = span_a
+                b0, b1 = span_b
+                K[a0:a1, b0:b1] = block
+                if not diagonal:
+                    K[b0:b1, a0:a1] = block.T
+        return K
+
+    def cross_gram(self, kernel: Kernel, samples_a: Sequence,
+                   samples_b: Sequence) -> np.ndarray:
+        """Rectangular matrix ``K[i, j] = k(samples_a[i], samples_b[j])``."""
+        with self._lock:
+            self.counters.cross_calls += 1
+        store_a = _Samples(samples_a)
+        store_b = _Samples(samples_b)
+        K = np.empty((len(store_a), len(store_b)), dtype=float)
+        if K.size == 0:
+            return K
+        kernel_key = self._kernel_key(kernel)
+        spans_a = _block_spans(len(store_a), self.block_size)
+        spans_b = _block_spans(len(store_b), self.block_size)
+        fps_a = fps_b = None
+        if kernel_key is not None:
+            fps_a = [store_a.fingerprint(span) for span in spans_a]
+            fps_b = [store_b.fingerprint(span) for span in spans_b]
+        for bi, span_a in enumerate(spans_a):
+            for bj, span_b in enumerate(spans_b):
+                key = None
+                if kernel_key is not None:
+                    key = (kernel_key, "rect", fps_a[bi], fps_b[bj])
+                block = self._lookup(key)
+                if block is None:
+                    start = time.perf_counter()
+                    block = self._rect_block(
+                        kernel, store_a.block(span_a), store_b.block(span_b)
+                    )
+                    self._account(block, time.perf_counter() - start)
+                    self._store(key, block)
+                K[span_a[0] : span_a[1], span_b[0] : span_b[1]] = block
+        return K
+
+    # -- introspection -------------------------------------------------
+    def stats(self) -> dict:
+        """Counter snapshot plus cache occupancy, as one flat dict."""
+        with self._lock:
+            record = self.counters.as_dict()
+            record["cache_entries"] = len(self._cache)
+            record["cached_bytes"] = self._cached_bytes
+            record["cache_budget_bytes"] = self.cache_bytes
+        return record
+
+    def cache_info(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._cache),
+                "bytes": self._cached_bytes,
+                "budget_bytes": self.cache_bytes,
+            }
+
+    def reset_counters(self) -> None:
+        with self._lock:
+            self.counters.reset()
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._cache.clear()
+            self._cached_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Block computation
+    # ------------------------------------------------------------------
+    def _workers(self) -> int:
+        if self.n_jobs == -1:
+            return max(os.cpu_count() or 1, 1)
+        return self.n_jobs
+
+    def _sym_block(self, kernel: Kernel, block) -> np.ndarray:
+        fast = getattr(type(kernel), "matrix", None)
+        if fast is not None and fast is not Kernel.matrix:
+            return np.asarray(kernel.matrix(block), dtype=float)
+        m = len(block)
+        K = np.empty((m, m), dtype=float)
+
+        def rows(start: int, stop: int):
+            out = []
+            for i in range(start, stop):
+                row = np.empty(m - i, dtype=float)
+                for offset, j in enumerate(range(i, m)):
+                    row[offset] = float(kernel(block[i], block[j]))
+                out.append((i, row))
+            return out
+
+        for i, row in self._run_chunks(rows, m):
+            K[i, i:] = row
+            K[i:, i] = row
+        return K
+
+    def _rect_block(self, kernel: Kernel, block_a, block_b) -> np.ndarray:
+        fast = getattr(type(kernel), "cross_matrix", None)
+        if fast is not None and fast is not Kernel.cross_matrix:
+            return np.asarray(kernel.cross_matrix(block_a, block_b), dtype=float)
+        m, n = len(block_a), len(block_b)
+        K = np.empty((m, n), dtype=float)
+
+        def rows(start: int, stop: int):
+            out = []
+            for i in range(start, stop):
+                row = np.empty(n, dtype=float)
+                for j in range(n):
+                    row[j] = float(kernel(block_a[i], block_b[j]))
+                out.append((i, row))
+            return out
+
+        for i, row in self._run_chunks(rows, m):
+            K[i] = row
+        return K
+
+    def _run_chunks(self, rows, m: int):
+        """Run ``rows(start, stop)`` over row chunks, serially or on a
+        thread pool; the chunking and assembly order are identical in
+        both modes, so results match bitwise."""
+        chunks = _block_spans(m, self.chunk_size)
+        workers = self._workers()
+        if workers <= 1 or len(chunks) <= 1:
+            for start, stop in chunks:
+                yield from rows(start, stop)
+            return
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for result in pool.map(lambda span: rows(*span), chunks):
+                yield from result
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _kernel_key(self, kernel) -> Optional[tuple]:
+        if self.cache_bytes <= 0:
+            return None
+        cache_key = getattr(kernel, "cache_key", None)
+        if cache_key is None:
+            return None
+        return cache_key()
+
+    def _lookup(self, key) -> Optional[np.ndarray]:
+        if key is None:
+            return None
+        with self._lock:
+            block = self._cache.get(key)
+            if block is None:
+                self.counters.cache_misses += 1
+                return None
+            self._cache.move_to_end(key)
+            self.counters.cache_hits += 1
+            return block
+
+    def _store(self, key, block: np.ndarray) -> None:
+        if key is None:
+            with self._lock:
+                self.counters.uncached_blocks += 1
+            return
+        if block.nbytes > self.cache_bytes:
+            return
+        with self._lock:
+            if key in self._cache:
+                self._cache.move_to_end(key)
+                return
+            self._cache[key] = block
+            self._cached_bytes += block.nbytes
+            while self._cached_bytes > self.cache_bytes:
+                _, evicted = self._cache.popitem(last=False)
+                self._cached_bytes -= evicted.nbytes
+                self.counters.evictions += 1
+
+    def _account(self, block: np.ndarray, seconds: float) -> None:
+        with self._lock:
+            self.counters.blocks_computed += 1
+            self.counters.pair_evaluations += int(block.size)
+            self.counters.compute_seconds += seconds
+
+
+# ---------------------------------------------------------------------
+# Process-wide default engine
+# ---------------------------------------------------------------------
+
+_default_engine: Optional[GramEngine] = None
+_default_engine_lock = threading.Lock()
+
+
+def default_engine() -> GramEngine:
+    """The process-wide shared engine (created lazily)."""
+    global _default_engine
+    if _default_engine is None:
+        with _default_engine_lock:
+            if _default_engine is None:
+                _default_engine = GramEngine()
+    return _default_engine
+
+
+def set_default_engine(engine: GramEngine) -> GramEngine:
+    """Replace the shared engine; returns the previous one (or a fresh
+    default if none had been created), so callers can restore it."""
+    global _default_engine
+    with _default_engine_lock:
+        previous = _default_engine if _default_engine is not None else GramEngine()
+        _default_engine = engine
+    return previous

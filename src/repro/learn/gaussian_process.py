@@ -27,13 +27,17 @@ class GaussianProcessRegressor(Estimator, RegressorMixin):
         regularizes the Cholesky factorization.
     normalize_y:
         Learn on centered/scaled targets, undo at prediction time.
+    engine:
+        A :class:`repro.kernels.GramEngine`; ``None`` uses the shared
+        default engine.
     """
 
     def __init__(self, kernel=None, noise: float = 1e-6,
-                 normalize_y: bool = True):
+                 normalize_y: bool = True, engine=None):
         self.kernel = kernel
         self.noise = noise
         self.normalize_y = normalize_y
+        self.engine = engine
 
     def _kernel(self):
         if self.kernel is not None:
@@ -42,13 +46,20 @@ class GaussianProcessRegressor(Estimator, RegressorMixin):
 
         return RBFKernel(gamma=1.0)
 
+    def _engine(self):
+        if self.engine is not None:
+            return self.engine
+        from ..kernels.engine import default_engine
+
+        return default_engine()
+
     def fit(self, X, y) -> "GaussianProcessRegressor":
         y = as_1d_array(y, dtype=float)
         check_paired(X, y)
         if self.noise < 0:
             raise ValueError("noise must be non-negative")
         kernel = self._kernel()
-        K = np.asarray(kernel.matrix(X), dtype=float)
+        K = self._engine().gram(kernel, X)
         n = len(y)
         if self.normalize_y:
             self._y_mean = float(y.mean())
@@ -74,9 +85,7 @@ class GaussianProcessRegressor(Estimator, RegressorMixin):
     def predict(self, X, return_std: bool = False):
         """Posterior mean, optionally with predictive standard deviation."""
         check_fitted(self, "alpha_")
-        K_star = np.asarray(
-            self.kernel_.cross_matrix(X, self.X_train_), dtype=float
-        )
+        K_star = self._engine().cross_gram(self.kernel_, X, self.X_train_)
         mean = K_star @ self.alpha_ * self._y_scale + self._y_mean
         if not return_std:
             return mean

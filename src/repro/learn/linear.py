@@ -99,9 +99,10 @@ class KernelRidgeRegressor(Estimator, RegressorMixin):
     similarities to the training samples.
     """
 
-    def __init__(self, kernel=None, alpha: float = 1.0):
+    def __init__(self, kernel=None, alpha: float = 1.0, engine=None):
         self.kernel = kernel
         self.alpha = alpha
+        self.engine = engine
 
     def _kernel(self):
         if self.kernel is not None:
@@ -110,13 +111,20 @@ class KernelRidgeRegressor(Estimator, RegressorMixin):
 
         return RBFKernel(gamma=1.0)
 
+    def _engine(self):
+        if self.engine is not None:
+            return self.engine
+        from ..kernels.engine import default_engine
+
+        return default_engine()
+
     def fit(self, X, y) -> "KernelRidgeRegressor":
         y = as_1d_array(y, dtype=float)
         check_paired(X, y)
         if self.alpha <= 0:
             raise ValueError("alpha must be positive")
         kernel = self._kernel()
-        K = kernel.matrix(X)
+        K = self._engine().gram(kernel, X)
         n = len(y)
         self.dual_coef_ = np.linalg.solve(K + self.alpha * np.eye(n), y)
         self.X_train_ = X
@@ -125,7 +133,7 @@ class KernelRidgeRegressor(Estimator, RegressorMixin):
 
     def predict(self, X) -> np.ndarray:
         check_fitted(self, "dual_coef_")
-        K = self.kernel_.cross_matrix(X, self.X_train_)
+        K = self._engine().cross_gram(self.kernel_, X, self.X_train_)
         return K @ self.dual_coef_
 
 

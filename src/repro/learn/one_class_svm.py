@@ -36,14 +36,19 @@ class OneClassSVM(Estimator):
     nu:
         In ``(0, 1]``; upper bound on the training outlier fraction and
         lower bound on the support-vector fraction.
+    engine:
+        A :class:`repro.kernels.GramEngine`; ``None`` uses the shared
+        default engine, so the selection flow's periodic retrains reuse
+        cached Gram blocks.
     """
 
     def __init__(self, kernel=None, nu: float = 0.1, tol: float = 1e-6,
-                 max_iter: int = None):
+                 max_iter: int = None, engine=None):
         self.kernel = kernel
         self.nu = nu
         self.tol = tol
         self.max_iter = max_iter
+        self.engine = engine
 
     def _kernel(self):
         if self.kernel is not None:
@@ -51,6 +56,13 @@ class OneClassSVM(Estimator):
         from ..kernels.vector import RBFKernel
 
         return RBFKernel(gamma=1.0)
+
+    def _engine(self):
+        if self.engine is not None:
+            return self.engine
+        from ..kernels.engine import default_engine
+
+        return default_engine()
 
     # ------------------------------------------------------------------
     def fit(self, X) -> "OneClassSVM":
@@ -60,7 +72,7 @@ class OneClassSVM(Estimator):
         if m == 0:
             raise ValueError("cannot fit on zero samples")
         kernel = self._kernel()
-        K = np.asarray(kernel.matrix(X), dtype=float)
+        K = self._engine().gram(kernel, X)
 
         upper = 1.0 / (self.nu * m)
         # feasible start: uniform weights (satisfies the simplex exactly;
@@ -117,9 +129,7 @@ class OneClassSVM(Estimator):
     def decision_function(self, X) -> np.ndarray:
         """``f(x) = sum_i alpha_i k(x_i, x) - rho``; negative = novel."""
         check_fitted(self, "dual_coef_")
-        K = np.asarray(
-            self.kernel_.cross_matrix(X, self.support_vectors_), dtype=float
-        )
+        K = self._engine().cross_gram(self.kernel_, X, self.support_vectors_)
         return K @ self.dual_coef_ - self.rho_
 
     def predict(self, X) -> np.ndarray:

@@ -38,17 +38,22 @@ class SVC(Estimator, ClassifierMixin):
     max_passes:
         Number of consecutive full sweeps without an update before SMO
         declares convergence.
+    engine:
+        A :class:`repro.kernels.GramEngine` to evaluate Gram matrices
+        through; ``None`` uses the process-wide shared engine (and its
+        cache).
     """
 
     def __init__(self, kernel=None, C: float = 1.0, tol: float = 1e-3,
                  max_passes: int = 5, max_iter: int = 2000,
-                 random_state=None):
+                 random_state=None, engine=None):
         self.kernel = kernel
         self.C = C
         self.tol = tol
         self.max_passes = max_passes
         self.max_iter = max_iter
         self.random_state = random_state
+        self.engine = engine
 
     def _kernel(self):
         if self.kernel is not None:
@@ -56,6 +61,13 @@ class SVC(Estimator, ClassifierMixin):
         from ..kernels.vector import RBFKernel
 
         return RBFKernel(gamma=1.0)
+
+    def _engine(self):
+        if self.engine is not None:
+            return self.engine
+        from ..kernels.engine import default_engine
+
+        return default_engine()
 
     # ------------------------------------------------------------------
     def fit(self, X, y) -> "SVC":
@@ -70,7 +82,7 @@ class SVC(Estimator, ClassifierMixin):
         signs = np.where(y == classes[1], 1.0, -1.0)
 
         kernel = self._kernel()
-        K = np.asarray(kernel.matrix(X), dtype=float)
+        K = self._engine().gram(kernel, X)
         n = len(signs)
         rng = ensure_rng(self.random_state)
 
@@ -146,9 +158,7 @@ class SVC(Estimator, ClassifierMixin):
         check_fitted(self, "dual_coef_")
         if len(self.support_vectors_) == 0:
             return np.full(len(X), self.intercept_)
-        K = np.asarray(
-            self.kernel_.cross_matrix(X, self.support_vectors_), dtype=float
-        )
+        K = self._engine().cross_gram(self.kernel_, X, self.support_vectors_)
         return K @ self.dual_coef_ + self.intercept_
 
     def predict(self, X) -> np.ndarray:

@@ -32,14 +32,18 @@ class SVR(Estimator, RegressorMixin):
         Half-width of the insensitive tube: residuals smaller than
         ``epsilon`` incur no loss, so points inside the tube get zero
         dual weight (sparsity).
+    engine:
+        A :class:`repro.kernels.GramEngine`; ``None`` uses the shared
+        default engine.
     """
 
     def __init__(self, kernel=None, C: float = 1.0, epsilon: float = 0.1,
-                 max_iter: int = 200):
+                 max_iter: int = 200, engine=None):
         self.kernel = kernel
         self.C = C
         self.epsilon = epsilon
         self.max_iter = max_iter
+        self.engine = engine
 
     def _kernel(self):
         if self.kernel is not None:
@@ -47,6 +51,13 @@ class SVR(Estimator, RegressorMixin):
         from ..kernels.vector import RBFKernel
 
         return RBFKernel(gamma=1.0)
+
+    def _engine(self):
+        if self.engine is not None:
+            return self.engine
+        from ..kernels.engine import default_engine
+
+        return default_engine()
 
     def fit(self, X, y) -> "SVR":
         y = as_1d_array(y, dtype=float)
@@ -56,7 +67,7 @@ class SVR(Estimator, RegressorMixin):
         if self.epsilon < 0:
             raise ValueError("epsilon must be non-negative")
         kernel = self._kernel()
-        K = np.asarray(kernel.matrix(X), dtype=float)
+        K = self._engine().gram(kernel, X)
         m = len(y)
         eps = self.epsilon
 
@@ -114,9 +125,7 @@ class SVR(Estimator, RegressorMixin):
         check_fitted(self, "dual_coef_")
         if len(self.support_vectors_) == 0:
             return np.full(len(X), self.intercept_)
-        K = np.asarray(
-            self.kernel_.cross_matrix(X, self.support_vectors_), dtype=float
-        )
+        K = self._engine().cross_gram(self.kernel_, X, self.support_vectors_)
         return K @ self.dual_coef_ + self.intercept_
 
     @property

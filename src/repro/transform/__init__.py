@@ -1,8 +1,8 @@
-"""Data transformations: PCA, ICA, PLS, CCA (Section 2.4 catalogue)."""
+"""Data transformations: PCA (+ kernel PCA), ICA, PLS, CCA (Section 2.4)."""
 
 from .cca import CCA
 from .ica import FastICA
-from .pca import PCA
+from .pca import PCA, KernelPCA
 from .pls import PLSRegression
 
-__all__ = ["CCA", "FastICA", "PCA", "PLSRegression"]
+__all__ = ["CCA", "FastICA", "KernelPCA", "PCA", "PLSRegression"]

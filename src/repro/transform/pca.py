@@ -3,7 +3,10 @@
 PCA explores correlations among the input features to extract
 uncorrelated new features (principal components) — the paper's tool of
 choice for reducing a high-dimensional test-measurement matrix to the
-small outlier space of Fig. 11.
+small outlier space of Fig. 11.  :class:`KernelPCA` is the kernelized
+counterpart: the same analysis in the learning space a kernel defines
+(Fig. 4), so layout histograms and programs get principal components
+too.
 """
 
 from __future__ import annotations
@@ -76,3 +79,95 @@ class PCA(Estimator, TransformerMixin):
         X = as_2d_array(X)
         reconstructed = self.inverse_transform(self.transform(X))
         return float(np.mean((X - reconstructed) ** 2))
+
+
+class KernelPCA(Estimator, TransformerMixin):
+    """PCA in a kernel-induced feature space.
+
+    Works on any sample type the kernel accepts: samples never appear
+    as vectors, only through Gram matrices evaluated by the shared
+    :class:`~repro.kernels.engine.GramEngine`.
+
+    Parameters
+    ----------
+    kernel:
+        A :class:`repro.kernels.Kernel`; defaults to RBF.
+    n_components:
+        Number of leading components to keep.
+    center:
+        Center the Gram matrix in feature space first (standard kernel
+        PCA); disable when the kernel is already centered.
+    engine:
+        A :class:`repro.kernels.GramEngine`; ``None`` uses the shared
+        default engine.
+    """
+
+    def __init__(self, kernel=None, n_components: int = 2,
+                 center: bool = True, engine=None):
+        self.kernel = kernel
+        self.n_components = n_components
+        self.center = center
+        self.engine = engine
+
+    def _kernel(self):
+        if self.kernel is not None:
+            return self.kernel
+        from ..kernels.vector import RBFKernel
+
+        return RBFKernel(gamma=1.0)
+
+    def _engine(self):
+        if self.engine is not None:
+            return self.engine
+        from ..kernels.engine import default_engine
+
+        return default_engine()
+
+    def fit(self, X, y=None) -> "KernelPCA":
+        if self.n_components < 1:
+            raise ValueError("n_components must be at least 1")
+        n = len(X)
+        if n == 0:
+            raise ValueError("cannot fit on zero samples")
+        kernel = self._kernel()
+        K = self._engine().gram(kernel, X)
+        self._row_mean = K.mean(axis=0)
+        self._total_mean = float(K.mean())
+        if self.center:
+            from ..kernels.base import center_gram
+
+            K = center_gram(K)
+        eigenvalues, eigenvectors = np.linalg.eigh(K)
+        order = np.argsort(eigenvalues)[::-1]
+        k = min(self.n_components, n)
+        # keep only numerically positive components: a zero eigenvalue
+        # carries no feature-space direction to project onto
+        keep = [
+            i for i in order[:k] if eigenvalues[i] > 1e-10 * max(
+                1.0, float(eigenvalues[order[0]])
+            )
+        ]
+        if not keep:
+            raise ValueError(
+                "Gram matrix has no positive eigenvalues to project onto"
+            )
+        lambdas = eigenvalues[keep]
+        vectors = eigenvectors[:, keep]
+        self.eigenvalues_ = lambdas
+        # alpha scaled so projections are <Phi(x), v_j> directly
+        self.dual_components_ = vectors / np.sqrt(lambdas)
+        self.X_fit_ = X
+        self.kernel_ = kernel
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "dual_components_")
+        K = self._engine().cross_gram(self.kernel_, X, self.X_fit_)
+        if self.center:
+            K = (
+                K
+                - K.mean(axis=1, keepdims=True)
+                - self._row_mean[None, :]
+                + self._total_mean
+            )
+        return K @ self.dual_components_

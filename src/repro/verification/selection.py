@@ -71,17 +71,23 @@ class NoveltyTestSelector:
         its neighbours under a normalized kernel, so a lexical check on
         unseen 1-grams backstops exactly that blind spot.  (Still purely
         program-side knowledge — no simulator feedback.)
+    engine:
+        A :class:`repro.kernels.GramEngine` shared by every retrain;
+        ``None`` uses the process-wide default engine.  Retrains refit
+        on a growing prefix of the selected tests, so cached Gram blocks
+        from earlier fits keep being reused.
     """
 
     def __init__(self, kernel=None, nu: float = 0.3, threshold: float = 0.0,
                  seed_count: int = 10, retrain_every: int = 10,
-                 lexical_backstop: bool = True):
+                 lexical_backstop: bool = True, engine=None):
         self.kernel = kernel or BlendedSpectrumKernel(max_k=3)
         self.nu = nu
         self.threshold = threshold
         self.seed_count = seed_count
         self.retrain_every = retrain_every
         self.lexical_backstop = lexical_backstop
+        self.engine = engine
         self.selected_tokens: List[list] = []
         self._model: Optional[OneClassSVM] = None
         self._since_retrain = 0
@@ -90,7 +96,9 @@ class NoveltyTestSelector:
         self.n_model_accepts = 0
 
     def _retrain(self) -> None:
-        self._model = OneClassSVM(kernel=self.kernel, nu=self.nu)
+        self._model = OneClassSVM(
+            kernel=self.kernel, nu=self.nu, engine=self.engine
+        )
         self._model.fit(self.selected_tokens)
         self._since_retrain = 0
 

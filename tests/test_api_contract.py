@@ -93,6 +93,7 @@ def _make_registry():
     ]
     transformers = [
         lambda: transform.PCA(n_components=2),
+        lambda: transform.KernelPCA(kernel=RBFKernel(0.5), n_components=2),
         lambda: transform.FastICA(n_components=2, random_state=0),
     ]
     detectors = [

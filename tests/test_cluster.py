@@ -152,6 +152,58 @@ class TestSpectral:
         ).fit(A)
         assert adjusted_rand_index(y, model.labels_) > 0.9
 
+    def test_engine_backed_rbf_matches_seed_inline_affinity(self, three_blobs):
+        X, _ = three_blobs
+        model = SpectralClustering(n_clusters=3, gamma=0.7, random_state=0)
+        # the seed computed this expression inline; the engine-backed
+        # path must reproduce it
+        sq = np.sum(X * X, axis=1)
+        seed_affinity = np.exp(
+            -0.7 * np.clip(sq[:, None] + sq[None, :] - 2.0 * X @ X.T, 0.0, None)
+        )
+        np.testing.assert_allclose(
+            model._affinity_matrix(X), seed_affinity, atol=1e-12
+        )
+
+    def test_fixed_seed_fit_golden_across_refits(self, three_blobs):
+        X, _ = three_blobs
+        first = SpectralClustering(n_clusters=3, random_state=0).fit(X)
+        # second fit reuses the cached Gram block and the same k-means
+        # seed: labels must be identical
+        second = SpectralClustering(n_clusters=3, random_state=0).fit(X)
+        np.testing.assert_array_equal(first.labels_, second.labels_)
+        np.testing.assert_array_equal(first.embedding_, second.embedding_)
+
+    def test_kernel_instance_affinity(self, three_blobs):
+        from repro.kernels import GramEngine, RBFKernel
+
+        X, y = three_blobs
+        engine = GramEngine()
+        model = SpectralClustering(
+            n_clusters=3, affinity=RBFKernel(1.0), random_state=0,
+            engine=engine,
+        ).fit(X)
+        assert adjusted_rand_index(y, model.labels_) > 0.9
+        assert engine.counters.gram_calls == 1
+        string_affinity = SpectralClustering(
+            n_clusters=3, affinity="rbf", gamma=1.0, random_state=0
+        ).fit(X)
+        np.testing.assert_array_equal(
+            model.labels_, string_affinity.labels_
+        )
+
+    def test_sequence_samples_cluster_via_kernel_affinity(self):
+        from repro.kernels import SpectrumKernel
+
+        programs = [["LD", "ST"] * 8 for _ in range(10)] + [
+            ["MUL", "DIV"] * 8 for _ in range(10)
+        ]
+        truth = np.repeat([0, 1], 10)
+        model = SpectralClustering(
+            n_clusters=2, affinity=SpectrumKernel(k=2), random_state=0
+        ).fit(programs)
+        assert adjusted_rand_index(truth, model.labels_) == pytest.approx(1.0)
+
 
 class TestMeanShift:
     def test_discovers_modes(self, three_blobs):

@@ -1,0 +1,223 @@
+"""Property-based suite applied to every exported kernel.
+
+Section 2.2 makes kernels the single interface between algorithms and
+data, so each one must honour the Gram-matrix contract everywhere:
+
+- ``matrix`` is symmetric;
+- the Gram matrix satisfies Mercer's condition (PSD) for every kernel
+  documented as PSD;
+- the vectorized ``matrix`` fast path agrees with the naive pairwise
+  ``__call__`` loop;
+- ``cross_matrix(A, A)`` agrees with ``matrix(A)``;
+- the :class:`GramEngine` blockwise path agrees with both;
+- structurally equal kernels share ``cache_key``/``hash`` (the property
+  any kernel-keyed cache relies on).
+
+Cases span all three sample types: real vectors, histograms, and token
+sequences (assembly programs).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    BlendedSpectrumKernel,
+    ChiSquaredKernel,
+    GramEngine,
+    HistogramIntersectionKernel,
+    Kernel,
+    LaplacianKernel,
+    LinearKernel,
+    NormalizedKernel,
+    PolynomialKernel,
+    PrecomputedKernel,
+    ProductKernel,
+    RBFKernel,
+    ScaledKernel,
+    SigmoidKernel,
+    SpectrumKernel,
+    SumKernel,
+    is_positive_semidefinite,
+)
+
+# ---------------------------------------------------------------------
+# Sample generators, one per sample type
+# ---------------------------------------------------------------------
+
+
+def vector_samples(rng, n):
+    return rng.normal(size=(n, 4))
+
+
+def histogram_samples(rng, n):
+    return rng.uniform(0.0, 1.0, size=(n, 8))
+
+
+def sequence_samples(rng, n):
+    vocabulary = ["LD", "ST", "ADD", "SUB", "MUL", "CMP", "BR", "SYNC"]
+    return [
+        [vocabulary[i] for i in rng.integers(0, len(vocabulary), size=length)]
+        for length in rng.integers(12, 30, size=n)
+    ]
+
+
+def index_samples(rng, n):
+    return list(range(n))
+
+
+def _precomputed(n=24):
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(n, 5))
+    return PrecomputedKernel(X @ X.T)
+
+
+# (case id, kernel factory, sample generator, expect PSD)
+# SigmoidKernel is the library's documented non-Mercer kernel, so its
+# Gram matrices are only checked for symmetry/consistency, not PSD.
+KERNEL_CASES = [
+    ("linear/vector", lambda: LinearKernel(), vector_samples, True),
+    ("poly2/vector", lambda: PolynomialKernel(degree=2, coef0=1.0),
+     vector_samples, True),
+    ("poly3/vector", lambda: PolynomialKernel(degree=3, gamma=0.5, coef0=0.5),
+     vector_samples, True),
+    ("rbf/vector", lambda: RBFKernel(gamma=0.7), vector_samples, True),
+    ("laplacian/vector", lambda: LaplacianKernel(gamma=0.4),
+     vector_samples, True),
+    ("sigmoid/vector", lambda: SigmoidKernel(gamma=0.01, coef0=0.1),
+     vector_samples, False),
+    ("hi/histogram", lambda: HistogramIntersectionKernel(),
+     histogram_samples, True),
+    ("hi-raw/histogram", lambda: HistogramIntersectionKernel(normalize=False),
+     histogram_samples, True),
+    ("chi2/histogram", lambda: ChiSquaredKernel(gamma=0.8),
+     histogram_samples, True),
+    ("spectrum2/sequence", lambda: SpectrumKernel(k=2), sequence_samples, True),
+    ("spectrum1-raw/sequence", lambda: SpectrumKernel(k=1, normalize=False),
+     sequence_samples, True),
+    ("blended/sequence", lambda: BlendedSpectrumKernel(max_k=3, decay=0.5),
+     sequence_samples, True),
+    ("sum/vector", lambda: SumKernel(
+        [RBFKernel(0.5), LinearKernel()], weights=[0.7, 0.3]),
+     vector_samples, True),
+    ("product/vector", lambda: ProductKernel(
+        [RBFKernel(0.3), PolynomialKernel(degree=2, coef0=1.0)]),
+     vector_samples, True),
+    ("scaled/vector", lambda: ScaledKernel(RBFKernel(0.5), 2.5),
+     vector_samples, True),
+    ("normalized/vector", lambda: NormalizedKernel(
+        PolynomialKernel(degree=2, coef0=1.0)),
+     vector_samples, True),
+    ("normalized/sequence", lambda: NormalizedKernel(
+        SpectrumKernel(k=2, normalize=False)),
+     sequence_samples, True),
+    ("precomputed/index", _precomputed, index_samples, True),
+]
+
+CASE_IDS = [case[0] for case in KERNEL_CASES]
+
+
+@pytest.fixture(params=KERNEL_CASES, ids=CASE_IDS)
+def kernel_case(request):
+    case_id, factory, sampler, expect_psd = request.param
+    rng = np.random.default_rng(abs(hash(case_id)) % 2**31)
+    return factory(), sampler(rng, 18), sampler(rng, 7), expect_psd
+
+
+class TestGramContract:
+    def test_matrix_symmetric(self, kernel_case):
+        kernel, samples, _, _ = kernel_case
+        K = kernel.matrix(samples)
+        assert K.shape == (len(samples), len(samples))
+        np.testing.assert_allclose(K, K.T, atol=1e-10)
+
+    def test_mercer_psd(self, kernel_case):
+        kernel, samples, _, expect_psd = kernel_case
+        if not expect_psd:
+            pytest.skip("kernel is documented as non-Mercer")
+        assert is_positive_semidefinite(kernel.matrix(samples))
+
+    def test_matrix_equals_naive_pairwise_loop(self, kernel_case):
+        kernel, samples, _, _ = kernel_case
+        fast = kernel.matrix(samples)
+        naive = Kernel.matrix(kernel, samples)
+        np.testing.assert_allclose(fast, naive, atol=1e-10)
+
+    def test_cross_matrix_self_equals_matrix(self, kernel_case):
+        kernel, samples, _, _ = kernel_case
+        np.testing.assert_allclose(
+            kernel.cross_matrix(samples, samples),
+            kernel.matrix(samples),
+            atol=1e-10,
+        )
+
+    def test_cross_matrix_equals_naive_loop(self, kernel_case):
+        kernel, samples, probes, _ = kernel_case
+        fast = kernel.cross_matrix(probes, samples)
+        naive = Kernel.cross_matrix(kernel, probes, samples)
+        assert fast.shape == (len(probes), len(samples))
+        np.testing.assert_allclose(fast, naive, atol=1e-10)
+
+    def test_engine_blockwise_agrees(self, kernel_case):
+        kernel, samples, probes, _ = kernel_case
+        engine = GramEngine(block_size=5)
+        np.testing.assert_allclose(
+            engine.gram(kernel, samples), kernel.matrix(samples), atol=1e-10
+        )
+        np.testing.assert_allclose(
+            engine.cross_gram(kernel, probes, samples),
+            kernel.cross_matrix(probes, samples),
+            atol=1e-10,
+        )
+
+
+class TestStructuralIdentity:
+    @pytest.mark.parametrize(
+        "case", KERNEL_CASES, ids=CASE_IDS
+    )
+    def test_rebuilt_kernel_is_same_cache_entry(self, case):
+        _, factory, _, _ = case
+        a, b = factory(), factory()
+        assert a == b
+        assert a.cache_key() == b.cache_key()
+        assert hash(a) == hash(b)
+        assert {a: "entry"}[b] == "entry"
+
+    def test_different_hyperparameters_change_key(self):
+        assert RBFKernel(0.5).cache_key() != RBFKernel(0.7).cache_key()
+        assert (
+            SpectrumKernel(k=2).cache_key() != SpectrumKernel(k=3).cache_key()
+        )
+        assert (
+            PolynomialKernel(2, coef0=0.0).cache_key()
+            != PolynomialKernel(2, coef0=1.0).cache_key()
+        )
+
+    def test_different_kernel_types_never_collide(self):
+        # same __dict__ shape (a single gamma), different semantics
+        assert RBFKernel(0.5).cache_key() != LaplacianKernel(0.5).cache_key()
+
+    def test_nested_kernel_parameters_reach_the_key(self):
+        shallow = ScaledKernel(RBFKernel(0.5), 2.0)
+        deep = ScaledKernel(RBFKernel(0.9), 2.0)
+        assert shallow.cache_key() != deep.cache_key()
+        assert ScaledKernel(RBFKernel(0.5), 2.0) == shallow
+        assert hash(ScaledKernel(RBFKernel(0.5), 2.0)) == hash(shallow)
+
+    def test_precomputed_matrix_content_reaches_the_key(self):
+        K = np.eye(4)
+        other = np.eye(4)
+        other[0, 0] = 2.0
+        assert (
+            PrecomputedKernel(K).cache_key()
+            == PrecomputedKernel(np.eye(4)).cache_key()
+        )
+        assert (
+            PrecomputedKernel(K).cache_key()
+            != PrecomputedKernel(other).cache_key()
+        )
+
+    def test_mutating_a_kernel_changes_its_key(self):
+        kernel = RBFKernel(0.5)
+        before = kernel.cache_key()
+        kernel.gamma = 0.9
+        assert kernel.cache_key() != before

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.kernels import LinearKernel, PolynomialKernel, RBFKernel
+from repro.kernels import GramEngine, LinearKernel, PolynomialKernel, RBFKernel
 from repro.learn import SVC
 
 
@@ -129,3 +129,77 @@ class TestKernelPluggability:
             kernel=SpectrumKernel(k=2), C=1.0, random_state=0
         ).fit(programs, y)
         assert model.score(programs, y) == 1.0
+
+
+class TestGramEngineRegression:
+    """Engine-backed fits must reproduce the seed implementation, which
+    computed ``K = kernel.matrix(X)`` directly."""
+
+    def test_engine_gram_bitwise_matches_seed_path(self, blobs):
+        X, _ = blobs
+        kernel = RBFKernel(0.5)
+        # the seed's K was kernel.matrix(X); a single-block engine call
+        # must reproduce it bitwise
+        assert np.array_equal(GramEngine().gram(kernel, X), kernel.matrix(X))
+
+    def test_fixed_seed_fit_predict_golden(self, blobs):
+        X, y = blobs
+        # seed-path reference: no cache, whole-matrix block → fit sees
+        # exactly the K the seed implementation saw
+        seed_path = SVC(
+            kernel=RBFKernel(0.5), C=1.0, random_state=0,
+            engine=GramEngine(block_size=4096, cache_bytes=0),
+        ).fit(X, y)
+        engine_backed = SVC(
+            kernel=RBFKernel(0.5), C=1.0, random_state=0,
+            engine=GramEngine(),
+        ).fit(X, y)
+        np.testing.assert_array_equal(
+            seed_path.support_indices_, engine_backed.support_indices_
+        )
+        np.testing.assert_array_equal(
+            seed_path.dual_coef_, engine_backed.dual_coef_
+        )
+        assert seed_path.intercept_ == engine_backed.intercept_
+        np.testing.assert_array_equal(
+            seed_path.decision_function(X), engine_backed.decision_function(X)
+        )
+        np.testing.assert_array_equal(
+            seed_path.predict(X), engine_backed.predict(X)
+        )
+
+    def test_cached_refit_is_bitwise_deterministic(self, blobs):
+        X, y = blobs
+        engine = GramEngine()
+        first = SVC(kernel=RBFKernel(0.5), C=1.0, random_state=0,
+                    engine=engine).fit(X, y)
+        hits_before = engine.counters.cache_hits
+        second = SVC(kernel=RBFKernel(0.5), C=1.0, random_state=0,
+                     engine=engine).fit(X, y)
+        assert engine.counters.cache_hits > hits_before
+        np.testing.assert_array_equal(first.alpha_, second.alpha_)
+        np.testing.assert_array_equal(
+            first.decision_function(X), second.decision_function(X)
+        )
+
+    def test_blocked_fit_matches_whole_matrix_fit(self, blobs):
+        X, y = blobs
+        whole = SVC(kernel=RBFKernel(0.5), C=1.0, random_state=0,
+                    engine=GramEngine(block_size=4096)).fit(X, y)
+        blocked = SVC(kernel=RBFKernel(0.5), C=1.0, random_state=0,
+                      engine=GramEngine(block_size=16)).fit(X, y)
+        np.testing.assert_array_equal(whole.predict(X), blocked.predict(X))
+        np.testing.assert_allclose(
+            whole.decision_function(X), blocked.decision_function(X),
+            atol=1e-8,
+        )
+
+    def test_grid_search_over_C_shares_gram_blocks(self, blobs):
+        X, y = blobs
+        engine = GramEngine()
+        for C in (0.1, 1.0, 10.0):
+            SVC(kernel=RBFKernel(0.5), C=C, random_state=0,
+                engine=engine).fit(X, y)
+        # one symmetric block computed, reused by the other two fits
+        assert engine.counters.cache_misses == 1
+        assert engine.counters.cache_hits == 2

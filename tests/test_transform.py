@@ -1,9 +1,75 @@
-"""Tests for PCA, ICA, PLS, and CCA."""
+"""Tests for PCA, kernel PCA, ICA, PLS, and CCA."""
 
 import numpy as np
 import pytest
 
-from repro.transform import CCA, FastICA, PCA, PLSRegression
+from repro.transform import CCA, FastICA, KernelPCA, PCA, PLSRegression
+
+
+class TestKernelPCA:
+    def test_linear_kernel_recovers_pca_scores(self, rng):
+        from repro.kernels import LinearKernel
+
+        X = rng.normal(size=(60, 4))
+        pca_scores = PCA(n_components=2).fit_transform(X)
+        kpca_scores = KernelPCA(
+            kernel=LinearKernel(), n_components=2
+        ).fit_transform(X)
+        # equal up to per-component sign
+        for j in range(2):
+            err_same = np.abs(kpca_scores[:, j] - pca_scores[:, j]).max()
+            err_flip = np.abs(kpca_scores[:, j] + pca_scores[:, j]).max()
+            assert min(err_same, err_flip) < 1e-8
+
+    def test_rbf_embedding_separates_rings(self, rings):
+        from repro.kernels import RBFKernel
+
+        X, y = rings
+        embedding = KernelPCA(
+            kernel=RBFKernel(gamma=1.0), n_components=2
+        ).fit_transform(X)
+        # the first kernel components encode radius: a simple threshold
+        # on the first coordinate should separate the classes (Fig. 3
+        # geometry made linear by the kernel)
+        inner = embedding[y == 0, 0]
+        outer = embedding[y == 1, 0]
+        assert (inner.min() > outer.max()) or (outer.min() > inner.max())
+
+    def test_sequence_samples_embed(self):
+        from repro.kernels import SpectrumKernel
+
+        programs = [["LD", "ST"] * 6 for _ in range(8)] + [
+            ["MUL", "DIV"] * 6 for _ in range(8)
+        ]
+        embedding = KernelPCA(
+            kernel=SpectrumKernel(k=2), n_components=1
+        ).fit_transform(programs)
+        first, second = embedding[:8, 0], embedding[8:, 0]
+        assert (first.max() < second.min()) or (second.max() < first.min())
+
+    def test_transform_consistent_with_fit_transform(self, rng):
+        from repro.kernels import RBFKernel
+
+        X = rng.normal(size=(30, 3))
+        model = KernelPCA(kernel=RBFKernel(0.5), n_components=3)
+        direct = model.fit_transform(X)
+        np.testing.assert_allclose(direct, model.transform(X), atol=1e-8)
+
+    def test_engine_cache_shared_between_fit_and_transform(self, rng):
+        from repro.kernels import GramEngine, RBFKernel
+
+        X = rng.normal(size=(25, 3))
+        engine = GramEngine()
+        model = KernelPCA(kernel=RBFKernel(0.5), n_components=2,
+                          engine=engine)
+        model.fit(X)
+        assert engine.counters.cache_misses == 1
+        model.fit(X)  # identical data: served from cache
+        assert engine.counters.cache_hits == 1
+
+    def test_rejects_bad_n_components(self, rng):
+        with pytest.raises(ValueError):
+            KernelPCA(n_components=0).fit(rng.normal(size=(10, 2)))
 
 
 class TestPCA:
