@@ -5,16 +5,27 @@ Walks the concepts of the paper's Section 2 on synthetic data:
 1. a Fig. 1 dataset and train/test methodology;
 2. the four basic ideas of Section 2.1 on one classification problem;
 3. the kernel trick (Fig. 3): one SVM, two learning spaces;
-4. overfitting and regularization (Fig. 5 / Section 2.3).
+4. overfitting and regularization (Fig. 5 / Section 2.3);
+5. instrumented, parallel model selection over a pipeline with nested
+   hyper-parameters (Section 2.3's selection problem done properly).
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.core import Dataset, StandardScaler, complexity_curve, train_test_split
+from repro.core import (
+    Dataset,
+    EventLog,
+    GridSearchCV,
+    KFold,
+    Pipeline,
+    StandardScaler,
+    complexity_curve,
+    train_test_split,
+)
 from repro.flows import format_table
-from repro.kernels import LinearKernel, PolynomialKernel
+from repro.kernels import LinearKernel, PolynomialKernel, RBFKernel
 from repro.learn import (
     SVC,
     DecisionTreeClassifier,
@@ -118,11 +129,48 @@ def section_4_overfitting():
           f"overfitting detected past it: {curve.overfitting_detected()}")
 
 
+def section_5_model_selection(train, test):
+    print()
+    print("=" * 70)
+    print("5. Grid search over a pipeline, nested params, full trace")
+    print("=" * 70)
+    log = EventLog()
+    search = GridSearchCV(
+        Pipeline(
+            [("scale", StandardScaler()),
+             ("svc", SVC(kernel=RBFKernel(1.0), random_state=0))]
+        ),
+        {"svc__C": [0.5, 2.0], "svc__kernel__gamma": [0.1, 1.0]},
+        cv=KFold(3, shuffle=True, random_state=0),
+        backend="thread",
+        event_log=log,
+    )
+    search.fit(train.X, train.y)
+    rows = [
+        [str(params), f"{mean:.3f}", rank]
+        for params, mean, rank in zip(
+            search.cv_results_["params"],
+            search.cv_results_["mean_test_score"],
+            search.cv_results_["rank_test_score"],
+        )
+    ]
+    print(format_table(["candidate", "mean CV accuracy", "rank"], rows))
+    print(f"best: {search.best_params_}  "
+          f"(CV {search.best_score_:.3f}, "
+          f"test {search.score(test.X, test.y):.3f})")
+    summary = log.summary()
+    print(f"trace: {len(log)} spans; "
+          f"{summary['fit']['count']} fits took "
+          f"{summary['fit']['total_seconds'] * 1e3:.0f} ms total "
+          f"on the {search.backend_name_!r} backend")
+
+
 def main():
     train, test = section_1_dataset()
     section_2_basic_ideas(train, test)
     section_3_kernel_trick()
     section_4_overfitting()
+    section_5_model_selection(train, test)
 
 
 if __name__ == "__main__":

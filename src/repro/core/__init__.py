@@ -1,9 +1,11 @@
-"""Core framework: datasets, estimator protocol, metrics, validation."""
+"""Core framework: datasets, estimator protocol, metrics, validation,
+parallel execution, and instrumentation."""
 
 from .base import (
     ClassifierMixin,
     ClusterMixin,
     Estimator,
+    ParamsAPI,
     RegressorMixin,
     TransformerMixin,
     clone,
@@ -14,6 +16,16 @@ from .exceptions import (
     DataShapeError,
     NotFittedError,
     ReproError,
+    WorkerError,
+)
+from .instrument import EventLog, Span, recording
+from .parallel import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    get_backend,
 )
 from .pipeline import Pipeline
 from .preprocessing import (
@@ -25,11 +37,14 @@ from .preprocessing import (
 from .rng import ensure_rng, spawn_rng
 from .validation import (
     ComplexityCurve,
+    GridSearchCV,
     KFold,
     LearningCurve,
+    ParameterGrid,
     StratifiedKFold,
     complexity_curve,
     cross_val_score,
+    cross_validate,
     grid_search,
     learning_curve,
     train_test_split,
@@ -43,24 +58,38 @@ __all__ = [
     "DataShapeError",
     "Dataset",
     "Estimator",
+    "EventLog",
+    "ExecutionBackend",
+    "GridSearchCV",
     "KFold",
     "LearningCurve",
     "MinMaxScaler",
     "NotFittedError",
+    "ParameterGrid",
+    "ParamsAPI",
     "Pipeline",
+    "ProcessBackend",
     "RegressorMixin",
     "ReproError",
     "RobustScaler",
+    "SerialBackend",
     "SimpleImputer",
+    "Span",
     "StandardScaler",
     "StratifiedKFold",
+    "ThreadBackend",
     "TransformerMixin",
+    "WorkerError",
+    "available_backends",
     "clone",
     "complexity_curve",
     "cross_val_score",
+    "cross_validate",
     "ensure_rng",
+    "get_backend",
     "grid_search",
     "learning_curve",
+    "recording",
     "spawn_rng",
     "train_test_split",
 ]

@@ -9,6 +9,14 @@ All learning machines in the library follow the same small protocol:
   selection utilities (grid search, cross-validation) can clone and
   reconfigure estimators generically.
 
+Parameters are addressable *through* composite objects with the
+``outer__inner`` grammar: ``pipeline.set_params(svc__C=10)`` routes
+``C=10`` to the pipeline step named ``svc``, and
+``svc.set_params(kernel__gamma=0.5)`` routes ``gamma`` into the SVC's
+kernel.  Any parameter value that itself exposes ``get_params`` /
+``set_params`` (wrapper estimators, pipelines, kernels) participates,
+to arbitrary depth.
+
 This mirrors the separation Fig. 4 of the paper draws between a learning
 algorithm and the data access path: the estimator object is the
 algorithm; data only flows through ``fit``.
@@ -23,12 +31,17 @@ import numpy as np
 
 from .exceptions import DataShapeError, NotFittedError
 
+# sentinel distinguishing "attribute absent" from "attribute set to a
+# falsy value" in check_fitted
+_UNSET = object()
 
-class Estimator:
-    """Base class providing the hyper-parameter API.
+
+class ParamsAPI:
+    """Shared hyper-parameter machinery for estimators and kernels.
 
     Subclasses must store every constructor argument on ``self`` under
-    the same name and perform no work in ``__init__``.
+    the same name and perform no work (beyond validation/coercion) in
+    ``__init__``.
     """
 
     @classmethod
@@ -41,36 +54,106 @@ class Estimator:
             and param.kind not in (param.VAR_POSITIONAL, param.VAR_KEYWORD)
         ]
 
-    def get_params(self) -> dict:
-        """Return hyper-parameters as a ``{name: value}`` dict."""
-        return {name: getattr(self, name) for name in self._param_names()}
+    def _nested_targets(self) -> dict:
+        """Sub-objects addressable with the ``name__param`` grammar.
 
-    def set_params(self, **params) -> "Estimator":
-        """Set hyper-parameters; unknown names raise ``ValueError``."""
-        valid = set(self._param_names())
-        for name, value in params.items():
-            if name not in valid:
-                raise ValueError(
-                    f"{type(self).__name__} has no parameter {name!r}; "
-                    f"valid parameters are {sorted(valid)}"
-                )
-            setattr(self, name, value)
+        The default exposes every parameter value that itself implements
+        ``get_params``; composites (e.g. ``Pipeline``) override to add
+        their own naming scheme.
+        """
+        targets = {}
+        for name in self._param_names():
+            value = getattr(self, name, None)
+            if _has_params(value):
+                targets[name] = value
+        return targets
+
+    def get_params(self, deep: bool = True) -> dict:
+        """Return hyper-parameters as a ``{name: value}`` dict.
+
+        With ``deep=True`` (the default) the dict additionally contains
+        one ``target__subparam`` entry for every parameter of every
+        nested target, recursively — the exact names ``set_params`` and
+        grid-search specifications accept.
+        """
+        out = {name: getattr(self, name) for name in self._param_names()}
+        if deep:
+            for prefix, target in self._nested_targets().items():
+                out.setdefault(prefix, target)
+                for key, value in target.get_params(deep=True).items():
+                    out[f"{prefix}__{key}"] = value
+        return out
+
+    def _set_simple_param(self, name: str, value) -> None:
+        if name not in set(self._param_names()):
+            raise ValueError(
+                f"{type(self).__name__} has no parameter {name!r}; "
+                f"valid parameters are {sorted(self._param_names())}"
+            )
+        setattr(self, name, value)
+
+    def set_params(self, **params) -> "ParamsAPI":
+        """Set hyper-parameters; unknown names raise ``ValueError``.
+
+        Nested parameters use the ``target__param`` grammar and may be
+        mixed freely with direct ones; direct assignments are applied
+        first, so ``set_params(kernel=k, kernel__gamma=0.1)`` configures
+        the *new* kernel.
+        """
+        if not params:
+            return self
+        nested: dict = {}
+        for name in sorted(params, key=lambda key: "__" in key):
+            value = params[name]
+            head, delim, tail = name.partition("__")
+            if delim:
+                nested.setdefault(head, {})[tail] = value
+            else:
+                self._set_simple_param(name, value)
+        if nested:
+            targets = self._nested_targets()
+            for head, sub in nested.items():
+                target = targets.get(head)
+                if target is None:
+                    raise ValueError(
+                        f"{type(self).__name__} has no nested parameter "
+                        f"target {head!r}; valid targets are "
+                        f"{sorted(targets)}"
+                    )
+                target.set_params(**sub)
         return self
 
     def __repr__(self):
-        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        params = ", ".join(
+            f"{k}={v!r}" for k, v in self.get_params(deep=False).items()
+        )
         return f"{type(self).__name__}({params})"
+
+
+def _has_params(value) -> bool:
+    """True for instances (not classes) exposing the parameter API."""
+    return not isinstance(value, type) and hasattr(value, "get_params") \
+        and hasattr(value, "set_params")
+
+
+class Estimator(ParamsAPI):
+    """Base class providing the hyper-parameter API for learners."""
 
     def __eq__(self, other):
         """Structural equality on hyper-parameters (not fitted state).
 
         Lets clones compare equal to their prototypes, including through
-        nested estimators (wrappers) and kernels.
+        nested estimators (wrappers) and kernels.  Instances of
+        *different* estimator classes — including subclasses — compare
+        unequal symmetrically; only non-estimators defer with
+        ``NotImplemented``.
         """
-        if type(self) is not type(other):
+        if not isinstance(other, Estimator):
             return NotImplemented
-        mine = self.get_params()
-        theirs = other.get_params()
+        if type(self) is not type(other):
+            return False
+        mine = self.get_params(deep=False)
+        theirs = other.get_params(deep=False)
         if set(mine) != set(theirs):
             return False
         for key, value in mine.items():
@@ -88,17 +171,44 @@ class Estimator:
     __hash__ = object.__hash__
 
 
-def clone(estimator: Estimator) -> Estimator:
-    """Return an unfitted copy of *estimator* with identical parameters."""
-    params = {k: copy.deepcopy(v) for k, v in estimator.get_params().items()}
+def _clone_value(value):
+    """Clone one parameter value: recurse through the parameter API and
+    common containers, deep-copy everything else."""
+    if _has_params(value):
+        return clone(value)
+    if isinstance(value, (list, tuple)):
+        return type(value)(_clone_value(item) for item in value)
+    if isinstance(value, dict):
+        return {k: _clone_value(v) for k, v in value.items()}
+    return copy.deepcopy(value)
+
+
+def clone(estimator):
+    """Return an unfitted copy of *estimator* with identical parameters.
+
+    Nested estimators, pipelines, and kernels held as parameter values
+    are themselves cloned recursively (so no fitted state — and no
+    shared mutable hyper-parameter — leaks between prototype and copy).
+    """
+    params = {
+        k: _clone_value(v)
+        for k, v in estimator.get_params(deep=False).items()
+    }
     return type(estimator)(**params)
 
 
 def check_fitted(estimator, attributes) -> None:
-    """Raise :class:`NotFittedError` unless all *attributes* exist."""
+    """Raise :class:`NotFittedError` unless all *attributes* are set.
+
+    An attribute assigned any value by ``fit`` — including falsy ones
+    such as ``0.0``, ``[]``, or ``None`` — counts as present; only a
+    genuinely absent attribute marks the estimator unfitted.
+    """
     if isinstance(attributes, str):
         attributes = [attributes]
-    missing = [a for a in attributes if getattr(estimator, a, None) is None]
+    missing = [
+        a for a in attributes if getattr(estimator, a, _UNSET) is _UNSET
+    ]
     if missing:
         raise NotFittedError(
             f"{type(estimator).__name__} is not fitted yet "

@@ -15,3 +15,15 @@ class ConvergenceWarning(UserWarning):
 
 class DataShapeError(ReproError, ValueError):
     """Raised when input arrays have inconsistent or invalid shapes."""
+
+
+class WorkerError(ReproError):
+    """Raised when a parallel task keeps failing after its retry budget.
+
+    The original exception is chained as ``__cause__``; ``task_index``
+    identifies the failing task in submission order.
+    """
+
+    def __init__(self, message: str, task_index: int = -1):
+        super().__init__(message)
+        self.task_index = task_index

@@ -1,0 +1,241 @@
+"""Observability layer: structured spans for fit/predict/score work.
+
+Section 1 of the paper insists a mining methodology must not cost its
+user more than the problem itself — which, at production scale, means
+the runtime has to *account* for where its time goes.  This module
+provides that accounting:
+
+- :class:`Span` — one timed unit of work (a fit, a predict, a score, a
+  whole grid search) with wall time, sample counts, free-form metadata,
+  and optionally the :class:`~repro.kernels.engine.GramEngine` counter
+  delta attributed to it;
+- :class:`EventLog` — a thread-safe, append-only collection of spans
+  with aggregation helpers;
+- module-level **hooks** (:func:`recording`, :func:`span`,
+  :func:`emit`) through which *any* estimator can emit spans into
+  whichever log is active, without holding a reference to it.  Code
+  that emits when no log is active costs almost nothing.
+
+``EventLog`` deliberately deep-copies and pickles as a no-op identity /
+fresh log: like the Gram engine, a log is shared infrastructure, not a
+hyper-parameter value, so ``clone()`` of an instrumented estimator must
+not fork it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "EventLog",
+    "recording",
+    "current_log",
+    "span",
+    "emit",
+]
+
+
+@dataclass
+class Span:
+    """One structured unit of timed work."""
+
+    name: str
+    label: str = ""
+    seconds: float = 0.0
+    started_at: float = 0.0
+    n_samples: Optional[int] = None
+    meta: Dict = field(default_factory=dict)
+    gram: Optional[Dict] = None
+
+    def as_dict(self) -> dict:
+        record = {
+            "name": self.name,
+            "label": self.label,
+            "seconds": self.seconds,
+            "started_at": self.started_at,
+            "n_samples": self.n_samples,
+            "meta": dict(self.meta),
+        }
+        if self.gram is not None:
+            record["gram"] = dict(self.gram)
+        return record
+
+
+class EventLog:
+    """Thread-safe append-only log of :class:`Span` records."""
+
+    def __init__(self):
+        self._spans: List[Span] = []
+        self._lock = threading.Lock()
+
+    # logs are shared infrastructure: cloning an estimator configured
+    # with a log must keep emitting into the same log, and a log
+    # crossing a process boundary starts empty (spans are shipped back
+    # explicitly by the model-selection runtime, not via pickle)
+    def __deepcopy__(self, memo) -> "EventLog":
+        return self
+
+    def __getstate__(self) -> dict:
+        return {}
+
+    def __setstate__(self, state) -> None:
+        self.__init__()
+
+    # ------------------------------------------------------------------
+    def append(self, span: Span) -> Span:
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    def emit(self, name: str, seconds: float, label: str = "",
+             n_samples: Optional[int] = None, gram: Optional[Dict] = None,
+             started_at: Optional[float] = None, **meta) -> Span:
+        """Record an already-timed span directly."""
+        return self.append(
+            Span(
+                name=name,
+                label=label,
+                seconds=float(seconds),
+                started_at=(
+                    time.time() - seconds if started_at is None
+                    else started_at
+                ),
+                n_samples=n_samples,
+                meta=meta,
+                gram=gram,
+            )
+        )
+
+    @contextmanager
+    def span(self, name: str, label: str = "",
+             n_samples: Optional[int] = None, engine=None, **meta):
+        """Time a block of work and record it as a span.
+
+        When *engine* (a ``GramEngine``) is given, the span additionally
+        captures the engine counter delta across the block — cache
+        hits, fresh pair evaluations, kernel compute seconds — so cost
+        can be attributed per candidate or per fold.
+        """
+        before = engine.counters_snapshot() if engine is not None else None
+        started_at = time.time()
+        start = time.perf_counter()
+        record = Span(
+            name=name, label=label, n_samples=n_samples,
+            started_at=started_at, meta=meta,
+        )
+        try:
+            yield record
+        finally:
+            record.seconds = time.perf_counter() - start
+            if before is not None:
+                record.gram = engine.counters_snapshot().delta(
+                    before
+                ).as_dict()
+            self.append(record)
+
+    # ------------------------------------------------------------------
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        with self._lock:
+            if name is None:
+                return list(self._spans)
+            return [s for s in self._spans if s.name == name]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def total_seconds(self, name: Optional[str] = None) -> float:
+        return float(sum(s.seconds for s in self.spans(name)))
+
+    def summary(self) -> Dict[str, dict]:
+        """Aggregate spans by name: count, total/mean seconds, samples."""
+        out: Dict[str, dict] = {}
+        for s in self.spans():
+            entry = out.setdefault(
+                s.name,
+                {"count": 0, "total_seconds": 0.0, "n_samples": 0},
+            )
+            entry["count"] += 1
+            entry["total_seconds"] += s.seconds
+            if s.n_samples:
+                entry["n_samples"] += s.n_samples
+        for entry in out.values():
+            entry["mean_seconds"] = entry["total_seconds"] / entry["count"]
+        return out
+
+    def as_records(self) -> List[dict]:
+        return [s.as_dict() for s in self.spans()]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __repr__(self):
+        return f"EventLog({len(self)} spans)"
+
+
+# ---------------------------------------------------------------------
+# Ambient hooks: estimators emit into whichever log is active
+# ---------------------------------------------------------------------
+
+_active = threading.local()
+
+
+def _stack() -> List[EventLog]:
+    stack = getattr(_active, "stack", None)
+    if stack is None:
+        stack = _active.stack = []
+    return stack
+
+
+def current_log() -> Optional[EventLog]:
+    """The innermost active :class:`EventLog` on this thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def recording(log: EventLog):
+    """Make *log* the active log for the duration of the block.
+
+    Nested ``recording`` blocks stack; estimators emitting through
+    :func:`span`/:func:`emit` land in the innermost log.
+    """
+    stack = _stack()
+    stack.append(log)
+    try:
+        yield log
+    finally:
+        stack.pop()
+
+
+@contextmanager
+def span(name: str, label: str = "", n_samples: Optional[int] = None,
+         engine=None, **meta):
+    """Emit a timed span into the active log; no-op without one.
+
+    This is the hook estimator code uses: wrapping work in
+    ``with instrument.span("fit", label=...)`` costs one attribute
+    lookup when no log is active and records a full span when one is.
+    """
+    log = current_log()
+    if log is None:
+        yield None
+        return
+    with log.span(
+        name, label=label, n_samples=n_samples, engine=engine, **meta
+    ) as record:
+        yield record
+
+
+def emit(name: str, seconds: float, **kwargs) -> Optional[Span]:
+    """Record a pre-timed span into the active log; no-op without one."""
+    log = current_log()
+    if log is None:
+        return None
+    return log.emit(name, seconds, **kwargs)

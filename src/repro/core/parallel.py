@@ -1,0 +1,266 @@
+"""Pluggable execution backends for embarrassingly parallel work.
+
+Model selection — grid search, cross-validation, complexity and
+learning curves — reduces to running many independent ``fit``/``score``
+tasks.  This module supplies the runtime those utilities fan tasks onto:
+
+- :class:`SerialBackend` — in-process loop, zero overhead, the default;
+- :class:`ThreadBackend` — a thread pool; effective whenever the work
+  releases the GIL (NumPy linear algebra, the Gram engine's vectorized
+  block paths);
+- :class:`ProcessBackend` — a process pool for pure-Python hot loops
+  (SMO, tree induction); task functions and payloads must be picklable.
+
+All backends share one contract, built on :mod:`concurrent.futures`
+only (no ``joblib``):
+
+- **Deterministic ordering.**  ``map`` returns results in submission
+  order no matter which worker finished first, so downstream
+  aggregation (best-candidate selection, curve assembly) is identical
+  across backends.
+- **Per-task seeding.**  ``map(..., seed=s)`` derives one independent
+  child seed per task from a single :class:`numpy.random.SeedSequence`,
+  so stochastic tasks reproduce bit-for-bit on every backend and any
+  worker count.
+- **Retry on worker failure.**  A task that raises (or whose worker
+  process dies) is resubmitted up to ``retries`` times; persistent
+  failures raise :class:`~repro.core.exceptions.WorkerError` with the
+  original exception chained.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .exceptions import WorkerError
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "available_backends",
+    "get_backend",
+    "spawn_seeds",
+]
+
+
+def spawn_seeds(seed, n: int) -> List[int]:
+    """Derive *n* independent per-task seeds from one root seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, so sibling seeds
+    are statistically independent and the derivation depends only on
+    ``(seed, n)`` — never on worker scheduling.
+    """
+    root = np.random.SeedSequence(seed)
+    return [int(child.generate_state(1)[0]) for child in root.spawn(n)]
+
+
+def _call_task(fn: Callable, payload, seed: Optional[int]):
+    """Top-level task trampoline (picklable for the process backend)."""
+    if seed is None:
+        return fn(payload)
+    return fn(payload, seed=seed)
+
+
+class ExecutionBackend:
+    """Base class: retry loop, ordering, and the ``map`` contract.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker count; ``None`` picks a backend-specific default and
+        ``-1`` uses ``os.cpu_count()``.  Ignored by the serial backend.
+    retries:
+        How many times a failed task is resubmitted before
+        :class:`WorkerError` is raised.
+    """
+
+    name = "base"
+
+    def __init__(self, n_workers: Optional[int] = None, retries: int = 1):
+        if n_workers is not None and n_workers != -1 and n_workers < 1:
+            raise ValueError("n_workers must be None, -1, or >= 1")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.n_workers = n_workers
+        self.retries = int(retries)
+
+    # ------------------------------------------------------------------
+    def resolved_workers(self) -> int:
+        if self.n_workers in (None, -1):
+            return max(os.cpu_count() or 1, 1)
+        return int(self.n_workers)
+
+    def map(self, fn: Callable, payloads: Sequence, seed=None) -> list:
+        """Run ``fn(payload)`` for every payload; results in order.
+
+        When *seed* is given, each task instead receives
+        ``fn(payload, seed=task_seed)`` with per-task seeds from
+        :func:`spawn_seeds`.
+        """
+        payloads = list(payloads)
+        n = len(payloads)
+        if n == 0:
+            return []
+        seeds: List[Optional[int]] = (
+            [None] * n if seed is None else spawn_seeds(seed, n)
+        )
+        results = [None] * n
+        pending = list(range(n))
+        attempt = 0
+        while pending:
+            outcomes = self._execute(
+                fn, [(i, payloads[i], seeds[i]) for i in pending]
+            )
+            failed = [(i, err) for i, ok, err in outcomes if not ok]
+            for i, ok, value in outcomes:
+                if ok:
+                    results[i] = value
+            if not failed:
+                break
+            if attempt >= self.retries:
+                index, error = failed[0]
+                raise WorkerError(
+                    f"task {index} failed on the {self.name} backend "
+                    f"after {attempt + 1} attempt(s): {error!r}",
+                    task_index=index,
+                ) from error
+            attempt += 1
+            pending = sorted(i for i, _ in failed)
+        return results
+
+    # ------------------------------------------------------------------
+    def _execute(self, fn, calls):
+        """Run ``calls = [(index, payload, seed), ...]`` once each and
+        return ``[(index, ok, result_or_exception), ...]``."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return (
+            f"{type(self).__name__}(n_workers={self.n_workers}, "
+            f"retries={self.retries})"
+        )
+
+
+class SerialBackend(ExecutionBackend):
+    """Run tasks in the calling thread, one after another."""
+
+    name = "serial"
+
+    def resolved_workers(self) -> int:
+        return 1
+
+    def _execute(self, fn, calls):
+        outcomes = []
+        for index, payload, seed in calls:
+            try:
+                outcomes.append((index, True, _call_task(fn, payload, seed)))
+            except Exception as error:  # noqa: BLE001 — retried by map()
+                outcomes.append((index, False, error))
+        return outcomes
+
+
+class ThreadBackend(ExecutionBackend):
+    """Run tasks on a thread pool (shared memory, GIL-bound Python)."""
+
+    name = "thread"
+
+    def _execute(self, fn, calls):
+        outcomes = []
+        with ThreadPoolExecutor(max_workers=self.resolved_workers()) as pool:
+            futures = [
+                (index, pool.submit(_call_task, fn, payload, seed))
+                for index, payload, seed in calls
+            ]
+            for index, future in futures:
+                try:
+                    outcomes.append((index, True, future.result()))
+                except Exception as error:  # noqa: BLE001
+                    outcomes.append((index, False, error))
+        return outcomes
+
+
+class ProcessBackend(ExecutionBackend):
+    """Run tasks on a process pool.
+
+    Task functions, payloads, and results must be picklable.  A worker
+    process dying (``BrokenProcessPool``) marks every task still in
+    flight as failed; the retry pass runs them on a fresh pool.
+    """
+
+    name = "process"
+
+    def resolved_workers(self) -> int:
+        if self.n_workers is None:
+            return max(min(os.cpu_count() or 1, 4), 2)
+        return super().resolved_workers()
+
+    def _execute(self, fn, calls):
+        outcomes = []
+        try:
+            with ProcessPoolExecutor(
+                max_workers=self.resolved_workers()
+            ) as pool:
+                futures = [
+                    (index, pool.submit(_call_task, fn, payload, seed))
+                    for index, payload, seed in calls
+                ]
+                for index, future in futures:
+                    try:
+                        outcomes.append((index, True, future.result()))
+                    except Exception as error:  # noqa: BLE001
+                        outcomes.append((index, False, error))
+        except BrokenProcessPool as error:
+            done = {index for index, _, _ in outcomes}
+            outcomes.extend(
+                (index, False, error)
+                for index, _, _ in calls
+                if index not in done
+            )
+        return outcomes
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "threads": ThreadBackend,
+    "process": ProcessBackend,
+    "processes": ProcessBackend,
+}
+
+
+def available_backends() -> List[str]:
+    """Canonical backend names accepted by :func:`get_backend`."""
+    return ["serial", "thread", "process"]
+
+
+def get_backend(spec=None, n_workers: Optional[int] = None,
+                retries: int = 1) -> ExecutionBackend:
+    """Resolve a backend specification.
+
+    ``None`` means serial; a string picks a registered backend; an
+    :class:`ExecutionBackend` instance passes through unchanged (its own
+    worker/retry configuration wins).
+    """
+    if spec is None:
+        return SerialBackend(retries=retries)
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if isinstance(spec, str):
+        backend_cls = _BACKENDS.get(spec.lower())
+        if backend_cls is None:
+            raise ValueError(
+                f"unknown backend {spec!r}; available: "
+                f"{available_backends()}"
+            )
+        return backend_cls(n_workers=n_workers, retries=retries)
+    raise TypeError(
+        f"backend must be None, a name, or an ExecutionBackend; "
+        f"got {type(spec).__name__}"
+    )

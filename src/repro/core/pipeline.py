@@ -5,6 +5,14 @@ user more effort than the problem itself.  A :class:`Pipeline` packages
 the routine preprocessing (scaling, selection, projection) with the
 final learner behind the standard estimator protocol, so flows and
 cross-validation treat the whole chain as one model.
+
+Steps are addressable from model selection through the nested
+parameter grammar: ``pipeline.set_params(svc__C=10)`` reconfigures the
+step named ``svc``, ``svc__kernel__gamma`` reaches into that step's
+kernel, and ``set_params(svc=other_estimator)`` swaps the step object
+itself.  Step fits emit ``fit`` spans into the active
+:mod:`~repro.core.instrument` log, so an instrumented sweep can see
+where pipeline time goes.
 """
 
 from __future__ import annotations
@@ -13,7 +21,18 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from . import instrument
 from .base import Estimator, check_fitted, clone
+
+
+class NamedSteps(dict):
+    """Step mapping with attribute access: ``pipe.named_steps.svc``."""
+
+    def __getattr__(self, name):
+        try:
+            return self[name]
+        except KeyError:
+            raise AttributeError(f"no step named {name!r}") from None
 
 
 class Pipeline(Estimator):
@@ -37,9 +56,41 @@ class Pipeline(Estimator):
         self.steps = steps
 
     # ------------------------------------------------------------------
+    # parameter API: steps are nested targets, addressable by name
+    # ------------------------------------------------------------------
+    def _nested_targets(self) -> dict:
+        return {name: step for name, step in self.steps}
+
+    def get_params(self, deep: bool = True) -> dict:
+        params = {"steps": self.steps}
+        if deep:
+            for name, step in self.steps:
+                params[name] = step
+                if hasattr(step, "get_params"):
+                    for key, value in step.get_params(deep=True).items():
+                        params[f"{name}__{key}"] = value
+        return params
+
+    def _set_simple_param(self, name: str, value) -> None:
+        if name == "steps":
+            setattr(self, name, list(value))
+            return
+        step_names = [step_name for step_name, _ in self.steps]
+        if name in step_names:
+            self.steps = [
+                (step_name, value if step_name == name else step)
+                for step_name, step in self.steps
+            ]
+            return
+        raise ValueError(
+            f"Pipeline has no parameter {name!r}; valid parameters are "
+            f"['steps'] plus step names {step_names}"
+        )
+
+    # ------------------------------------------------------------------
     @property
-    def named_steps(self) -> dict:
-        return dict(self.steps)
+    def named_steps(self) -> NamedSteps:
+        return NamedSteps(self.steps)
 
     @property
     def _final(self):
@@ -50,29 +101,43 @@ class Pipeline(Estimator):
             X = transformer.transform(X)
         return X
 
-    def fit(self, X, y=None) -> "Pipeline":
+    def _fit_transformers(self, X, y=None):
+        """Fit the transformer prefix; returns the transformed data with
+        ``fitted_steps_`` holding the fitted prefix."""
         self.fitted_steps_: List[Tuple[str, object]] = []
         for name, step in self.steps[:-1]:
             fitted = clone(step)
-            if y is None:
-                fitted.fit(X)
-            else:
-                try:
-                    fitted.fit(X, y)
-                except TypeError:
+            with instrument.span(
+                "fit", label=f"pipeline.{name}", n_samples=len(X)
+            ):
+                if y is None:
                     fitted.fit(X)
+                else:
+                    try:
+                        fitted.fit(X, y)
+                    except TypeError:
+                        fitted.fit(X)
             X = fitted.transform(X)
             self.fitted_steps_.append((name, fitted))
+        return X
+
+    def fit(self, X, y=None) -> "Pipeline":
+        X = self._fit_transformers(X, y)
         final_name, final_step = self.steps[-1]
         final = clone(final_step)
-        if y is None:
-            final.fit(X)
-        else:
-            final.fit(X, y)
+        with instrument.span(
+            "fit", label=f"pipeline.{final_name}", n_samples=len(X)
+        ):
+            if y is None:
+                final.fit(X)
+            else:
+                final.fit(X, y)
         self.final_estimator_ = final
         self.fitted_steps_.append((final_name, final))
         return self
 
+    # ------------------------------------------------------------------
+    # passthrough surface: delegate to the fitted final estimator
     # ------------------------------------------------------------------
     def predict(self, X) -> np.ndarray:
         check_fitted(self, "final_estimator_")
@@ -92,6 +157,38 @@ class Pipeline(Estimator):
     def transform(self, X) -> np.ndarray:
         check_fitted(self, "final_estimator_")
         return self._transform_through(X, self.fitted_steps_)
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        """Fit the whole chain, then transform *X* through it."""
+        self.fit(X, y)
+        return self.transform(X)
+
+    def fit_predict(self, X, y=None) -> np.ndarray:
+        """Fit the chain and predict the training data in one call.
+
+        When the final step provides its own ``fit_predict`` (e.g. a
+        clusterer), that is used on the transformed data; otherwise the
+        pipeline is fit and then predicts.
+        """
+        X_transformed = self._fit_transformers(X, y)
+        final_name, final_step = self.steps[-1]
+        final = clone(final_step)
+        fit_predict = getattr(final, "fit_predict", None)
+        with instrument.span(
+            "fit", label=f"pipeline.{final_name}",
+            n_samples=len(X_transformed),
+        ):
+            if fit_predict is not None:
+                labels = fit_predict(X_transformed)
+            elif y is None:
+                labels = final.fit(X_transformed).predict(X_transformed)
+            else:
+                labels = final.fit(
+                    X_transformed, y
+                ).predict(X_transformed)
+        self.final_estimator_ = final
+        self.fitted_steps_.append((final_name, final))
+        return np.asarray(labels)
 
     def score(self, X, y) -> float:
         check_fitted(self, "final_estimator_")

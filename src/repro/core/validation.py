@@ -1,21 +1,42 @@
-"""Model selection: splits, cross-validation, and complexity curves.
+"""Model selection: splits, cross-validation, search, complexity curves.
 
 The complexity-curve utilities implement the machinery behind Fig. 5 of
 the paper: sweep a capacity hyper-parameter, record training and
 validation error, and locate the point past which validation error rises
 while training error keeps falling (overfitting).
+
+Everything that fits many clones of one estimator — cross-validation,
+grid search, the Fig. 5 capacity sweep, the Section 1 learning curve —
+runs through one parallel, instrumented runtime:
+
+- candidate×fold tasks fan out onto a pluggable
+  :mod:`~repro.core.parallel` backend (serial / thread / process) with
+  deterministic result ordering, so every backend returns bitwise
+  identical scores;
+- per-task wall times, sample counts, and Gram-engine counter deltas
+  are recorded as :class:`~repro.core.instrument.EventLog` spans, so
+  the cost of a sweep can be attributed per candidate and per fold;
+- nested parameters (``svc__C``, ``svc__kernel__gamma``) address
+  pipeline steps and kernel hyper-parameters directly from a grid.
+
+:class:`GridSearchCV` and :func:`cross_validate` are the primary entry
+points; the historical :func:`grid_search` / :func:`cross_val_score`
+functions remain as thin delegating shims.
 """
 
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from .base import clone
+from .base import Estimator, check_fitted, clone
+from .instrument import EventLog, recording
 from .metrics import accuracy, mean_squared_error
+from .parallel import get_backend
 from .rng import ensure_rng
 
 
@@ -99,26 +120,433 @@ class StratifiedKFold:
             yield train, test
 
 
-def cross_val_score(estimator, X, y, cv=None, scorer: Callable = None) -> np.ndarray:
-    """Fit/score *estimator* over the folds of *cv* and return the scores.
+# ---------------------------------------------------------------------
+# The shared fit/score task
+# ---------------------------------------------------------------------
+
+def _resolve_folds(cv, X, y) -> List:
+    """Materialize the fold index pairs once, in the parent process.
+
+    Materializing up front makes every backend see the identical folds
+    (a shuffled splitter is only invoked once) and keeps the task
+    payloads free of generator state.
+    """
+    cv = cv if cv is not None else KFold(n_splits=5)
+    split_args = (X, y) if isinstance(cv, StratifiedKFold) else (X,)
+    return [
+        (np.asarray(train), np.asarray(test))
+        for train, test in cv.split(*split_args)
+    ]
+
+
+def _task_engine(estimator):
+    """The Gram engine a task's work is attributed to."""
+    engine = getattr(estimator, "engine", None)
+    if engine is not None:
+        return engine
+    from ..kernels.engine import default_engine
+
+    return default_engine()
+
+
+def _fit_and_score(payload: dict) -> dict:
+    """Fit one cloned candidate on one fold and score it.
+
+    Runs unchanged on every backend (module-level, picklable).  Gram
+    counter deltas are exact on the serial and process backends and
+    approximate under thread concurrency (counters are engine-global).
+    """
+    estimator = payload["estimator"]
+    params = payload.get("params") or {}
+    X, y = payload["X"], payload["y"]
+    train, test = payload["train"], payload["test"]
+    scorer = payload.get("scorer")
+    engine = _task_engine(estimator)
+    before = engine.counters_snapshot()
+
+    model = clone(estimator)
+    if params:
+        model.set_params(**params)
+    start = time.perf_counter()
+    model.fit(X[train], y[train])
+    fit_seconds = time.perf_counter() - start
+
+    def _score(idx) -> float:
+        if scorer is None:
+            return float(model.score(X[idx], y[idx]))
+        return float(scorer(y[idx], model.predict(X[idx])))
+
+    start = time.perf_counter()
+    test_score = _score(test)
+    score_seconds = time.perf_counter() - start
+    result = {
+        "test_score": test_score,
+        "fit_seconds": fit_seconds,
+        "score_seconds": score_seconds,
+        "n_train": int(len(train)),
+        "n_test": int(len(test)),
+        "gram": engine.counters_snapshot().delta(before).as_dict(),
+    }
+    if payload.get("return_train_score"):
+        result["train_score"] = _score(train)
+    return result
+
+
+def _emit_task_spans(event_log: Optional[EventLog], results: Sequence[dict],
+                     labels: Sequence[str], metas: Sequence[dict]) -> None:
+    """Record one fit span and one score span per completed task."""
+    if event_log is None:
+        return
+    for result, label, meta in zip(results, labels, metas):
+        event_log.emit(
+            "fit", result["fit_seconds"], label=label,
+            n_samples=result["n_train"], gram=result["gram"], **meta,
+        )
+        event_log.emit(
+            "score", result["score_seconds"], label=label,
+            n_samples=result["n_test"], **meta,
+        )
+
+
+def cross_validate(
+    estimator,
+    X,
+    y,
+    cv=None,
+    scorer: Callable = None,
+    *,
+    backend=None,
+    n_workers: int = None,
+    retries: int = 1,
+    return_train_score: bool = False,
+    event_log: EventLog = None,
+) -> Dict[str, np.ndarray]:
+    """Fit/score *estimator* over CV folds on an execution backend.
+
+    Parameters
+    ----------
+    backend:
+        ``None``/"serial", "thread", "process", or an
+        :class:`~repro.core.parallel.ExecutionBackend` instance.  All
+        backends produce identical scores; fold tasks are independent.
+    event_log:
+        An :class:`~repro.core.instrument.EventLog` receiving one
+        ``fit`` and one ``score`` span per fold.
+
+    Returns
+    -------
+    dict with ``test_score``, ``fit_seconds``, ``score_seconds`` arrays
+    (one entry per fold), plus ``train_score`` when requested.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    folds = _resolve_folds(cv, X, y)
+    runner = get_backend(backend, n_workers=n_workers, retries=retries)
+    payloads = [
+        {
+            "estimator": estimator,
+            "X": X,
+            "y": y,
+            "train": train,
+            "test": test,
+            "scorer": scorer,
+            "return_train_score": return_train_score,
+        }
+        for train, test in folds
+    ]
+    results = runner.map(_fit_and_score, payloads)
+    _emit_task_spans(
+        event_log,
+        results,
+        labels=[f"fold[{k}]" for k in range(len(folds))],
+        metas=[{"fold": k} for k in range(len(folds))],
+    )
+    out = {
+        "test_score": np.array([r["test_score"] for r in results]),
+        "fit_seconds": np.array([r["fit_seconds"] for r in results]),
+        "score_seconds": np.array([r["score_seconds"] for r in results]),
+        "n_train": np.array([r["n_train"] for r in results]),
+        "n_test": np.array([r["n_test"] for r in results]),
+    }
+    if return_train_score:
+        out["train_score"] = np.array([r["train_score"] for r in results])
+    return out
+
+
+def cross_val_score(estimator, X, y, cv=None, scorer: Callable = None,
+                    backend=None) -> np.ndarray:
+    """Per-fold scores of *estimator* (shim over :func:`cross_validate`).
 
     The estimator is :func:`~repro.core.base.clone`\\ d for every fold so
     state never leaks across folds.
     """
-    X = np.asarray(X)
-    y = np.asarray(y)
-    cv = cv if cv is not None else KFold(n_splits=5)
-    scores = []
-    split_args = (X, y) if isinstance(cv, StratifiedKFold) else (X,)
-    for train_idx, test_idx in cv.split(*split_args):
-        model = clone(estimator)
-        model.fit(X[train_idx], y[train_idx])
-        if scorer is None:
-            scores.append(model.score(X[test_idx], y[test_idx]))
-        else:
-            scores.append(scorer(y[test_idx], model.predict(X[test_idx])))
-    return np.asarray(scores, dtype=float)
+    return cross_validate(
+        estimator, X, y, cv=cv, scorer=scorer, backend=backend
+    )["test_score"]
 
+
+# ---------------------------------------------------------------------
+# Grid search
+# ---------------------------------------------------------------------
+
+class ParameterGrid:
+    """Iterate parameter dicts from a grid specification.
+
+    A specification is a ``{name: values}`` mapping (the cartesian
+    product is enumerated, last key varying fastest) or a list of such
+    mappings (enumerated in order, products concatenated).  Names may
+    use the nested ``step__param`` grammar.
+    """
+
+    def __init__(self, grid):
+        if isinstance(grid, Mapping):
+            grid = [grid]
+        self.grid = [dict(g) for g in grid]
+        for g in self.grid:
+            for name, values in g.items():
+                if isinstance(values, str) or not isinstance(
+                    values, (Sequence, np.ndarray)
+                ):
+                    raise ValueError(
+                        f"grid values for {name!r} must be a sequence"
+                    )
+
+    def __iter__(self):
+        for g in self.grid:
+            if not g:
+                yield {}
+                continue
+            names = list(g)
+            for combo in itertools.product(*(g[name] for name in names)):
+                yield dict(zip(names, combo))
+
+    def __len__(self):
+        total = 0
+        for g in self.grid:
+            size = 1
+            for values in g.values():
+                size *= len(values)
+            total += size
+        return total
+
+
+class GridSearchCV(Estimator):
+    """Exhaustive search over a parameter grid, run as an estimator.
+
+    Candidate×fold tasks fan out onto the configured backend; results
+    are aggregated in deterministic candidate order, so
+    ``best_params_`` and every score are identical on the serial,
+    thread, and process backends.  After :meth:`fit` the winning
+    configuration is refit on the full data (``refit=True``) and the
+    search object behaves like the fitted winner (``predict``,
+    ``predict_proba``, ``decision_function``, ``transform``, ``score``).
+
+    Parameters
+    ----------
+    estimator:
+        Prototype estimator; cloned for every task.
+    param_grid:
+        Grid specification (see :class:`ParameterGrid`); names may
+        address nested parameters (``svc__C``, ``svc__kernel__gamma``).
+    cv:
+        Fold generator; defaults to ``KFold(5)``.
+    scorer:
+        ``scorer(y_true, y_pred) -> float`` (higher is better);
+        defaults to the estimator's own ``score``.
+    backend / n_workers / retries:
+        Execution backend configuration (see
+        :func:`~repro.core.parallel.get_backend`).
+    refit:
+        Refit the best configuration on the full data after the search.
+    event_log:
+        Receives per-task ``fit``/``score`` spans, a ``refit`` span,
+        and one ``search`` span for the whole sweep (with the Gram
+        engine delta attributed to it).
+
+    Attributes
+    ----------
+    best_params_, best_score_, best_index_:
+        Winning parameter dict, its mean CV score, its candidate index.
+    best_estimator_:
+        The refit winner (when ``refit=True``).
+    cv_results_:
+        Dict of per-candidate arrays: ``params``, ``fold_test_scores``,
+        ``mean_test_score``, ``std_test_score``, ``rank_test_score``,
+        ``mean_fit_seconds``, ``mean_score_seconds``.
+    """
+
+    def __init__(self, estimator, param_grid, cv=None,
+                 scorer: Callable = None, backend=None,
+                 n_workers: int = None, retries: int = 1,
+                 refit: bool = True, return_train_score: bool = False,
+                 event_log: EventLog = None):
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.cv = cv
+        self.scorer = scorer
+        self.backend = backend
+        self.n_workers = n_workers
+        self.retries = retries
+        self.refit = refit
+        self.return_train_score = return_train_score
+        self.event_log = event_log
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "GridSearchCV":
+        X = np.asarray(X)
+        y = np.asarray(y)
+        candidates = list(ParameterGrid(self.param_grid))
+        if not candidates:
+            raise ValueError("param_grid yields no candidates")
+        folds = _resolve_folds(self.cv, X, y)
+        runner = get_backend(
+            self.backend, n_workers=self.n_workers, retries=self.retries
+        )
+        engine = _task_engine(self.estimator)
+        log = self.event_log
+
+        def _run_search():
+            payloads = []
+            labels, metas = [], []
+            for c, params in enumerate(candidates):
+                for k, (train, test) in enumerate(folds):
+                    payloads.append(
+                        {
+                            "estimator": self.estimator,
+                            "params": params,
+                            "X": X,
+                            "y": y,
+                            "train": train,
+                            "test": test,
+                            "scorer": self.scorer,
+                            "return_train_score": self.return_train_score,
+                        }
+                    )
+                    labels.append(f"candidate[{c}] fold[{k}]")
+                    metas.append(
+                        {"candidate": c, "fold": k, "params": dict(params)}
+                    )
+            results = runner.map(_fit_and_score, payloads)
+            _emit_task_spans(log, results, labels, metas)
+            return results
+
+        if log is not None:
+            with log.span(
+                "search", label=f"grid[{len(candidates)}x{len(folds)}]",
+                n_samples=len(X), engine=engine,
+                backend=runner.name, n_candidates=len(candidates),
+                n_folds=len(folds),
+            ):
+                results = _run_search()
+        else:
+            results = _run_search()
+
+        n_folds = len(folds)
+        fold_scores = np.array(
+            [r["test_score"] for r in results]
+        ).reshape(len(candidates), n_folds)
+        means = fold_scores.mean(axis=1)
+        # rank 1 = best; argmax tie-breaks on the lowest candidate index
+        order = np.argsort(-means, kind="stable")
+        ranks = np.empty(len(candidates), dtype=int)
+        ranks[order] = np.arange(1, len(candidates) + 1)
+        self.cv_results_ = {
+            "params": candidates,
+            "fold_test_scores": fold_scores,
+            "mean_test_score": means,
+            "std_test_score": fold_scores.std(axis=1),
+            "rank_test_score": ranks,
+            "mean_fit_seconds": np.array(
+                [r["fit_seconds"] for r in results]
+            ).reshape(len(candidates), n_folds).mean(axis=1),
+            "mean_score_seconds": np.array(
+                [r["score_seconds"] for r in results]
+            ).reshape(len(candidates), n_folds).mean(axis=1),
+        }
+        if self.return_train_score:
+            self.cv_results_["fold_train_scores"] = np.array(
+                [r["train_score"] for r in results]
+            ).reshape(len(candidates), n_folds)
+        self.best_index_ = int(np.argmax(means))
+        self.best_params_ = dict(candidates[self.best_index_])
+        self.best_score_ = float(means[self.best_index_])
+        self.n_splits_ = n_folds
+        self.backend_name_ = runner.name
+
+        if self.refit:
+            winner = clone(self.estimator).set_params(**self.best_params_)
+            start = time.perf_counter()
+            if log is not None:
+                with recording(log):
+                    winner.fit(X, y)
+                log.emit(
+                    "refit", time.perf_counter() - start,
+                    label="best_estimator", n_samples=len(X),
+                    params=dict(self.best_params_),
+                )
+            else:
+                winner.fit(X, y)
+            self.best_estimator_ = winner
+        return self
+
+    # ------------------------------------------------------------------
+    # fitted-winner passthrough
+    # ------------------------------------------------------------------
+    def _winner(self):
+        check_fitted(self, "best_estimator_")
+        return self.best_estimator_
+
+    def predict(self, X):
+        return self._winner().predict(X)
+
+    def predict_proba(self, X):
+        return self._winner().predict_proba(X)
+
+    def decision_function(self, X):
+        return self._winner().decision_function(X)
+
+    def transform(self, X):
+        return self._winner().transform(X)
+
+    def score(self, X, y) -> float:
+        return self._winner().score(X, y)
+
+    @property
+    def _estimator_kind(self):
+        return getattr(self.estimator, "_estimator_kind", "estimator")
+
+
+def grid_search(
+    estimator,
+    param_grid: Dict[str, Sequence],
+    X,
+    y,
+    cv=None,
+    scorer: Callable = None,
+    backend=None,
+):
+    """Exhaustive hyper-parameter search (shim over :class:`GridSearchCV`).
+
+    Returns ``(best_params, best_score, all_results)`` where
+    ``all_results`` is a list of ``(params, mean_score)`` pairs and higher
+    scores are better.
+    """
+    search = GridSearchCV(
+        estimator, param_grid, cv=cv, scorer=scorer, backend=backend,
+        refit=False,
+    ).fit(X, y)
+    results = list(
+        zip(
+            search.cv_results_["params"],
+            [float(m) for m in search.cv_results_["mean_test_score"]],
+        )
+    )
+    return search.best_params_, search.best_score_, results
+
+
+# ---------------------------------------------------------------------
+# Capacity and data-availability sweeps
+# ---------------------------------------------------------------------
 
 @dataclass
 class ComplexityCurve:
@@ -154,6 +582,28 @@ class ComplexityCurve:
         return list(zip(self.values, self.train_errors, self.validation_errors))
 
 
+def _default_error(model) -> Callable:
+    kind = getattr(model, "_estimator_kind", "classifier")
+    if kind == "regressor":
+        return mean_squared_error
+    return lambda t, p: 1.0 - accuracy(t, p)
+
+
+def _curve_point(payload: dict) -> dict:
+    """Fit one sweep point and return its train/validation errors."""
+    model = payload["model"]
+    model.fit(payload["X_train"], payload["y_train"])
+    error = payload.get("error") or _default_error(model)
+    return {
+        "train": float(
+            error(payload["y_train"], model.predict(payload["X_train"]))
+        ),
+        "validation": float(
+            error(payload["y_val"], model.predict(payload["X_val"]))
+        ),
+    }
+
+
 def complexity_curve(
     estimator_factory: Callable,
     parameter: str,
@@ -163,6 +613,8 @@ def complexity_curve(
     X_val,
     y_val,
     error: Callable = None,
+    backend=None,
+    n_workers: int = None,
 ) -> ComplexityCurve:
     """Sweep a capacity parameter and record train/validation error.
 
@@ -171,29 +623,35 @@ def complexity_curve(
     estimator_factory:
         Zero-argument callable returning a fresh estimator.
     parameter:
-        Hyper-parameter name to sweep via ``set_params``.
+        Hyper-parameter name to sweep via ``set_params`` (nested names
+        such as ``svc__C`` are supported).
     values:
         Capacity values, ordered from simplest to most complex.
     error:
         ``error(y_true, y_pred) -> float``; defaults to misclassification
         rate for classifiers and MSE for regressors.
+    backend:
+        Execution backend for the sweep points (see
+        :func:`~repro.core.parallel.get_backend`); each point is an
+        independent fit, so the sweep parallelizes candidate-wise.
     """
     curve = ComplexityCurve(parameter=parameter)
-    for value in values:
-        model = estimator_factory()
-        model.set_params(**{parameter: value})
-        model.fit(X_train, y_train)
-        if error is None:
-            kind = getattr(model, "_estimator_kind", "classifier")
-            if kind == "regressor":
-                err = lambda t, p: mean_squared_error(t, p)  # noqa: E731
-            else:
-                err = lambda t, p: 1.0 - accuracy(t, p)  # noqa: E731
-        else:
-            err = error
+    payloads = [
+        {
+            "model": estimator_factory().set_params(**{parameter: value}),
+            "X_train": X_train,
+            "y_train": y_train,
+            "X_val": X_val,
+            "y_val": y_val,
+            "error": error,
+        }
+        for value in values
+    ]
+    runner = get_backend(backend, n_workers=n_workers)
+    for value, point in zip(values, runner.map(_curve_point, payloads)):
         curve.values.append(value)
-        curve.train_errors.append(float(err(y_train, model.predict(X_train))))
-        curve.validation_errors.append(float(err(y_val, model.predict(X_val))))
+        curve.train_errors.append(point["train"])
+        curve.validation_errors.append(point["validation"])
     return curve
 
 
@@ -234,6 +692,8 @@ def learning_curve(
     y_val,
     error: Callable = None,
     random_state=None,
+    backend=None,
+    n_workers: int = None,
 ) -> LearningCurve:
     """Fit clones of *estimator* on growing prefixes of shuffled data.
 
@@ -244,57 +704,37 @@ def learning_curve(
     error:
         ``error(y_true, y_pred) -> float``; defaults to
         misclassification rate / MSE by estimator kind.
+    backend:
+        Execution backend; sizes are independent fits and parallelize.
     """
     X = np.asarray(X)
     y = np.asarray(y)
     rng = ensure_rng(random_state)
     order = rng.permutation(len(X))
     curve = LearningCurve()
+    payloads = []
+    resolved_sizes = []
     for size in sizes:
         size = int(size)
         if not 1 <= size <= len(X):
             raise ValueError(f"size {size} out of range [1, {len(X)}]")
         subset = order[:size]
-        model = clone(estimator)
-        model.fit(X[subset], y[subset])
-        if error is None:
-            kind = getattr(model, "_estimator_kind", "classifier")
-            if kind == "regressor":
-                err = mean_squared_error
-            else:
-                err = lambda t, p: 1.0 - accuracy(t, p)  # noqa: E731
-        else:
-            err = error
+        payloads.append(
+            {
+                "model": clone(estimator),
+                "X_train": X[subset],
+                "y_train": y[subset],
+                "X_val": X_val,
+                "y_val": y_val,
+                "error": error,
+            }
+        )
+        resolved_sizes.append(size)
+    runner = get_backend(backend, n_workers=n_workers)
+    for size, point in zip(
+        resolved_sizes, runner.map(_curve_point, payloads)
+    ):
         curve.sizes.append(size)
-        curve.train_errors.append(
-            float(err(y[subset], model.predict(X[subset])))
-        )
-        curve.validation_errors.append(
-            float(err(y_val, model.predict(X_val)))
-        )
+        curve.train_errors.append(point["train"])
+        curve.validation_errors.append(point["validation"])
     return curve
-
-
-def grid_search(
-    estimator,
-    param_grid: Dict[str, Sequence],
-    X,
-    y,
-    cv=None,
-    scorer: Callable = None,
-):
-    """Exhaustive hyper-parameter search by cross-validation.
-
-    Returns ``(best_params, best_score, all_results)`` where
-    ``all_results`` is a list of ``(params, mean_score)`` pairs and higher
-    scores are better.
-    """
-    names = list(param_grid)
-    results = []
-    for combo in itertools.product(*(param_grid[name] for name in names)):
-        params = dict(zip(names, combo))
-        model = clone(estimator).set_params(**params)
-        scores = cross_val_score(model, X, y, cv=cv, scorer=scorer)
-        results.append((params, float(scores.mean())))
-    best_params, best_score = max(results, key=lambda item: item[1])
-    return best_params, best_score, results

@@ -17,6 +17,8 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.base import ParamsAPI
+
 
 def _freeze(value):
     """Render *value* as a hashable structure for :meth:`Kernel.cache_key`.
@@ -59,8 +61,14 @@ def _freeze(value):
     return ("repr", repr(value))
 
 
-class Kernel:
-    """Base class for similarity functions between arbitrary samples."""
+class Kernel(ParamsAPI):
+    """Base class for similarity functions between arbitrary samples.
+
+    Kernels share the estimator hyper-parameter API
+    (``get_params``/``set_params`` with the nested ``a__b`` grammar), so
+    an estimator's kernel configuration — ``svc__kernel__gamma`` — is
+    addressable from grid search exactly like any other parameter.
+    """
 
     def __call__(self, x, z) -> float:
         raise NotImplementedError
@@ -87,17 +95,18 @@ class Kernel:
                 K[i, j] = float(self(a, b))
         return K
 
-    def __repr__(self):
-        return type(self).__name__
-
     def __eq__(self, other):
         """Structural equality: same type and same configuration.
 
         Lets cloned estimators compare equal on their kernel parameter
-        and lets tests assert kernel round-trips.
+        and lets tests assert kernel round-trips.  Different kernel
+        classes — including subclasses — compare unequal symmetrically;
+        only non-kernels defer with ``NotImplemented``.
         """
-        if type(self) is not type(other):
+        if not isinstance(other, Kernel):
             return NotImplemented
+        if type(self) is not type(other):
+            return False
         if set(self.__dict__) != set(other.__dict__):
             return False
         for key, value in self.__dict__.items():

@@ -150,6 +150,20 @@ class GramCounters:
         record["hit_rate"] = self.hit_rate
         return record
 
+    def copy(self) -> "GramCounters":
+        return GramCounters(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    def delta(self, before: "GramCounters") -> "GramCounters":
+        """Counter difference ``self - before`` (work done in between)."""
+        return GramCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(before, f.name)
+                for f in fields(self)
+            }
+        )
+
     def reset(self) -> None:
         for f in fields(self):
             setattr(self, f.name, f.default)
@@ -204,6 +218,20 @@ class GramEngine:
     #    live lock cannot be deep-copied anyway)
     def __deepcopy__(self, memo) -> "GramEngine":
         return self
+
+    # -- pickling ships configuration only: a worker process gets an
+    #    equivalent engine with a cold cache and fresh counters (the
+    #    parent's lock, cache, and stats never cross the boundary)
+    def __getstate__(self) -> dict:
+        return {
+            "block_size": self.block_size,
+            "cache_bytes": self.cache_bytes,
+            "n_jobs": self.n_jobs,
+            "chunk_size": self.chunk_size,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(**state)
 
     def __repr__(self):
         return (
@@ -295,6 +323,16 @@ class GramEngine:
         return K
 
     # -- introspection -------------------------------------------------
+    def counters_snapshot(self) -> GramCounters:
+        """A consistent point-in-time copy of the counters.
+
+        Safe to call from any thread; pair two snapshots with
+        :meth:`GramCounters.delta` to attribute engine work to a span
+        of wall time (the instrumentation layer does exactly this).
+        """
+        with self._lock:
+            return self.counters.copy()
+
     def stats(self) -> dict:
         """Counter snapshot plus cache occupancy, as one flat dict."""
         with self._lock:

@@ -6,6 +6,8 @@ and produce outputs of the documented shape after fit.  Testing the
 contract generically keeps the whole catalogue honest as it grows.
 """
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -108,8 +110,101 @@ def _make_registry():
  DETECTORS) = _make_registry()
 
 
+ALL_ESTIMATORS = (
+    CLASSIFIERS + REGRESSORS + CLUSTERERS + TRANSFORMERS + DETECTORS
+)
+
+
 def _name(factory):
     return type(factory()).__name__
+
+
+def _values_equal(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(a, b)
+    return a == b
+
+
+@pytest.mark.parametrize("factory", ALL_ESTIMATORS, ids=_name)
+class TestNestedParamsContract:
+    def test_deep_params_superset_of_shallow(self, factory):
+        model = factory()
+        shallow = model.get_params(deep=False)
+        deep = model.get_params(deep=True)
+        for key in shallow:
+            assert key in deep
+            assert "__" not in key
+
+    def test_nested_keys_roundtrip_through_set_params(self, factory):
+        model = factory()
+        nested = {
+            key: value
+            for key, value in model.get_params(deep=True).items()
+            if "__" in key
+        }
+        model.set_params(**nested)
+        after = model.get_params(deep=True)
+        for key, value in nested.items():
+            assert _values_equal(after[key], value)
+
+    def test_clone_preserves_deep_params_without_sharing(self, factory):
+        model = factory()
+        copy = clone(model)
+        before = model.get_params(deep=True)
+        after = copy.get_params(deep=True)
+        assert set(before) == set(after)
+        for key, value in before.items():
+            assert _values_equal(after[key], value)
+        # nested estimator/kernel objects must be fresh copies
+        for key, value in model.get_params(deep=False).items():
+            if hasattr(value, "get_params") and not isinstance(value, type):
+                assert getattr(copy, key) is not value
+
+    def test_unfitted_pickle_roundtrip(self, factory):
+        model = factory()
+        revived = pickle.loads(pickle.dumps(model))
+        assert type(revived) is type(model)
+        before = model.get_params(deep=True)
+        after = revived.get_params(deep=True)
+        assert set(before) == set(after)
+        for key, value in before.items():
+            assert _values_equal(after[key], value)
+
+
+class TestNestedAddressing:
+    def test_kernel_hyperparameter_grid_addressable(self):
+        from repro import learn
+
+        model = learn.SVC(kernel=RBFKernel(0.5), C=1.0)
+        model.set_params(kernel__gamma=2.0, C=4.0)
+        assert model.kernel.gamma == 2.0
+        assert model.get_params(deep=True)["kernel__gamma"] == 2.0
+
+    def test_wrapper_base_estimator_addressable(self):
+        from repro import learn
+
+        wrapper = learn.OneVsRestClassifier(
+            learn.LogisticRegression(max_iter=50)
+        )
+        wrapper.set_params(base__max_iter=200)
+        assert wrapper.base.max_iter == 200
+
+    def test_doubly_nested_path(self):
+        from repro import learn
+
+        wrapper = learn.PlattCalibratedClassifier(
+            learn.SVC(kernel=RBFKernel(0.5), random_state=0)
+        )
+        wrapper.set_params(base__kernel__gamma=3.0)
+        assert wrapper.base.kernel.gamma == 3.0
+
+    def test_replacing_and_configuring_in_one_call(self):
+        from repro import learn
+
+        model = learn.SVC(kernel=RBFKernel(0.5))
+        model.set_params(kernel=RBFKernel(1.0), kernel__gamma=9.0)
+        # the replacement kernel receives the nested assignment
+        assert model.kernel.gamma == 9.0
 
 
 @pytest.mark.parametrize("factory", CLASSIFIERS, ids=_name)

@@ -21,6 +21,16 @@ class Toy(Estimator):
         self.beta = beta
 
 
+class SpecialToy(Toy):
+    pass
+
+
+class Outer(Estimator):
+    def __init__(self, inner=None, scale=1.0):
+        self.inner = inner
+        self.scale = scale
+
+
 class TestParamAPI:
     def test_get_params_returns_constructor_args(self):
         toy = Toy(alpha=3.0, beta="y")
@@ -77,6 +87,59 @@ class TestStructuralEquality:
         registry = {toy: "x"}
         assert registry[toy] == "x"
 
+    def test_subclass_comparison_symmetric(self):
+        # regression: __eq__ used to return NotImplemented from one side
+        # of a subclass comparison, making == order-dependent
+        assert (Toy() == SpecialToy()) is False
+        assert (SpecialToy() == Toy()) is False
+        assert Toy() != SpecialToy()
+        assert SpecialToy() != Toy()
+
+    def test_comparison_with_non_estimator(self):
+        assert (Toy() == 5) is False
+        assert Toy() != 5
+        assert Toy().__eq__(5) is NotImplemented
+
+
+class TestNestedParams:
+    def test_deep_params_expose_inner_with_prefix(self):
+        outer = Outer(inner=Toy(alpha=3.0))
+        deep = outer.get_params(deep=True)
+        assert deep["inner__alpha"] == 3.0
+        assert deep["inner__beta"] == "x"
+        assert deep["inner"] is outer.inner
+
+    def test_shallow_params_have_no_prefixed_keys(self):
+        params = Outer(inner=Toy()).get_params(deep=False)
+        assert set(params) == {"inner", "scale"}
+
+    def test_set_nested_param_mutates_inner(self):
+        outer = Outer(inner=Toy())
+        outer.set_params(inner__alpha=7.0, scale=2.0)
+        assert outer.inner.alpha == 7.0
+        assert outer.scale == 2.0
+
+    def test_replacement_applies_before_nested_assignment(self):
+        outer = Outer(inner=Toy(alpha=1.0))
+        outer.set_params(inner=Toy(alpha=2.0), inner__alpha=9.0)
+        assert outer.inner.alpha == 9.0
+
+    def test_nested_path_to_non_params_object_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            Outer(inner=Toy()).set_params(scale__x=1)
+
+    def test_nested_unknown_leaf_rejected(self):
+        with pytest.raises(ValueError, match="no parameter"):
+            Outer(inner=Toy()).set_params(inner__gamma=1)
+
+    def test_clone_recurses_into_nested_estimators(self):
+        outer = Outer(inner=Toy(beta=[1, 2]))
+        copy = clone(outer)
+        assert copy == outer
+        assert copy.inner is not outer.inner
+        copy.inner.beta.append(3)
+        assert outer.inner.beta == [1, 2]
+
 
 class TestClone:
     def test_clone_copies_params_not_state(self):
@@ -102,6 +165,21 @@ class TestCheckFitted:
         X, y = blobs
         model = KNeighborsClassifier(n_neighbors=3).fit(X, y)
         check_fitted(model, ["X_train_", "y_train_"])  # no raise
+
+    def test_falsy_attributes_count_as_fitted(self):
+        # regression: check_fitted used getattr(..., None) truthiness,
+        # so None/0/[] fitted state misreported as "not fitted"
+        toy = Toy()
+        toy.offset_ = 0
+        toy.labels_ = []
+        toy.mask_ = None
+        check_fitted(toy, ["offset_", "labels_", "mask_"])  # no raise
+
+    def test_missing_attribute_still_raises(self):
+        toy = Toy()
+        toy.offset_ = 0
+        with pytest.raises(NotFittedError):
+            check_fitted(toy, ["offset_", "absent_"])
 
 
 class TestArrayValidation:

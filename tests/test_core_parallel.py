@@ -1,0 +1,199 @@
+"""Tests for the execution backends (repro.core.parallel)."""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import WorkerError
+from repro.core.parallel import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    get_backend,
+    spawn_seeds,
+)
+
+BACKENDS = [
+    SerialBackend(),
+    ThreadBackend(n_workers=3),
+    ProcessBackend(n_workers=2),
+]
+
+
+def _ids(backend):
+    return backend.name
+
+
+# module-level task functions so the process backend can pickle them
+def square(x):
+    return x * x
+
+
+def slow_inverse_order(x):
+    # later tasks finish first: ordering must still be submission order
+    time.sleep(0.002 * (5 - x))
+    return x * 10
+
+
+def seeded_draw(x, seed):
+    return (x, int(np.random.default_rng(seed).integers(0, 1_000_000)))
+
+
+def fail_on_even(x):
+    if x % 2 == 0:
+        raise RuntimeError(f"boom {x}")
+    return x
+
+
+def fail_until_marker(payload):
+    """Fails until a sentinel file exists, then succeeds — lets the
+    retry path be observed across process boundaries too."""
+    marker, value = payload
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("attempted")
+        raise RuntimeError("first attempt fails")
+    return value * 2
+
+
+class TestOrderingAndEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS, ids=_ids)
+    def test_results_in_submission_order(self, backend):
+        assert backend.map(square, range(20)) == [i * i for i in range(20)]
+
+    def test_out_of_order_completion_still_ordered(self):
+        backend = ThreadBackend(n_workers=5)
+        assert backend.map(slow_inverse_order, range(5)) == [
+            0, 10, 20, 30, 40,
+        ]
+
+    def test_backends_agree(self):
+        expected = SerialBackend().map(square, range(12))
+        for backend in (ThreadBackend(n_workers=3),
+                        ProcessBackend(n_workers=2)):
+            assert backend.map(square, range(12)) == expected
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=_ids)
+    def test_empty_payloads(self, backend):
+        assert backend.map(square, []) == []
+
+
+class TestSeeding:
+    def test_spawn_seeds_deterministic_and_distinct(self):
+        a = spawn_seeds(42, 8)
+        b = spawn_seeds(42, 8)
+        assert a == b
+        assert len(set(a)) == 8
+        assert spawn_seeds(43, 8) != a
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=_ids)
+    def test_per_task_seeds_reproducible(self, backend):
+        serial = SerialBackend().map(seeded_draw, range(6), seed=7)
+        assert backend.map(seeded_draw, range(6), seed=7) == serial
+
+    def test_different_tasks_get_different_seeds(self):
+        draws = SerialBackend().map(seeded_draw, [0] * 6, seed=11)
+        assert len({value for _, value in draws}) == 6
+
+
+class TestRetry:
+    def test_retry_recovers_flaky_task(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        backend = SerialBackend(retries=2)
+        assert backend.map(fail_until_marker, [(marker, 21)]) == [42]
+
+    def test_retry_recovers_in_worker_process(self, tmp_path):
+        marker = str(tmp_path / "marker_proc")
+        backend = ProcessBackend(n_workers=2, retries=2)
+        assert backend.map(fail_until_marker, [(marker, 5)]) == [10]
+
+    @pytest.mark.parametrize(
+        "backend",
+        [SerialBackend(retries=1), ThreadBackend(n_workers=2, retries=1),
+         ProcessBackend(n_workers=2, retries=1)],
+        ids=_ids,
+    )
+    def test_persistent_failure_raises_worker_error(self, backend):
+        with pytest.raises(WorkerError) as info:
+            backend.map(fail_on_even, range(4))
+        assert info.value.task_index == 0
+        assert isinstance(info.value.__cause__, RuntimeError)
+
+    def test_successful_tasks_survive_a_failing_sibling(self, tmp_path):
+        # the failing task retries; already-complete results are kept
+        marker = str(tmp_path / "marker_mix")
+        calls = []
+
+        def mixed(payload):
+            calls.append(payload)
+            if payload == "flaky":
+                return fail_until_marker((marker, 1))
+            return payload
+
+        backend = SerialBackend(retries=1)
+        assert backend.map(mixed, ["a", "flaky", "b"]) == ["a", 2, "b"]
+        # only the flaky task re-ran on the retry pass
+        assert calls.count("a") == 1 and calls.count("b") == 1
+
+
+class TestResolution:
+    def test_get_backend_names(self):
+        assert isinstance(get_backend(None), SerialBackend)
+        assert isinstance(get_backend("serial"), SerialBackend)
+        assert isinstance(get_backend("thread"), ThreadBackend)
+        assert isinstance(get_backend("threads"), ThreadBackend)
+        assert isinstance(get_backend("process"), ProcessBackend)
+
+    def test_get_backend_passthrough_instance(self):
+        backend = ThreadBackend(n_workers=7)
+        assert get_backend(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("gpu")
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            get_backend(3.14)
+
+    def test_available_backends(self):
+        assert available_backends() == ["serial", "thread", "process"]
+
+    def test_worker_resolution(self):
+        assert SerialBackend().resolved_workers() == 1
+        assert ThreadBackend(n_workers=4).resolved_workers() == 4
+        assert ThreadBackend(n_workers=-1).resolved_workers() >= 1
+        assert ProcessBackend().resolved_workers() >= 2
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(n_workers=0)
+        with pytest.raises(ValueError):
+            SerialBackend(retries=-1)
+
+
+class TestThreadSafetyOfMap:
+    def test_concurrent_maps_do_not_interleave_results(self):
+        backend = ThreadBackend(n_workers=4)
+        outputs = {}
+
+        def run(tag, offset):
+            outputs[tag] = backend.map(
+                square, [offset + i for i in range(10)]
+            )
+
+        threads = [
+            threading.Thread(target=run, args=(tag, offset))
+            for tag, offset in [("a", 0), ("b", 100)]
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outputs["a"] == [i * i for i in range(10)]
+        assert outputs["b"] == [(100 + i) ** 2 for i in range(10)]

@@ -71,6 +71,119 @@ class TestPipelineBasics:
         assert isinstance(pipeline.named_steps["scale"], StandardScaler)
 
 
+class TestPipelineParams:
+    def _pipeline(self):
+        return Pipeline(
+            [("scale", StandardScaler()),
+             ("clf", LogisticRegression(max_iter=100))]
+        )
+
+    def test_deep_params_reach_into_steps(self):
+        params = self._pipeline().get_params(deep=True)
+        assert params["clf__max_iter"] == 100
+        assert isinstance(params["scale"], StandardScaler)
+
+    def test_set_step_param_by_nested_name(self):
+        pipeline = self._pipeline()
+        pipeline.set_params(clf__max_iter=250)
+        assert pipeline.named_steps.clf.max_iter == 250
+
+    def test_set_doubly_nested_kernel_param(self):
+        pipeline = Pipeline(
+            [("scale", StandardScaler()),
+             ("svc", SVC(kernel=RBFKernel(0.5), random_state=0))]
+        )
+        pipeline.set_params(svc__kernel__gamma=4.0)
+        assert pipeline.named_steps.svc.kernel.gamma == 4.0
+
+    def test_replace_whole_step(self):
+        pipeline = self._pipeline()
+        replacement = LogisticRegression(max_iter=999)
+        pipeline.set_params(clf=replacement)
+        assert pipeline.named_steps.clf is replacement
+        assert [name for name, _ in pipeline.steps] == ["scale", "clf"]
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="no parameter"):
+            self._pipeline().set_params(missing=1)
+
+    def test_named_steps_attribute_access(self):
+        pipeline = self._pipeline()
+        assert isinstance(pipeline.named_steps.scale, StandardScaler)
+        with pytest.raises(AttributeError, match="no step named"):
+            pipeline.named_steps.nope
+
+    def test_clone_roundtrip(self):
+        from repro.core import clone
+
+        pipeline = self._pipeline()
+        copy = clone(pipeline)
+        assert copy == pipeline
+        assert copy.named_steps.clf is not pipeline.named_steps.clf
+
+
+class TestPipelinePassthrough:
+    def test_predict_proba_and_decision_function(self, blobs):
+        X, y = blobs
+        pipeline = Pipeline(
+            [("scale", StandardScaler()),
+             ("clf", LogisticRegression(max_iter=300))]
+        ).fit(X, y)
+        proba = pipeline.predict_proba(X)
+        X_scaled = pipeline.fitted_steps_[0][1].transform(X)
+        np.testing.assert_array_equal(
+            proba, pipeline.final_estimator_.predict_proba(X_scaled)
+        )
+        assert np.all((proba >= 0) & (proba <= 1))
+        assert pipeline.decision_function(X).shape == (len(X),)
+
+    def test_fit_predict_with_clusterer_final_step(self, blobs):
+        from repro.cluster import KMeans
+
+        X, _ = blobs
+        pipeline = Pipeline(
+            [("scale", StandardScaler()),
+             ("km", KMeans(n_clusters=2, random_state=0))]
+        )
+        labels = pipeline.fit_predict(X)
+        assert labels.shape == (len(X),)
+        np.testing.assert_array_equal(
+            labels, pipeline.final_estimator_.labels_
+        )
+
+    def test_fit_predict_with_classifier_final_step(self, blobs):
+        X, y = blobs
+        pipeline = Pipeline(
+            [("scale", StandardScaler()),
+             ("clf", LogisticRegression(max_iter=300))]
+        )
+        labels = pipeline.fit_predict(X, y)
+        np.testing.assert_array_equal(labels, pipeline.predict(X))
+
+    def test_fit_transform(self, blobs):
+        X, _ = blobs
+        pipeline = Pipeline(
+            [("scale", StandardScaler()), ("pca", PCA(n_components=1))]
+        )
+        out = pipeline.fit_transform(X)
+        assert out.shape == (len(X), 1)
+        np.testing.assert_allclose(out, pipeline.transform(X))
+
+    def test_passthrough_before_fit_raises(self, blobs):
+        X, _ = blobs
+        pipeline = Pipeline(
+            [("scale", StandardScaler()),
+             ("clf", LogisticRegression())]
+        )
+        for method in ("predict", "predict_proba", "decision_function",
+                       "score"):
+            with pytest.raises(NotFittedError):
+                if method == "score":
+                    pipeline.score(X, np.zeros(len(X)))
+                else:
+                    getattr(pipeline, method)(X)
+
+
 class TestPipelineInModelSelection:
     def test_cross_validation_treats_pipeline_as_estimator(self, blobs):
         X, y = blobs

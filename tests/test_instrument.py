@@ -1,0 +1,149 @@
+"""Tests for the observability layer (repro.core.instrument)."""
+
+import copy
+import pickle
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import EventLog, Pipeline, StandardScaler, recording
+from repro.core import instrument
+from repro.kernels import GramEngine, RBFKernel
+from repro.learn import LogisticRegression
+
+
+class TestEventLog:
+    def test_span_records_timing_and_meta(self):
+        log = EventLog()
+        with log.span("fit", label="svc", n_samples=40, candidate=3):
+            time.sleep(0.005)
+        (span,) = log.spans("fit")
+        assert span.seconds >= 0.004
+        assert span.label == "svc"
+        assert span.n_samples == 40
+        assert span.meta == {"candidate": 3}
+
+    def test_span_recorded_even_on_exception(self):
+        log = EventLog()
+        with pytest.raises(RuntimeError):
+            with log.span("fit"):
+                raise RuntimeError("boom")
+        assert len(log.spans("fit")) == 1
+
+    def test_emit_direct(self):
+        log = EventLog()
+        log.emit("score", 0.25, label="fold[2]", fold=2)
+        (span,) = log.spans("score")
+        assert span.seconds == 0.25
+        assert span.meta["fold"] == 2
+
+    def test_spans_filter_and_len(self):
+        log = EventLog()
+        log.emit("fit", 0.1)
+        log.emit("score", 0.2)
+        log.emit("fit", 0.3)
+        assert len(log) == 3
+        assert len(log.spans("fit")) == 2
+        assert log.total_seconds("fit") == pytest.approx(0.4)
+        assert log.total_seconds() == pytest.approx(0.6)
+
+    def test_summary_aggregates_by_name(self):
+        log = EventLog()
+        log.emit("fit", 0.1, n_samples=10)
+        log.emit("fit", 0.3, n_samples=30)
+        summary = log.summary()
+        assert summary["fit"]["count"] == 2
+        assert summary["fit"]["total_seconds"] == pytest.approx(0.4)
+        assert summary["fit"]["mean_seconds"] == pytest.approx(0.2)
+        assert summary["fit"]["n_samples"] == 40
+
+    def test_as_records_round_trips_fields(self):
+        log = EventLog()
+        log.emit("fit", 0.5, label="x", gram={"cache_hits": 2}, fold=1)
+        (record,) = log.as_records()
+        assert record["name"] == "fit"
+        assert record["gram"] == {"cache_hits": 2}
+        assert record["meta"] == {"fold": 1}
+
+    def test_clear(self):
+        log = EventLog()
+        log.emit("fit", 0.1)
+        log.clear()
+        assert len(log) == 0
+
+    def test_gram_delta_captured(self):
+        engine = GramEngine()
+        log = EventLog()
+        X = np.random.default_rng(0).normal(size=(30, 3))
+        with log.span("gram", engine=engine):
+            engine.gram(RBFKernel(0.5), X)
+        (span,) = log.spans("gram")
+        assert span.gram["blocks_computed"] >= 1
+        assert span.gram["pair_evaluations"] == 900
+
+    def test_thread_safe_append(self):
+        log = EventLog()
+
+        def emit_many():
+            for _ in range(200):
+                log.emit("tick", 0.0)
+
+        threads = [threading.Thread(target=emit_many) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(log) == 800
+
+    def test_deepcopy_is_identity_and_pickle_is_fresh(self):
+        # logs are shared infrastructure: clone() must not fork them,
+        # and a log crossing a process boundary starts empty
+        log = EventLog()
+        log.emit("fit", 0.1)
+        assert copy.deepcopy(log) is log
+        revived = pickle.loads(pickle.dumps(log))
+        assert isinstance(revived, EventLog)
+        assert len(revived) == 0
+
+
+class TestAmbientHooks:
+    def test_span_is_noop_without_active_log(self):
+        with instrument.span("fit") as record:
+            assert record is None
+        assert instrument.emit("fit", 0.1) is None
+
+    def test_recording_routes_spans(self):
+        log = EventLog()
+        with recording(log):
+            with instrument.span("fit", label="inner"):
+                pass
+            instrument.emit("score", 0.2)
+        assert len(log.spans("fit")) == 1
+        assert len(log.spans("score")) == 1
+        # outside the block the log is inactive again
+        assert instrument.current_log() is None
+
+    def test_nested_recording_uses_innermost(self):
+        outer, inner = EventLog(), EventLog()
+        with recording(outer):
+            with recording(inner):
+                instrument.emit("fit", 0.1)
+            instrument.emit("score", 0.1)
+        assert len(inner.spans("fit")) == 1
+        assert len(outer.spans("fit")) == 0
+        assert len(outer.spans("score")) == 1
+
+    def test_pipeline_emits_step_fit_spans(self, blobs):
+        X, y = blobs
+        log = EventLog()
+        pipeline = Pipeline(
+            [("scale", StandardScaler()),
+             ("clf", LogisticRegression(max_iter=100))]
+        )
+        with recording(log):
+            pipeline.fit(X, y)
+        labels = [s.label for s in log.spans("fit")]
+        assert labels == ["pipeline.scale", "pipeline.clf"]
+        assert all(s.n_samples == len(X) for s in log.spans("fit"))
