@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.base import ClusterMixin, Estimator, as_2d_array
+from ..core.base import ClusterMixin, Estimator, as_2d_array, as_kernel_samples
 from ..kernels.base import Kernel
 from ..kernels.vector import RBFKernel
 from .kmeans import KMeans
@@ -52,11 +52,17 @@ class SpectralClustering(Estimator, ClusterMixin):
 
     def _affinity_matrix(self, X) -> np.ndarray:
         if isinstance(self.affinity, Kernel):
-            return self._engine().gram(self.affinity, X)
+            return self._engine().gram(self.affinity, as_kernel_samples(X))
         if self.affinity == "precomputed":
-            A = np.asarray(X, dtype=float)
+            # copy: fit zeroes the diagonal, which must never write into
+            # the caller's matrix
+            A = np.array(X, dtype=float, copy=True)
             if A.ndim != 2 or A.shape[0] != A.shape[1]:
                 raise ValueError("precomputed affinity must be square")
+            if not np.all(np.isfinite(A)):
+                raise ValueError(
+                    "precomputed affinity contains NaN or infinite values"
+                )
             return A
         if self.affinity == "rbf":
             X = as_2d_array(X)

@@ -217,7 +217,13 @@ def check_fitted(estimator, attributes) -> None:
 
 
 def as_2d_array(X, name: str = "X") -> np.ndarray:
-    """Validate and return *X* as a 2-D float array."""
+    """Validate and return *X* as a C-contiguous 2-D float array.
+
+    The layout normalisation matters for reproducibility: BLAS picks
+    different summation orders for C- and Fortran-ordered operands, so
+    without it the same data could yield bitwise-different models
+    depending on how the caller happened to lay out memory.
+    """
     X = np.asarray(X, dtype=float)
     if X.ndim == 1:
         X = X.reshape(-1, 1)
@@ -225,8 +231,50 @@ def as_2d_array(X, name: str = "X") -> np.ndarray:
         raise DataShapeError(f"{name} must be 2-D, got shape {X.shape}")
     if X.shape[0] == 0:
         raise DataShapeError(f"{name} has no samples")
+    if X.shape[1] == 0:
+        raise DataShapeError(f"{name} has no features")
     if not np.all(np.isfinite(X)):
         raise DataShapeError(f"{name} contains NaN or infinite values")
+    return np.ascontiguousarray(X)
+
+
+def as_kernel_samples(X, name: str = "X"):
+    """Validate kernel-consumer input without forcing vector form.
+
+    Kernel methods accept two sample shapes: numeric vectors (validated
+    and normalised exactly like :func:`as_2d_array`) and structured
+    samples — strings, token sequences, graphs — that only the kernel
+    itself can interpret.  Numeric array-likes get the full 2-D/finite
+    screen so NaN silicon data cannot slip into a Gram matrix silently;
+    anything non-numeric passes through untouched apart from an
+    emptiness check.
+    """
+    try:
+        arr = np.asarray(X)
+    except (TypeError, ValueError):
+        arr = None  # ragged sequence-of-sequences; structured samples
+    if arr is not None and arr.ndim != 0 and arr.dtype.kind in "fiub":
+        # keep 1-D numeric input 1-D: precomputed kernels index their
+        # Gram matrix with it, so a column reshape would change meaning
+        if arr.ndim > 2:
+            raise DataShapeError(
+                f"{name} must be 1-D or 2-D, got shape {arr.shape}"
+            )
+        if arr.shape[0] == 0:
+            raise DataShapeError(f"{name} has no samples")
+        if arr.ndim == 2 and arr.shape[1] == 0:
+            raise DataShapeError(f"{name} has no features")
+        if not np.all(np.isfinite(arr)):
+            raise DataShapeError(f"{name} contains NaN or infinite values")
+        return np.ascontiguousarray(arr)
+    try:
+        n = len(X)
+    except TypeError:
+        raise DataShapeError(
+            f"{name} must be a sequence of samples, got {type(X).__name__}"
+        ) from None
+    if n == 0:
+        raise DataShapeError(f"{name} has no samples")
     return X
 
 

@@ -114,10 +114,25 @@ class SimpleImputer(Estimator, TransformerMixin):
         self.strategy = strategy
         self.fill_value = fill_value
 
-    def fit(self, X, y=None) -> "SimpleImputer":
+    @staticmethod
+    def _validate(X) -> np.ndarray:
+        """NaN is data here (it marks a missing value), but everything
+        else about the array must still be sound."""
         X = np.asarray(X, dtype=float)
         if X.ndim != 2:
-            raise ValueError("X must be 2-D")
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] == 0:
+            raise ValueError("X has no samples")
+        if X.shape[1] == 0:
+            raise ValueError("X has no features")
+        if np.isinf(X).any():
+            raise ValueError(
+                "X contains infinite values; SimpleImputer only fills NaN"
+            )
+        return X
+
+    def fit(self, X, y=None) -> "SimpleImputer":
+        X = self._validate(X)
         import warnings
 
         if self.strategy == "constant":
@@ -136,7 +151,7 @@ class SimpleImputer(Estimator, TransformerMixin):
 
     def transform(self, X) -> np.ndarray:
         check_fitted(self, "fill_")
-        X = np.array(X, dtype=float, copy=True)
+        X = np.array(self._validate(X), copy=True)
         mask = np.isnan(X)
         if mask.any():
             X[mask] = np.broadcast_to(self.fill_, X.shape)[mask]

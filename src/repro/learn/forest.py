@@ -73,7 +73,13 @@ class RandomForestClassifier(_BaseForest, ClassifierMixin):
     """Majority-vote ensemble of randomized CART classifiers."""
 
     def _prepare_targets(self, y):
-        self.classes_ = np.unique(y)
+        classes = np.unique(y)
+        if len(classes) < 2:
+            raise ValueError(
+                "RandomForestClassifier needs at least two classes in y; "
+                f"got only {classes.tolist()}"
+            )
+        self.classes_ = classes
 
     def _make_tree(self, rng):
         return DecisionTreeClassifier(

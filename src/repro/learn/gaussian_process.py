@@ -11,7 +11,14 @@ from __future__ import annotations
 import numpy as np
 from scipy.linalg import cho_factor, cho_solve
 
-from ..core.base import Estimator, RegressorMixin, as_1d_array, check_fitted, check_paired
+from ..core.base import (
+    Estimator,
+    RegressorMixin,
+    as_1d_array,
+    as_kernel_samples,
+    check_fitted,
+    check_paired,
+)
 
 
 class GaussianProcessRegressor(Estimator, RegressorMixin):
@@ -54,6 +61,7 @@ class GaussianProcessRegressor(Estimator, RegressorMixin):
         return default_engine()
 
     def fit(self, X, y) -> "GaussianProcessRegressor":
+        X = as_kernel_samples(X)
         y = as_1d_array(y, dtype=float)
         check_paired(X, y)
         if self.noise < 0:
@@ -85,6 +93,7 @@ class GaussianProcessRegressor(Estimator, RegressorMixin):
     def predict(self, X, return_std: bool = False):
         """Posterior mean, optionally with predictive standard deviation."""
         check_fitted(self, "alpha_")
+        X = as_kernel_samples(X)
         K_star = self._engine().cross_gram(self.kernel_, X, self.X_train_)
         mean = K_star @ self.alpha_ * self._y_scale + self._y_mean
         if not return_std:

@@ -84,7 +84,13 @@ class KNeighborsClassifier(_KNNBase, ClassifierMixin):
 
     def fit(self, X, y) -> "KNeighborsClassifier":
         super().fit(X, y)
-        self.classes_ = np.unique(self.y_train_)
+        classes = np.unique(self.y_train_)
+        if len(classes) < 2:
+            raise ValueError(
+                "KNeighborsClassifier needs at least two classes in y; "
+                f"got only {classes.tolist()}"
+            )
+        self.classes_ = classes
         return self
 
     def predict(self, X) -> np.ndarray:

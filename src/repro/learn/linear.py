@@ -16,6 +16,7 @@ from ..core.base import (
     RegressorMixin,
     as_1d_array,
     as_2d_array,
+    as_kernel_samples,
     check_fitted,
     check_paired,
 )
@@ -119,6 +120,7 @@ class KernelRidgeRegressor(Estimator, RegressorMixin):
         return default_engine()
 
     def fit(self, X, y) -> "KernelRidgeRegressor":
+        X = as_kernel_samples(X)
         y = as_1d_array(y, dtype=float)
         check_paired(X, y)
         if self.alpha <= 0:
@@ -133,6 +135,7 @@ class KernelRidgeRegressor(Estimator, RegressorMixin):
 
     def predict(self, X) -> np.ndarray:
         check_fitted(self, "dual_coef_")
+        X = as_kernel_samples(X)
         K = self._engine().cross_gram(self.kernel_, X, self.X_train_)
         return K @ self.dual_coef_
 
@@ -196,10 +199,11 @@ class LogisticRegression(Estimator, ClassifierMixin):
         return X @ self.coef_ + self.intercept_
 
     def predict_proba(self, X) -> np.ndarray:
-        """Probability of the second class (``classes_[1]``)."""
+        """Class probabilities, one column per entry of ``classes_``."""
         z = self.decision_function(X)
-        return 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))
+        positive = 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))
+        return np.column_stack([1.0 - positive, positive])
 
     def predict(self, X) -> np.ndarray:
-        proba = self.predict_proba(X)
-        return np.where(proba >= 0.5, self.classes_[1], self.classes_[0])
+        positive = self.predict_proba(X)[:, 1]
+        return np.where(positive >= 0.5, self.classes_[1], self.classes_[0])

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.base import Estimator, check_fitted
+from ..core.base import Estimator, as_kernel_samples, check_fitted
 
 
 class OneClassSVM(Estimator):
@@ -68,9 +68,8 @@ class OneClassSVM(Estimator):
     def fit(self, X) -> "OneClassSVM":
         if not 0.0 < self.nu <= 1.0:
             raise ValueError("nu must be in (0, 1]")
+        X = as_kernel_samples(X)
         m = len(X)
-        if m == 0:
-            raise ValueError("cannot fit on zero samples")
         kernel = self._kernel()
         K = self._engine().gram(kernel, X)
 
@@ -129,6 +128,7 @@ class OneClassSVM(Estimator):
     def decision_function(self, X) -> np.ndarray:
         """``f(x) = sum_i alpha_i k(x_i, x) - rho``; negative = novel."""
         check_fitted(self, "dual_coef_")
+        X = as_kernel_samples(X)
         K = self._engine().cross_gram(self.kernel_, X, self.support_vectors_)
         return K @ self.dual_coef_ - self.rho_
 

@@ -20,7 +20,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.base import ClassifierMixin, Estimator, check_fitted, check_paired
+from ..core.base import (
+    ClassifierMixin,
+    Estimator,
+    as_kernel_samples,
+    check_fitted,
+    check_paired,
+)
 from ..core.rng import ensure_rng
 
 
@@ -71,6 +77,7 @@ class SVC(Estimator, ClassifierMixin):
 
     # ------------------------------------------------------------------
     def fit(self, X, y) -> "SVC":
+        X = as_kernel_samples(X)
         y = np.asarray(y)
         check_paired(X, y)
         if self.C <= 0:
@@ -156,6 +163,7 @@ class SVC(Estimator, ClassifierMixin):
     def decision_function(self, X) -> np.ndarray:
         """Signed distance-like score; positive favours ``classes_[1]``."""
         check_fitted(self, "dual_coef_")
+        X = as_kernel_samples(X)
         if len(self.support_vectors_) == 0:
             return np.full(len(X), self.intercept_)
         K = self._engine().cross_gram(self.kernel_, X, self.support_vectors_)

@@ -16,7 +16,14 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import minimize
 
-from ..core.base import Estimator, RegressorMixin, as_1d_array, check_fitted, check_paired
+from ..core.base import (
+    Estimator,
+    RegressorMixin,
+    as_1d_array,
+    as_kernel_samples,
+    check_fitted,
+    check_paired,
+)
 
 
 class SVR(Estimator, RegressorMixin):
@@ -60,6 +67,7 @@ class SVR(Estimator, RegressorMixin):
         return default_engine()
 
     def fit(self, X, y) -> "SVR":
+        X = as_kernel_samples(X)
         y = as_1d_array(y, dtype=float)
         check_paired(X, y)
         if self.C <= 0:
@@ -123,6 +131,7 @@ class SVR(Estimator, RegressorMixin):
 
     def predict(self, X) -> np.ndarray:
         check_fitted(self, "dual_coef_")
+        X = as_kernel_samples(X)
         if len(self.support_vectors_) == 0:
             return np.full(len(X), self.intercept_)
         K = self._engine().cross_gram(self.kernel_, X, self.support_vectors_)

@@ -1,0 +1,647 @@
+"""The conformance invariants, one function per check.
+
+Each check takes an :class:`~repro.testing.registry.EstimatorSpec`,
+builds fresh estimators and data, and raises ``AssertionError`` (or
+lets an unexpected exception propagate) when the contract is violated.
+Checks are registered via the :func:`check` decorator into
+:data:`ALL_CHECKS`, each with an applicability predicate over the
+spec's capability tags:
+
+- ``classifier`` / ``regressor`` / ``transformer`` / ``clusterer`` /
+  ``detector`` / ``subgroup`` — what the estimator is;
+- ``supervised`` / ``unsupervised`` / ``semi-supervised`` — what
+  ``fit`` takes;
+- ``needs-kernel`` — holds a :class:`~repro.kernels.Kernel`;
+- ``supports-nan`` — NaN is data, not a fault (imputers);
+- ``no-predict`` — only exposes ``labels_`` after fit;
+- ``two-view`` — ``fit``/``transform`` take paired ``(X, Y)``;
+- ``meta`` / ``pipeline`` — wraps other estimators.
+
+Checks come in four families: API contracts (params/clone/pickle),
+fit contracts (idempotence, determinism, no input mutation, output
+shape), fault rejection (every entry of
+:data:`repro.testing.datasets.FAULTS` must raise an informative
+``ValueError``), and stress acceptance (every entry of
+:data:`repro.testing.datasets.STRESSES` must fit cleanly).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..core.base import Estimator, clone
+from ..core.exceptions import NotFittedError
+from . import datasets
+from .registry import EstimatorSpec
+
+__all__ = ["Check", "ALL_CHECKS", "get_check", "iter_checks", "applicable_checks"]
+
+
+@dataclass(frozen=True)
+class Check:
+    name: str
+    fn: Callable[[EstimatorSpec], None]
+    applies: Callable[[EstimatorSpec], bool]
+    description: str
+
+
+ALL_CHECKS: Dict[str, Check] = {}
+
+
+def _always(spec: EstimatorSpec) -> bool:
+    return True
+
+
+def check(applies: Callable[[EstimatorSpec], bool] = _always):
+    """Register the decorated ``check_*`` function as a conformance check."""
+
+    def decorator(fn: Callable[[EstimatorSpec], None]):
+        name = fn.__name__
+        if not name.startswith("check_"):
+            raise ValueError(f"check function {name!r} must start with check_")
+        short = name[len("check_"):]
+        ALL_CHECKS[short] = Check(
+            name=short, fn=fn, applies=applies,
+            description=(fn.__doc__ or "").strip().splitlines()[0],
+        )
+        return fn
+
+    return decorator
+
+
+def get_check(name: str) -> Check:
+    try:
+        return ALL_CHECKS[name]
+    except KeyError:
+        raise KeyError(
+            f"no conformance check named {name!r}; known: {sorted(ALL_CHECKS)}"
+        ) from None
+
+
+def iter_checks() -> Iterator[Check]:
+    return iter(ALL_CHECKS.values())
+
+
+def applicable_checks(spec: EstimatorSpec) -> Tuple[str, ...]:
+    return tuple(c.name for c in ALL_CHECKS.values() if c.applies(spec))
+
+
+# ----------------------------------------------------------------------
+# tag predicates
+# ----------------------------------------------------------------------
+def _tagged(*tags: str) -> Callable[[EstimatorSpec], bool]:
+    return lambda spec: bool(set(tags) & spec.tags)
+
+
+def _not_tagged(*tags: str) -> Callable[[EstimatorSpec], bool]:
+    return lambda spec: not (set(tags) & spec.tags)
+
+
+_supervised = _tagged("supervised")
+_classifier = _tagged("classifier")
+
+
+# ----------------------------------------------------------------------
+# shared plumbing
+# ----------------------------------------------------------------------
+def _dataset(spec: EstimatorSpec) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """The baseline (X, y) for this spec; y is None for unsupervised."""
+    if spec.data == "regression":
+        return datasets.make_regression()
+    if spec.data == "clustering":
+        return datasets.make_blobs(), None
+    if spec.data == "semi_supervised":
+        return datasets.make_semi_supervised()
+    if spec.data == "imbalanced":
+        return datasets.make_imbalanced()
+    if spec.data == "two_view":
+        return datasets.make_two_view()
+    return datasets.make_classification()
+
+
+def _fit(est: Estimator, spec: EstimatorSpec, X, y=None) -> Estimator:
+    if y is None or "unsupervised" in spec.tags:
+        return est.fit(X)
+    return est.fit(X, y)
+
+
+def _fitted(spec: EstimatorSpec):
+    X, y = _dataset(spec)
+    est = spec.make()
+    _fit(est, spec, X, y)
+    return est, X, y
+
+
+_OUTPUT_METHODS = ("predict", "decision_function", "predict_proba", "transform")
+
+
+def _signature(est: Estimator, spec: EstimatorSpec, X, y=None) -> Dict[str, np.ndarray]:
+    """Arrays that characterise a fitted estimator, for equality checks.
+
+    Prefers outputs of the prediction surface on *X*; estimators with no
+    callable surface (label-only clusterers, two-view transforms before
+    this helper special-cases them) fall back to their fitted ndarray
+    attributes.
+    """
+    if "two-view" in spec.tags:
+        scores = est.transform(X, y)
+        return {
+            "transform_x": np.asarray(scores[0]),
+            "transform_y": np.asarray(scores[1]),
+        }
+    out: Dict[str, np.ndarray] = {}
+    for method in _OUTPUT_METHODS:
+        fn = getattr(est, method, None)
+        if fn is None:
+            continue
+        try:
+            out[method] = np.asarray(fn(X))
+        except AttributeError:
+            # meta-estimator passthrough whose wrapped model lacks the
+            # method (e.g. Pipeline.decision_function over a final step
+            # without one) — not this estimator's contract to provide.
+            continue
+    if not out:
+        out = {
+            attr: value
+            for attr, value in vars(est).items()
+            if attr.endswith("_") and isinstance(value, np.ndarray)
+        }
+        assert out, (
+            f"{spec.name} exposes no prediction surface and no fitted "
+            "ndarray attributes to compare"
+        )
+    return out
+
+
+def _assert_signatures_equal(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray],
+                             context: str) -> None:
+    assert set(a) == set(b), (
+        f"{context}: output surfaces differ: {sorted(a)} vs {sorted(b)}"
+    )
+    for key in a:
+        assert np.array_equal(a[key], b[key]), (
+            f"{context}: {key!r} outputs differ"
+        )
+
+
+def _assert_informative(exc: BaseException, context: str) -> None:
+    message = str(exc)
+    assert isinstance(exc, ValueError), (
+        f"{context}: expected ValueError, got {type(exc).__name__}: {message}"
+    )
+    assert len(message) >= 10, (
+        f"{context}: error message too terse to act on: {message!r}"
+    )
+
+
+def _expect_value_error(fn: Callable[[], object], context: str) -> None:
+    try:
+        fn()
+    except Exception as exc:  # noqa: BLE001 — classify below
+        _assert_informative(exc, context)
+        return
+    raise AssertionError(f"{context}: no error raised")
+
+
+# ----------------------------------------------------------------------
+# family 1: parameter API
+# ----------------------------------------------------------------------
+@check()
+def check_get_params_roundtrip(spec: EstimatorSpec) -> None:
+    """Reconstructing from ``get_params(deep=False)`` yields an equal estimator."""
+    est = spec.make()
+    rebuilt = type(est)(**est.get_params(deep=False))
+    assert rebuilt == est, "type(est)(**est.get_params()) != est"
+
+
+@check()
+def check_set_params_roundtrip(spec: EstimatorSpec) -> None:
+    """``set_params(**get_params())`` returns self and changes nothing."""
+    est = spec.make()
+    reference = spec.make()
+    result = est.set_params(**est.get_params(deep=False))
+    assert result is est, "set_params must return self"
+    assert est == reference, "set_params round-trip altered the estimator"
+
+
+@check()
+def check_set_params_unknown_raises(spec: EstimatorSpec) -> None:
+    """Setting a nonexistent parameter raises an informative ValueError."""
+    est = spec.make()
+    _expect_value_error(
+        lambda: est.set_params(definitely_not_a_parameter_0x9=1),
+        f"{spec.name}.set_params(<unknown>)",
+    )
+
+
+@check()
+def check_nested_params_roundtrip(spec: EstimatorSpec) -> None:
+    """Every ``a__b`` key in deep get_params is set_params-addressable."""
+    est = spec.make()
+    deep = est.get_params(deep=True)
+    nested = {key: value for key, value in deep.items() if "__" in key}
+    for key, value in nested.items():
+        est.set_params(**{key: value})
+    after = est.get_params(deep=True)
+    for key, value in nested.items():
+        got = after[key]
+        if isinstance(value, np.ndarray) or isinstance(got, np.ndarray):
+            assert np.array_equal(np.asarray(got), np.asarray(value)), (
+                f"nested param {key!r} did not round-trip"
+            )
+        else:
+            assert got == value, f"nested param {key!r} did not round-trip"
+
+
+# ----------------------------------------------------------------------
+# family 2: clone and pickle
+# ----------------------------------------------------------------------
+@check()
+def check_clone_equals(spec: EstimatorSpec) -> None:
+    """``clone(est)`` is a distinct object structurally equal to est."""
+    est = spec.make()
+    c = clone(est)
+    assert c is not est, "clone returned the same object"
+    assert c == est, "clone is not structurally equal to the original"
+
+
+@check()
+def check_clone_unfitted(spec: EstimatorSpec) -> None:
+    """Cloning a fitted estimator drops all fitted state."""
+    est, _, _ = _fitted(spec)
+    c = clone(est)
+    fresh = spec.make()
+    assert set(vars(c)) == set(vars(fresh)), (
+        "clone of a fitted estimator carries extra attributes: "
+        f"{sorted(set(vars(c)) - set(vars(fresh)))}"
+    )
+
+
+@check()
+def check_clone_independent(spec: EstimatorSpec) -> None:
+    """Fitting a clone must not disturb the original's fitted state."""
+    est, X, y = _fitted(spec)
+    before = _signature(est, spec, X, y)
+    c = clone(est)
+    _fit(c, spec, X[::-1].copy(), None if y is None else y[::-1].copy())
+    after = _signature(est, spec, X, y)
+    _assert_signatures_equal(before, after, f"{spec.name} after fitting a clone")
+
+
+@check()
+def check_pickle_unfitted_roundtrip(spec: EstimatorSpec) -> None:
+    """An unfitted estimator survives pickle with equal parameters."""
+    est = spec.make()
+    restored = pickle.loads(pickle.dumps(est))
+    assert restored == est, "pickle round-trip changed the unfitted estimator"
+
+
+@check()
+def check_pickle_fitted_roundtrip(spec: EstimatorSpec) -> None:
+    """A fitted estimator survives pickle with identical outputs."""
+    est, X, y = _fitted(spec)
+    restored = pickle.loads(pickle.dumps(est))
+    _assert_signatures_equal(
+        _signature(est, spec, X, y),
+        _signature(restored, spec, X, y),
+        f"{spec.name} pickle(fitted)",
+    )
+
+
+# ----------------------------------------------------------------------
+# family 3: fit contract
+# ----------------------------------------------------------------------
+@check()
+def check_fit_returns_self(spec: EstimatorSpec) -> None:
+    """``fit`` returns the estimator itself."""
+    X, y = _dataset(spec)
+    est = spec.make()
+    assert _fit(est, spec, X, y) is est, "fit() must return self"
+
+
+@check()
+def check_raises_before_fit(spec: EstimatorSpec) -> None:
+    """Every prediction-surface method raises NotFittedError pre-fit."""
+    X, y = _dataset(spec)
+    est = spec.make()
+    methods = [m for m in _OUTPUT_METHODS if getattr(est, m, None) is not None]
+    for method in methods:
+        fn = getattr(est, method)
+        try:
+            if "two-view" in spec.tags and method == "transform":
+                fn(X, y)
+            else:
+                fn(X)
+        except NotFittedError:
+            continue
+        except AttributeError:
+            continue  # meta passthrough; surface not provided here
+        raise AssertionError(
+            f"{spec.name}.{method} before fit did not raise NotFittedError"
+        )
+
+
+@check()
+def check_fit_idempotent(spec: EstimatorSpec) -> None:
+    """Refitting on the same data yields identical outputs."""
+    X, y = _dataset(spec)
+    est = spec.make()
+    _fit(est, spec, X, y)
+    first = _signature(est, spec, X, y)
+    _fit(est, spec, X, y)
+    second = _signature(est, spec, X, y)
+    _assert_signatures_equal(first, second, f"{spec.name} refit")
+
+
+@check()
+def check_deterministic_fit(spec: EstimatorSpec) -> None:
+    """Two instances built from the same recipe fit identically."""
+    X, y = _dataset(spec)
+    a, b = spec.make(), spec.make()
+    _fit(a, spec, X, y)
+    _fit(b, spec, X, y)
+    _assert_signatures_equal(
+        _signature(a, spec, X, y),
+        _signature(b, spec, X, y),
+        f"{spec.name} deterministic refit",
+    )
+
+
+@check()
+def check_clone_fit_equivalence(spec: EstimatorSpec) -> None:
+    """A fitted clone is interchangeable with the fitted original."""
+    X, y = _dataset(spec)
+    proto = spec.make()
+    c = clone(proto)
+    _fit(proto, spec, X, y)
+    _fit(c, spec, X, y)
+    _assert_signatures_equal(
+        _signature(proto, spec, X, y),
+        _signature(c, spec, X, y),
+        f"{spec.name} clone-then-fit",
+    )
+
+
+@check()
+def check_does_not_mutate_inputs(spec: EstimatorSpec) -> None:
+    """Neither fit nor the prediction surface may write into X or y."""
+    X, y = _dataset(spec)
+    X = np.ascontiguousarray(X)
+    X_before = X.copy()
+    y_before = None if y is None else np.asarray(y).copy()
+    est = spec.make()
+    _fit(est, spec, X, y)
+    _signature(est, spec, X, y)
+    assert np.array_equal(X, X_before), f"{spec.name} mutated the caller's X"
+    if y is not None:
+        assert np.array_equal(np.asarray(y), y_before), (
+            f"{spec.name} mutated the caller's y"
+        )
+
+
+@check(_not_tagged("two-view"))
+def check_output_shapes(spec: EstimatorSpec) -> None:
+    """predict is (n,); proba is (n, k) row-stochastic; transform is 2-D."""
+    est, X, y = _fitted(spec)
+    n = len(X)
+    outputs = _signature(est, spec, X, y)
+    if "predict" in outputs:
+        assert outputs["predict"].shape == (n,), (
+            f"predict shape {outputs['predict'].shape}, expected ({n},)"
+        )
+    if "transform" in outputs:
+        t = outputs["transform"]
+        assert t.ndim == 2 and t.shape[0] == n, (
+            f"transform shape {t.shape}, expected ({n}, k)"
+        )
+    if "predict_proba" in outputs:
+        p = outputs["predict_proba"]
+        assert p.ndim == 2 and p.shape[0] == n and p.shape[1] >= 2, (
+            f"predict_proba shape {p.shape}, expected ({n}, n_classes)"
+        )
+        assert np.all(p >= 0) and np.all(p <= 1), "probabilities outside [0, 1]"
+        assert np.allclose(p.sum(axis=1), 1.0, atol=1e-6), (
+            "probability rows do not sum to 1"
+        )
+    if "decision_function" in outputs:
+        d = outputs["decision_function"]
+        assert d.shape[0] == n and d.ndim in (1, 2), (
+            f"decision_function shape {d.shape}"
+        )
+    if "clusterer" in spec.tags:
+        labels = np.asarray(est.labels_)
+        assert labels.shape == (n,), f"labels_ shape {labels.shape}"
+
+
+@check()
+def check_output_finite(spec: EstimatorSpec) -> None:
+    """All outputs and fitted arrays on clean data are finite."""
+    est, X, y = _fitted(spec)
+    for name, value in _signature(est, spec, X, y).items():
+        if np.issubdtype(value.dtype, np.number):
+            assert np.all(np.isfinite(value)), f"{name} contains non-finite values"
+
+
+@check(_classifier)
+def check_predictions_within_training_classes(spec: EstimatorSpec) -> None:
+    """A classifier only predicts labels it saw during fit."""
+    est, X, y = _fitted(spec)
+    seen = set(np.asarray(y).tolist()) - {-1}
+    predicted = set(np.asarray(est.predict(X)).tolist())
+    assert predicted <= seen, (
+        f"predicted unseen labels {sorted(predicted - seen)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# family 4: fault rejection
+# ----------------------------------------------------------------------
+def _fault_check(fault: str, spec: EstimatorSpec) -> None:
+    X, y = _dataset(spec)
+    bad = datasets.FAULTS[fault](np.asarray(X, dtype=float))
+    bad_y = y
+    if y is not None and len(bad) != len(X):
+        bad_y = np.asarray(y)[: len(bad)]
+    est = spec.make()
+    _expect_value_error(
+        lambda: _fit(est, spec, bad, bad_y),
+        f"{spec.name}.fit on {fault}",
+    )
+
+
+@check(_not_tagged("supports-nan"))
+def check_rejects_nan_X(spec: EstimatorSpec) -> None:
+    """fit raises an informative ValueError when X contains NaN."""
+    _fault_check("nan_X", spec)
+
+
+@check()
+def check_rejects_inf_X(spec: EstimatorSpec) -> None:
+    """fit raises an informative ValueError when X contains ±inf."""
+    _fault_check("inf_X", spec)
+
+
+@check()
+def check_rejects_empty_X(spec: EstimatorSpec) -> None:
+    """fit raises an informative ValueError on a 0-sample X."""
+    _fault_check("empty_X", spec)
+
+
+@check(_not_tagged("two-view"))
+def check_rejects_zero_feature_X(spec: EstimatorSpec) -> None:
+    """fit raises an informative ValueError on a 0-feature X."""
+    _fault_check("zero_feature_X", spec)
+
+
+@check()
+def check_rejects_three_dim_X(spec: EstimatorSpec) -> None:
+    """fit raises an informative ValueError on a 3-D X."""
+    _fault_check("three_dim_X", spec)
+
+
+@check(_supervised)
+def check_rejects_mismatched_lengths(spec: EstimatorSpec) -> None:
+    """fit raises when X and y disagree on sample count."""
+    X, y = _dataset(spec)
+    est = spec.make()
+    _expect_value_error(
+        lambda: _fit(est, spec, X, np.asarray(y)[:-3]),
+        f"{spec.name}.fit with len(y) != len(X)",
+    )
+
+
+@check(_classifier)
+def check_rejects_single_class_y(spec: EstimatorSpec) -> None:
+    """A classifier refuses to fit when y holds a single class."""
+    X, _ = _dataset(spec)
+    est = spec.make()
+    _expect_value_error(
+        lambda: est.fit(X, np.zeros(len(X), dtype=int)),
+        f"{spec.name}.fit on single-class y",
+    )
+
+
+@check(_not_tagged("supports-nan", "no-predict", "two-view"))
+def check_rejects_nan_at_predict(spec: EstimatorSpec) -> None:
+    """The prediction surface rejects NaN X after a clean fit."""
+    est, X, y = _fitted(spec)
+    bad = datasets.FAULTS["nan_X"](np.asarray(X, dtype=float))
+    methods = [m for m in _OUTPUT_METHODS if getattr(est, m, None) is not None]
+    if not methods:
+        return
+    for method in methods:
+        fn = getattr(est, method)
+        try:
+            fn(bad)
+        except ValueError as exc:
+            _assert_informative(exc, f"{spec.name}.{method} on NaN X")
+            continue
+        except AttributeError:
+            continue
+        raise AssertionError(
+            f"{spec.name}.{method} silently accepted NaN X"
+        )
+
+
+# ----------------------------------------------------------------------
+# family 5: stress acceptance
+# ----------------------------------------------------------------------
+def _stress_fit(stress: str, spec: EstimatorSpec) -> None:
+    X, y = _dataset(spec)
+    stressed = datasets.STRESSES[stress](np.asarray(X, dtype=float))
+    est = spec.make()
+    _fit(est, spec, stressed, y)
+    for name, value in _signature(est, spec, np.asarray(stressed, dtype=float), y).items():
+        if np.issubdtype(value.dtype, np.number):
+            assert np.all(np.isfinite(value)), (
+                f"{spec.name} under {stress}: {name} is non-finite"
+            )
+
+
+@check()
+def check_handles_constant_feature(spec: EstimatorSpec) -> None:
+    """A constant column must not break fitting or produce non-finite output."""
+    _stress_fit("constant_feature", spec)
+
+
+@check()
+def check_handles_duplicate_feature(spec: EstimatorSpec) -> None:
+    """Perfectly collinear columns must not break fitting."""
+    _stress_fit("duplicate_feature", spec)
+
+
+@check()
+def check_handles_extreme_scales(spec: EstimatorSpec) -> None:
+    """Feature scales spanning 1e-12..1e12 keep outputs finite."""
+    _stress_fit("extreme_scales", spec)
+
+
+@check()
+def check_accepts_fortran_and_strided(spec: EstimatorSpec) -> None:
+    """Fortran-ordered and non-contiguous X fit identically to C-ordered X."""
+    X, y = _dataset(spec)
+    X = np.ascontiguousarray(np.asarray(X, dtype=float))
+    reference = spec.make()
+    _fit(reference, spec, X, y)
+    expected = _signature(reference, spec, X, y)
+    for stress in ("fortran_order", "non_contiguous"):
+        variant = datasets.STRESSES[stress](X)
+        est = spec.make()
+        _fit(est, spec, variant, y)
+        _assert_signatures_equal(
+            expected,
+            _signature(est, spec, X, y),
+            f"{spec.name} under {stress}",
+        )
+
+
+@check(_not_tagged("two-view"))
+def check_accepts_list_input(spec: EstimatorSpec) -> None:
+    """Plain Python nested lists are accepted wherever arrays are."""
+    X, y = _dataset(spec)
+    X = np.asarray(X, dtype=float)
+    as_list = datasets.STRESSES["list_of_lists"](X)
+    y_list = None if y is None else np.asarray(y).tolist()
+    reference = spec.make()
+    _fit(reference, spec, X, y)
+    est = spec.make()
+    _fit(est, spec, as_list, y_list)
+    _assert_signatures_equal(
+        _signature(reference, spec, X, y),
+        _signature(est, spec, X, y),
+        f"{spec.name} on list input",
+    )
+
+
+@check()
+def check_accepts_int_dtype(spec: EstimatorSpec) -> None:
+    """Integer-typed X fits cleanly with finite outputs."""
+    _stress_fit("int_dtype", spec)
+
+
+@check(_not_tagged("two-view"))
+def check_handles_one_sample_gracefully(spec: EstimatorSpec) -> None:
+    """A 1-sample X either fits or raises an informative ValueError."""
+    X, y = _dataset(spec)
+    est = spec.make()
+    try:
+        _fit(est, spec, np.asarray(X, dtype=float)[:1],
+             None if y is None else np.asarray(y)[:1])
+    except Exception as exc:  # noqa: BLE001 — classify below
+        _assert_informative(exc, f"{spec.name}.fit on one sample")
+
+
+@check(_not_tagged("two-view"))
+def check_handles_one_feature_gracefully(spec: EstimatorSpec) -> None:
+    """A 1-feature X either fits or raises an informative ValueError."""
+    X, y = _dataset(spec)
+    est = spec.make()
+    try:
+        _fit(est, spec, np.asarray(X, dtype=float)[:, :1], y)
+    except Exception as exc:  # noqa: BLE001 — classify below
+        _assert_informative(exc, f"{spec.name}.fit on one feature")

@@ -1,0 +1,239 @@
+"""Deterministic data generators for the conformance harness.
+
+Two families live here:
+
+- **baselines** — small, well-behaved datasets shaped like the EDA
+  problems the library targets (correlated parametric-test features,
+  pass/fail labels, measurement-style regression targets).  Every
+  generator is seeded through :func:`numpy.random.default_rng`, so the
+  same call always produces bitwise-identical data.
+- **fault injectors and stress transforms** — the paper's constraint
+  that mined models come with no simultaneous (δ, ε) guarantee means
+  the *library* must at least guarantee it fails loudly on malformed
+  silicon data.  :data:`FAULTS` enumerates inputs every estimator must
+  reject with an informative :class:`ValueError`; :data:`STRESSES`
+  enumerates legal-but-awkward encodings every estimator must accept.
+
+Nothing here mutates its inputs; injectors always copy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "make_classification",
+    "make_regression",
+    "make_blobs",
+    "make_semi_supervised",
+    "make_imbalanced",
+    "make_two_view",
+    "FAULTS",
+    "STRESSES",
+]
+
+
+# ----------------------------------------------------------------------
+# well-behaved EDA-shaped baselines
+# ----------------------------------------------------------------------
+def make_classification(
+    n_samples: int = 40,
+    n_features: int = 4,
+    n_classes: int = 2,
+    random_state: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Separable Gaussian classes, one blob per class.
+
+    Shaped like a wafer pass/fail problem: a handful of correlated
+    parametric measurements with class-dependent shifts.
+    """
+    rng = np.random.default_rng(random_state)
+    per = n_samples // n_classes
+    blocks, labels = [], []
+    for c in range(n_classes):
+        count = per + (1 if c < n_samples - per * n_classes else 0)
+        center = rng.normal(scale=3.0, size=n_features)
+        blocks.append(center + rng.normal(scale=0.6, size=(count, n_features)))
+        labels.append(np.full(count, c))
+    X = np.vstack(blocks)
+    y = np.concatenate(labels)
+    order = rng.permutation(len(y))
+    return X[order], y[order].astype(int)
+
+
+def make_regression(
+    n_samples: int = 40,
+    n_features: int = 4,
+    noise: float = 0.05,
+    random_state: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Linear-plus-smooth-nonlinearity target with mild noise."""
+    rng = np.random.default_rng(random_state)
+    X = rng.normal(size=(n_samples, n_features))
+    coef = rng.normal(size=n_features)
+    y = X @ coef + 0.5 * np.sin(X[:, 0]) + noise * rng.normal(size=n_samples)
+    return X, y
+
+
+def make_blobs(
+    n_samples: int = 40,
+    n_features: int = 2,
+    n_centers: int = 3,
+    random_state: int = 0,
+) -> np.ndarray:
+    """Tight, well-separated blobs for clustering checks."""
+    rng = np.random.default_rng(random_state)
+    per = n_samples // n_centers
+    centers = rng.normal(scale=6.0, size=(n_centers, n_features))
+    blocks = []
+    for c in range(n_centers):
+        count = per + (1 if c < n_samples - per * n_centers else 0)
+        blocks.append(centers[c] + rng.normal(scale=0.4, size=(count, n_features)))
+    X = np.vstack(blocks)
+    return X[rng.permutation(len(X))]
+
+
+def make_semi_supervised(
+    n_samples: int = 40,
+    n_features: int = 4,
+    labeled_fraction: float = 0.4,
+    random_state: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Classification data with most labels masked to ``UNLABELED`` (-1)."""
+    X, y = make_classification(n_samples, n_features, random_state=random_state)
+    rng = np.random.default_rng(random_state + 1)
+    y = y.copy()
+    n_labeled = max(4, int(labeled_fraction * n_samples))
+    # keep at least one labeled example of each class
+    keep = set()
+    for c in np.unique(y):
+        keep.add(int(np.flatnonzero(y == c)[0]))
+    hide = [i for i in rng.permutation(n_samples) if i not in keep]
+    y[hide[: n_samples - n_labeled]] = -1
+    return X, y
+
+
+def make_imbalanced(
+    n_samples: int = 40,
+    n_features: int = 4,
+    n_positive: int = 8,
+    random_state: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Binary data with a small positive class (failing-die style)."""
+    X, y = make_classification(n_samples, n_features, random_state=random_state)
+    pos = np.flatnonzero(y == 1)
+    y = y.copy()
+    y[pos[n_positive:]] = 0
+    return X, y
+
+
+def make_two_view(
+    n_samples: int = 40,
+    n_features_x: int = 4,
+    n_features_y: int = 3,
+    random_state: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Two correlated views sharing one latent factor (for CCA/PLS)."""
+    rng = np.random.default_rng(random_state)
+    latent = rng.normal(size=n_samples)
+    X = np.outer(latent, rng.normal(size=n_features_x))
+    X += 0.3 * rng.normal(size=X.shape)
+    Y = np.outer(latent, rng.normal(size=n_features_y))
+    Y += 0.3 * rng.normal(size=Y.shape)
+    return X, Y
+
+
+# ----------------------------------------------------------------------
+# fault injectors: inputs every estimator must REJECT
+# ----------------------------------------------------------------------
+def _with_nan(X: np.ndarray) -> np.ndarray:
+    bad = np.array(X, dtype=float, copy=True)
+    bad[1, 0] = np.nan
+    bad[3, -1] = np.nan
+    return bad
+
+
+def _with_inf(X: np.ndarray) -> np.ndarray:
+    bad = np.array(X, dtype=float, copy=True)
+    bad[2, 0] = np.inf
+    bad[4, -1] = -np.inf
+    return bad
+
+
+def _empty(X: np.ndarray) -> np.ndarray:
+    return np.empty((0, X.shape[1]))
+
+
+def _zero_features(X: np.ndarray) -> np.ndarray:
+    return np.empty((X.shape[0], 0))
+
+
+def _three_dim(X: np.ndarray) -> np.ndarray:
+    return np.array(X, dtype=float, copy=True).reshape(X.shape[0], X.shape[1], 1)
+
+
+#: name -> injector producing an invalid X from a valid one.  Fitting
+#: (or predicting) on the result must raise ``ValueError`` with an
+#: informative message.
+FAULTS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "nan_X": _with_nan,
+    "inf_X": _with_inf,
+    "empty_X": _empty,
+    "zero_feature_X": _zero_features,
+    "three_dim_X": _three_dim,
+}
+
+
+# ----------------------------------------------------------------------
+# stress transforms: legal encodings every estimator must ACCEPT
+# ----------------------------------------------------------------------
+def _constant_feature(X: np.ndarray) -> np.ndarray:
+    out = np.array(X, dtype=float, copy=True)
+    out[:, 0] = 1.5
+    return out
+
+
+def _duplicate_feature(X: np.ndarray) -> np.ndarray:
+    out = np.array(X, dtype=float, copy=True)
+    out[:, -1] = out[:, 0]
+    return out
+
+
+def _extreme_scales(X: np.ndarray) -> np.ndarray:
+    out = np.array(X, dtype=float, copy=True)
+    scales = np.logspace(-12, 12, out.shape[1])
+    return out * scales
+
+
+def _fortran_order(X: np.ndarray) -> np.ndarray:
+    return np.asfortranarray(np.array(X, dtype=float, copy=True))
+
+
+def _non_contiguous(X: np.ndarray) -> np.ndarray:
+    wide = np.repeat(np.array(X, dtype=float, copy=True), 2, axis=1)
+    view = wide[:, ::2]
+    assert not view.flags["C_CONTIGUOUS"]
+    return view
+
+
+def _int_dtype(X: np.ndarray) -> np.ndarray:
+    return np.round(np.array(X, copy=True) * 10).astype(np.int64)
+
+
+def _list_of_lists(X: np.ndarray):
+    return [list(map(float, row)) for row in np.asarray(X, dtype=float)]
+
+
+#: name -> transform producing an awkward-but-valid X.  Fitting on the
+#: result must succeed and produce finite fitted state/outputs.
+STRESSES: Dict[str, Callable[[np.ndarray], object]] = {
+    "constant_feature": _constant_feature,
+    "duplicate_feature": _duplicate_feature,
+    "extreme_scales": _extreme_scales,
+    "fortran_order": _fortran_order,
+    "non_contiguous": _non_contiguous,
+    "int_dtype": _int_dtype,
+    "list_of_lists": _list_of_lists,
+}

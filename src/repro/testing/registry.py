@@ -1,0 +1,376 @@
+"""Conformance registry: every public estimator plus how to build it.
+
+The registry maps each concrete :class:`~repro.core.base.Estimator`
+subclass in :mod:`repro.learn` / :mod:`repro.cluster` /
+:mod:`repro.transform` (plus the core preprocessing/pipeline
+estimators, registered voluntarily) to an :class:`EstimatorSpec`: a
+picklable construction recipe, capability tags that route the right
+checks and datasets to it, and any per-check waivers.
+
+Completeness is enforced by ``tests/test_conformance.py``: it imports
+the three packages, walks ``Estimator.__subclasses__`` recursively, and
+fails if any concrete class is missing from the registry — so adding a
+new estimator without registering it breaks the suite, which is the
+point.
+
+Waivers are deliberately expensive: each needs an in-code reason
+string, and the suite caps the total across the whole registry (see
+``MAX_WAIVERS``).
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, Mapping, Set, Tuple, Type
+
+from ..core.base import Estimator
+
+__all__ = [
+    "EstimatorSpec",
+    "MAX_WAIVERS",
+    "REGISTRY_PACKAGES",
+    "register",
+    "iter_specs",
+    "get_spec",
+    "spec_names",
+    "discovered_estimator_classes",
+    "unregistered_classes",
+]
+
+#: Packages whose concrete Estimator subclasses must all be registered.
+REGISTRY_PACKAGES: Tuple[str, ...] = (
+    "repro.learn",
+    "repro.cluster",
+    "repro.transform",
+)
+
+#: Hard cap on waivers across the entire registry (acceptance criterion).
+MAX_WAIVERS = 5
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """Recipe + capabilities for one estimator class.
+
+    Parameters are stored as plain ``(cls, kwargs)`` data rather than a
+    factory closure so specs travel through the process backend: a
+    worker re-imports this module and rebuilds instances by name.
+    """
+
+    name: str
+    cls: Type[Estimator]
+    params: Mapping = field(default_factory=dict)
+    #: capability tags; see module docstring of ``repro.testing.checks``
+    #: for which checks each tag routes.
+    tags: FrozenSet[str] = frozenset()
+    #: which baseline dataset fits this estimator:
+    #: classification | regression | clustering | semi_supervised |
+    #: imbalanced | two_view
+    data: str = "classification"
+    #: check name -> reason string; waived checks are skipped, and the
+    #: suite asserts the registry-wide total stays <= MAX_WAIVERS.
+    waivers: Mapping[str, str] = field(default_factory=dict)
+
+    def make(self) -> Estimator:
+        """Build a fresh, unfitted instance (params deep-copied so no
+        kernel/sub-estimator object is shared between instances)."""
+        return self.cls(**copy.deepcopy(dict(self.params)))
+
+
+_REGISTRY: Dict[str, EstimatorSpec] = {}
+
+
+def register(spec: EstimatorSpec) -> EstimatorSpec:
+    if spec.name in _REGISTRY:
+        raise ValueError(f"duplicate registry entry {spec.name!r}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def iter_specs() -> Iterator[EstimatorSpec]:
+    """Yield all specs in registration (stable) order."""
+    return iter(_REGISTRY.values())
+
+
+def spec_names() -> Tuple[str, ...]:
+    return tuple(_REGISTRY)
+
+
+def get_spec(name: str) -> EstimatorSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no conformance spec named {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# discovery (used by the completeness test)
+# ----------------------------------------------------------------------
+def _walk_subclasses(cls: type) -> Iterator[type]:
+    for sub in cls.__subclasses__():
+        yield sub
+        yield from _walk_subclasses(sub)
+
+
+def discovered_estimator_classes(
+    packages: Tuple[str, ...] = REGISTRY_PACKAGES,
+) -> Set[type]:
+    """All concrete ``Estimator`` subclasses defined under *packages*.
+
+    Underscore-prefixed classes are abstract bases by repo convention
+    and are excluded.
+    """
+    for pkg in packages:
+        importlib.import_module(pkg)
+    prefixes = tuple(pkg + "." for pkg in packages)
+    return {
+        cls
+        for cls in set(_walk_subclasses(Estimator))
+        if cls.__module__.startswith(prefixes)
+        and not cls.__name__.startswith("_")
+    }
+
+
+def unregistered_classes(
+    packages: Tuple[str, ...] = REGISTRY_PACKAGES,
+) -> Set[type]:
+    registered = {spec.cls for spec in iter_specs()}
+    return discovered_estimator_classes(packages) - registered
+
+
+# ----------------------------------------------------------------------
+# the registry itself
+# ----------------------------------------------------------------------
+def _populate() -> None:
+    from .. import cluster, kernels, learn, transform
+    from ..core.pipeline import Pipeline
+    from ..core.preprocessing import (
+        MinMaxScaler,
+        RobustScaler,
+        SimpleImputer,
+        StandardScaler,
+    )
+
+    def rbf() -> kernels.RBFKernel:
+        return kernels.RBFKernel(gamma=0.5)
+
+    CLF = frozenset({"classifier", "supervised"})
+    REG = frozenset({"regressor", "supervised"})
+
+    # ------------------------------------------------------------- learn
+    register(EstimatorSpec(
+        "LeastSquaresRegressor", learn.LeastSquaresRegressor, {}, REG,
+        data="regression",
+    ))
+    register(EstimatorSpec(
+        "RidgeRegressor", learn.RidgeRegressor, {"alpha": 0.5}, REG,
+        data="regression",
+    ))
+    register(EstimatorSpec(
+        "KernelRidgeRegressor", learn.KernelRidgeRegressor,
+        {"kernel": rbf(), "alpha": 0.1}, REG | {"needs-kernel"},
+        data="regression",
+    ))
+    register(EstimatorSpec(
+        "LogisticRegression", learn.LogisticRegression,
+        {"max_iter": 80}, CLF,
+    ))
+    register(EstimatorSpec(
+        "KNeighborsClassifier", learn.KNeighborsClassifier,
+        {"n_neighbors": 3}, CLF,
+    ))
+    register(EstimatorSpec(
+        "KNeighborsRegressor", learn.KNeighborsRegressor,
+        {"n_neighbors": 3}, REG, data="regression",
+    ))
+    register(EstimatorSpec(
+        "GaussianNaiveBayes", learn.GaussianNaiveBayes, {}, CLF,
+    ))
+    register(EstimatorSpec(
+        "BernoulliNaiveBayes", learn.BernoulliNaiveBayes,
+        {"binarize_threshold": 0.0}, CLF,
+    ))
+    register(EstimatorSpec(
+        "LinearDiscriminantAnalysis", learn.LinearDiscriminantAnalysis,
+        {"regularization": 1e-3}, CLF,
+    ))
+    register(EstimatorSpec(
+        "QuadraticDiscriminantAnalysis", learn.QuadraticDiscriminantAnalysis,
+        {"regularization": 1e-3}, CLF,
+    ))
+    register(EstimatorSpec(
+        "DecisionTreeClassifier", learn.DecisionTreeClassifier,
+        {"max_depth": 4, "random_state": 0}, CLF,
+        waivers={
+            "rejects_single_class_y": (
+                "forests fit member trees on bootstrap resamples that can "
+                "legitimately collapse to one class under heavy imbalance; "
+                "the tree must accept them and predict the constant class"
+            ),
+        },
+    ))
+    register(EstimatorSpec(
+        "DecisionTreeRegressor", learn.DecisionTreeRegressor,
+        {"max_depth": 4, "random_state": 0}, REG, data="regression",
+    ))
+    register(EstimatorSpec(
+        "RandomForestClassifier", learn.RandomForestClassifier,
+        {"n_estimators": 5, "max_depth": 3, "random_state": 0}, CLF,
+    ))
+    register(EstimatorSpec(
+        "RandomForestRegressor", learn.RandomForestRegressor,
+        {"n_estimators": 5, "max_depth": 3, "random_state": 0}, REG,
+        data="regression",
+    ))
+    register(EstimatorSpec(
+        "MLPClassifier", learn.MLPClassifier,
+        {"hidden_layers": (8,), "max_iter": 30, "random_state": 0}, CLF,
+    ))
+    register(EstimatorSpec(
+        "MLPRegressor", learn.MLPRegressor,
+        {"hidden_layers": (8,), "max_iter": 30, "random_state": 0}, REG,
+        data="regression",
+    ))
+    register(EstimatorSpec(
+        "SVC", learn.SVC,
+        {"kernel": rbf(), "C": 1.0, "random_state": 0},
+        CLF | {"needs-kernel"},
+    ))
+    register(EstimatorSpec(
+        "SVR", learn.SVR,
+        {"kernel": rbf(), "C": 1.0, "max_iter": 40},
+        REG | {"needs-kernel"}, data="regression",
+    ))
+    register(EstimatorSpec(
+        "OneClassSVM", learn.OneClassSVM,
+        {"kernel": rbf(), "nu": 0.2},
+        frozenset({"detector", "unsupervised", "needs-kernel"}),
+        data="clustering",
+    ))
+    register(EstimatorSpec(
+        "GaussianProcessRegressor", learn.GaussianProcessRegressor,
+        {"kernel": rbf(), "noise": 1e-4},
+        REG | {"needs-kernel"}, data="regression",
+    ))
+    register(EstimatorSpec(
+        "OneVsRestClassifier", learn.OneVsRestClassifier,
+        {"base": learn.LogisticRegression(max_iter=80)},
+        CLF | {"meta"},
+    ))
+    register(EstimatorSpec(
+        "PlattCalibratedClassifier", learn.PlattCalibratedClassifier,
+        {"base": learn.LogisticRegression(max_iter=80), "random_state": 0},
+        CLF | {"meta"},
+    ))
+    register(EstimatorSpec(
+        "SelfTrainingClassifier", learn.SelfTrainingClassifier,
+        {"base": learn.GaussianNaiveBayes(), "threshold": 0.8},
+        CLF | {"meta", "semi-supervised"}, data="semi_supervised",
+    ))
+    register(EstimatorSpec(
+        "LabelPropagation", learn.LabelPropagation,
+        {"gamma": 0.5, "max_iter": 200},
+        CLF | {"semi-supervised"}, data="semi_supervised",
+    ))
+    register(EstimatorSpec(
+        "RuleSetClassifier", learn.RuleSetClassifier,
+        {"min_coverage": 1}, CLF,
+    ))
+    register(EstimatorSpec(
+        "CN2SD", learn.CN2SD,
+        {"min_coverage": 1},
+        frozenset({"subgroup", "supervised"}),
+    ))
+    register(EstimatorSpec(
+        "SelectKBest", learn.SelectKBest,
+        {"k": 2}, frozenset({"transformer", "supervised"}),
+    ))
+    register(EstimatorSpec(
+        "OutlierSeparationSelector", learn.OutlierSeparationSelector,
+        {"k": 2}, frozenset({"transformer", "supervised"}),
+        data="imbalanced",
+    ))
+
+    # ----------------------------------------------------------- cluster
+    CLU = frozenset({"clusterer", "unsupervised"})
+    register(EstimatorSpec(
+        "KMeans", cluster.KMeans,
+        {"n_clusters": 3, "random_state": 0}, CLU, data="clustering",
+    ))
+    register(EstimatorSpec(
+        "MeanShift", cluster.MeanShift,
+        {"bandwidth": 2.0}, CLU, data="clustering",
+    ))
+    register(EstimatorSpec(
+        "DBSCAN", cluster.DBSCAN,
+        {"eps": 1.0, "min_samples": 2}, CLU | {"no-predict"},
+        data="clustering",
+    ))
+    register(EstimatorSpec(
+        "AgglomerativeClustering", cluster.AgglomerativeClustering,
+        {"n_clusters": 3}, CLU | {"no-predict"}, data="clustering",
+    ))
+    register(EstimatorSpec(
+        "AffinityPropagation", cluster.AffinityPropagation,
+        {"damping": 0.8}, CLU | {"no-predict"}, data="clustering",
+    ))
+    register(EstimatorSpec(
+        "SpectralClustering", cluster.SpectralClustering,
+        {"n_clusters": 3, "gamma": 0.5, "random_state": 0},
+        CLU | {"no-predict", "needs-kernel"}, data="clustering",
+    ))
+
+    # --------------------------------------------------------- transform
+    TRF = frozenset({"transformer", "unsupervised"})
+    register(EstimatorSpec(
+        "PCA", transform.PCA, {"n_components": 2}, TRF,
+    ))
+    register(EstimatorSpec(
+        "KernelPCA", transform.KernelPCA,
+        {"kernel": rbf(), "n_components": 2}, TRF | {"needs-kernel"},
+    ))
+    register(EstimatorSpec(
+        "FastICA", transform.FastICA,
+        {"n_components": 2, "random_state": 0}, TRF,
+    ))
+    register(EstimatorSpec(
+        "PLSRegression", transform.PLSRegression,
+        {"n_components": 1}, frozenset({"transformer", "supervised"}),
+        data="regression",
+    ))
+    register(EstimatorSpec(
+        "CCA", transform.CCA,
+        {"n_components": 1},
+        frozenset({"transformer", "supervised", "two-view"}),
+        data="two_view",
+    ))
+
+    # ----------------------------------------------- core (voluntary)
+    register(EstimatorSpec(
+        "StandardScaler", StandardScaler, {}, TRF,
+    ))
+    register(EstimatorSpec(
+        "MinMaxScaler", MinMaxScaler, {}, TRF,
+    ))
+    register(EstimatorSpec(
+        "RobustScaler", RobustScaler, {}, TRF,
+    ))
+    register(EstimatorSpec(
+        "SimpleImputer", SimpleImputer, {"strategy": "mean"},
+        TRF | {"supports-nan"},
+    ))
+    register(EstimatorSpec(
+        "Pipeline", Pipeline,
+        {"steps": [
+            ("scale", StandardScaler()),
+            ("model", learn.LogisticRegression(max_iter=80)),
+        ]},
+        CLF | {"meta", "pipeline"},
+    ))
+
+
+_populate()

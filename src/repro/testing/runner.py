@@ -1,0 +1,190 @@
+"""Conformance runner: one estimator, or the whole registry × check matrix.
+
+:func:`check_estimator` is the one-stop entry point for estimator
+authors: hand it an instance (or registry name) and it runs every
+applicable check, raising :class:`ConformanceFailure` with a readable
+report if any fail.
+
+:func:`run_conformance` fans the full matrix out through the
+:mod:`repro.core.parallel` backends.  Work units are plain
+``{"estimator": name, "check": name}`` dicts and the task function is
+the module-level :func:`run_case`, so the process backend can pickle
+the payloads and re-resolve specs/checks by name on the worker side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.base import Estimator
+from ..core.parallel import get_backend
+from . import checks as _checks
+from . import registry as _registry
+
+__all__ = [
+    "ConformanceFailure",
+    "check_estimator",
+    "run_case",
+    "run_conformance",
+    "summarize",
+]
+
+
+class ConformanceFailure(AssertionError):
+    """One or more conformance checks failed; ``str()`` is the report."""
+
+
+def _adhoc_spec(est: Estimator) -> _registry.EstimatorSpec:
+    """Build a spec for an estimator instance that may not be registered.
+
+    A registered class keeps its tags/data/waivers but adopts the
+    instance's own parameters, so ``check_estimator(MyEstimator(C=42))``
+    checks *that* configuration.
+    """
+    cls = type(est)
+    params = est.get_params(deep=False)
+    for spec in _registry.iter_specs():
+        if spec.cls is cls:
+            return _registry.EstimatorSpec(
+                name=spec.name, cls=cls, params=params,
+                tags=spec.tags, data=spec.data, waivers=spec.waivers,
+            )
+    kind = getattr(est, "_estimator_kind", "estimator")
+    tags = {kind}
+    if kind in ("classifier", "regressor"):
+        tags.add("supervised")
+        data = "classification" if kind == "classifier" else "regression"
+    elif kind == "clusterer":
+        tags.update(("unsupervised", "no-predict"))
+        data = "clustering"
+    else:
+        tags.add("unsupervised")
+        data = "classification"
+    return _registry.EstimatorSpec(
+        name=cls.__name__, cls=cls, params=params,
+        tags=frozenset(tags), data=data,
+    )
+
+
+def _resolve_spec(est) -> _registry.EstimatorSpec:
+    if isinstance(est, str):
+        return _registry.get_spec(est)
+    if isinstance(est, type):
+        est = est()
+    if not isinstance(est, Estimator):
+        raise TypeError(
+            "check_estimator expects an Estimator instance/class or a "
+            f"registry name, got {type(est).__name__}"
+        )
+    return _adhoc_spec(est)
+
+
+def run_case(payload: dict) -> dict:
+    """Run one (estimator, check) cell; always returns a result dict.
+
+    Module-level and name-addressed so it survives the process backend.
+    Result statuses: ``passed`` | ``failed`` | ``waived`` | ``skipped``.
+    """
+    spec = _registry.get_spec(payload["estimator"])
+    check = _checks.get_check(payload["check"])
+    base = {"estimator": spec.name, "check": check.name}
+    if check.name in spec.waivers:
+        return {**base, "status": "waived", "detail": spec.waivers[check.name]}
+    if not check.applies(spec):
+        return {**base, "status": "skipped", "detail": "not applicable"}
+    try:
+        check.fn(spec)
+    except Exception as exc:  # noqa: BLE001 — report, don't crash the matrix
+        return {
+            **base,
+            "status": "failed",
+            "detail": f"{type(exc).__name__}: {exc}",
+        }
+    return {**base, "status": "passed", "detail": ""}
+
+
+def _run_spec(spec: _registry.EstimatorSpec,
+              check_names: Optional[Iterable[str]] = None) -> List[dict]:
+    names = tuple(check_names) if check_names else tuple(_checks.ALL_CHECKS)
+    results = []
+    for name in names:
+        check = _checks.get_check(name)
+        base = {"estimator": spec.name, "check": name}
+        if name in spec.waivers:
+            results.append({**base, "status": "waived",
+                            "detail": spec.waivers[name]})
+            continue
+        if not check.applies(spec):
+            results.append({**base, "status": "skipped",
+                            "detail": "not applicable"})
+            continue
+        try:
+            check.fn(spec)
+        except Exception as exc:  # noqa: BLE001
+            results.append({**base, "status": "failed",
+                            "detail": f"{type(exc).__name__}: {exc}"})
+            continue
+        results.append({**base, "status": "passed", "detail": ""})
+    return results
+
+
+def check_estimator(est, checks: Optional[Iterable[str]] = None,
+                    raise_on_failure: bool = True) -> List[dict]:
+    """Run all applicable conformance checks against *est*.
+
+    Parameters
+    ----------
+    est:
+        An :class:`Estimator` instance, an estimator class, or the
+        registry name of a spec.
+    checks:
+        Optional subset of check names to run (default: all).
+    raise_on_failure:
+        When true (default), raise :class:`ConformanceFailure` listing
+        every failed check; otherwise return the result dicts.
+    """
+    spec = _resolve_spec(est)
+    results = _run_spec(spec, checks)
+    failures = [r for r in results if r["status"] == "failed"]
+    if failures and raise_on_failure:
+        lines = [f"{len(failures)} conformance check(s) failed for {spec.name}:"]
+        lines += [f"  {r['estimator']}.{r['check']}: {r['detail']}"
+                  for r in failures]
+        raise ConformanceFailure("\n".join(lines))
+    return results
+
+
+def run_conformance(estimators: Optional[Sequence[str]] = None,
+                    checks: Optional[Sequence[str]] = None,
+                    backend=None, n_workers: Optional[int] = None) -> List[dict]:
+    """Fan the registry × check matrix through a parallel backend.
+
+    Returns one result dict per (estimator, check) cell, in
+    deterministic matrix order regardless of backend.
+    """
+    spec_names = tuple(estimators) if estimators else _registry.spec_names()
+    check_names = tuple(checks) if checks else tuple(_checks.ALL_CHECKS)
+    payloads = [
+        {"estimator": spec_name, "check": check_name}
+        for spec_name in spec_names
+        for check_name in check_names
+    ]
+    return get_backend(backend, n_workers=n_workers).map(run_case, payloads)
+
+
+def summarize(results: Iterable[dict]) -> str:
+    """Human-readable tally plus per-failure lines."""
+    results = list(results)
+    counts = {"passed": 0, "failed": 0, "waived": 0, "skipped": 0}
+    for r in results:
+        counts[r["status"]] = counts.get(r["status"], 0) + 1
+    lines = [
+        "conformance: "
+        + ", ".join(f"{v} {k}" for k, v in counts.items() if v)
+    ]
+    for r in results:
+        if r["status"] == "failed":
+            lines.append(f"  FAIL {r['estimator']}.{r['check']}: {r['detail']}")
+        elif r["status"] == "waived":
+            lines.append(f"  WAIVE {r['estimator']}.{r['check']}: {r['detail']}")
+    return "\n".join(lines)

@@ -13,7 +13,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.base import Estimator, TransformerMixin, as_2d_array, check_fitted
+from ..core.base import (
+    Estimator,
+    TransformerMixin,
+    as_2d_array,
+    as_kernel_samples,
+    check_fitted,
+)
 
 
 class PCA(Estimator, TransformerMixin):
@@ -126,9 +132,8 @@ class KernelPCA(Estimator, TransformerMixin):
     def fit(self, X, y=None) -> "KernelPCA":
         if self.n_components < 1:
             raise ValueError("n_components must be at least 1")
+        X = as_kernel_samples(X)
         n = len(X)
-        if n == 0:
-            raise ValueError("cannot fit on zero samples")
         kernel = self._kernel()
         K = self._engine().gram(kernel, X)
         self._row_mean = K.mean(axis=0)
@@ -162,6 +167,7 @@ class KernelPCA(Estimator, TransformerMixin):
 
     def transform(self, X) -> np.ndarray:
         check_fitted(self, "dual_components_")
+        X = as_kernel_samples(X)
         K = self._engine().cross_gram(self.kernel_, X, self.X_fit_)
         if self.center:
             K = (

@@ -1,0 +1,92 @@
+"""Smoke tests for the figure/perf benchmarks in ``benchmarks/``.
+
+Benchmarks only run on demand, so an API change can silently rot them
+between campaigns.  These smokes keep them honest cheaply: every module
+must import cleanly (which exercises its ``repro`` imports and
+module-level setup), and the data-builder + model machinery of the
+heavier benches must run end-to-end at tiny N.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import numpy as np
+import pytest
+
+pytestmark = pytest.mark.smoke
+
+BENCH_DIR = pathlib.Path(__file__).parent.parent / "benchmarks"
+BENCH_FILES = sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def _load(path: pathlib.Path):
+    name = f"_bench_smoke_{path.stem}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(name, None)
+    return module
+
+
+def test_bench_directory_is_populated():
+    assert len(BENCH_FILES) >= 18
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=[p.stem for p in BENCH_FILES])
+def test_bench_module_imports(path):
+    module = _load(path)
+    test_functions = [n for n in dir(module) if n.startswith("test_")]
+    assert test_functions, f"{path.name} defines no test functions"
+
+
+class TestTinyRuns:
+    """Run the actual bench machinery at toy sizes."""
+
+    def test_fig2_models_fit_tiny_problem(self):
+        module = _load(BENCH_DIR / "bench_fig2_basic_ideas.py")
+        X_train, X_test, y_train, y_test = module.make_problem(seed=0, n=40)
+        for _, factory in module.MODELS:
+            model = factory().fit(X_train, y_train)
+            assert len(model.predict(X_test)) == len(y_test)
+
+    def test_fig3_rings_are_ring_shaped(self):
+        module = _load(BENCH_DIR / "bench_fig3_kernel_trick.py")
+        X, y = module.make_rings(seed=0, n_per_class=12)
+        assert X.shape == (24, 2)
+        assert set(np.unique(y)) == {0, 1}
+
+    def test_fig5_noisy_problem_splits(self):
+        module = _load(BENCH_DIR / "bench_fig5_overfitting.py")
+        X_train, y_train, X_val, y_val = module.noisy_problem(
+            seed=0, n_train=24, n_val=16
+        )
+        assert len(X_train) == len(y_train) == 24
+        assert len(X_val) == len(y_val) == 16
+
+    def test_gram_engine_matches_naive_at_tiny_n(self):
+        module = _load(BENCH_DIR / "bench_perf_gram_engine.py")
+        from repro.kernels import GramEngine, Kernel, SpectrumKernel
+
+        programs = module._make_programs(6, length=10)
+        kernel = SpectrumKernel(k=3)
+        naive = Kernel.matrix(kernel, programs)
+        engine_gram = GramEngine().gram(kernel, programs)
+        np.testing.assert_allclose(engine_gram, naive, atol=1e-10)
+
+    def test_model_selection_pipeline_fits_tiny_data(self):
+        module = _load(BENCH_DIR / "bench_perf_model_selection.py")
+        X, y = module._make_data(n=24, seed=0)
+        pipeline = module._pipeline().fit(X, y)
+        assert pipeline.score(X, y) > 0.5
+
+    def test_imbalance_evaluation_runs_tiny(self):
+        module = _load(BENCH_DIR / "bench_abl_imbalance.py")
+        classifier_recall, screen_recall = module.evaluate_both(
+            n_good=40, n_rare=6, seed=0
+        )
+        assert 0.0 <= classifier_recall <= 1.0
+        assert 0.0 <= screen_recall <= 1.0

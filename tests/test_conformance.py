@@ -1,0 +1,145 @@
+"""The registry × checks conformance matrix, one pytest id per cell.
+
+Each cell reports as ``<Estimator>.<check>`` so a failure pinpoints
+exactly which estimator broke which contract.  Companion suites:
+``test_conformance_regressions.py`` holds one targeted test per bug the
+harness originally surfaced.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.base import Estimator, TransformerMixin
+from repro.testing import (
+    ALL_CHECKS,
+    MAX_WAIVERS,
+    ConformanceFailure,
+    check_estimator,
+    iter_specs,
+    run_case,
+    run_conformance,
+    spec_names,
+    unregistered_classes,
+)
+
+pytestmark = pytest.mark.conformance
+
+_CASES = [
+    (spec.name, check_name)
+    for spec in iter_specs()
+    for check_name in ALL_CHECKS
+]
+
+
+@pytest.mark.parametrize(
+    "estimator,check",
+    _CASES,
+    ids=[f"{estimator}.{check}" for estimator, check in _CASES],
+)
+def test_conformance_cell(estimator, check):
+    result = run_case({"estimator": estimator, "check": check})
+    if result["status"] == "failed":
+        pytest.fail(f"{estimator}.{check}: {result['detail']}")
+    assert result["status"] in ("passed", "waived", "skipped")
+
+
+class TestRegistryCompleteness:
+    def test_every_concrete_estimator_is_registered(self):
+        import repro.cluster  # noqa: F401 — imports are the point
+        import repro.learn  # noqa: F401
+        import repro.transform  # noqa: F401
+
+        missing = unregistered_classes()
+        assert not missing, (
+            "estimators missing a conformance spec: "
+            f"{sorted(cls.__name__ for cls in missing)} — register them "
+            "in repro/testing/registry.py"
+        )
+
+    def test_registry_names_are_class_names(self):
+        for spec in iter_specs():
+            assert spec.name == spec.cls.__name__
+
+    def test_every_spec_constructs_and_is_tagged(self):
+        for spec in iter_specs():
+            est = spec.make()
+            assert isinstance(est, Estimator)
+            assert spec.tags, f"{spec.name} has no capability tags"
+
+
+class TestWaiverBudget:
+    def test_total_waivers_within_budget(self):
+        total = sum(len(spec.waivers) for spec in iter_specs())
+        assert total <= MAX_WAIVERS, (
+            f"{total} waivers exceed the budget of {MAX_WAIVERS}; fix "
+            "estimators instead of waiving them"
+        )
+
+    def test_every_waiver_names_a_check_and_gives_a_reason(self):
+        for spec in iter_specs():
+            for check_name, reason in spec.waivers.items():
+                assert check_name in ALL_CHECKS, (
+                    f"{spec.name} waives unknown check {check_name!r}"
+                )
+                assert len(reason) >= 20, (
+                    f"{spec.name} waiver for {check_name!r} needs a real "
+                    "reason string"
+                )
+
+
+class _NaNSwallowingScaler(Estimator, TransformerMixin):
+    """Deliberately broken: accepts any X without validation."""
+
+    def __init__(self, factor: float = 1.0):
+        self.factor = factor
+
+    def fit(self, X, y=None):
+        self.scale_ = float(self.factor)
+        return self
+
+    def transform(self, X):
+        return np.asarray(X, dtype=float) * self.scale_
+
+
+class TestCheckEstimatorRunner:
+    def test_registered_estimator_passes_by_name(self):
+        results = check_estimator("StandardScaler")
+        assert all(r["status"] != "failed" for r in results)
+
+    def test_broken_estimator_is_flagged(self):
+        with pytest.raises(ConformanceFailure) as excinfo:
+            check_estimator(_NaNSwallowingScaler())
+        message = str(excinfo.value)
+        assert "_NaNSwallowingScaler" in message
+        assert "rejects_nan_X" in message
+
+    def test_raise_on_failure_false_returns_results(self):
+        results = check_estimator(_NaNSwallowingScaler(),
+                                  raise_on_failure=False)
+        statuses = {r["status"] for r in results}
+        assert "failed" in statuses
+
+    def test_rejects_non_estimator(self):
+        with pytest.raises(TypeError):
+            check_estimator(object())
+
+
+class TestParallelRunner:
+    def test_thread_backend_matches_serial(self):
+        subset = spec_names()[:3]
+        serial = run_conformance(estimators=subset, backend="serial")
+        threaded = run_conformance(estimators=subset, backend="thread",
+                                   n_workers=4)
+        assert serial == threaded
+
+    def test_matrix_order_is_deterministic(self):
+        subset = spec_names()[:2]
+        checks = tuple(ALL_CHECKS)[:4]
+        result = run_conformance(estimators=subset, checks=checks,
+                                 backend="serial")
+        expected = [
+            (estimator, check)
+            for estimator in subset
+            for check in checks
+        ]
+        assert [(r["estimator"], r["check"]) for r in result] == expected

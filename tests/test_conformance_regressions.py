@@ -1,0 +1,233 @@
+"""Targeted regressions for the bugs the conformance harness surfaced.
+
+Each test pins one concrete fix so the matrix in
+``test_conformance.py`` can evolve without losing the record of what
+actually broke: silent NaN acceptance in the kernel consumers,
+zero-feature X acceptance everywhere, layout-dependent results,
+1-D probability output, single-class classifiers, imputer inf
+acceptance, and a caller-matrix mutation in spectral clustering.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import SpectralClustering
+from repro.core.base import DataShapeError, as_2d_array, as_kernel_samples
+from repro.core.preprocessing import SimpleImputer, StandardScaler
+from repro.kernels import RBFKernel, SpectrumKernel
+from repro.learn import (
+    SVC,
+    SVR,
+    DecisionTreeClassifier,
+    GaussianProcessRegressor,
+    KernelRidgeRegressor,
+    KNeighborsClassifier,
+    LogisticRegression,
+    OneClassSVM,
+    RandomForestClassifier,
+)
+from repro.transform import KernelPCA
+
+pytestmark = pytest.mark.conformance
+
+
+@pytest.fixture()
+def xy():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(30, 3))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int)
+    return X, y
+
+
+def _with_nan(X):
+    bad = np.array(X, copy=True)
+    bad[2, 1] = np.nan
+    return bad
+
+
+class TestValidationHelpers:
+    def test_as_2d_array_rejects_zero_features(self):
+        with pytest.raises(DataShapeError, match="no features"):
+            as_2d_array(np.empty((5, 0)))
+
+    def test_as_2d_array_normalizes_layout(self):
+        X = np.asfortranarray(np.arange(12.0).reshape(3, 4))
+        out = as_2d_array(X)
+        assert out.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(out, X)
+
+    def test_as_kernel_samples_screens_numeric_input(self):
+        with pytest.raises(DataShapeError, match="NaN"):
+            as_kernel_samples(_with_nan(np.ones((4, 2))))
+        with pytest.raises(DataShapeError, match="no samples"):
+            as_kernel_samples(np.empty((0, 2)))
+
+    def test_as_kernel_samples_keeps_indices_1d(self):
+        indices = np.arange(6)
+        out = as_kernel_samples(indices)
+        assert out.ndim == 1 and out.dtype == indices.dtype
+
+    def test_as_kernel_samples_passes_structured_samples_through(self):
+        programs = [["LD", "ST"], ["ADD"], ["MUL", "SYNC", "LD"]]
+        assert as_kernel_samples(programs) is programs
+        with pytest.raises(DataShapeError, match="no samples"):
+            as_kernel_samples([])
+
+
+class TestKernelConsumersRejectNaN:
+    """The original bug: kernel estimators skipped X validation entirely,
+    so NaN flowed straight into the Gram matrix."""
+
+    def test_svc(self, xy):
+        X, y = xy
+        with pytest.raises(ValueError, match="NaN"):
+            SVC(kernel=RBFKernel(gamma=0.5)).fit(_with_nan(X), y)
+        model = SVC(kernel=RBFKernel(gamma=0.5), random_state=0).fit(X, y)
+        with pytest.raises(ValueError, match="NaN"):
+            model.predict(_with_nan(X))
+
+    def test_svr(self, xy):
+        X, y = xy
+        with pytest.raises(ValueError, match="NaN"):
+            SVR(kernel=RBFKernel(gamma=0.5)).fit(_with_nan(X), y.astype(float))
+        model = SVR(kernel=RBFKernel(gamma=0.5), max_iter=20).fit(
+            X, y.astype(float)
+        )
+        with pytest.raises(ValueError, match="NaN"):
+            model.predict(_with_nan(X))
+
+    def test_one_class_svm(self, xy):
+        X, _ = xy
+        with pytest.raises(ValueError, match="NaN"):
+            OneClassSVM(kernel=RBFKernel(gamma=0.5)).fit(_with_nan(X))
+        model = OneClassSVM(kernel=RBFKernel(gamma=0.5), nu=0.2).fit(X)
+        with pytest.raises(ValueError, match="NaN"):
+            model.decision_function(_with_nan(X))
+
+    def test_gaussian_process(self, xy):
+        X, y = xy
+        with pytest.raises(ValueError, match="NaN"):
+            GaussianProcessRegressor(kernel=RBFKernel(gamma=0.5)).fit(
+                _with_nan(X), y.astype(float)
+            )
+        model = GaussianProcessRegressor(kernel=RBFKernel(gamma=0.5)).fit(
+            X, y.astype(float)
+        )
+        with pytest.raises(ValueError, match="NaN"):
+            model.predict(_with_nan(X))
+
+    def test_kernel_ridge(self, xy):
+        X, y = xy
+        with pytest.raises(ValueError, match="NaN"):
+            KernelRidgeRegressor(kernel=RBFKernel(gamma=0.5)).fit(
+                _with_nan(X), y.astype(float)
+            )
+        model = KernelRidgeRegressor(kernel=RBFKernel(gamma=0.5)).fit(
+            X, y.astype(float)
+        )
+        with pytest.raises(ValueError, match="NaN"):
+            model.predict(_with_nan(X))
+
+    def test_kernel_pca(self, xy):
+        X, _ = xy
+        with pytest.raises(ValueError, match="NaN"):
+            KernelPCA(kernel=RBFKernel(gamma=0.5)).fit(_with_nan(X))
+        model = KernelPCA(kernel=RBFKernel(gamma=0.5), n_components=2).fit(X)
+        with pytest.raises(ValueError, match="NaN"):
+            model.transform(_with_nan(X))
+
+    def test_structured_samples_still_work(self):
+        """Validation must not break non-vector samples (the reason the
+        kernel consumers skipped as_2d_array in the first place)."""
+        programs = [
+            ["LD", "ST", "ADD"], ["LD", "MUL"], ["SYNC", "LD", "ST"],
+            ["ADD", "ADD"], ["MUL", "SYNC"], ["ST", "LD", "LD"],
+        ]
+        y = np.array([0.0, 1.0, 0.0, 1.0, 1.0, 0.0])
+        model = KernelRidgeRegressor(
+            kernel=SpectrumKernel(k=2), alpha=0.1
+        ).fit(programs, y)
+        assert np.all(np.isfinite(model.predict(programs)))
+
+
+class TestLogisticProbabilityContract:
+    def test_predict_proba_is_two_column(self, xy):
+        X, y = xy
+        model = LogisticRegression(max_iter=100).fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.shape == (len(X), 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_predict_matches_argmax_of_proba(self, xy):
+        X, y = xy
+        model = LogisticRegression(max_iter=100).fit(X, y)
+        proba = model.predict_proba(X)
+        expected = model.classes_[(proba[:, 1] >= 0.5).astype(int)]
+        np.testing.assert_array_equal(model.predict(X), expected)
+
+
+class TestSingleClassRejection:
+    def test_knn_classifier(self, xy):
+        X, _ = xy
+        with pytest.raises(ValueError, match="two classes"):
+            KNeighborsClassifier(n_neighbors=3).fit(X, np.zeros(len(X)))
+
+    def test_random_forest_classifier(self, xy):
+        X, _ = xy
+        with pytest.raises(ValueError, match="two classes"):
+            RandomForestClassifier(n_estimators=3, random_state=0).fit(
+                X, np.ones(len(X))
+            )
+
+    def test_decision_tree_still_accepts_single_class(self, xy):
+        """The waiver's rationale: forests hand their member trees
+        bootstrap resamples that can collapse to one class."""
+        X, _ = xy
+        y = np.ones(len(X), dtype=int)
+        tree = DecisionTreeClassifier(max_depth=3, random_state=0).fit(X, y)
+        np.testing.assert_array_equal(tree.predict(X), y)
+
+
+class TestImputerValidation:
+    def test_rejects_inf(self):
+        X = np.ones((6, 2))
+        X[1, 0] = np.inf
+        with pytest.raises(ValueError, match="infinite"):
+            SimpleImputer().fit(X)
+
+    def test_still_accepts_nan(self):
+        X = np.ones((6, 2))
+        X[1, 0] = np.nan
+        filled = SimpleImputer().fit(X).transform(X)
+        assert np.all(np.isfinite(filled))
+        assert filled[1, 0] == 1.0
+
+
+class TestSpectralPrecomputedAffinity:
+    def test_fit_does_not_mutate_callers_matrix(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(12, 2))
+        distances = np.linalg.norm(X[:, None] - X[None, :], axis=-1)
+        affinity = np.exp(-(distances ** 2))
+        before = affinity.copy()
+        SpectralClustering(
+            n_clusters=2, affinity="precomputed", random_state=0
+        ).fit(affinity)
+        np.testing.assert_array_equal(affinity, before)
+
+    def test_rejects_non_finite_affinity(self):
+        affinity = np.eye(4)
+        affinity[0, 1] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            SpectralClustering(
+                n_clusters=2, affinity="precomputed"
+            ).fit(affinity)
+
+
+class TestLayoutIndependence:
+    def test_scaler_is_bitwise_identical_across_layouts(self):
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(25, 4))
+        c_order = StandardScaler().fit(X).transform(X)
+        f_order = StandardScaler().fit(np.asfortranarray(X)).transform(X)
+        np.testing.assert_array_equal(c_order, f_order)

@@ -126,3 +126,150 @@ class TestReporting:
 
     def test_sparkline_empty(self):
         assert sparkline([]) == ""
+
+
+class TestMethodologyBranches:
+    def _assess_all(self, checklist, satisfied=True):
+        for principle in MethodologyChecklist.PRINCIPLES:
+            checklist.assess(principle, satisfied, "because")
+        return checklist
+
+    def test_duplicate_assessments_still_complete(self):
+        checklist = self._assess_all(MethodologyChecklist("dup"))
+        checklist.assess(
+            MethodologyChecklist.PRINCIPLES[0], True, "assessed twice"
+        )
+        assert checklist.is_complete()
+        assert checklist.is_viable()
+        assert len(checklist.assessments) == 5
+
+    def test_viable_requires_completeness_not_just_passes(self):
+        checklist = MethodologyChecklist("partial")
+        checklist.assess(
+            MethodologyChecklist.PRINCIPLES[0], True, "only one assessed"
+        )
+        assert not checklist.is_complete()
+        assert not checklist.is_viable()
+
+    def test_describe_complete_checklist_has_no_unassessed_line(self):
+        checklist = self._assess_all(MethodologyChecklist("complete"))
+        text = checklist.describe()
+        assert "unassessed" not in text
+        assert text.count("[PASS]") == 4
+
+    def test_describe_incomplete_lists_missing_principles(self):
+        checklist = MethodologyChecklist("incomplete")
+        checklist.assess("data availability", False, "no tester logs")
+        text = checklist.describe()
+        assert "[FAIL] data availability" in text
+        assert "unassessed" in text
+        assert "added value over existing flow" in text
+
+
+class TestKnowledgeDiscoveryLoopBranches:
+    def test_history_records_every_rejected_iteration(self):
+        judged = []
+
+        def judge(result):
+            judged.append(result)
+            return False, f"reject {result}"
+
+        loop = KnowledgeDiscoveryLoop(
+            mine=lambda context: context,
+            judge=judge,
+            adjust=lambda context, feedback: context + 1,
+            max_iterations=3,
+        )
+        assert loop.run(0) is None
+        assert loop.n_iterations == 3
+        assert [record.iteration for record in loop.history] == [0, 1, 2]
+        assert [record.result for record in loop.history] == [0, 1, 2]
+        assert all(not record.accepted for record in loop.history)
+        assert loop.history[-1].feedback == "reject 2"
+
+    def test_acceptance_stops_iterating(self):
+        calls = []
+
+        def mine(context):
+            calls.append(context)
+            return context
+
+        loop = KnowledgeDiscoveryLoop(
+            mine=mine,
+            judge=lambda result: (result >= 1, "more data"),
+            adjust=lambda context, feedback: context + 1,
+            max_iterations=10,
+        )
+        assert loop.run(0) == 1
+        assert calls == [0, 1]
+        assert loop.history[-1].accepted
+
+    def test_rerun_resets_history(self):
+        loop = KnowledgeDiscoveryLoop(
+            mine=lambda context: context,
+            judge=lambda result: (True, "ok"),
+            adjust=lambda context, feedback: context,
+        )
+        loop.run("a")
+        loop.run("b")
+        assert loop.n_iterations == 1
+        assert loop.history[0].result == "b"
+
+    def test_adjust_receives_judge_feedback(self):
+        received = []
+
+        def adjust(context, feedback):
+            received.append(feedback)
+            return context
+
+        loop = KnowledgeDiscoveryLoop(
+            mine=lambda context: context,
+            judge=lambda result: (False, "needs a new kernel"),
+            adjust=adjust,
+            max_iterations=2,
+        )
+        loop.run(0)
+        assert received == ["needs a new kernel", "needs a new kernel"]
+
+
+class TestReportingBranches:
+    def test_table_title_and_empty_rows(self):
+        text = format_table(["a", "bb"], [], title="empty table")
+        lines = text.splitlines()
+        assert lines[0] == "empty table"
+        assert lines[1].split() == ["a", "bb"]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 3
+
+    def test_cell_formatting_types(self):
+        text = format_table(["v"], [[0.123456789], [7], ["raw"]])
+        assert "0.1235" in text
+        assert "7" in text
+        assert "raw" in text
+
+    def test_series_small_input_keeps_every_point(self):
+        text = format_series([1, 2, 3], [4.0, 5.0, 6.0], max_points=20)
+        lines = text.splitlines()
+        assert len(lines) == 2 + 3
+
+    def test_series_subsample_always_includes_last_point(self):
+        xs = list(range(25))
+        ys = [float(x) for x in xs]
+        text = format_series(xs, ys, max_points=10)
+        assert text.splitlines()[-1].split()[0] == "24"
+
+    def test_series_title_passthrough(self):
+        text = format_series([1], [1.0], title="my series")
+        assert text.splitlines()[0] == "my series"
+
+    def test_sparkline_constant_series_does_not_divide_by_zero(self):
+        line = sparkline([3.0, 3.0, 3.0])
+        assert line == "▁▁▁"
+
+    def test_sparkline_subsamples_to_width(self):
+        line = sparkline(list(range(200)), width=10)
+        assert len(line) == 10
+
+    def test_sparkline_spans_full_block_range(self):
+        line = sparkline([0.0, 1.0])
+        assert line == "▁█"
