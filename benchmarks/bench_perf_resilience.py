@@ -1,0 +1,149 @@
+"""Performance benches for the resilience layer.
+
+Checkpointing earns its keep only if the atomic write-then-rename per
+cell is cheap next to the fits it protects, and resume only matters if
+it actually skips work.  This bench measures both on one medium grid:
+
+- **write overhead** — the same GridSearchCV with and without a
+  :class:`~repro.core.resilience.CheckpointStore`, recording the added
+  wall time per checkpointed cell;
+- **resume speedup** — rerunning after a simulated mid-run kill (half
+  the store's cells dropped, the way a SIGKILL leaves a half-complete
+  directory) and after a completed run, asserting the resumed
+  ``cv_results_`` scores are bitwise the cold run's.  The actual
+  SIGKILL-the-driver path is exercised in ``tests/test_chaos.py``.
+
+Speedups are recorded, not asserted (CI wall clocks are noisy); what
+must hold is bitwise score equality and that resumes skip exactly the
+checkpointed cells.
+
+Artifacts: ``BENCH_resilience.txt`` rows via ``record_result`` and a
+machine-readable ``BENCH_resilience.json`` under ``benchmarks/results/``.
+"""
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+import numpy as np
+
+from repro.core import CheckpointStore, GridSearchCV, KFold
+from repro.learn import LogisticRegression
+from repro.testing.chaos import SlowEstimator
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+GRID = {"base__learning_rate": [0.02, 0.05, 0.1, 0.2]}
+N_FOLDS = 3
+FIT_SECONDS = 0.02  # injected per-fit latency: makes fits dominate
+
+
+def _make_data(n=120, seed=11):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, 4))
+    w = np.array([1.0, -2.0, 0.5, 1.5])
+    y = (X @ w > 0).astype(int)
+    return X, y
+
+
+def _estimator():
+    return SlowEstimator(
+        LogisticRegression(max_iter=40), seconds=FIT_SECONDS
+    )
+
+
+def _run(X, y, checkpoint=None):
+    search = GridSearchCV(
+        _estimator(), GRID, cv=KFold(N_FOLDS), checkpoint=checkpoint,
+        refit=False,
+    )
+    start = time.perf_counter()
+    search.fit(X, y)
+    return search, time.perf_counter() - start
+
+
+def test_perf_checkpoint_overhead_and_resume_speedup(record_result):
+    X, y = _make_data()
+    n_cells = len(GRID["base__learning_rate"]) * N_FOLDS
+
+    plain, plain_seconds = _run(X, y)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CheckpointStore(os.path.join(tmp, "ckpt"))
+        cold, cold_seconds = _run(X, y, checkpoint=store)
+        assert cold.checkpoint_hits_ == 0 and len(store) == n_cells
+        store_bytes = sum(
+            os.path.getsize(os.path.join(store.path, f))
+            for f in os.listdir(store.path)
+        )
+
+        # a mid-run SIGKILL leaves a half-complete directory: drop half
+        # the cells and resume
+        for key in store.keys()[: n_cells // 2]:
+            store.discard(key)
+        half, half_seconds = _run(X, y, checkpoint=store)
+        assert half.checkpoint_hits_ == n_cells - n_cells // 2
+
+        # a completed run resumes without fitting anything
+        warm, warm_seconds = _run(X, y, checkpoint=store)
+        assert warm.checkpoint_hits_ == n_cells
+
+    for resumed in (cold, half, warm):
+        assert (
+            resumed.cv_results_["fold_test_scores"].tobytes()
+            == plain.cv_results_["fold_test_scores"].tobytes()
+        )
+        assert resumed.best_params_ == plain.best_params_
+
+    overhead_seconds = cold_seconds - plain_seconds
+    record = {
+        "bench": "resilience_checkpointing",
+        "workload": {
+            "n_samples": len(X),
+            "grid": {k: list(map(float, v)) for k, v in GRID.items()},
+            "n_cells": n_cells,
+            "n_folds": N_FOLDS,
+            "injected_fit_seconds": FIT_SECONDS,
+            "estimator": "SlowEstimator(LogisticRegression)",
+        },
+        "cpu_count": os.cpu_count(),
+        "plain_seconds": plain_seconds,
+        "checkpointed_cold_seconds": cold_seconds,
+        "checkpoint_overhead_seconds": overhead_seconds,
+        "checkpoint_overhead_per_cell_ms": overhead_seconds / n_cells * 1e3,
+        "checkpoint_overhead_fraction": overhead_seconds
+        / max(plain_seconds, 1e-9),
+        "store_bytes": store_bytes,
+        "resume_half_seconds": half_seconds,
+        "resume_half_speedup_vs_cold": cold_seconds / half_seconds,
+        "resume_full_seconds": warm_seconds,
+        "resume_full_speedup_vs_cold": cold_seconds / warm_seconds,
+        "scores_bitwise_identical": True,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_resilience.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+    record_result(
+        "BENCH_resilience",
+        "\n".join(
+            [
+                f"workload     {n_cells} cells "
+                f"({len(GRID['base__learning_rate'])} candidates x "
+                f"{N_FOLDS} folds), {FIT_SECONDS * 1e3:.0f} ms/fit "
+                f"injected",
+                f"plain        {plain_seconds * 1e3:10.1f} ms",
+                f"checkpointed {cold_seconds * 1e3:10.1f} ms"
+                f"  (+{overhead_seconds / n_cells * 1e3:.2f} ms/cell, "
+                f"{store_bytes} bytes on disk)",
+                f"resume half  {half_seconds * 1e3:10.1f} ms"
+                f"  ({cold_seconds / half_seconds:.2f}x vs cold)",
+                f"resume full  {warm_seconds * 1e3:10.1f} ms"
+                f"  ({cold_seconds / warm_seconds:.2f}x vs cold)",
+                "scores       bitwise-identical across plain/cold/resumes",
+            ]
+        ),
+    )

@@ -20,10 +20,74 @@ class DataShapeError(ReproError, ValueError):
 class WorkerError(ReproError):
     """Raised when a parallel task keeps failing after its retry budget.
 
-    The original exception is chained as ``__cause__``; ``task_index``
-    identifies the failing task in submission order.
+    The original exception is chained as ``__cause__`` (where the
+    process boundary allows); ``task_index`` identifies the failing task
+    in submission order, ``attempts`` counts how many times it ran, and
+    ``traceback_str`` carries the formatted traceback from the worker
+    that last executed it — including remote workers, whose live
+    traceback objects cannot cross the process boundary.
+
+    Instances pickle faithfully (``__reduce__``) so the error itself can
+    travel between processes, e.g. out of a nested backend.
     """
 
-    def __init__(self, message: str, task_index: int = -1):
+    def __init__(self, message: str, task_index: int = -1,
+                 attempts: int = 1, traceback_str: str = ""):
         super().__init__(message)
         self.task_index = task_index
+        self.attempts = attempts
+        self.traceback_str = traceback_str
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.args[0], self.task_index, self.attempts,
+             self.traceback_str),
+        )
+
+
+class TaskTimeoutError(WorkerError):
+    """Raised when a task exceeds its per-task ``timeout``.
+
+    The hung worker is *abandoned*, not interrupted: the thread or
+    process keeps running (process workers are additionally terminated)
+    but its result is discarded.  ``abandoned`` distinguishes the task
+    that actually overran its budget (``False``) from siblings that were
+    still in flight when the batch was torn down (``True``).
+    """
+
+    def __init__(self, message: str, task_index: int = -1,
+                 timeout: float = None, abandoned: bool = False,
+                 attempts: int = 1, traceback_str: str = ""):
+        super().__init__(message, task_index=task_index, attempts=attempts,
+                         traceback_str=traceback_str)
+        self.timeout = timeout
+        self.abandoned = abandoned
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.args[0], self.task_index, self.timeout, self.abandoned,
+             self.attempts, self.traceback_str),
+        )
+
+
+class DeadlineExceededError(ReproError):
+    """Raised when a run-level :class:`~repro.core.resilience.Deadline`
+    expires with tasks still pending.
+
+    Unlike a per-task timeout, a deadline is never retried: it bounds
+    the whole ``map`` call (or a whole search), so expiry aborts
+    everything still in flight.
+    """
+
+    def __init__(self, message: str, pending=()):
+        super().__init__(message)
+        self.pending = tuple(pending)
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.pending))
+
+
+class CheckpointError(ReproError):
+    """Raised when a checkpoint value cannot be encoded or decoded."""

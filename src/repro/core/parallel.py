@@ -19,25 +19,50 @@ only (no ``joblib``):
   aggregation (best-candidate selection, curve assembly) is identical
   across backends.
 - **Per-task seeding.**  ``map(..., seed=s)`` derives one independent
-  child seed per task from a single :class:`numpy.random.SeedSequence`,
-  so stochastic tasks reproduce bit-for-bit on every backend and any
-  worker count.
-- **Retry on worker failure.**  A task that raises (or whose worker
-  process dies) is resubmitted up to ``retries`` times; persistent
-  failures raise :class:`~repro.core.exceptions.WorkerError` with the
-  original exception chained.
+  child seed per task from a single :class:`numpy.random.SeedSequence`.
+  Seeds are assigned by task *index*, so a retried task reruns with its
+  original seed and stochastic campaigns reproduce bit-for-bit on every
+  backend, any worker count, and any failure pattern.
+- **Policy-driven resilience.**  A failing task is retried under a
+  :class:`~repro.core.resilience.RetryPolicy` (exponential backoff,
+  deterministic seeded jitter, retryable-exception filter); the legacy
+  ``retries=k`` counter maps onto an immediate-resubmit policy.
+  Persistent failures raise :class:`~repro.core.exceptions.WorkerError`
+  carrying the worker's formatted traceback and the attempt count.
+- **Timeouts and deadlines.**  A per-task ``timeout`` abandons hung
+  workers (threads are orphaned, processes terminated) and surfaces
+  :class:`~repro.core.exceptions.TaskTimeoutError` with the task index;
+  a run-level :class:`~repro.core.resilience.Deadline` bounds the whole
+  ``map`` (or a whole campaign, when one instance is shared) and raises
+  :class:`~repro.core.exceptions.DeadlineExceededError` on expiry.
+  The serial backend cannot preempt a running task, so per-task
+  timeouts are not enforced there; deadlines are checked between tasks.
+
+Retry sleeps and abandoned timeouts are emitted as ``retry`` /
+``timeout`` spans into the ambient
+:class:`~repro.core.instrument.EventLog` (when one is recording), so a
+flaky campaign shows where its wall time actually went.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+import traceback
+from concurrent.futures import (
+    CancelledError,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from .exceptions import WorkerError
+from . import instrument
+from .exceptions import DeadlineExceededError, TaskTimeoutError, WorkerError
+from .resilience import Deadline, RetryPolicy
 
 __all__ = [
     "ExecutionBackend",
@@ -62,10 +87,33 @@ def spawn_seeds(seed, n: int) -> List[int]:
 
 
 def _call_task(fn: Callable, payload, seed: Optional[int]):
-    """Top-level task trampoline (picklable for the process backend)."""
-    if seed is None:
-        return fn(payload)
-    return fn(payload, seed=seed)
+    """Top-level task trampoline (picklable for the process backend).
+
+    Failures get the formatted traceback stapled onto the exception
+    (``_repro_traceback``); exception ``__dict__`` survives pickling,
+    so the text crosses the process boundary even though live traceback
+    objects cannot.
+    """
+    try:
+        if seed is None:
+            return fn(payload)
+        return fn(payload, seed=seed)
+    except Exception as error:  # noqa: BLE001 — re-raised for map()
+        try:
+            error._repro_traceback = traceback.format_exc()
+        except Exception:  # noqa: BLE001 — immutable/slotted exceptions
+            pass
+        raise
+
+
+def _format_traceback(error: BaseException) -> str:
+    """The worker-side traceback of *error*, best effort."""
+    remote = getattr(error, "_repro_traceback", None)
+    if remote:
+        return remote
+    return "".join(
+        traceback.format_exception(type(error), error, error.__traceback__)
+    )
 
 
 class ExecutionBackend:
@@ -78,18 +126,37 @@ class ExecutionBackend:
         ``-1`` uses ``os.cpu_count()``.  Ignored by the serial backend.
     retries:
         How many times a failed task is resubmitted before
-        :class:`WorkerError` is raised.
+        :class:`WorkerError` is raised.  Shorthand for
+        ``retry=RetryPolicy.from_retries(retries)`` (immediate
+        resubmission, no backoff).
+    retry:
+        A :class:`~repro.core.resilience.RetryPolicy`; overrides
+        *retries* when given.
+    timeout:
+        Per-task wall-clock budget in seconds; a task exceeding it is
+        abandoned and raises :class:`TaskTimeoutError` (not enforced on
+        the serial backend, which cannot preempt).
+    deadline:
+        Run-level budget: seconds (a fresh budget per ``map`` call) or
+        a shared :class:`~repro.core.resilience.Deadline` instance.
     """
 
     name = "base"
 
-    def __init__(self, n_workers: Optional[int] = None, retries: int = 1):
+    def __init__(self, n_workers: Optional[int] = None, retries: int = 1,
+                 retry: Optional[RetryPolicy] = None,
+                 timeout: Optional[float] = None, deadline=None):
         if n_workers is not None and n_workers != -1 and n_workers < 1:
             raise ValueError("n_workers must be None, -1, or >= 1")
         if retries < 0:
             raise ValueError("retries must be non-negative")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
         self.n_workers = n_workers
         self.retries = int(retries)
+        self.retry = retry
+        self.timeout = None if timeout is None else float(timeout)
+        self.deadline = deadline
 
     # ------------------------------------------------------------------
     def resolved_workers(self) -> int:
@@ -97,12 +164,17 @@ class ExecutionBackend:
             return max(os.cpu_count() or 1, 1)
         return int(self.n_workers)
 
+    def _policy(self) -> RetryPolicy:
+        if self.retry is not None:
+            return self.retry
+        return RetryPolicy.from_retries(self.retries)
+
     def map(self, fn: Callable, payloads: Sequence, seed=None) -> list:
         """Run ``fn(payload)`` for every payload; results in order.
 
         When *seed* is given, each task instead receives
         ``fn(payload, seed=task_seed)`` with per-task seeds from
-        :func:`spawn_seeds`.
+        :func:`spawn_seeds`, assigned by index (stable under retries).
         """
         payloads = list(payloads)
         n = len(payloads)
@@ -111,54 +183,137 @@ class ExecutionBackend:
         seeds: List[Optional[int]] = (
             [None] * n if seed is None else spawn_seeds(seed, n)
         )
+        policy = self._policy()
+        deadline = Deadline.resolve(self.deadline)
         results = [None] * n
         pending = list(range(n))
-        attempt = 0
+        attempts = [0] * n
         while pending:
+            if deadline is not None and deadline.expired():
+                raise DeadlineExceededError(
+                    f"deadline of {deadline.seconds}s expired with "
+                    f"{len(pending)} task(s) pending on the {self.name} "
+                    f"backend",
+                    pending=pending,
+                )
+            for i in pending:
+                attempts[i] += 1
             outcomes = self._execute(
-                fn, [(i, payloads[i], seeds[i]) for i in pending]
+                fn,
+                [(i, payloads[i], seeds[i]) for i in pending],
+                timeout=self.timeout,
+                deadline=deadline,
             )
-            failed = [(i, err) for i, ok, err in outcomes if not ok]
+            failed = []
             for i, ok, value in outcomes:
                 if ok:
                     results[i] = value
+                else:
+                    failed.append((i, value))
             if not failed:
                 break
-            if attempt >= self.retries:
-                index, error = failed[0]
-                raise WorkerError(
-                    f"task {index} failed on the {self.name} backend "
-                    f"after {attempt + 1} attempt(s): {error!r}",
-                    task_index=index,
-                ) from error
-            attempt += 1
+            self._raise_if_exhausted(policy, failed, attempts, deadline)
+            # every failure retryable: back off once (the longest of the
+            # per-task deterministic delays) and resubmit the batch
+            delay = max(
+                policy.delay(i, attempts[i]) for i, _ in failed
+            )
+            for i, error in failed:
+                instrument.emit(
+                    "retry", delay, label=f"task[{i}]",
+                    task=i, attempt=attempts[i], backend=self.name,
+                    error=repr(error),
+                )
+            if delay > 0.0:
+                time.sleep(delay)
             pending = sorted(i for i, _ in failed)
         return results
 
+    def _raise_if_exhausted(self, policy, failed, attempts,
+                            deadline) -> None:
+        """Raise for the most meaningful non-retryable failure, if any.
+
+        Deadline expiry always wins; a genuine per-task timeout beats
+        siblings that were merely abandoned with it; everything else
+        surfaces in submission order.
+        """
+        for i, error in failed:
+            if isinstance(error, DeadlineExceededError):
+                raise error
+        for i, error in failed:
+            if isinstance(error, TaskTimeoutError) and not error.abandoned:
+                instrument.emit(
+                    "timeout", error.timeout or 0.0, label=f"task[{i}]",
+                    task=i, backend=self.name, attempt=attempts[i],
+                )
+        ordered = sorted(
+            failed,
+            key=lambda item: (
+                not (isinstance(item[1], TaskTimeoutError)
+                     and not item[1].abandoned),
+                item[0],
+            ),
+        )
+        for index, error in ordered:
+            if policy.should_retry(error, attempts[index]):
+                continue
+            if isinstance(error, TaskTimeoutError):
+                error.attempts = attempts[index]
+                raise error
+            raise WorkerError(
+                f"task {index} failed on the {self.name} backend "
+                f"after {attempts[index]} attempt(s): {error!r}",
+                task_index=index,
+                attempts=attempts[index],
+                traceback_str=_format_traceback(error),
+            ) from error
+
     # ------------------------------------------------------------------
-    def _execute(self, fn, calls):
+    def _execute(self, fn, calls, timeout=None, deadline=None):
         """Run ``calls = [(index, payload, seed), ...]`` once each and
         return ``[(index, ok, result_or_exception), ...]``."""
         raise NotImplementedError
 
     def __repr__(self):
+        extras = ""
+        if self.retry is not None:
+            extras += f", retry={self.retry!r}"
+        if self.timeout is not None:
+            extras += f", timeout={self.timeout}"
+        if self.deadline is not None:
+            extras += f", deadline={self.deadline!r}"
         return (
             f"{type(self).__name__}(n_workers={self.n_workers}, "
-            f"retries={self.retries})"
+            f"retries={self.retries}{extras})"
         )
 
 
 class SerialBackend(ExecutionBackend):
-    """Run tasks in the calling thread, one after another."""
+    """Run tasks in the calling thread, one after another.
+
+    No preemption is possible in-process, so per-task ``timeout`` is
+    not enforced here; a run-level deadline is checked between tasks.
+    """
 
     name = "serial"
 
     def resolved_workers(self) -> int:
         return 1
 
-    def _execute(self, fn, calls):
+    def _execute(self, fn, calls, timeout=None, deadline=None):
         outcomes = []
         for index, payload, seed in calls:
+            if deadline is not None and deadline.expired():
+                outcomes.append((
+                    index,
+                    False,
+                    DeadlineExceededError(
+                        f"deadline of {deadline.seconds}s expired before "
+                        f"task {index} could run",
+                        pending=[index],
+                    ),
+                ))
+                continue
             try:
                 outcomes.append((index, True, _call_task(fn, payload, seed)))
             except Exception as error:  # noqa: BLE001 — retried by map()
@@ -166,32 +321,118 @@ class SerialBackend(ExecutionBackend):
         return outcomes
 
 
-class ThreadBackend(ExecutionBackend):
-    """Run tasks on a thread pool (shared memory, GIL-bound Python)."""
+class _PoolBackend(ExecutionBackend):
+    """Shared future-collection loop for the thread/process backends."""
 
-    name = "thread"
+    def _make_pool(self):
+        raise NotImplementedError
 
-    def _execute(self, fn, calls):
+    def _shutdown(self, pool, abandon: bool) -> None:
+        if abandon:
+            pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            pool.shutdown(wait=True)
+
+    def _execute(self, fn, calls, timeout=None, deadline=None):
+        pool = self._make_pool()
+        abandon = False
         outcomes = []
-        with ThreadPoolExecutor(max_workers=self.resolved_workers()) as pool:
+        try:
             futures = [
                 (index, pool.submit(_call_task, fn, payload, seed))
                 for index, payload, seed in calls
             ]
-            for index, future in futures:
+            for position, (index, future) in enumerate(futures):
+                budget, bound = None, None
+                if timeout is not None:
+                    budget, bound = float(timeout), "timeout"
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if budget is None or remaining < budget:
+                        budget, bound = remaining, "deadline"
                 try:
-                    outcomes.append((index, True, future.result()))
+                    outcomes.append(
+                        (index, True, future.result(timeout=budget))
+                    )
+                except FuturesTimeoutError:
+                    abandon = True
+                    if bound == "deadline":
+                        error: Exception = DeadlineExceededError(
+                            f"deadline of {deadline.seconds}s expired "
+                            f"while waiting on task {index}",
+                            pending=[i for i, _ in futures[position:]],
+                        )
+                    else:
+                        error = TaskTimeoutError(
+                            f"task {index} on the {self.name} backend "
+                            f"exceeded its {timeout}s timeout and was "
+                            f"abandoned",
+                            task_index=index,
+                            timeout=timeout,
+                        )
+                    outcomes.append((index, False, error))
+                    outcomes.extend(
+                        self._drain_after_abandon(
+                            futures[position + 1:], timeout
+                        )
+                    )
+                    break
+                except CancelledError as error:
+                    outcomes.append((index, False, error))
                 except Exception as error:  # noqa: BLE001
                     outcomes.append((index, False, error))
+        finally:
+            self._shutdown(pool, abandon)
         return outcomes
 
+    @staticmethod
+    def _drain_after_abandon(remaining, timeout):
+        """Salvage siblings that already finished; mark the rest
+        abandoned (retryable only under ``retry_timeouts``)."""
+        drained = []
+        for index, future in remaining:
+            if future.done() and not future.cancelled():
+                try:
+                    drained.append((index, True, future.result(timeout=0)))
+                except Exception as error:  # noqa: BLE001
+                    drained.append((index, False, error))
+            else:
+                future.cancel()
+                drained.append((
+                    index,
+                    False,
+                    TaskTimeoutError(
+                        f"task {index} abandoned after a sibling task "
+                        f"timed out",
+                        task_index=index,
+                        timeout=timeout,
+                        abandoned=True,
+                    ),
+                ))
+        return drained
 
-class ProcessBackend(ExecutionBackend):
+
+class ThreadBackend(_PoolBackend):
+    """Run tasks on a thread pool (shared memory, GIL-bound Python).
+
+    A timed-out task's thread cannot be killed; it is orphaned (the
+    pool is shut down without waiting) and its eventual result is
+    discarded.
+    """
+
+    name = "thread"
+
+    def _make_pool(self):
+        return ThreadPoolExecutor(max_workers=self.resolved_workers())
+
+
+class ProcessBackend(_PoolBackend):
     """Run tasks on a process pool.
 
     Task functions, payloads, and results must be picklable.  A worker
     process dying (``BrokenProcessPool``) marks every task still in
-    flight as failed; the retry pass runs them on a fresh pool.
+    flight as failed; the retry pass runs them on a fresh pool.  A
+    timed-out task's worker process is terminated outright.
     """
 
     name = "process"
@@ -201,29 +442,29 @@ class ProcessBackend(ExecutionBackend):
             return max(min(os.cpu_count() or 1, 4), 2)
         return super().resolved_workers()
 
-    def _execute(self, fn, calls):
-        outcomes = []
+    def _make_pool(self):
+        return ProcessPoolExecutor(max_workers=self.resolved_workers())
+
+    def _shutdown(self, pool, abandon: bool) -> None:
+        if abandon:
+            # snapshot the worker handles first: shutdown() clears the
+            # pool's process table, and a hung worker never drains the
+            # call queue on its own
+            workers = list((getattr(pool, "_processes", None) or {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for process in workers:
+                process.terminate()
+        else:
+            pool.shutdown(wait=True)
+
+    def _execute(self, fn, calls, timeout=None, deadline=None):
         try:
-            with ProcessPoolExecutor(
-                max_workers=self.resolved_workers()
-            ) as pool:
-                futures = [
-                    (index, pool.submit(_call_task, fn, payload, seed))
-                    for index, payload, seed in calls
-                ]
-                for index, future in futures:
-                    try:
-                        outcomes.append((index, True, future.result()))
-                    except Exception as error:  # noqa: BLE001
-                        outcomes.append((index, False, error))
-        except BrokenProcessPool as error:
-            done = {index for index, _, _ in outcomes}
-            outcomes.extend(
-                (index, False, error)
-                for index, _, _ in calls
-                if index not in done
+            return super()._execute(
+                fn, calls, timeout=timeout, deadline=deadline
             )
-        return outcomes
+        except BrokenProcessPool as error:
+            # pool management itself broke before all futures resolved
+            return [(index, False, error) for index, _, _ in calls]
 
 
 _BACKENDS = {
@@ -241,15 +482,19 @@ def available_backends() -> List[str]:
 
 
 def get_backend(spec=None, n_workers: Optional[int] = None,
-                retries: int = 1) -> ExecutionBackend:
+                retries: int = 1, retry: Optional[RetryPolicy] = None,
+                timeout: Optional[float] = None,
+                deadline=None) -> ExecutionBackend:
     """Resolve a backend specification.
 
     ``None`` means serial; a string picks a registered backend; an
     :class:`ExecutionBackend` instance passes through unchanged (its own
-    worker/retry configuration wins).
+    worker/retry/timeout configuration wins).
     """
     if spec is None:
-        return SerialBackend(retries=retries)
+        return SerialBackend(
+            retries=retries, retry=retry, timeout=timeout, deadline=deadline
+        )
     if isinstance(spec, ExecutionBackend):
         return spec
     if isinstance(spec, str):
@@ -259,7 +504,10 @@ def get_backend(spec=None, n_workers: Optional[int] = None,
                 f"unknown backend {spec!r}; available: "
                 f"{available_backends()}"
             )
-        return backend_cls(n_workers=n_workers, retries=retries)
+        return backend_cls(
+            n_workers=n_workers, retries=retries, retry=retry,
+            timeout=timeout, deadline=deadline,
+        )
     raise TypeError(
         f"backend must be None, a name, or an ExecutionBackend; "
         f"got {type(spec).__name__}"

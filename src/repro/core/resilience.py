@@ -1,0 +1,500 @@
+"""Resilience primitives for long-running mining campaigns.
+
+The paper's industrial case studies — test-selection loops, grid
+refinement, silicon correlation — are exactly the workloads that die at
+hour three of a four-hour run: a license server blips, one worker
+wedges, one pathological grid cell diverges.  Section 1's
+"no extra engineering burden" principle means the runtime has to absorb
+those failures without babysitting.  This module supplies the four
+policies the execution layer composes:
+
+- :class:`RetryPolicy` — exponential backoff with *deterministic*
+  seeded jitter and a retryable-exception filter, replacing the bare
+  resubmit-immediately counter;
+- :class:`Deadline` — a run-level wall-clock budget shared across every
+  batch of a campaign;
+- :class:`ErrorPolicy` — what a fit/score failure means: raise, record
+  an ``error_score`` and keep going, or substitute a fallback
+  estimator;
+- :class:`CheckpointStore` — an atomic write-then-rename store of task
+  results keyed by content fingerprint, making searches and discovery
+  loops resumable with bitwise-identical results.
+
+Everything here is plain picklable data: policies travel inside task
+payloads to process workers, and a store is just a directory path plus
+options.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import tempfile
+import time
+from hashlib import blake2b
+from typing import Callable, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .exceptions import CheckpointError, TaskTimeoutError
+
+__all__ = [
+    "RetryPolicy",
+    "Deadline",
+    "ErrorPolicy",
+    "CheckpointStore",
+    "fingerprint",
+]
+
+
+# ---------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------
+
+class RetryPolicy:
+    """Exponential backoff with deterministic, seeded jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total times one task may run (first attempt included); the
+        bare ``retries=k`` counter corresponds to ``max_attempts=k+1``.
+    base_delay:
+        Sleep before the first retry, in seconds.
+    multiplier:
+        Growth factor per further retry.
+    max_delay:
+        Cap on any single delay.
+    jitter:
+        Fraction of the delay randomized away: the actual sleep is
+        uniform in ``[delay * (1 - jitter), delay]``.  The draw is a
+        pure function of ``(seed, task_index, attempt)``, so a rerun of
+        the same campaign backs off identically — failure handling
+        never breaks reproducibility.
+    seed:
+        Root of the jitter derivation.
+    retryable:
+        Either a tuple of exception types or a predicate
+        ``retryable(error) -> bool``.  Non-matching errors fail fast.
+    retry_timeouts:
+        Whether :class:`TaskTimeoutError` counts as retryable.  Off by
+        default: a hung task usually hangs again, and every retry costs
+        a full timeout window.
+    """
+
+    def __init__(self, max_attempts: int = 2, base_delay: float = 0.05,
+                 multiplier: float = 2.0, max_delay: float = 5.0,
+                 jitter: float = 0.5, seed: int = 0,
+                 retryable: Union[Tuple, Callable] = (Exception,),
+                 retry_timeouts: bool = False):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.multiplier = float(multiplier)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+        self.retryable = retryable
+        self.retry_timeouts = bool(retry_timeouts)
+
+    @classmethod
+    def from_retries(cls, retries: int) -> "RetryPolicy":
+        """The legacy ``retries`` counter: immediate resubmission,
+        any exception, no backoff."""
+        return cls(max_attempts=retries + 1, base_delay=0.0, jitter=0.0)
+
+    # ------------------------------------------------------------------
+    def is_retryable(self, error: BaseException) -> bool:
+        if isinstance(error, TaskTimeoutError) and not self.retry_timeouts:
+            return False
+        if callable(self.retryable) and not isinstance(
+            self.retryable, tuple
+        ):
+            return bool(self.retryable(error))
+        return isinstance(error, tuple(self.retryable))
+
+    def should_retry(self, error: BaseException, attempts: int) -> bool:
+        """Whether a task that has now run *attempts* times and failed
+        with *error* deserves another attempt."""
+        return attempts < self.max_attempts and self.is_retryable(error)
+
+    def delay(self, task_index: int, attempt: int) -> float:
+        """Backoff before retry number *attempt* (1-based) of one task.
+
+        Deterministic: depends only on the policy configuration and
+        ``(task_index, attempt)``.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(
+            self.base_delay * self.multiplier ** (attempt - 1),
+            self.max_delay,
+        )
+        if raw == 0.0 or self.jitter == 0.0:
+            return raw
+        entropy = np.random.SeedSequence(
+            entropy=[self.seed, int(task_index) & 0xFFFFFFFF, int(attempt)]
+        )
+        fraction = np.random.default_rng(entropy).random()
+        return raw * (1.0 - self.jitter * fraction)
+
+    # ------------------------------------------------------------------
+    def __repr__(self):
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, multiplier={self.multiplier}, "
+            f"max_delay={self.max_delay}, jitter={self.jitter}, "
+            f"seed={self.seed})"
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, RetryPolicy):
+            return NotImplemented
+        return (
+            self.max_attempts, self.base_delay, self.multiplier,
+            self.max_delay, self.jitter, self.seed, self.retry_timeouts,
+        ) == (
+            other.max_attempts, other.base_delay, other.multiplier,
+            other.max_delay, other.jitter, other.seed, other.retry_timeouts,
+        ) and self.retryable == other.retryable
+
+    __hash__ = None
+
+
+# ---------------------------------------------------------------------
+# Deadline
+# ---------------------------------------------------------------------
+
+class Deadline:
+    """A wall-clock budget for a whole run.
+
+    One :class:`Deadline` instance can be threaded through many ``map``
+    calls (a whole grid search, a whole discovery loop): the clock
+    starts at construction and never resets.  Passing a plain number of
+    seconds to a backend instead creates a fresh deadline per ``map``.
+    """
+
+    def __init__(self, seconds: float):
+        if seconds <= 0:
+            raise ValueError("deadline must be positive")
+        self.seconds = float(seconds)
+        self.started_at = time.monotonic()
+
+    def remaining(self) -> float:
+        """Seconds left; never negative."""
+        return max(0.0, self.seconds - (time.monotonic() - self.started_at))
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    @staticmethod
+    def resolve(value) -> Optional["Deadline"]:
+        """``None`` | seconds | :class:`Deadline` -> optional deadline."""
+        if value is None or isinstance(value, Deadline):
+            return value
+        return Deadline(float(value))
+
+    def __repr__(self):
+        return (
+            f"Deadline({self.seconds}s, {self.remaining():.3f}s remaining)"
+        )
+
+
+# ---------------------------------------------------------------------
+# ErrorPolicy
+# ---------------------------------------------------------------------
+
+class ErrorPolicy:
+    """What a failing fit/score task means for the surrounding search.
+
+    Modes
+    -----
+    ``"raise"``
+        Propagate (after the backend's retry budget) — the default, and
+        the pre-existing behaviour.
+    ``"skip"``
+        Record ``error_score`` for the failed cell and keep the
+        campaign going; the failure text is preserved alongside the
+        scores so nothing fails silently.
+    ``"fallback"``
+        Fit *fallback* (a fresh clone per cell) in place of the failed
+        candidate and score that instead — the paper's "the flow must
+        still tape out" stance: a diverging exotic model degrades to a
+        trusted baseline rather than killing the sweep.
+    """
+
+    MODES = ("raise", "skip", "fallback")
+
+    def __init__(self, on_error: str = "raise",
+                 error_score: float = float("nan"), fallback=None):
+        if on_error not in self.MODES:
+            raise ValueError(
+                f"on_error must be one of {self.MODES}, got {on_error!r}"
+            )
+        if on_error == "fallback" and fallback is None:
+            raise ValueError("fallback mode requires a fallback estimator")
+        self.on_error = on_error
+        self.error_score = float(error_score)
+        self.fallback = fallback
+
+    def __repr__(self):
+        return (
+            f"ErrorPolicy(on_error={self.on_error!r}, "
+            f"error_score={self.error_score!r}, fallback={self.fallback!r})"
+        )
+
+
+# ---------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------
+
+def _feed(h, value) -> None:
+    """Feed one value into a hash, structurally and stably.
+
+    Arrays hash by dtype/shape/bytes; params-API objects (estimators,
+    kernels, pipelines) hash by class plus their shallow params,
+    recursively; callables by qualified name; containers element-wise.
+    Reprs are used only for scalar builtins, whose reprs are stable.
+    """
+    if isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        h.update(b"nd:")
+        h.update(str(arr.dtype).encode())
+        h.update(repr(arr.shape).encode())
+        h.update(arr.tobytes())
+    elif isinstance(value, (bytes, bytearray)):
+        h.update(b"by:")
+        h.update(bytes(value))
+    elif isinstance(value, str):
+        h.update(b"st:")
+        h.update(value.encode())
+    elif value is None or isinstance(value, (bool, int, float, complex,
+                                             np.generic)):
+        h.update(b"sc:")
+        h.update(repr(value).encode())
+    elif isinstance(value, dict):
+        h.update(b"di:")
+        for key in sorted(value, key=repr):
+            _feed(h, key)
+            _feed(h, value[key])
+    elif isinstance(value, (list, tuple)):
+        h.update(b"sq:")
+        for item in value:
+            _feed(h, item)
+    elif hasattr(value, "cache_key") and callable(value.cache_key):
+        h.update(b"ck:")
+        _feed(h, value.cache_key())
+    elif hasattr(value, "get_params") and not isinstance(value, type):
+        h.update(b"es:")
+        h.update(type(value).__qualname__.encode())
+        _feed(h, value.get_params(deep=False))
+    elif callable(value):
+        h.update(b"fn:")
+        h.update(getattr(value, "__module__", "?").encode())
+        h.update(getattr(value, "__qualname__", repr(value)).encode())
+    else:
+        h.update(b"re:")
+        h.update(type(value).__qualname__.encode())
+        h.update(repr(value).encode())
+
+
+def fingerprint(*parts, digest_size: int = 16) -> str:
+    """Stable hex digest of arbitrarily nested task-describing values.
+
+    Two calls agree exactly when the parts are structurally equal —
+    across processes, across runs, across machines with the same data.
+    This is the checkpoint key: (estimator, params, data, fold) in,
+    one short hex string out.
+    """
+    h = blake2b(digest_size=digest_size)
+    for part in parts:
+        _feed(h, part)
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------
+# CheckpointStore
+# ---------------------------------------------------------------------
+
+def _encode(value, allow_pickle: bool):
+    """JSON-encodable form of *value*; arrays keep exact bytes."""
+    if isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        return {
+            "__ndarray__": base64.b64encode(arr.tobytes()).decode("ascii"),
+            "dtype": str(arr.dtype),
+            "shape": list(arr.shape),
+        }
+    if isinstance(value, np.generic):
+        return _encode(value.item(), allow_pickle)
+    if isinstance(value, (bool, str)) or value is None:
+        return value
+    if isinstance(value, float):
+        # json rejects nan/inf under allow_nan=False; tag them so the
+        # round-trip stays exact (error_score defaults to nan)
+        if value != value:
+            return {"__float__": "nan"}
+        if value in (float("inf"), float("-inf")):
+            return {"__float__": "inf" if value > 0 else "-inf"}
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, dict):
+        for key in value:
+            if not isinstance(key, str):
+                raise CheckpointError(
+                    f"checkpoint dict keys must be strings, got {key!r}"
+                )
+        return {k: _encode(v, allow_pickle) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode(v, allow_pickle) for v in value]
+    if allow_pickle:
+        import pickle
+
+        return {
+            "__pickle__": base64.b64encode(
+                pickle.dumps(value)
+            ).decode("ascii")
+        }
+    raise CheckpointError(
+        f"cannot checkpoint a {type(value).__name__} without "
+        f"allow_pickle=True"
+    )
+
+
+def _decode(value, allow_pickle: bool):
+    if isinstance(value, dict):
+        if "__ndarray__" in value:
+            raw = base64.b64decode(value["__ndarray__"])
+            return np.frombuffer(
+                raw, dtype=np.dtype(value["dtype"])
+            ).reshape(value["shape"]).copy()
+        if "__float__" in value:
+            return float(value["__float__"])
+        if "__pickle__" in value:
+            if not allow_pickle:
+                raise CheckpointError(
+                    "checkpoint contains pickled data but the store was "
+                    "opened with allow_pickle=False"
+                )
+            import pickle
+
+            return pickle.loads(base64.b64decode(value["__pickle__"]))
+        return {k: _decode(v, allow_pickle) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode(v, allow_pickle) for v in value]
+    return value
+
+
+class CheckpointStore:
+    """Atomic, content-addressed store of completed task results.
+
+    One checkpoint is one ``<key>.json`` file in *path*, written to a
+    temporary sibling first and moved into place with ``os.replace`` —
+    so a reader (including a resumed run after SIGKILL) only ever sees
+    absent or complete checkpoints, never torn ones.
+
+    Values are JSON documents in which numpy arrays, NaN/inf floats,
+    and (with ``allow_pickle=True``) arbitrary Python objects
+    round-trip exactly: a float or float64 array read back is bitwise
+    equal to the one written, which is what makes "resume equals
+    uninterrupted run" an achievable contract rather than a tolerance.
+
+    The store itself is just configuration (a path), so it pickles
+    cheaply into task payloads and many workers — threads or processes
+    — may write concurrently.
+    """
+
+    def __init__(self, path, allow_pickle: bool = False):
+        self.path = os.fspath(path)
+        self.allow_pickle = bool(allow_pickle)
+        os.makedirs(self.path, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _file(self, key: str) -> str:
+        if not key or os.sep in key or key.startswith("."):
+            raise CheckpointError(f"invalid checkpoint key {key!r}")
+        return os.path.join(self.path, key + ".json")
+
+    def put(self, key: str, value) -> str:
+        """Persist *value* under *key* atomically; returns the path."""
+        encoded = json.dumps(
+            {"key": key, "value": _encode(value, self.allow_pickle)}
+        )
+        target = self._file(key)
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{key}.", suffix=".tmp", dir=self.path
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(encoded)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return target
+
+    def get(self, key: str, default=None):
+        """The stored value for *key*, or *default* when absent.
+
+        A torn or corrupt file (which atomic replace should preclude,
+        but disks lie) reads as absent rather than poisoning a resume.
+        """
+        try:
+            with open(self._file(key), "r") as fh:
+                document = json.load(fh)
+        except FileNotFoundError:
+            return default
+        except (json.JSONDecodeError, OSError):
+            return default
+        return _decode(document["value"], self.allow_pickle)
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._file(key))
+
+    def keys(self) -> List[str]:
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(self.path)
+            if name.endswith(".json") and not name.startswith(".")
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def discard(self, key: str) -> bool:
+        """Remove one checkpoint; True when it existed."""
+        try:
+            os.unlink(self._file(key))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def clear(self) -> int:
+        """Remove every checkpoint; returns how many were removed."""
+        removed = 0
+        for key in self.keys():
+            removed += self.discard(key)
+        return removed
+
+    def __repr__(self):
+        return (
+            f"CheckpointStore({self.path!r}, {len(self)} entries, "
+            f"allow_pickle={self.allow_pickle})"
+        )

@@ -28,15 +28,18 @@ from __future__ import annotations
 
 import itertools
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from . import instrument
 from .base import Estimator, check_fitted, clone
 from .instrument import EventLog, recording
 from .metrics import accuracy, mean_squared_error
 from .parallel import get_backend
+from .resilience import CheckpointStore, ErrorPolicy, fingerprint
 from .rng import ensure_rng
 
 
@@ -149,14 +152,8 @@ def _task_engine(estimator):
     return default_engine()
 
 
-def _fit_and_score(payload: dict) -> dict:
-    """Fit one cloned candidate on one fold and score it.
-
-    Runs unchanged on every backend (module-level, picklable).  Gram
-    counter deltas are exact on the serial and process backends and
-    approximate under thread concurrency (counters are engine-global).
-    """
-    estimator = payload["estimator"]
+def _fit_and_score_once(payload: dict, estimator) -> dict:
+    """Fit one clone of *estimator* on one fold and score it."""
     params = payload.get("params") or {}
     X, y = payload["X"], payload["y"]
     train, test = payload["train"], payload["test"]
@@ -192,12 +189,119 @@ def _fit_and_score(payload: dict) -> dict:
     return result
 
 
+def _fit_and_score(payload: dict) -> dict:
+    """Fit one cloned candidate on one fold and score it.
+
+    Runs unchanged on every backend (module-level, picklable).  Gram
+    counter deltas are exact on the serial and process backends and
+    approximate under thread concurrency (counters are engine-global).
+
+    Two resilience hooks ride in the payload:
+
+    - ``checkpoint`` / ``checkpoint_key``: a completed result is read
+      back instead of recomputed (``checkpoint_hit`` marks it), and a
+      fresh result is persisted atomically *before* being returned, so
+      a killed driver loses at most in-flight work;
+    - ``error_policy``: an :class:`~repro.core.resilience.ErrorPolicy`
+      deciding whether a fit/score failure raises, records
+      ``error_score``, or falls back to a substitute estimator.  The
+      failure text is kept under ``"error"`` either way.
+
+    With ``"raise"`` (or no policy) a failure propagates and the
+    *backend's* retry loop resubmits the task.  With ``"skip"`` /
+    ``"fallback"`` the task never raises, so the retry budget is spent
+    *in-task* (``payload["retry"]`` + ``payload["task_index"]``, same
+    deterministic delays) before the policy records the cell as failed
+    — a transient blip is retried, only a persistent failure is
+    skipped or substituted.
+    """
+    store = payload.get("checkpoint")
+    key = payload.get("checkpoint_key")
+    if store is not None and key is not None:
+        cached = store.get(key)
+        if cached is not None:
+            cached["checkpoint_hit"] = True
+            return cached
+    policy: Optional[ErrorPolicy] = payload.get("error_policy")
+    retry = payload.get("retry")
+    task_index = payload.get("task_index", 0)
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            result = _fit_and_score_once(payload, payload["estimator"])
+            break
+        except Exception as error:  # noqa: BLE001 — routed by policy
+            if policy is None or policy.on_error == "raise":
+                raise
+            if retry is not None and retry.should_retry(error, attempt):
+                delay = retry.delay(task_index, attempt)
+                instrument.emit(
+                    "retry", delay, label=f"task[{task_index}]",
+                    task=task_index, attempt=attempt, error=repr(error),
+                )
+                if delay > 0.0:
+                    time.sleep(delay)
+                continue
+            if policy.on_error == "fallback":
+                # the fallback is fit exactly as configured: candidate
+                # params are not forwarded (their names may not even
+                # exist on the substitute estimator)
+                result = _fit_and_score_once(
+                    {**payload, "params": None}, policy.fallback
+                )
+                result["fallback"] = True
+            else:
+                result = {
+                    "test_score": policy.error_score,
+                    "fit_seconds": 0.0,
+                    "score_seconds": 0.0,
+                    "n_train": int(len(payload["train"])),
+                    "n_test": int(len(payload["test"])),
+                    "gram": {},
+                }
+                if payload.get("return_train_score"):
+                    result["train_score"] = policy.error_score
+            result["error"] = f"{type(error).__name__}: {error}"
+            break
+    if attempt > 1:
+        result["attempts"] = attempt
+    if store is not None and key is not None:
+        store.put(key, result)
+        result["checkpoint_hit"] = False
+    return result
+
+
+def _resolve_store(checkpoint) -> Optional[CheckpointStore]:
+    """``None`` | path | :class:`CheckpointStore` -> optional store."""
+    if checkpoint is None or isinstance(checkpoint, CheckpointStore):
+        return checkpoint
+    return CheckpointStore(checkpoint)
+
+
 def _emit_task_spans(event_log: Optional[EventLog], results: Sequence[dict],
                      labels: Sequence[str], metas: Sequence[dict]) -> None:
-    """Record one fit span and one score span per completed task."""
+    """Record one fit span and one score span per completed task.
+
+    A task served from a checkpoint did no work this run: it emits a
+    single ``checkpoint`` span (zero seconds) instead of replaying the
+    stored fit/score timings, so the trace accounts for *this* run's
+    wall time and ``recording()`` shows how much a resume skipped.
+    """
     if event_log is None:
         return
     for result, label, meta in zip(results, labels, metas):
+        if result.get("checkpoint_hit"):
+            event_log.emit(
+                "checkpoint", 0.0, label=label,
+                n_samples=result["n_train"],
+                saved_fit_seconds=result["fit_seconds"], **meta,
+            )
+            continue
+        if result.get("error") is not None:
+            meta = dict(meta, error=result["error"])
+        if result.get("attempts"):
+            meta = dict(meta, attempts=result["attempts"])
         event_log.emit(
             "fit", result["fit_seconds"], label=label,
             n_samples=result["n_train"], gram=result["gram"], **meta,
@@ -218,6 +322,11 @@ def cross_validate(
     backend=None,
     n_workers: int = None,
     retries: int = 1,
+    retry=None,
+    timeout: float = None,
+    deadline=None,
+    error_policy: ErrorPolicy = None,
+    checkpoint=None,
     return_train_score: bool = False,
     event_log: EventLog = None,
 ) -> Dict[str, np.ndarray]:
@@ -229,19 +338,41 @@ def cross_validate(
         ``None``/"serial", "thread", "process", or an
         :class:`~repro.core.parallel.ExecutionBackend` instance.  All
         backends produce identical scores; fold tasks are independent.
+    retry / timeout / deadline:
+        Resilience configuration forwarded to
+        :func:`~repro.core.parallel.get_backend` (ignored when
+        *backend* is already an instance).
+    error_policy:
+        An :class:`~repro.core.resilience.ErrorPolicy`; with
+        ``"skip"``/``"fallback"`` a failing fold records its error in
+        the returned ``errors`` list instead of raising.
+    checkpoint:
+        A :class:`~repro.core.resilience.CheckpointStore` (or a
+        directory path).  Completed folds are persisted atomically and
+        skipped on a rerun; scores round-trip bitwise.
     event_log:
         An :class:`~repro.core.instrument.EventLog` receiving one
-        ``fit`` and one ``score`` span per fold.
+        ``fit`` and one ``score`` span per fold (or a ``checkpoint``
+        span for folds served from the store).
 
     Returns
     -------
     dict with ``test_score``, ``fit_seconds``, ``score_seconds`` arrays
-    (one entry per fold), plus ``train_score`` when requested.
+    (one entry per fold), plus ``train_score`` when requested and
+    ``errors`` when an *error_policy* is given.
     """
     X = np.asarray(X)
     y = np.asarray(y)
     folds = _resolve_folds(cv, X, y)
-    runner = get_backend(backend, n_workers=n_workers, retries=retries)
+    runner = get_backend(
+        backend, n_workers=n_workers, retries=retries, retry=retry,
+        timeout=timeout, deadline=deadline,
+    )
+    store = _resolve_store(checkpoint)
+    run_fp = (
+        fingerprint("cv", estimator, X, y, scorer, return_train_score)
+        if store is not None else None
+    )
     payloads = [
         {
             "estimator": estimator,
@@ -251,10 +382,21 @@ def cross_validate(
             "test": test,
             "scorer": scorer,
             "return_train_score": return_train_score,
+            "error_policy": error_policy,
+            "retry": (
+                runner._policy() if error_policy is not None else None
+            ),
+            "task_index": k,
+            "checkpoint": store,
+            "checkpoint_key": (
+                fingerprint(run_fp, train, test)
+                if store is not None else None
+            ),
         }
-        for train, test in folds
+        for k, (train, test) in enumerate(folds)
     ]
-    results = runner.map(_fit_and_score, payloads)
+    with recording(event_log) if event_log is not None else nullcontext():
+        results = runner.map(_fit_and_score, payloads)
     _emit_task_spans(
         event_log,
         results,
@@ -270,6 +412,12 @@ def cross_validate(
     }
     if return_train_score:
         out["train_score"] = np.array([r["train_score"] for r in results])
+    if error_policy is not None:
+        out["errors"] = [r.get("error") for r in results]
+    if store is not None:
+        out["checkpoint_hits"] = int(
+            sum(bool(r.get("checkpoint_hit")) for r in results)
+        )
     return out
 
 
@@ -353,31 +501,53 @@ class GridSearchCV(Estimator):
     scorer:
         ``scorer(y_true, y_pred) -> float`` (higher is better);
         defaults to the estimator's own ``score``.
-    backend / n_workers / retries:
+    backend / n_workers / retries / retry / timeout / deadline:
         Execution backend configuration (see
-        :func:`~repro.core.parallel.get_backend`).
+        :func:`~repro.core.parallel.get_backend`): worker fan-out, the
+        :class:`~repro.core.resilience.RetryPolicy`, the per-task
+        timeout, and the run-level deadline.
+    error_policy:
+        An :class:`~repro.core.resilience.ErrorPolicy`.  With
+        ``"skip"`` a failing cell records ``error_score`` (NaN by
+        default) instead of killing the sweep; with ``"fallback"`` the
+        policy's substitute estimator is fit in its place.  Failure
+        text lands in ``cv_results_["fold_errors"]``.
+    checkpoint:
+        A :class:`~repro.core.resilience.CheckpointStore` (or directory
+        path).  Every completed cell is persisted atomically as it
+        finishes; a rerun with the same store, data, and grid skips the
+        completed cells and reproduces the uninterrupted ``cv_results_``
+        scores bitwise.  ``checkpoint_hits_`` counts the skipped cells.
     refit:
         Refit the best configuration on the full data after the search.
     event_log:
-        Receives per-task ``fit``/``score`` spans, a ``refit`` span,
-        and one ``search`` span for the whole sweep (with the Gram
-        engine delta attributed to it).
+        Receives per-task ``fit``/``score`` spans, ``checkpoint`` spans
+        for cells served from the store, ``retry``/``timeout`` spans
+        from the backend, a ``refit`` span, and one ``search`` span for
+        the whole sweep (with the Gram engine delta attributed to it).
 
     Attributes
     ----------
     best_params_, best_score_, best_index_:
         Winning parameter dict, its mean CV score, its candidate index.
+        Candidates whose mean score is NaN (skipped cells) never win.
     best_estimator_:
         The refit winner (when ``refit=True``).
     cv_results_:
         Dict of per-candidate arrays: ``params``, ``fold_test_scores``,
         ``mean_test_score``, ``std_test_score``, ``rank_test_score``,
-        ``mean_fit_seconds``, ``mean_score_seconds``.
+        ``mean_fit_seconds``, ``mean_score_seconds``; plus
+        ``fold_errors`` when an *error_policy* is configured.
+    checkpoint_hits_:
+        Number of cells served from the checkpoint store (0 without
+        one).
     """
 
     def __init__(self, estimator, param_grid, cv=None,
                  scorer: Callable = None, backend=None,
                  n_workers: int = None, retries: int = 1,
+                 retry=None, timeout: float = None, deadline=None,
+                 error_policy: ErrorPolicy = None, checkpoint=None,
                  refit: bool = True, return_train_score: bool = False,
                  event_log: EventLog = None):
         self.estimator = estimator
@@ -387,6 +557,11 @@ class GridSearchCV(Estimator):
         self.backend = backend
         self.n_workers = n_workers
         self.retries = retries
+        self.retry = retry
+        self.timeout = timeout
+        self.deadline = deadline
+        self.error_policy = error_policy
+        self.checkpoint = checkpoint
         self.refit = refit
         self.return_train_score = return_train_score
         self.event_log = event_log
@@ -400,10 +575,22 @@ class GridSearchCV(Estimator):
             raise ValueError("param_grid yields no candidates")
         folds = _resolve_folds(self.cv, X, y)
         runner = get_backend(
-            self.backend, n_workers=self.n_workers, retries=self.retries
+            self.backend, n_workers=self.n_workers, retries=self.retries,
+            retry=self.retry, timeout=self.timeout, deadline=self.deadline,
         )
         engine = _task_engine(self.estimator)
         log = self.event_log
+        store = _resolve_store(self.checkpoint)
+        # one fingerprint pins everything every cell shares; per-cell
+        # keys add only the candidate params and the fold indices, so a
+        # rerun with identical inputs maps onto identical keys
+        run_fp = (
+            fingerprint(
+                "grid_search", self.estimator, X, y, self.scorer,
+                self.return_train_score,
+            )
+            if store is not None else None
+        )
 
         def _run_search():
             payloads = []
@@ -420,13 +607,25 @@ class GridSearchCV(Estimator):
                             "test": test,
                             "scorer": self.scorer,
                             "return_train_score": self.return_train_score,
+                            "error_policy": self.error_policy,
+                            "retry": (
+                                runner._policy()
+                                if self.error_policy is not None else None
+                            ),
+                            "task_index": len(payloads),
+                            "checkpoint": store,
+                            "checkpoint_key": (
+                                fingerprint(run_fp, params, train, test)
+                                if store is not None else None
+                            ),
                         }
                     )
                     labels.append(f"candidate[{c}] fold[{k}]")
                     metas.append(
                         {"candidate": c, "fold": k, "params": dict(params)}
                     )
-            results = runner.map(_fit_and_score, payloads)
+            with recording(log) if log is not None else nullcontext():
+                results = runner.map(_fit_and_score, payloads)
             _emit_task_spans(log, results, labels, metas)
             return results
 
@@ -446,8 +645,22 @@ class GridSearchCV(Estimator):
             [r["test_score"] for r in results]
         ).reshape(len(candidates), n_folds)
         means = fold_scores.mean(axis=1)
+        # candidates with NaN means (skipped cells under an ErrorPolicy)
+        # rank last and can never win; an all-failed sweep is an error,
+        # not a silent NaN winner
+        comparable = np.where(np.isfinite(means), means, -np.inf)
+        if not np.isfinite(means).any():
+            failures = sorted(
+                {
+                    r["error"] for r in results
+                    if r.get("error") is not None
+                }
+            )
+            raise ValueError(
+                f"every candidate failed; distinct failures: {failures}"
+            )
         # rank 1 = best; argmax tie-breaks on the lowest candidate index
-        order = np.argsort(-means, kind="stable")
+        order = np.argsort(-comparable, kind="stable")
         ranks = np.empty(len(candidates), dtype=int)
         ranks[order] = np.arange(1, len(candidates) + 1)
         self.cv_results_ = {
@@ -467,25 +680,58 @@ class GridSearchCV(Estimator):
             self.cv_results_["fold_train_scores"] = np.array(
                 [r["train_score"] for r in results]
             ).reshape(len(candidates), n_folds)
-        self.best_index_ = int(np.argmax(means))
+        if self.error_policy is not None:
+            errors = [r.get("error") for r in results]
+            self.cv_results_["fold_errors"] = [
+                errors[c * n_folds:(c + 1) * n_folds]
+                for c in range(len(candidates))
+            ]
+        self.checkpoint_hits_ = int(
+            sum(bool(r.get("checkpoint_hit")) for r in results)
+        )
+        self.n_tasks_ = len(results)
+        self.best_index_ = int(np.argmax(comparable))
         self.best_params_ = dict(candidates[self.best_index_])
         self.best_score_ = float(means[self.best_index_])
         self.n_splits_ = n_folds
         self.backend_name_ = runner.name
 
         if self.refit:
-            winner = clone(self.estimator).set_params(**self.best_params_)
+            # the refit gets the same retry treatment as the search
+            # tasks: a transient failure here must not discard the sweep
+            policy = runner._policy()
+            refit_index = len(results)
+            attempt = 0
             start = time.perf_counter()
+            while True:
+                attempt += 1
+                winner = clone(self.estimator).set_params(
+                    **self.best_params_
+                )
+                try:
+                    if log is not None:
+                        with recording(log):
+                            winner.fit(X, y)
+                    else:
+                        winner.fit(X, y)
+                    break
+                except Exception as error:  # noqa: BLE001 — policy-routed
+                    if not policy.should_retry(error, attempt):
+                        raise
+                    delay = policy.delay(refit_index, attempt)
+                    if log is not None:
+                        log.emit(
+                            "retry", delay, label="refit",
+                            attempt=attempt, error=repr(error),
+                        )
+                    if delay > 0.0:
+                        time.sleep(delay)
             if log is not None:
-                with recording(log):
-                    winner.fit(X, y)
                 log.emit(
                     "refit", time.perf_counter() - start,
                     label="best_estimator", n_samples=len(X),
-                    params=dict(self.best_params_),
+                    params=dict(self.best_params_), attempts=attempt,
                 )
-            else:
-                winner.fit(X, y)
             self.best_estimator_ = winner
         return self
 

@@ -13,6 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from ..core import instrument
+from ..core.resilience import CheckpointStore, fingerprint
+
 
 @dataclass
 class PrincipleAssessment:
@@ -107,17 +110,43 @@ class KnowledgeDiscoveryLoop:
         ``adjust(context, feedback) -> context``: fold the feedback into
         the next iteration's setup (new features, new kernel, new
         constraints).
+    checkpoint:
+        A :class:`~repro.core.resilience.CheckpointStore` (or directory
+        path) making the loop resumable: each judged iteration is
+        persisted, and a rerun replays the stored ``(result, accepted,
+        feedback)`` trajectory — re-applying ``adjust`` but skipping
+        ``mine``/``judge`` — before mining anything new.  With a
+        deterministic ``mine``, the resumed loop reproduces the
+        uninterrupted one exactly.  Results must round-trip through the
+        store; open it with ``allow_pickle=True`` for arbitrary result
+        objects.
+    run_key:
+        Namespaces this loop's checkpoints inside a shared store (two
+        different campaigns in one directory never collide).
     """
 
     def __init__(self, mine: Callable, judge: Callable, adjust: Callable,
-                 max_iterations: int = 5):
+                 max_iterations: int = 5, checkpoint=None,
+                 run_key: str = "kdl"):
         if max_iterations < 1:
             raise ValueError("max_iterations must be positive")
         self.mine = mine
         self.judge = judge
         self.adjust = adjust
         self.max_iterations = max_iterations
+        self.checkpoint = (
+            checkpoint
+            if checkpoint is None or isinstance(checkpoint, CheckpointStore)
+            else CheckpointStore(checkpoint, allow_pickle=True)
+        )
+        self.run_key = run_key
         self.history: List[IterationRecord] = []
+        self.resumed_iterations = 0
+
+    def _iteration_key(self, iteration: int) -> str:
+        return fingerprint(
+            "kdl", self.run_key, self.max_iterations, iteration
+        )
 
     def run(self, context) -> Optional[object]:
         """Iterate until a result is accepted or iterations run out.
@@ -127,15 +156,40 @@ class KnowledgeDiscoveryLoop:
         a methodology must allow).
         """
         self.history = []
+        self.resumed_iterations = 0
         for iteration in range(self.max_iterations):
-            result = self.mine(context)
-            accepted, feedback = self.judge(result)
+            stored = (
+                self.checkpoint.get(self._iteration_key(iteration))
+                if self.checkpoint is not None else None
+            )
+            if stored is not None:
+                result = stored["result"]
+                accepted = bool(stored["accepted"])
+                feedback = str(stored["feedback"])
+                self.resumed_iterations += 1
+                instrument.emit(
+                    "checkpoint", 0.0, label=f"kdl[{iteration}]",
+                    iteration=iteration, accepted=accepted,
+                )
+            else:
+                result = self.mine(context)
+                accepted, feedback = self.judge(result)
+                accepted, feedback = bool(accepted), str(feedback)
+                if self.checkpoint is not None:
+                    self.checkpoint.put(
+                        self._iteration_key(iteration),
+                        {
+                            "result": result,
+                            "accepted": accepted,
+                            "feedback": feedback,
+                        },
+                    )
             self.history.append(
                 IterationRecord(
                     iteration=iteration,
                     result=result,
-                    accepted=bool(accepted),
-                    feedback=str(feedback),
+                    accepted=accepted,
+                    feedback=feedback,
                 )
             )
             if accepted:

@@ -18,7 +18,18 @@ See ``docs/conformance.md`` for how to register a new estimator or
 waive a check.
 """
 
-from . import checks, datasets, registry, runner
+from . import chaos, checks, datasets, registry, runner
+from .chaos import (
+    ChaosError,
+    CrashingEstimator,
+    CrashingTask,
+    FlakyEstimator,
+    FlakyTask,
+    HangingEstimator,
+    HangingTask,
+    SlowEstimator,
+    SlowTask,
+)
 from .checks import ALL_CHECKS, applicable_checks, get_check
 from .registry import (
     MAX_WAIVERS,
@@ -40,10 +51,20 @@ from .runner import (
 
 __all__ = [
     "ALL_CHECKS",
+    "ChaosError",
     "ConformanceFailure",
+    "CrashingEstimator",
+    "CrashingTask",
     "EstimatorSpec",
+    "FlakyEstimator",
+    "FlakyTask",
+    "HangingEstimator",
+    "HangingTask",
     "MAX_WAIVERS",
+    "SlowEstimator",
+    "SlowTask",
     "applicable_checks",
+    "chaos",
     "check_estimator",
     "checks",
     "datasets",

@@ -1,0 +1,336 @@
+"""Chaos injectors: controlled failure for exercising the resilience
+layer.
+
+The paper's case-study campaigns fail in four canonical ways — a task
+errors transiently (license blip), a worker dies outright (OOM kill), a
+task wedges forever (solver livelock), or it merely crawls.  This
+module packages each as an injectable *task* (a picklable callable for
+``ExecutionBackend.map``) and as an *estimator wrapper* (drop-in for
+``GridSearchCV``/``cross_validate``), so every retry/timeout/error/
+checkpoint policy can be exercised deterministically on all three
+backends.
+
+Failure counting has to survive the process boundary, so injectors
+count attempts with exclusive-create marker files in an explicit
+``state_dir`` — the same trick lets a *resumed* run observe how many
+times a cell failed before succeeding.  All injectors are deterministic
+by construction: whether attempt *n* of cell *c* fails depends only on
+configuration and the on-disk attempt count, never on scheduling.
+
+The estimator wrappers forward nested parameters (``base__C``) and
+produce bitwise the model their ``base`` would have produced — chaos
+changes *when* work happens, never *what* it computes — which is what
+makes "results with injected failures equal results without" a testable
+contract.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..core.base import Estimator, check_fitted, clone
+from ..core.exceptions import ReproError
+from ..core.resilience import fingerprint
+
+__all__ = [
+    "ChaosError",
+    "FlakyTask",
+    "CrashingTask",
+    "HangingTask",
+    "SlowTask",
+    "FlakyEstimator",
+    "CrashingEstimator",
+    "HangingEstimator",
+    "SlowEstimator",
+    "attempt_count",
+]
+
+
+class ChaosError(ReproError):
+    """The error an injected (non-crash) failure raises."""
+
+
+# ---------------------------------------------------------------------
+# cross-process attempt bookkeeping
+# ---------------------------------------------------------------------
+
+def _record_attempt(state_dir: str, key: str) -> int:
+    """Atomically record one attempt for *key*; returns its 1-based
+    ordinal.  Exclusive file creation makes this correct across
+    processes as well as threads."""
+    os.makedirs(state_dir, exist_ok=True)
+    n = 1
+    while True:
+        path = os.path.join(state_dir, f"{key}.attempt{n}")
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            os.close(fd)
+            return n
+        except FileExistsError:
+            n += 1
+
+
+def attempt_count(state_dir: str, key: str) -> int:
+    """How many attempts have been recorded for *key* so far."""
+    if not os.path.isdir(state_dir):
+        return 0
+    prefix = f"{key}.attempt"
+    return sum(
+        1 for name in os.listdir(state_dir) if name.startswith(prefix)
+    )
+
+
+def _interruptible_sleep(seconds: float, stop_path: Optional[str],
+                         poll: float) -> None:
+    """Sleep in short slices, bailing out as soon as *stop_path*
+    appears — so an abandoned hanging worker can be released by its
+    test instead of pinning a thread until the full hang elapses."""
+    end = time.monotonic() + seconds
+    while True:
+        remaining = end - time.monotonic()
+        if remaining <= 0:
+            return
+        if stop_path is not None and os.path.exists(stop_path):
+            return
+        time.sleep(min(poll, remaining))
+
+
+# ---------------------------------------------------------------------
+# task-level injectors (for ExecutionBackend.map)
+# ---------------------------------------------------------------------
+
+class FlakyTask:
+    """A task that fails its first *fail_times* attempts per payload.
+
+    On success it returns ``payload`` — or, when the backend supplies a
+    per-task seed, ``(payload, draw)`` with a deterministic draw from
+    that seed, so seed-reuse under retries is directly observable.
+    """
+
+    def __init__(self, fail_times: int = 1, state_dir: str = None):
+        if state_dir is None:
+            raise ValueError("FlakyTask needs an explicit state_dir")
+        self.fail_times = int(fail_times)
+        self.state_dir = os.fspath(state_dir)
+
+    def __call__(self, payload, seed=None):
+        key = fingerprint("flaky-task", payload)
+        attempt = _record_attempt(self.state_dir, key)
+        if attempt <= self.fail_times:
+            raise ChaosError(
+                f"injected flaky failure (attempt {attempt}/"
+                f"{self.fail_times}) for payload {payload!r}"
+            )
+        if seed is None:
+            return payload
+        return (payload, int(np.random.default_rng(seed).integers(0, 10**9)))
+
+
+class CrashingTask:
+    """A task whose first *crash_times* attempts kill the whole worker
+    process (``os._exit`` — no exception, no cleanup), modelling an OOM
+    kill or segfault.
+
+    Only meaningful on the process backend: on serial/thread it would
+    take the driver down with it, so there it raises ``ChaosError``
+    instead of exiting when ``safe_in_driver`` is left on.
+    """
+
+    def __init__(self, crash_times: int = 1, state_dir: str = None,
+                 exit_code: int = 17, safe_in_driver: bool = True):
+        if state_dir is None:
+            raise ValueError("CrashingTask needs an explicit state_dir")
+        self.crash_times = int(crash_times)
+        self.state_dir = os.fspath(state_dir)
+        self.exit_code = int(exit_code)
+        self.safe_in_driver = bool(safe_in_driver)
+
+    def _in_worker_process(self) -> bool:
+        import multiprocessing
+
+        return multiprocessing.current_process().name != "MainProcess"
+
+    def __call__(self, payload, seed=None):
+        key = fingerprint("crashing-task", payload)
+        attempt = _record_attempt(self.state_dir, key)
+        if attempt <= self.crash_times:
+            if self.safe_in_driver and not self._in_worker_process():
+                raise ChaosError(
+                    f"injected crash (attempt {attempt}) for payload "
+                    f"{payload!r} — downgraded to an exception outside "
+                    f"a worker process"
+                )
+            os._exit(self.exit_code)
+        return payload
+
+
+class HangingTask:
+    """A task that wedges for *seconds* (bounded, chunk-sleeping).
+
+    ``hang_on`` restricts the hang to one payload value so a batch can
+    mix healthy and hung tasks; ``stop_path`` lets the test release an
+    abandoned worker early by creating that file.
+    """
+
+    def __init__(self, seconds: float = 5.0, hang_on=None,
+                 stop_path: str = None, poll: float = 0.05):
+        self.seconds = float(seconds)
+        self.hang_on = hang_on
+        self.stop_path = stop_path
+        self.poll = float(poll)
+
+    def __call__(self, payload, seed=None):
+        if self.hang_on is None or payload == self.hang_on:
+            _interruptible_sleep(self.seconds, self.stop_path, self.poll)
+        return payload
+
+
+class SlowTask:
+    """A task that takes at least *seconds* before returning."""
+
+    def __init__(self, seconds: float = 0.05):
+        self.seconds = float(seconds)
+
+    def __call__(self, payload, seed=None):
+        time.sleep(self.seconds)
+        return payload
+
+
+# ---------------------------------------------------------------------
+# estimator-level injectors (for GridSearchCV / cross_validate)
+# ---------------------------------------------------------------------
+
+class _ChaosWrapper(Estimator):
+    """Delegating wrapper: fits a clone of ``base`` and forwards the
+    prediction surface, so wrapped results match unwrapped ones
+    exactly.  ``base`` is a nested parameter (``base__C`` works in
+    grids)."""
+
+    def _fit_base(self, X, y):
+        model = clone(self.base)
+        model.fit(X, y) if y is not None else model.fit(X)
+        self.model_ = model
+        return self
+
+    def _model(self):
+        check_fitted(self, "model_")
+        return self.model_
+
+    def predict(self, X):
+        return self._model().predict(X)
+
+    def predict_proba(self, X):
+        return self._model().predict_proba(X)
+
+    def decision_function(self, X):
+        return self._model().decision_function(X)
+
+    def transform(self, X):
+        return self._model().transform(X)
+
+    def score(self, X, y):
+        return self._model().score(X, y)
+
+    @property
+    def _estimator_kind(self):
+        return getattr(self.base, "_estimator_kind", "estimator")
+
+
+class FlakyEstimator(_ChaosWrapper):
+    """Fails ``fit`` for the first *fail_times* attempts of each
+    distinct ``(params, data)`` cell, then fits ``base`` normally.
+
+    Because attempts are counted per cell fingerprint, a grid search
+    over a flaky estimator exercises the retry path on exactly
+    *fail_times* x n_cells attempts and still converges to bitwise the
+    same ``cv_results_`` scores as the unwrapped ``base``.
+    """
+
+    def __init__(self, base, fail_times: int = 1, state_dir: str = None):
+        self.base = base
+        self.fail_times = fail_times
+        self.state_dir = state_dir
+
+    def fit(self, X, y=None):
+        if self.state_dir is None:
+            raise ValueError("FlakyEstimator needs an explicit state_dir")
+        key = fingerprint(
+            "flaky-fit", self.base, np.asarray(X), np.asarray(y)
+        )
+        attempt = _record_attempt(self.state_dir, key)
+        if attempt <= int(self.fail_times):
+            raise ChaosError(
+                f"injected flaky fit (attempt {attempt}/"
+                f"{int(self.fail_times)})"
+            )
+        return self._fit_base(X, y)
+
+
+class CrashingEstimator(_ChaosWrapper):
+    """Kills the worker process during ``fit`` for the first
+    *crash_times* attempts per cell (see :class:`CrashingTask` for the
+    driver-safety downgrade)."""
+
+    def __init__(self, base, crash_times: int = 1, state_dir: str = None,
+                 exit_code: int = 17, safe_in_driver: bool = True):
+        self.base = base
+        self.crash_times = crash_times
+        self.state_dir = state_dir
+        self.exit_code = exit_code
+        self.safe_in_driver = safe_in_driver
+
+    def fit(self, X, y=None):
+        if self.state_dir is None:
+            raise ValueError("CrashingEstimator needs an explicit state_dir")
+        key = fingerprint(
+            "crashing-fit", self.base, np.asarray(X), np.asarray(y)
+        )
+        attempt = _record_attempt(self.state_dir, key)
+        if attempt <= int(self.crash_times):
+            import multiprocessing
+
+            in_worker = (
+                multiprocessing.current_process().name != "MainProcess"
+            )
+            if self.safe_in_driver and not in_worker:
+                raise ChaosError(
+                    f"injected crash (attempt {attempt}) downgraded to an "
+                    f"exception outside a worker process"
+                )
+            os._exit(int(self.exit_code))
+        return self._fit_base(X, y)
+
+
+class HangingEstimator(_ChaosWrapper):
+    """Wedges in ``fit`` for *seconds* before fitting ``base`` — the
+    injector behind the timeout acceptance tests."""
+
+    def __init__(self, base, seconds: float = 5.0, stop_path: str = None,
+                 poll: float = 0.05):
+        self.base = base
+        self.seconds = seconds
+        self.stop_path = stop_path
+        self.poll = poll
+
+    def fit(self, X, y=None):
+        _interruptible_sleep(
+            float(self.seconds), self.stop_path, float(self.poll)
+        )
+        return self._fit_base(X, y)
+
+
+class SlowEstimator(_ChaosWrapper):
+    """Adds *seconds* of latency to every ``fit`` — for making
+    checkpoint kill-windows and deadline expiries easy to hit."""
+
+    def __init__(self, base, seconds: float = 0.05):
+        self.base = base
+        self.seconds = seconds
+
+    def fit(self, X, y=None):
+        time.sleep(float(self.seconds))
+        return self._fit_base(X, y)

@@ -1,0 +1,557 @@
+"""Chaos-testing the resilience layer: injected failures against every
+policy on every backend, including the SIGKILL checkpoint-resume
+acceptance scenario.
+
+Everything here is marked ``chaos`` so CI can run the lane on its own
+(``pytest -m chaos``); the tests still ride in the default suite.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CheckpointStore,
+    DeadlineExceededError,
+    ErrorPolicy,
+    EventLog,
+    GridSearchCV,
+    KFold,
+    TaskTimeoutError,
+    WorkerError,
+    cross_validate,
+    recording,
+)
+from repro.core.base import Estimator
+from repro.core.parallel import (
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+)
+from repro.flows import KnowledgeDiscoveryLoop
+from repro.learn import LogisticRegression
+from repro.testing.chaos import (
+    ChaosError,
+    CrashingTask,
+    FlakyEstimator,
+    FlakyTask,
+    HangingTask,
+    SlowEstimator,
+    SlowTask,
+    attempt_count,
+)
+from repro.testing.chaos import fingerprint as chaos_fingerprint
+
+pytestmark = pytest.mark.chaos
+
+BACKENDS = [SerialBackend, ThreadBackend, ProcessBackend]
+SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def make_data(n=48, d=4, seed=7):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, d))
+    w = np.array([1.0, -2.0, 0.5, 1.5])[:d]
+    y = (X @ w > 0).astype(int)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_data()
+
+
+class PoisonedEstimator(Estimator):
+    """Fails ``fit`` deterministically for one learning-rate value —
+    the "one pathological grid cell" scenario."""
+
+    def __init__(self, learning_rate=0.1, poison=0.5, max_iter=40):
+        self.learning_rate = learning_rate
+        self.poison = poison
+        self.max_iter = max_iter
+
+    def fit(self, X, y=None):
+        if self.learning_rate == self.poison:
+            raise ChaosError(
+                f"poisoned cell: learning_rate={self.learning_rate}"
+            )
+        self.model_ = LogisticRegression(
+            learning_rate=self.learning_rate, max_iter=self.max_iter
+        ).fit(X, y)
+        return self
+
+    def predict(self, X):
+        return self.model_.predict(X)
+
+    def score(self, X, y):
+        return self.model_.score(X, y)
+
+
+# ---------------------------------------------------------------------
+# task-level injection: retries, crashes, hangs
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend_cls", BACKENDS)
+def test_flaky_task_retried_to_success(backend_cls, tmp_path):
+    state = str(tmp_path / "state")
+    task = FlakyTask(fail_times=1, state_dir=state)
+    backend = backend_cls(n_workers=2, retries=1)
+    assert backend.map(task, [0, 1, 2]) == [0, 1, 2]
+    for payload in (0, 1, 2):
+        key = chaos_fingerprint("flaky-task", payload)
+        assert attempt_count(state, key) == 2
+
+
+def test_worker_error_after_retry_budget(tmp_path):
+    task = FlakyTask(fail_times=5, state_dir=str(tmp_path / "state"))
+    backend = SerialBackend(retries=1)
+    with pytest.raises(WorkerError) as info:
+        backend.map(task, ["only"])
+    assert info.value.task_index == 0
+    assert info.value.attempts == 2
+    assert "injected flaky failure" in info.value.traceback_str
+
+
+def test_crash_recovery_on_process_backend(tmp_path):
+    """A worker dying mid-task (os._exit) breaks the pool; the retry
+    pass reruns the survivors on a fresh pool and the map completes."""
+    task = CrashingTask(crash_times=1, state_dir=str(tmp_path / "state"))
+    backend = ProcessBackend(n_workers=2, retries=3)
+    assert backend.map(task, [0, 1, 2]) == [0, 1, 2]
+
+
+def test_crash_downgrades_to_exception_in_driver(tmp_path):
+    """On serial/thread the injector must not take the driver down."""
+    task = CrashingTask(crash_times=5, state_dir=str(tmp_path / "state"))
+    with pytest.raises(WorkerError) as info:
+        SerialBackend(retries=0).map(task, ["x"])
+    assert isinstance(info.value.__cause__, ChaosError)
+    assert "downgraded" in str(info.value.__cause__)
+
+
+def test_hanging_task_abandoned_on_thread_backend(tmp_path):
+    """Acceptance: a hung task on the thread backend is abandoned within
+    the configured timeout and surfaces TaskTimeoutError with its
+    index."""
+    stop = str(tmp_path / "stop")
+    task = HangingTask(seconds=30.0, hang_on=1, stop_path=stop)
+    backend = ThreadBackend(n_workers=2, retries=0, timeout=0.5)
+    log = EventLog()
+    start = time.perf_counter()
+    try:
+        with pytest.raises(TaskTimeoutError) as info, recording(log):
+            backend.map(task, [0, 1, 2])
+    finally:
+        open(stop, "w").close()  # release the orphaned thread
+    elapsed = time.perf_counter() - start
+    assert info.value.task_index == 1
+    assert info.value.timeout == 0.5
+    assert not info.value.abandoned  # the genuine offender, not a sibling
+    assert elapsed < 5.0, f"abandonment took {elapsed:.1f}s"
+    timeouts = log.spans("timeout")
+    assert len(timeouts) == 1 and timeouts[0].meta["task"] == 1
+
+
+def test_hanging_task_abandoned_on_process_backend():
+    """Acceptance: same contract on the process backend — the hung
+    worker process is terminated, not waited for."""
+    task = HangingTask(seconds=30.0, hang_on=1)
+    backend = ProcessBackend(n_workers=2, retries=0, timeout=1.0)
+    start = time.perf_counter()
+    with pytest.raises(TaskTimeoutError) as info:
+        backend.map(task, [0, 1, 2])
+    elapsed = time.perf_counter() - start
+    assert info.value.task_index == 1
+    assert info.value.timeout == 1.0
+    assert not info.value.abandoned
+    assert elapsed < 10.0, f"abandonment took {elapsed:.1f}s"
+
+
+def test_deadline_bounds_a_map_call():
+    with pytest.raises(DeadlineExceededError) as info:
+        SerialBackend(deadline=0.25).map(SlowTask(0.1), list(range(20)))
+    assert len(info.value.pending) > 0
+    with pytest.raises(DeadlineExceededError):
+        ThreadBackend(n_workers=1, deadline=0.25).map(
+            SlowTask(0.2), list(range(4))
+        )
+
+
+def test_deadline_bounds_a_grid_search(data):
+    X, y = data
+    search = GridSearchCV(
+        SlowEstimator(LogisticRegression(max_iter=40), seconds=0.2),
+        {"base__learning_rate": [0.05, 0.1]},
+        cv=KFold(n_splits=2),
+        deadline=0.3,
+    )
+    with pytest.raises(DeadlineExceededError):
+        search.fit(X, y)
+
+
+# ---------------------------------------------------------------------
+# failure determinism: retries must not perturb results
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend_cls", BACKENDS)
+def test_retried_tasks_reuse_their_original_seed(backend_cls, tmp_path):
+    """Seeds are assigned by task index, so a campaign with injected
+    failures draws exactly what a clean campaign draws."""
+    payloads = [10, 20, 30]
+    clean = backend_cls(n_workers=2, retries=0).map(
+        FlakyTask(fail_times=0, state_dir=str(tmp_path / "clean")),
+        payloads, seed=42,
+    )
+    flaky = backend_cls(n_workers=2, retries=2).map(
+        FlakyTask(fail_times=1, state_dir=str(tmp_path / "flaky")),
+        payloads, seed=42,
+    )
+    assert clean == flaky
+
+
+@pytest.fixture(scope="module")
+def baseline_search(data):
+    X, y = data
+    return GridSearchCV(
+        LogisticRegression(max_iter=40),
+        {"learning_rate": [0.05, 0.1]},
+        cv=KFold(n_splits=3),
+    ).fit(X, y)
+
+
+@pytest.mark.parametrize("backend_cls", BACKENDS)
+def test_grid_search_bitwise_identical_under_injected_failures(
+    backend_cls, tmp_path, data, baseline_search
+):
+    """Satellite pin: GridSearchCV over a flaky estimator converges to
+    bitwise the clean result on every backend — including the refit."""
+    X, y = data
+    chaotic = GridSearchCV(
+        FlakyEstimator(
+            LogisticRegression(max_iter=40),
+            fail_times=1,
+            state_dir=str(tmp_path / "state"),
+        ),
+        {"base__learning_rate": [0.05, 0.1]},
+        cv=KFold(n_splits=3),
+        backend=backend_cls(n_workers=2, retries=2),
+    ).fit(X, y)
+    clean = baseline_search
+    assert (
+        chaotic.cv_results_["fold_test_scores"].tobytes()
+        == clean.cv_results_["fold_test_scores"].tobytes()
+    )
+    assert chaotic.best_index_ == clean.best_index_
+    assert chaotic.best_score_ == clean.best_score_
+    assert (
+        chaotic.best_params_["base__learning_rate"]
+        == clean.best_params_["learning_rate"]
+    )
+    assert np.array_equal(chaotic.predict(X), clean.predict(X))
+
+
+def test_retry_spans_from_flaky_grid_search(tmp_path, data):
+    """Satellite pin: backend retries surface as ``retry`` spans in the
+    search's EventLog."""
+    X, y = data
+    log = EventLog()
+    GridSearchCV(
+        FlakyEstimator(
+            LogisticRegression(max_iter=40),
+            fail_times=1,
+            state_dir=str(tmp_path / "state"),
+        ),
+        {"base__learning_rate": [0.05, 0.1]},
+        cv=KFold(n_splits=3),
+        retries=2,
+        event_log=log,
+    ).fit(X, y)
+    retries = log.spans("retry")
+    # 6 search cells fail once each (batched into one retry pass on the
+    # serial backend) plus the refit's own first-attempt failure
+    assert len(retries) >= 2
+    assert any(s.label == "refit" for s in retries)
+    assert all("ChaosError" in s.meta["error"] for s in retries)
+
+
+# ---------------------------------------------------------------------
+# error policies: one bad cell must not kill the sweep
+# ---------------------------------------------------------------------
+
+def test_skip_policy_records_error_score_and_never_wins(data):
+    X, y = data
+    search = GridSearchCV(
+        PoisonedEstimator(poison=0.5),
+        {"learning_rate": [0.05, 0.5, 0.1]},
+        cv=KFold(n_splits=3),
+        error_policy=ErrorPolicy("skip"),
+    ).fit(X, y)
+    means = search.cv_results_["mean_test_score"]
+    assert np.isnan(means[1])
+    assert np.isfinite(means[[0, 2]]).all()
+    assert search.best_index_ in (0, 2)
+    assert search.cv_results_["rank_test_score"][1] == 3
+    errors = search.cv_results_["fold_errors"]
+    assert all(e is None for e in errors[0] + errors[2])
+    assert all("ChaosError" in e for e in errors[1])
+
+
+def test_skip_policy_retries_before_skipping(tmp_path, data):
+    """Retries compose with the error policy: a transient failure is
+    retried in-task and recovers, so only persistent failures skip."""
+    X, y = data
+    search = GridSearchCV(
+        FlakyEstimator(
+            LogisticRegression(max_iter=40),
+            fail_times=1,  # transient: every cell recovers on attempt 2
+            state_dir=str(tmp_path / "state"),
+        ),
+        {"base__learning_rate": [0.05, 0.1]},
+        cv=KFold(n_splits=3),
+        retries=2,
+        error_policy=ErrorPolicy("skip"),
+    ).fit(X, y)
+    assert np.isfinite(search.cv_results_["mean_test_score"]).all()
+    errors = search.cv_results_["fold_errors"]
+    assert all(e is None for row in errors for e in row)
+
+
+def test_fallback_policy_substitutes_the_baseline(data):
+    X, y = data
+    search = GridSearchCV(
+        PoisonedEstimator(poison=0.5),
+        {"learning_rate": [0.05, 0.5]},
+        cv=KFold(n_splits=3),
+        error_policy=ErrorPolicy(
+            "fallback",
+            fallback=PoisonedEstimator(learning_rate=0.05, poison=-1.0),
+        ),
+    ).fit(X, y)
+    scores = search.cv_results_["fold_test_scores"]
+    assert np.isfinite(scores).all()
+    # the poisoned candidate's cells were fit by the lr=0.05 fallback,
+    # so they reproduce candidate 0's scores exactly
+    assert scores[1].tobytes() == scores[0].tobytes()
+    assert all("ChaosError" in e
+               for e in search.cv_results_["fold_errors"][1])
+
+
+def test_every_candidate_failing_raises(data):
+    X, y = data
+    search = GridSearchCV(
+        PoisonedEstimator(poison=0.5),
+        {"learning_rate": [0.5]},
+        cv=KFold(n_splits=3),
+        error_policy=ErrorPolicy("skip"),
+        refit=False,
+    )
+    with pytest.raises(ValueError, match="every candidate failed"):
+        search.fit(X, y)
+
+
+def test_cross_validate_skip_policy(data):
+    X, y = data
+    out = cross_validate(
+        PoisonedEstimator(learning_rate=0.5, poison=0.5), X, y,
+        cv=KFold(n_splits=3),
+        error_policy=ErrorPolicy("skip", error_score=-1.0),
+    )
+    assert np.array_equal(out["test_score"], [-1.0, -1.0, -1.0])
+    assert all("ChaosError" in e for e in out["errors"])
+
+
+# ---------------------------------------------------------------------
+# checkpoint/resume (in-process)
+# ---------------------------------------------------------------------
+
+def test_cross_validate_resumes_from_checkpoint(tmp_path, data):
+    X, y = data
+    store = CheckpointStore(tmp_path / "ckpt")
+    model = LogisticRegression(max_iter=40)
+    first = cross_validate(
+        model, X, y, cv=KFold(n_splits=4), checkpoint=store
+    )
+    assert first["checkpoint_hits"] == 0
+    assert len(store) == 4
+    log = EventLog()
+    second = cross_validate(
+        model, X, y, cv=KFold(n_splits=4), checkpoint=store, event_log=log
+    )
+    assert second["checkpoint_hits"] == 4
+    assert (
+        second["test_score"].tobytes() == first["test_score"].tobytes()
+    )
+    assert len(log.spans("checkpoint")) == 4
+    assert len(log.spans("fit")) == 0  # nothing was refit
+
+
+def test_grid_search_resumes_only_missing_cells(tmp_path, data):
+    X, y = data
+    store = CheckpointStore(tmp_path / "ckpt")
+    kwargs = dict(
+        param_grid={"learning_rate": [0.05, 0.1]},
+        cv=KFold(n_splits=3),
+        checkpoint=store,
+    )
+    full = GridSearchCV(
+        LogisticRegression(max_iter=40), **kwargs
+    ).fit(X, y)
+    assert full.checkpoint_hits_ == 0 and len(store) == 6
+    # lose two cells (a partially-complete run), then resume
+    for key in store.keys()[:2]:
+        store.discard(key)
+    resumed = GridSearchCV(
+        LogisticRegression(max_iter=40), **kwargs
+    ).fit(X, y)
+    assert resumed.checkpoint_hits_ == 4
+    assert (
+        resumed.cv_results_["fold_test_scores"].tobytes()
+        == full.cv_results_["fold_test_scores"].tobytes()
+    )
+    assert resumed.best_params_ == full.best_params_
+
+
+def test_knowledge_discovery_loop_resumes(tmp_path):
+    mine_calls = []
+
+    def mine(context):
+        mine_calls.append(context)
+        return {"model": f"m{context}"}
+
+    def judge(result):
+        return False, f"rejected {result['model']}"
+
+    def adjust(context, feedback):
+        return context + 1
+
+    store = CheckpointStore(tmp_path / "kdl", allow_pickle=True)
+    first = KnowledgeDiscoveryLoop(
+        mine, judge, adjust, max_iterations=3, checkpoint=store
+    )
+    assert first.run(0) is None
+    assert len(mine_calls) == 3
+
+    log = EventLog()
+    second = KnowledgeDiscoveryLoop(
+        mine, judge, adjust, max_iterations=3, checkpoint=store
+    )
+    with recording(log):
+        assert second.run(0) is None
+    assert len(mine_calls) == 3  # nothing re-mined
+    assert second.resumed_iterations == 3
+    assert [r.feedback for r in second.history] == [
+        r.feedback for r in first.history
+    ]
+    assert len(log.spans("checkpoint")) == 3
+
+
+# ---------------------------------------------------------------------
+# the SIGKILL acceptance scenario
+# ---------------------------------------------------------------------
+
+_DRIVER = """\
+import sys
+
+sys.path.insert(0, {src!r})
+
+import numpy as np
+
+from repro.core import CheckpointStore, GridSearchCV, KFold
+from repro.learn import LogisticRegression
+from repro.testing.chaos import SlowEstimator
+
+ckpt_dir, x_path, y_path = sys.argv[1:4]
+X = np.load(x_path)
+y = np.load(y_path)
+GridSearchCV(
+    SlowEstimator(LogisticRegression(max_iter=40), seconds=0.15),
+    {{"base__learning_rate": [0.02, 0.05, 0.1, 0.2]}},
+    cv=KFold(n_splits=3),
+    checkpoint=CheckpointStore(ckpt_dir),
+).fit(X, y)
+print("COMPLETED")
+"""
+
+
+def test_sigkill_resume_is_bitwise_identical(tmp_path, data):
+    """Acceptance: SIGKILL a checkpointed GridSearchCV mid-run, rerun
+    with the same store, and get cv_results_ bitwise identical to an
+    uninterrupted run — refitting only the incomplete cells."""
+    X, y = data
+    x_path, y_path = str(tmp_path / "X.npy"), str(tmp_path / "y.npy")
+    np.save(x_path, X)
+    np.save(y_path, y)
+    ckpt_dir = str(tmp_path / "ckpt")
+    script = tmp_path / "driver.py"
+    script.write_text(_DRIVER.format(src=SRC))
+
+    proc = subprocess.Popen(
+        [sys.executable, str(script), ckpt_dir, x_path, y_path],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    try:
+        # wait for the driver to land at least two checkpoints, then
+        # kill it dead — no signal handler gets to run
+        deadline = time.monotonic() + 60.0
+        store = CheckpointStore(ckpt_dir)
+        while len(store) < 2:
+            if proc.poll() is not None or time.monotonic() > deadline:
+                out, err = proc.communicate()
+                pytest.fail(
+                    f"driver finished before it could be killed: "
+                    f"{out!r} {err!r}"
+                )
+            time.sleep(0.01)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert proc.returncode == -signal.SIGKILL
+
+    pre_resume = len(store)
+    total_cells = 4 * 3
+    assert 0 < pre_resume < total_cells
+
+    estimator = SlowEstimator(LogisticRegression(max_iter=40), seconds=0.15)
+    grid = {"base__learning_rate": [0.02, 0.05, 0.1, 0.2]}
+    log = EventLog()
+    resumed = GridSearchCV(
+        estimator, grid, cv=KFold(n_splits=3),
+        checkpoint=store, event_log=log,
+    ).fit(X, y)
+    clean = GridSearchCV(
+        estimator, grid, cv=KFold(n_splits=3),
+    ).fit(X, y)
+
+    # only the incomplete cells were refit
+    assert resumed.n_tasks_ == total_cells
+    assert resumed.checkpoint_hits_ == pre_resume
+    assert len(log.spans("checkpoint")) == pre_resume
+    cell_fits = [
+        s for s in log.spans("fit") if "candidate" in s.meta
+    ]
+    assert len(cell_fits) == total_cells - pre_resume
+
+    # and the merged results are bitwise the uninterrupted run's
+    for field in ("fold_test_scores", "mean_test_score",
+                  "std_test_score"):
+        assert (
+            resumed.cv_results_[field].tobytes()
+            == clean.cv_results_[field].tobytes()
+        ), field
+    assert np.array_equal(
+        resumed.cv_results_["rank_test_score"],
+        clean.cv_results_["rank_test_score"],
+    )
+    assert resumed.cv_results_["params"] == clean.cv_results_["params"]
+    assert resumed.best_params_ == clean.best_params_
+    assert resumed.best_score_ == clean.best_score_
+    assert resumed.best_index_ == clean.best_index_

@@ -1,0 +1,365 @@
+"""Unit tests for the resilience layer (repro.core.resilience) and the
+hardened error types it rides on."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import EventLog, recording
+from repro.core.exceptions import (
+    CheckpointError,
+    DeadlineExceededError,
+    TaskTimeoutError,
+    WorkerError,
+)
+from repro.core.parallel import ProcessBackend, SerialBackend
+from repro.core.resilience import (
+    CheckpointStore,
+    Deadline,
+    ErrorPolicy,
+    RetryPolicy,
+    fingerprint,
+)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_from_retries_matches_legacy_counter(self):
+        policy = RetryPolicy.from_retries(2)
+        assert policy.max_attempts == 3
+        assert policy.delay(0, 1) == 0.0
+        assert policy.should_retry(RuntimeError("x"), 2)
+        assert not policy.should_retry(RuntimeError("x"), 3)
+
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=0.1, multiplier=2.0,
+            max_delay=0.5, jitter=0.0,
+        )
+        assert policy.delay(0, 1) == pytest.approx(0.1)
+        assert policy.delay(0, 2) == pytest.approx(0.2)
+        assert policy.delay(0, 3) == pytest.approx(0.4)
+        assert policy.delay(0, 4) == pytest.approx(0.5)  # capped
+        assert policy.delay(0, 9) == pytest.approx(0.5)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=0.2, jitter=0.5, seed=7)
+        same = RetryPolicy(base_delay=0.2, jitter=0.5, seed=7)
+        other_seed = RetryPolicy(base_delay=0.2, jitter=0.5, seed=8)
+        delays = [policy.delay(i, 1) for i in range(20)]
+        assert delays == [same.delay(i, 1) for i in range(20)]
+        assert delays != [other_seed.delay(i, 1) for i in range(20)]
+        for d in delays:
+            assert 0.1 <= d <= 0.2
+        # different tasks and different attempts jitter differently
+        assert len(set(delays)) > 1
+        assert policy.delay(0, 1) != policy.delay(0, 2)
+
+    def test_retryable_filter_types_and_callable(self):
+        policy = RetryPolicy(max_attempts=5, retryable=(KeyError,))
+        assert policy.should_retry(KeyError("k"), 1)
+        assert not policy.should_retry(ValueError("v"), 1)
+        predicate = RetryPolicy(
+            max_attempts=5,
+            retryable=lambda e: "transient" in str(e),
+        )
+        assert predicate.should_retry(RuntimeError("transient blip"), 1)
+        assert not predicate.should_retry(RuntimeError("hard fail"), 1)
+
+    def test_timeouts_not_retryable_by_default(self):
+        timeout_error = TaskTimeoutError("hung", task_index=3, timeout=1.0)
+        assert not RetryPolicy(max_attempts=5).should_retry(timeout_error, 1)
+        opted_in = RetryPolicy(max_attempts=5, retry_timeouts=True)
+        assert opted_in.should_retry(timeout_error, 1)
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0, 0)
+
+    def test_equality_and_pickle(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, seed=3)
+        assert policy == RetryPolicy(max_attempts=4, base_delay=0.1, seed=3)
+        assert policy != RetryPolicy(max_attempts=5, base_delay=0.1, seed=3)
+        clone = pickle.loads(pickle.dumps(policy))
+        assert clone == policy
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        deadline = Deadline(60.0)
+        assert 0.0 < deadline.remaining() <= 60.0
+        assert not deadline.expired()
+
+    def test_resolve(self):
+        assert Deadline.resolve(None) is None
+        deadline = Deadline(5.0)
+        assert Deadline.resolve(deadline) is deadline
+        fresh = Deadline.resolve(2.5)
+        assert isinstance(fresh, Deadline) and fresh.seconds == 2.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+
+
+class TestErrorPolicy:
+    def test_modes_validated(self):
+        with pytest.raises(ValueError):
+            ErrorPolicy("explode")
+        with pytest.raises(ValueError):
+            ErrorPolicy("fallback")  # needs a fallback estimator
+
+    def test_defaults(self):
+        policy = ErrorPolicy()
+        assert policy.on_error == "raise"
+        assert np.isnan(policy.error_score)
+
+    def test_skip_with_score(self):
+        policy = ErrorPolicy("skip", error_score=-1.0)
+        assert policy.error_score == -1.0
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        X = np.arange(12.0).reshape(3, 4)
+        assert fingerprint("a", X, {"k": 1}) == fingerprint(
+            "a", X.copy(), {"k": 1}
+        )
+
+    def test_sensitive_to_content(self):
+        X = np.arange(12.0).reshape(3, 4)
+        Y = X.copy()
+        Y[0, 0] += 1e-12
+        assert fingerprint(X) != fingerprint(Y)
+        assert fingerprint(X) != fingerprint(X.astype(np.float32))
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+        assert fingerprint("1") != fingerprint(1)
+
+    def test_layout_independent(self):
+        X = np.arange(12.0).reshape(3, 4)
+        assert fingerprint(X) == fingerprint(np.asfortranarray(X))
+
+    def test_dict_order_independent(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint(
+            {"b": 2, "a": 1}
+        )
+
+    def test_estimator_params_fingerprinted(self):
+        from repro.learn import LogisticRegression
+
+        a = LogisticRegression(learning_rate=0.1)
+        b = LogisticRegression(learning_rate=0.1)
+        c = LogisticRegression(learning_rate=0.2)
+        assert fingerprint(a) == fingerprint(b)
+        assert fingerprint(a) != fingerprint(c)
+
+    def test_kernel_uses_cache_key(self):
+        from repro.kernels import RBFKernel
+
+        assert fingerprint(RBFKernel(0.5)) == fingerprint(RBFKernel(0.5))
+        assert fingerprint(RBFKernel(0.5)) != fingerprint(RBFKernel(0.7))
+
+    def test_callables_by_qualified_name(self):
+        from repro.core.metrics import accuracy, mean_squared_error
+
+        assert fingerprint(accuracy) == fingerprint(accuracy)
+        assert fingerprint(accuracy) != fingerprint(mean_squared_error)
+
+
+class TestCheckpointStore:
+    def test_roundtrip_is_bitwise(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        value = {
+            "score": 0.1 + 0.2,  # not exactly representable in text...
+            "nan": float("nan"),
+            "inf": float("inf"),
+            "ninf": float("-inf"),
+            "arr": np.linspace(0, 1, 7),
+            "ints": [1, 2, 3],
+            "nested": {"flag": True, "none": None, "s": "x"},
+        }
+        store.put("k", value)
+        back = store.get("k")
+        assert back["score"] == value["score"]  # ...but repr round-trips
+        assert np.isnan(back["nan"])
+        assert back["inf"] == float("inf")
+        assert back["ninf"] == float("-inf")
+        assert back["arr"].dtype == value["arr"].dtype
+        assert back["arr"].tobytes() == value["arr"].tobytes()
+        assert back["ints"] == [1, 2, 3]
+        assert back["nested"] == {"flag": True, "none": None, "s": "x"}
+
+    def test_numpy_scalars_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.put("k", {"f": np.float64(1.5), "i": np.int64(3)})
+        assert store.get("k") == {"f": 1.5, "i": 3}
+
+    def test_get_missing_returns_default(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.get("absent") is None
+        assert store.get("absent", default=-1) == -1
+        assert "absent" not in store
+
+    def test_corrupt_file_reads_as_absent(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.put("k", {"v": 1})
+        (tmp_path / "k.json").write_text("{not json")
+        assert store.get("k") is None
+
+    def test_no_temp_droppings_after_puts(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for i in range(5):
+            store.put(f"key{i}", {"i": i})
+        leftovers = [
+            name for name in os.listdir(tmp_path)
+            if not name.endswith(".json")
+        ]
+        assert leftovers == []
+        assert store.keys() == [f"key{i}" for i in range(5)]
+
+    def test_keys_contains_discard_clear(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.put("a", 1)
+        store.put("b", 2)
+        assert "a" in store and len(store) == 2
+        assert store.discard("a") and not store.discard("a")
+        assert store.keys() == ["b"]
+        assert store.clear() == 1
+        assert len(store) == 0
+
+    def test_unpicklable_without_flag_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(CheckpointError):
+            store.put("k", {"obj": object()})
+
+    def test_allow_pickle_roundtrips_objects(self, tmp_path):
+        store = CheckpointStore(tmp_path / "p", allow_pickle=True)
+        store.put("k", {"c": complex(1, 2)})
+        assert store.get("k") == {"c": complex(1, 2)}
+        # a strict reader refuses pickled payloads rather than loading
+        strict = CheckpointStore(tmp_path / "p", allow_pickle=False)
+        with pytest.raises(CheckpointError):
+            strict.get("k")
+
+    def test_invalid_keys_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(CheckpointError):
+                store.put(bad, 1)
+
+    def test_store_pickles_as_configuration(self, tmp_path):
+        store = CheckpointStore(tmp_path, allow_pickle=True)
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.path == store.path
+        assert clone.allow_pickle is True
+        clone.put("k", 1)
+        assert store.get("k") == 1
+
+    def test_non_string_dict_keys_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(CheckpointError):
+            store.put("k", {1: "one"})
+
+
+def _raise_with_context(payload):
+    raise RuntimeError(f"inner boom {payload}")
+
+
+class TestWorkerErrorRegression:
+    """Satellite pin: WorkerError carries the remote traceback and the
+    attempt count, and survives pickling across the process boundary."""
+
+    def test_attributes_and_pickle_roundtrip(self):
+        error = WorkerError(
+            "task 3 failed", task_index=3, attempts=2,
+            traceback_str="Traceback ...",
+        )
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, WorkerError)
+        assert str(clone) == "task 3 failed"
+        assert clone.task_index == 3
+        assert clone.attempts == 2
+        assert clone.traceback_str == "Traceback ..."
+
+    def test_timeout_error_pickle_roundtrip(self):
+        error = TaskTimeoutError(
+            "hung", task_index=5, timeout=1.5, abandoned=True, attempts=2,
+        )
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, TaskTimeoutError)
+        assert isinstance(clone, WorkerError)
+        assert (clone.task_index, clone.timeout, clone.abandoned,
+                clone.attempts) == (5, 1.5, True, 2)
+
+    def test_deadline_error_pickle_roundtrip(self):
+        error = DeadlineExceededError("over budget", pending=[1, 2])
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.pending == (1, 2)
+
+    def test_serial_backend_attaches_traceback_and_attempts(self):
+        backend = SerialBackend(retries=1)
+        with pytest.raises(WorkerError) as info:
+            backend.map(_raise_with_context, ["x"])
+        assert info.value.attempts == 2
+        assert "inner boom x" in info.value.traceback_str
+        assert "_raise_with_context" in info.value.traceback_str
+
+    def test_process_backend_carries_remote_traceback(self):
+        backend = ProcessBackend(n_workers=2, retries=0)
+        with pytest.raises(WorkerError) as info:
+            backend.map(_raise_with_context, ["remote"])
+        # the traceback text is the *worker's*: it names the task
+        # function's raise site, which never ran in this process
+        assert "inner boom remote" in info.value.traceback_str
+        assert "_raise_with_context" in info.value.traceback_str
+        assert info.value.attempts == 1
+        roundtrip = pickle.loads(pickle.dumps(info.value))
+        assert "_raise_with_context" in roundtrip.traceback_str
+
+
+def _flaky_by_marker(payload):
+    marker, value = payload
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("attempted")
+        raise RuntimeError("first attempt fails")
+    return value
+
+
+class TestRetryInstrumentation:
+    """Satellite pin: retry events land in the ambient EventLog."""
+
+    def test_retry_spans_recorded(self, tmp_path):
+        backend = SerialBackend(
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0)
+        )
+        log = EventLog()
+        with recording(log):
+            result = backend.map(
+                _flaky_by_marker, [(str(tmp_path / "m"), 7)]
+            )
+        assert result == [7]
+        retries = log.spans("retry")
+        assert len(retries) == 1
+        assert retries[0].meta["task"] == 0
+        assert retries[0].meta["attempt"] == 1
+        assert "first attempt fails" in retries[0].meta["error"]
+
+    def test_no_spans_without_recording(self, tmp_path):
+        backend = SerialBackend(
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0)
+        )
+        assert backend.map(
+            _flaky_by_marker, [(str(tmp_path / "m2"), 7)]
+        ) == [7]
