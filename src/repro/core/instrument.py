@@ -1,4 +1,4 @@
-"""Observability layer: structured spans for fit/predict/score work.
+"""Telemetry layer: structured spans, metrics, and trace export.
 
 Section 1 of the paper insists a mining methodology must not cost its
 user more than the problem itself — which, at production scale, means
@@ -10,20 +10,39 @@ provides that accounting:
   and optionally the :class:`~repro.kernels.engine.GramEngine` counter
   delta attributed to it;
 - :class:`EventLog` — a thread-safe, append-only collection of spans
-  with aggregation helpers;
+  with aggregation helpers and exporters (Chrome-trace JSON loadable in
+  ``chrome://tracing`` / Perfetto, JSONL records);
+- :class:`MetricsRegistry` — process-wide counters, gauges, and
+  streaming histograms (P²-quantile estimation, no sample retention)
+  with a :func:`metrics_snapshot` / :meth:`MetricsSnapshot.delta` API
+  mirroring ``GramCounters``;
 - module-level **hooks** (:func:`recording`, :func:`span`,
   :func:`emit`) through which *any* estimator can emit spans into
   whichever log is active, without holding a reference to it.  Code
   that emits when no log is active costs almost nothing.
 
+Timestamps are coherent by construction: every log captures one wall-
+clock sample and one monotonic sample at creation, and every span's
+``started_at`` is the wall anchor plus a *monotonic* offset.  An NTP
+clock step mid-run therefore cannot reorder or skew a trace — the wall
+clock is consulted exactly once per log.
+
 ``EventLog`` deliberately deep-copies and pickles as a no-op identity /
 fresh log: like the Gram engine, a log is shared infrastructure, not a
 hyper-parameter value, so ``clone()`` of an instrumented estimator must
 not fork it.
+
+Spans emitted inside :class:`~repro.core.parallel.ProcessBackend` (or
+``ThreadBackend``) workers are captured in a fresh worker-local log and
+shipped back with the task result; the driver merges them into the
+ambient log tagged with ``task_index`` / ``backend`` / ``pid`` (see
+``repro.core.parallel``), so accounting is complete on every backend.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -37,6 +56,15 @@ __all__ = [
     "current_log",
     "span",
     "emit",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "P2Quantile",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "metrics_registry",
+    "metrics_snapshot",
+    "set_metrics_registry",
 ]
 
 
@@ -66,17 +94,45 @@ class Span:
         return record
 
 
+def _json_safe(value):
+    """Best-effort JSON-encodable form of an arbitrary meta value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _json_safe(item())
+        except Exception:  # noqa: BLE001 — fall through to repr
+            pass
+    return repr(value)
+
+
 class EventLog:
-    """Thread-safe append-only log of :class:`Span` records."""
+    """Thread-safe append-only log of :class:`Span` records.
+
+    Every log is anchored to a single timebase captured once at
+    construction: one ``time.time()`` sample (the wall anchor) and one
+    ``time.perf_counter()`` sample (the monotonic origin).  All span
+    timestamps are derived as *wall anchor + monotonic offset*, so they
+    order and subtract consistently even if the system clock steps.
+    """
 
     def __init__(self):
         self._spans: List[Span] = []
         self._lock = threading.Lock()
+        # one wall sample, one monotonic sample: every timestamp this
+        # log hands out is origin_wall + (perf_counter() - origin_perf)
+        self.origin_wall = time.time()
+        self.origin_perf = time.perf_counter()
 
     # logs are shared infrastructure: cloning an estimator configured
     # with a log must keep emitting into the same log, and a log
     # crossing a process boundary starts empty (spans are shipped back
-    # explicitly by the model-selection runtime, not via pickle)
+    # explicitly by the execution runtime, not via pickle)
     def __deepcopy__(self, memo) -> "EventLog":
         return self
 
@@ -87,22 +143,37 @@ class EventLog:
         self.__init__()
 
     # ------------------------------------------------------------------
+    def now(self, perf: Optional[float] = None) -> float:
+        """This log's coherent clock: wall anchor + monotonic offset."""
+        if perf is None:
+            perf = time.perf_counter()
+        return self.origin_wall + (perf - self.origin_perf)
+
     def append(self, span: Span) -> Span:
         with self._lock:
             self._spans.append(span)
         return span
 
+    def extend(self, spans) -> None:
+        with self._lock:
+            self._spans.extend(spans)
+
     def emit(self, name: str, seconds: float, label: str = "",
              n_samples: Optional[int] = None, gram: Optional[Dict] = None,
              started_at: Optional[float] = None, **meta) -> Span:
-        """Record an already-timed span directly."""
+        """Record an already-timed span directly.
+
+        Without an explicit *started_at* the span is anchored to this
+        log's monotonic timebase (``now() - seconds``), never to a
+        fresh wall-clock sample.
+        """
         return self.append(
             Span(
                 name=name,
                 label=label,
                 seconds=float(seconds),
                 started_at=(
-                    time.time() - seconds if started_at is None
+                    self.now() - float(seconds) if started_at is None
                     else started_at
                 ),
                 n_samples=n_samples,
@@ -122,11 +193,10 @@ class EventLog:
         can be attributed per candidate or per fold.
         """
         before = engine.counters_snapshot() if engine is not None else None
-        started_at = time.time()
         start = time.perf_counter()
         record = Span(
             name=name, label=label, n_samples=n_samples,
-            started_at=started_at, meta=meta,
+            started_at=self.now(start), meta=meta,
         )
         try:
             yield record
@@ -153,17 +223,24 @@ class EventLog:
         return float(sum(s.seconds for s in self.spans(name)))
 
     def summary(self) -> Dict[str, dict]:
-        """Aggregate spans by name: count, total/mean seconds, samples."""
+        """Aggregate spans by name: count, total/mean seconds, samples.
+
+        ``n_samples`` distinguishes "unknown" from "zero": it is
+        ``None`` until some span of that name reports a count, after
+        which reported counts (including 0) accumulate.
+        """
         out: Dict[str, dict] = {}
         for s in self.spans():
             entry = out.setdefault(
                 s.name,
-                {"count": 0, "total_seconds": 0.0, "n_samples": 0},
+                {"count": 0, "total_seconds": 0.0, "n_samples": None},
             )
             entry["count"] += 1
             entry["total_seconds"] += s.seconds
-            if s.n_samples:
-                entry["n_samples"] += s.n_samples
+            if s.n_samples is not None:
+                entry["n_samples"] = (
+                    (entry["n_samples"] or 0) + s.n_samples
+                )
         for entry in out.values():
             entry["mean_seconds"] = entry["total_seconds"] / entry["count"]
         return out
@@ -174,6 +251,61 @@ class EventLog:
     def clear(self) -> None:
         with self._lock:
             self._spans.clear()
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def chrome_trace(self) -> dict:
+        """The log as a Chrome-trace (``chrome://tracing`` / Perfetto)
+        JSON document.
+
+        Every span becomes one complete (``"ph": "X"``) event with
+        microsecond ``ts``/``dur`` relative to the log origin; worker-
+        merged spans keep their ``pid`` and are laned by ``task_index``.
+        """
+        spans = self.spans()
+        base = self.origin_wall
+        if spans:
+            base = min(base, min(s.started_at for s in spans))
+        own_pid = os.getpid()
+        events = []
+        for s in spans:
+            args = {"label": s.label, **_json_safe(s.meta)}
+            if s.n_samples is not None:
+                args["n_samples"] = int(s.n_samples)
+            if s.gram is not None:
+                args["gram"] = _json_safe(s.gram)
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": s.label or s.name,
+                    "ph": "X",
+                    "ts": (s.started_at - base) * 1e6,
+                    "dur": s.seconds * 1e6,
+                    "pid": int(s.meta.get("pid", own_pid)),
+                    "tid": int(s.meta.get("task_index", 0)),
+                    "args": args,
+                }
+            )
+        events.sort(key=lambda e: e["ts"])
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export_chrome_trace(self, path) -> str:
+        """Write :meth:`chrome_trace` to *path*; returns the path."""
+        path = os.fspath(path)
+        with open(path, "w") as fh:
+            json.dump(self.chrome_trace(), fh, indent=1)
+            fh.write("\n")
+        return path
+
+    def export_jsonl(self, path) -> str:
+        """Write one JSON record per span to *path*; returns the path."""
+        path = os.fspath(path)
+        with open(path, "w") as fh:
+            for record in self.as_records():
+                fh.write(json.dumps(_json_safe(record)))
+                fh.write("\n")
+        return path
 
     def __repr__(self):
         return f"EventLog({len(self)} spans)"
@@ -239,3 +371,328 @@ def emit(name: str, seconds: float, **kwargs) -> Optional[Span]:
     if log is None:
         return None
     return log.emit(name, seconds, **kwargs)
+
+
+# ---------------------------------------------------------------------
+# Metrics: counters, gauges, streaming histograms
+# ---------------------------------------------------------------------
+
+class Counter:
+    """A monotonically increasing count (thread-safe)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self):
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def add(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value (thread-safe last-write-wins)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self):
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class P2Quantile:
+    """Streaming quantile estimate via the P² algorithm.
+
+    Jain & Chlamtac (1985): five markers track the running quantile
+    with O(1) memory — no samples are retained.  Estimates are exact
+    until five observations have arrived, then approximate.
+    """
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ValueError("p must be in (0, 1)")
+        self.p = float(p)
+        self._count = 0
+        self._heights: List[float] = []
+        self._positions = [0, 1, 2, 3, 4]
+
+    def observe(self, x: float) -> None:
+        x = float(x)
+        self._count += 1
+        if len(self._heights) < 5:
+            self._heights.append(x)
+            self._heights.sort()
+            return
+        q, n = self._heights, self._positions
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 0
+            for i in range(1, 4):
+                if x < q[i]:
+                    break
+                k = i
+        for i in range(k + 1, 5):
+            n[i] += 1
+        count = self._count - 1
+        desired = (
+            0.0,
+            count * self.p / 2.0,
+            count * self.p,
+            count * (1.0 + self.p) / 2.0,
+            float(count),
+        )
+        for i in (1, 2, 3):
+            d = desired[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1
+            ):
+                step = 1 if d >= 0 else -1
+                candidate = self._parabolic(i, step)
+                if not q[i - 1] < candidate < q[i + 1]:
+                    candidate = self._linear(i, step)
+                q[i] = candidate
+                n[i] += step
+
+    def _parabolic(self, i: int, d: int) -> float:
+        q, n = self._heights, self._positions
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: int) -> float:
+        q, n = self._heights, self._positions
+        return q[i] + d * (q[i + d] - q[i]) / (n[i + d] - n[i])
+
+    @property
+    def value(self) -> float:
+        if not self._heights:
+            return float("nan")
+        if self._count <= 5:
+            # exact small-sample quantile (nearest-rank interpolation)
+            heights = sorted(self._heights)
+            position = self.p * (len(heights) - 1)
+            low = int(position)
+            high = min(low + 1, len(heights) - 1)
+            fraction = position - low
+            return heights[low] * (1 - fraction) + heights[high] * fraction
+        return self._heights[2]
+
+
+class Histogram:
+    """Streaming distribution summary: count, sum, min/max, quantiles.
+
+    Quantiles (p50/p90/p99) come from per-quantile :class:`P2Quantile`
+    estimators, so memory stays O(1) no matter how many observations
+    arrive.
+    """
+
+    QUANTILES = (0.5, 0.9, 0.99)
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._quantiles = {p: P2Quantile(p) for p in self.QUANTILES}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            for estimator in self._quantiles.values():
+                estimator.observe(value)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            if self.count == 0:
+                return {"count": 0, "total": 0.0, "mean": 0.0,
+                        "min": 0.0, "max": 0.0,
+                        **{f"p{int(p * 100)}": 0.0 for p in self.QUANTILES}}
+            record = {
+                "count": self.count,
+                "total": self.total,
+                "mean": self.total / self.count,
+                "min": self.min,
+                "max": self.max,
+            }
+            for p, estimator in self._quantiles.items():
+                record[f"p{int(p * 100)}"] = estimator.value
+            return record
+
+
+@dataclass
+class MetricsSnapshot:
+    """A consistent point-in-time copy of a :class:`MetricsRegistry`.
+
+    Mirrors ``GramCounters``: pair two snapshots with :meth:`delta` to
+    attribute metric movement to a window of wall time.
+    """
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, dict] = field(default_factory=dict)
+
+    def delta(self, before: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Metric movement ``self - before``.
+
+        Counters and histogram count/total subtract; gauges and
+        histogram quantiles are point-in-time and keep this snapshot's
+        values.
+        """
+        counters = {
+            name: value - before.counters.get(name, 0.0)
+            for name, value in self.counters.items()
+        }
+        histograms = {}
+        for name, record in self.histograms.items():
+            prior = before.histograms.get(name)
+            if prior is None:
+                histograms[name] = dict(record)
+                continue
+            merged = dict(record)
+            merged["count"] = record["count"] - prior["count"]
+            merged["total"] = record["total"] - prior["total"]
+            merged["mean"] = (
+                merged["total"] / merged["count"] if merged["count"] else 0.0
+            )
+            histograms[name] = merged
+        return MetricsSnapshot(
+            counters=counters, gauges=dict(self.gauges),
+            histograms=histograms,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms behind one lock-free-ish
+    facade.
+
+    Instruments are created on first use and live for the registry's
+    lifetime; hot-path updates take only the instrument's own lock.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors ------------------------------------------
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter())
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(name, Gauge())
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(name, Histogram())
+        return histogram
+
+    # -- hot-path conveniences -----------------------------------------
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).add(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- introspection -------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return MetricsSnapshot(
+            counters={k: c.value for k, c in counters.items()},
+            gauges={k: g.value for k, g in gauges.items()},
+            histograms={k: h.snapshot() for k, h in histograms.items()},
+        )
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def __repr__(self):
+        with self._lock:
+            return (
+                f"MetricsRegistry({len(self._counters)} counters, "
+                f"{len(self._gauges)} gauges, "
+                f"{len(self._histograms)} histograms)"
+            )
+
+
+_metrics = MetricsRegistry()
+_metrics_lock = threading.Lock()
+
+
+def metrics_registry() -> MetricsRegistry:
+    """The process-wide shared registry every subsystem reports into."""
+    return _metrics
+
+
+def metrics_snapshot() -> MetricsSnapshot:
+    """Snapshot of the process-wide registry (see
+    :meth:`MetricsSnapshot.delta`)."""
+    return _metrics.snapshot()
+
+
+def set_metrics_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-wide registry; returns the previous one (so
+    tests can isolate and restore it)."""
+    global _metrics
+    with _metrics_lock:
+        previous = _metrics
+        _metrics = registry
+    return previous

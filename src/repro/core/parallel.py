@@ -42,6 +42,16 @@ Retry sleeps and abandoned timeouts are emitted as ``retry`` /
 ``timeout`` spans into the ambient
 :class:`~repro.core.instrument.EventLog` (when one is recording), so a
 flaky campaign shows where its wall time actually went.
+
+**Worker span propagation.**  When the driver has an ambient log
+recording, every task runs under a fresh worker-local ``EventLog`` and
+the trampoline ships the task's spans back alongside its result (or
+stapled onto its exception).  ``map`` merges them into the ambient log
+in deterministic task order, tagged with ``task_index`` / ``backend``
+/ ``pid`` / ``attempt`` — so spans emitted inside process (or thread)
+workers are no longer silently dropped, and span accounting is
+identical across all three backends.  Without an ambient log the
+trampoline takes its original zero-overhead path.
 """
 
 from __future__ import annotations
@@ -62,6 +72,7 @@ import numpy as np
 
 from . import instrument
 from .exceptions import DeadlineExceededError, TaskTimeoutError, WorkerError
+from .instrument import EventLog
 from .resilience import Deadline, RetryPolicy
 
 __all__ = [
@@ -86,21 +97,58 @@ def spawn_seeds(seed, n: int) -> List[int]:
     return [int(child.generate_state(1)[0]) for child in root.spawn(n)]
 
 
-def _call_task(fn: Callable, payload, seed: Optional[int]):
+class _TaskOutcome:
+    """A task result plus the spans its worker-local log captured.
+
+    Picklable: crosses the process boundary with the result, so the
+    driver can merge worker telemetry into the ambient log.
+    """
+
+    def __init__(self, value, spans, pid):
+        self.value = value
+        self.spans = spans
+        self.pid = pid
+
+
+def _call_task(fn: Callable, payload, seed: Optional[int],
+               collect: bool = False):
     """Top-level task trampoline (picklable for the process backend).
 
     Failures get the formatted traceback stapled onto the exception
     (``_repro_traceback``); exception ``__dict__`` survives pickling,
     so the text crosses the process boundary even though live traceback
     objects cannot.
+
+    With ``collect=True`` (the driver has an ambient log recording) the
+    task runs under a fresh worker-local :class:`EventLog`; its spans
+    travel back inside a :class:`_TaskOutcome` — or, on failure,
+    stapled onto the exception as ``_repro_spans`` — so no telemetry is
+    lost on any backend.
     """
+    if not collect:
+        try:
+            if seed is None:
+                return fn(payload)
+            return fn(payload, seed=seed)
+        except Exception as error:  # noqa: BLE001 — re-raised for map()
+            try:
+                error._repro_traceback = traceback.format_exc()
+            except Exception:  # noqa: BLE001 — immutable/slotted exceptions
+                pass
+            raise
+    local = EventLog()
     try:
-        if seed is None:
-            return fn(payload)
-        return fn(payload, seed=seed)
+        with instrument.recording(local):
+            if seed is None:
+                result = fn(payload)
+            else:
+                result = fn(payload, seed=seed)
+        return _TaskOutcome(result, local.spans(), os.getpid())
     except Exception as error:  # noqa: BLE001 — re-raised for map()
         try:
             error._repro_traceback = traceback.format_exc()
+            error._repro_spans = local.spans()
+            error._repro_pid = os.getpid()
         except Exception:  # noqa: BLE001 — immutable/slotted exceptions
             pass
         raise
@@ -185,49 +233,86 @@ class ExecutionBackend:
         )
         policy = self._policy()
         deadline = Deadline.resolve(self.deadline)
+        log = instrument.current_log()
+        collect = log is not None
+        metrics = instrument.metrics_registry()
+        metrics.increment("parallel.tasks", n)
+        metrics.increment(f"parallel.{self.name}.tasks", n)
         results = [None] * n
         pending = list(range(n))
         attempts = [0] * n
-        while pending:
-            if deadline is not None and deadline.expired():
-                raise DeadlineExceededError(
-                    f"deadline of {deadline.seconds}s expired with "
-                    f"{len(pending)} task(s) pending on the {self.name} "
-                    f"backend",
-                    pending=pending,
+        merged: List = []
+        try:
+            while pending:
+                if deadline is not None and deadline.expired():
+                    raise DeadlineExceededError(
+                        f"deadline of {deadline.seconds}s expired with "
+                        f"{len(pending)} task(s) pending on the {self.name} "
+                        f"backend",
+                        pending=pending,
+                    )
+                for i in pending:
+                    attempts[i] += 1
+                outcomes = self._execute(
+                    fn,
+                    [(i, payloads[i], seeds[i]) for i in pending],
+                    timeout=self.timeout,
+                    deadline=deadline,
+                    collect=collect,
                 )
-            for i in pending:
-                attempts[i] += 1
-            outcomes = self._execute(
-                fn,
-                [(i, payloads[i], seeds[i]) for i in pending],
-                timeout=self.timeout,
-                deadline=deadline,
-            )
-            failed = []
-            for i, ok, value in outcomes:
-                if ok:
-                    results[i] = value
-                else:
-                    failed.append((i, value))
-            if not failed:
-                break
-            self._raise_if_exhausted(policy, failed, attempts, deadline)
-            # every failure retryable: back off once (the longest of the
-            # per-task deterministic delays) and resubmit the batch
-            delay = max(
-                policy.delay(i, attempts[i]) for i, _ in failed
-            )
-            for i, error in failed:
-                instrument.emit(
-                    "retry", delay, label=f"task[{i}]",
-                    task=i, attempt=attempts[i], backend=self.name,
-                    error=repr(error),
+                failed = []
+                # deterministic merge order: spans are gathered batch by
+                # batch in ascending task index, not completion order
+                for i, ok, value in sorted(outcomes, key=lambda o: o[0]):
+                    if ok:
+                        if isinstance(value, _TaskOutcome):
+                            merged.extend(self._tag_spans(
+                                value.spans, i, attempts[i], value.pid,
+                            ))
+                            results[i] = value.value
+                        else:
+                            results[i] = value
+                    else:
+                        merged.extend(self._tag_spans(
+                            getattr(value, "_repro_spans", None) or (),
+                            i, attempts[i],
+                            getattr(value, "_repro_pid", None),
+                        ))
+                        failed.append((i, value))
+                if not failed:
+                    break
+                metrics.increment("parallel.retries", len(failed))
+                self._raise_if_exhausted(policy, failed, attempts, deadline)
+                # every failure retryable: back off once (the longest of
+                # the per-task deterministic delays) and resubmit the batch
+                delay = max(
+                    policy.delay(i, attempts[i]) for i, _ in failed
                 )
-            if delay > 0.0:
-                time.sleep(delay)
-            pending = sorted(i for i, _ in failed)
+                for i, error in failed:
+                    instrument.emit(
+                        "retry", delay, label=f"task[{i}]",
+                        task=i, attempt=attempts[i], backend=self.name,
+                        error=repr(error),
+                    )
+                if delay > 0.0:
+                    time.sleep(delay)
+                pending = sorted(i for i, _ in failed)
+        finally:
+            # worker spans survive even when the run ultimately raises:
+            # a failed campaign still accounts for the work it burned
+            if merged and log is not None:
+                log.extend(merged)
         return results
+
+    def _tag_spans(self, spans, index: int, attempt: int, pid) -> list:
+        """Stamp worker-shipped spans with their provenance."""
+        for record in spans:
+            record.meta.setdefault("task_index", index)
+            record.meta.setdefault("backend", self.name)
+            record.meta.setdefault("attempt", attempt)
+            if pid is not None:
+                record.meta.setdefault("pid", pid)
+        return list(spans)
 
     def _raise_if_exhausted(self, policy, failed, attempts,
                             deadline) -> None:
@@ -242,6 +327,7 @@ class ExecutionBackend:
                 raise error
         for i, error in failed:
             if isinstance(error, TaskTimeoutError) and not error.abandoned:
+                instrument.metrics_registry().increment("parallel.timeouts")
                 instrument.emit(
                     "timeout", error.timeout or 0.0, label=f"task[{i}]",
                     task=i, backend=self.name, attempt=attempts[i],
@@ -269,9 +355,14 @@ class ExecutionBackend:
             ) from error
 
     # ------------------------------------------------------------------
-    def _execute(self, fn, calls, timeout=None, deadline=None):
+    def _execute(self, fn, calls, timeout=None, deadline=None,
+                 collect=False):
         """Run ``calls = [(index, payload, seed), ...]`` once each and
-        return ``[(index, ok, result_or_exception), ...]``."""
+        return ``[(index, ok, result_or_exception), ...]``.
+
+        With ``collect=True`` successful results arrive wrapped in
+        :class:`_TaskOutcome` carrying the worker-local spans.
+        """
         raise NotImplementedError
 
     def __repr__(self):
@@ -300,7 +391,8 @@ class SerialBackend(ExecutionBackend):
     def resolved_workers(self) -> int:
         return 1
 
-    def _execute(self, fn, calls, timeout=None, deadline=None):
+    def _execute(self, fn, calls, timeout=None, deadline=None,
+                 collect=False):
         outcomes = []
         for index, payload, seed in calls:
             if deadline is not None and deadline.expired():
@@ -315,7 +407,9 @@ class SerialBackend(ExecutionBackend):
                 ))
                 continue
             try:
-                outcomes.append((index, True, _call_task(fn, payload, seed)))
+                outcomes.append(
+                    (index, True, _call_task(fn, payload, seed, collect))
+                )
             except Exception as error:  # noqa: BLE001 — retried by map()
                 outcomes.append((index, False, error))
         return outcomes
@@ -333,13 +427,14 @@ class _PoolBackend(ExecutionBackend):
         else:
             pool.shutdown(wait=True)
 
-    def _execute(self, fn, calls, timeout=None, deadline=None):
+    def _execute(self, fn, calls, timeout=None, deadline=None,
+                 collect=False):
         pool = self._make_pool()
         abandon = False
         outcomes = []
         try:
             futures = [
-                (index, pool.submit(_call_task, fn, payload, seed))
+                (index, pool.submit(_call_task, fn, payload, seed, collect))
                 for index, payload, seed in calls
             ]
             for position, (index, future) in enumerate(futures):
@@ -457,10 +552,12 @@ class ProcessBackend(_PoolBackend):
         else:
             pool.shutdown(wait=True)
 
-    def _execute(self, fn, calls, timeout=None, deadline=None):
+    def _execute(self, fn, calls, timeout=None, deadline=None,
+                 collect=False):
         try:
             return super()._execute(
-                fn, calls, timeout=timeout, deadline=deadline
+                fn, calls, timeout=timeout, deadline=deadline,
+                collect=collect,
             )
         except BrokenProcessPool as error:
             # pool management itself broke before all futures resolved

@@ -37,6 +37,7 @@ from typing import Callable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from . import instrument
 from .exceptions import CheckpointError, TaskTimeoutError
 
 __all__ = [
@@ -138,13 +139,18 @@ class RetryPolicy:
             self.base_delay * self.multiplier ** (attempt - 1),
             self.max_delay,
         )
+        metrics = instrument.metrics_registry()
+        metrics.increment("retry.delays")
         if raw == 0.0 or self.jitter == 0.0:
+            metrics.observe("retry.delay_seconds", raw)
             return raw
         entropy = np.random.SeedSequence(
             entropy=[self.seed, int(task_index) & 0xFFFFFFFF, int(attempt)]
         )
         fraction = np.random.default_rng(entropy).random()
-        return raw * (1.0 - self.jitter * fraction)
+        delay = raw * (1.0 - self.jitter * fraction)
+        metrics.observe("retry.delay_seconds", delay)
+        return delay
 
     # ------------------------------------------------------------------
     def __repr__(self):
@@ -445,6 +451,9 @@ class CheckpointStore:
             except OSError:
                 pass
             raise
+        metrics = instrument.metrics_registry()
+        metrics.increment("checkpoint.puts")
+        metrics.observe("checkpoint.put_bytes", len(encoded))
         return target
 
     def get(self, key: str, default=None):
@@ -453,13 +462,17 @@ class CheckpointStore:
         A torn or corrupt file (which atomic replace should preclude,
         but disks lie) reads as absent rather than poisoning a resume.
         """
+        metrics = instrument.metrics_registry()
         try:
             with open(self._file(key), "r") as fh:
                 document = json.load(fh)
         except FileNotFoundError:
+            metrics.increment("checkpoint.misses")
             return default
         except (json.JSONDecodeError, OSError):
+            metrics.increment("checkpoint.misses")
             return default
+        metrics.increment("checkpoint.hits")
         return _decode(document["value"], self.allow_pickle)
 
     def __contains__(self, key: str) -> bool:

@@ -272,6 +272,24 @@ def _fit_and_score(payload: dict) -> dict:
     return result
 
 
+def _record_task_metrics(results: Sequence[dict]) -> None:
+    """Report completed fit/score tasks into the process-wide metrics
+    registry (checkpoint-served cells count separately: they did no
+    fitting this run)."""
+    metrics = instrument.metrics_registry()
+    for result in results:
+        if result.get("checkpoint_hit"):
+            metrics.increment("model_selection.checkpoint_hits")
+            continue
+        metrics.increment("model_selection.fits")
+        metrics.observe("model_selection.fit_seconds",
+                        result["fit_seconds"])
+        metrics.observe("model_selection.score_seconds",
+                        result["score_seconds"])
+        if result.get("error") is not None:
+            metrics.increment("model_selection.task_errors")
+
+
 def _resolve_store(checkpoint) -> Optional[CheckpointStore]:
     """``None`` | path | :class:`CheckpointStore` -> optional store."""
     if checkpoint is None or isinstance(checkpoint, CheckpointStore):
@@ -395,8 +413,10 @@ def cross_validate(
         }
         for k, (train, test) in enumerate(folds)
     ]
+    instrument.metrics_registry().increment("model_selection.cv_runs")
     with recording(event_log) if event_log is not None else nullcontext():
         results = runner.map(_fit_and_score, payloads)
+    _record_task_metrics(results)
     _emit_task_spans(
         event_log,
         results,
@@ -581,6 +601,7 @@ class GridSearchCV(Estimator):
         engine = _task_engine(self.estimator)
         log = self.event_log
         store = _resolve_store(self.checkpoint)
+        instrument.metrics_registry().increment("model_selection.searches")
         # one fingerprint pins everything every cell shares; per-cell
         # keys add only the candidate params and the fold indices, so a
         # rerun with identical inputs maps onto identical keys
@@ -626,6 +647,7 @@ class GridSearchCV(Estimator):
                     )
             with recording(log) if log is not None else nullcontext():
                 results = runner.map(_fit_and_score, payloads)
+            _record_task_metrics(results)
             _emit_task_spans(log, results, labels, metas)
             return results
 

@@ -6,14 +6,24 @@ from .methodology import (
     MethodologyChecklist,
     PrincipleAssessment,
 )
-from .report import format_series, format_table, sparkline
+from .report import (
+    format_event_log,
+    format_metrics,
+    format_series,
+    format_table,
+    run_report,
+    sparkline,
+)
 
 __all__ = [
     "IterationRecord",
     "KnowledgeDiscoveryLoop",
     "MethodologyChecklist",
     "PrincipleAssessment",
+    "format_event_log",
+    "format_metrics",
     "format_series",
     "format_table",
+    "run_report",
     "sparkline",
 ]

@@ -157,23 +157,32 @@ class KnowledgeDiscoveryLoop:
         """
         self.history = []
         self.resumed_iterations = 0
+        metrics = instrument.metrics_registry()
         for iteration in range(self.max_iterations):
             stored = (
                 self.checkpoint.get(self._iteration_key(iteration))
                 if self.checkpoint is not None else None
             )
+            metrics.increment("kdl.iterations")
             if stored is not None:
                 result = stored["result"]
                 accepted = bool(stored["accepted"])
                 feedback = str(stored["feedback"])
                 self.resumed_iterations += 1
+                metrics.increment("kdl.resumed_iterations")
                 instrument.emit(
                     "checkpoint", 0.0, label=f"kdl[{iteration}]",
                     iteration=iteration, accepted=accepted,
                 )
             else:
-                result = self.mine(context)
-                accepted, feedback = self.judge(result)
+                with instrument.span(
+                    "mine", label=f"kdl[{iteration}]", iteration=iteration
+                ):
+                    result = self.mine(context)
+                with instrument.span(
+                    "judge", label=f"kdl[{iteration}]", iteration=iteration
+                ):
+                    accepted, feedback = self.judge(result)
                 accepted, feedback = bool(accepted), str(feedback)
                 if self.checkpoint is not None:
                     self.checkpoint.put(
@@ -193,8 +202,10 @@ class KnowledgeDiscoveryLoop:
                 )
             )
             if accepted:
+                metrics.increment("kdl.accepted")
                 return result
             context = self.adjust(context, feedback)
+        metrics.increment("kdl.exhausted")
         return None
 
     @property

@@ -45,19 +45,106 @@ def _cell(value) -> str:
 def format_series(xs: Sequence, ys: Sequence, x_label: str = "x",
                   y_label: str = "y", max_points: int = 20,
                   title: str = "") -> str:
-    """Render a (sub-sampled) numeric series as a two-column table."""
+    """Render a (sub-sampled) numeric series as a two-column table.
+
+    At most *max_points* rows are emitted; when the series is longer,
+    indices are picked evenly with the first and last points always
+    included.
+    """
     if len(xs) != len(ys):
         raise ValueError("series must have equal length")
+    if max_points < 1:
+        raise ValueError("max_points must be positive")
     n = len(xs)
-    if n > max_points:
-        step = max(1, n // max_points)
-        indices = list(range(0, n, step))
-        if indices[-1] != n - 1:
-            indices.append(n - 1)
-    else:
+    if n <= max_points:
         indices = list(range(n))
+    elif max_points == 1:
+        indices = [n - 1]
+    else:
+        indices = sorted(
+            {
+                int(round(i * (n - 1) / (max_points - 1)))
+                for i in range(max_points)
+            }
+        )
     rows = [(xs[i], ys[i]) for i in indices]
     return format_table([x_label, y_label], rows, title=title)
+
+
+def format_event_log(log, title: str = "run report") -> str:
+    """Render an :class:`~repro.core.instrument.EventLog` as a per-span
+    cost table, heaviest names first.
+
+    ``samples`` prints ``-`` for span names that never reported a
+    sample count (unknown, as opposed to an actual zero).
+    """
+    summary = log.summary()
+    ordered = sorted(
+        summary.items(), key=lambda item: -item[1]["total_seconds"]
+    )
+    rows = []
+    for name, entry in ordered:
+        rows.append(
+            [
+                name,
+                entry["count"],
+                entry["total_seconds"],
+                entry["mean_seconds"],
+                "-" if entry["n_samples"] is None else entry["n_samples"],
+            ]
+        )
+    return format_table(
+        ["span", "count", "total_s", "mean_s", "samples"], rows,
+        title=title,
+    )
+
+
+def format_metrics(snapshot, title: str = "metrics") -> str:
+    """Render a :class:`~repro.core.instrument.MetricsSnapshot` (or a
+    delta of two) as aligned tables."""
+    blocks: List[str] = []
+    if snapshot.counters:
+        rows = [
+            [name, snapshot.counters[name]]
+            for name in sorted(snapshot.counters)
+        ]
+        blocks.append(format_table(["counter", "value"], rows, title=title))
+    if snapshot.gauges:
+        rows = [
+            [name, snapshot.gauges[name]] for name in sorted(snapshot.gauges)
+        ]
+        blocks.append(format_table(["gauge", "value"], rows))
+    if snapshot.histograms:
+        rows = [
+            [
+                name,
+                entry["count"],
+                entry["mean"],
+                entry["p50"],
+                entry["p90"],
+                entry["p99"],
+                entry["max"],
+            ]
+            for name, entry in sorted(snapshot.histograms.items())
+        ]
+        blocks.append(
+            format_table(
+                ["histogram", "count", "mean", "p50", "p90", "p99", "max"],
+                rows,
+            )
+        )
+    if not blocks:
+        return title + "\n(no metrics recorded)"
+    return "\n\n".join(blocks)
+
+
+def run_report(log, metrics=None, title: str = "run report") -> str:
+    """One plain-text artifact: span accounting plus (optionally) a
+    metrics snapshot — what a bench drops next to its JSON output."""
+    parts = [format_event_log(log, title=title)]
+    if metrics is not None:
+        parts.append(format_metrics(metrics))
+    return "\n\n".join(parts)
 
 
 def sparkline(values: Sequence[float], width: int = 60) -> str:

@@ -39,6 +39,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core import instrument
 from .base import Kernel
 
 __all__ = [
@@ -250,6 +251,7 @@ class GramEngine:
         """
         with self._lock:
             self.counters.gram_calls += 1
+        instrument.metrics_registry().increment("gram.gram_calls")
         store = _Samples(samples)
         n = len(store)
         K = np.empty((n, n), dtype=float)
@@ -294,6 +296,7 @@ class GramEngine:
         """Rectangular matrix ``K[i, j] = k(samples_a[i], samples_b[j])``."""
         with self._lock:
             self.counters.cross_calls += 1
+        instrument.metrics_registry().increment("gram.cross_calls")
         store_a = _Samples(samples_a)
         store_b = _Samples(samples_b)
         K = np.empty((len(store_a), len(store_b)), dtype=float)
@@ -440,9 +443,11 @@ class GramEngine:
             block = self._cache.get(key)
             if block is None:
                 self.counters.cache_misses += 1
+                instrument.metrics_registry().increment("gram.cache_misses")
                 return None
             self._cache.move_to_end(key)
             self.counters.cache_hits += 1
+            instrument.metrics_registry().increment("gram.cache_hits")
             return block
 
     def _store(self, key, block: np.ndarray) -> None:
@@ -468,6 +473,10 @@ class GramEngine:
             self.counters.blocks_computed += 1
             self.counters.pair_evaluations += int(block.size)
             self.counters.compute_seconds += seconds
+        metrics = instrument.metrics_registry()
+        metrics.increment("gram.blocks_computed")
+        metrics.increment("gram.pair_evaluations", int(block.size))
+        metrics.observe("gram.block_seconds", seconds)
 
 
 # ---------------------------------------------------------------------

@@ -119,6 +119,20 @@ class TestReporting:
         with pytest.raises(ValueError):
             format_series([1, 2], [1])
 
+    def test_series_never_exceeds_max_points(self):
+        # regression: n=21, max_points=20 used to emit 21+1 rows
+        for n, max_points in [(21, 20), (40, 20), (100, 7), (5, 5), (6, 5)]:
+            xs = list(range(n))
+            text = format_series(xs, xs, max_points=max_points)
+            rows = text.splitlines()[2:]  # header + rule
+            assert len(rows) <= max_points, (n, max_points, len(rows))
+            assert rows[0].startswith("0 ")
+            assert rows[-1].startswith(str(n - 1))
+
+    def test_series_max_points_validation(self):
+        with pytest.raises(ValueError):
+            format_series([1], [1], max_points=0)
+
     def test_sparkline_length_and_charset(self):
         line = sparkline([0, 1, 2, 3, 2, 1, 0], width=7)
         assert len(line) == 7

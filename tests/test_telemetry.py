@@ -1,0 +1,456 @@
+"""Telemetry layer tests: cross-backend span propagation, the
+monotonic timebase, the metrics registry, and trace export.
+
+The headline regression here is the dropped-worker-span bug: spans
+emitted inside ``ProcessBackend`` (or ``ThreadBackend``) workers used
+to vanish because the ``recording()`` hook is thread- and
+process-local.  The runtime now ships worker spans back with task
+results and merges them deterministically, so span accounting must be
+identical on every backend.
+"""
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CheckpointStore,
+    EventLog,
+    GridSearchCV,
+    KFold,
+    MetricsRegistry,
+    Pipeline,
+    RetryPolicy,
+    SerialBackend,
+    StandardScaler,
+    WorkerError,
+    cross_validate,
+    get_backend,
+    metrics_snapshot,
+    recording,
+)
+from repro.core import instrument
+from repro.core.instrument import Histogram, P2Quantile
+from repro.flows import format_event_log, format_metrics, run_report
+from repro.kernels import GramEngine, RBFKernel
+from repro.learn import LogisticRegression
+from repro.testing.chaos import SlowEstimator
+
+BACKENDS = ["serial", "thread", "process"]
+
+
+@pytest.fixture
+def registry():
+    """Isolate the process-wide metrics registry for one test."""
+    fresh = MetricsRegistry()
+    previous = instrument.set_metrics_registry(fresh)
+    try:
+        yield fresh
+    finally:
+        instrument.set_metrics_registry(previous)
+
+
+# module-level task functions so the process backend can pickle them
+def _emit_tick(payload):
+    instrument.emit("tick", 0.001, payload=int(payload))
+    return os.getpid()
+
+
+def _emit_then_fail(payload):
+    with instrument.span("doomed", payload=int(payload)):
+        pass
+    raise RuntimeError("persistent failure")
+
+
+def _pipeline():
+    return Pipeline(
+        [
+            ("scale", StandardScaler()),
+            ("clf", LogisticRegression(max_iter=60)),
+        ]
+    )
+
+
+def _data(n=72, seed=3):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+# ---------------------------------------------------------------------
+# Cross-process/thread span propagation
+# ---------------------------------------------------------------------
+
+class TestWorkerSpanPropagation:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_worker_emits_reach_ambient_log(self, backend):
+        log = EventLog()
+        runner = get_backend(backend, n_workers=2)
+        with recording(log):
+            pids = runner.map(_emit_tick, list(range(4)))
+        ticks = log.spans("tick")
+        assert len(ticks) == 4
+        # deterministic merge order: ascending task index
+        assert [s.meta["task_index"] for s in ticks] == [0, 1, 2, 3]
+        assert all(s.meta["backend"] == runner.name for s in ticks)
+        assert [s.meta["pid"] for s in ticks] == pids
+        assert all(s.meta["payload"] == s.meta["task_index"] for s in ticks)
+
+    def test_process_worker_pids_differ_from_driver(self):
+        log = EventLog()
+        runner = get_backend("process", n_workers=2)
+        with recording(log):
+            runner.map(_emit_tick, list(range(3)))
+        pids = {s.meta["pid"] for s in log.spans("tick")}
+        assert pids and os.getpid() not in pids
+
+    def test_span_counts_backend_invariant(self):
+        """Regression: the same workload must record the same spans on
+        serial, thread, and process backends (worker spans used to be
+        silently dropped off-serial)."""
+        X, y = _data()
+        counts = {}
+        for backend in BACKENDS:
+            log = EventLog()
+            cross_validate(
+                _pipeline(), X, y, cv=KFold(3), backend=backend,
+                n_workers=2, event_log=log,
+            )
+            counts[backend] = {
+                name: entry["count"] for name, entry in log.summary().items()
+            }
+        assert counts["serial"] == counts["thread"] == counts["process"]
+        # 3 driver fit spans + 2 pipeline-step spans per fold
+        assert counts["serial"]["fit"] == 3 + 3 * 2
+
+    def test_failed_attempts_still_account_their_spans(self):
+        log = EventLog()
+        backend = SerialBackend(retry=RetryPolicy(
+            max_attempts=2, base_delay=0.0, jitter=0.0,
+        ))
+        with recording(log):
+            with pytest.raises(WorkerError):
+                backend.map(_emit_then_fail, [0])
+        doomed = log.spans("doomed")
+        assert [s.meta["attempt"] for s in doomed] == [1, 2]
+
+    def test_no_collection_without_ambient_log(self):
+        runner = get_backend("serial")
+        assert runner.map(_emit_tick, [0]) == [os.getpid()]
+
+    def test_process_grid_search_accounts_fit_time(self):
+        """Acceptance: a process-backend GridSearchCV records per-fit
+        spans whose summed fit time matches the serial run within
+        measurement noise, with bitwise-identical results."""
+        X, y = _data(n=96, seed=7)
+        grid = {"base__learning_rate": [0.05, 0.1]}
+
+        def run(backend):
+            log = EventLog()
+            search = GridSearchCV(
+                SlowEstimator(LogisticRegression(max_iter=40),
+                              seconds=0.02),
+                grid, cv=KFold(3), backend=backend, n_workers=2,
+                refit=False, event_log=log,
+            )
+            search.fit(X, y)
+            return search, log
+
+        serial, serial_log = run("serial")
+        process, process_log = run("process")
+
+        assert (
+            serial.cv_results_["fold_test_scores"].tobytes()
+            == process.cv_results_["fold_test_scores"].tobytes()
+        )
+        assert serial.best_params_ == process.best_params_
+
+        def fit_sum(log):
+            spans = [s for s in log.spans("fit") if "candidate" in s.meta]
+            assert len(spans) == 6  # 2 candidates x 3 folds
+            return sum(s.seconds for s in spans)
+
+        serial_sum, process_sum = fit_sum(serial_log), fit_sum(process_log)
+        # each fit sleeps 20ms, so both sums are dominated by the same
+        # injected latency; allow generous scheduler noise
+        assert serial_sum >= 6 * 0.02
+        assert process_sum >= 6 * 0.02
+        assert process_sum == pytest.approx(serial_sum, rel=0.5)
+
+
+# ---------------------------------------------------------------------
+# Monotonic timebase
+# ---------------------------------------------------------------------
+
+class TestTimebase:
+    def test_wall_clock_step_cannot_skew_timestamps(self, monkeypatch):
+        log = EventLog()
+        anchor = log.origin_wall
+        # an NTP step yanks the wall clock backwards mid-run
+        monkeypatch.setattr(
+            "repro.core.instrument.time.time",
+            lambda: anchor - 3600.0,
+        )
+        with log.span("work"):
+            pass
+        log.emit("tock", 0.001)
+        for span in log.spans():
+            assert span.started_at >= anchor - 1.0
+
+    def test_spans_share_one_coherent_timebase(self):
+        log = EventLog()
+        with log.span("first"):
+            time.sleep(0.002)
+        with log.span("second"):
+            pass
+        first, second = log.spans()
+        assert second.started_at >= first.started_at + first.seconds - 1e-4
+
+    def test_emit_anchors_to_monotonic_now(self):
+        log = EventLog()
+        span = log.emit("fit", 0.5)
+        assert span.started_at == pytest.approx(log.now() - 0.5, abs=0.05)
+
+    def test_explicit_started_at_respected(self):
+        log = EventLog()
+        span = log.emit("fit", 0.5, started_at=123.0)
+        assert span.started_at == 123.0
+
+
+# ---------------------------------------------------------------------
+# Aggregation and thread safety
+# ---------------------------------------------------------------------
+
+class TestAggregation:
+    def test_summary_distinguishes_zero_from_unknown_samples(self):
+        log = EventLog()
+        log.emit("fit", 0.1, n_samples=0)
+        log.emit("fit", 0.1)
+        log.emit("score", 0.1)
+        summary = log.summary()
+        # a reported zero stays a zero...
+        assert summary["fit"]["n_samples"] == 0
+        # ...and never-reported stays unknown
+        assert summary["score"]["n_samples"] is None
+
+    def test_summary_accumulates_past_zero(self):
+        log = EventLog()
+        log.emit("fit", 0.1, n_samples=0)
+        log.emit("fit", 0.1, n_samples=5)
+        assert log.summary()["fit"]["n_samples"] == 5
+
+    def test_concurrent_emit_span_summary_exact_counts(self):
+        """Barrier-synchronized hammer: concurrent emit/span/summary
+        must neither lose nor duplicate spans."""
+        log = EventLog()
+        n_threads, per_thread = 8, 200
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def hammer(thread_index):
+            try:
+                barrier.wait(timeout=10)
+                for tick in range(per_thread):
+                    log.emit("emit", 0.0, thread=thread_index, tick=tick)
+                    with log.span("span", thread=thread_index):
+                        pass
+                    if tick % 50 == 0:
+                        log.summary()
+                        log.spans("emit")
+            except Exception as error:  # noqa: BLE001 — surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(log) == n_threads * per_thread * 2
+        summary = log.summary()
+        assert summary["emit"]["count"] == n_threads * per_thread
+        assert summary["span"]["count"] == n_threads * per_thread
+        # no duplicates: every (thread, tick) pair appears exactly once
+        seen = {(s.meta["thread"], s.meta["tick"])
+                for s in log.spans("emit")}
+        assert len(seen) == n_threads * per_thread
+
+
+# ---------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------
+
+class TestMetrics:
+    def test_counter_gauge_histogram_basics(self, registry):
+        registry.increment("jobs", 3)
+        registry.increment("jobs")
+        registry.set_gauge("depth", 7)
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            registry.observe("latency", value)
+        snap = registry.snapshot()
+        assert snap.counters["jobs"] == 4
+        assert snap.gauges["depth"] == 7
+        hist = snap.histograms["latency"]
+        assert hist["count"] == 4
+        assert hist["total"] == 10.0
+        assert hist["min"] == 1.0 and hist["max"] == 4.0
+
+    def test_snapshot_delta_mirrors_gram_counters(self, registry):
+        registry.increment("jobs", 5)
+        registry.observe("latency", 1.0)
+        before = registry.snapshot()
+        registry.increment("jobs", 2)
+        registry.observe("latency", 3.0)
+        delta = registry.snapshot().delta(before)
+        assert delta.counters["jobs"] == 2
+        assert delta.histograms["latency"]["count"] == 1
+        assert delta.histograms["latency"]["total"] == 3.0
+        assert delta.histograms["latency"]["mean"] == 3.0
+
+    def test_p2_quantile_tracks_known_distribution(self):
+        rng = np.random.default_rng(42)
+        estimator = P2Quantile(0.5)
+        for value in rng.uniform(0.0, 1.0, size=5000):
+            estimator.observe(value)
+        assert estimator.value == pytest.approx(0.5, abs=0.05)
+
+        p90 = P2Quantile(0.9)
+        for value in rng.uniform(0.0, 10.0, size=5000):
+            p90.observe(value)
+        assert p90.value == pytest.approx(9.0, abs=0.5)
+
+    def test_p2_quantile_exact_below_five_samples(self):
+        estimator = P2Quantile(0.5)
+        for value in [3.0, 1.0, 2.0]:
+            estimator.observe(value)
+        assert estimator.value == 2.0
+
+    def test_histogram_empty_snapshot(self):
+        assert Histogram().snapshot()["count"] == 0
+
+    def test_gram_engine_reports_metrics(self, registry):
+        engine = GramEngine()
+        X = np.random.default_rng(0).normal(size=(20, 3))
+        engine.gram(RBFKernel(0.5), X)
+        engine.gram(RBFKernel(0.5), X)  # second call hits the cache
+        snap = registry.snapshot()
+        assert snap.counters["gram.gram_calls"] == 2
+        assert snap.counters["gram.blocks_computed"] >= 1
+        assert snap.counters["gram.cache_hits"] >= 1
+        assert snap.histograms["gram.block_seconds"]["count"] >= 1
+
+    def test_checkpoint_store_reports_metrics(self, registry, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ckpt"))
+        store.put("cell", {"score": 1.0})
+        assert store.get("cell") == {"score": 1.0}
+        assert store.get("absent") is None
+        snap = registry.snapshot()
+        assert snap.counters["checkpoint.puts"] == 1
+        assert snap.counters["checkpoint.hits"] == 1
+        assert snap.counters["checkpoint.misses"] == 1
+        assert snap.histograms["checkpoint.put_bytes"]["count"] == 1
+
+    def test_retry_policy_reports_delays(self, registry):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.5, jitter=0.5)
+        policy.delay(0, 1)
+        policy.delay(0, 2)
+        snap = registry.snapshot()
+        assert snap.counters["retry.delays"] == 2
+        assert snap.histograms["retry.delay_seconds"]["count"] == 2
+
+    def test_model_selection_reports_metrics(self, registry):
+        X, y = _data()
+        cross_validate(
+            LogisticRegression(max_iter=60), X, y, cv=KFold(3),
+        )
+        snap = registry.snapshot()
+        assert snap.counters["model_selection.cv_runs"] == 1
+        assert snap.counters["model_selection.fits"] == 3
+        assert snap.counters["parallel.tasks"] == 3
+        assert snap.histograms["model_selection.fit_seconds"]["count"] == 3
+
+    def test_discovery_loop_reports_metrics(self, registry):
+        from repro.flows import KnowledgeDiscoveryLoop
+
+        loop = KnowledgeDiscoveryLoop(
+            mine=lambda context: context,
+            judge=lambda result: (result >= 2, "more"),
+            adjust=lambda context, feedback: context + 1,
+            max_iterations=5,
+        )
+        assert loop.run(0) == 2
+        snap = registry.snapshot()
+        assert snap.counters["kdl.iterations"] == 3
+        assert snap.counters["kdl.accepted"] == 1
+
+    def test_module_level_snapshot_helper(self, registry):
+        registry.increment("x")
+        assert metrics_snapshot().counters["x"] == 1
+
+
+# ---------------------------------------------------------------------
+# Exporters and reports
+# ---------------------------------------------------------------------
+
+class TestExporters:
+    def _populated_log(self):
+        log = EventLog()
+        with recording(log):
+            runner = get_backend("thread", n_workers=2)
+            runner.map(_emit_tick, list(range(3)))
+        log.emit("fit", 0.01, label="candidate[0]", n_samples=40,
+                 gram={"cache_hits": 2}, params={"C": np.float64(1.0)})
+        return log
+
+    def test_chrome_trace_round_trips_with_required_fields(self, tmp_path):
+        log = self._populated_log()
+        path = log.export_chrome_trace(tmp_path / "trace.json")
+        document = json.loads(open(path).read())
+        events = document["traceEvents"]
+        assert len(events) == 4
+        for event in events:
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["ts"] >= 0.0
+            assert isinstance(event["pid"], int)
+        assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+
+    def test_jsonl_export_one_record_per_span(self, tmp_path):
+        log = self._populated_log()
+        path = log.export_jsonl(tmp_path / "spans.jsonl")
+        lines = [
+            json.loads(line)
+            for line in open(path).read().splitlines() if line
+        ]
+        assert len(lines) == len(log)
+        assert all("name" in record and "seconds" in record
+                   for record in lines)
+
+    def test_format_event_log_renders_summary(self):
+        log = self._populated_log()
+        text = format_event_log(log, title="trace")
+        assert text.startswith("trace")
+        assert "tick" in text and "fit" in text
+        # never-reported sample counts print as unknown
+        assert " -" in text.splitlines()[-1] or "-" in text
+
+    def test_run_report_includes_metrics(self, registry):
+        registry.increment("jobs", 2)
+        registry.observe("latency", 0.5)
+        log = EventLog()
+        log.emit("fit", 0.1, n_samples=10)
+        text = run_report(log, registry.snapshot())
+        assert "fit" in text
+        assert "jobs" in text and "latency" in text
+
+    def test_format_metrics_empty(self):
+        assert "no metrics" in format_metrics(MetricsRegistry().snapshot())
