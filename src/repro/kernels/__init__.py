@@ -8,6 +8,11 @@ from .base import (
     is_positive_semidefinite,
     normalize_gram,
 )
+from .approx import (
+    NystromApproximation,
+    RandomFourierFeatures,
+    resolve_feature_map,
+)
 from .composite import NormalizedKernel, ProductKernel, ScaledKernel, SumKernel
 from .engine import GramCounters, GramEngine, default_engine, set_default_engine
 from .histogram import ChiSquaredKernel, HistogramIntersectionKernel
@@ -37,10 +42,12 @@ __all__ = [
     "LaplacianKernel",
     "LinearKernel",
     "NormalizedKernel",
+    "NystromApproximation",
     "PolynomialKernel",
     "PrecomputedKernel",
     "ProductKernel",
     "RBFKernel",
+    "RandomFourierFeatures",
     "ScaledKernel",
     "SigmoidKernel",
     "SpectrumKernel",
@@ -53,6 +60,7 @@ __all__ = [
     "median_heuristic_gamma",
     "ngram_counts",
     "normalize_gram",
+    "resolve_feature_map",
     "set_default_engine",
     "spectrum_feature_map",
 ]

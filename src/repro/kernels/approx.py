@@ -1,0 +1,315 @@
+"""Approximate kernel feature maps: Nyström and random Fourier features.
+
+The exact Gram path of :class:`~repro.kernels.engine.GramEngine` is
+quadratic in the sample count — fine for the paper's tutorial-scale
+figures, a wall for production test floors (the scalability gap the
+ML-for-EDA survey calls out).  This module adds the two classical
+escape hatches as first-class transforms:
+
+- :class:`NystromApproximation` — project the kernel feature map onto
+  the span of ``n_components`` landmark samples.  Works for *any*
+  :class:`~repro.kernels.base.Kernel` and any sample type (vectors,
+  histograms, token programs): it only needs kernel evaluations against
+  the landmarks, which it routes through the shared
+  :class:`~repro.kernels.engine.GramEngine` (so landmark blocks are
+  cached across refits).  The induced Gram ``Z Z^T`` is the textbook
+  Nyström approximation ``C W^+ C^T``; with nested landmark sets its
+  trace error is monotone non-increasing in the landmark count.
+- :class:`RandomFourierFeatures` — Rahimi–Recht random features for
+  shift-invariant vector kernels (RBF, Laplacian).  ``Z Z^T`` is an
+  unbiased Monte-Carlo estimate of the Gram matrix with error
+  ``O(1/sqrt(n_features))``.
+
+Both are estimator-style transformers (``fit``/``transform``,
+``get_params``/``set_params``, clone- and pickle-friendly) with
+structural :meth:`cache_key`/:meth:`fingerprint` identities and
+deterministic ``numpy.random.SeedSequence``-driven sampling, so a
+rebuilt approximator with the same configuration produces bitwise the
+same feature map.  Every kernel consumer accepts one through its
+``approximation=`` parameter and then fits a linear-time model in the
+approximated feature space instead of assembling the full Gram matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import (
+    Estimator,
+    TransformerMixin,
+    as_2d_array,
+    as_kernel_samples,
+    check_fitted,
+    clone,
+)
+from .base import Kernel, _freeze
+
+__all__ = [
+    "NystromApproximation",
+    "RandomFourierFeatures",
+    "resolve_feature_map",
+]
+
+
+def resolve_feature_map(approximation, kernel=None, engine=None):
+    """Clone *approximation*, filling unset kernel/engine from a consumer.
+
+    Every estimator with an ``approximation=`` parameter routes through
+    here: the user's approximator is cloned (hyper-parameters are never
+    mutated), and when its ``kernel`` (or ``engine``, for approximators
+    that take one) was left at ``None``, the consuming estimator's own
+    kernel/engine is used — so ``SVC(kernel=k, approximation=
+    NystromApproximation(n_components=50))`` approximates ``k``, not the
+    approximator's fallback default.  Explicitly configured
+    approximators pass through untouched.
+    """
+    feature_map = clone(approximation)
+    params = feature_map.get_params(deep=False)
+    overrides = {}
+    if kernel is not None and params.get("kernel") is None:
+        overrides["kernel"] = kernel
+    if engine is not None and "engine" in params and params["engine"] is None:
+        overrides["engine"] = engine
+    if overrides:
+        feature_map.set_params(**overrides)
+    return feature_map
+
+
+def _seed_sequence(random_state) -> np.random.SeedSequence:
+    """A deterministic ``SeedSequence`` for *random_state*.
+
+    ``None`` maps to seed 0 — approximators are deterministic by
+    default, because their sampled landmarks/frequencies are part of
+    the model's structural identity (two fits of the same recipe must
+    agree bitwise for caches, conformance checks, and golden tests).
+    """
+    if random_state is None:
+        return np.random.SeedSequence(0)
+    if isinstance(random_state, np.random.SeedSequence):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.SeedSequence(int(random_state))
+    if isinstance(random_state, np.random.Generator):
+        # derive a fixed child seed from the generator's current state
+        return np.random.SeedSequence(int(random_state.integers(2**63 - 1)))
+    raise TypeError(
+        "random_state must be None, an int, a SeedSequence, or a numpy "
+        f"Generator, got {type(random_state).__name__}"
+    )
+
+
+class _FeatureMapApproximation(Estimator, TransformerMixin):
+    """Shared machinery for kernel feature-map approximators.
+
+    Underscore-prefixed by repo convention: abstract base, excluded
+    from the conformance registry's completeness discovery.
+    """
+
+    def _kernel(self) -> Kernel:
+        if self.kernel is not None:
+            return self.kernel
+        from .vector import RBFKernel
+
+        return RBFKernel(gamma=1.0)
+
+    # -- structural identity ------------------------------------------
+    def cache_key(self) -> tuple:
+        """Hashable structural identity: type plus frozen configuration.
+
+        Mirrors :meth:`Kernel.cache_key` so Gram blocks, checkpoint
+        fingerprints, and any approximator-keyed cache treat a rebuilt
+        approximator with the same hyper-parameters as the same object.
+        The engine is shared infrastructure, not identity, and is
+        excluded.
+        """
+        params = {
+            k: v
+            for k, v in self.get_params(deep=False).items()
+            if k != "engine"
+        }
+        return (
+            type(self).__module__,
+            type(self).__qualname__,
+            _freeze(params),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable hex digest of :meth:`cache_key` (checkpoint-friendly)."""
+        from ..core.resilience import fingerprint
+
+        return fingerprint(self)
+
+    # -- sizing --------------------------------------------------------
+    @property
+    def n_features_out_(self) -> int:
+        raise NotImplementedError
+
+    def approximate_gram(self, samples) -> np.ndarray:
+        """``Z Z^T`` for fitted features — the approximated Gram matrix."""
+        Z = self.transform(samples)
+        return Z @ Z.T
+
+
+class NystromApproximation(_FeatureMapApproximation):
+    """Nyström low-rank kernel feature map over arbitrary sample types.
+
+    ``fit`` draws ``n_components`` landmark samples with a
+    ``SeedSequence``-seeded permutation (so landmark sets are *nested*
+    across ranks for a fixed seed), assembles the landmark Gram block
+    ``W = K(L, L)`` through the engine, and stores the pseudo-inverse
+    square root ``W^{-1/2}`` with eigenvalue clipping.  ``transform``
+    maps any sample ``x`` to ``K(x, L) W^{-1/2}``, so
+    ``Z Z^T = C W^+ C^T`` — the Nyström approximation of the full Gram
+    matrix.
+
+    Parameters
+    ----------
+    kernel:
+        Any :class:`~repro.kernels.base.Kernel`; defaults to RBF.
+        Token-sequence and histogram kernels work unchanged — only
+        kernel evaluations against landmarks are required.
+    n_components:
+        Number of landmarks (the rank of the approximation); capped at
+        the training-sample count.
+    random_state:
+        Seed for landmark selection.  ``None`` behaves as ``0``
+        (deterministic by default).
+    engine:
+        A :class:`~repro.kernels.engine.GramEngine`; ``None`` uses the
+        shared default engine, so landmark cross-blocks are cached
+        across refits and estimators.
+    """
+
+    def __init__(self, kernel=None, n_components: int = 100,
+                 random_state=None, engine=None):
+        self.kernel = kernel
+        self.n_components = n_components
+        self.random_state = random_state
+        self.engine = engine
+
+    def _engine(self):
+        if self.engine is not None:
+            return self.engine
+        from .engine import default_engine
+
+        return default_engine()
+
+    def fit(self, X, y=None) -> "NystromApproximation":
+        if self.n_components < 1:
+            raise ValueError("n_components must be at least 1")
+        X = as_kernel_samples(X)
+        n = len(X)
+        m = min(int(self.n_components), n)
+        rng = np.random.default_rng(_seed_sequence(self.random_state))
+        # full permutation, prefix of m: for one seed, the landmark set
+        # at rank m is a subset of the set at any rank m' > m (the
+        # nestedness behind the monotone-error property test)
+        order = rng.permutation(n)
+        idx = np.sort(order[:m])
+        if isinstance(X, np.ndarray):
+            landmarks = X[idx]
+        else:
+            landmarks = [X[int(i)] for i in idx]
+        W = self._engine().gram(self._kernel(), landmarks)
+        eigenvalues, eigenvectors = np.linalg.eigh((W + W.T) / 2.0)
+        floor = max(float(eigenvalues.max()), 0.0) * 1e-12
+        keep = eigenvalues > max(floor, 1e-300)
+        if not keep.any():
+            raise ValueError(
+                "landmark Gram matrix has no positive eigenvalues; the "
+                "kernel collapsed on the selected landmarks"
+            )
+        # Z(x) = K(x, L) U diag(lambda^-1/2)  =>  Z Z^T = C W^+ C^T
+        self.normalization_ = (
+            eigenvectors[:, keep] / np.sqrt(eigenvalues[keep])
+        )
+        self.landmark_indices_ = idx
+        self.landmarks_ = landmarks
+        self.kernel_ = self._kernel()
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "normalization_")
+        X = as_kernel_samples(X)
+        C = self._engine().cross_gram(self.kernel_, X, self.landmarks_)
+        return C @ self.normalization_
+
+    @property
+    def n_features_out_(self) -> int:
+        check_fitted(self, "normalization_")
+        return self.normalization_.shape[1]
+
+
+class RandomFourierFeatures(_FeatureMapApproximation):
+    """Random Fourier feature map for shift-invariant vector kernels.
+
+    Supports :class:`~repro.kernels.vector.RBFKernel`
+    (``omega ~ Normal(0, sqrt(2 gamma))``) and
+    :class:`~repro.kernels.vector.LaplacianKernel`
+    (``omega ~ Cauchy(0, gamma)``, per Bochner's theorem).  The feature
+    map is ``z(x) = sqrt(2 / D) cos(x W + b)`` with ``b ~ U[0, 2 pi)``,
+    so ``E[z(x) . z(y)] = k(x, y)`` and the Gram error decays as
+    ``O(1 / sqrt(n_features))``.
+
+    Parameters
+    ----------
+    kernel:
+        An :class:`RBFKernel` or :class:`LaplacianKernel`; defaults to
+        ``RBFKernel(gamma=1.0)``.  Other kernels raise ``ValueError``
+        at fit time — use :class:`NystromApproximation` for those.
+    n_features:
+        Number of random features ``D``.
+    random_state:
+        Seed for frequency/offset sampling; ``None`` behaves as ``0``.
+    """
+
+    def __init__(self, kernel=None, n_features: int = 100,
+                 random_state=None):
+        self.kernel = kernel
+        self.n_features = n_features
+        self.random_state = random_state
+
+    def fit(self, X, y=None) -> "RandomFourierFeatures":
+        if self.n_features < 1:
+            raise ValueError("n_features must be at least 1")
+        X = as_2d_array(X)
+        d = X.shape[1]
+        kernel = self._kernel()
+        from .vector import LaplacianKernel, RBFKernel
+
+        rng = np.random.default_rng(_seed_sequence(self.random_state))
+        D = int(self.n_features)
+        if isinstance(kernel, RBFKernel):
+            scale = np.sqrt(2.0 * kernel.gamma)
+            weights = rng.normal(0.0, scale, size=(d, D))
+        elif isinstance(kernel, LaplacianKernel):
+            weights = kernel.gamma * rng.standard_cauchy(size=(d, D))
+        else:
+            raise ValueError(
+                "RandomFourierFeatures requires a shift-invariant vector "
+                "kernel (RBFKernel or LaplacianKernel); got "
+                f"{type(kernel).__name__}. Use NystromApproximation for "
+                "arbitrary kernels and sample types."
+            )
+        self.weights_ = weights
+        self.offsets_ = rng.uniform(0.0, 2.0 * np.pi, size=D)
+        self.n_input_features_ = d
+        self.kernel_ = kernel
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "weights_")
+        X = as_2d_array(X)
+        if X.shape[1] != self.n_input_features_:
+            raise ValueError(
+                f"X has {X.shape[1]} features; RandomFourierFeatures was "
+                f"fitted on {self.n_input_features_}"
+            )
+        D = self.weights_.shape[1]
+        projection = X @ self.weights_ + self.offsets_
+        return np.sqrt(2.0 / D) * np.cos(projection)
+
+    @property
+    def n_features_out_(self) -> int:
+        check_fitted(self, "weights_")
+        return self.weights_.shape[1]

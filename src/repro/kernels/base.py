@@ -141,6 +141,17 @@ class Kernel(ParamsAPI):
     def __hash__(self):
         return hash(self.cache_key())
 
+    def fingerprint(self) -> str:
+        """Stable hex digest of :meth:`cache_key`.
+
+        The checkpoint/shard key form of the kernel's structural
+        identity — two kernels with equal configuration fingerprint
+        identically across processes and runs.
+        """
+        from ..core.resilience import fingerprint
+
+        return fingerprint(self)
+
 
 def gram_matrix(kernel: Kernel, samples: Sequence, engine=None) -> np.ndarray:
     """Evaluate *kernel* over all pairs of *samples*.

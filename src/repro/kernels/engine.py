@@ -138,6 +138,7 @@ class GramCounters:
     cache_misses: int = 0
     evictions: int = 0
     pair_evaluations: int = 0
+    downcast_blocks: int = 0
     compute_seconds: float = 0.0
 
     @property
@@ -193,10 +194,25 @@ class GramEngine:
         bitwise-identical results (same chunks, same assembly order).
     chunk_size:
         Rows per work unit in the pairwise fallback.
+    dtype:
+        Default output dtype: ``float64`` (exact) or ``float32`` (block
+        mode: every block is computed in float64 and downcast, halving
+        cache/assembly memory).  Overridable per call via the ``dtype``
+        argument of :meth:`gram` / :meth:`cross_gram`.  Blocks are
+        cached under their dtype, so float32 and float64 runs never
+        serve each other's blocks.
+    float32_error_budget:
+        Declared per-block error budget for float32 block mode: after
+        downcasting, ``max|K32 - K64|`` must stay within
+        ``budget * max(1, max|K64|)`` or the engine raises
+        ``ValueError``.  The default (1e-6) sits comfortably above
+        float32 rounding (~1.2e-7 relative) while catching overflow to
+        ``inf`` and catastrophic kernels.
     """
 
     def __init__(self, block_size: int = 256, cache_bytes: int = 64 * 2**20,
-                 n_jobs: int = 1, chunk_size: int = 32):
+                 n_jobs: int = 1, chunk_size: int = 32, dtype="float64",
+                 float32_error_budget: float = 1e-6):
         if block_size < 1:
             raise ValueError("block_size must be at least 1")
         if cache_bytes < 0:
@@ -205,10 +221,14 @@ class GramEngine:
             raise ValueError("chunk_size must be at least 1")
         if n_jobs == 0:
             raise ValueError("n_jobs must be a positive int or -1")
+        if float32_error_budget <= 0:
+            raise ValueError("float32_error_budget must be positive")
         self.block_size = int(block_size)
         self.cache_bytes = int(cache_bytes)
         self.n_jobs = int(n_jobs)
         self.chunk_size = int(chunk_size)
+        self.dtype = self._check_dtype(dtype)
+        self.float32_error_budget = float(float32_error_budget)
         self.counters = GramCounters()
         self._cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._cached_bytes = 0
@@ -229,6 +249,8 @@ class GramEngine:
             "cache_bytes": self.cache_bytes,
             "n_jobs": self.n_jobs,
             "chunk_size": self.chunk_size,
+            "dtype": self.dtype.str,
+            "float32_error_budget": self.float32_error_budget,
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -243,18 +265,57 @@ class GramEngine:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def gram(self, kernel: Kernel, samples: Sequence) -> np.ndarray:
+    @staticmethod
+    def _check_dtype(dtype) -> np.dtype:
+        resolved = np.dtype(dtype)
+        if resolved not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(
+                f"dtype must be float64 or float32, got {resolved}"
+            )
+        return resolved
+
+    def _resolve_dtype(self, dtype) -> np.dtype:
+        return self.dtype if dtype is None else self._check_dtype(dtype)
+
+    def _finish_block(self, block: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        """Downcast a freshly computed float64 block to the requested
+        dtype, enforcing the declared per-block error budget."""
+        if dtype == np.dtype(np.float64):
+            return block
+        cast = block.astype(np.float32)
+        if block.size:
+            error = float(np.max(np.abs(cast.astype(np.float64) - block)))
+            scale = max(1.0, float(np.max(np.abs(block))))
+        else:
+            error = 0.0
+            scale = 1.0
+        budget = self.float32_error_budget * scale
+        if not error <= budget:
+            raise ValueError(
+                f"float32 block mode exceeded its error budget: block "
+                f"error {error:.3e} > {budget:.3e} "
+                f"(float32_error_budget={self.float32_error_budget:g}); "
+                "the kernel's values do not fit float32 — use float64"
+            )
+        with self._lock:
+            self.counters.downcast_blocks += 1
+        return cast
+
+    def gram(self, kernel: Kernel, samples: Sequence,
+             dtype=None) -> np.ndarray:
         """Symmetric Gram matrix ``K[i, j] = k(samples[i], samples[j])``.
 
         Always returns a freshly allocated array; mutating it cannot
-        poison the cache.
+        poison the cache.  *dtype* overrides the engine default
+        (``float32`` enables the downcast block mode for this call).
         """
         with self._lock:
             self.counters.gram_calls += 1
         instrument.metrics_registry().increment("gram.gram_calls")
+        dtype = self._resolve_dtype(dtype)
         store = _Samples(samples)
         n = len(store)
-        K = np.empty((n, n), dtype=float)
+        K = np.empty((n, n), dtype=dtype)
         if n == 0:
             return K
         kernel_key = self._kernel_key(kernel)
@@ -271,7 +332,10 @@ class GramEngine:
                 key = None
                 if kernel_key is not None:
                     kind = "sym" if diagonal else "rect"
-                    key = (kernel_key, kind, fps[bi], fps[bj])
+                    # dtype is part of the block identity: a float32 run
+                    # must never be served a cached float64 block (or
+                    # vice versa), even on an otherwise warm cache
+                    key = (kernel_key, kind, dtype.str, fps[bi], fps[bj])
                 block = self._lookup(key)
                 if block is None:
                     block_a = store.block(span_a)
@@ -283,6 +347,7 @@ class GramEngine:
                             kernel, block_a, store.block(span_b)
                         )
                     self._account(block, time.perf_counter() - start)
+                    block = self._finish_block(block, dtype)
                     self._store(key, block)
                 a0, a1 = span_a
                 b0, b1 = span_b
@@ -292,14 +357,15 @@ class GramEngine:
         return K
 
     def cross_gram(self, kernel: Kernel, samples_a: Sequence,
-                   samples_b: Sequence) -> np.ndarray:
+                   samples_b: Sequence, dtype=None) -> np.ndarray:
         """Rectangular matrix ``K[i, j] = k(samples_a[i], samples_b[j])``."""
         with self._lock:
             self.counters.cross_calls += 1
         instrument.metrics_registry().increment("gram.cross_calls")
+        dtype = self._resolve_dtype(dtype)
         store_a = _Samples(samples_a)
         store_b = _Samples(samples_b)
-        K = np.empty((len(store_a), len(store_b)), dtype=float)
+        K = np.empty((len(store_a), len(store_b)), dtype=dtype)
         if K.size == 0:
             return K
         kernel_key = self._kernel_key(kernel)
@@ -313,7 +379,8 @@ class GramEngine:
             for bj, span_b in enumerate(spans_b):
                 key = None
                 if kernel_key is not None:
-                    key = (kernel_key, "rect", fps_a[bi], fps_b[bj])
+                    key = (kernel_key, "rect", dtype.str, fps_a[bi],
+                           fps_b[bj])
                 block = self._lookup(key)
                 if block is None:
                     start = time.perf_counter()
@@ -321,6 +388,7 @@ class GramEngine:
                         kernel, store_a.block(span_a), store_b.block(span_b)
                     )
                     self._account(block, time.perf_counter() - start)
+                    block = self._finish_block(block, dtype)
                     self._store(key, block)
                 K[span_a[0] : span_a[1], span_b[0] : span_b[1]] = block
         return K

@@ -26,11 +26,12 @@ from .linear import (
     LeastSquaresRegressor,
     LogisticRegression,
     RidgeRegressor,
+    dual_coordinate_linear_svc,
 )
 from .multiclass import OneVsRestClassifier
 from .naive_bayes import BernoulliNaiveBayes, GaussianNaiveBayes
 from .neural_network import MLPClassifier, MLPRegressor
-from .one_class_svm import OneClassSVM
+from .one_class_svm import OneClassSVM, frank_wolfe_one_class
 from .rebalance import (
     imbalance_ratio,
     random_oversample,
@@ -90,8 +91,10 @@ __all__ = [
     "UNLABELED",
     "apriori_frequent_itemsets",
     "correlation_score",
+    "dual_coordinate_linear_svc",
     "entropy_impurity",
     "f_score",
+    "frank_wolfe_one_class",
     "generate_rules",
     "gini_impurity",
     "imbalance_ratio",

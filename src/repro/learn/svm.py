@@ -28,6 +28,7 @@ from ..core.base import (
     check_paired,
 )
 from ..core.rng import ensure_rng
+from .linear import dual_coordinate_linear_svc
 
 
 class SVC(Estimator, ClassifierMixin):
@@ -48,11 +49,18 @@ class SVC(Estimator, ClassifierMixin):
         A :class:`repro.kernels.GramEngine` to evaluate Gram matrices
         through; ``None`` uses the process-wide shared engine (and its
         cache).
+    approximation:
+        ``None`` (default) runs exact SMO on the full Gram matrix.  An
+        approximator (:class:`~repro.kernels.NystromApproximation` or
+        :class:`~repro.kernels.RandomFourierFeatures`) switches fit to
+        dual coordinate descent on the approximated feature map —
+        linear in the sample count instead of quadratic.  The passed
+        approximator is cloned before fitting, never mutated.
     """
 
     def __init__(self, kernel=None, C: float = 1.0, tol: float = 1e-3,
                  max_passes: int = 5, max_iter: int = 2000,
-                 random_state=None, engine=None):
+                 random_state=None, engine=None, approximation=None):
         self.kernel = kernel
         self.C = C
         self.tol = tol
@@ -60,6 +68,7 @@ class SVC(Estimator, ClassifierMixin):
         self.max_iter = max_iter
         self.random_state = random_state
         self.engine = engine
+        self.approximation = approximation
 
     def _kernel(self):
         if self.kernel is not None:
@@ -87,6 +96,9 @@ class SVC(Estimator, ClassifierMixin):
             raise ValueError(f"SVC is binary; got {len(classes)} classes")
         self.classes_ = classes
         signs = np.where(y == classes[1], 1.0, -1.0)
+
+        if self.approximation is not None:
+            return self._fit_approximate(X, signs)
 
         kernel = self._kernel()
         K = self._engine().gram(kernel, X)
@@ -159,10 +171,49 @@ class SVC(Estimator, ClassifierMixin):
         self.n_iter_ = iteration
         return self
 
+    def _fit_approximate(self, X, signs) -> "SVC":
+        """Linear-time fit: dual coordinate descent on the feature map.
+
+        The kernel SVM objective is solved on the approximated feature
+        map ``Z`` (bias via a constant augmented column, the LIBLINEAR
+        convention), so fitting is ``O(n_samples * n_features_out)``
+        per epoch instead of quadratic in samples.
+        """
+        from ..kernels.approx import resolve_feature_map
+
+        feature_map = resolve_feature_map(
+            self.approximation, kernel=self.kernel, engine=self.engine
+        ).fit(X)
+        Z = feature_map.transform(X)
+        Zb = np.hstack([Z, np.ones((len(Z), 1))])
+        rng = (
+            None
+            if self.random_state is None
+            else ensure_rng(self.random_state)
+        )
+        w, alpha, epochs = dual_coordinate_linear_svc(
+            Zb, signs, C=self.C, tol=self.tol,
+            max_epochs=self.max_iter, rng=rng,
+        )
+        support = alpha > 1e-8
+        self.coef_ = w[:-1]
+        self.intercept_ = float(w[-1])
+        self.alpha_ = alpha
+        self.dual_coef_ = (alpha * signs)[support]
+        self.support_indices_ = np.flatnonzero(support)
+        self.support_vectors_ = None
+        self.feature_map_ = feature_map
+        self.kernel_ = feature_map.kernel_
+        self.n_iter_ = epochs
+        return self
+
     # ------------------------------------------------------------------
     def decision_function(self, X) -> np.ndarray:
         """Signed distance-like score; positive favours ``classes_[1]``."""
         check_fitted(self, "dual_coef_")
+        if getattr(self, "feature_map_", None) is not None:
+            Z = self.feature_map_.transform(X)
+            return Z @ self.coef_ + self.intercept_
         X = as_kernel_samples(X)
         if len(self.support_vectors_) == 0:
             return np.full(len(X), self.intercept_)

@@ -2,13 +2,19 @@
 
 The registry maps each concrete :class:`~repro.core.base.Estimator`
 subclass in :mod:`repro.learn` / :mod:`repro.cluster` /
-:mod:`repro.transform` (plus the core preprocessing/pipeline
-estimators, registered voluntarily) to an :class:`EstimatorSpec`: a
-picklable construction recipe, capability tags that route the right
-checks and datasets to it, and any per-check waivers.
+:mod:`repro.transform` / :mod:`repro.kernels` (plus the core
+preprocessing/pipeline estimators, registered voluntarily) to an
+:class:`EstimatorSpec`: a picklable construction recipe, capability
+tags that route the right checks and datasets to it, and any per-check
+waivers.
+
+A class may be registered more than once under ``"Class@variant"``
+names — used to run the conformance matrix over alternative fit paths
+(e.g. ``SVC@nystrom`` exercises the approximated linear-time path with
+the same checks the exact ``SVC`` spec passes).
 
 Completeness is enforced by ``tests/test_conformance.py``: it imports
-the three packages, walks ``Estimator.__subclasses__`` recursively, and
+the packages, walks ``Estimator.__subclasses__`` recursively, and
 fails if any concrete class is missing from the registry — so adding a
 new estimator without registering it breaks the suite, which is the
 point.
@@ -44,6 +50,7 @@ REGISTRY_PACKAGES: Tuple[str, ...] = (
     "repro.learn",
     "repro.cluster",
     "repro.transform",
+    "repro.kernels",
 )
 
 #: Hard cap on waivers across the entire registry (acceptance criterion).
@@ -347,6 +354,54 @@ def _populate() -> None:
         {"n_components": 1},
         frozenset({"transformer", "supervised", "two-view"}),
         data="two_view",
+    ))
+
+    # ---------------------------------------- kernels (approximators)
+    APPROX = frozenset({"transformer", "unsupervised", "approximation"})
+    register(EstimatorSpec(
+        "NystromApproximation", kernels.NystromApproximation,
+        {"kernel": rbf(), "n_components": 8, "random_state": 0},
+        APPROX | {"needs-kernel"},
+    ))
+    register(EstimatorSpec(
+        "RandomFourierFeatures", kernels.RandomFourierFeatures,
+        {"kernel": rbf(), "n_features": 16, "random_state": 0},
+        APPROX | {"needs-kernel"},
+    ))
+
+    # --------------------------- approximation-enabled consumer variants
+    # Same classes under "Class@variant" names: the conformance matrix
+    # exercises the linear-time approximated fit paths with exactly the
+    # same checks the exact paths pass.
+    register(EstimatorSpec(
+        "SVC@nystrom", learn.SVC,
+        {"kernel": rbf(), "C": 1.0, "random_state": 0,
+         "approximation": kernels.NystromApproximation(
+             n_components=8, random_state=0)},
+        CLF | {"needs-kernel", "approximation"},
+    ))
+    register(EstimatorSpec(
+        "KernelRidgeRegressor@rff", learn.KernelRidgeRegressor,
+        {"kernel": rbf(), "alpha": 0.1,
+         "approximation": kernels.RandomFourierFeatures(
+             n_features=16, random_state=0)},
+        REG | {"needs-kernel", "approximation"}, data="regression",
+    ))
+    register(EstimatorSpec(
+        "OneClassSVM@nystrom", learn.OneClassSVM,
+        {"kernel": rbf(), "nu": 0.2,
+         "approximation": kernels.NystromApproximation(
+             n_components=8, random_state=0)},
+        frozenset({"detector", "unsupervised", "needs-kernel",
+                   "approximation"}),
+        data="clustering",
+    ))
+    register(EstimatorSpec(
+        "KernelPCA@nystrom", transform.KernelPCA,
+        {"kernel": rbf(), "n_components": 2,
+         "approximation": kernels.NystromApproximation(
+             n_components=8, random_state=0)},
+        TRF | {"needs-kernel", "approximation"},
     ))
 
     # ----------------------------------------------- core (voluntary)

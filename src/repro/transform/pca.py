@@ -106,14 +106,22 @@ class KernelPCA(Estimator, TransformerMixin):
     engine:
         A :class:`repro.kernels.GramEngine`; ``None`` uses the shared
         default engine.
+    approximation:
+        ``None`` (default) eigendecomposes the full (centered) Gram
+        matrix.  A kernel approximator switches fit to an SVD of the
+        explicit approximated feature map — linear in the sample count
+        — which is exactly kernel PCA in the approximated feature
+        space.  The approximator is cloned before fitting, never
+        mutated.
     """
 
     def __init__(self, kernel=None, n_components: int = 2,
-                 center: bool = True, engine=None):
+                 center: bool = True, engine=None, approximation=None):
         self.kernel = kernel
         self.n_components = n_components
         self.center = center
         self.engine = engine
+        self.approximation = approximation
 
     def _kernel(self):
         if self.kernel is not None:
@@ -134,6 +142,8 @@ class KernelPCA(Estimator, TransformerMixin):
             raise ValueError("n_components must be at least 1")
         X = as_kernel_samples(X)
         n = len(X)
+        if self.approximation is not None:
+            return self._fit_approximate(X)
         kernel = self._kernel()
         K = self._engine().gram(kernel, X)
         self._row_mean = K.mean(axis=0)
@@ -165,8 +175,46 @@ class KernelPCA(Estimator, TransformerMixin):
         self.kernel_ = kernel
         return self
 
+    def _fit_approximate(self, X) -> "KernelPCA":
+        """Linear-time fit: SVD of the explicit approximated feature map.
+
+        Equivalent to eigendecomposing the (centered) approximated Gram
+        ``Z Z^T``: right singular vectors of the centered ``Z`` are the
+        principal directions, squared singular values its eigenvalues.
+        """
+        from ..kernels.approx import resolve_feature_map
+
+        feature_map = resolve_feature_map(
+            self.approximation, kernel=self.kernel, engine=self.engine
+        ).fit(X)
+        Z = feature_map.transform(X)
+        self.feature_mean_ = (
+            Z.mean(axis=0) if self.center else np.zeros(Z.shape[1])
+        )
+        centered = Z - self.feature_mean_
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        eigenvalues = singular_values**2
+        k = min(self.n_components, len(eigenvalues))
+        top = float(eigenvalues[0]) if len(eigenvalues) else 0.0
+        keep = [
+            i for i in range(k) if eigenvalues[i] > 1e-10 * max(1.0, top)
+        ]
+        if not keep:
+            raise ValueError(
+                "Gram matrix has no positive eigenvalues to project onto"
+            )
+        self.eigenvalues_ = eigenvalues[keep]
+        self.components_ = vt[keep]
+        self.dual_components_ = None
+        self.feature_map_ = feature_map
+        self.kernel_ = feature_map.kernel_
+        return self
+
     def transform(self, X) -> np.ndarray:
         check_fitted(self, "dual_components_")
+        if getattr(self, "feature_map_", None) is not None:
+            Z = self.feature_map_.transform(X)
+            return (Z - self.feature_mean_) @ self.components_.T
         X = as_kernel_samples(X)
         K = self._engine().cross_gram(self.kernel_, X, self.X_fit_)
         if self.center:

@@ -76,11 +76,20 @@ class NoveltyTestSelector:
         ``None`` uses the process-wide default engine.  Retrains refit
         on a growing prefix of the selected tests, so cached Gram blocks
         from earlier fits keep being reused.
+    approximation:
+        ``None`` (default) retrains the exact one-class SVM.  A
+        :class:`~repro.kernels.NystromApproximation` (the sequence
+        kernels here are not shift-invariant, so random Fourier
+        features do not apply) makes each periodic retrain linear in
+        the number of selected tests — the scale-out path for long
+        constrained-random streams.  It is forwarded to every
+        :class:`~repro.learn.OneClassSVM` retrain, cloned per fit.
     """
 
     def __init__(self, kernel=None, nu: float = 0.3, threshold: float = 0.0,
                  seed_count: int = 10, retrain_every: int = 10,
-                 lexical_backstop: bool = True, engine=None):
+                 lexical_backstop: bool = True, engine=None,
+                 approximation=None):
         self.kernel = kernel or BlendedSpectrumKernel(max_k=3)
         self.nu = nu
         self.threshold = threshold
@@ -88,6 +97,7 @@ class NoveltyTestSelector:
         self.retrain_every = retrain_every
         self.lexical_backstop = lexical_backstop
         self.engine = engine
+        self.approximation = approximation
         self.selected_tokens: List[list] = []
         self._model: Optional[OneClassSVM] = None
         self._since_retrain = 0
@@ -97,7 +107,8 @@ class NoveltyTestSelector:
 
     def _retrain(self) -> None:
         self._model = OneClassSVM(
-            kernel=self.kernel, nu=self.nu, engine=self.engine
+            kernel=self.kernel, nu=self.nu, engine=self.engine,
+            approximation=self.approximation,
         )
         self._model.fit(self.selected_tokens)
         self._since_retrain = 0

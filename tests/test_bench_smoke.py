@@ -83,6 +83,53 @@ class TestTinyRuns:
         pipeline = module._pipeline().fit(X, y)
         assert pipeline.score(X, y) > 0.5
 
+    def test_perf_scale_bench_runs_tiny(self, monkeypatch, tmp_path):
+        # the full bench extrapolates to N=20k; at tiny env-overridden
+        # sizes every stage (data builders, exact curve, approximate
+        # fits, JSON merge) must still run end to end
+        module = _load(BENCH_DIR / "bench_perf_scale.py")
+        monkeypatch.setenv("REPRO_SCALE_N", "300")
+        monkeypatch.setenv("REPRO_SCALE_EXACT_NS", "40,80,160")
+        monkeypatch.setenv("REPRO_SCALE_CURVE_N", "60")
+        monkeypatch.setenv("REPRO_SCALE_SEQ_N", "80")
+        monkeypatch.setattr(module, "RESULTS_DIR", tmp_path)
+        monkeypatch.setattr(
+            module, "JSON_PATH", tmp_path / "BENCH_perf_scale.json"
+        )
+        recorded = {}
+
+        def record(name, text):
+            recorded[name] = text
+
+        module.test_perf_scale_svc_vector(record)
+        module.test_perf_scale_error_curves(record)
+        module.test_perf_scale_one_class_sequence(record)
+        assert len(recorded) == 3
+        import json
+
+        payload = json.loads(
+            (tmp_path / "BENCH_perf_scale.json").read_text()
+        )
+        assert payload["bench"] == "perf_scale"
+        assert payload["svc_vector"]["exact_extrapolated"] is True
+        assert payload["svc_vector"]["accuracy"]["budget"] == 0.02
+        assert payload["svc_vector"]["speedup"] > 0
+        assert {"svc_vector", "error_curve", "one_class_sequence"} <= set(
+            payload
+        )
+
+    def test_perf_scale_data_builders(self):
+        module = _load(BENCH_DIR / "bench_perf_scale.py")
+        X, y = module._returns_data(50, seed=0)
+        assert X.shape == (50, 8) and set(np.unique(y)) == {0, 1}
+        programs = module._programs(12, length=10)
+        assert len(programs) == 12 and len(programs[0]) == 10
+        seconds, exponent = module._power_law_extrapolate(
+            [100, 200, 400], [1.0, 4.0, 16.0], 800
+        )
+        assert exponent == pytest.approx(2.0)
+        assert seconds == pytest.approx(64.0)
+
     def test_imbalance_evaluation_runs_tiny(self):
         module = _load(BENCH_DIR / "bench_abl_imbalance.py")
         classifier_recall, screen_recall = module.evaluate_both(

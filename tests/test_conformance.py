@@ -57,8 +57,10 @@ class TestRegistryCompleteness:
         )
 
     def test_registry_names_are_class_names(self):
+        # base name is the class; an optional "@variant" suffix marks an
+        # alternative-path spec for the same class (e.g. "SVC@nystrom")
         for spec in iter_specs():
-            assert spec.name == spec.cls.__name__
+            assert spec.name.partition("@")[0] == spec.cls.__name__
 
     def test_every_spec_constructs_and_is_tagged(self):
         for spec in iter_specs():

@@ -1,0 +1,253 @@
+"""Golden regression tests: ``approximation=None`` is bitwise-unchanged.
+
+The approximate-path PR must not perturb the exact algorithms at all —
+the default paths stay byte-for-byte what they were.  Each test here
+carries a frozen reference implementation of the pre-approximation
+algorithm (verbatim arithmetic, same operation order) and asserts
+``np.array_equal`` — not ``allclose`` — against the library estimator.
+Any reordering, dtype change, or extra arithmetic on the exact path
+breaks these.
+
+A second group asserts the serial/thread/process ``cross_validate``
+backends still return identical scores for kernel estimators, with and
+without approximation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import ensure_rng
+from repro.core.validation import KFold, cross_validate
+from repro.kernels import NystromApproximation, RBFKernel
+from repro.learn import SVC, KernelRidgeRegressor, OneClassSVM
+from repro.transform import KernelPCA
+
+
+@pytest.fixture
+def data(rng):
+    X = np.vstack([
+        rng.normal(loc=-1.0, size=(20, 3)),
+        rng.normal(loc=+1.0, size=(20, 3)),
+    ])
+    y = np.array([0] * 20 + [1] * 20)
+    return X, y
+
+
+def _kernel():
+    return RBFKernel(gamma=0.4)
+
+
+# ---------------------------------------------------------------------
+# frozen reference implementations (pre-approximation algorithms)
+# ---------------------------------------------------------------------
+
+def reference_smo_svc(X, y, kernel, C=1.0, tol=1e-3, max_passes=5,
+                      max_iter=2000, random_state=0):
+    classes = np.unique(y)
+    signs = np.where(y == classes[1], 1.0, -1.0)
+    K = kernel.matrix(X)
+    n = len(signs)
+    rng = ensure_rng(random_state)
+    alpha = np.zeros(n)
+    b = 0.0
+    passes = 0
+    iteration = 0
+    while passes < max_passes and iteration < max_iter:
+        n_changed = 0
+        for i in range(n):
+            error_i = float((alpha * signs) @ K[:, i] + b - signs[i])
+            violates = (
+                (signs[i] * error_i < -tol and alpha[i] < C)
+                or (signs[i] * error_i > tol and alpha[i] > 0)
+            )
+            if not violates:
+                continue
+            j = int(rng.integers(0, n - 1))
+            if j >= i:
+                j += 1
+            error_j = float((alpha * signs) @ K[:, j] + b - signs[j])
+            alpha_i_old = alpha[i]
+            alpha_j_old = alpha[j]
+            if signs[i] != signs[j]:
+                low = max(0.0, alpha[j] - alpha[i])
+                high = min(C, C + alpha[j] - alpha[i])
+            else:
+                low = max(0.0, alpha[i] + alpha[j] - C)
+                high = min(C, alpha[i] + alpha[j])
+            if high - low < 1e-12:
+                continue
+            eta = 2.0 * K[i, j] - K[i, i] - K[j, j]
+            if eta >= 0:
+                continue
+            alpha[j] -= signs[j] * (error_i - error_j) / eta
+            alpha[j] = min(high, max(low, alpha[j]))
+            if abs(alpha[j] - alpha_j_old) < 1e-7:
+                continue
+            alpha[i] += signs[i] * signs[j] * (alpha_j_old - alpha[j])
+            b1 = (
+                b - error_i
+                - signs[i] * (alpha[i] - alpha_i_old) * K[i, i]
+                - signs[j] * (alpha[j] - alpha_j_old) * K[i, j]
+            )
+            b2 = (
+                b - error_j
+                - signs[i] * (alpha[i] - alpha_i_old) * K[i, j]
+                - signs[j] * (alpha[j] - alpha_j_old) * K[j, j]
+            )
+            if 0 < alpha[i] < C:
+                b = b1
+            elif 0 < alpha[j] < C:
+                b = b2
+            else:
+                b = (b1 + b2) / 2.0
+            n_changed += 1
+        passes = passes + 1 if n_changed == 0 else 0
+        iteration += 1
+    support = alpha > 1e-8
+    return (alpha * signs)[support], float(b), alpha
+
+
+def reference_one_class(X, kernel, nu=0.2, tol=1e-6, max_iter=None):
+    m = len(X)
+    K = kernel.matrix(X)
+    upper = 1.0 / (nu * m)
+    alpha = np.full(m, 1.0 / m)
+    gradient = K @ alpha
+    max_iter = max_iter if max_iter is not None else max(2000, 40 * m)
+    for _ in range(max_iter):
+        can_grow = alpha < upper - 1e-12
+        can_shrink = alpha > 1e-12
+        if not can_grow.any() or not can_shrink.any():
+            break
+        i = int(np.argmin(np.where(can_grow, gradient, np.inf)))
+        j = int(np.argmax(np.where(can_shrink, gradient, -np.inf)))
+        violation = gradient[j] - gradient[i]
+        if violation < tol:
+            break
+        curvature = K[i, i] + K[j, j] - 2.0 * K[i, j]
+        if curvature <= 1e-12:
+            step = min(upper - alpha[i], alpha[j])
+        else:
+            step = min(violation / curvature, upper - alpha[i], alpha[j])
+        if step <= 0:
+            break
+        alpha[i] += step
+        alpha[j] -= step
+        gradient += step * (K[:, i] - K[:, j])
+    support = alpha > 1e-9
+    margin = support & (alpha < upper - 1e-9)
+    scores = K @ alpha
+    if margin.any():
+        rho = float(np.mean(scores[margin]))
+    else:
+        rho = float(alpha @ scores)
+    return alpha, rho
+
+
+def reference_kernel_ridge(X, y, kernel, alpha=0.1):
+    K = kernel.matrix(X)
+    n = len(y)
+    return np.linalg.solve(K + alpha * np.eye(n), y.astype(float))
+
+
+def reference_kernel_pca(X, kernel, n_components=2, center=True):
+    K = kernel.matrix(X)
+    row_mean = K.mean(axis=0)
+    total_mean = float(K.mean())
+    if center:
+        K = K - K.mean(axis=0, keepdims=True) \
+            - K.mean(axis=0, keepdims=True).T + K.mean()
+    eigenvalues, eigenvectors = np.linalg.eigh(K)
+    order = np.argsort(eigenvalues)[::-1]
+    k = min(n_components, len(X))
+    keep = [
+        i for i in order[:k]
+        if eigenvalues[i] > 1e-10 * max(1.0, float(eigenvalues[order[0]]))
+    ]
+    lambdas = eigenvalues[keep]
+    vectors = eigenvectors[:, keep]
+    return vectors / np.sqrt(lambdas), row_mean, total_mean
+
+
+# ---------------------------------------------------------------------
+# bitwise equality of the library's exact path against the references
+# ---------------------------------------------------------------------
+
+class TestExactPathBitwise:
+    def test_svc_exact_fit_is_bitwise_unchanged(self, data):
+        X, y = data
+        model = SVC(kernel=_kernel(), C=1.0, random_state=0).fit(X, y)
+        dual_coef, intercept, alpha = reference_smo_svc(
+            X, y, _kernel(), random_state=0
+        )
+        np.testing.assert_array_equal(model.dual_coef_, dual_coef)
+        np.testing.assert_array_equal(model.alpha_, alpha)
+        assert model.intercept_ == intercept
+
+    def test_one_class_exact_fit_is_bitwise_unchanged(self, data):
+        X, _ = data
+        model = OneClassSVM(kernel=_kernel(), nu=0.2).fit(X)
+        alpha, rho = reference_one_class(X, _kernel(), nu=0.2)
+        np.testing.assert_array_equal(model.alpha_, alpha)
+        assert model.rho_ == rho
+
+    def test_kernel_ridge_exact_fit_is_bitwise_unchanged(self, data):
+        X, _ = data
+        y = np.sin(X[:, 0])
+        model = KernelRidgeRegressor(kernel=_kernel(), alpha=0.1).fit(X, y)
+        np.testing.assert_array_equal(
+            model.dual_coef_, reference_kernel_ridge(X, y, _kernel())
+        )
+
+    def test_kernel_pca_exact_fit_is_bitwise_unchanged(self, data):
+        X, _ = data
+        model = KernelPCA(kernel=_kernel(), n_components=2).fit(X)
+        dual_components, row_mean, total_mean = reference_kernel_pca(
+            X, _kernel()
+        )
+        np.testing.assert_array_equal(
+            model.dual_components_, dual_components
+        )
+        np.testing.assert_array_equal(model._row_mean, row_mean)
+        assert model._total_mean == total_mean
+
+    def test_exact_estimators_expose_no_feature_map(self, data):
+        # the branch flag for the approximate path must stay unset on
+        # exact fits, so downstream code can rely on its absence
+        X, y = data
+        assert getattr(
+            SVC(kernel=_kernel(), random_state=0).fit(X, y),
+            "feature_map_", None,
+        ) is None
+        assert getattr(
+            OneClassSVM(kernel=_kernel()).fit(X), "feature_map_", None
+        ) is None
+        assert getattr(
+            KernelPCA(kernel=_kernel()).fit(X), "feature_map_", None
+        ) is None
+
+
+# ---------------------------------------------------------------------
+# backend invariance: serial == thread == process, exact and approximate
+# ---------------------------------------------------------------------
+
+class TestBackendInvariance:
+    @pytest.mark.parametrize("approximation", [
+        None,
+        NystromApproximation(n_components=10, random_state=0),
+    ], ids=["exact", "nystrom"])
+    def test_cross_validate_scores_identical_across_backends(
+        self, data, approximation
+    ):
+        X, y = data
+        model = SVC(kernel=_kernel(), random_state=0,
+                    approximation=approximation)
+        cv = KFold(n_splits=3, shuffle=True, random_state=1)
+        scores = {}
+        for backend in ("serial", "thread", "process"):
+            result = cross_validate(
+                model, X, y, cv=cv, backend=backend, n_workers=2
+            )
+            scores[backend] = result["test_score"]
+        np.testing.assert_array_equal(scores["serial"], scores["thread"])
+        np.testing.assert_array_equal(scores["serial"], scores["process"])

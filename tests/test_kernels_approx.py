@@ -1,0 +1,281 @@
+"""Approximate-path integration tests: every ``approximation=`` consumer.
+
+The tentpole contract: each kernel consumer accepts an approximator and
+then (a) fits without touching the full Gram matrix, (b) lands within a
+declared error budget of its exact twin, and (c) keeps the estimator
+API — determinism, pickling, cloning — intact on the approximate path.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.base import NotFittedError, clone
+from repro.kernels import (
+    GramEngine,
+    NystromApproximation,
+    RBFKernel,
+    RandomFourierFeatures,
+    SpectrumKernel,
+)
+from repro.learn import (
+    SVC,
+    KernelRidgeRegressor,
+    OneClassSVM,
+    dual_coordinate_linear_svc,
+    frank_wolfe_one_class,
+)
+from repro.transform import KernelPCA
+from repro.verification import NoveltyTestSelector
+
+
+@pytest.fixture
+def blobs(rng):
+    X = np.vstack([
+        rng.normal(loc=-1.5, size=(60, 4)),
+        rng.normal(loc=+1.5, size=(60, 4)),
+    ])
+    y = np.array([0] * 60 + [1] * 60)
+    return X, y
+
+
+def smooth_kernel():
+    return RBFKernel(gamma=0.1)
+
+
+def nystrom(rank=60):
+    return NystromApproximation(n_components=rank, random_state=0)
+
+
+class TestSVCApproximate:
+    def test_tracks_exact_within_budget(self, blobs):
+        X, y = blobs
+        exact = SVC(kernel=smooth_kernel(), random_state=0).fit(X, y)
+        approx = SVC(kernel=smooth_kernel(), random_state=0,
+                     approximation=nystrom()).fit(X, y)
+        exact_acc = float((exact.predict(X) == y).mean())
+        approx_acc = float((approx.predict(X) == y).mean())
+        assert approx_acc >= exact_acc - 0.02
+
+    def test_rff_path(self, blobs):
+        X, y = blobs
+        approx = SVC(
+            kernel=smooth_kernel(), random_state=0,
+            approximation=RandomFourierFeatures(
+                n_features=300, random_state=0),
+        ).fit(X, y)
+        assert float((approx.predict(X) == y).mean()) >= 0.95
+
+    def test_deterministic_refit(self, blobs):
+        X, y = blobs
+        recipe = dict(kernel=smooth_kernel(), random_state=0,
+                      approximation=nystrom())
+        a = SVC(**recipe).fit(X, y).decision_function(X)
+        b = SVC(**recipe).fit(X, y).decision_function(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_fitted_pickle_roundtrip(self, blobs):
+        X, y = blobs
+        model = SVC(kernel=smooth_kernel(), random_state=0,
+                    approximation=nystrom()).fit(X, y)
+        revived = pickle.loads(pickle.dumps(model))
+        np.testing.assert_array_equal(
+            model.decision_function(X), revived.decision_function(X)
+        )
+
+    def test_clone_is_unfitted_and_shares_no_state(self, blobs):
+        X, y = blobs
+        model = SVC(kernel=smooth_kernel(),
+                    approximation=nystrom()).fit(X, y)
+        copy = clone(model)
+        with pytest.raises(NotFittedError):
+            copy.predict(X)
+        assert copy.approximation is not model.approximation
+
+    def test_approximation_hyperparameter_is_never_mutated(self, blobs):
+        X, y = blobs
+        prototype = nystrom()
+        SVC(kernel=smooth_kernel(), approximation=prototype).fit(X, y)
+        assert prototype.kernel is None
+        assert not hasattr(prototype, "normalization_")
+
+    def test_nested_param_grammar_reaches_approximation(self):
+        model = SVC(approximation=nystrom())
+        model.set_params(approximation__n_components=17)
+        assert model.approximation.n_components == 17
+        assert model.get_params()["approximation__n_components"] == 17
+
+
+class TestKernelRidgeApproximate:
+    def test_tracks_exact_predictions(self, blobs):
+        X, _ = blobs
+        y = np.sin(X[:, 0]) + X[:, 1]
+        exact = KernelRidgeRegressor(kernel=smooth_kernel(), alpha=0.1)
+        approx = KernelRidgeRegressor(kernel=smooth_kernel(), alpha=0.1,
+                                      approximation=nystrom(100))
+        gap = np.abs(
+            approx.fit(X, y).predict(X) - exact.fit(X, y).predict(X)
+        ).max()
+        assert gap < 0.25
+
+    def test_full_rank_nystrom_matches_exact_closely(self, blobs):
+        X, _ = blobs
+        y = np.sin(X[:, 0])
+        exact = KernelRidgeRegressor(kernel=smooth_kernel(), alpha=0.1)
+        approx = KernelRidgeRegressor(
+            kernel=smooth_kernel(), alpha=0.1,
+            approximation=nystrom(len(X)),
+        )
+        np.testing.assert_allclose(
+            approx.fit(X, y).predict(X), exact.fit(X, y).predict(X),
+            atol=1e-6,
+        )
+
+
+class TestOneClassSVMApproximate:
+    def test_agrees_with_exact_on_most_points(self, blobs):
+        X, _ = blobs
+        exact = OneClassSVM(kernel=smooth_kernel(), nu=0.2).fit(X)
+        approx = OneClassSVM(kernel=smooth_kernel(), nu=0.2,
+                             approximation=nystrom(100)).fit(X)
+        agreement = float(
+            (exact.is_novel(X) == approx.is_novel(X)).mean()
+        )
+        assert agreement >= 0.9
+
+    def test_nu_still_bounds_outlier_fraction_loosely(self, blobs):
+        X, _ = blobs
+        model = OneClassSVM(kernel=smooth_kernel(), nu=0.2,
+                            approximation=nystrom(100)).fit(X)
+        assert float(model.is_novel(X).mean()) <= 0.4
+
+    def test_sequence_samples_via_kernel_propagation(self, rng):
+        vocabulary = ["LD", "ST", "ADD", "SUB", "MUL", "SYNC"]
+        programs = [
+            [vocabulary[i] for i in rng.integers(0, 6, size=20)]
+            for _ in range(30)
+        ]
+        model = OneClassSVM(
+            kernel=SpectrumKernel(k=2), nu=0.3,
+            approximation=nystrom(15),
+        ).fit(programs)
+        # the consumer's sequence kernel reached the approximator
+        assert isinstance(model.feature_map_.kernel_, SpectrumKernel)
+        assert model.decision_function(programs).shape == (30,)
+
+
+class TestKernelPCAApproximate:
+    def test_projections_correlate_with_exact(self, blobs):
+        X, _ = blobs
+        exact = KernelPCA(kernel=smooth_kernel(), n_components=2).fit(X)
+        approx = KernelPCA(kernel=smooth_kernel(), n_components=2,
+                           approximation=nystrom(100)).fit(X)
+        Ze, Za = exact.transform(X), approx.transform(X)
+        for j in range(2):
+            corr = abs(np.corrcoef(Ze[:, j], Za[:, j])[0, 1])
+            assert corr > 0.98
+
+    def test_uncentered_mode(self, blobs):
+        X, _ = blobs
+        model = KernelPCA(kernel=smooth_kernel(), n_components=2,
+                          center=False, approximation=nystrom(50)).fit(X)
+        assert model.transform(X).shape == (len(X), 2)
+
+    def test_transform_before_fit_raises(self, blobs):
+        X, _ = blobs
+        with pytest.raises(NotFittedError):
+            KernelPCA(approximation=nystrom()).transform(X)
+
+
+class TestNoveltySelectorApproximate:
+    def _programs(self, n=60):
+        from repro.verification import Randomizer, TestTemplate
+
+        return list(Randomizer(random_state=13).stream(TestTemplate(), n))
+
+    def test_selector_runs_with_nystrom_retrains(self):
+        programs = self._programs()
+        selector = NoveltyTestSelector(
+            nu=0.3, seed_count=5, retrain_every=5,
+            approximation=NystromApproximation(
+                n_components=10, random_state=0),
+        )
+        decisions = [selector.consider(p) for p in programs]
+        assert selector.n_selected == sum(decisions)
+        # the retrained model actually used the approximate path
+        assert selector._model is not None
+        assert selector._model.feature_map_ is not None
+
+    def test_selector_filters_a_redundant_stream(self):
+        programs = self._programs(n=80)
+        # a redundant tail: the same handful of programs repeated
+        stream = programs[:20] + programs[:20] + programs[:20]
+        selector = NoveltyTestSelector(
+            nu=0.3, seed_count=5, retrain_every=5,
+            lexical_backstop=False,
+            approximation=NystromApproximation(
+                n_components=10, random_state=0),
+        )
+        for program in stream:
+            selector.consider(program)
+        assert selector.n_selected < len(stream)
+
+
+class TestSolvers:
+    def test_dual_cd_matches_reference_qp_on_separable_data(self, rng):
+        # linearly separable toy problem with an analytic margin
+        Z = np.vstack([
+            rng.normal(loc=-2.0, size=(25, 2)),
+            rng.normal(loc=+2.0, size=(25, 2)),
+        ])
+        signs = np.array([-1.0] * 25 + [1.0] * 25)
+        Zb = np.hstack([Z, np.ones((50, 1))])
+        w, alpha, epochs = dual_coordinate_linear_svc(
+            Zb, signs, C=10.0, tol=1e-8, max_epochs=2000
+        )
+        margins = signs * (Zb @ w)
+        assert margins.min() > 0.9  # all points classified with margin
+        assert (alpha >= -1e-12).all() and (alpha <= 10.0 + 1e-12).all()
+        # KKT: free multipliers sit on the margin
+        free = (alpha > 1e-6) & (alpha < 10.0 - 1e-6)
+        if free.any():
+            np.testing.assert_allclose(margins[free], 1.0, atol=1e-3)
+
+    def test_frank_wolfe_respects_capped_simplex(self, rng):
+        Z = rng.normal(size=(40, 6))
+        nu = 0.25
+        alpha, v, _ = frank_wolfe_one_class(Z, nu, tol=1e-10, max_iter=2000)
+        upper = 1.0 / (nu * len(Z))
+        assert np.isclose(alpha.sum(), 1.0)
+        assert (alpha >= -1e-12).all()
+        assert (alpha <= upper + 1e-12).all()
+        np.testing.assert_allclose(v, Z.T @ alpha, atol=1e-10)
+
+    def test_frank_wolfe_reaches_exact_objective(self, rng):
+        # compare the attained dual objective against the exact
+        # coordinate-descent solver on the same (full-rank) problem
+        Z = rng.normal(size=(30, 30))
+        K = Z @ Z.T
+        from repro.kernels import PrecomputedKernel
+
+        exact = OneClassSVM(
+            kernel=PrecomputedKernel(K), nu=0.3, tol=1e-10
+        ).fit(list(range(30)))
+        alpha, _, _ = frank_wolfe_one_class(Z, 0.3, tol=1e-8, max_iter=5000)
+        objective = 0.5 * alpha @ K @ alpha
+        exact_objective = 0.5 * exact.alpha_ @ K @ exact.alpha_
+        assert objective <= exact_objective * 1.05 + 1e-9
+
+
+class TestEngineRouting:
+    def test_consumer_engine_reaches_nystrom(self, blobs):
+        X, y = blobs
+        engine = GramEngine()
+        model = SVC(kernel=smooth_kernel(), engine=engine,
+                    approximation=nystrom(30)).fit(X, y)
+        # landmark Gram + transform cross-blocks went through the
+        # consumer's private engine, not the shared default
+        assert engine.counters.gram_calls >= 1
+        assert engine.counters.cross_calls >= 1
+        assert model.feature_map_.engine is engine

@@ -334,3 +334,85 @@ class TestDefaultEngineAndShim:
 
         engine = GramEngine()
         assert copy.deepcopy(engine) is engine
+
+
+class TestFloat32BlockMode:
+    """The dtype-aware block path: downcasting, budgets, cache keying."""
+
+    def test_float32_gram_within_budget_of_float64(self, vectors):
+        engine = GramEngine()
+        kernel = RBFKernel(0.5)
+        K64 = engine.gram(kernel, vectors)
+        K32 = engine.gram(kernel, vectors, dtype="float32")
+        assert K32.dtype == np.float32
+        scale = max(1.0, float(np.abs(K64).max()))
+        assert np.abs(K32.astype(float) - K64).max() <= (
+            engine.float32_error_budget * scale
+        )
+
+    def test_engine_level_dtype_default(self, vectors):
+        engine = GramEngine(dtype="float32")
+        assert engine.gram(RBFKernel(0.5), vectors).dtype == np.float32
+        # per-call override wins over the engine default
+        assert (
+            engine.gram(RBFKernel(0.5), vectors, dtype="float64").dtype
+            == np.float64
+        )
+
+    def test_downcast_counter_increments(self, vectors):
+        engine = GramEngine(block_size=16)
+        engine.gram(RBFKernel(0.5), vectors, dtype="float32")
+        assert engine.counters.downcast_blocks > 0
+        engine.reset_counters()
+        engine.gram(RBFKernel(0.7), vectors)
+        assert engine.counters.downcast_blocks == 0
+
+    def test_impossible_budget_raises(self, vectors):
+        engine = GramEngine(float32_error_budget=1e-16)
+        with pytest.raises(ValueError, match="error budget"):
+            engine.gram(RBFKernel(0.5), vectors, dtype="float32")
+
+    def test_rejects_unsupported_dtype(self, vectors):
+        with pytest.raises(ValueError):
+            GramEngine(dtype="int32")
+        with pytest.raises(ValueError):
+            GramEngine().gram(RBFKernel(0.5), vectors, dtype="float16")
+        with pytest.raises(ValueError):
+            GramEngine(float32_error_budget=0.0)
+
+    def test_cross_gram_float32(self, vectors):
+        engine = GramEngine()
+        kernel = RBFKernel(0.5)
+        C64 = engine.cross_gram(kernel, vectors[:10], vectors[10:])
+        C32 = engine.cross_gram(kernel, vectors[:10], vectors[10:],
+                                dtype="float32")
+        assert C32.dtype == np.float32
+        np.testing.assert_allclose(C32, C64, atol=1e-6)
+
+    def test_cache_keyed_on_dtype_no_stale_blocks(self, vectors):
+        # regression: a float64 warm cache must never serve blocks to a
+        # float32 request (or vice versa) — the dtypes are distinct
+        # cache entries
+        engine = GramEngine()
+        kernel = RBFKernel(0.5)
+        engine.gram(kernel, vectors)  # warm float64
+        warm_hits = engine.counters.cache_hits
+        K32 = engine.gram(kernel, vectors, dtype="float32")
+        assert engine.counters.cache_hits == warm_hits  # no cross-dtype hit
+        assert K32.dtype == np.float32
+        # both dtypes now warm: each repeat call is a pure cache hit
+        again32 = engine.gram(kernel, vectors, dtype="float32")
+        again64 = engine.gram(kernel, vectors)
+        assert engine.counters.cache_hits > warm_hits
+        assert again32.dtype == np.float32
+        assert again64.dtype == np.float64
+        np.testing.assert_array_equal(again32, K32)
+
+    def test_float32_survives_pickle(self, vectors):
+        import pickle
+
+        engine = GramEngine(dtype="float32", float32_error_budget=1e-5)
+        clone = pickle.loads(pickle.dumps(engine))
+        assert clone.dtype == np.dtype("float32")
+        assert clone.float32_error_budget == 1e-5
+        assert clone.gram(RBFKernel(0.5), vectors).dtype == np.float32

@@ -221,3 +221,202 @@ class TestStructuralIdentity:
         before = kernel.cache_key()
         kernel.gamma = 0.9
         assert kernel.cache_key() != before
+
+
+# ---------------------------------------------------------------------
+# Approximate feature maps: the error-budget contract
+# ---------------------------------------------------------------------
+
+from repro.kernels import (  # noqa: E402
+    NystromApproximation,
+    RandomFourierFeatures,
+    resolve_feature_map,
+)
+
+# Nyström works for any kernel/sample type; exercise one case per type.
+NYSTROM_CASES = [
+    ("rbf/vector", lambda: RBFKernel(gamma=0.2), vector_samples),
+    ("chi2/histogram", lambda: ChiSquaredKernel(gamma=0.8),
+     histogram_samples),
+    ("spectrum2/sequence", lambda: SpectrumKernel(k=2), sequence_samples),
+]
+NYSTROM_IDS = [case[0] for case in NYSTROM_CASES]
+
+
+class TestNystromContract:
+    @pytest.mark.parametrize("case", NYSTROM_CASES, ids=NYSTROM_IDS)
+    def test_trace_error_monotone_in_landmark_count(self, case):
+        # nested landmark sets (prefix of one seeded permutation) make
+        # the approximated Gram a growing-subspace projection, so the
+        # trace error never increases with rank
+        _, factory, sampler = case
+        rng = np.random.default_rng(11)
+        kernel = factory()
+        samples = sampler(rng, 40)
+        K = kernel.matrix(samples)
+        errors = []
+        for rank in (5, 10, 20, 40):
+            approx = NystromApproximation(
+                kernel=kernel, n_components=rank, random_state=9
+            ).fit(samples)
+            errors.append(float(np.trace(K - approx.approximate_gram(samples))))
+        for smaller, larger in zip(errors[1:], errors[:-1]):
+            assert smaller <= larger + 1e-8
+        # full rank reproduces the exact Gram
+        assert errors[-1] <= 1e-6 * max(1.0, float(np.abs(K).max()))
+
+    @pytest.mark.parametrize("case", NYSTROM_CASES, ids=NYSTROM_IDS)
+    def test_approximate_gram_is_psd(self, case):
+        _, factory, sampler = case
+        rng = np.random.default_rng(3)
+        samples = sampler(rng, 25)
+        approx = NystromApproximation(
+            kernel=factory(), n_components=10, random_state=1
+        ).fit(samples)
+        assert is_positive_semidefinite(approx.approximate_gram(samples))
+
+    def test_landmark_sets_are_nested_across_ranks(self):
+        rng = np.random.default_rng(0)
+        samples = vector_samples(rng, 30)
+        previous = None
+        for rank in (4, 9, 17, 30):
+            approx = NystromApproximation(
+                kernel=RBFKernel(0.5), n_components=rank, random_state=5
+            ).fit(samples)
+            landmarks = set(approx.landmark_indices_.tolist())
+            assert len(landmarks) == rank
+            if previous is not None:
+                assert previous <= landmarks
+            previous = landmarks
+
+    def test_transform_matches_cross_gram_projection(self):
+        rng = np.random.default_rng(2)
+        samples = vector_samples(rng, 20)
+        probes = vector_samples(rng, 6)
+        kernel = RBFKernel(0.3)
+        approx = NystromApproximation(
+            kernel=kernel, n_components=12, random_state=0
+        ).fit(samples)
+        C = kernel.cross_matrix(probes, samples[approx.landmark_indices_])
+        np.testing.assert_allclose(
+            approx.transform(probes), C @ approx.normalization_, atol=1e-10
+        )
+
+
+class TestRandomFourierContract:
+    def test_error_decays_as_inverse_sqrt_features(self):
+        # quadrupling n_features should roughly halve the Gram error;
+        # assert at least a 25% reduction per quadrupling (ample slack
+        # over the theoretical 50%)
+        rng = np.random.default_rng(4)
+        samples = vector_samples(rng, 35)
+        kernel = RBFKernel(gamma=0.4)
+        K = kernel.matrix(samples)
+        errors = []
+        for D in (64, 256, 1024):
+            rff = RandomFourierFeatures(
+                kernel=kernel, n_features=D, random_state=8
+            ).fit(samples)
+            errors.append(
+                float(np.abs(rff.approximate_gram(samples) - K).mean())
+            )
+        assert errors[1] < errors[0] * 0.75
+        assert errors[2] < errors[1] * 0.75
+
+    @pytest.mark.parametrize("factory", [
+        lambda: RBFKernel(gamma=0.4),
+        lambda: LaplacianKernel(gamma=0.4),
+    ], ids=["rbf", "laplacian"])
+    def test_unbiased_for_shift_invariant_kernels(self, factory):
+        rng = np.random.default_rng(6)
+        samples = vector_samples(rng, 20)
+        kernel = factory()
+        K = kernel.matrix(samples)
+        rff = RandomFourierFeatures(
+            kernel=kernel, n_features=4000, random_state=1
+        ).fit(samples)
+        assert np.abs(rff.approximate_gram(samples) - K).max() < 0.15
+
+    def test_rejects_non_shift_invariant_kernels(self):
+        rng = np.random.default_rng(0)
+        samples = vector_samples(rng, 10)
+        with pytest.raises(ValueError, match="Nystrom"):
+            RandomFourierFeatures(kernel=LinearKernel()).fit(samples)
+
+
+class TestApproximatorIdentity:
+    """Approximators carry the same structural-identity contract as
+    kernels: deterministic seeding, config-only pickling, equal keys for
+    equal recipes."""
+
+    def _approximators(self):
+        return [
+            NystromApproximation(
+                kernel=RBFKernel(0.5), n_components=7, random_state=3
+            ),
+            RandomFourierFeatures(
+                kernel=RBFKernel(0.5), n_features=9, random_state=3
+            ),
+        ]
+
+    def test_same_seed_same_features_bitwise(self):
+        rng = np.random.default_rng(1)
+        samples = vector_samples(rng, 15)
+        for prototype in self._approximators():
+            a = type(prototype)(**prototype.get_params(deep=False)).fit(samples)
+            b = type(prototype)(**prototype.get_params(deep=False)).fit(samples)
+            np.testing.assert_array_equal(
+                a.transform(samples), b.transform(samples)
+            )
+
+    def test_none_random_state_behaves_as_seed_zero(self):
+        rng = np.random.default_rng(1)
+        samples = vector_samples(rng, 12)
+        defaulted = RandomFourierFeatures(n_features=6).fit(samples)
+        seeded = RandomFourierFeatures(n_features=6, random_state=0).fit(
+            samples
+        )
+        np.testing.assert_array_equal(
+            defaulted.transform(samples), seeded.transform(samples)
+        )
+
+    def test_unfitted_pickle_roundtrip_refits_identically(self):
+        import pickle
+
+        rng = np.random.default_rng(7)
+        samples = vector_samples(rng, 15)
+        for prototype in self._approximators():
+            revived = pickle.loads(pickle.dumps(prototype))
+            np.testing.assert_array_equal(
+                prototype.fit(samples).transform(samples),
+                revived.fit(samples).transform(samples),
+            )
+
+    def test_cache_key_and_fingerprint_are_structural(self):
+        for prototype in self._approximators():
+            twin = type(prototype)(**prototype.get_params(deep=False))
+            assert prototype.cache_key() == twin.cache_key()
+            assert prototype.fingerprint() == twin.fingerprint()
+        a = NystromApproximation(kernel=RBFKernel(0.5), n_components=7)
+        b = NystromApproximation(kernel=RBFKernel(0.5), n_components=8)
+        c = NystromApproximation(kernel=RBFKernel(0.6), n_components=7)
+        assert a.cache_key() != b.cache_key()
+        assert a.cache_key() != c.cache_key()
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_engine_is_not_identity(self):
+        # the engine is shared infrastructure: two Nyström recipes that
+        # differ only in engine are the same approximation
+        a = NystromApproximation(n_components=5, engine=GramEngine())
+        b = NystromApproximation(n_components=5, engine=None)
+        assert a.cache_key() == b.cache_key()
+
+    def test_resolver_fills_unset_kernel_and_never_mutates(self):
+        kernel = SpectrumKernel(k=2)
+        prototype = NystromApproximation(n_components=4)
+        resolved = resolve_feature_map(prototype, kernel=kernel)
+        assert resolved.kernel is kernel
+        assert prototype.kernel is None  # untouched
+        explicit = NystromApproximation(kernel=RBFKernel(0.9), n_components=4)
+        kept = resolve_feature_map(explicit, kernel=kernel)
+        assert isinstance(kept.kernel, RBFKernel)
