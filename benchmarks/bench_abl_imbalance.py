@@ -15,6 +15,7 @@ class — the paper's crossover.
 import numpy as np
 import pytest
 
+from repro.artifacts import BenchSpec, module_runner, register_bench
 from repro.core.metrics import precision_recall_f1
 from repro.flows import format_table
 from repro.learn import (
@@ -23,6 +24,20 @@ from repro.learn import (
     smote,
 )
 from repro.mfgtest import RobustMahalanobisDetector
+
+
+register_bench(BenchSpec(
+    name="abl_imbalance",
+    runner=module_runner(__file__),
+    title="Ablation: rebalancing vs selection under extreme imbalance",
+    tags=("ablation", "mfgtest"),
+    metrics={
+        "mild_classifier_recall": "SMOTE+forest recall at 1:10 imbalance",
+        "extreme_screen_recall":
+            "selection+screen recall in the returns regime",
+    },
+    source=__file__,
+))
 
 
 def make_screening_problem(n_good, n_rare, seed):
@@ -71,7 +86,7 @@ def evaluate_both(n_good, n_rare, seed):
     return classifier_recall, screen_recall
 
 
-def test_abl_imbalance_crossover(benchmark, record_result):
+def test_abl_imbalance_crossover(benchmark, sink):
     configurations = [
         ("1:10 (mild)", 500, 50),
         ("1:100", 2000, 20),
@@ -89,7 +104,9 @@ def test_abl_imbalance_crossover(benchmark, record_result):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    record_result(
+    sink.metric("mild_classifier_recall", rows[0][1])
+    sink.metric("extreme_screen_recall", rows[-1][2])
+    sink.text(
         "abl_imbalance",
         format_table(
             ["imbalance", "SMOTE+forest recall", "selection+screen recall"],
@@ -107,7 +124,7 @@ def test_abl_imbalance_crossover(benchmark, record_result):
     assert extreme_screen > 0.6
 
 
-def test_abl_selection_quality_vs_positives(benchmark, record_result):
+def test_abl_selection_quality_vs_positives(benchmark, sink):
     """Feature selection stays reliable down to a couple of positives —
     the reason it is the right tool in the returns regime."""
 
@@ -123,7 +140,7 @@ def test_abl_selection_quality_vs_positives(benchmark, record_result):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    record_result(
+    sink.text(
         "abl_selection_stability",
         format_table(
             ["# rare samples", "signature tests recovered (of 3)"],

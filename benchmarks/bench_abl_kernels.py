@@ -11,6 +11,7 @@ kernel should retain coverage with fewer simulated tests.
 import numpy as np
 import pytest
 
+from repro.artifacts import BenchSpec, module_runner, register_bench
 from repro.flows import format_table
 from repro.kernels import BlendedSpectrumKernel, Kernel, RBFKernel, SpectrumKernel
 from repro.verification import (
@@ -21,6 +22,18 @@ from repro.verification import (
 )
 
 STREAM_SIZE = 900
+
+register_bench(BenchSpec(
+    name="abl_kernels",
+    runner=module_runner(__file__),
+    title="Ablation: kernel choice for novel test selection",
+    tags=("ablation", "kernels", "verification"),
+    metrics={
+        "blended_coverage": "coverage kept by the blended spectrum kernel",
+        "naive_coverage": "coverage kept by the RBF-on-lengths baseline",
+    },
+    source=__file__,
+))
 
 
 class LengthFeatureKernel(Kernel):
@@ -65,7 +78,7 @@ def stream():
     return list(randomizer.stream(TestTemplate(), STREAM_SIZE))
 
 
-def test_abl_kernel_choice(benchmark, stream, record_result):
+def test_abl_kernel_choice(benchmark, stream, sink):
     def run_all():
         rows = []
         for name, factory in KERNELS:
@@ -86,7 +99,7 @@ def test_abl_kernel_choice(benchmark, stream, record_result):
         return rows
 
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    record_result(
+    sink.text(
         "abl_kernels",
         format_table(
             ["kernel", "tests simulated", "coverage", "max",
@@ -99,13 +112,14 @@ def test_abl_kernel_choice(benchmark, stream, record_result):
     by_name = {row[0]: row for row in rows}
     blended_cov = by_name["blended spectrum (k<=3)"][2]
     naive_cov = by_name["RBF on length features"][2]
+    sink.metric("blended_coverage", blended_cov)
+    sink.metric("naive_coverage", naive_cov)
     # the behaviour-aware kernel keeps (weakly) more coverage than the
     # behaviour-blind one at comparable simulation budgets
     assert blended_cov >= naive_cov
 
 
-def test_abl_lexical_backstop_contribution(benchmark, stream,
-                                           record_result):
+def test_abl_lexical_backstop_contribution(benchmark, stream, sink):
     """Second ablation: the unseen-token backstop recovers the rare
     tail that distributional novelty alone misses."""
 
@@ -127,7 +141,7 @@ def test_abl_lexical_backstop_contribution(benchmark, stream,
         return rows
 
     rows = benchmark.pedantic(run_pair, rounds=1, iterations=1)
-    record_result(
+    sink.text(
         "abl_backstop",
         format_table(
             ["selector", "tests simulated", "coverage kept"],

@@ -9,6 +9,7 @@ tests.
 
 import pytest
 
+from repro.artifacts import BenchSpec, module_runner, register_bench
 from repro.flows import format_table
 from repro.verification import (
     CoverageClosureFlow,
@@ -17,6 +18,19 @@ from repro.verification import (
     SPECIAL_POINT_NAMES,
     TestTemplate,
 )
+
+register_bench(BenchSpec(
+    name="closure_campaign",
+    runner=module_runner(__file__),
+    title="Capstone: breadth+depth closure campaign vs brute force",
+    tags=("capstone", "verification"),
+    metrics={
+        "special_closure": "fraction of special points closed (must be 1)",
+        "simulation_fraction":
+            "simulated / generated tests across the campaign",
+    },
+    source=__file__,
+))
 
 
 @pytest.fixture(scope="module")
@@ -29,7 +43,7 @@ def campaign():
     return flow.run(TestTemplate())
 
 
-def test_closure_campaign_report(benchmark, campaign, record_result):
+def test_closure_campaign_report(benchmark, campaign, sink):
     benchmark.pedantic(
         lambda: CoverageClosureFlow(
             Randomizer(random_state=8),
@@ -38,7 +52,12 @@ def test_closure_campaign_report(benchmark, campaign, record_result):
         ).run(TestTemplate()),
         rounds=1, iterations=1,
     )
-    record_result(
+    sink.metric("special_closure", campaign.special_closure)
+    sink.metric(
+        "simulation_fraction",
+        campaign.total_simulated / campaign.total_generated,
+    )
+    sink.text(
         "closure_campaign",
         format_table(
             ["phase", "generated", "simulated", "cross cov",
@@ -52,7 +71,7 @@ def test_closure_campaign_report(benchmark, campaign, record_result):
     assert campaign.total_simulated < campaign.total_generated
 
 
-def test_closure_beats_brute_force(benchmark, campaign, record_result):
+def test_closure_beats_brute_force(benchmark, campaign, sink):
     """Same simulation budget, generic template, no mining: the brute
     campaign covers fewer special points."""
 
@@ -68,7 +87,7 @@ def test_closure_beats_brute_force(benchmark, campaign, record_result):
     brute = benchmark.pedantic(brute_force, rounds=1, iterations=1)
     brute_special = len(brute.coverage.covered_special_points())
     closed_special = len(campaign.coverage.covered_special_points())
-    record_result(
+    sink.text(
         "closure_vs_brute",
         format_table(
             ["campaign", "simulations", "special points covered",

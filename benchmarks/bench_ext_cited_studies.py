@@ -14,10 +14,23 @@ figure benches.
 import numpy as np
 import pytest
 
+from repro.artifacts import BenchSpec, module_runner, register_bench
 from repro.flows import format_table
 
+register_bench(BenchSpec(
+    name="ext_cited_studies",
+    runner=module_runner(__file__),
+    title="Cited studies: [20] Fmax, [25] IDDQ ICA, [32] wafers, [13]",
+    tags=("extension", "mfgtest", "litho"),
+    metrics={
+        "iddq_ica_capture": "fraction of defects the ICA screen catches",
+        "litho_svc_auc": "[13] supervised SVC AUC vs simulation",
+    },
+    source=__file__,
+))
 
-def test_ext_fmax_five_families(benchmark, record_result):
+
+def test_ext_fmax_five_families(benchmark, sink):
     """[20]: the five regression families on an Fmax-prediction task."""
     from repro.mfgtest import FmaxStudy
 
@@ -26,7 +39,7 @@ def test_ext_fmax_five_families(benchmark, record_result):
         rounds=1, iterations=1,
     )
     rows = [[name, r2, rmse] for name, r2, rmse in result.rows]
-    record_result(
+    sink.text(
         "ext_fmax",
         format_table(
             ["regression family", "R^2", "RMSE"],
@@ -42,7 +55,7 @@ def test_ext_fmax_five_families(benchmark, record_result):
     assert scores["SVR"] > scores["LSF"]
 
 
-def test_ext_iddq_ica_screen(benchmark, record_result):
+def test_ext_iddq_ica_screen(benchmark, sink):
     """[25]: ICA separates the defect current a total-IDDQ limit cannot."""
     from repro.mfgtest import (
         ICAIddqScreen,
@@ -68,7 +81,8 @@ def test_ext_iddq_ica_screen(benchmark, record_result):
     ica_caught = int(np.sum(ica_flags & data.defect_mask))
     total_caught = int(np.sum(total_flags & data.defect_mask))
     ica_overkill = int(np.sum(ica_flags & ~data.defect_mask))
-    record_result(
+    sink.metric("iddq_ica_capture", ica_caught / n_defects)
+    sink.text(
         "ext_iddq",
         format_table(
             ["screen", "defects caught", "of", "overkill"],
@@ -86,7 +100,7 @@ def test_ext_iddq_ica_screen(benchmark, record_result):
     assert ica_caught > total_caught
 
 
-def test_ext_inter_wafer_analysis(benchmark, record_result):
+def test_ext_inter_wafer_analysis(benchmark, sink):
     """[32]: spatial-signature mining flags abnormal wafers and groups
     their recurring modes."""
     from repro.mfgtest import InterWaferAnalysis, generate_wafer_lot
@@ -103,7 +117,7 @@ def test_ext_inter_wafer_analysis(benchmark, record_result):
     abnormal, result = benchmark.pedantic(run, rounds=1, iterations=1)
     caught = int(np.sum(result.abnormal_flags & abnormal))
     false = int(np.sum(result.abnormal_flags & ~abnormal))
-    record_result(
+    sink.text(
         "ext_wafer",
         format_table(
             ["quantity", "value"],
@@ -123,7 +137,7 @@ def test_ext_inter_wafer_analysis(benchmark, record_result):
     assert false <= 2
 
 
-def test_ext_litho_one_class_vs_svc(benchmark, record_result):
+def test_ext_litho_one_class_vs_svc(benchmark, sink):
     """[13]: the paper says both SVC and one-class SVM were applied to
     the variability problem; compare them on the same windows."""
     from repro.core.metrics import roc_auc
@@ -152,7 +166,8 @@ def test_ext_litho_one_class_vs_svc(benchmark, record_result):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    record_result(
+    sink.metric("litho_svc_auc", dict(rows)["svc"])
+    sink.text(
         "ext_litho_modes",
         format_table(
             ["model", "AUC vs simulation"],

@@ -13,6 +13,7 @@ learned rule blames the injected mechanism.
 
 import pytest
 
+from repro.artifacts import BenchSpec, module_runner, register_bench
 from repro.flows import format_table
 from repro.timing import (
     PathGenerator,
@@ -23,12 +24,25 @@ from repro.timing import (
 )
 
 
+register_bench(BenchSpec(
+    name="fig10_dstc",
+    runner=module_runner(__file__),
+    title="Fig. 10: DSTC clustering + rule diagnosis of slow paths",
+    tags=("figure", "timing"),
+    metrics={
+        "cluster_separation": "fast/slow cluster mean mismatch gap",
+        "rule_precision": "precision of the top learned diagnosis rule",
+    },
+    source=__file__,
+))
+
+
 @pytest.fixture(scope="module")
 def result():
     return run_dstc_experiment(n_paths=500, random_state=11)
 
 
-def test_fig10_two_clusters(benchmark, result, record_result):
+def test_fig10_two_clusters(benchmark, result, sink):
     benchmark.pedantic(
         lambda: run_dstc_experiment(n_paths=150, random_state=5),
         rounds=1, iterations=1,
@@ -41,7 +55,8 @@ def test_fig10_two_clusters(benchmark, result, record_result):
         ["slow cluster mean mismatch", result.cluster_centers[1]],
         ["cluster separation", result.cluster_separation],
     ]
-    record_result(
+    sink.metric("cluster_separation", result.cluster_separation)
+    sink.text(
         "fig10_clusters",
         format_table(["quantity", "value"], rows,
                      title="Fig. 10 (left): fast vs slow path clusters")
@@ -53,11 +68,11 @@ def test_fig10_two_clusters(benchmark, result, record_result):
     assert result.cluster_separation > 0.08
 
 
-def test_fig10_rule_blames_injected_mechanism(benchmark, result,
-                                              record_result):
+def test_fig10_rule_blames_injected_mechanism(benchmark, result, sink):
     benchmark(lambda: result.rule_features())
     blamed = result.rule_features()
-    record_result(
+    sink.metric("rule_precision", result.rules[0].precision)
+    sink.text(
         "fig10_rule_features",
         format_table(
             ["rank", "feature blamed"],
@@ -71,7 +86,7 @@ def test_fig10_rule_blames_injected_mechanism(benchmark, result,
     assert result.rules[0].precision > 0.9
 
 
-def test_fig10_control_without_effect(benchmark, record_result):
+def test_fig10_control_without_effect(benchmark, sink):
     """Ablation built into the figure: with the silicon effect removed,
     the mismatch distribution has no meaningful structure to diagnose."""
 
@@ -82,7 +97,7 @@ def test_fig10_control_without_effect(benchmark, record_result):
         )
 
     control_result = benchmark.pedantic(control, rounds=1, iterations=1)
-    record_result(
+    sink.text(
         "fig10_control",
         format_table(
             ["scenario", "cluster separation"],
@@ -96,7 +111,7 @@ def test_fig10_control_without_effect(benchmark, record_result):
     assert control_result.cluster_separation < 0.03
 
 
-def test_fig10_diagnosis_follows_the_mechanism(benchmark, record_result):
+def test_fig10_diagnosis_follows_the_mechanism(benchmark, sink):
     """Swap the injected silicon problem and the learned rule follows:
     the flow diagnoses whatever physics is actually wrong, it does not
     just memorize 'vias are bad'."""
@@ -119,7 +134,7 @@ def test_fig10_diagnosis_follows_the_mechanism(benchmark, record_result):
         return rows
 
     rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
-    record_result(
+    sink.text(
         "fig10_mechanism_swap",
         format_table(
             ["injected mechanism", "features blamed", "correct"],
@@ -130,7 +145,7 @@ def test_fig10_diagnosis_follows_the_mechanism(benchmark, record_result):
     assert all(row[2] for row in rows)
 
 
-def test_fig10_timer_accuracy_on_healthy_paths(benchmark, record_result):
+def test_fig10_timer_accuracy_on_healthy_paths(benchmark, sink):
     """Sanity: on paths untouched by the effect, the timer is accurate
     up to the global corner — the mismatch really is the anomaly."""
     generator = PathGenerator(random_state=3, global_fraction=0.0)

@@ -12,8 +12,25 @@ on the passing population, and screen the later and sister populations.
 
 import pytest
 
+from repro.artifacts import BenchSpec, module_runner, register_bench
 from repro.flows import format_table
 from repro.mfgtest import CustomerReturnStudy
+
+register_bench(BenchSpec(
+    name="fig11_returns",
+    runner=module_runner(__file__),
+    title="Fig. 11: customer-return outlier model across populations",
+    tags=("figure", "mfgtest"),
+    metrics={
+        "later_capture_rate":
+            "return capture rate on the later-batch population",
+        "sister_capture_rate":
+            "return capture rate on the sister product",
+        "worst_overkill_rate":
+            "worst overkill across the three populations (budget 0.005)",
+    },
+    source=__file__,
+))
 
 
 @pytest.fixture(scope="module")
@@ -29,7 +46,7 @@ def report():
     )
 
 
-def test_fig11_three_plots(benchmark, report, record_result):
+def test_fig11_three_plots(benchmark, report, sink):
     benchmark.pedantic(
         lambda: CustomerReturnStudy(random_state=9).run(
             n_train=3000, n_later=3000, n_sister=3000,
@@ -52,7 +69,13 @@ def test_fig11_three_plots(benchmark, report, record_result):
                 f"{outcome.overkill_rate:.4%}",
             ]
         )
-    record_result(
+    sink.metric(
+        "later_capture_rate", report.later_batch.return_capture_rate
+    )
+    sink.metric(
+        "sister_capture_rate", report.sister_product.return_capture_rate
+    )
+    sink.text(
         "fig11_returns",
         format_table(
             ["plot", "shipped chips", "returns flagged", "overkill"],
@@ -73,8 +96,7 @@ def test_fig11_three_plots(benchmark, report, record_result):
     assert report.sister_product.return_capture_rate >= 0.75
 
 
-def test_fig11_automotive_overkill_constraint(benchmark, report,
-                                              record_result):
+def test_fig11_automotive_overkill_constraint(benchmark, report, sink):
     """Zero-return goals only tolerate a screen that sacrifices almost
     no good parts; check the overkill across all three populations."""
     benchmark(lambda: report.rows())
@@ -83,7 +105,8 @@ def test_fig11_automotive_overkill_constraint(benchmark, report,
         report.later_batch.overkill_rate,
         report.sister_product.overkill_rate,
     )
-    record_result(
+    sink.metric("worst_overkill_rate", worst)
+    sink.text(
         "fig11_overkill",
         format_table(
             ["population", "overkill"],

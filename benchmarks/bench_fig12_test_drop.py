@@ -14,8 +14,22 @@ excursion mode switched on.
 
 import pytest
 
+from repro.artifacts import BenchSpec, module_runner, register_bench
 from repro.flows import format_table
 from repro.mfgtest import TestDropGenerator, analyze_drop_candidate, run_drop_study
+
+register_bench(BenchSpec(
+    name="fig12_test_drop",
+    runner=module_runner(__file__),
+    title="Fig. 12: test-cost reduction and the escapes history hides",
+    tags=("figure", "mfgtest"),
+    metrics={
+        "total_escapes": "escapes after the data-supported drop (> 0)",
+        "history_moment_gap":
+            "max moment gap between history and a clean future batch",
+    },
+    source=__file__,
+))
 
 
 @pytest.fixture(scope="module")
@@ -28,7 +42,7 @@ def study():
     )
 
 
-def test_fig12_history_supports_dropping(benchmark, study, record_result):
+def test_fig12_history_supports_dropping(benchmark, study, sink):
     benchmark.pedantic(
         lambda: run_drop_study(
             n_history=30_000, n_future=15_000,
@@ -54,7 +68,7 @@ def test_fig12_history_supports_dropping(benchmark, study, record_result):
             for d in study.decisions
         ],
     )
-    record_result("fig12_history", table + "\n\n" + fails)
+    sink.text("fig12_history", table + "\n\n" + fails)
 
     for decision in study.decisions:
         # the paper's numbers: rho ~ 0.97 / 0.96, zero uncaught fails
@@ -63,13 +77,14 @@ def test_fig12_history_supports_dropping(benchmark, study, record_result):
         assert decision.recommended_drop
 
 
-def test_fig12_future_escapes(benchmark, study, record_result):
+def test_fig12_future_escapes(benchmark, study, sink):
     benchmark(lambda: study.total_escapes())
     rows = [
         [candidate, escapes, study.n_future_chips]
         for candidate, escapes in study.future_escapes.items()
     ]
-    record_result(
+    sink.metric("total_escapes", study.total_escapes())
+    sink.text(
         "fig12_future",
         format_table(
             ["dropped test", "escapes (yellow dots)", "future chips"],
@@ -81,7 +96,7 @@ def test_fig12_future_escapes(benchmark, study, record_result):
     assert study.total_escapes() > 0
 
 
-def test_fig12_escapes_scale_with_excursion_rate(benchmark, record_result):
+def test_fig12_escapes_scale_with_excursion_rate(benchmark, sink):
     """The escape count tracks the (unknowable in advance) excursion
     rate — the quantity a guarantee would need to bound a priori."""
 
@@ -96,7 +111,7 @@ def test_fig12_escapes_scale_with_excursion_rate(benchmark, record_result):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    record_result(
+    sink.text(
         "fig12_rate_sweep",
         format_table(
             ["future excursion rate", "total escapes"],
@@ -109,7 +124,7 @@ def test_fig12_escapes_scale_with_excursion_rate(benchmark, record_result):
     assert escapes[-1] > escapes[0]
 
 
-def test_fig12_history_statistics_are_blind(benchmark, record_result):
+def test_fig12_history_statistics_are_blind(benchmark, sink):
     """The strongest form of the paper's point: the history batch and a
     clean future batch are statistically indistinguishable, so *no*
     learner — not just the correlation screen — could anticipate the
@@ -131,7 +146,8 @@ def test_fig12_history_statistics_are_blind(benchmark, record_result):
         return worst
 
     gap = benchmark(max_moment_gap)
-    record_result(
+    sink.metric("history_moment_gap", gap)
+    sink.text(
         "fig12_blindness",
         format_table(
             ["quantity", "value"],

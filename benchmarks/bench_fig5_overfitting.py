@@ -13,10 +13,25 @@ Two instantiations of the figure:
 import numpy as np
 import pytest
 
+from repro.artifacts import BenchSpec, module_runner, register_bench
 from repro.core.validation import complexity_curve
 from repro.flows import format_table
 from repro.kernels import RBFKernel
 from repro.learn import SVC, DecisionTreeClassifier
+
+
+register_bench(BenchSpec(
+    name="fig5_overfitting",
+    runner=module_runner(__file__),
+    title="Fig. 5: training vs validation error across complexity",
+    tags=("figure", "validation"),
+    metrics={
+        "tree_best_depth": "depth minimizing validation error",
+        "svm_best_validation_error":
+            "lowest validation error across the C sweep",
+    },
+    source=__file__,
+))
 
 
 def noisy_problem(seed=0, n_train=300, n_val=400, flip=0.25):
@@ -30,7 +45,7 @@ def noisy_problem(seed=0, n_train=300, n_val=400, flip=0.25):
     return X_train, y_train, X_val, y_val
 
 
-def test_fig5_tree_depth_curve(benchmark, record_result):
+def test_fig5_tree_depth_curve(benchmark, sink):
     X_train, y_train, X_val, y_val = noisy_problem()
     depths = [1, 2, 3, 5, 8, 12, 16]
 
@@ -47,7 +62,8 @@ def test_fig5_tree_depth_curve(benchmark, record_result):
         [depth, train_error, validation_error]
         for depth, train_error, validation_error in curve.rows()
     ]
-    record_result(
+    sink.metric("tree_best_depth", curve.best_value())
+    sink.text(
         "fig5_tree_depth",
         format_table(
             ["max_depth", "train error", "validation error"],
@@ -62,7 +78,7 @@ def test_fig5_tree_depth_curve(benchmark, record_result):
     assert curve.best_value() <= 8
 
 
-def test_fig5_svm_regularization_curve(benchmark, record_result):
+def test_fig5_svm_regularization_curve(benchmark, sink):
     X_train, y_train, X_val, y_val = noisy_problem(seed=3, n_train=200)
     c_values = [0.03, 0.1, 0.3, 1.0, 10.0, 100.0, 1000.0]
 
@@ -82,7 +98,10 @@ def test_fig5_svm_regularization_curve(benchmark, record_result):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    record_result(
+    sink.metric(
+        "svm_best_validation_error", min(row[3] for row in rows)
+    )
+    sink.text(
         "fig5_svm_regularization",
         format_table(
             ["C", "complexity sum(alpha)", "train error", "validation error"],

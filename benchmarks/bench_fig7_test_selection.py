@@ -13,6 +13,7 @@ saving well above 80% — reproduces.
 
 import pytest
 
+from repro.artifacts import BenchSpec, module_runner, register_bench
 from repro.core.metrics import simulation_saving
 from repro.flows import format_table, sparkline
 from repro.verification import (
@@ -24,6 +25,20 @@ from repro.verification import (
 
 STREAM_SIZE = 2500
 
+register_bench(BenchSpec(
+    name="fig7_test_selection",
+    runner=module_runner(__file__),
+    title="Fig. 7: one-class novelty selection simulation saving",
+    tags=("figure", "verification"),
+    metrics={
+        "saving": "simulation run-time saving (paper: ~95%)",
+        "coverage_match_fraction":
+            "fraction of max coverage the selected subset reaches",
+        "tests_selected": "tests simulated with selection on",
+    },
+    source=__file__,
+))
+
 
 @pytest.fixture(scope="module")
 def experiment():
@@ -34,7 +49,7 @@ def experiment():
     return result, selector, programs
 
 
-def test_fig7_saving_table(benchmark, experiment, record_result):
+def test_fig7_saving_table(benchmark, experiment, sink):
     result, selector, programs = experiment
 
     # benchmark the unit of work the flow repeats: one novelty decision
@@ -59,7 +74,10 @@ def test_fig7_saving_table(benchmark, experiment, record_result):
         ["paper reference (6000+ -> 310)",
          f"{simulation_saving(6000, 310):.1%}"],
     ]
-    record_result(
+    sink.metric("saving", result.saving)
+    sink.metric("coverage_match_fraction", result.coverage_match_fraction)
+    sink.metric("tests_selected", result.n_selected)
+    sink.text(
         "fig7_test_selection",
         format_table(["quantity", "value"], rows,
                      title="Fig. 7: simulation run-time saving")
@@ -72,8 +90,7 @@ def test_fig7_saving_table(benchmark, experiment, record_result):
     assert result.saving > 0.8
 
 
-def test_fig7_selection_scales_with_stream(benchmark, experiment,
-                                           record_result):
+def test_fig7_selection_scales_with_stream(benchmark, experiment, sink):
     """The longer the redundant stream, the bigger the saving — the
     selected-test count saturates while the baseline keeps paying."""
     result, selector, programs = experiment
@@ -90,7 +107,7 @@ def test_fig7_selection_scales_with_stream(benchmark, experiment,
         [n, selected, f"{1.0 - selected / n:.1%}"]
         for n, selected in zip((300, 900, 1800), counts)
     ]
-    record_result(
+    sink.text(
         "fig7_scaling",
         format_table(
             ["stream length", "tests simulated", "filtered out"],

@@ -12,6 +12,7 @@ import time
 
 import pytest
 
+from repro.artifacts import BenchSpec, module_runner, register_bench
 from repro.flows import format_table
 from repro.litho import (
     LayoutGenerator,
@@ -19,6 +20,20 @@ from repro.litho import (
     run_variability_experiment,
     window_grid,
 )
+
+
+register_bench(BenchSpec(
+    name="fig9_litho",
+    runner=module_runner(__file__),
+    title="Fig. 9: HI-kernel model vs lithography simulation",
+    tags=("figure", "litho"),
+    metrics={
+        "recall": "high-variability windows the model recovers",
+        "precision": "precision of the model's flagged windows",
+        "auc": "ranking quality of the variability score",
+    },
+    source=__file__,
+))
 
 
 @pytest.fixture(scope="module")
@@ -32,7 +47,7 @@ def experiment():
     return train, test, report, details
 
 
-def test_fig9_accuracy_vs_simulation(benchmark, experiment, record_result):
+def test_fig9_accuracy_vs_simulation(benchmark, experiment, sink):
     train, test, report, details = experiment
     benchmark.pedantic(
         lambda: run_variability_experiment(
@@ -43,7 +58,10 @@ def test_fig9_accuracy_vs_simulation(benchmark, experiment, record_result):
         ),
         rounds=1, iterations=1,
     )
-    record_result(
+    sink.metric("recall", report.recall)
+    sink.metric("precision", report.precision)
+    sink.metric("auc", report.auc)
+    sink.text(
         "fig9_litho_accuracy",
         format_table(
             ["quantity", "value"],
@@ -58,7 +76,7 @@ def test_fig9_accuracy_vs_simulation(benchmark, experiment, record_result):
 
 
 def test_fig9_model_cost_independent_of_process_corners(
-    benchmark, experiment, record_result
+    benchmark, experiment, sink
 ):
     """The structural reason model M is "fast prediction".
 
@@ -121,7 +139,7 @@ def test_fig9_model_cost_independent_of_process_corners(
 
     benchmark(lambda: predictor.decision_function(clips[:40]))
 
-    record_result(
+    sink.text(
         "fig9_speed",
         format_table(
             ["path", "process corners", "optical prints", "seconds"],

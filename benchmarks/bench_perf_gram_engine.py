@@ -6,17 +6,16 @@ needs a 500-program Gram matrix over a sequence kernel.  These benches
 measure the engine against the naive pairwise double loop on exactly
 that workload, and record the cache economics of a warm second pass.
 
-Artifacts: a human-readable row set via ``record_result`` and a
-machine-readable ``BENCH_gram.json`` under ``benchmarks/results/``.
+Artifacts: human-readable tables plus the ``gram_engine_sequence_500``
+payload via the shared sink (mirrored to ``BENCH_gram.json``).
 """
 
-import json
-import pathlib
 import time
 
 import numpy as np
 import pytest
 
+from repro.artifacts import BenchSpec, module_runner, register_bench
 from repro.kernels import (
     GramEngine,
     Kernel,
@@ -25,7 +24,22 @@ from repro.kernels import (
     SpectrumKernel,
 )
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+register_bench(BenchSpec(
+    name="perf_gram_engine",
+    runner=module_runner(__file__),
+    title="Gram engine vs naive pairwise loop at Fig. 7 scale",
+    tags=("perf", "kernels"),
+    metrics={
+        "gram_engine_sequence_500.cold_speedup":
+            "engine cold pass speedup over the naive double loop",
+        "gram_engine_sequence_500.warm_speedup":
+            "engine warm (cached) pass speedup over the naive loop",
+        "gram_engine_sequence_500.warm_hit_rate":
+            "cache hit rate of the warm second pass (contract: > 0.9)",
+    },
+    json_name="BENCH_gram",
+    source=__file__,
+))
 
 
 def _make_programs(n, length=40, seed=0):
@@ -37,7 +51,7 @@ def _make_programs(n, length=40, seed=0):
     ]
 
 
-def test_perf_gram_engine_sequence_500(record_result):
+def test_perf_gram_engine_sequence_500(sink):
     """Fig. 7 scale: 500 programs, spectrum kernel.
 
     The engine must beat the naive double loop (which re-tokenizes per
@@ -71,8 +85,7 @@ def test_perf_gram_engine_sequence_500(record_result):
     warm_hit_rate = engine.counters.hit_rate
     assert warm_hit_rate > 0.9, f"warm hit rate {warm_hit_rate:.2f}"
 
-    record = {
-        "bench": "gram_engine_sequence_500",
+    sink.record("gram_engine_sequence_500", {
         "workload": {
             "n_samples": 500,
             "kernel": "SpectrumKernel(k=3)",
@@ -86,12 +99,8 @@ def test_perf_gram_engine_sequence_500(record_result):
         "warm_hit_rate": warm_hit_rate,
         "warm_counters": engine.counters.as_dict(),
         "cache": engine.cache_info(),
-    }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_gram.json").write_text(
-        json.dumps(record, indent=2) + "\n"
-    )
-    record_result(
+    })
+    sink.text(
         "BENCH_gram",
         "\n".join(
             [
@@ -106,7 +115,7 @@ def test_perf_gram_engine_sequence_500(record_result):
     )
 
 
-def test_perf_second_fit_reuses_gram(record_result):
+def test_perf_second_fit_reuses_gram(sink):
     """A refit on identical data — the grid-search inner loop — must be
     served from cache with > 90% hit rate."""
     from repro.learn import SVC
@@ -131,7 +140,12 @@ def test_perf_second_fit_reuses_gram(record_result):
 
     hit_rate = engine.counters.hit_rate
     assert hit_rate > 0.9, f"second fit hit rate {hit_rate:.2f}"
-    record_result(
+    sink.record("gram_refit", {
+        "first_fit_seconds": first_seconds,
+        "second_fit_seconds": second_seconds,
+        "refit_hit_rate": hit_rate,
+    })
+    sink.text(
         "BENCH_gram_refit",
         "\n".join(
             [

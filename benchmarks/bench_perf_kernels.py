@@ -10,6 +10,7 @@ and track the absolute throughput of the kernels the case studies use.
 import numpy as np
 import pytest
 
+from repro.artifacts import BenchSpec, module_runner, register_bench
 from repro.kernels import (
     BlendedSpectrumKernel,
     HistogramIntersectionKernel,
@@ -17,6 +18,14 @@ from repro.kernels import (
     RBFKernel,
     SpectrumKernel,
 )
+
+register_bench(BenchSpec(
+    name="perf_kernels",
+    runner=module_runner(__file__),
+    title="Collection-level kernel paths vs the naive pairwise fallback",
+    tags=("perf", "kernels"),
+    source=__file__,
+))
 
 
 def test_perf_rbf_vectorized_vs_pairwise(benchmark, rng_seed=0):

@@ -12,18 +12,16 @@ Speedups are *recorded*, not asserted: CI boxes may expose a single
 core, where process workers only add overhead.  What must always hold
 is result equality and trace completeness.
 
-Artifacts: a human-readable row set via ``record_result`` and a
-machine-readable ``BENCH_model_selection.json`` under
-``benchmarks/results/``.
+Artifacts: ``BENCH_model_selection`` tables plus the
+``model_selection_backends`` payload via the shared sink.
 """
 
-import json
 import os
-import pathlib
 import time
 
 import numpy as np
 
+from repro.artifacts import BenchSpec, module_runner, register_bench
 from repro.core import (
     EventLog,
     GridSearchCV,
@@ -35,7 +33,22 @@ from repro.core import (
 from repro.kernels import RBFKernel
 from repro.learn import SVC
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+register_bench(BenchSpec(
+    name="perf_model_selection",
+    runner=module_runner(__file__),
+    title="GridSearchCV wall time and trace economics per backend",
+    tags=("perf", "model-selection"),
+    metrics={
+        "model_selection_backends.best_score":
+            "best CV score of the 3x3 RBF-SVC grid (backend-invariant)",
+        "model_selection_backends.results_identical_across_backends":
+            "1.0 when all backends agree bitwise",
+        "gram_reuse.hit_rate":
+            "Gram cache hit rate across a fixed-kernel C sweep",
+    },
+    json_name="BENCH_model_selection",
+    source=__file__,
+))
 
 GRID = {
     "svc__C": [0.3, 1.0, 3.0],
@@ -62,7 +75,7 @@ def _pipeline():
     )
 
 
-def test_perf_grid_search_backends(record_result):
+def test_perf_grid_search_backends(sink):
     """3x3 RBF-SVC grid, 3-fold CV, on serial/thread/process backends.
 
     Asserts: identical best_params_, best_score_, and fold score
@@ -104,8 +117,7 @@ def test_perf_grid_search_backends(record_result):
         assert len(log.spans("search")) == 1, backend
 
     search_span = runs["serial"]["log"].spans("search")[0]
-    record = {
-        "bench": "model_selection_backends",
+    sink.record("model_selection_backends", {
         "workload": {
             "n_samples": len(X),
             "grid": {key: list(map(float, v)) for key, v in GRID.items()},
@@ -127,11 +139,7 @@ def test_perf_grid_search_backends(record_result):
         "best_params": serial.best_params_,
         "best_score": serial.best_score_,
         "serial_search_gram_counters": search_span.gram,
-    }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_model_selection.json").write_text(
-        json.dumps(record, indent=2) + "\n"
-    )
+    })
 
     lines = [
         f"workload   {n_candidates} candidates x 3 folds, "
@@ -145,10 +153,10 @@ def test_perf_grid_search_backends(record_result):
             f" {len(run['log'])} spans)"
         )
     lines.append("results    bitwise-identical on all backends")
-    record_result("BENCH_model_selection", "\n".join(lines))
+    sink.text("BENCH_model_selection", "\n".join(lines))
 
 
-def test_perf_search_reuses_gram_across_candidates(record_result):
+def test_perf_search_reuses_gram_across_candidates(sink):
     """Candidates sharing a gamma share Gram blocks: the engine's cache
     should serve repeat kernel evaluations inside one serial sweep."""
     from repro.kernels import GramEngine
@@ -172,7 +180,12 @@ def test_perf_search_reuses_gram_across_candidates(record_result):
     # once and served twice; prediction-time cross-Grams miss because
     # each C yields different support vectors, so the floor is 1/3
     assert hit_rate >= 1 / 3, f"sweep hit rate {hit_rate:.2f}"
-    record_result(
+    sink.record("gram_reuse", {
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "hit_rate": hit_rate,
+    })
+    sink.text(
         "BENCH_model_selection_gram_reuse",
         "\n".join(
             [

@@ -17,23 +17,37 @@ Speedups are recorded, not asserted (CI wall clocks are noisy); what
 must hold is bitwise score equality and that resumes skip exactly the
 checkpointed cells.
 
-Artifacts: ``BENCH_resilience.txt`` rows via ``record_result`` and a
-machine-readable ``BENCH_resilience.json`` under ``benchmarks/results/``.
+Artifacts: a ``BENCH_resilience`` table plus the
+``resilience_checkpointing`` payload via the shared sink.
 """
 
-import json
 import os
-import pathlib
 import tempfile
 import time
 
 import numpy as np
 
+from repro.artifacts import BenchSpec, module_runner, register_bench
 from repro.core import CheckpointStore, GridSearchCV, KFold
 from repro.learn import LogisticRegression
 from repro.testing.chaos import SlowEstimator
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+register_bench(BenchSpec(
+    name="perf_resilience",
+    runner=module_runner(__file__),
+    title="Checkpoint write overhead and resume speedup on a grid",
+    tags=("perf", "resilience"),
+    metrics={
+        "resilience_checkpointing.checkpoint_overhead_per_cell_ms":
+            "wall-time cost the checkpoint store adds per grid cell",
+        "resilience_checkpointing.resume_full_speedup_vs_cold":
+            "speedup of resuming a completed run vs the cold run",
+        "resilience_checkpointing.scores_bitwise_identical":
+            "1.0 when resumed cv scores equal the cold run bitwise",
+    },
+    json_name="BENCH_resilience",
+    source=__file__,
+))
 
 GRID = {"base__learning_rate": [0.02, 0.05, 0.1, 0.2]}
 N_FOLDS = 3
@@ -64,7 +78,7 @@ def _run(X, y, checkpoint=None):
     return search, time.perf_counter() - start
 
 
-def test_perf_checkpoint_overhead_and_resume_speedup(record_result):
+def test_perf_checkpoint_overhead_and_resume_speedup(sink):
     X, y = _make_data()
     n_cells = len(GRID["base__learning_rate"]) * N_FOLDS
 
@@ -98,8 +112,7 @@ def test_perf_checkpoint_overhead_and_resume_speedup(record_result):
         assert resumed.best_params_ == plain.best_params_
 
     overhead_seconds = cold_seconds - plain_seconds
-    record = {
-        "bench": "resilience_checkpointing",
+    sink.record("resilience_checkpointing", {
         "workload": {
             "n_samples": len(X),
             "grid": {k: list(map(float, v)) for k, v in GRID.items()},
@@ -121,13 +134,9 @@ def test_perf_checkpoint_overhead_and_resume_speedup(record_result):
         "resume_full_seconds": warm_seconds,
         "resume_full_speedup_vs_cold": cold_seconds / warm_seconds,
         "scores_bitwise_identical": True,
-    }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_resilience.json").write_text(
-        json.dumps(record, indent=2) + "\n"
-    )
+    })
 
-    record_result(
+    sink.text(
         "BENCH_resilience",
         "\n".join(
             [

@@ -24,35 +24,47 @@ these entries with ``"exact_extrapolated": true``.  Overridable knobs:
 - ``REPRO_SCALE_FULL_EXACT`` set to 1 to *measure* the exact fit at
                              ``REPRO_SCALE_N`` instead of extrapolating
 
-Artifacts: ``BENCH_perf_scale.json`` under ``benchmarks/results/``.
+Artifacts: the ``svc_vector`` / ``error_curve`` / ``one_class_sequence``
+payloads via the shared sink (mirrored to ``BENCH_perf_scale.json``).
 """
 
-import json
 import os
-import pathlib
 import time
 
 import numpy as np
 
+from repro.artifacts import BenchSpec, module_runner, register_bench
 from repro.kernels import NystromApproximation, RBFKernel, SpectrumKernel
 from repro.learn import SVC, OneClassSVM
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-JSON_PATH = RESULTS_DIR / "BENCH_perf_scale.json"
+register_bench(BenchSpec(
+    name="perf_scale",
+    runner=module_runner(__file__),
+    title="Approximate Gram paths vs exact kernel methods at scale",
+    tags=("perf", "scale", "approximation"),
+    metrics={
+        "svc_vector.speedup":
+            "approx SVC fit speedup over (extrapolated) exact at N target",
+        "svc_vector.accuracy.delta":
+            "exact minus approx held-out accuracy (budget 0.02)",
+        "one_class_sequence.speedup":
+            "one-class sequence retrain speedup, Nystrom vs exact",
+        "one_class_sequence.decision_agreement":
+            "fraction of novelty decisions agreeing with the exact model",
+    },
+    json_name="BENCH_perf_scale",
+    smoke_env={
+        "REPRO_SCALE_N": "400",
+        "REPRO_SCALE_EXACT_NS": "100,200",
+        "REPRO_SCALE_CURVE_N": "120",
+        "REPRO_SCALE_SEQ_N": "150",
+    },
+    source=__file__,
+))
 
 
 def _env_int(name, default):
     return int(os.environ.get(name, default))
-
-
-def _merge_json(key, payload):
-    RESULTS_DIR.mkdir(exist_ok=True)
-    record = {}
-    if JSON_PATH.exists():
-        record = json.loads(JSON_PATH.read_text())
-    record["bench"] = "perf_scale"
-    record[key] = payload
-    JSON_PATH.write_text(json.dumps(record, indent=2) + "\n")
 
 
 def _returns_data(n, seed=0):
@@ -100,7 +112,7 @@ def _power_law_extrapolate(sizes, seconds, target):
     return float(np.exp(log_a) * target ** b), float(b)
 
 
-def test_perf_scale_svc_vector(record_result):
+def test_perf_scale_svc_vector(sink):
     """Headline: approximated SVC at N=20k, >=10x over (extrapolated)
     exact, accuracy within 0.02 at the largest measured exact size."""
     kernel = RBFKernel(gamma=0.1)
@@ -177,7 +189,7 @@ def test_perf_scale_svc_vector(record_result):
             f"{approx_seconds:.1f}s)"
         )
 
-    _merge_json("svc_vector", {
+    sink.record("svc_vector", {
         "workload": {
             "shape": "fig11-returns",
             "n_target": n_target,
@@ -200,7 +212,7 @@ def test_perf_scale_svc_vector(record_result):
         "speedup": speedup,
         "speedup_floor": 10.0,
     })
-    record_result(
+    sink.text(
         "BENCH_perf_scale_svc",
         "\n".join([
             f"workload        fig11-style vectors, N={n_target}, "
@@ -214,7 +226,7 @@ def test_perf_scale_svc_vector(record_result):
     )
 
 
-def test_perf_scale_error_curves(record_result):
+def test_perf_scale_error_curves(sink):
     """Exact-vs-approx Gram error shrinks monotonically with rank, and
     the top-rank consumer matches exact accuracy within the budget."""
     kernel = RBFKernel(gamma=0.1)
@@ -240,7 +252,7 @@ def test_perf_scale_error_curves(record_result):
     ), f"trace error not monotone: {errors}"
     assert errors[-1] < 0.1 * scale
 
-    _merge_json("error_curve", {
+    sink.record("error_curve", {
         "n": n,
         "kernel": "RBFKernel(gamma=0.1)",
         "nystrom_curve": curve,
@@ -250,10 +262,10 @@ def test_perf_scale_error_curves(record_result):
         f"{point['mean_trace_error']:.5f}"
         for point in curve
     ]
-    record_result("BENCH_perf_scale_error_curve", "\n".join(rows))
+    sink.text("BENCH_perf_scale_error_curve", "\n".join(rows))
 
 
-def test_perf_scale_one_class_sequence(record_result):
+def test_perf_scale_one_class_sequence(sink):
     """Fig. 7 shape: one-class novelty over token programs — Nyström
     makes the retrain linear while agreeing with exact decisions."""
     n = _env_int("REPRO_SCALE_SEQ_N", 900)
@@ -284,7 +296,7 @@ def test_perf_scale_one_class_sequence(record_result):
             f"sequence one-class speedup only {speedup:.1f}x"
         )
 
-    _merge_json("one_class_sequence", {
+    sink.record("one_class_sequence", {
         "workload": {
             "shape": "fig7-programs",
             "n": n,
@@ -297,7 +309,7 @@ def test_perf_scale_one_class_sequence(record_result):
         "speedup": speedup,
         "decision_agreement": agreement,
     })
-    record_result(
+    sink.text(
         "BENCH_perf_scale_one_class",
         "\n".join([
             f"workload     fig7-style programs, N={n}, spectrum k=3",

@@ -16,9 +16,9 @@ paths that matter:
   10k-span log, with a round-trip ``json.loads`` smoke check of the
   ``ph``/``ts``/``dur`` fields on every event.
 
-Artifacts: ``BENCH_telemetry.txt`` rows via ``record_result``, a
-machine-readable ``BENCH_telemetry.json``, and a Perfetto-loadable
-``BENCH_telemetry_trace.json`` under ``benchmarks/results/``.
+Artifacts: a ``BENCH_telemetry`` table plus the ``telemetry_overhead``
+payload via the shared sink; the Perfetto-loadable Chrome trace rides
+along as a ``sink.path`` aux artifact.
 """
 
 import json
@@ -26,10 +26,28 @@ import os
 import pathlib
 import time
 
+from repro.artifacts import BenchSpec, module_runner, register_bench
 from repro.core import EventLog, MetricsRegistry, recording
 from repro.core import instrument
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+register_bench(BenchSpec(
+    name="perf_telemetry",
+    runner=module_runner(__file__),
+    title="Telemetry span/metric overheads and Chrome-trace export",
+    tags=("perf", "telemetry"),
+    metrics={
+        "telemetry_overhead.active_span_us":
+            "recorded span cost per call (budget 20 us)",
+        "telemetry_overhead.inactive_hook_us":
+            "span hook cost with nothing recording (budget 5 us)",
+        "telemetry_overhead.histogram_observe_us":
+            "MetricsRegistry.observe cost per call",
+        "telemetry_overhead.chrome_trace_export_seconds":
+            "10k-span Chrome trace serialization time",
+    },
+    json_name="BENCH_telemetry",
+    source=__file__,
+))
 
 N_SPANS = 20_000
 N_HOOK_CALLS = 50_000
@@ -48,7 +66,7 @@ def _per_call_us(n_calls, body):
     return best / n_calls * 1e6
 
 
-def test_perf_span_overhead_and_trace_export(record_result):
+def test_perf_span_overhead_and_trace_export(sink):
     log = EventLog()
 
     def active(n):
@@ -96,7 +114,6 @@ def test_perf_span_overhead_and_trace_export(record_result):
     observe_us = _per_call_us(N_METRIC_CALLS, observes)
 
     # a populated log -> Chrome trace, round-tripped through json.loads
-    RESULTS_DIR.mkdir(exist_ok=True)
     log.clear()
     with recording(log):
         for i in range(10_000):
@@ -106,7 +123,7 @@ def test_perf_span_overhead_and_trace_export(record_result):
             )
     start = time.perf_counter()
     trace_path = log.export_chrome_trace(
-        RESULTS_DIR / "BENCH_telemetry_trace.json"
+        sink.path("BENCH_telemetry_trace.json")
     )
     export_seconds = time.perf_counter() - start
 
@@ -120,8 +137,7 @@ def test_perf_span_overhead_and_trace_export(record_result):
         assert event["dur"] > 0.0
         previous_ts = event["ts"]
 
-    record = {
-        "bench": "telemetry_overhead",
+    sink.record("telemetry_overhead", {
         "cpu_count": os.cpu_count(),
         "n_spans": N_SPANS,
         "active_span_us": active_us,
@@ -133,13 +149,9 @@ def test_perf_span_overhead_and_trace_export(record_result):
         "chrome_trace_events": len(events),
         "chrome_trace_export_seconds": export_seconds,
         "chrome_trace_round_trip_ok": True,
-    }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_telemetry.json").write_text(
-        json.dumps(record, indent=2) + "\n"
-    )
+    })
 
-    record_result(
+    sink.text(
         "BENCH_telemetry",
         "\n".join(
             [

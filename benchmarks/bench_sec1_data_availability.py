@@ -12,6 +12,7 @@ paying — the quantity an engineer needs before committing to the flow.
 import numpy as np
 import pytest
 
+from repro.artifacts import BenchSpec, module_runner, register_bench
 from repro.core.metrics import roc_auc
 from repro.flows import format_table
 from repro.litho import (
@@ -20,6 +21,18 @@ from repro.litho import (
     VariabilityPredictor,
     window_grid,
 )
+
+
+register_bench(BenchSpec(
+    name="sec1_data_availability",
+    runner=module_runner(__file__),
+    title="Sec. 1: model quality vs simulation label budget",
+    tags=("section", "litho"),
+    metrics={
+        "full_budget_auc": "AUC with every labeled window available",
+    },
+    source=__file__,
+))
 
 
 @pytest.fixture(scope="module")
@@ -35,7 +48,7 @@ def litho_pools():
     return train_clips, train_labels, test_clips, test_labels
 
 
-def test_sec1_label_budget_curve(benchmark, litho_pools, record_result):
+def test_sec1_label_budget_curve(benchmark, litho_pools, sink):
     train_clips, train_labels, test_clips, test_labels = litho_pools
     rng = np.random.default_rng(0)
     order = rng.permutation(len(train_clips))
@@ -56,7 +69,7 @@ def test_sec1_label_budget_curve(benchmark, litho_pools, record_result):
         return [(n, auc_at(n)) for n in sizes]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    record_result(
+    sink.text(
         "sec1_data_availability",
         format_table(
             ["labeled (simulated) windows", "AUC on unseen layout"],
@@ -65,6 +78,7 @@ def test_sec1_label_budget_curve(benchmark, litho_pools, record_result):
         ),
     )
     aucs = [auc for _, auc in rows if not np.isnan(auc)]
+    sink.metric("full_budget_auc", aucs[-1])
     # more labels help...
     assert aucs[-1] > aucs[0]
     # ...but the curve flattens: the last doubling buys little

@@ -11,6 +11,7 @@ toolkit really covers the catalogue.
 import numpy as np
 import pytest
 
+from repro.artifacts import BenchSpec, module_runner, register_bench
 from repro.cluster import (
     AffinityPropagation,
     AgglomerativeClustering,
@@ -42,6 +43,20 @@ from repro.learn import (
     mine_association_rules,
 )
 from repro.transform import CCA, FastICA, PCA, PLSRegression
+
+
+register_bench(BenchSpec(
+    name="sec2_catalogue",
+    runner=module_runner(__file__),
+    title="Sec. 2.4: every algorithm family, end to end",
+    tags=("section", "catalogue"),
+    metrics={
+        "min_classifier_accuracy": "worst classifier in the catalogue",
+        "min_regressor_r2": "worst regressor R^2 in the catalogue",
+        "min_clusterer_ari": "worst clusterer adjusted Rand index",
+    },
+    source=__file__,
+))
 
 
 def classification_suite(seed=0):
@@ -104,7 +119,7 @@ CLUSTERERS = [
 ]
 
 
-def test_sec2_classification_families(benchmark, record_result):
+def test_sec2_classification_families(benchmark, sink):
     X, y = classification_suite()
 
     def run_all():
@@ -115,7 +130,8 @@ def test_sec2_classification_families(benchmark, record_result):
         return rows
 
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    record_result(
+    sink.metric("min_classifier_accuracy", min(row[1] for row in rows))
+    sink.text(
         "sec2_classification",
         format_table(["classifier", "accuracy"], rows,
                      title="Sec. 2.4 classification families"),
@@ -123,7 +139,7 @@ def test_sec2_classification_families(benchmark, record_result):
     assert all(row[1] > 0.9 for row in rows)
 
 
-def test_sec2_regression_families(benchmark, record_result):
+def test_sec2_regression_families(benchmark, sink):
     X, y = regression_suite()
 
     def run_all():
@@ -134,7 +150,8 @@ def test_sec2_regression_families(benchmark, record_result):
         return rows
 
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    record_result(
+    sink.metric("min_regressor_r2", min(row[1] for row in rows))
+    sink.text(
         "sec2_regression",
         format_table(["regressor (the [20] five)", "R^2"], rows,
                      title="Sec. 2.4 regression families"),
@@ -142,7 +159,7 @@ def test_sec2_regression_families(benchmark, record_result):
     assert all(row[1] > 0.8 for row in rows)
 
 
-def test_sec2_clustering_families(benchmark, record_result):
+def test_sec2_clustering_families(benchmark, sink):
     X, y = clustering_suite()
 
     def run_all():
@@ -154,7 +171,8 @@ def test_sec2_clustering_families(benchmark, record_result):
         return rows
 
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    record_result(
+    sink.metric("min_clusterer_ari", min(row[1] for row in rows))
+    sink.text(
         "sec2_clustering",
         format_table(["clusterer", "adjusted Rand"], rows,
                      title="Sec. 2.4 clustering families"),
@@ -162,7 +180,7 @@ def test_sec2_clustering_families(benchmark, record_result):
     assert all(row[1] > 0.85 for row in rows)
 
 
-def test_sec2_unsupervised_and_rules(benchmark, record_result):
+def test_sec2_unsupervised_and_rules(benchmark, sink):
     rng = np.random.default_rng(1)
 
     def run_all():
@@ -234,7 +252,7 @@ def test_sec2_unsupervised_and_rules(benchmark, record_result):
         return rows
 
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    record_result(
+    sink.text(
         "sec2_unsupervised",
         format_table(["capability", "result"], rows,
                      title="Sec. 2.4 unsupervised / rules catalogue"),

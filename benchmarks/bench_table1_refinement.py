@@ -11,6 +11,7 @@ and prints the same table.
 
 import pytest
 
+from repro.artifacts import BenchSpec, module_runner, register_bench
 from repro.flows import format_table
 from repro.verification import (
     Randomizer,
@@ -18,6 +19,18 @@ from repro.verification import (
     TemplateRefinementFlow,
     TestTemplate,
 )
+
+register_bench(BenchSpec(
+    name="table1_refinement",
+    runner=module_runner(__file__),
+    title="Table 1: coverage improvement after rule learning",
+    tags=("figure", "verification"),
+    metrics={
+        "final_covered_points": "points covered by the final 50 tests",
+        "final_hits_per_test": "special hits per test after 2nd learning",
+    },
+    source=__file__,
+))
 
 
 @pytest.fixture(scope="module")
@@ -27,7 +40,7 @@ def flow():
     return refinement
 
 
-def test_table1_coverage_rows(benchmark, flow, record_result):
+def test_table1_coverage_rows(benchmark, flow, sink):
     benchmark.pedantic(
         lambda: TemplateRefinementFlow(
             Randomizer(random_state=7)
@@ -38,7 +51,7 @@ def test_table1_coverage_rows(benchmark, flow, record_result):
         [stage_name, n_tests, *counts]
         for stage_name, n_tests, counts in flow.table()
     ]
-    record_result(
+    sink.text(
         "table1_refinement",
         format_table(
             ["stage", "# of tests", *SPECIAL_POINT_NAMES],
@@ -65,10 +78,12 @@ def test_table1_coverage_rows(benchmark, flow, record_result):
     # paper row 3: 50 tests after 2nd learning cover everything, often
     assert len(final.covered_points()) == len(SPECIAL_POINT_NAMES)
     per_test_rate = sum(final.row()) / final.n_tests
+    sink.metric("final_covered_points", len(final.covered_points()))
+    sink.metric("final_hits_per_test", per_test_rate)
     assert per_test_rate > 3.0  # multiple special hits per test
 
 
-def test_table1_hit_density_shift(benchmark, flow, record_result):
+def test_table1_hit_density_shift(benchmark, flow, sink):
     """Per-point hit *rates* (hits per test) before vs after learning —
     the 'high frequencies' claim of the paper's final row."""
     benchmark(lambda: flow.table())
@@ -83,7 +98,7 @@ def test_table1_hit_density_shift(benchmark, flow, record_result):
                 final.row()[index] / final.n_tests,
             ]
         )
-    record_result(
+    sink.text(
         "table1_hit_rates",
         format_table(
             ["point", "hits/test original", "hits/test after 2nd learning"],

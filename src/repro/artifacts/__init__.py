@@ -1,0 +1,90 @@
+"""Bench artifact pipeline: run -> manifest'd artifacts -> diff -> gate.
+
+Public surface of the ``repro.artifacts`` subsystem (see
+``docs/artifacts.md``):
+
+- :class:`BenchSpec` / :func:`register_bench` — the bench registry,
+  mirroring :mod:`repro.testing.registry`;
+- :class:`MetricSink` — the unified recording API every bench writes
+  through (tables, nested payloads, scalar metrics, aux traces);
+- :func:`run_bench` / :func:`write_run` — the single execution path
+  shared by the ``repro`` CLI, CI lanes, and the pytest fixtures;
+- :func:`diff_runs` / :func:`evaluate` — machine-readable diffing and
+  TOML-policy gating of two runs.
+"""
+
+from .schema import (
+    INJECT_ENV,
+    BenchRunError,
+    BenchSpec,
+    MetricSink,
+    bench_names,
+    default_bench_dir,
+    discover_benches,
+    find_bench,
+    get_bench,
+    iter_benches,
+    module_runner,
+    register_bench,
+    resolve_bench_name,
+    run_module_tests,
+)
+from .manifest import (
+    RunResult,
+    file_fingerprint,
+    git_info,
+    new_run_id,
+    platform_info,
+    run_bench,
+    temporary_env,
+    write_run,
+)
+from .diff import diff_runs, latest_runs, list_runs, load_run, write_diff
+from .gate import (
+    EXIT_ERROR,
+    EXIT_FAIL,
+    EXIT_PASS,
+    Rule,
+    RulesError,
+    evaluate,
+    exit_code,
+    load_rules,
+)
+
+__all__ = [
+    "INJECT_ENV",
+    "BenchRunError",
+    "BenchSpec",
+    "MetricSink",
+    "bench_names",
+    "default_bench_dir",
+    "discover_benches",
+    "find_bench",
+    "get_bench",
+    "iter_benches",
+    "module_runner",
+    "register_bench",
+    "resolve_bench_name",
+    "run_module_tests",
+    "RunResult",
+    "file_fingerprint",
+    "git_info",
+    "new_run_id",
+    "platform_info",
+    "run_bench",
+    "temporary_env",
+    "write_run",
+    "diff_runs",
+    "latest_runs",
+    "list_runs",
+    "load_run",
+    "write_diff",
+    "EXIT_ERROR",
+    "EXIT_FAIL",
+    "EXIT_PASS",
+    "Rule",
+    "RulesError",
+    "evaluate",
+    "exit_code",
+    "load_rules",
+]

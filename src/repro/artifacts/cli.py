@@ -1,0 +1,390 @@
+"""The ``repro`` console script: run benches, diff runs, gate policies.
+
+Modeled on the honestroles ``eda generate -> diff -> gate`` flow::
+
+    repro list                                # registered benches
+    repro run bench_perf_gram_engine          # -> artifact run dir
+    repro diff                                # latest two runs -> diff.json
+    repro gate --rules benchmarks/rules.toml  # exit 1 on regression
+
+Every subcommand honors ``--format json`` for scripting.  Exit codes:
+0 success / gate pass, 1 gate failure or failed bench assertions,
+2 usage or input errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+from . import diff as diff_mod
+from . import gate as gate_mod
+from .manifest import run_bench
+from .schema import (
+    BenchRunError,
+    discover_benches,
+    default_bench_dir,
+    get_bench,
+    iter_benches,
+)
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_RULES = "benchmarks/rules.toml"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproducible bench artifacts: run registered benches into "
+            "manifest'd artifact directories, diff two runs, and gate a "
+            "TOML policy on the result (see docs/artifacts.md)."
+        ),
+    )
+    parser.add_argument(
+        "--bench-dir", default=None,
+        help="directory holding bench_*.py modules "
+             "(default: auto-discover ./benchmarks)",
+    )
+    parser.add_argument(
+        "--artifacts-root", default=None,
+        help="root for run directories (default: <bench-dir>/artifacts)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json for scripting)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser(
+        "list", help="list registered benches",
+        description="List every registered BenchSpec (name, tags, title).",
+    )
+    list_parser.add_argument(
+        "--tag", default=None, help="only benches carrying this tag"
+    )
+
+    run_parser = sub.add_parser(
+        "run", help="run a bench into an artifact directory",
+        description=(
+            "Execute one or more registered benches; each run lands in "
+            "<artifacts-root>/<bench>/<run-id>/ with manifest.json, "
+            "summary.json, report.md, tables/ and traces/."
+        ),
+    )
+    run_parser.add_argument(
+        "benches", nargs="+", metavar="BENCH",
+        help="bench name, bench_* module name, or unique prefix",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed recorded in the manifest (default 0)",
+    )
+    run_parser.add_argument(
+        "--smoke", action="store_true",
+        help="apply the spec's smoke_env size overrides",
+    )
+    run_parser.add_argument(
+        "--include-slow", action="store_true",
+        help="also run @pytest.mark.slow bench functions",
+    )
+    run_parser.add_argument(
+        "--no-mirror", action="store_true",
+        help="do not refresh the flat benchmarks/results/ mirror files",
+    )
+    run_parser.add_argument(
+        "--env", action="append", default=[], metavar="KEY=VALUE",
+        help="environment override for the run (repeatable)",
+    )
+    run_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress bench table echo while running",
+    )
+
+    diff_parser = sub.add_parser(
+        "diff", help="diff two artifact runs into diff.json",
+        description=(
+            "Diff a baseline and candidate run directory (default: the "
+            "two most recent runs; with a single run, it is diffed "
+            "against itself) into a machine-readable diff.json."
+        ),
+    )
+    diff_parser.add_argument(
+        "baseline", nargs="?", default=None, help="baseline run directory"
+    )
+    diff_parser.add_argument(
+        "candidate", nargs="?", default=None, help="candidate run directory"
+    )
+    diff_parser.add_argument(
+        "--bench", default=None,
+        help="bench whose latest runs to diff (when dirs are omitted)",
+    )
+    diff_parser.add_argument(
+        "--output", default=None,
+        help="where to write diff.json "
+             "(default <artifacts-root>/<bench>/diff.json)",
+    )
+
+    gate_parser = sub.add_parser(
+        "gate", help="evaluate a TOML rules file against a diff",
+        description=(
+            "Evaluate gate rules against a diff.json (default: the one "
+            "`repro diff` last wrote); exits 1 when an error-severity "
+            "rule fails and records the verdict under the diff's "
+            "'gate' key."
+        ),
+    )
+    gate_parser.add_argument(
+        "--rules", default=DEFAULT_RULES,
+        help=f"TOML rules file (default {DEFAULT_RULES})",
+    )
+    gate_parser.add_argument(
+        "--diff", dest="diff_path", default=None,
+        help="diff.json to gate (default: latest diff under the root)",
+    )
+    gate_parser.add_argument(
+        "--bench", default=None,
+        help="bench whose default diff.json to gate",
+    )
+    gate_parser.add_argument(
+        "--no-update-diff", action="store_true",
+        help="do not write the gate verdict back into diff.json",
+    )
+    return parser
+
+
+def _fail(message: str) -> int:
+    print(f"repro: error: {message}", file=sys.stderr)
+    return gate_mod.EXIT_ERROR
+
+
+def _roots(args) -> tuple:
+    bench_dir = (
+        pathlib.Path(args.bench_dir) if args.bench_dir
+        else default_bench_dir()
+    )
+    if args.artifacts_root:
+        artifacts_root = pathlib.Path(args.artifacts_root)
+    elif bench_dir is not None:
+        artifacts_root = bench_dir / "artifacts"
+    else:
+        artifacts_root = pathlib.Path("artifacts")
+    return bench_dir, artifacts_root
+
+
+def _emit(args, payload: dict, text_lines: List[str]) -> None:
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    else:
+        for line in text_lines:
+            print(line)
+
+
+def _cmd_list(args) -> int:
+    bench_dir, _ = _roots(args)
+    discover_benches(bench_dir)
+    specs = iter_benches()
+    if args.tag:
+        specs = [spec for spec in specs if args.tag in spec.tags]
+    specs = sorted(specs, key=lambda spec: spec.name)
+    payload = {
+        "benches": [
+            {
+                "name": spec.name,
+                "tags": list(spec.tags),
+                "title": spec.title,
+                "metrics": dict(spec.metrics),
+            }
+            for spec in specs
+        ]
+    }
+    width = max((len(spec.name) for spec in specs), default=4)
+    lines = [
+        f"{spec.name:<{width}}  [{', '.join(spec.tags)}]  {spec.title}"
+        for spec in specs
+    ] or ["(no benches registered)"]
+    _emit(args, payload, lines)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    bench_dir, artifacts_root = _roots(args)
+    discover_benches(bench_dir)
+    env = {}
+    for item in args.env:
+        if "=" not in item:
+            return _fail(f"--env expects KEY=VALUE, got {item!r}")
+        key, _, value = item.partition("=")
+        env[key] = value
+    mirror = None if args.no_mirror or bench_dir is None \
+        else bench_dir / "results"
+    outputs = []
+    for name in args.benches:
+        try:
+            spec = get_bench(name)
+        except KeyError as error:
+            return _fail(str(error))
+        try:
+            result = run_bench(
+                spec, out_root=artifacts_root, mirror_dir=mirror,
+                seed=args.seed, env=env, smoke=args.smoke,
+                include_slow=args.include_slow, echo=not args.quiet,
+            )
+        except BenchRunError as error:
+            print(str(error), file=sys.stderr)
+            return gate_mod.EXIT_FAIL
+        outputs.append({
+            "bench": spec.name,
+            "run_id": result.manifest["run_id"],
+            "path": str(result.path),
+            "elapsed_seconds": result.elapsed_seconds,
+            "n_metrics": len(result.summary["metrics"]),
+        })
+    lines = [
+        f"{out['bench']}: run {out['run_id']} "
+        f"({out['n_metrics']} metrics, {out['elapsed_seconds']:.1f}s) "
+        f"-> {out['path']}"
+        for out in outputs
+    ]
+    _emit(args, {"runs": outputs}, lines)
+    return 0
+
+
+def _resolve_pair(args, artifacts_root):
+    if args.baseline and args.candidate:
+        return pathlib.Path(args.baseline), pathlib.Path(args.candidate)
+    if args.baseline or args.candidate:
+        raise ValueError("pass both BASELINE and CANDIDATE, or neither")
+    runs = diff_mod.latest_runs(artifacts_root, bench=args.bench, count=2)
+    if not runs:
+        raise ValueError(
+            f"no runs under {artifacts_root}"
+            + (f" for bench {args.bench!r}" if args.bench else "")
+            + "; run `repro run <bench>` first"
+        )
+    if len(runs) == 1:
+        print(
+            f"repro diff: only one run under {artifacts_root}; "
+            "diffing it against itself", file=sys.stderr,
+        )
+        return runs[0], runs[0]
+    return runs[0], runs[1]
+
+
+def _cmd_diff(args) -> int:
+    _, artifacts_root = _roots(args)
+    try:
+        baseline, candidate = _resolve_pair(args, artifacts_root)
+        diff = diff_mod.diff_runs(baseline, candidate)
+    except (ValueError, FileNotFoundError) as error:
+        return _fail(str(error))
+    output = (
+        pathlib.Path(args.output) if args.output
+        else artifacts_root / diff["bench"] / "diff.json"
+    )
+    diff_mod.write_diff(diff, output)
+    changed = diff["changed"]
+    lines = [
+        f"baseline  {diff['baseline']['run_id']}",
+        f"candidate {diff['candidate']['run_id']}",
+        f"metrics   {len(diff['metrics'])} compared, {len(changed)} changed",
+    ]
+    for name in changed[:20]:
+        entry = diff["metrics"][name]
+        rel = entry.get("rel_delta")
+        rel_text = f" ({rel:+.2%})" if isinstance(rel, float) else ""
+        lines.append(
+            f"  {name}: {entry['baseline']} -> {entry['candidate']}"
+            f"{rel_text}"
+        )
+    if len(changed) > 20:
+        lines.append(f"  ... and {len(changed) - 20} more")
+    lines.append(f"wrote     {output}")
+    _emit(args, {"diff": diff, "path": str(output)}, lines)
+    return 0
+
+
+def _find_default_diff(artifacts_root, bench):
+    if bench is not None:
+        candidate = pathlib.Path(artifacts_root) / bench / "diff.json"
+        return candidate if candidate.is_file() else None
+    root = pathlib.Path(artifacts_root)
+    candidates = sorted(
+        root.glob("*/diff.json"), key=lambda p: p.stat().st_mtime
+    ) if root.is_dir() else []
+    return candidates[-1] if candidates else None
+
+
+def _cmd_gate(args) -> int:
+    _, artifacts_root = _roots(args)
+    diff_path = (
+        pathlib.Path(args.diff_path) if args.diff_path
+        else _find_default_diff(artifacts_root, args.bench)
+    )
+    if diff_path is None or not diff_path.is_file():
+        return _fail(
+            f"no diff.json found under {artifacts_root}; "
+            "run `repro diff` first or pass --diff"
+        )
+    try:
+        diff = json.loads(diff_path.read_text())
+        rules = gate_mod.load_rules(args.rules)
+    except (OSError, json.JSONDecodeError, gate_mod.RulesError) as error:
+        return _fail(str(error))
+    report = gate_mod.evaluate(diff, rules, rules_file=args.rules)
+    if not args.no_update_diff:
+        diff["gate"] = report
+        diff_mod.write_diff(diff, diff_path)
+
+    lines = [f"rules     {args.rules} ({len(rules)} rules)"]
+    for result in report["results"]:
+        if result["skipped"]:
+            status = "SKIP"
+        elif result["passed"]:
+            status = "PASS"
+        else:
+            status = "FAIL" if result["severity"] == "error" else "WARN"
+        detail = result["reason"] or ""
+        for check in result["checks"]:
+            if check.get("passed") is False:
+                detail = (
+                    f"{check['kind']}={check['limit']} violated: "
+                    f"observed {check['observed']:.6g} "
+                    f"(baseline {check['baseline']}, "
+                    f"candidate {check['candidate']})"
+                )
+        lines.append(
+            f"  [{status}] {result['name']}"
+            + (f" -- {detail}" if detail else "")
+        )
+    verdict = "PASS" if report["passed"] else "FAIL"
+    lines.append(
+        f"gate      {verdict} "
+        f"({len(report['failed_rules'])} failed, "
+        f"{len(report['warned_rules'])} warned, "
+        f"{len(report['skipped_rules'])} skipped)"
+    )
+    if not args.no_update_diff:
+        lines.append(f"verdict   recorded in {diff_path}")
+    _emit(args, {"gate": report, "diff_path": str(diff_path)}, lines)
+    return gate_mod.exit_code(report)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "diff": _cmd_diff,
+        "gate": _cmd_gate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

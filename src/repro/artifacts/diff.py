@@ -1,0 +1,167 @@
+"""Diffing two bench-run artifact directories into ``diff.json``.
+
+The diff compares:
+
+- every flattened metric in ``summary.json`` (per-metric absolute and
+  relative deltas, plus metrics present on only one side);
+- the deterministic manifest core (seed, git SHA, platform);
+- the content fingerprints of ``tables/`` and ``traces/`` artifacts.
+
+Volatile manifest fields (run id, timestamps, elapsed seconds) are
+deliberately excluded, so two same-seed runs of a deterministic bench
+diff clean.  ``repro gate`` consumes this structure and appends its
+verdict under the ``gate`` key.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional
+
+__all__ = [
+    "DIFF_SCHEMA_VERSION",
+    "load_run",
+    "list_runs",
+    "latest_runs",
+    "diff_runs",
+    "write_diff",
+]
+
+DIFF_SCHEMA_VERSION = 1
+
+#: artifact path prefixes whose fingerprints participate in the diff
+_COMPARED_PREFIXES = ("tables/", "traces/")
+
+
+def load_run(run_dir) -> dict:
+    run_dir = pathlib.Path(run_dir)
+    try:
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        summary = json.loads((run_dir / "summary.json").read_text())
+    except FileNotFoundError as error:
+        raise FileNotFoundError(
+            f"{run_dir} is not a bench artifact directory "
+            f"(missing {pathlib.Path(error.filename).name})"
+        ) from None
+    return {"path": str(run_dir), "manifest": manifest, "summary": summary}
+
+
+def list_runs(artifacts_root, bench: Optional[str] = None) -> List[pathlib.Path]:
+    """All run directories under the root, oldest first (run ids sort
+    chronologically)."""
+    root = pathlib.Path(artifacts_root)
+    if bench is not None:
+        bench_dirs = [root / bench]
+    else:
+        bench_dirs = [d for d in sorted(root.iterdir()) if d.is_dir()] \
+            if root.is_dir() else []
+    runs = []
+    for bench_dir in bench_dirs:
+        if not bench_dir.is_dir():
+            continue
+        for run_dir in sorted(bench_dir.iterdir()):
+            if (run_dir / "manifest.json").is_file():
+                runs.append(run_dir)
+    return runs
+
+
+def latest_runs(artifacts_root, bench: Optional[str] = None,
+                count: int = 2) -> List[pathlib.Path]:
+    """The *count* most recent runs, oldest first, all of one bench.
+
+    Without an explicit bench, exactly one bench must have runs under
+    the root — otherwise the caller has to disambiguate.
+    """
+    runs = list_runs(artifacts_root, bench)
+    if bench is None:
+        benches = {run.parent.name for run in runs}
+        if len(benches) > 1:
+            raise ValueError(
+                f"runs from several benches under {artifacts_root} "
+                f"({sorted(benches)}); pass --bench to disambiguate"
+            )
+    return runs[-count:]
+
+
+def _rel_delta(baseline: float, candidate: float) -> Optional[float]:
+    if baseline == 0.0:
+        return None if candidate != 0.0 else 0.0
+    return (candidate - baseline) / abs(baseline)
+
+
+def _compared_artifacts(manifest: dict) -> Dict[str, str]:
+    return {
+        name: entry["sha256"]
+        for name, entry in manifest.get("artifacts", {}).items()
+        if name.startswith(_COMPARED_PREFIXES)
+    }
+
+
+def diff_runs(baseline_dir, candidate_dir) -> dict:
+    baseline = load_run(baseline_dir)
+    candidate = load_run(candidate_dir)
+
+    base_metrics = baseline["summary"].get("metrics", {})
+    cand_metrics = candidate["summary"].get("metrics", {})
+    metrics: Dict[str, dict] = {}
+    for name in sorted(set(base_metrics) | set(cand_metrics)):
+        b = base_metrics.get(name)
+        c = cand_metrics.get(name)
+        entry = {"baseline": b, "candidate": c}
+        if b is not None and c is not None:
+            entry["abs_delta"] = c - b
+            entry["rel_delta"] = _rel_delta(b, c)
+        metrics[name] = entry
+    changed = [
+        name for name, entry in metrics.items()
+        if entry.get("abs_delta") not in (None, 0.0)
+        or (name in base_metrics) != (name in cand_metrics)
+    ]
+
+    base_artifacts = _compared_artifacts(baseline["manifest"])
+    cand_artifacts = _compared_artifacts(candidate["manifest"])
+    shared = set(base_artifacts) & set(cand_artifacts)
+    artifacts = {
+        "identical": sorted(
+            n for n in shared if base_artifacts[n] == cand_artifacts[n]
+        ),
+        "differing": sorted(
+            n for n in shared if base_artifacts[n] != cand_artifacts[n]
+        ),
+        "only_in_baseline": sorted(set(base_artifacts) - shared),
+        "only_in_candidate": sorted(set(cand_artifacts) - shared),
+    }
+
+    bm, cm = baseline["manifest"], candidate["manifest"]
+    context = {
+        "same_bench": bm.get("bench") == cm.get("bench"),
+        "same_seed": bm.get("seed") == cm.get("seed"),
+        "same_git_sha": (
+            (bm.get("git") or {}).get("sha")
+            == (cm.get("git") or {}).get("sha")
+        ),
+        "same_platform": bm.get("platform") == cm.get("platform"),
+        "baseline_injected": bm.get("injected"),
+        "candidate_injected": cm.get("injected"),
+    }
+
+    return {
+        "schema_version": DIFF_SCHEMA_VERSION,
+        "bench": cm.get("bench"),
+        "baseline": {"run_id": bm.get("run_id"), "path": baseline["path"]},
+        "candidate": {"run_id": cm.get("run_id"), "path": candidate["path"]},
+        "metrics": metrics,
+        "changed": changed,
+        "added_metrics": sorted(set(cand_metrics) - set(base_metrics)),
+        "removed_metrics": sorted(set(base_metrics) - set(cand_metrics)),
+        "artifacts": artifacts,
+        "context": context,
+    }
+
+
+def write_diff(diff: dict, path) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(diff, indent=2, sort_keys=True) + "\n")
+    return path

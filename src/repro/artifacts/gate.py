@@ -1,0 +1,230 @@
+"""Gate policies: evaluate a TOML rules file against a ``diff.json``.
+
+A rules file is a list of ``[[rule]]`` tables::
+
+    [[rule]]
+    name   = "warm-hit-rate-floor"          # optional, defaults derived
+    bench  = "perf_gram_engine"             # optional bench scope
+    metric = "gram_engine_sequence_500.warm_hit_rate"
+    min    = 0.90                            # candidate absolute floor
+    max_rel_drop = 0.05                      # drop vs baseline tolerance
+    severity = "error"                       # or "warn"
+    optional = false                         # missing metric fails unless true
+
+Constraint keys (any mix per rule; ``b`` = baseline, ``c`` = candidate):
+
+===================  =================================================
+``min`` / ``max``     absolute floor / ceiling on ``c``
+``max_abs_delta``     ``|c - b| <= limit`` (drift tolerance)
+``max_rel_delta``     ``|c - b| <= limit * |b|``
+``max_drop``          ``b - c <= limit``
+``max_rel_drop``      ``b - c <= limit * |b|``
+``max_increase``      ``c - b <= limit``
+``max_rel_increase``  ``c - b <= limit * |b|``
+``equal``             ``c == b`` exactly (``equal = true``)
+===================  =================================================
+
+Baseline-relative constraints are skipped (recorded, not failed) when
+the diff has no baseline value for the metric.  Exit codes: 0 pass,
+1 at least one ``error``-severity rule failed, 2 bad input.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from . import rules_toml
+
+__all__ = [
+    "GATE_SCHEMA_VERSION",
+    "EXIT_PASS",
+    "EXIT_FAIL",
+    "EXIT_ERROR",
+    "Rule",
+    "RulesError",
+    "load_rules",
+    "evaluate",
+    "exit_code",
+]
+
+GATE_SCHEMA_VERSION = 1
+
+EXIT_PASS = 0
+EXIT_FAIL = 1
+EXIT_ERROR = 2
+
+_ABSOLUTE_KEYS = ("min", "max")
+_RELATIVE_KEYS = (
+    "max_abs_delta", "max_rel_delta", "max_drop", "max_rel_drop",
+    "max_increase", "max_rel_increase", "equal",
+)
+CONSTRAINT_KEYS = _ABSOLUTE_KEYS + _RELATIVE_KEYS
+_META_KEYS = {"name", "bench", "metric", "severity", "optional"}
+
+
+class RulesError(ValueError):
+    """Malformed rules file."""
+
+
+@dataclass
+class Rule:
+    metric: str
+    name: str = ""
+    bench: Optional[str] = None
+    severity: str = "error"
+    optional: bool = False
+    constraints: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.name:
+            kinds = "+".join(sorted(self.constraints)) or "noop"
+            self.name = f"{self.metric}:{kinds}"
+        if self.severity not in ("error", "warn"):
+            raise RulesError(
+                f"rule {self.name!r}: severity must be error|warn, "
+                f"got {self.severity!r}"
+            )
+        if not self.constraints:
+            raise RulesError(
+                f"rule {self.name!r}: no constraint keys "
+                f"(expected one of {CONSTRAINT_KEYS})"
+            )
+
+
+def load_rules(path) -> List[Rule]:
+    path = pathlib.Path(path)
+    try:
+        document = rules_toml.load(path)
+    except (rules_toml.TomlError, ValueError) as error:
+        raise RulesError(f"{path}: {error}") from None
+    raw_rules = document.get("rule", [])
+    if not isinstance(raw_rules, list) or not raw_rules:
+        raise RulesError(f"{path}: no [[rule]] tables found")
+    rules = []
+    for index, raw in enumerate(raw_rules):
+        if "metric" not in raw:
+            raise RulesError(f"{path}: rule #{index + 1} has no metric")
+        unknown = set(raw) - _META_KEYS - set(CONSTRAINT_KEYS)
+        if unknown:
+            raise RulesError(
+                f"{path}: rule #{index + 1} has unknown keys "
+                f"{sorted(unknown)}"
+            )
+        rules.append(Rule(
+            metric=str(raw["metric"]),
+            name=str(raw.get("name", "")),
+            bench=raw.get("bench"),
+            severity=str(raw.get("severity", "error")),
+            optional=bool(raw.get("optional", False)),
+            constraints={
+                key: raw[key] for key in CONSTRAINT_KEYS if key in raw
+            },
+        ))
+    names = [rule.name for rule in rules]
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise RulesError(f"{path}: duplicate rule names {sorted(duplicates)}")
+    return rules
+
+
+def _check(kind: str, limit, baseline, candidate) -> dict:
+    """Evaluate one constraint; ``passed`` is None when skipped."""
+    entry = {"kind": kind, "limit": limit, "baseline": baseline,
+             "candidate": candidate, "observed": None, "passed": None}
+    if kind in _ABSOLUTE_KEYS:
+        entry["observed"] = candidate
+        entry["passed"] = (
+            candidate >= limit if kind == "min" else candidate <= limit
+        )
+        return entry
+    if baseline is None:
+        entry["skipped"] = "no baseline value"
+        return entry
+    delta = candidate - baseline
+    if kind == "equal":
+        entry["observed"] = delta
+        entry["passed"] = (candidate == baseline) if limit else True
+        return entry
+    scale = abs(baseline)
+    observed = {
+        "max_abs_delta": abs(delta),
+        "max_rel_delta": abs(delta) / scale if scale else float("inf"),
+        "max_drop": -delta,
+        "max_rel_drop": (-delta) / scale if scale else float("inf"),
+        "max_increase": delta,
+        "max_rel_increase": delta / scale if scale else float("inf"),
+    }[kind]
+    if scale == 0.0 and delta == 0.0:
+        observed = 0.0
+    entry["observed"] = observed
+    entry["passed"] = observed <= limit
+    return entry
+
+
+def evaluate(diff: dict, rules: List[Rule],
+             rules_file: Optional[str] = None) -> dict:
+    """Apply *rules* to a diff produced by :func:`repro.artifacts.diff.
+    diff_runs` and return the gate report."""
+    bench = diff.get("bench")
+    metrics = diff.get("metrics", {})
+    results = []
+    failed, warned, skipped = [], [], []
+    for rule in rules:
+        result = {
+            "name": rule.name,
+            "metric": rule.metric,
+            "bench": rule.bench,
+            "severity": rule.severity,
+            "passed": True,
+            "skipped": False,
+            "reason": None,
+            "checks": [],
+        }
+        if rule.bench is not None and rule.bench != bench:
+            result["skipped"] = True
+            result["reason"] = (
+                f"rule scoped to bench {rule.bench!r}, diff is {bench!r}"
+            )
+            skipped.append(rule.name)
+            results.append(result)
+            continue
+        entry = metrics.get(rule.metric, {})
+        candidate = entry.get("candidate")
+        baseline = entry.get("baseline")
+        if candidate is None:
+            if rule.optional:
+                result["skipped"] = True
+                result["reason"] = "metric absent from candidate (optional)"
+                skipped.append(rule.name)
+            else:
+                result["passed"] = False
+                result["reason"] = "metric absent from candidate"
+                (failed if rule.severity == "error" else warned).append(
+                    rule.name
+                )
+            results.append(result)
+            continue
+        for kind, limit in rule.constraints.items():
+            result["checks"].append(_check(kind, limit, baseline, candidate))
+        verdicts = [c["passed"] for c in result["checks"]]
+        if any(v is False for v in verdicts):
+            result["passed"] = False
+            (failed if rule.severity == "error" else warned).append(rule.name)
+        results.append(result)
+
+    return {
+        "schema_version": GATE_SCHEMA_VERSION,
+        "rules_file": str(rules_file) if rules_file else None,
+        "bench": bench,
+        "passed": not failed,
+        "failed_rules": failed,
+        "warned_rules": warned,
+        "skipped_rules": skipped,
+        "results": results,
+    }
+
+
+def exit_code(report: dict) -> int:
+    return EXIT_PASS if report.get("passed") else EXIT_FAIL

@@ -1,0 +1,293 @@
+"""Artifact directories: manifest, summary, report, tables, traces.
+
+One bench run lands in ``<artifacts-root>/<bench>/<run_id>/``::
+
+    manifest.json   run id, git SHA, platform, seed, env, fingerprints
+    summary.json    the MetricSink summary (payload + flattened metrics)
+    report.md       human-readable report (tables rendered via
+                    repro.flows.report.format_table)
+    tables/*.txt    the bench's text artifacts
+    traces/*        auxiliary files (Chrome traces, exports)
+
+:func:`run_bench` is the single execution path shared by the ``repro``
+CLI and the smoke lane; the pytest fixtures in ``benchmarks/conftest.py``
+fill the same :class:`~repro.artifacts.schema.MetricSink` and finish
+through the same :func:`write_run`.
+
+The manifest separates volatile fields (run id, wall-clock timestamps,
+elapsed seconds) from the deterministic core (seed, git SHA, platform,
+artifact fingerprints): ``repro diff`` compares only the deterministic
+core, which is what makes same-seed runs diff clean.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import pathlib
+import platform as _platform
+import shutil
+import subprocess
+import time
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from .schema import BenchRunError, BenchSpec, MetricSink
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "new_run_id",
+    "git_info",
+    "platform_info",
+    "file_fingerprint",
+    "write_run",
+    "run_bench",
+    "RunResult",
+    "temporary_env",
+]
+
+MANIFEST_SCHEMA_VERSION = 1
+
+_COUNTER = {"value": 0}
+
+
+def new_run_id() -> str:
+    """Sortable unique run id: UTC timestamp + microseconds + pid-local
+    counter, so lexicographic order is chronological order."""
+    now = time.time()
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(now))
+    micros = int((now % 1.0) * 1e6)
+    _COUNTER["value"] += 1
+    return f"{stamp}{micros:06d}-{os.getpid():05d}-{_COUNTER['value']:03d}"
+
+
+def git_info(cwd=None) -> Optional[dict]:
+    """Current commit SHA and dirty flag, or None outside a repo."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10, check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=cwd, capture_output=True,
+            text=True, timeout=10, check=True,
+        ).stdout
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return {"sha": sha, "dirty": bool(status.strip())}
+
+
+def platform_info() -> dict:
+    info = {
+        "python": _platform.python_version(),
+        "implementation": _platform.python_implementation(),
+        "system": _platform.system(),
+        "machine": _platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+    for package in ("numpy", "scipy"):
+        try:
+            info[package] = __import__(package).__version__
+        except Exception:  # noqa: BLE001 - version probing only
+            info[package] = None
+    try:
+        from .. import __version__ as repro_version
+
+        info["repro"] = repro_version
+    except ImportError:
+        info["repro"] = None
+    return info
+
+
+def file_fingerprint(path) -> dict:
+    digest = hashlib.sha256()
+    path = pathlib.Path(path)
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return {"bytes": path.stat().st_size, "sha256": digest.hexdigest()}
+
+
+@contextlib.contextmanager
+def temporary_env(env: Optional[Mapping[str, str]]):
+    """Apply env-var overrides for the duration of a bench run."""
+    if not env:
+        yield
+        return
+    saved = {key: os.environ.get(key) for key in env}
+    os.environ.update({key: str(value) for key, value in env.items()})
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _render_report(sink: MetricSink, manifest: dict) -> str:
+    from ..flows.report import format_table  # reused, not duplicated
+
+    lines = [f"# Bench report: {sink.bench}", ""]
+    lines.append(f"- run id: `{manifest['run_id']}`")
+    git = manifest["git"]
+    if git:
+        dirty = " (dirty)" if git["dirty"] else ""
+        lines.append(f"- git: `{git['sha'][:12]}`{dirty}")
+    lines.append(f"- seed: {sink.seed if sink.seed is not None else '-'}")
+    plat = manifest["platform"]
+    lines.append(
+        f"- platform: python {plat['python']} / numpy {plat['numpy']} "
+        f"on {plat['system']}/{plat['machine']}"
+    )
+    if manifest.get("injected"):
+        lines.append(f"- **injected factors**: {manifest['injected']}")
+    metrics = sink.metrics()
+    if metrics:
+        lines += ["", "## Metrics", "", "```"]
+        lines.append(
+            format_table(
+                ["metric", "value"],
+                [[name, metrics[name]] for name in sorted(metrics)],
+            )
+        )
+        lines += ["```"]
+    for name, body in sink.texts.items():
+        lines += ["", f"## {name}", "", "```", body, "```"]
+    return "\n".join(lines) + "\n"
+
+
+def write_run(sink: MetricSink, spec: Optional[BenchSpec] = None, *,
+              out_root, mirror_dir=None, elapsed: Optional[float] = None,
+              env: Optional[Mapping[str, str]] = None,
+              smoke: bool = False) -> pathlib.Path:
+    """Persist a filled sink as one manifest'd artifact directory.
+
+    When *mirror_dir* is given (the legacy ``benchmarks/results/``),
+    the flat ``<name>.txt`` / ``BENCH_*.json`` files are refreshed too,
+    each stamped with the run id so successive runs are attributable —
+    the per-run directory is what guarantees they never clobber.
+    """
+    out_dir = pathlib.Path(out_root) / sink.bench / sink.run_id
+    tables = out_dir / "tables"
+    traces = out_dir / "traces"
+    out_dir.mkdir(parents=True, exist_ok=False)
+
+    summary = sink.summary()
+    for name, body in sink.texts.items():
+        tables.mkdir(exist_ok=True)
+        (tables / f"{name}.txt").write_text(body + "\n")
+    for name, source in sink.aux_files().items():
+        traces.mkdir(exist_ok=True)
+        shutil.copy2(source, traces / name)
+
+    (out_dir / "summary.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True, default=str) + "\n"
+    )
+
+    artifacts: Dict[str, dict] = {}
+    for path in sorted(out_dir.rglob("*")):
+        if path.is_file():
+            artifacts[str(path.relative_to(out_dir))] = file_fingerprint(path)
+
+    manifest = {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "bench": sink.bench,
+        "run_id": sink.run_id,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "elapsed_seconds": elapsed,
+        "seed": sink.seed,
+        "smoke": smoke,
+        "env": {key: str(value) for key, value in (env or {}).items()},
+        "injected": dict(sink.injections) or None,
+        "git": git_info(),
+        "platform": platform_info(),
+        "spec": None if spec is None else {
+            "name": spec.name,
+            "title": spec.title,
+            "tags": list(spec.tags),
+            "metrics_schema": dict(spec.metrics),
+        },
+        "artifacts": artifacts,
+    }
+    (out_dir / "report.md").write_text(_render_report(sink, manifest))
+    manifest["artifacts"]["report.md"] = file_fingerprint(
+        out_dir / "report.md"
+    )
+    (out_dir / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True, default=str) + "\n"
+    )
+
+    if mirror_dir is not None:
+        _write_mirror(sink, spec, summary, pathlib.Path(mirror_dir))
+    sink.close()
+    return out_dir
+
+
+def _write_mirror(sink: MetricSink, spec: Optional[BenchSpec],
+                  summary: dict, mirror_dir: pathlib.Path) -> None:
+    mirror_dir.mkdir(parents=True, exist_ok=True)
+    for name, body in sink.texts.items():
+        (mirror_dir / f"{name}.txt").write_text(
+            body + f"\n[run {sink.run_id}]\n"
+        )
+    for name, source in sink.aux_files().items():
+        shutil.copy2(source, mirror_dir / name)
+    if sink.payload or summary["metrics"]:
+        json_name = (
+            spec.mirror_json_name if spec is not None
+            else f"BENCH_{sink.bench}"
+        )
+        record = {"bench": sink.bench, "run_id": sink.run_id}
+        record.update(summary["payload"])
+        record["metrics"] = summary["metrics"]
+        (mirror_dir / f"{json_name}.json").write_text(
+            json.dumps(record, indent=2, default=str) + "\n"
+        )
+
+
+@dataclass
+class RunResult:
+    spec: BenchSpec
+    path: pathlib.Path
+    summary: dict
+    manifest: dict
+    elapsed_seconds: float
+
+
+def run_bench(spec: BenchSpec, *, out_root, mirror_dir=None,
+              seed: Optional[int] = None,
+              env: Optional[Mapping[str, str]] = None, smoke: bool = False,
+              include_slow: bool = False, echo: bool = True) -> RunResult:
+    """Execute one registered bench end to end — the code path the CLI,
+    CI lanes, and tests share."""
+    merged_env = dict(spec.smoke_env) if smoke else {}
+    merged_env.update(env or {})
+    sink = MetricSink(bench=spec.name, seed=seed, echo=echo)
+    start = time.perf_counter()
+    try:
+        with temporary_env(merged_env):
+            # runners are free to ignore the include_slow knob
+            import inspect
+
+            if "include_slow" in inspect.signature(spec.runner).parameters:
+                spec.runner(sink, include_slow=include_slow)
+            else:
+                spec.runner(sink)
+    except BenchRunError:
+        sink.close()
+        raise
+    except Exception as error:
+        sink.close()
+        raise BenchRunError(spec.name, [("<runner>", error)]) from error
+    elapsed = time.perf_counter() - start
+    out_dir = write_run(
+        sink, spec, out_root=out_root, mirror_dir=mirror_dir,
+        elapsed=elapsed, env=merged_env, smoke=smoke,
+    )
+    summary = json.loads((out_dir / "summary.json").read_text())
+    manifest = json.loads((out_dir / "manifest.json").read_text())
+    return RunResult(spec, out_dir, summary, manifest, elapsed)

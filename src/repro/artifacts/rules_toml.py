@@ -1,0 +1,164 @@
+"""Minimal TOML loading for gate rules files.
+
+Python 3.11+ ships :mod:`tomllib`; the package supports 3.9, and the
+container policy forbids adding third-party parsers, so a small
+fallback parser covers the subset the rules grammar needs: comments,
+``[table]`` headers, ``[[array-of-tables]]`` headers, and
+``key = value`` with strings, booleans, integers, floats, and
+single-line arrays.  The fallback is tested directly regardless of the
+interpreter running it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+__all__ = ["load", "loads", "parse_fallback", "TomlError"]
+
+try:  # pragma: no cover - exercised on 3.11+
+    import tomllib as _tomllib
+except ImportError:  # pragma: no cover - exercised on 3.9/3.10
+    _tomllib = None
+
+
+class TomlError(ValueError):
+    """Raised by the fallback parser on malformed input."""
+
+
+def load(path):
+    return loads(pathlib.Path(path).read_text())
+
+
+def loads(text: str) -> dict:
+    if _tomllib is not None:
+        return _tomllib.loads(text)
+    return parse_fallback(text)
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    in_string: str = ""
+    for char in line:
+        if in_string:
+            out.append(char)
+            if char == in_string:
+                in_string = ""
+            continue
+        if char in "\"'":
+            in_string = char
+            out.append(char)
+        elif char == "#":
+            break
+        else:
+            out.append(char)
+    return "".join(out).strip()
+
+
+def _parse_value(token: str, line_number: int):
+    token = token.strip()
+    if not token:
+        raise TomlError(f"line {line_number}: empty value")
+    if token[0] in "\"'":
+        if len(token) < 2 or token[-1] != token[0]:
+            raise TomlError(f"line {line_number}: unterminated string")
+        return token[1:-1]
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    if token.startswith("[") and token.endswith("]"):
+        inner = token[1:-1].strip()
+        if not inner:
+            return []
+        return [
+            _parse_value(part, line_number)
+            for part in _split_array(inner, line_number)
+        ]
+    try:
+        if any(c in token for c in ".eE") and not token.startswith("0x"):
+            return float(token)
+        return int(token, 0)
+    except ValueError:
+        raise TomlError(
+            f"line {line_number}: cannot parse value {token!r}"
+        ) from None
+
+
+def _split_array(inner: str, line_number: int):
+    parts, depth, in_string, current = [], 0, "", []
+    for char in inner:
+        if in_string:
+            current.append(char)
+            if char == in_string:
+                in_string = ""
+            continue
+        if char in "\"'":
+            in_string = char
+            current.append(char)
+        elif char == "[":
+            depth += 1
+            current.append(char)
+        elif char == "]":
+            depth -= 1
+            current.append(char)
+        elif char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if in_string:
+        raise TomlError(f"line {line_number}: unterminated string in array")
+    if current and "".join(current).strip():
+        parts.append("".join(current))
+    return parts
+
+
+def parse_fallback(text: str) -> dict:
+    root: dict = {}
+    current = root
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        if line.startswith("[["):
+            if not line.endswith("]]"):
+                raise TomlError(f"line {line_number}: malformed table array")
+            name = line[2:-2].strip()
+            table: dict = {}
+            _dig(root, name, line_number, array=True).append(table)
+            current = table
+        elif line.startswith("["):
+            if not line.endswith("]"):
+                raise TomlError(f"line {line_number}: malformed table")
+            name = line[1:-1].strip()
+            current = _dig(root, name, line_number, array=False)
+        else:
+            if "=" not in line:
+                raise TomlError(f"line {line_number}: expected key = value")
+            key, _, value = line.partition("=")
+            key = key.strip().strip('"').strip("'")
+            if not key:
+                raise TomlError(f"line {line_number}: empty key")
+            current[key] = _parse_value(value, line_number)
+    return root
+
+
+def _dig(root: dict, dotted: str, line_number: int, array: bool):
+    parts = [part.strip() for part in dotted.split(".")]
+    node = root
+    for part in parts[:-1]:
+        node = node.setdefault(part, {})
+        if not isinstance(node, dict):
+            raise TomlError(f"line {line_number}: {part!r} is not a table")
+    leaf = parts[-1]
+    if array:
+        value = node.setdefault(leaf, [])
+        if not isinstance(value, list):
+            raise TomlError(
+                f"line {line_number}: {leaf!r} is not a table array"
+            )
+        return value
+    value = node.setdefault(leaf, {})
+    if not isinstance(value, dict):
+        raise TomlError(f"line {line_number}: {leaf!r} is not a table")
+    return value

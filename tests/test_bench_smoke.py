@@ -83,40 +83,44 @@ class TestTinyRuns:
         pipeline = module._pipeline().fit(X, y)
         assert pipeline.score(X, y) > 0.5
 
-    def test_perf_scale_bench_runs_tiny(self, monkeypatch, tmp_path):
+    def test_perf_scale_bench_runs_tiny(self, monkeypatch):
         # the full bench extrapolates to N=20k; at tiny env-overridden
         # sizes every stage (data builders, exact curve, approximate
-        # fits, JSON merge) must still run end to end
+        # fits, sink payload merge) must still run end to end
+        from repro.artifacts import MetricSink
+
         module = _load(BENCH_DIR / "bench_perf_scale.py")
         monkeypatch.setenv("REPRO_SCALE_N", "300")
         monkeypatch.setenv("REPRO_SCALE_EXACT_NS", "40,80,160")
         monkeypatch.setenv("REPRO_SCALE_CURVE_N", "60")
         monkeypatch.setenv("REPRO_SCALE_SEQ_N", "80")
-        monkeypatch.setattr(module, "RESULTS_DIR", tmp_path)
-        monkeypatch.setattr(
-            module, "JSON_PATH", tmp_path / "BENCH_perf_scale.json"
-        )
-        recorded = {}
+        sink = MetricSink(bench="perf_scale", echo=False)
 
-        def record(name, text):
-            recorded[name] = text
-
-        module.test_perf_scale_svc_vector(record)
-        module.test_perf_scale_error_curves(record)
-        module.test_perf_scale_one_class_sequence(record)
-        assert len(recorded) == 3
-        import json
-
-        payload = json.loads(
-            (tmp_path / "BENCH_perf_scale.json").read_text()
-        )
-        assert payload["bench"] == "perf_scale"
+        module.test_perf_scale_svc_vector(sink)
+        module.test_perf_scale_error_curves(sink)
+        module.test_perf_scale_one_class_sequence(sink)
+        assert len(sink.texts) == 3
+        payload = sink.summary()["payload"]
         assert payload["svc_vector"]["exact_extrapolated"] is True
         assert payload["svc_vector"]["accuracy"]["budget"] == 0.02
         assert payload["svc_vector"]["speedup"] > 0
         assert {"svc_vector", "error_curve", "one_class_sequence"} <= set(
             payload
         )
+        # the flattened metric names the gate rules reference exist
+        metrics = sink.metrics()
+        assert "svc_vector.accuracy.delta" in metrics
+        assert "one_class_sequence.decision_agreement" in metrics
+
+    def test_every_bench_registers_a_spec(self):
+        from repro.artifacts import find_bench
+
+        for path in BENCH_FILES:
+            _load(path)
+            name = path.stem[len("bench_"):]
+            spec = find_bench(name)
+            assert spec is not None, f"{path.name} registered no BenchSpec"
+            assert spec.name == name
 
     def test_perf_scale_data_builders(self):
         module = _load(BENCH_DIR / "bench_perf_scale.py")
