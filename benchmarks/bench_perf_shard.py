@@ -1,0 +1,129 @@
+"""Performance bench for the sharded multi-process backend.
+
+The sharded backend only earns its file-protocol overhead (run
+planning, lease traffic, one atomic commit per task) if wall-clock
+actually scales with workers.  This bench runs one latency-dominated
+task list — the regime the backend exists for: many independent
+simulate/fit cells, each far heavier than the protocol — serial,
+1-worker-sharded, and 4-worker-sharded, and records:
+
+- **speedup at 4 workers** vs serial (gated >= 2x in rules.toml:
+  ``shard-linear-scaling``) — latency-bound tasks overlap across
+  worker processes even on a small CI box;
+- **1-worker overhead** — the protocol tax with no parallelism to pay
+  for it;
+- **bitwise identity** of the merged results (gated, non-negotiable):
+  sharding may change *when* work happens, never *what* comes back.
+
+The SIGKILL/takeover failure paths are exercised in
+``tests/test_shard.py`` and ``tests/test_shard_chaos.py``; this bench
+is about the happy-path scaling contract.
+
+Artifacts: a ``BENCH_shard`` table plus the ``shard_scaling`` payload
+via the shared sink.
+"""
+
+import os
+import tempfile
+import time
+
+from repro.artifacts import BenchSpec, module_runner, register_bench
+from repro.core import SerialBackend, ShardedBackend
+from repro.testing.chaos import SlowTask
+
+register_bench(BenchSpec(
+    name="perf_shard",
+    runner=module_runner(__file__),
+    title="Sharded multi-worker scaling on a latency-dominated task list",
+    tags=("perf", "shard", "parallel"),
+    metrics={
+        "shard_scaling.speedup_4_workers":
+            "serial wall time over 4-worker sharded wall time (gate >= 2)",
+        "shard_scaling.speedup_1_worker":
+            "serial over 1-worker sharded: the pure protocol overhead",
+        "shard_scaling.overhead_per_task_ms":
+            "per-task protocol cost implied by the 1-worker run",
+        "shard_scaling.merged_bitwise_identical":
+            "1.0 when sharded results equal serial results exactly",
+    },
+    json_name="BENCH_shard",
+    smoke_env={
+        "REPRO_SHARD_TASKS": "12",
+        "REPRO_SHARD_TASK_SECONDS": "0.05",
+    },
+    source=__file__,
+))
+
+
+def _env_int(name, default):
+    return int(os.environ.get(name, default))
+
+
+def _env_float(name, default):
+    return float(os.environ.get(name, default))
+
+
+def _timed(backend, task, payloads):
+    start = time.perf_counter()
+    results = backend.map(task, payloads, seed=2014)
+    return results, time.perf_counter() - start
+
+
+def test_perf_shard_scaling(sink):
+    n_tasks = _env_int("REPRO_SHARD_TASKS", 24)
+    task_seconds = _env_float("REPRO_SHARD_TASK_SECONDS", 0.1)
+    # tuple payloads so the merge's structure preservation (tuples stay
+    # tuples through the shard commit) is part of the identity check
+    payloads = [(index, index * index) for index in range(n_tasks)]
+    task = SlowTask(seconds=task_seconds)
+
+    serial_results, serial_seconds = _timed(SerialBackend(), task, payloads)
+
+    with tempfile.TemporaryDirectory(prefix="repro-shard-bench-") as root:
+
+        def sharded(n_workers):
+            return ShardedBackend(
+                n_workers=n_workers, root=os.path.join(root, str(n_workers)),
+                lease_ttl=10.0, poll=0.01,
+            )
+
+        one_results, one_seconds = _timed(sharded(1), task, payloads)
+        four_results, four_seconds = _timed(sharded(4), task, payloads)
+
+    identical = (one_results == serial_results
+                 and four_results == serial_results)
+    assert identical, "sharded merge diverged from the serial results"
+
+    speedup_4 = serial_seconds / four_seconds
+    speedup_1 = serial_seconds / one_seconds
+    overhead_ms = max(one_seconds - serial_seconds, 0.0) / n_tasks * 1e3
+
+    sink.record("shard_scaling", {
+        "workload": {
+            "n_tasks": n_tasks,
+            "task_seconds": task_seconds,
+            "task": "SlowTask over tuple payloads (latency-dominated)",
+        },
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": serial_seconds,
+        "sharded_1_worker_seconds": one_seconds,
+        "sharded_4_workers_seconds": four_seconds,
+        "speedup_1_worker": speedup_1,
+        "speedup_4_workers": speedup_4,
+        "overhead_per_task_ms": overhead_ms,
+        "merged_bitwise_identical": identical,
+    })
+
+    sink.text(
+        "BENCH_shard",
+        "\n".join([
+            f"workload    {n_tasks} tasks x {task_seconds * 1e3:.0f} ms "
+            f"injected latency ({os.cpu_count()} cpu)",
+            f"serial      {serial_seconds * 1e3:10.1f} ms",
+            f"sharded x1  {one_seconds * 1e3:10.1f} ms"
+            f"  ({speedup_1:.2f}x, +{overhead_ms:.2f} ms/task protocol)",
+            f"sharded x4  {four_seconds * 1e3:10.1f} ms"
+            f"  ({speedup_4:.2f}x vs serial)",
+            "merge       bitwise-identical to serial on both runs",
+        ]),
+    )

@@ -6,6 +6,12 @@ Modeled on the honestroles ``eda generate -> diff -> gate`` flow::
     repro run bench_perf_gram_engine          # -> artifact run dir
     repro diff                                # latest two runs -> diff.json
     repro gate --rules benchmarks/rules.toml  # exit 1 on regression
+    repro workers /shared/runs/<run-id> -n 4  # attach shard workers
+
+``repro workers`` joins a sharded run (``repro.core.shard``) from any
+machine that sees the run directory's filesystem: each worker claims
+shard leases, executes tasks, and commits results exactly-once; the
+driver that planned the run merges them.  See docs/sharding.md.
 
 Every subcommand honors ``--format json`` for scripting.  Exit codes:
 0 success / gate pass, 1 gate failure or failed bench assertions,
@@ -153,6 +159,42 @@ def build_parser() -> argparse.ArgumentParser:
     gate_parser.add_argument(
         "--no-update-diff", action="store_true",
         help="do not write the gate verdict back into diff.json",
+    )
+
+    workers_parser = sub.add_parser(
+        "workers", help="attach shard workers to a sharded run",
+        description=(
+            "Launch worker processes against a shard run directory "
+            "planned by ShardedBackend (or create_run).  Workers claim "
+            "shard leases, execute tasks through the retry/deadline "
+            "machinery, and commit results exactly-once; any machine "
+            "sharing the run directory's filesystem can contribute."
+        ),
+    )
+    workers_parser.add_argument(
+        "run_dir", metavar="RUN_DIR",
+        help="shard run directory (contains run.json)",
+    )
+    workers_parser.add_argument(
+        "-n", "--n-workers", type=int, default=1,
+        help="worker processes to launch (default 1)",
+    )
+    workers_parser.add_argument(
+        "--once", action="store_true",
+        help="exit when no shard is claimable instead of polling "
+             "until the run completes",
+    )
+    workers_parser.add_argument(
+        "--max-shards", type=int, default=None,
+        help="stop each worker after completing this many shards",
+    )
+    workers_parser.add_argument(
+        "--lease-ttl", type=float, default=None,
+        help="override the run's lease staleness threshold (seconds)",
+    )
+    workers_parser.add_argument(
+        "--startup-timeout", type=float, default=30.0,
+        help="seconds to wait for run.json to appear (default 30)",
     )
     return parser
 
@@ -374,6 +416,72 @@ def _cmd_gate(args) -> int:
     return gate_mod.exit_code(report)
 
 
+def _cmd_workers(args) -> int:
+    import os
+
+    from ..core.shard import (
+        SHARD_WORKER_ENV,
+        ShardRun,
+        run_worker,
+        spawn_local_workers,
+    )
+    from ..core.exceptions import ShardError
+
+    if args.n_workers < 1:
+        return _fail("--n-workers must be >= 1")
+    if args.n_workers == 1:
+        # run in-process: simplest to supervise, and --once/--max-shards
+        # semantics stay exact
+        os.environ[SHARD_WORKER_ENV] = "1"
+        try:
+            stats = run_worker(
+                args.run_dir, wait=not args.once,
+                max_shards=args.max_shards, lease_ttl=args.lease_ttl,
+                startup_timeout=args.startup_timeout,
+            )
+        except ShardError as error:
+            return _fail(str(error))
+        lines = [
+            f"worker    {stats['worker']} on run {stats['run_id']}",
+            f"shards    {stats['shards_done']} done "
+            f"({stats['claims']} claimed, {stats['steals']} stolen)",
+            f"tasks     {stats['committed']} committed, "
+            f"{stats['resumed']} resumed, "
+            f"{stats['duplicate_commits']} duplicate, "
+            f"{stats['failed']} failed",
+        ]
+        _emit(args, {"workers": [stats]}, lines)
+        return 0
+    try:
+        run = ShardRun(args.run_dir)
+    except ShardError as error:
+        return _fail(str(error))
+    processes = spawn_local_workers(run.run_dir, args.n_workers)
+    exit_codes = []
+    try:
+        for process in processes:
+            process.join()
+            exit_codes.append(process.exitcode)
+    finally:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+    stats = run.worker_stats()
+    lines = [
+        f"workers   {len(processes)} attached to run {run.run_id} "
+        f"(exit codes {exit_codes})",
+        f"shards    {stats['shards_done']}/{len(run.shard_ids())} done, "
+        f"{stats['steals']} stolen",
+        f"tasks     {stats['committed']} committed, "
+        f"{stats['resumed']} resumed, "
+        f"{stats['duplicate_commits']} duplicate, "
+        f"{stats['failed']} failed",
+    ]
+    _emit(args, {"run_id": run.run_id, "exit_codes": exit_codes,
+                 "stats": stats}, lines)
+    return 0 if all(code == 0 for code in exit_codes) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -382,6 +490,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "diff": _cmd_diff,
         "gate": _cmd_gate,
+        "workers": _cmd_workers,
     }
     return handlers[args.command](args)
 

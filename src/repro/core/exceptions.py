@@ -28,7 +28,13 @@ class WorkerError(ReproError):
     traceback objects cannot cross the process boundary.
 
     Instances pickle faithfully (``__reduce__``) so the error itself can
-    travel between processes, e.g. out of a nested backend.
+    travel between processes, e.g. out of a nested backend.  The reduce
+    tuple carries ``__dict__`` as explicit state: attributes stapled on
+    after construction — the trampoline's ``_repro_traceback`` /
+    ``_repro_spans``, a shard worker's provenance tags — survive not
+    just one hop but a *second* round-trip, e.g. when a shard worker
+    re-raises a pickled WorkerError into the driver's CheckpointStore
+    merge.
     """
 
     def __init__(self, message: str, task_index: int = -1,
@@ -43,6 +49,7 @@ class WorkerError(ReproError):
             type(self),
             (self.args[0], self.task_index, self.attempts,
              self.traceback_str),
+            dict(self.__dict__),
         )
 
 
@@ -69,6 +76,7 @@ class TaskTimeoutError(WorkerError):
             type(self),
             (self.args[0], self.task_index, self.timeout, self.abandoned,
              self.attempts, self.traceback_str),
+            dict(self.__dict__),
         )
 
 
@@ -86,8 +94,15 @@ class DeadlineExceededError(ReproError):
         self.pending = tuple(pending)
 
     def __reduce__(self):
-        return (type(self), (self.args[0], self.pending))
+        return (type(self), (self.args[0], self.pending),
+                dict(self.__dict__))
 
 
 class CheckpointError(ReproError):
     """Raised when a checkpoint value cannot be encoded or decoded."""
+
+
+class ShardError(ReproError):
+    """Raised when a sharded run cannot be planned, executed to
+    completion, or merged (missing shards, incomplete results, a run
+    directory that does not match the submitted task list)."""

@@ -82,6 +82,7 @@ __all__ = [
     "ProcessBackend",
     "available_backends",
     "get_backend",
+    "register_backend",
     "spawn_seeds",
 ]
 
@@ -572,10 +573,35 @@ _BACKENDS = {
     "processes": ProcessBackend,
 }
 
+# specs resolved by importing a module that registers them on import —
+# keeps heavyweight backends (the sharded file-protocol one) out of the
+# import path of everything that only ever runs serial
+_LAZY_BACKENDS = {
+    "sharded": "repro.core.shard",
+    "shards": "repro.core.shard",
+}
+
+
+def register_backend(name: str, backend_cls, aliases=()) -> None:
+    """Register an :class:`ExecutionBackend` subclass under *name*.
+
+    Extension point for backends living outside this module (e.g. the
+    sharded multi-process backend in :mod:`repro.core.shard`); after
+    registration ``get_backend(name)`` and every ``backend=`` seam that
+    funnels through it resolve the new class.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError("backend name must be a non-empty string")
+    if not (isinstance(backend_cls, type)
+            and issubclass(backend_cls, ExecutionBackend)):
+        raise TypeError("backend_cls must subclass ExecutionBackend")
+    for key in (name, *aliases):
+        _BACKENDS[key.lower()] = backend_cls
+
 
 def available_backends() -> List[str]:
     """Canonical backend names accepted by :func:`get_backend`."""
-    return ["serial", "thread", "process"]
+    return ["serial", "thread", "process", "sharded"]
 
 
 def get_backend(spec=None, n_workers: Optional[int] = None,
@@ -596,6 +622,11 @@ def get_backend(spec=None, n_workers: Optional[int] = None,
         return spec
     if isinstance(spec, str):
         backend_cls = _BACKENDS.get(spec.lower())
+        if backend_cls is None and spec.lower() in _LAZY_BACKENDS:
+            import importlib
+
+            importlib.import_module(_LAZY_BACKENDS[spec.lower()])
+            backend_cls = _BACKENDS.get(spec.lower())
         if backend_cls is None:
             raise ValueError(
                 f"unknown backend {spec!r}; available: "

@@ -18,7 +18,11 @@ policies the execution layer composes:
   estimator;
 - :class:`CheckpointStore` — an atomic write-then-rename store of task
   results keyed by content fingerprint, making searches and discovery
-  loops resumable with bitwise-identical results.
+  loops resumable with bitwise-identical results;
+- :class:`LeaseFile` — a single-owner, heartbeat-renewed claim on a
+  filesystem path, the mutual-exclusion primitive under the
+  :mod:`~repro.core.shard` work protocol (atomic acquisition, stale
+  detection, and rename-based takeover).
 
 Everything here is plain picklable data: policies travel inside task
 payloads to process workers, and a store is just a directory path plus
@@ -30,8 +34,10 @@ from __future__ import annotations
 import base64
 import json
 import os
+import socket
 import tempfile
 import time
+import uuid
 from hashlib import blake2b
 from typing import Callable, Iterator, List, Optional, Tuple, Union
 
@@ -45,6 +51,7 @@ __all__ = [
     "Deadline",
     "ErrorPolicy",
     "CheckpointStore",
+    "LeaseFile",
     "fingerprint",
 ]
 
@@ -424,6 +431,13 @@ class CheckpointStore:
         self.allow_pickle = bool(allow_pickle)
         os.makedirs(self.path, exist_ok=True)
 
+    def cache_key(self):
+        """Structural identity: a store is its configuration, not its
+        current contents.  Keeps :func:`fingerprint` over task payloads
+        that carry a store (checkpointed grid cells under a sharded
+        backend) stable across runs while entries accumulate."""
+        return ("CheckpointStore", self.path, self.allow_pickle)
+
     # ------------------------------------------------------------------
     def _file(self, key: str) -> str:
         if not key or os.sep in key or key.startswith("."):
@@ -510,4 +524,185 @@ class CheckpointStore:
         return (
             f"CheckpointStore({self.path!r}, {len(self)} entries, "
             f"allow_pickle={self.allow_pickle})"
+        )
+
+
+# ---------------------------------------------------------------------
+# LeaseFile
+# ---------------------------------------------------------------------
+
+class LeaseFile:
+    """A single-owner, heartbeat-renewed claim on a filesystem path.
+
+    This is the mutual-exclusion primitive under the
+    :mod:`~repro.core.shard` work protocol: each work unit (shard) has
+    one lease path, and whichever worker holds the lease executes the
+    unit.  The protocol is safe on any filesystem with atomic
+    ``link``/``rename`` (local disks, NFSv3+):
+
+    - **Acquire** writes the owner record to a temporary sibling and
+      atomically links it into place — creation *with content* is one
+      atomic step, so a reader never observes a claimed-but-empty
+      lease.
+    - **Renew** (the heartbeat) re-reads the lease first and refuses to
+      renew when the owner token is no longer ours, then replaces the
+      record via ``mkstemp`` + ``os.replace``.
+    - **Steal** takes over a lease whose heartbeat is older than *ttl*
+      (the owner is presumed dead).  The steal renames the stale lease
+      to a stealer-unique name: of any number of concurrent stealers,
+      exactly one rename succeeds, so a stale lease has exactly one
+      inheritor.
+
+    Leases bound *liveness*, not correctness: the commit layer above
+    (:class:`CheckpointStore`) is idempotent, so even the unavoidable
+    window where a stale owner revives while its inheritor works only
+    produces duplicate identical commits, never divergent results.
+    """
+
+    def __init__(self, path, owner: Optional[str] = None,
+                 ttl: float = 30.0):
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.path = os.fspath(path)
+        self.ttl = float(ttl)
+        self.owner = owner or (
+            f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
+        )
+
+    # ------------------------------------------------------------------
+    def _record(self, acquired_at: Optional[float] = None) -> dict:
+        now = time.time()
+        return {
+            "owner": self.owner,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "acquired_at": acquired_at if acquired_at is not None else now,
+            "heartbeat_at": now,
+        }
+
+    def _write_tmp(self, record: dict) -> str:
+        directory = os.path.dirname(self.path) or "."
+        fd, tmp = tempfile.mkstemp(prefix=".lease.", dir=directory)
+        with os.fdopen(fd, "w") as fh:
+            json.dump(record, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        return tmp
+
+    def read(self) -> Optional[dict]:
+        """The current owner record, or ``None`` when absent/corrupt.
+
+        Corruption cannot arise from this class's own writes (they are
+        atomic), so an unreadable lease is treated like a crashed
+        writer's: eligible for steal.
+        """
+        try:
+            with open(self.path, "r") as fh:
+                return json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+
+    def is_stale(self, record: Optional[dict] = None) -> bool:
+        """Whether the lease exists but its heartbeat has expired."""
+        record = record if record is not None else self.read()
+        if record is None:
+            return os.path.exists(self.path)
+        try:
+            heartbeat = float(record["heartbeat_at"])
+        except (KeyError, TypeError, ValueError):
+            return True
+        return (time.time() - heartbeat) > self.ttl
+
+    def held(self) -> bool:
+        """Whether this instance's owner token currently holds the lease."""
+        record = self.read()
+        return record is not None and record.get("owner") == self.owner
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> bool:
+        """Claim an unclaimed lease; False when someone already holds it."""
+        tmp = self._write_tmp(self._record())
+        try:
+            os.link(tmp, self.path)
+        except FileExistsError:
+            return False
+        except OSError:
+            # filesystems without hard links: fall back to exclusive
+            # create + replace (claim flag first, content right after)
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                return False
+            os.close(fd)
+            os.replace(tmp, self.path)
+            tmp = None
+            instrument.metrics_registry().increment("lease.acquired")
+            return True
+        finally:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+        instrument.metrics_registry().increment("lease.acquired")
+        return True
+
+    def renew(self) -> bool:
+        """Refresh the heartbeat; False when the lease is no longer ours
+        (stolen after a stale period — stop working on the unit)."""
+        record = self.read()
+        if record is None or record.get("owner") != self.owner:
+            instrument.metrics_registry().increment("lease.lost")
+            return False
+        fresh = self._record(acquired_at=record.get("acquired_at"))
+        tmp = self._write_tmp(fresh)
+        try:
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        instrument.metrics_registry().increment("lease.renewals")
+        return True
+
+    def steal(self) -> bool:
+        """Take over a stale lease; False when it is fresh, absent, or a
+        concurrent stealer won the race."""
+        record = self.read()
+        if record is None and not os.path.exists(self.path):
+            return False
+        if record is not None and not self.is_stale(record):
+            return False
+        # exactly one concurrent stealer's rename of the stale lease
+        # succeeds; the winner then acquires a fresh lease of its own
+        grave = f"{self.path}.stale.{self.owner.replace(os.sep, '_')}"
+        try:
+            os.rename(self.path, grave)
+        except OSError:
+            return False
+        try:
+            os.unlink(grave)
+        except OSError:
+            pass
+        if not self.acquire():
+            return False
+        instrument.metrics_registry().increment("lease.steals")
+        return True
+
+    def release(self) -> bool:
+        """Drop the lease if we still own it; False otherwise."""
+        if not self.held():
+            return False
+        try:
+            os.unlink(self.path)
+        except OSError:
+            return False
+        return True
+
+    def __repr__(self):
+        return (
+            f"LeaseFile({self.path!r}, owner={self.owner!r}, "
+            f"ttl={self.ttl})"
         )

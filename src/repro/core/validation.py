@@ -10,9 +10,10 @@ grid search, the Fig. 5 capacity sweep, the Section 1 learning curve —
 runs through one parallel, instrumented runtime:
 
 - candidate×fold tasks fan out onto a pluggable
-  :mod:`~repro.core.parallel` backend (serial / thread / process) with
-  deterministic result ordering, so every backend returns bitwise
-  identical scores;
+  :mod:`~repro.core.parallel` backend (serial / thread / process, or
+  the multi-process file-protocol ``"sharded"`` backend of
+  :mod:`repro.core.shard`) with deterministic result ordering, so every
+  backend returns bitwise identical scores;
 - per-task wall times, sample counts, and Gram-engine counter deltas
   are recorded as :class:`~repro.core.instrument.EventLog` spans, so
   the cost of a sweep can be attributed per candidate and per fold;
@@ -504,7 +505,9 @@ class GridSearchCV(Estimator):
     Candidate×fold tasks fan out onto the configured backend; results
     are aggregated in deterministic candidate order, so
     ``best_params_`` and every score are identical on the serial,
-    thread, and process backends.  After :meth:`fit` the winning
+    thread, process, and sharded backends (``backend="sharded"``
+    spreads the sweep over independent worker processes that survive
+    SIGKILL mid-shard; see docs/sharding.md).  After :meth:`fit` the winning
     configuration is refit on the full data (``refit=True``) and the
     search object behaves like the fitted winner (``predict``,
     ``predict_proba``, ``decision_function``, ``transform``, ``score``).

@@ -27,8 +27,11 @@ from .chaos import (
     FlakyTask,
     HangingEstimator,
     HangingTask,
+    ShardKillTask,
     SlowEstimator,
     SlowTask,
+    contend_steal,
+    expire_lease,
 )
 from .checks import ALL_CHECKS, applicable_checks, get_check
 from .registry import (
@@ -61,13 +64,16 @@ __all__ = [
     "HangingEstimator",
     "HangingTask",
     "MAX_WAIVERS",
+    "ShardKillTask",
     "SlowEstimator",
     "SlowTask",
     "applicable_checks",
     "chaos",
     "check_estimator",
     "checks",
+    "contend_steal",
     "datasets",
+    "expire_lease",
     "discovered_estimator_classes",
     "get_check",
     "get_spec",

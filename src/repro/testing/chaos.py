@@ -42,11 +42,14 @@ __all__ = [
     "CrashingTask",
     "HangingTask",
     "SlowTask",
+    "ShardKillTask",
     "FlakyEstimator",
     "CrashingEstimator",
     "HangingEstimator",
     "SlowEstimator",
     "attempt_count",
+    "contend_steal",
+    "expire_lease",
 ]
 
 
@@ -198,6 +201,129 @@ class SlowTask:
     def __call__(self, payload, seed=None):
         time.sleep(self.seconds)
         return payload
+
+
+# ---------------------------------------------------------------------
+# shard-level injectors (for repro.core.shard)
+# ---------------------------------------------------------------------
+
+class ShardKillTask:
+    """Kills a *shard worker* process mid-shard (``os._exit``) on the
+    first *kill_times* attempts of the matching payload.
+
+    The canonical victim for the sharded backend's takeover machinery:
+    the worker dies after committing some of its shard's results, its
+    lease goes stale, a surviving worker (or the driver drain) steals
+    the lease and resumes the shard from the committed prefix — and the
+    merged results must still be bitwise-identical to a serial run.
+
+    ``kill_on`` restricts the kill to one payload value so the rest of
+    the shard completes first; attempts are counted in ``state_dir`` so
+    the takeover's re-execution of the same payload succeeds.  Outside a
+    shard worker (or any child process) the kill is downgraded to a
+    :class:`ChaosError` when ``safe_in_driver`` is left on, so a serial
+    or drain run never takes the driver down.
+    """
+
+    def __init__(self, kill_times: int = 1, state_dir: str = None,
+                 kill_on=None, seconds: float = 0.0, exit_code: int = 23,
+                 safe_in_driver: bool = True):
+        if state_dir is None:
+            raise ValueError("ShardKillTask needs an explicit state_dir")
+        self.kill_times = int(kill_times)
+        self.state_dir = os.fspath(state_dir)
+        self.kill_on = kill_on
+        self.seconds = float(seconds)
+        self.exit_code = int(exit_code)
+        self.safe_in_driver = bool(safe_in_driver)
+
+    def _in_shard_worker(self) -> bool:
+        import multiprocessing
+
+        from ..core.shard import in_shard_worker
+
+        return (in_shard_worker()
+                or multiprocessing.current_process().name != "MainProcess")
+
+    def __call__(self, payload, seed=None):
+        if self.seconds:
+            time.sleep(self.seconds)
+        if self.kill_on is None or payload == self.kill_on:
+            key = fingerprint("shard-kill-task", payload)
+            attempt = _record_attempt(self.state_dir, key)
+            if attempt <= self.kill_times:
+                if self.safe_in_driver and not self._in_shard_worker():
+                    raise ChaosError(
+                        f"injected shard kill (attempt {attempt}) for "
+                        f"payload {payload!r} — downgraded to an "
+                        f"exception outside a shard worker"
+                    )
+                os._exit(self.exit_code)
+        if seed is None:
+            return payload
+        return (payload, int(np.random.default_rng(seed).integers(0, 10**9)))
+
+
+def expire_lease(lease_path: str) -> Optional[str]:
+    """Backdate a live lease so takeover logic sees it as stale.
+
+    Rewrites the lease atomically with its heartbeat at the epoch —
+    exactly what a SIGKILLed worker's lease looks like once its TTL
+    elapses, without having to wait out the TTL.  Returns the (former)
+    owner, or ``None`` when no lease exists.
+    """
+    import json
+    import tempfile
+
+    try:
+        with open(lease_path, "r") as fh:
+            record = json.load(fh)
+    except (FileNotFoundError, json.JSONDecodeError, OSError):
+        return None
+    record["heartbeat_at"] = 0.0
+    record["acquired_at"] = 0.0
+    fd, tmp = tempfile.mkstemp(
+        prefix=".expire.", dir=os.path.dirname(lease_path) or "."
+    )
+    with os.fdopen(fd, "w") as fh:
+        json.dump(record, fh)
+    os.replace(tmp, lease_path)
+    return record.get("owner")
+
+
+def contend_steal(lease_path: str, owners, ttl: float = 0.01) -> list:
+    """Race one thread per owner to steal the same stale lease.
+
+    All contenders release from a barrier simultaneously; the lease
+    protocol's rename-based takeover guarantees *exactly one* wins.
+    Returns the list of owners whose ``steal()`` succeeded — the
+    duplicate-claim-race assertion is ``len(winners) == 1``.
+    """
+    import threading
+
+    from ..core.resilience import LeaseFile
+
+    owners = list(owners)
+    winners: list = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(len(owners))
+
+    def _attempt(owner):
+        lease = LeaseFile(lease_path, owner=owner, ttl=ttl)
+        barrier.wait()
+        if lease.steal():
+            with lock:
+                winners.append(owner)
+
+    threads = [
+        threading.Thread(target=_attempt, args=(owner,), daemon=True)
+        for owner in owners
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    return winners
 
 
 # ---------------------------------------------------------------------

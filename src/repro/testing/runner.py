@@ -10,6 +10,10 @@ report if any fail.
 ``{"estimator": name, "check": name}`` dicts and the task function is
 the module-level :func:`run_case`, so the process backend can pickle
 the payloads and re-resolve specs/checks by name on the worker side.
+The same property makes the matrix shardable: ``backend="sharded"``
+(:mod:`repro.core.shard`) partitions the cells across independent
+worker processes with exactly-once commits, and the merged results are
+bitwise-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -160,7 +164,11 @@ def run_conformance(estimators: Optional[Sequence[str]] = None,
     """Fan the registry × check matrix through a parallel backend.
 
     Returns one result dict per (estimator, check) cell, in
-    deterministic matrix order regardless of backend.
+    deterministic matrix order regardless of backend — including
+    ``backend="sharded"`` (or a configured
+    :class:`~repro.core.shard.ShardedBackend`), which spreads the
+    matrix over worker processes and survives any of them being
+    SIGKILLed mid-shard.
     """
     spec_names = tuple(estimators) if estimators else _registry.spec_names()
     check_names = tuple(checks) if checks else tuple(_checks.ALL_CHECKS)

@@ -1,7 +1,13 @@
 """Processor-verification substrate: ISA, randomizer, LSU simulator,
 novel-test selection (Fig. 7) and template refinement (Table 1)."""
 
-from .closure import ClosureReport, CoverageClosureFlow, PhaseReport
+from .closure import (
+    ClosureReport,
+    CoverageClosureFlow,
+    PhaseReport,
+    run_campaign,
+    run_closure_case,
+)
 from .coverage import SPECIAL_POINT_NAMES, SPECIAL_POINTS, CoverageModel
 from .isa import (
     CACHE_LINE_BYTES,
@@ -77,5 +83,7 @@ __all__ = [
     "knob_feature_matrix",
     "region_of",
     "rule_to_knob_constraints",
+    "run_campaign",
+    "run_closure_case",
     "run_selection_experiment",
 ]

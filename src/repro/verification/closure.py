@@ -10,6 +10,14 @@ buys the rare *depth* the randomizer would almost never reach.
 :class:`CoverageClosureFlow` runs that combined campaign and reports
 per-phase accounting, so the cost of closure with mining can be
 compared against simulate-everything.
+
+:func:`run_campaign` fans *many* such campaigns — one per randomizer
+state, the way a regression farm sweeps seeds nightly — through any
+:mod:`repro.core.parallel` backend.  The work unit
+(:func:`run_closure_case`) is module-level and its payload/result are
+plain picklable dicts, so the campaign shards across worker processes
+(``backend="sharded"``) with the same bitwise-deterministic merge as a
+serial sweep.
 """
 
 from __future__ import annotations
@@ -181,3 +189,56 @@ class CoverageClosureFlow:
 
         report.coverage = simulator.coverage
         return report
+
+
+# ---------------------------------------------------------------------
+# Campaign fan-out (regression-farm style seed sweeps)
+# ---------------------------------------------------------------------
+
+def run_closure_case(payload: dict) -> dict:
+    """Run one closure campaign as a picklable work unit.
+
+    Module-level and dict-in/dict-out so any execution backend —
+    including the sharded multi-process one — can run it; the result
+    carries the phase table and closure metrics, not the (heavyweight)
+    coverage model itself.
+    """
+    flow = CoverageClosureFlow(
+        Randomizer(random_state=payload["random_state"]),
+        breadth_budget=int(payload.get("breadth_budget", 600)),
+        refinement_stages=tuple(payload.get("refinement_stages", (80, 40))),
+    )
+    report = flow.run(TestTemplate())
+    return {
+        "random_state": payload["random_state"],
+        "phases": report.rows(),
+        "total_generated": report.total_generated,
+        "total_simulated": report.total_simulated,
+        "special_closure": report.special_closure,
+        "cross_covered": report.phases[-1].cross_covered,
+    }
+
+
+def run_campaign(random_states, breadth_budget: int = 600,
+                 refinement_stages=(80, 40), backend=None,
+                 n_workers: Optional[int] = None) -> List[dict]:
+    """Sweep independent closure campaigns over randomizer states.
+
+    One :func:`run_closure_case` per state, fanned through
+    :func:`~repro.core.parallel.get_backend` — results come back in
+    deterministic state order on every backend, so a sharded sweep
+    across worker processes is bitwise-identical to a serial one.
+    """
+    from ..core.parallel import get_backend
+
+    payloads = [
+        {
+            "random_state": int(state),
+            "breadth_budget": int(breadth_budget),
+            "refinement_stages": tuple(refinement_stages),
+        }
+        for state in random_states
+    ]
+    return get_backend(backend, n_workers=n_workers).map(
+        run_closure_case, payloads
+    )

@@ -162,7 +162,9 @@ class TestResolution:
             get_backend(3.14)
 
     def test_available_backends(self):
-        assert available_backends() == ["serial", "thread", "process"]
+        assert available_backends() == [
+            "serial", "thread", "process", "sharded"
+        ]
 
     def test_worker_resolution(self):
         assert SerialBackend().resolved_workers() == 1
@@ -175,6 +177,74 @@ class TestResolution:
             ThreadBackend(n_workers=0)
         with pytest.raises(ValueError):
             SerialBackend(retries=-1)
+
+
+class TestWorkerErrorPickling:
+    """Remote tracebacks must survive repeated pickle round-trips.
+
+    A shard worker re-raises a WorkerError that already crossed one
+    process boundary; the driver's CheckpointStore merge pickles it
+    again.  The reduce tuple must carry ``__dict__`` so stapled
+    attributes (the trampoline's ``_repro_traceback``/``_repro_spans``)
+    survive the *second* hop, not just the first.
+    """
+
+    def _round_trip_twice(self, error):
+        import pickle
+
+        return pickle.loads(pickle.dumps(pickle.loads(pickle.dumps(error))))
+
+    def test_worker_error_double_round_trip(self):
+        error = WorkerError(
+            "task 3 failed", task_index=3, attempts=2,
+            traceback_str="Traceback ...\nValueError: boom\n",
+        )
+        error._repro_traceback = "remote traceback text"
+        error._repro_pid = 4242
+        twice = self._round_trip_twice(error)
+        assert isinstance(twice, WorkerError)
+        assert twice.args[0] == "task 3 failed"
+        assert twice.task_index == 3
+        assert twice.attempts == 2
+        assert "ValueError: boom" in twice.traceback_str
+        assert twice._repro_traceback == "remote traceback text"
+        assert twice._repro_pid == 4242
+
+    def test_task_timeout_error_double_round_trip(self):
+        from repro.core import TaskTimeoutError
+
+        error = TaskTimeoutError(
+            "task 1 timed out", task_index=1, timeout=0.5,
+            abandoned=True, attempts=3, traceback_str="tb",
+        )
+        error._repro_spans = ["span-a"]
+        twice = self._round_trip_twice(error)
+        assert isinstance(twice, TaskTimeoutError)
+        assert twice.timeout == 0.5
+        assert twice.abandoned is True
+        assert twice.attempts == 3
+        assert twice._repro_spans == ["span-a"]
+
+    def test_deadline_error_double_round_trip(self):
+        from repro.core import DeadlineExceededError
+
+        error = DeadlineExceededError("out of time", pending=(4, 5))
+        error._repro_pid = 7
+        twice = self._round_trip_twice(error)
+        assert twice.pending == (4, 5)
+        assert twice._repro_pid == 7
+
+    def test_real_remote_failure_survives_second_hop(self):
+        """End to end: a WorkerError raised by the process backend still
+        carries its remote traceback after another pickle round-trip."""
+        import pickle
+
+        backend = ProcessBackend(n_workers=2, retries=0)
+        with pytest.raises(WorkerError) as info:
+            backend.map(fail_on_even, [1, 2, 3])
+        hop = pickle.loads(pickle.dumps(info.value))
+        assert hop.task_index == 1
+        assert "boom 2" in hop.traceback_str
 
 
 class TestThreadSafetyOfMap:
