@@ -1,0 +1,181 @@
+"""Load bench for the online scoring front end (repro.serve).
+
+Drives the customer-return screening model (Fig. 11's robust
+Mahalanobis detector) through the full serving pipeline — admission
+control, micro-batching, circuit breaker, typed responses — from a
+closed-loop asyncio client population, and records:
+
+- **requests per second** (gated >= 5000 at smoke scale in rules.toml:
+  ``serve-throughput-floor``; the full run targets ~10k on an idle
+  box);
+- **p50/p99 request latency** from the ``serve.latency_seconds`` P²
+  histogram (p99 gated by ``serve-p99-ceiling``);
+- **bitwise identity**: every served score is compared against the
+  offline batch path ``model.score_samples(payload)`` — the gate
+  ``serve-scores-bitwise`` requires exact equality on all of them
+  (the non-degraded route must be indistinguishable from batch);
+- shed/degraded/error counts, which must all be zero in this healthy
+  -path bench (any shed would also break the bitwise-coverage count).
+
+The faulty-path behaviours (slow model, poisoned request, crashed
+scorer process, breaker flap) are exercised in
+``tests/test_serve_chaos.py``; this bench is the happy-path SLO
+contract.
+
+Artifacts: a ``BENCH_serve`` table plus the ``serve_load`` payload via
+the shared sink.
+"""
+
+import asyncio
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro.artifacts import BenchSpec, module_runner, register_bench
+from repro.core import instrument
+from repro.mfgtest.outlier import RobustMahalanobisDetector
+from repro.serve import ModelRegistry, ScoringService, ServePolicy
+
+register_bench(BenchSpec(
+    name="perf_serve",
+    runner=module_runner(__file__),
+    title="Online scoring throughput/latency with bitwise batch parity",
+    tags=("perf", "serve"),
+    metrics={
+        "serve_load.requests_per_second":
+            "closed-loop served throughput (gate >= 5000 at smoke scale)",
+        "serve_load.p99_ms":
+            "p99 request latency in milliseconds (gate <= 75ms)",
+        "serve_load.p50_ms":
+            "median request latency in milliseconds",
+        "serve_load.scores_bitwise_identical":
+            "1.0 when every served score equals the batch path exactly",
+        "serve_load.shed_or_degraded":
+            "requests not served ok+exact (must be 0 on the happy path)",
+    },
+    json_name="BENCH_serve",
+    smoke_env={
+        "REPRO_SERVE_REQUESTS": "4000",
+        "REPRO_SERVE_CONCURRENCY": "64",
+    },
+    source=__file__,
+))
+
+
+def _env_int(name, default):
+    return int(os.environ.get(name, default))
+
+
+def test_perf_serve_load(sink):
+    n_requests = _env_int("REPRO_SERVE_REQUESTS", 20000)
+    concurrency = _env_int("REPRO_SERVE_CONCURRENCY", 64)
+    rows_per_request = _env_int("REPRO_SERVE_ROWS", 8)
+
+    rng = np.random.default_rng(2014)
+    X = rng.normal(size=(4000, 6))
+    model = RobustMahalanobisDetector().fit(X[:1000])
+    twin = RobustMahalanobisDetector(trim_fraction=0.2).fit(X[:1000])
+
+    # distinct request payloads cycling through the pool
+    pool = [
+        X[i * rows_per_request:(i + 1) * rows_per_request]
+        for i in range(len(X) // rows_per_request)
+    ]
+    expected = [model.score_samples(chunk) for chunk in pool]
+
+    metrics = instrument.MetricsRegistry()
+    previous = instrument.set_metrics_registry(metrics)
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as d:
+            registry = ModelRegistry(d)
+            registry.publish("returns", model, twin=twin)
+            policy = ServePolicy(
+                max_batch=32, max_wait_seconds=0.002,
+                max_queue_depth=4 * concurrency, max_workers=2,
+            )
+            with ScoringService(registry, policy) as service:
+                service.add_endpoint("returns")
+
+                async def worker(worker_index, count, failures):
+                    for j in range(count):
+                        index = (worker_index * count + j) % len(pool)
+                        response = await service.score(
+                            "returns", pool[index]
+                        )
+                        if (response.status != "ok"
+                                or response.degraded
+                                or not np.array_equal(
+                                    np.asarray(response.scores),
+                                    expected[index])):
+                            failures.append((index, response.status,
+                                             response.reason))
+
+                async def drive():
+                    failures = []
+                    per_worker = n_requests // concurrency
+                    start = time.perf_counter()
+                    await asyncio.gather(*[
+                        worker(i, per_worker, failures)
+                        for i in range(concurrency)
+                    ])
+                    elapsed = time.perf_counter() - start
+                    return failures, per_worker * concurrency, elapsed
+
+                failures, served, elapsed = asyncio.run(drive())
+    finally:
+        instrument.set_metrics_registry(previous)
+
+    assert not failures, (
+        f"{len(failures)} requests were not served ok+exact+bitwise; "
+        f"first: {failures[:3]}"
+    )
+
+    snapshot = metrics.snapshot()
+    latency = snapshot.histograms["serve.latency_seconds"]
+    counters = snapshot.counters
+    throughput = served / elapsed
+    batch_sizes = snapshot.histograms.get(
+        "serve.endpoint.returns.batch.batch_size", {}
+    )
+    shed_or_degraded = (
+        counters.get("serve.overloaded", 0)
+        + counters.get("serve.degraded", 0)
+        + counters.get("serve.errors", 0)
+        + counters.get("serve.invalid", 0)
+    )
+
+    sink.record("serve_load", {
+        "workload": {
+            "n_requests": served,
+            "concurrency": concurrency,
+            "rows_per_request": rows_per_request,
+            "model": "RobustMahalanobisDetector (Fig. 11 screening)",
+        },
+        "cpu_count": os.cpu_count(),
+        "elapsed_seconds": elapsed,
+        "requests_per_second": throughput,
+        "p50_ms": latency["p50"] * 1e3,
+        "p90_ms": latency["p90"] * 1e3,
+        "p99_ms": latency["p99"] * 1e3,
+        "mean_ms": latency["mean"] * 1e3,
+        "mean_batch_size": batch_sizes.get("mean", 0.0),
+        "scores_bitwise_identical": float(not failures),
+        "shed_or_degraded": float(shed_or_degraded),
+    })
+
+    sink.text(
+        "BENCH_serve",
+        "\n".join([
+            f"workload    {served} requests x {rows_per_request} rows, "
+            f"{concurrency} concurrent clients ({os.cpu_count()} cpu)",
+            f"throughput  {throughput:10.0f} req/s "
+            f"({elapsed:.2f}s wall)",
+            f"latency     p50 {latency['p50'] * 1e3:6.2f} ms   "
+            f"p99 {latency['p99'] * 1e3:6.2f} ms",
+            f"batching    mean batch {batch_sizes.get('mean', 0.0):.1f} "
+            f"requests/dispatch",
+            "parity      every response bitwise-equal to the batch path",
+        ]),
+    )

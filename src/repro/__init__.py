@@ -28,6 +28,7 @@ from . import (
     learn,
     litho,
     mfgtest,
+    serve,
     timing,
     transform,
     verification,
@@ -43,6 +44,7 @@ __all__ = [
     "learn",
     "litho",
     "mfgtest",
+    "serve",
     "timing",
     "transform",
     "verification",

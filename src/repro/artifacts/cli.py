@@ -7,6 +7,7 @@ Modeled on the honestroles ``eda generate -> diff -> gate`` flow::
     repro diff                                # latest two runs -> diff.json
     repro gate --rules benchmarks/rules.toml  # exit 1 on regression
     repro workers /shared/runs/<run-id> -n 4  # attach shard workers
+    repro serve models/ --port 7070           # online scoring front end
 
 ``repro workers`` joins a sharded run (``repro.core.shard``) from any
 machine that sees the run directory's filesystem: each worker claims
@@ -195,6 +196,74 @@ def build_parser() -> argparse.ArgumentParser:
     workers_parser.add_argument(
         "--startup-timeout", type=float, default=30.0,
         help="seconds to wait for run.json to appear (default 30)",
+    )
+
+    serve_parser = sub.add_parser(
+        "serve", help="serve a model registry over TCP",
+        description=(
+            "Expose every model in a repro.serve.ModelRegistry directory "
+            "as a scoring endpoint behind admission control, circuit "
+            "breaking, and graceful degradation to approximate twins "
+            "(see docs/serving.md).  Speaks JSON-lines over TCP."
+        ),
+    )
+    serve_parser.add_argument(
+        "registry", metavar="REGISTRY",
+        help="model registry directory (repro.serve.ModelRegistry)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default 0: pick a free port and print it)",
+    )
+    serve_parser.add_argument(
+        "--endpoint", action="append", default=None, metavar="NAME[@V]",
+        help="serve only this model (repeatable; default: all models, "
+             "latest versions)",
+    )
+    serve_parser.add_argument(
+        "--deadline", type=float, default=None,
+        help="default per-request deadline budget in seconds",
+    )
+    serve_parser.add_argument(
+        "--rate", type=float, default=None,
+        help="admission token-bucket rate (requests/second)",
+    )
+    serve_parser.add_argument(
+        "--burst", type=int, default=None,
+        help="admission token-bucket burst size",
+    )
+    serve_parser.add_argument(
+        "--max-queue-depth", type=int, default=256,
+        help="shed requests beyond this queued+in-flight depth "
+             "(default 256)",
+    )
+    serve_parser.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="scorer executor (process pools survive scorer crashes)",
+    )
+    serve_parser.add_argument(
+        "--max-workers", type=int, default=None,
+        help="executor pool size",
+    )
+    serve_parser.add_argument(
+        "--max-batch", type=int, default=32,
+        help="micro-batch flush size (default 32)",
+    )
+    serve_parser.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="micro-batch flush window in milliseconds (default 2)",
+    )
+    serve_parser.add_argument(
+        "--no-degrade", action="store_true",
+        help="never fall back to approximate twins",
+    )
+    serve_parser.add_argument(
+        "--max-requests", type=int, default=None,
+        help="exit after answering this many score requests "
+             "(smoke/CI hook; default: serve until interrupted)",
     )
     return parser
 
@@ -438,11 +507,13 @@ def _cmd_workers(args) -> int:
                 args.run_dir, wait=not args.once,
                 max_shards=args.max_shards, lease_ttl=args.lease_ttl,
                 startup_timeout=args.startup_timeout,
+                install_signal_handlers=True,
             )
         except ShardError as error:
             return _fail(str(error))
         lines = [
-            f"worker    {stats['worker']} on run {stats['run_id']}",
+            f"worker    {stats['worker']} on run {stats['run_id']}"
+            + ("  [stopped by signal]" if stats.get("stopped") else ""),
             f"shards    {stats['shards_done']} done "
             f"({stats['claims']} claimed, {stats['steals']} stolen)",
             f"tasks     {stats['committed']} committed, "
@@ -482,6 +553,87 @@ def _cmd_workers(args) -> int:
     return 0 if all(code == 0 for code in exit_codes) else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from ..core import instrument
+    from ..core.exceptions import RegistryError
+    from ..serve import (
+        ModelRegistry,
+        ScoreServer,
+        ScoringService,
+        ServePolicy,
+    )
+
+    try:
+        policy = ServePolicy(
+            rate=args.rate,
+            burst=args.burst,
+            max_queue_depth=args.max_queue_depth,
+            deadline_seconds=args.deadline,
+            degrade=not args.no_degrade,
+            max_batch=args.max_batch,
+            max_wait_seconds=args.max_wait_ms / 1000.0,
+            executor=args.executor,
+            max_workers=args.max_workers,
+        )
+    except ValueError as error:
+        return _fail(str(error))
+    registry = ModelRegistry(args.registry)
+    service = ScoringService(registry, policy)
+    try:
+        if args.endpoint:
+            for spec in args.endpoint:
+                name, _, version = spec.partition("@")
+                service.add_endpoint(
+                    name, int(version) if version else None
+                )
+        else:
+            service.add_all_endpoints()
+    except (RegistryError, ValueError) as error:
+        service.close()
+        return _fail(str(error))
+    if not service.endpoints():
+        service.close()
+        return _fail(f"registry {args.registry!r} holds no models")
+
+    async def run_server() -> None:
+        async with ScoreServer(service, args.host, args.port) as server:
+            lines = [
+                f"serving   {args.registry} on "
+                f"{args.host}:{server.port}",
+            ]
+            for name, endpoint in sorted(service.endpoints().items()):
+                snap = endpoint.snapshot()
+                lines.append(
+                    f"endpoint  {name}  {snap['model']} v{snap['version']}"
+                    f"  method={snap['method']}"
+                    f"  twin={'yes' if snap['has_twin'] else 'no'}"
+                )
+            _emit(args, {
+                "host": args.host, "port": server.port,
+                "endpoints": {
+                    name: endpoint.snapshot()
+                    for name, endpoint in service.endpoints().items()
+                },
+            }, lines)
+            sys.stdout.flush()
+            if args.max_requests is None:
+                await server.serve_forever()
+                return
+            metrics = instrument.metrics_registry()
+            while metrics.counter("serve.requests").value < args.max_requests:
+                await asyncio.sleep(0.05)
+
+    try:
+        asyncio.run(run_server())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -491,6 +643,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "diff": _cmd_diff,
         "gate": _cmd_gate,
         "workers": _cmd_workers,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

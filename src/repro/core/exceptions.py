@@ -102,6 +102,36 @@ class CheckpointError(ReproError):
     """Raised when a checkpoint value cannot be encoded or decoded."""
 
 
+class ServeError(ReproError):
+    """Base class for online-scoring (``repro.serve``) failures.
+
+    The scoring front end itself answers every request with a *typed
+    response* rather than an exception; these classes exist for the
+    programmatic surface (``ScoreResponse.raise_for_status()``, registry
+    lookups) so callers who prefer exceptions get precise ones.
+    """
+
+
+class OverloadedError(ServeError):
+    """A request was shed by admission control (token bucket, queue
+    depth, or an already-doomed deadline) — the typed alternative to
+    queueing work the service cannot finish in budget."""
+
+    def __init__(self, message: str, reason: str = ""):
+        super().__init__(message)
+        self.reason = reason
+
+
+class CircuitOpenError(ServeError):
+    """The endpoint's circuit breaker is open and no degraded fallback
+    is registered, so the request cannot be served right now."""
+
+
+class RegistryError(ServeError):
+    """A model registry lookup failed: unknown model name, unknown
+    version, or a registry directory that is not one."""
+
+
 class ShardError(ReproError):
     """Raised when a sharded run cannot be planned, executed to
     completion, or merged (missing shards, incomplete results, a run

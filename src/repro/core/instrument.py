@@ -646,6 +646,16 @@ class MetricsRegistry:
     def observe(self, name: str, value: float) -> None:
         self.histogram(name).observe(value)
 
+    @contextmanager
+    def timer(self, name: str):
+        """Time a block and observe the elapsed seconds into histogram
+        *name* — the serving layer's one-liner for latency SLOs."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
     # -- introspection -------------------------------------------------
     def snapshot(self) -> MetricsSnapshot:
         with self._lock:

@@ -22,7 +22,15 @@ policies the execution layer composes:
 - :class:`LeaseFile` — a single-owner, heartbeat-renewed claim on a
   filesystem path, the mutual-exclusion primitive under the
   :mod:`~repro.core.shard` work protocol (atomic acquisition, stale
-  detection, and rename-based takeover).
+  detection, and rename-based takeover);
+- :class:`CircuitBreaker` — closed/open/half-open failure isolation
+  with deterministic, seeded probe scheduling, the primitive the
+  :mod:`repro.serve` scoring front end uses to keep a failing exact
+  model from taking the whole endpoint down;
+- :class:`AdmissionController` — token-bucket plus queue-depth load
+  shedding under :class:`Deadline` budgets: a request the system
+  cannot serve in time is rejected *typed and immediately*, never
+  queued into a hang.
 
 Everything here is plain picklable data: policies travel inside task
 payloads to process workers, and a store is just a directory path plus
@@ -33,9 +41,11 @@ from __future__ import annotations
 
 import base64
 import json
+import math
 import os
 import socket
 import tempfile
+import threading
 import time
 import uuid
 from hashlib import blake2b
@@ -52,8 +62,32 @@ __all__ = [
     "ErrorPolicy",
     "CheckpointStore",
     "LeaseFile",
+    "CircuitBreaker",
+    "AdmissionController",
     "fingerprint",
 ]
+
+
+def _require_finite(name: str, value: float, *, positive: bool = False,
+                    non_negative: bool = False,
+                    allow_inf: bool = False) -> float:
+    """A numeric policy parameter, validated loudly.
+
+    NaN is rejected everywhere: every comparison against NaN is False,
+    so an unchecked NaN builds a policy that silently never retries,
+    never expires, or always sheds — the worst possible failure mode
+    for code whose whole job is handling failure.
+    """
+    value = float(value)
+    if math.isnan(value):
+        raise ValueError(f"{name} must not be NaN")
+    if not allow_inf and math.isinf(value):
+        raise ValueError(f"{name} must be finite")
+    if positive and not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    if non_negative and value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
 
 
 # ---------------------------------------------------------------------
@@ -96,19 +130,30 @@ class RetryPolicy:
                  jitter: float = 0.5, seed: int = 0,
                  retryable: Union[Tuple, Callable] = (Exception,),
                  retry_timeouts: bool = False):
+        max_attempts = int(
+            _require_finite("max_attempts", max_attempts)
+        )
         if max_attempts < 1:
-            raise ValueError("max_attempts must be at least 1")
-        if base_delay < 0 or max_delay < 0:
-            raise ValueError("delays must be non-negative")
+            raise ValueError(
+                f"max_attempts must be at least 1, got {max_attempts}"
+            )
+        base_delay = _require_finite(
+            "base_delay", base_delay, non_negative=True
+        )
+        max_delay = _require_finite(
+            "max_delay", max_delay, non_negative=True
+        )
+        multiplier = _require_finite("multiplier", multiplier)
         if multiplier < 1.0:
-            raise ValueError("multiplier must be >= 1")
+            raise ValueError(f"multiplier must be >= 1, got {multiplier!r}")
+        jitter = _require_finite("jitter", jitter)
         if not 0.0 <= jitter <= 1.0:
-            raise ValueError("jitter must be in [0, 1]")
-        self.max_attempts = int(max_attempts)
-        self.base_delay = float(base_delay)
-        self.multiplier = float(multiplier)
-        self.max_delay = float(max_delay)
-        self.jitter = float(jitter)
+            raise ValueError(f"jitter must be in [0, 1], got {jitter!r}")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
         self.seed = int(seed)
         self.retryable = retryable
         self.retry_timeouts = bool(retry_timeouts)
@@ -196,9 +241,12 @@ class Deadline:
     """
 
     def __init__(self, seconds: float):
-        if seconds <= 0:
-            raise ValueError("deadline must be positive")
-        self.seconds = float(seconds)
+        # NaN would build a deadline that is never expired *and* never
+        # has positive remaining budget — reject it loudly (inf is a
+        # legitimate "unbounded" budget and passes)
+        self.seconds = _require_finite(
+            "deadline seconds", seconds, positive=True, allow_inf=True
+        )
         self.started_at = time.monotonic()
 
     def remaining(self) -> float:
@@ -705,4 +753,345 @@ class LeaseFile:
         return (
             f"LeaseFile({self.path!r}, owner={self.owner!r}, "
             f"ttl={self.ttl})"
+        )
+
+
+# ---------------------------------------------------------------------
+# CircuitBreaker
+# ---------------------------------------------------------------------
+
+class CircuitBreaker:
+    """Closed/open/half-open failure isolation with deterministic,
+    seeded probe scheduling.
+
+    The classic serving-side pattern: while a dependency (here: a
+    scorer) is healthy the breaker is **closed** and every call passes.
+    After *failure_threshold* consecutive failures it **opens** — calls
+    are refused instantly instead of queueing onto a dying dependency.
+    Once the recovery window has elapsed the breaker goes
+    **half-open**: at most *max_probes* concurrent probe calls are let
+    through; *probe_successes* successful probes close it again, any
+    probe failure re-opens it.
+
+    Determinism
+    -----------
+    The recovery window for the *k*-th open is
+    ``recovery_time * (1 + jitter * u)`` where ``u`` is a pure function
+    of ``(seed, k)`` — the same derivation style as
+    :meth:`RetryPolicy.delay`.  A breaker flap sequence therefore
+    replays identically across runs with the same seed, which is what
+    makes breaker behaviour chaos-testable rather than merely
+    observable.  The clock is injectable (*clock*, default
+    ``time.monotonic``) so state transitions can be unit-tested without
+    sleeping.
+
+    Thread safety: all methods take an internal lock; the breaker is
+    shared between an asyncio event loop and executor threads in
+    :mod:`repro.serve`.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, failure_threshold: int = 5,
+                 recovery_time: float = 1.0, probe_successes: int = 2,
+                 max_probes: int = 1, jitter: float = 0.25, seed: int = 0,
+                 clock: Callable[[], float] = time.monotonic,
+                 name: str = "", metrics_prefix: str = "breaker"):
+        failure_threshold = int(
+            _require_finite("failure_threshold", failure_threshold,
+                            positive=True)
+        )
+        probe_successes = int(
+            _require_finite("probe_successes", probe_successes,
+                            positive=True)
+        )
+        max_probes = int(
+            _require_finite("max_probes", max_probes, positive=True)
+        )
+        recovery_time = _require_finite(
+            "recovery_time", recovery_time, positive=True
+        )
+        jitter = _require_finite("jitter", jitter)
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter!r}")
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.probe_successes = probe_successes
+        self.max_probes = max_probes
+        self.jitter = jitter
+        self.seed = int(seed)
+        self.name = name
+        self.metrics_prefix = metrics_prefix
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0          # consecutive, while closed
+        self._opened_at = 0.0
+        self._open_count = 0        # lifetime opens (probe-jitter input)
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+
+    # ------------------------------------------------------------------
+    def _metric(self, event: str) -> None:
+        prefix = self.metrics_prefix
+        if self.name:
+            prefix = f"{prefix}.{self.name}"
+        instrument.metrics_registry().increment(f"{prefix}.{event}")
+
+    def recovery_window(self, open_count: Optional[int] = None) -> float:
+        """The open-state dwell before probing, for the given (1-based)
+        open ordinal — deterministic in ``(seed, open_count)``."""
+        k = self._open_count if open_count is None else int(open_count)
+        if self.jitter == 0.0:
+            return self.recovery_time
+        entropy = np.random.SeedSequence(
+            entropy=[self.seed, k & 0xFFFFFFFF]
+        )
+        fraction = np.random.default_rng(entropy).random()
+        return self.recovery_time * (1.0 + self.jitter * fraction)
+
+    def _open(self, now: float) -> None:
+        self._state = self.OPEN
+        self._opened_at = now
+        self._open_count += 1
+        self._failures = 0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self._metric("opened")
+
+    def _close(self) -> None:
+        self._state = self.CLOSED
+        self._failures = 0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self._metric("closed")
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, advancing open -> half-open when the recovery
+        window has elapsed (reading the state *is* the scheduler)."""
+        with self._lock:
+            return self._advance()
+
+    def _advance(self) -> str:
+        if self._state == self.OPEN:
+            elapsed = self._clock() - self._opened_at
+            if elapsed >= self.recovery_window():
+                self._state = self.HALF_OPEN
+                self._probes_in_flight = 0
+                self._probe_successes = 0
+                self._metric("half_open")
+        return self._state
+
+    @property
+    def open_count(self) -> int:
+        with self._lock:
+            return self._open_count
+
+    def allow(self) -> bool:
+        """Whether one call may proceed right now.
+
+        In half-open state a ``True`` reserves a probe slot: the caller
+        **must** follow up with :meth:`record_success` or
+        :meth:`record_failure`, which releases it.  Closed-state calls
+        need no reservation (successes/failures are counted but not
+        slotted).
+        """
+        with self._lock:
+            state = self._advance()
+            if state == self.CLOSED:
+                return True
+            if state == self.OPEN:
+                self._metric("rejected")
+                return False
+            if self._probes_in_flight >= self.max_probes:
+                self._metric("rejected")
+                return False
+            self._probes_in_flight += 1
+            self._metric("probes")
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            state = self._advance()
+            if state == self.CLOSED:
+                self._failures = 0
+                return
+            if state == self.HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._probe_successes += 1
+                if self._probe_successes >= self.probe_successes:
+                    self._close()
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._advance()
+            now = self._clock()
+            if state == self.HALF_OPEN:
+                # one failed probe is enough evidence: re-open
+                self._open(now)
+                return
+            if state == self.OPEN:
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._open(now)
+
+    def trip(self) -> None:
+        """Force the breaker open (operational kill switch / tests)."""
+        with self._lock:
+            self._open(self._clock())
+
+    def reset(self) -> None:
+        """Force the breaker closed, clearing all counters."""
+        with self._lock:
+            self._close()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._advance(),
+                "failures": self._failures,
+                "open_count": self._open_count,
+                "probes_in_flight": self._probes_in_flight,
+                "probe_successes": self._probe_successes,
+            }
+
+    def __repr__(self):
+        return (
+            f"CircuitBreaker(name={self.name!r}, state={self.state!r}, "
+            f"failure_threshold={self.failure_threshold}, "
+            f"recovery_time={self.recovery_time})"
+        )
+
+
+# ---------------------------------------------------------------------
+# AdmissionController
+# ---------------------------------------------------------------------
+
+class AdmissionController:
+    """Token-bucket plus queue-depth load shedding under
+    :class:`Deadline` budgets.
+
+    A request is admitted only when (a) a token is available — tokens
+    refill at *rate* per second up to *burst*, so sustained overload is
+    clipped to the provisioned rate while short spikes ride the burst
+    allowance; (b) the reported queue depth is below *max_queue_depth*
+    — a queue the scorer cannot drain within the SLO is sheddable load,
+    not backlog; and (c) the request's :class:`Deadline`, when given,
+    has at least *min_slack* seconds remaining — work that is already
+    doomed to miss its budget is refused before it costs anything.
+
+    :meth:`try_admit` never blocks and never raises on overload: it
+    returns ``(admitted, reason)`` and the caller converts a shed into
+    a typed response (:mod:`repro.serve` returns ``status="overloaded"``
+    — the contract is *shed, never hang*).
+
+    ``rate=None`` disables rate limiting (queue/deadline checks still
+    apply); ``max_queue_depth=None`` disables the depth check.  The
+    clock is injectable for deterministic tests.
+    """
+
+    def __init__(self, rate: Optional[float] = None,
+                 burst: Optional[int] = None,
+                 max_queue_depth: Optional[int] = 256,
+                 min_slack: float = 0.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 metrics_prefix: str = "admission"):
+        if rate is not None:
+            rate = _require_finite("rate", rate, positive=True)
+        if burst is None:
+            burst = max(1, int(rate)) if rate is not None else 1
+        burst = int(_require_finite("burst", burst, positive=True))
+        if max_queue_depth is not None:
+            max_queue_depth = int(
+                _require_finite("max_queue_depth", max_queue_depth,
+                                positive=True)
+            )
+        self.rate = rate
+        self.burst = burst
+        self.max_queue_depth = max_queue_depth
+        self.min_slack = _require_finite(
+            "min_slack", min_slack, non_negative=True
+        )
+        self.metrics_prefix = metrics_prefix
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tokens = float(burst)
+        self._refilled_at = clock()
+        self.admitted_count = 0
+        self.shed_count = 0
+
+    # ------------------------------------------------------------------
+    def _refill(self, now: float) -> None:
+        if self.rate is None:
+            return
+        elapsed = now - self._refilled_at
+        if elapsed > 0:
+            self._tokens = min(
+                float(self.burst), self._tokens + elapsed * self.rate
+            )
+            self._refilled_at = now
+
+    def tokens(self) -> float:
+        """Current token balance (after refill) — for introspection."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens if self.rate is not None else math.inf
+
+    def try_admit(self, queue_depth: int = 0,
+                  deadline: Optional[Deadline] = None) -> Tuple[bool, str]:
+        """Admit or shed one request; returns ``(admitted, reason)``.
+
+        *reason* is ``""`` on admission, else one of ``"deadline"``,
+        ``"queue"``, ``"rate"`` — the first check that failed, in that
+        order (a doomed request is reported as doomed even when the
+        queue is also full).
+        """
+        metrics = instrument.metrics_registry()
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            reason = ""
+            if deadline is not None and (
+                deadline.expired() or deadline.remaining() < self.min_slack
+            ):
+                reason = "deadline"
+            elif (self.max_queue_depth is not None
+                    and queue_depth >= self.max_queue_depth):
+                reason = "queue"
+            elif self.rate is not None and self._tokens < 1.0:
+                reason = "rate"
+            if reason:
+                self.shed_count += 1
+                metrics.increment(f"{self.metrics_prefix}.shed")
+                metrics.increment(
+                    f"{self.metrics_prefix}.shed_{reason}"
+                )
+                return False, reason
+            if self.rate is not None:
+                self._tokens -= 1.0
+            self.admitted_count += 1
+        metrics.increment(f"{self.metrics_prefix}.admitted")
+        return True, ""
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            self._refill(self._clock())
+            return {
+                "tokens": (
+                    self._tokens if self.rate is not None else None
+                ),
+                "admitted": self.admitted_count,
+                "shed": self.shed_count,
+            }
+
+    def __repr__(self):
+        return (
+            f"AdmissionController(rate={self.rate}, burst={self.burst}, "
+            f"max_queue_depth={self.max_queue_depth}, "
+            f"min_slack={self.min_slack})"
         )

@@ -54,6 +54,7 @@ import multiprocessing
 import os
 import pickle
 import shutil
+import signal
 import tempfile
 import threading
 import time
@@ -543,11 +544,41 @@ def _run_task(fn, payload, seed, policy: RetryPolicy, index: int,
                 time.sleep(delay)
 
 
+def _install_stop_handlers(stop_event: threading.Event):
+    """Route SIGTERM/SIGINT into *stop_event*; returns an undo callable.
+
+    Signal handlers only install from the main thread; elsewhere this
+    is a no-op (the caller can still set the event programmatically).
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return lambda: None
+    previous = {}
+
+    def _handler(signum, frame):  # noqa: ARG001 — signal signature
+        stop_event.set()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, _handler)
+        except (ValueError, OSError):  # pragma: no cover — exotic hosts
+            pass
+
+    def _undo():
+        for sig, old in previous.items():
+            try:
+                signal.signal(sig, old)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+    return _undo
+
+
 def _execute_shard(run: ShardRun, shard_id: int, lease: LeaseFile,
                    store: CheckpointStore, policy: RetryPolicy,
                    config: dict, stats: dict,
                    deadline: Optional[Deadline],
-                   heartbeat_interval: float) -> bool:
+                   heartbeat_interval: float,
+                   stop_event: Optional[threading.Event] = None) -> bool:
     """Run one claimed shard to completion; True when the done marker
     was written (False: lease lost or deadline expired mid-shard)."""
     metrics = instrument.metrics_registry()
@@ -571,6 +602,13 @@ def _execute_shard(run: ShardRun, shard_id: int, lease: LeaseFile,
                 metrics.increment("shard.abandoned")
                 return False
             if deadline is not None and deadline.expired():
+                return False
+            if stop_event is not None and stop_event.is_set():
+                # graceful shutdown: the task just committed is durable,
+                # the rest of the shard goes back to the fleet when our
+                # lease is released by the caller
+                stats["stopped"] = True
+                metrics.increment("shard.graceful_stops")
                 return False
             if key in store:
                 marker["resumed"] += 1
@@ -620,7 +658,9 @@ def run_worker(run_dir, worker_id: Optional[str] = None, *, wait: bool = True,
                poll: float = 0.05, lease_ttl: Optional[float] = None,
                heartbeat_interval: Optional[float] = None,
                deadline=None, max_shards: Optional[int] = None,
-               startup_timeout: float = 30.0) -> dict:
+               startup_timeout: float = 30.0,
+               stop_event: Optional[threading.Event] = None,
+               install_signal_handlers: bool = False) -> dict:
     """Claim and execute shards of one run until it completes.
 
     The worker loop: scan for shards without a done marker, claim one
@@ -631,6 +671,14 @@ def run_worker(run_dir, worker_id: Optional[str] = None, *, wait: bool = True,
     shard is done, so a fleet of workers is self-healing: any survivor
     finishes a dead sibling's work.  ``wait=False`` exits as soon as
     nothing is claimable (the ``repro workers --once`` mode).
+
+    Graceful shutdown: when *stop_event* (a ``threading.Event``) is set
+    — or, with ``install_signal_handlers=True``, when the process
+    receives SIGTERM/SIGINT — the worker finishes the task it is
+    executing, commits it, releases its current lease, and returns its
+    stats with ``stopped=True``.  Released shards are re-claimable
+    immediately, so a drained worker never strands work behind a lease
+    that has to go stale first.
 
     Returns the worker's accounting dict.
     """
@@ -668,62 +716,84 @@ def run_worker(run_dir, worker_id: Optional[str] = None, *, wait: bool = True,
         "worker": worker_id, "run_id": run.run_id, "claims": 0,
         "steals": 0, "shards_done": 0, "committed": 0, "resumed": 0,
         "duplicate_commits": 0, "failed": 0, "abandoned_shards": 0,
+        "stopped": False,
     }
+    stop_event = stop_event or threading.Event()
+    undo_handlers = (
+        _install_stop_handlers(stop_event) if install_signal_handlers
+        else (lambda: None)
+    )
     # start each worker's scan at a different offset so a fleet spreads
     # over the shard list instead of stampeding the same lease
     offset = int(fingerprint("worker-offset", worker_id)[:8], 16)
-    while True:
-        pending = run.pending_ids()
-        if not pending:
-            break
-        if deadline is not None and deadline.expired():
-            break
-        claimed = None
-        rotated = pending[offset % len(pending):] \
-            + pending[:offset % len(pending)]
-        for shard_id in rotated:
-            lease = LeaseFile(
-                run.lease_path(shard_id), owner=worker_id, ttl=ttl
-            )
-            if lease.acquire():
-                stats["claims"] += 1
-                stats["_claim"] = 1
-                metrics.increment("shard.claims")
-                claimed = (shard_id, lease)
+    try:
+        while True:
+            if stop_event.is_set():
+                stats["stopped"] = True
+                metrics.increment("shard.graceful_stops")
                 break
-            if lease.steal():
-                stats["steals"] += 1
-                stats["_steal"] = 1
-                metrics.increment("shard.steals")
-                claimed = (shard_id, lease)
+            pending = run.pending_ids()
+            if not pending:
                 break
-        if claimed is None:
-            if not wait:
+            if deadline is not None and deadline.expired():
                 break
-            time.sleep(poll)
-            continue
-        shard_id, lease = claimed
-        try:
-            if run.is_done(shard_id):
-                # a previous owner finished it but died before releasing
-                stats.pop("_claim", None)
-                stats.pop("_steal", None)
+            claimed = None
+            rotated = pending[offset % len(pending):] \
+                + pending[:offset % len(pending)]
+            for shard_id in rotated:
+                lease = LeaseFile(
+                    run.lease_path(shard_id), owner=worker_id, ttl=ttl
+                )
+                if lease.acquire():
+                    stats["claims"] += 1
+                    stats["_claim"] = 1
+                    metrics.increment("shard.claims")
+                    claimed = (shard_id, lease)
+                    break
+                if lease.steal():
+                    stats["steals"] += 1
+                    stats["_steal"] = 1
+                    metrics.increment("shard.steals")
+                    claimed = (shard_id, lease)
+                    break
+            if claimed is None:
+                if not wait:
+                    break
+                # poll in small slices so a stop request interrupts the
+                # idle wait promptly, not after a full poll interval
+                stop_event.wait(poll)
                 continue
-            _execute_shard(
-                run, shard_id, lease, store, policy, config, stats,
-                deadline, interval,
-            )
-        finally:
-            lease.release()
-        if max_shards is not None and stats["shards_done"] >= max_shards:
-            break
+            shard_id, lease = claimed
+            try:
+                if run.is_done(shard_id):
+                    # previous owner finished it but died before releasing
+                    stats.pop("_claim", None)
+                    stats.pop("_steal", None)
+                    continue
+                _execute_shard(
+                    run, shard_id, lease, store, policy, config, stats,
+                    deadline, interval, stop_event,
+                )
+            finally:
+                lease.release()
+            if max_shards is not None \
+                    and stats["shards_done"] >= max_shards:
+                break
+    finally:
+        undo_handlers()
     return stats
 
 
 def _worker_entry(run_dir: str, worker_id: str) -> None:
     """Entry point for spawned local worker processes."""
     os.environ[SHARD_WORKER_ENV] = "1"
-    run_worker(run_dir, worker_id=worker_id, wait=True)
+    # each worker process owns its main thread, so SIGTERM/SIGINT from
+    # a supervisor drains the worker gracefully (finish task, release
+    # lease) instead of stranding a live lease until it goes stale
+    run_worker(
+        run_dir, worker_id=worker_id, wait=True,
+        install_signal_handlers=True,
+    )
 
 
 def spawn_local_workers(run_dir, n_workers: int,

@@ -1,0 +1,40 @@
+"""``repro.serve`` — fault-tolerant online scoring for fitted models.
+
+The batch side of this repo answers "train and evaluate reproducibly";
+this package answers "now keep those models answering under traffic and
+partial failure".  Four layers:
+
+:mod:`~repro.serve.registry`
+    :class:`ModelRegistry` — versioned, fingerprinted, pickled models
+    (plus optional approximate twins) on CheckpointStore atomics.
+:mod:`~repro.serve.batcher`
+    :class:`MicroBatcher` — request coalescing with a bitwise-exact
+    per-request scoring contract.
+:mod:`~repro.serve.frontend`
+    :class:`ScoringService` — admission control, circuit breaking,
+    graceful degradation to twins, typed :class:`ScoreResponse`.
+:mod:`~repro.serve.server`
+    :class:`ScoreServer` / :class:`ScoreClient` — stdlib asyncio TCP
+    JSON-lines transport (also behind ``repro serve`` in the CLI).
+
+See ``docs/serving.md`` for the architecture and degradation matrix.
+"""
+
+from .batcher import MicroBatcher
+from .frontend import Endpoint, ScoreResponse, ScoringService
+from .policies import ServePolicy
+from .registry import SCORING_METHODS, ModelRecord, ModelRegistry
+from .server import ScoreClient, ScoreServer
+
+__all__ = [
+    "MicroBatcher",
+    "Endpoint",
+    "ScoreResponse",
+    "ScoringService",
+    "ServePolicy",
+    "SCORING_METHODS",
+    "ModelRecord",
+    "ModelRegistry",
+    "ScoreClient",
+    "ScoreServer",
+]

@@ -1,0 +1,566 @@
+"""The asyncio scoring front end: admission, batching, breaking,
+degrading.
+
+:class:`ScoringService` turns a :class:`~repro.serve.ModelRegistry`
+into a traffic-bearing surface.  Every request travels one pipeline::
+
+    score(endpoint, payload)
+      -> admission control        (shed: typed ``overloaded``, instantly)
+      -> payload validation       (poisoned input: typed ``invalid``)
+      -> circuit breaker routing  (open: degrade to the approximate
+                                   twin, or typed ``unavailable``)
+      -> micro-batched scorer     (per-request model calls: the
+                                   non-degraded route is bitwise the
+                                   batch path)
+      -> typed ScoreResponse      (never an unhandled exception,
+                                   never a hang)
+
+    The failure vocabulary, exhaustively:
+
+    ============ ====================================================
+    status       meaning
+    ============ ====================================================
+    ``ok``         scores present; check ``degraded``/``served_by``
+    ``overloaded`` shed by admission control or deadline expiry
+    ``invalid``    malformed/non-finite payload or unknown endpoint
+    ``error``      scorer raised and no degraded fallback answered
+    ``unavailable`` breaker open, no twin registered
+    ============ ====================================================
+
+Robustness properties, each exercised by ``tests/test_serve_chaos.py``:
+
+- a **slow or failing exact model** trips the endpoint's breaker after
+  ``failure_threshold`` consecutive failures; while open, requests are
+  answered by the approximate twin (``degraded=True``) or refused
+  typed — the service never queues onto a dying scorer;
+- a **crashed scorer process** (process-executor mode) breaks the
+  endpoint's pool; the pool is rebuilt lazily when the breaker next
+  allows a probe, so recovery is automatic and bounded by the
+  deterministic probe schedule;
+- a **poisoned request** is rejected with ``status="invalid"`` without
+  touching the scorer or the breaker — bad input is the client's
+  failure, not the model's;
+- **overload** is shed by the admission controller token bucket /
+  queue-depth check before any resources are committed.
+
+Every stage reports into the process
+:class:`~repro.core.instrument.MetricsRegistry` under ``serve.*``
+(latency histograms carry p50/p90/p99 via the P² estimators).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core import instrument
+from ..core.exceptions import (
+    CircuitOpenError,
+    OverloadedError,
+    RegistryError,
+    ServeError,
+)
+from ..core.resilience import AdmissionController, CircuitBreaker, Deadline
+from .batcher import MicroBatcher
+from .policies import ServePolicy
+from .registry import ModelRegistry
+
+__all__ = ["ScoreResponse", "Endpoint", "ScoringService"]
+
+
+@dataclass
+class ScoreResponse:
+    """One typed answer from the scoring front end."""
+
+    endpoint: str
+    status: str                       # ok|overloaded|invalid|error|unavailable
+    scores: Optional[np.ndarray] = None
+    degraded: bool = False
+    served_by: str = ""               # "exact" | "twin" | ""
+    model_version: Optional[int] = None
+    reason: str = ""
+    latency_seconds: float = 0.0
+    meta: Dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def raise_for_status(self) -> "ScoreResponse":
+        """Exception surface for callers who prefer raising: maps the
+        typed statuses onto :mod:`repro.core.exceptions` types."""
+        if self.status == "ok":
+            return self
+        message = f"{self.endpoint}: {self.status}"
+        if self.reason:
+            message = f"{message} ({self.reason})"
+        if self.status == "overloaded":
+            raise OverloadedError(message, reason=self.reason)
+        if self.status == "unavailable":
+            raise CircuitOpenError(message)
+        raise ServeError(message)
+
+    def as_dict(self) -> dict:
+        """JSON-safe wire form (see :mod:`repro.serve.server`)."""
+        return {
+            "endpoint": self.endpoint,
+            "status": self.status,
+            "scores": (
+                np.asarray(self.scores).tolist()
+                if self.scores is not None else None
+            ),
+            "degraded": self.degraded,
+            "served_by": self.served_by,
+            "model_version": self.model_version,
+            "reason": self.reason,
+            "latency_seconds": self.latency_seconds,
+            "meta": dict(self.meta),
+        }
+
+
+# ---------------------------------------------------------------------
+# process-executor plumbing: workers load the model from the registry
+# ---------------------------------------------------------------------
+
+_WORKER_SCORER = None
+
+
+def _process_worker_init(registry_path: str, name: str, version: int,
+                         method: str) -> None:
+    """Process-pool initializer: load and warm this endpoint's model
+    once per worker, so per-call payloads are the only pickle traffic."""
+    global _WORKER_SCORER
+    registry = ModelRegistry(registry_path)
+    model, _ = registry.load(name, version)
+    _bind_engine(model, warm=True)
+    _WORKER_SCORER = getattr(model, method)
+
+
+def _process_score(payload):
+    return _WORKER_SCORER(payload)
+
+
+def _bind_engine(model, warm: bool = True):
+    """Give *model* a private warm :class:`GramEngine` when it takes
+    one; returns the engine (or ``None``).
+
+    Registry loads unpickle engines config-only (cold cache), so a
+    freshly loaded kernel model would pay its support-vector Gram
+    blocks on the first user-visible request.  Binding a dedicated
+    engine per endpoint and pre-warming it with the fitted support
+    vectors moves that cost to load time, and every subsequent request
+    against the same support set shares the warm block cache.
+    """
+    try:
+        params = model.get_params(deep=False)
+    except (AttributeError, TypeError):
+        return None
+    if "engine" not in params:
+        return None
+    from ..kernels.engine import GramEngine
+
+    engine = params["engine"] if isinstance(
+        params.get("engine"), GramEngine
+    ) else GramEngine()
+    model.set_params(engine=engine)
+    if warm:
+        kernel = getattr(model, "kernel_", None)
+        support = getattr(model, "support_vectors_", None)
+        if kernel is not None and support is not None and len(support):
+            engine.warm(kernel, support)
+    return engine
+
+
+class Endpoint:
+    """One served model: scorer plumbing plus its robustness state."""
+
+    def __init__(self, name: str, model, twin, record, method: str,
+                 policy: ServePolicy, registry_path: str,
+                 executor_kind: str, validate: str,
+                 shared_executor) -> None:
+        self.name = name
+        self.model = model
+        self.twin = twin
+        self.record = record
+        self.method = method
+        self.policy = policy
+        self.registry_path = registry_path
+        self.executor_kind = executor_kind
+        self.validate = validate
+        self.breaker: CircuitBreaker = policy.build_breaker(name)
+        self.engine = None
+        self._shared_executor = shared_executor
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_broken = False
+        self.batcher: Optional[MicroBatcher] = None
+        self.twin_batcher: Optional[MicroBatcher] = None
+        if executor_kind == "thread":
+            self.engine = _bind_engine(model, warm=True)
+        if twin is not None:
+            _bind_engine(twin, warm=True)
+
+    # ------------------------------------------------------------------
+    def _executor(self):
+        if self.executor_kind == "thread":
+            return self._shared_executor
+        if self._pool is None or self._pool_broken:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.policy.max_workers or 1,
+                initializer=_process_worker_init,
+                initargs=(self.registry_path, self.record.name,
+                          self.record.version, self.method),
+            )
+            self._pool_broken = False
+            instrument.metrics_registry().increment(
+                f"serve.endpoint.{self.name}.pool_rebuilds"
+            )
+        return self._pool
+
+    def exact_batcher(self) -> MicroBatcher:
+        """The exact-path batcher, (re)bound to a healthy executor."""
+        executor = self._executor()
+        if self.batcher is None or self.batcher.executor is not executor:
+            scorer = (
+                _process_score if self.executor_kind == "process"
+                else getattr(self.model, self.method)
+            )
+            self.batcher = MicroBatcher(
+                scorer,
+                max_batch=self.policy.max_batch,
+                max_wait=self.policy.max_wait_seconds,
+                executor=executor,
+                metrics_prefix=f"serve.endpoint.{self.name}.batch",
+            )
+        return self.batcher
+
+    def fallback_batcher(self) -> Optional[MicroBatcher]:
+        """The twin's batcher — always in-process threads, so a broken
+        scorer pool cannot take the degraded path down with it."""
+        if self.twin is None:
+            return None
+        if self.twin_batcher is None:
+            self.twin_batcher = MicroBatcher(
+                getattr(self.twin, self.method),
+                max_batch=self.policy.max_batch,
+                max_wait=self.policy.max_wait_seconds,
+                executor=self._shared_executor,
+                metrics_prefix=f"serve.endpoint.{self.name}.twin_batch",
+            )
+        return self.twin_batcher
+
+    def mark_pool_broken(self) -> None:
+        self._pool_broken = True
+
+    def depth(self) -> int:
+        depth = 0
+        if self.batcher is not None:
+            depth += self.batcher.depth
+        if self.twin_batcher is not None:
+            depth += self.twin_batcher.depth
+        return depth
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def snapshot(self) -> dict:
+        return {
+            "model": self.record.name,
+            "version": self.record.version,
+            "method": self.method,
+            "executor": self.executor_kind,
+            "has_twin": self.twin is not None,
+            "breaker": self.breaker.snapshot(),
+            "depth": self.depth(),
+            "engine": (
+                self.engine.cache_info() if self.engine is not None
+                else None
+            ),
+        }
+
+
+class ScoringService:
+    """Fault-tolerant online scoring over a model registry.
+
+    Parameters
+    ----------
+    registry:
+        A :class:`ModelRegistry` (or a path to one).
+    policy:
+        The :class:`ServePolicy` SLO bundle; default policy serves
+        unbounded-rate thread-pool scoring with a 256-deep queue cap.
+
+    Usage::
+
+        service = ScoringService(registry)
+        service.add_endpoint("returns")
+        response = await service.score("returns", X)   # ScoreResponse
+
+    Synchronous callers (tests, benches, the CLI smoke path) can use
+    :meth:`score_sync`.
+    """
+
+    def __init__(self, registry, policy: Optional[ServePolicy] = None):
+        self.registry = (
+            registry if isinstance(registry, ModelRegistry)
+            else ModelRegistry(registry)
+        )
+        self.policy = policy or ServePolicy()
+        self.admission: AdmissionController = self.policy.build_admission()
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.policy.max_workers or 4,
+            thread_name_prefix="repro-serve",
+        )
+        self._metrics = instrument.metrics_registry()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def add_endpoint(self, name: str, version: Optional[int] = None, *,
+                     alias: Optional[str] = None,
+                     method: Optional[str] = None,
+                     executor: Optional[str] = None,
+                     validate: str = "numeric") -> Endpoint:
+        """Expose registry model *name*@*version* as a scoring endpoint.
+
+        *alias* serves it under a different endpoint name; *executor*
+        overrides the policy default per endpoint; *validate* is
+        ``"numeric"`` (reject non-finite/malformed arrays — the poisoned
+        -request guard) or ``"none"`` for models scoring structured
+        payloads (token sequences).
+        """
+        if validate not in ("numeric", "none"):
+            raise ValueError(
+                f"validate must be 'numeric' or 'none', got {validate!r}"
+            )
+        executor_kind = executor or self.policy.executor
+        if executor_kind not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', "
+                f"got {executor_kind!r}"
+            )
+        model, record = self.registry.load(name, version)
+        twin, _ = self.registry.load_twin(name, version)
+        endpoint_name = alias or name
+        endpoint = Endpoint(
+            endpoint_name, model, twin, record,
+            method or record.method, self.policy, self.registry.path,
+            executor_kind, validate, self._executor,
+        )
+        self._endpoints[endpoint_name] = endpoint
+        self._metrics.increment("serve.endpoints_added")
+        return endpoint
+
+    def add_all_endpoints(self, executor: Optional[str] = None) -> list:
+        """Expose the latest version of every registry model."""
+        return [
+            self.add_endpoint(name, executor=executor)
+            for name in self.registry.names()
+        ]
+
+    def endpoints(self) -> Dict[str, Endpoint]:
+        return dict(self._endpoints)
+
+    # ------------------------------------------------------------------
+    def _validate(self, endpoint: Endpoint, payload):
+        """Validated payload, or an error string for a typed refusal."""
+        if endpoint.validate == "none":
+            return payload, ""
+        try:
+            array = np.asarray(payload, dtype=float)
+        except (TypeError, ValueError) as error:
+            return None, f"malformed payload: {error}"
+        if array.ndim == 1:
+            array = array.reshape(1, -1)
+        if array.ndim != 2:
+            return None, (
+                f"payload must be 1-D or 2-D, got shape {array.shape}"
+            )
+        if array.size == 0:
+            return None, "empty payload"
+        if not np.isfinite(array).all():
+            return None, "non-finite values in payload"
+        return array, ""
+
+    def _respond(self, response: ScoreResponse,
+                 started: float) -> ScoreResponse:
+        response.latency_seconds = time.perf_counter() - started
+        self._metrics.observe(
+            "serve.latency_seconds", response.latency_seconds
+        )
+        self._metrics.observe(
+            f"serve.endpoint.{response.endpoint}.latency_seconds",
+            response.latency_seconds,
+        )
+        self._metrics.increment(f"serve.{response.status}")
+        if response.degraded:
+            self._metrics.increment("serve.degraded")
+        return response
+
+    async def _submit(self, batcher: MicroBatcher, payload,
+                      deadline: Optional[Deadline]):
+        if deadline is None:
+            return await batcher.submit(payload)
+        return await asyncio.wait_for(
+            batcher.submit(payload), timeout=max(deadline.remaining(), 1e-6)
+        )
+
+    async def _degrade(self, endpoint: Endpoint, payload,
+                       deadline: Optional[Deadline], started: float,
+                       reason: str) -> ScoreResponse:
+        fallback = endpoint.fallback_batcher()
+        version = endpoint.record.version
+        if fallback is None:
+            status = (
+                "unavailable" if reason.startswith("circuit") else "error"
+            )
+            return self._respond(ScoreResponse(
+                endpoint=endpoint.name, status=status, reason=reason,
+                model_version=version,
+            ), started)
+        try:
+            scores = await self._submit(fallback, payload, deadline)
+        except asyncio.TimeoutError:
+            return self._respond(ScoreResponse(
+                endpoint=endpoint.name, status="overloaded",
+                reason="deadline", model_version=version,
+            ), started)
+        except Exception as error:  # noqa: BLE001 — typed response below
+            return self._respond(ScoreResponse(
+                endpoint=endpoint.name, status="error",
+                reason=f"{reason}; twin failed: {error}",
+                model_version=version,
+            ), started)
+        return self._respond(ScoreResponse(
+            endpoint=endpoint.name, status="ok", scores=scores,
+            degraded=True, served_by="twin", model_version=version,
+            reason=reason,
+        ), started)
+
+    async def score(self, endpoint: str, payload,
+                    deadline=None) -> ScoreResponse:
+        """Score *payload* against *endpoint*; always returns a typed
+        :class:`ScoreResponse`, never raises, never hangs.
+
+        *deadline* is seconds, a :class:`Deadline`, or ``None`` (the
+        policy default applies).
+        """
+        started = time.perf_counter()
+        self._metrics.increment("serve.requests")
+        ep = self._endpoints.get(endpoint)
+        if ep is None:
+            return self._respond(ScoreResponse(
+                endpoint=endpoint, status="invalid",
+                reason=f"unknown endpoint {endpoint!r} "
+                       f"(known: {sorted(self._endpoints) or 'none'})",
+            ), started)
+        budget = self.policy.request_deadline(deadline)
+        admitted, why = self.admission.try_admit(
+            queue_depth=ep.depth(), deadline=budget
+        )
+        if not admitted:
+            return self._respond(ScoreResponse(
+                endpoint=endpoint, status="overloaded", reason=why,
+                model_version=ep.record.version,
+            ), started)
+        payload, problem = self._validate(ep, payload)
+        if problem:
+            self._metrics.increment("serve.poisoned")
+            return self._respond(ScoreResponse(
+                endpoint=endpoint, status="invalid", reason=problem,
+                model_version=ep.record.version,
+            ), started)
+
+        if not ep.breaker.allow():
+            return await self._degrade(
+                ep, payload, budget, started,
+                f"circuit open ({ep.breaker.state})",
+            )
+        # breaker allowed the exact path (and, half-open, reserved a
+        # probe slot): every branch below records exactly one outcome
+        try:
+            batcher = ep.exact_batcher()
+            scores = await self._submit(batcher, payload, budget)
+        except asyncio.TimeoutError:
+            ep.breaker.record_failure()
+            self._metrics.increment("serve.deadline_timeouts")
+            return self._respond(ScoreResponse(
+                endpoint=endpoint, status="overloaded",
+                reason="deadline", model_version=ep.record.version,
+            ), started)
+        except BrokenProcessPool:
+            ep.breaker.record_failure()
+            ep.mark_pool_broken()
+            self._metrics.increment("serve.pool_breaks")
+            return await self._degrade(
+                ep, payload, budget, started, "scorer process crashed",
+            )
+        except Exception as error:  # noqa: BLE001 — typed response below
+            ep.breaker.record_failure()
+            self._metrics.increment("serve.scorer_errors")
+            return await self._degrade(
+                ep, payload, budget, started, f"scorer failed: {error}",
+            )
+        ep.breaker.record_success()
+        return self._respond(ScoreResponse(
+            endpoint=endpoint, status="ok", scores=scores,
+            served_by="exact", model_version=ep.record.version,
+        ), started)
+
+    def score_sync(self, endpoint: str, payload,
+                   deadline=None) -> ScoreResponse:
+        """Blocking convenience wrapper around :meth:`score`."""
+        return asyncio.run(self.score(endpoint, payload, deadline))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Service health: endpoints, breakers, admission, latencies."""
+        snapshot = self._metrics.snapshot()
+        latency = {
+            name: record
+            for name, record in snapshot.histograms.items()
+            if name.startswith("serve.")
+        }
+        counters = {
+            name: value
+            for name, value in snapshot.counters.items()
+            if name.startswith("serve.")
+        }
+        return {
+            "endpoints": {
+                name: ep.snapshot()
+                for name, ep in self._endpoints.items()
+            },
+            "admission": self.admission.snapshot(),
+            "counters": counters,
+            "latency": latency,
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for endpoint in self._endpoints.values():
+            endpoint.close()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "ScoringService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self):
+        return (
+            f"ScoringService({self.registry.path!r}, "
+            f"endpoints={sorted(self._endpoints)})"
+        )

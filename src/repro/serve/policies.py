@@ -1,0 +1,142 @@
+"""Serving policy: the SLO knobs for one scoring service, in one place.
+
+A :class:`ServePolicy` bundles everything the front end needs to decide
+*whether* and *how* to serve a request — admission control, circuit
+breaking, micro-batching, per-request deadline budgets, and the
+degradation stance — so a service (or the ``repro serve`` CLI) is
+configured by one object whose fields map one-to-one onto the knobs
+documented in ``docs/serving.md``.
+
+The policy is plain data; the factories build the live primitives from
+:mod:`repro.core.resilience` with the service's metric namespaces wired
+in.  Breaker seeds are derived per endpoint name, so a multi-endpoint
+service gets decorrelated — but still deterministic — probe schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+    fingerprint,
+)
+
+__all__ = ["ServePolicy"]
+
+
+@dataclass
+class ServePolicy:
+    """SLO and robustness knobs for a :class:`~repro.serve.ScoringService`.
+
+    Admission (load shedding)
+    -------------------------
+    rate / burst:
+        Token-bucket request budget; ``rate=None`` disables the bucket.
+    max_queue_depth:
+        Shed when an endpoint's queued + in-flight requests reach this.
+    min_slack_seconds:
+        Shed requests whose deadline has less than this remaining.
+
+    Deadlines
+    ---------
+    deadline_seconds:
+        Default per-request budget when the caller passes none;
+        ``None`` means unbounded.  A request that overruns its budget
+        gets a typed ``overloaded`` response — never a hang.
+
+    Circuit breaking / degradation
+    ------------------------------
+    failure_threshold, recovery_seconds, probe_successes, max_probes,
+    breaker_jitter, seed:
+        See :class:`~repro.core.resilience.CircuitBreaker`.  The seed
+        plus the endpoint name derive each endpoint's probe schedule.
+    degrade:
+        When ``True`` (default) an endpoint with a published
+        approximate twin falls back to it under an open breaker or a
+        broken scorer pool, tagging responses ``degraded=True``.
+
+    Micro-batching
+    --------------
+    max_batch / max_wait_seconds:
+        See :class:`~repro.serve.MicroBatcher`.
+
+    Executors
+    ---------
+    executor:
+        ``"thread"`` (default) scores in a per-service thread pool;
+        ``"process"`` gives each endpoint a process pool whose workers
+        load the model from the registry — the configuration under
+        which a crashed scorer process is survivable.
+    max_workers:
+        Pool size (``None``: executor default).
+    """
+
+    # admission
+    rate: Optional[float] = None
+    burst: Optional[int] = None
+    max_queue_depth: Optional[int] = 256
+    min_slack_seconds: float = 0.0
+    # deadlines
+    deadline_seconds: Optional[float] = None
+    # breaker
+    failure_threshold: int = 5
+    recovery_seconds: float = 1.0
+    probe_successes: int = 2
+    max_probes: int = 1
+    breaker_jitter: float = 0.25
+    seed: int = 0
+    degrade: bool = True
+    # batching
+    max_batch: int = 32
+    max_wait_seconds: float = 0.002
+    # executors
+    executor: str = "thread"
+    max_workers: Optional[int] = None
+    # free-form extras (recorded in service stats)
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', "
+                f"got {self.executor!r}"
+            )
+        if self.deadline_seconds is not None:
+            # construct-and-discard validates positivity/NaN loudly
+            Deadline(self.deadline_seconds)
+
+    # ------------------------------------------------------------------
+    def build_admission(self) -> AdmissionController:
+        return AdmissionController(
+            rate=self.rate,
+            burst=self.burst,
+            max_queue_depth=self.max_queue_depth,
+            min_slack=self.min_slack_seconds,
+            metrics_prefix="serve.admission",
+        )
+
+    def build_breaker(self, endpoint: str) -> CircuitBreaker:
+        return CircuitBreaker(
+            failure_threshold=self.failure_threshold,
+            recovery_time=self.recovery_seconds,
+            probe_successes=self.probe_successes,
+            max_probes=self.max_probes,
+            jitter=self.breaker_jitter,
+            seed=int(fingerprint("serve-breaker", self.seed, endpoint)[:8],
+                     16),
+            name=endpoint,
+            metrics_prefix="serve.breaker",
+        )
+
+    def request_deadline(self, deadline=None) -> Optional[Deadline]:
+        """Resolve a per-request deadline: explicit wins, else the
+        policy default, else none."""
+        if deadline is not None:
+            return Deadline.resolve(deadline)
+        if self.deadline_seconds is not None:
+            return Deadline(self.deadline_seconds)
+        return None

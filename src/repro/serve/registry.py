@@ -1,0 +1,267 @@
+"""Versioned model registry: fitted estimators as deployable artifacts.
+
+A registry is a directory managed through the
+:class:`~repro.core.resilience.CheckpointStore` pickle machinery — the
+same atomic write-then-rename files the resilient runtime already
+trusts, so publishing a model mid-traffic can never expose a torn
+pickle to a loading worker.  One entry per ``(name, version)`` holds:
+
+- the fitted **exact** model (pickled payload),
+- optionally an **approximate twin** (e.g. a Nystrom/RFF-backed fit of
+  the same task from :mod:`repro.kernels.approx`) that the scoring
+  front end degrades to when the exact path is unhealthy,
+- a JSON metadata record: scoring method, creation time, a BLAKE2b
+  fingerprint of the pickled model bytes (the "did the deployed model
+  change" identity), and free-form user metadata.
+
+Versions are integers assigned monotonically per name (``v1, v2, ...``)
+unless pinned explicitly; loading resolves ``version=None`` to the
+latest.  The registry is safe for concurrent publishers on a shared
+filesystem for the same reason the CheckpointStore is: every write is
+atomic and version keys are content-independent.
+"""
+
+from __future__ import annotations
+
+import pickle
+import re
+import time
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from typing import Dict, List, Optional, Tuple
+
+from ..core.exceptions import RegistryError
+from ..core.resilience import CheckpointStore
+
+__all__ = ["ModelRecord", "ModelRegistry", "SCORING_METHODS"]
+
+#: Scoring-method autodetection order: the first of these the model
+#: exposes becomes the endpoint's scoring surface.
+SCORING_METHODS = (
+    "decision_function", "score_samples", "predict_proba", "predict",
+)
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_-]*$")
+
+
+@dataclass
+class ModelRecord:
+    """Metadata for one published ``(name, version)`` entry."""
+
+    name: str
+    version: int
+    method: str
+    fingerprint: str
+    created_at: float
+    has_twin: bool = False
+    twin_fingerprint: str = ""
+    model_class: str = ""
+    twin_class: str = ""
+    meta: Dict = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}--v{self.version}"
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "version": self.version,
+            "method": self.method,
+            "fingerprint": self.fingerprint,
+            "created_at": self.created_at,
+            "has_twin": self.has_twin,
+            "twin_fingerprint": self.twin_fingerprint,
+            "model_class": self.model_class,
+            "twin_class": self.twin_class,
+            "meta": dict(self.meta),
+        }
+
+
+def _pickle_fingerprint(obj) -> str:
+    return blake2b(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL),
+        digest_size=16,
+    ).hexdigest()
+
+
+def resolve_method(model, method: Optional[str] = None) -> str:
+    """The scoring method to serve *model* through.
+
+    An explicit *method* must exist on the model; otherwise the first
+    match in :data:`SCORING_METHODS` wins.
+    """
+    if method is not None:
+        if not callable(getattr(model, method, None)):
+            raise RegistryError(
+                f"{type(model).__name__} has no callable method "
+                f"{method!r}"
+            )
+        return method
+    for candidate in SCORING_METHODS:
+        if callable(getattr(model, candidate, None)):
+            return candidate
+    raise RegistryError(
+        f"{type(model).__name__} exposes none of {SCORING_METHODS}; "
+        f"pass method= explicitly"
+    )
+
+
+class ModelRegistry:
+    """Directory of versioned, fitted, pickled models.
+
+    Parameters
+    ----------
+    path:
+        Registry directory (created if absent).  Everything inside is a
+        CheckpointStore entry, so the registry travels, backs up, and
+        survives crashes exactly like checkpoints do.
+    """
+
+    def __init__(self, path):
+        self.store = CheckpointStore(path, allow_pickle=True)
+
+    @property
+    def path(self) -> str:
+        return self.store.path
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            raise RegistryError(
+                f"model names must match {_NAME_RE.pattern}, got {name!r}"
+            )
+        return name
+
+    def _parse_key(self, key: str) -> Optional[Tuple[str, int]]:
+        name, sep, version = key.rpartition("--v")
+        if not sep or not version.isdigit():
+            return None
+        return name, int(version)
+
+    # ------------------------------------------------------------------
+    def publish(self, name: str, model, *, twin=None,
+                method: Optional[str] = None,
+                version: Optional[int] = None,
+                meta: Optional[dict] = None) -> ModelRecord:
+        """Persist *model* (and optionally its approximate *twin*) as a
+        new version of *name*; returns the :class:`ModelRecord`.
+
+        The twin must answer the same scoring method as the model — the
+        front end swaps one for the other mid-traffic, so an interface
+        mismatch must fail at publish time, not under an open breaker.
+        """
+        self._check_name(name)
+        method = resolve_method(model, method)
+        if twin is not None:
+            resolve_method(twin, method)
+        if version is None:
+            versions = self.versions(name)
+            version = (versions[-1] + 1) if versions else 1
+        version = int(version)
+        if version < 1:
+            raise RegistryError(f"version must be >= 1, got {version}")
+        record = ModelRecord(
+            name=name,
+            version=version,
+            method=method,
+            fingerprint=_pickle_fingerprint(model),
+            created_at=time.time(),
+            has_twin=twin is not None,
+            twin_fingerprint=(
+                _pickle_fingerprint(twin) if twin is not None else ""
+            ),
+            model_class=type(model).__qualname__,
+            twin_class=(
+                type(twin).__qualname__ if twin is not None else ""
+            ),
+            meta=dict(meta or {}),
+        )
+        if record.key in self.store:
+            raise RegistryError(
+                f"{name} v{version} is already published; versions are "
+                f"immutable (publish a new version instead)"
+            )
+        self.store.put(record.key, {
+            "record": record.as_dict(),
+            "model": model,
+            "twin": twin,
+        })
+        return record
+
+    # ------------------------------------------------------------------
+    def _entry(self, name: str, version: Optional[int]) -> dict:
+        self._check_name(name)
+        if version is None:
+            versions = self.versions(name)
+            if not versions:
+                raise RegistryError(
+                    f"no model named {name!r} in registry {self.path!r} "
+                    f"(known: {', '.join(self.names()) or 'none'})"
+                )
+            version = versions[-1]
+        key = f"{name}--v{int(version)}"
+        entry = self.store.get(key)
+        if entry is None:
+            raise RegistryError(
+                f"no version {version} of model {name!r} in registry "
+                f"{self.path!r}"
+            )
+        return entry
+
+    def load(self, name: str, version: Optional[int] = None):
+        """``(model, record)`` for *name* at *version* (default latest)."""
+        entry = self._entry(name, version)
+        return entry["model"], ModelRecord(**entry["record"])
+
+    def load_twin(self, name: str, version: Optional[int] = None):
+        """``(twin, record)``; twin is ``None`` when none was published."""
+        entry = self._entry(name, version)
+        return entry["twin"], ModelRecord(**entry["record"])
+
+    def describe(self, name: str,
+                 version: Optional[int] = None) -> ModelRecord:
+        entry = self._entry(name, version)
+        return ModelRecord(**entry["record"])
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        seen = set()
+        for key in self.store.keys():
+            parsed = self._parse_key(key)
+            if parsed is not None:
+                seen.add(parsed[0])
+        return sorted(seen)
+
+    def versions(self, name: str) -> List[int]:
+        self._check_name(name)
+        found = []
+        for key in self.store.keys():
+            parsed = self._parse_key(key)
+            if parsed is not None and parsed[0] == name:
+                found.append(parsed[1])
+        return sorted(found)
+
+    def latest_version(self, name: str) -> int:
+        versions = self.versions(name)
+        if not versions:
+            raise RegistryError(f"no model named {name!r}")
+        return versions[-1]
+
+    def __len__(self) -> int:
+        return sum(
+            1 for key in self.store.keys()
+            if self._parse_key(key) is not None
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return bool(self.versions(name)) if _NAME_RE.match(
+            str(name)
+        ) else False
+
+    def __repr__(self):
+        return (
+            f"ModelRegistry({self.path!r}, "
+            f"{len(self.names())} models, {len(self)} versions)"
+        )

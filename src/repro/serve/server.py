@@ -1,0 +1,271 @@
+"""A stdlib-only network surface for the scoring service.
+
+``ScoreServer`` exposes a :class:`~repro.serve.ScoringService` over TCP
+with a JSON-lines protocol: one request object per line in, one
+:meth:`~repro.serve.ScoreResponse.as_dict` object per line out.
+
+Request lines::
+
+    {"endpoint": "returns", "payload": [[...], ...], "deadline": 0.05}
+    {"op": "stats"}
+    {"op": "ping"}
+
+Malformed lines get a typed ``{"status": "invalid", ...}`` object — a
+broken client cannot crash, hang, or wedge the server, in keeping with
+the front end's "typed response, never a hang" contract.  Multiple
+in-flight requests per connection are supported: each line is scored as
+its own task and responses carry the request's ``id`` (if given) so
+clients can pipeline.
+
+The implementation is asyncio streams only — no third-party HTTP stack
+— because the repo's dependency floor is the scientific toolchain.  The
+JSON-lines framing is trivial to speak from anything (``nc``, a
+five-line client, the bundled :class:`ScoreClient`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from ..core import instrument
+
+__all__ = ["ScoreServer", "ScoreClient"]
+
+
+class ScoreServer:
+    """Serve a :class:`~repro.serve.ScoringService` over TCP JSON-lines.
+
+    Parameters
+    ----------
+    service:
+        The scoring front end to expose.
+    host / port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`
+        after :meth:`start`).
+    max_line_bytes:
+        Reject request lines longer than this (oversized payloads get a
+        typed ``invalid`` response instead of exhausting memory).
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0,
+                 max_line_bytes: int = 8 * 1024 * 1024):
+        self.service = service
+        self.host = host
+        self._port = port
+        self.max_line_bytes = int(max_line_bytes)
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    @property
+    def port(self) -> int:
+        if self._server is not None:
+            return self._server.sockets[0].getsockname()[1]
+        return self._port
+
+    # ------------------------------------------------------------------
+    async def start(self) -> "ScoreServer":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._port,
+            limit=self.max_line_bytes,
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def __aenter__(self) -> "ScoreServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        metrics = instrument.metrics_registry()
+        metrics.increment("serve.server.connections")
+        write_lock = asyncio.Lock()
+        tasks = set()
+
+        async def answer(request_id, body: dict) -> None:
+            if request_id is not None:
+                body = {"id": request_id, **body}
+            data = (json.dumps(body) + "\n").encode()
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+
+        async def handle_line(line: bytes) -> None:
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as error:
+                metrics.increment("serve.server.bad_lines")
+                await answer(None, {
+                    "status": "invalid", "reason": f"bad request: {error}",
+                })
+                return
+            request_id = request.get("id")
+            op = request.get("op", "score")
+            if op == "ping":
+                await answer(request_id, {"status": "ok", "pong": True})
+                return
+            if op == "stats":
+                await answer(request_id, {
+                    "status": "ok", "stats": self.service.stats(),
+                })
+                return
+            if op != "score":
+                await answer(request_id, {
+                    "status": "invalid", "reason": f"unknown op {op!r}",
+                })
+                return
+            response = await self.service.score(
+                str(request.get("endpoint", "")),
+                request.get("payload"),
+                request.get("deadline"),
+            )
+            await answer(request_id, response.as_dict())
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    metrics.increment("serve.server.bad_lines")
+                    await answer(None, {
+                        "status": "invalid",
+                        "reason": "request line too long",
+                    })
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(handle_line(line))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            # cancellation here is loop shutdown tearing down a blocked
+            # readline; finish the handler normally so the streams
+            # machinery doesn't log a phantom task error
+            pass
+        finally:
+            # loop shutdown may cancel this handler mid-cleanup; the
+            # cleanup itself must finish quietly either way
+            try:
+                if tasks:
+                    await asyncio.gather(*tasks, return_exceptions=True)
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                pass
+
+
+class ScoreClient:
+    """Minimal pipelining client for :class:`ScoreServer`.
+
+    Usage::
+
+        async with ScoreClient("127.0.0.1", port) as client:
+            body = await client.score("returns", rows, deadline=0.1)
+    """
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._next_id = 0
+        self._waiting = {}
+        self._pump: Optional[asyncio.Task] = None
+
+    async def connect(self) -> "ScoreClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=8 * 1024 * 1024,
+        )
+        self._pump = asyncio.ensure_future(self._read_loop())
+        return self
+
+    async def close(self) -> None:
+        if self._pump is not None:
+            self._pump.cancel()
+            try:
+                await self._pump
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._pump = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+
+    async def __aenter__(self) -> "ScoreClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                body = json.loads(line)
+                future = self._waiting.pop(body.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(body)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 — fail the waiters
+            for future in self._waiting.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._waiting.clear()
+            return
+        # connection closed: fail anything still outstanding
+        for future in self._waiting.values():
+            if not future.done():
+                future.set_exception(ConnectionError("server closed"))
+        self._waiting.clear()
+
+    async def request(self, body: dict) -> dict:
+        self._next_id += 1
+        request_id = self._next_id
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._waiting[request_id] = future
+        data = json.dumps({"id": request_id, **body}) + "\n"
+        self._writer.write(data.encode())
+        await self._writer.drain()
+        return await future
+
+    async def score(self, endpoint: str, payload,
+                    deadline: Optional[float] = None) -> dict:
+        body = {"op": "score", "endpoint": endpoint, "payload": payload}
+        if deadline is not None:
+            body["deadline"] = deadline
+        return await self.request(body)
+
+    async def stats(self) -> dict:
+        return await self.request({"op": "stats"})
+
+    async def ping(self) -> dict:
+        return await self.request({"op": "ping"})

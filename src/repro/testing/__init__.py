@@ -22,13 +22,16 @@ from . import chaos, checks, datasets, registry, runner
 from .chaos import (
     ChaosError,
     CrashingEstimator,
+    CrashingScorer,
     CrashingTask,
+    FailingScorer,
     FlakyEstimator,
     FlakyTask,
     HangingEstimator,
     HangingTask,
     ShardKillTask,
     SlowEstimator,
+    SlowScorer,
     SlowTask,
     contend_steal,
     expire_lease,
@@ -57,7 +60,9 @@ __all__ = [
     "ChaosError",
     "ConformanceFailure",
     "CrashingEstimator",
+    "CrashingScorer",
     "CrashingTask",
+    "FailingScorer",
     "EstimatorSpec",
     "FlakyEstimator",
     "FlakyTask",
@@ -66,6 +71,7 @@ __all__ = [
     "MAX_WAIVERS",
     "ShardKillTask",
     "SlowEstimator",
+    "SlowScorer",
     "SlowTask",
     "applicable_checks",
     "chaos",

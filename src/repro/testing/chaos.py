@@ -47,6 +47,9 @@ __all__ = [
     "CrashingEstimator",
     "HangingEstimator",
     "SlowEstimator",
+    "SlowScorer",
+    "FailingScorer",
+    "CrashingScorer",
     "attempt_count",
     "contend_steal",
     "expire_lease",
@@ -460,3 +463,132 @@ class SlowEstimator(_ChaosWrapper):
     def fit(self, X, y=None):
         time.sleep(float(self.seconds))
         return self._fit_base(X, y)
+
+
+# ---------------------------------------------------------------------
+# scorer-level injectors (for repro.serve)
+# ---------------------------------------------------------------------
+
+#: kept in sync with repro.serve.registry.SCORING_METHODS (not imported
+#: so the chaos toolbox stays usable without pulling in the serve stack)
+_SCORER_METHODS = (
+    "decision_function", "score_samples", "predict_proba", "predict",
+)
+
+
+class _ScorerChaos:
+    """Delegating wrapper around a *fitted* model's scoring surface.
+
+    The wrapper is publishable in a :class:`repro.serve.ModelRegistry`
+    like any model: it exposes exactly the scoring methods its ``base``
+    has (via ``__getattr__``, so method autodetection resolves the same
+    way), applies the injected fault, then delegates — scores that do
+    come back are bitwise the base's scores.  Call counting uses the
+    ``state_dir`` marker files, so fault schedules survive pickling
+    into scorer worker processes and pool rebuilds.
+    """
+
+    label = "scorer-chaos"
+
+    def __init__(self, base, state_dir: str = None):
+        if state_dir is None:
+            raise ValueError(
+                f"{type(self).__name__} needs an explicit state_dir"
+            )
+        self.base = base
+        self.state_dir = os.fspath(state_dir)
+
+    def _chaos(self, call_index: int) -> None:
+        raise NotImplementedError
+
+    def __getattr__(self, name):
+        if name.startswith("_") or name not in _SCORER_METHODS:
+            raise AttributeError(name)
+        inner = getattr(self.base, name)
+
+        def scoring(payload, _inner=inner):
+            self._chaos(_record_attempt(self.state_dir, self.label))
+            return _inner(payload)
+
+        return scoring
+
+    def calls(self) -> int:
+        """Scoring calls observed so far (across all processes)."""
+        return attempt_count(self.state_dir, self.label)
+
+
+class SlowScorer(_ScorerChaos):
+    """Adds *seconds* of latency to each scoring call — the "slow
+    model" that deadline budgets and, eventually, the circuit breaker
+    must catch.  ``slow_times`` bounds the fault to the first N calls
+    (``None``: every call), so breaker recovery is testable: probes
+    after the slow spell succeed promptly."""
+
+    label = "slow-scorer"
+
+    def __init__(self, base, seconds: float = 0.5,
+                 slow_times: Optional[int] = None, state_dir: str = None):
+        super().__init__(base, state_dir)
+        self.seconds = float(seconds)
+        self.slow_times = slow_times if slow_times is None \
+            else int(slow_times)
+
+    def _chaos(self, call_index: int) -> None:
+        if self.slow_times is None or call_index <= self.slow_times:
+            time.sleep(self.seconds)
+
+
+class FailingScorer(_ScorerChaos):
+    """Raises :class:`ChaosError` on the first *fail_times* scoring
+    calls, then recovers — the canonical breaker-flap injector: closed
+    -> failures -> open -> (degraded traffic) -> half-open probes ->
+    closed again."""
+
+    label = "failing-scorer"
+
+    def __init__(self, base, fail_times: int = 5, state_dir: str = None):
+        super().__init__(base, state_dir)
+        self.fail_times = int(fail_times)
+
+    def _chaos(self, call_index: int) -> None:
+        if call_index <= self.fail_times:
+            raise ChaosError(
+                f"injected scorer failure (call {call_index}/"
+                f"{self.fail_times})"
+            )
+
+
+class CrashingScorer(_ScorerChaos):
+    """Kills the scorer *process* (``os._exit``) on the first
+    *crash_times* scoring calls — the crashed-scorer chaos case for the
+    process-executor serve path (the pool breaks, the breaker opens,
+    the pool is rebuilt on the next allowed probe).
+
+    Outside a worker process the crash is downgraded to a
+    :class:`ChaosError` when ``safe_in_driver`` is on, so accidentally
+    serving it on the thread executor fails a request instead of
+    killing the test run.
+    """
+
+    label = "crashing-scorer"
+
+    def __init__(self, base, crash_times: int = 1, state_dir: str = None,
+                 exit_code: int = 29, safe_in_driver: bool = True):
+        super().__init__(base, state_dir)
+        self.crash_times = int(crash_times)
+        self.exit_code = int(exit_code)
+        self.safe_in_driver = bool(safe_in_driver)
+
+    def _chaos(self, call_index: int) -> None:
+        if call_index <= self.crash_times:
+            import multiprocessing
+
+            in_worker = (
+                multiprocessing.current_process().name != "MainProcess"
+            )
+            if self.safe_in_driver and not in_worker:
+                raise ChaosError(
+                    f"injected scorer crash (call {call_index}) — "
+                    f"downgraded to an exception outside a worker process"
+                )
+            os._exit(self.exit_code)

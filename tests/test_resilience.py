@@ -363,3 +363,52 @@ class TestRetryInstrumentation:
         assert backend.map(
             _flaky_by_marker, [(str(tmp_path / "m2"), 7)]
         ) == [7]
+
+
+# ---------------------------------------------------------------------
+# construction validation (RetryPolicy / Deadline)
+# ---------------------------------------------------------------------
+
+class TestConstructionValidation:
+    """Nonsense retry/deadline parameters must fail at construction
+    with a clear message, not silently build a policy that never
+    retries, never expires, or sleeps forever."""
+
+    @pytest.mark.parametrize("seconds", [0, -1, -0.001, float("nan")])
+    def test_deadline_rejects_nonpositive_and_nan(self, seconds):
+        with pytest.raises(ValueError, match="deadline seconds"):
+            Deadline(seconds)
+
+    def test_deadline_allows_infinite_budget(self):
+        unbounded = Deadline(float("inf"))
+        assert not unbounded.expired()
+        assert unbounded.remaining() == float("inf")
+
+    @pytest.mark.parametrize("max_attempts", [0, -3, float("nan")])
+    def test_retry_rejects_bad_max_attempts(self, max_attempts):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=max_attempts)
+
+    @pytest.mark.parametrize("kwargs,match", [
+        ({"base_delay": -0.1}, "base_delay"),
+        ({"base_delay": float("nan")}, "base_delay"),
+        ({"base_delay": float("inf")}, "base_delay"),
+        ({"max_delay": -1.0}, "max_delay"),
+        ({"max_delay": float("nan")}, "max_delay"),
+        ({"multiplier": 0.5}, "multiplier"),
+        ({"multiplier": float("nan")}, "multiplier"),
+        ({"jitter": -0.2}, "jitter"),
+        ({"jitter": 1.5}, "jitter"),
+        ({"jitter": float("nan")}, "jitter"),
+    ])
+    def test_retry_rejects_bad_backoff(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            RetryPolicy(**kwargs)
+
+    def test_valid_boundary_values_pass(self):
+        policy = RetryPolicy(
+            max_attempts=1, base_delay=0.0, max_delay=0.0,
+            multiplier=1.0, jitter=0.0,
+        )
+        assert policy.max_attempts == 1
+        assert policy.delay(0, 1) == 0.0

@@ -1,0 +1,548 @@
+"""Unit tests for repro.serve and the resilience primitives behind it.
+
+Covers the model registry (versioning, fingerprints, twins), the
+circuit breaker and admission controller (with injected clocks — no
+sleeps), the micro-batcher (coalescing, per-item error isolation), the
+scoring service (including the bitwise-identity contract against the
+batch path), and the JSON-lines TCP server.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import instrument
+from repro.core.exceptions import (
+    CircuitOpenError,
+    OverloadedError,
+    RegistryError,
+)
+from repro.core.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+)
+from repro.learn.one_class_svm import OneClassSVM
+from repro.kernels.approx import NystromApproximation
+from repro.kernels.vector import RBFKernel
+from repro.mfgtest.outlier import RobustMahalanobisDetector
+from repro.serve import (
+    MicroBatcher,
+    ModelRegistry,
+    ScoreClient,
+    ScoreServer,
+    ScoringService,
+    ServePolicy,
+)
+
+
+@pytest.fixture()
+def isolated_metrics():
+    registry = instrument.MetricsRegistry()
+    previous = instrument.set_metrics_registry(registry)
+    try:
+        yield registry
+    finally:
+        instrument.set_metrics_registry(previous)
+
+
+def _detector(seed=0, n=150, p=5):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, p))
+    return X, RobustMahalanobisDetector().fit(X)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = float(now)
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += float(seconds)
+
+
+# ---------------------------------------------------------------------
+# ModelRegistry
+# ---------------------------------------------------------------------
+
+class TestModelRegistry:
+    def test_publish_load_roundtrip_scores_bitwise(self, tmp_path):
+        X, det = _detector()
+        registry = ModelRegistry(tmp_path)
+        record = registry.publish("det", det, meta={"campaign": "fig11"})
+        assert record.version == 1
+        assert record.method == "score_samples"
+        assert record.meta == {"campaign": "fig11"}
+        loaded, loaded_record = registry.load("det")
+        np.testing.assert_array_equal(
+            loaded.score_samples(X[:7]), det.score_samples(X[:7])
+        )
+        assert loaded_record.fingerprint == record.fingerprint
+
+    def test_versions_increment_and_latest_wins(self, tmp_path):
+        X, det1 = _detector(seed=1)
+        _, det2 = _detector(seed=2)
+        registry = ModelRegistry(tmp_path)
+        assert registry.publish("det", det1).version == 1
+        assert registry.publish("det", det2).version == 2
+        assert registry.versions("det") == [1, 2]
+        assert registry.latest_version("det") == 2
+        latest, record = registry.load("det")
+        assert record.version == 2
+        np.testing.assert_array_equal(
+            latest.score_samples(X[:5]), det2.score_samples(X[:5])
+        )
+        pinned, pinned_record = registry.load("det", 1)
+        assert pinned_record.version == 1
+        np.testing.assert_array_equal(
+            pinned.score_samples(X[:5]), det1.score_samples(X[:5])
+        )
+
+    def test_versions_are_immutable(self, tmp_path):
+        _, det = _detector()
+        registry = ModelRegistry(tmp_path)
+        registry.publish("det", det, version=3)
+        with pytest.raises(RegistryError, match="immutable"):
+            registry.publish("det", det, version=3)
+
+    def test_twin_roundtrip_and_method_mismatch_rejected(self, tmp_path):
+        X, det = _detector()
+        _, twin = _detector(seed=9)
+        registry = ModelRegistry(tmp_path)
+        record = registry.publish("det", det, twin=twin)
+        assert record.has_twin
+        assert record.twin_fingerprint
+        loaded_twin, _ = registry.load_twin("det")
+        np.testing.assert_array_equal(
+            loaded_twin.score_samples(X[:5]), twin.score_samples(X[:5])
+        )
+
+        class PredictOnly:
+            def predict(self, X):
+                return np.zeros(len(X))
+
+        with pytest.raises(RegistryError, match="score_samples"):
+            registry.publish("other", det, twin=PredictOnly())
+
+    def test_bad_names_and_missing_models_fail_loudly(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        _, det = _detector()
+        for bad in ("", "has space", "-leading", "a/b", None):
+            with pytest.raises(RegistryError):
+                registry.publish(bad, det)
+        with pytest.raises(RegistryError, match="no model named"):
+            registry.load("ghost")
+        with pytest.raises(RegistryError, match="no version"):
+            registry.publish("det", det)
+            registry.load("det", 42)
+
+    def test_method_resolution_and_listing(self, tmp_path):
+        _, det = _detector()
+        registry = ModelRegistry(tmp_path)
+        registry.publish("a", det)
+        registry.publish("b", det, method="predict")
+        assert registry.describe("b").method == "predict"
+        with pytest.raises(RegistryError, match="no callable method"):
+            registry.publish("c", det, method="decision_function")
+        assert registry.names() == ["a", "b"]
+        assert "a" in registry and "ghost" not in registry
+        assert len(registry) == 2
+
+
+# ---------------------------------------------------------------------
+# CircuitBreaker (fake clock — no sleeps)
+# ---------------------------------------------------------------------
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs):
+        clock = FakeClock()
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("recovery_time", 10.0)
+        kwargs.setdefault("probe_successes", 2)
+        kwargs.setdefault("jitter", 0.0)
+        breaker = CircuitBreaker(clock=clock, **kwargs)
+        return breaker, clock
+
+    def test_opens_at_threshold_and_success_resets(self):
+        breaker, _ = self._breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()          # streak broken
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_half_open_probe_slots_and_close(self):
+        breaker, clock = self._breaker(max_probes=1)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()            # probe slot reserved
+        assert not breaker.allow()        # max_probes=1: refused
+        breaker.record_success()          # 1/2 probe successes
+        assert breaker.state == "half_open"
+        assert breaker.allow()
+        breaker.record_success()          # 2/2: closes
+        assert breaker.state == "closed"
+
+    def test_probe_failure_reopens_with_new_window(self):
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.open_count == 1
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.open_count == 2
+        # window restarts from the re-open instant
+        clock.advance(9.0)
+        assert breaker.state == "open"
+        clock.advance(1.0)
+        assert breaker.state == "half_open"
+
+    def test_recovery_window_is_deterministic_and_jittered(self):
+        one = CircuitBreaker(recovery_time=2.0, jitter=0.5, seed=7)
+        two = CircuitBreaker(recovery_time=2.0, jitter=0.5, seed=7)
+        other = CircuitBreaker(recovery_time=2.0, jitter=0.5, seed=8)
+        windows_one = [one.recovery_window(k) for k in range(1, 6)]
+        windows_two = [two.recovery_window(k) for k in range(1, 6)]
+        assert windows_one == windows_two
+        assert windows_one != [other.recovery_window(k)
+                               for k in range(1, 6)]
+        assert all(2.0 <= w <= 3.0 for w in windows_one)
+        assert len(set(windows_one)) > 1   # varies across open ordinals
+
+    def test_trip_reset_and_validation(self):
+        breaker, _ = self._breaker()
+        breaker.trip()
+        assert breaker.state == "open"
+        breaker.reset()
+        assert breaker.state == "closed" and breaker.allow()
+        for kwargs in (
+            {"failure_threshold": 0},
+            {"recovery_time": float("nan")},
+            {"recovery_time": -1.0},
+            {"probe_successes": 0},
+            {"max_probes": 0},
+            {"jitter": 2.0},
+        ):
+            with pytest.raises(ValueError):
+                CircuitBreaker(**kwargs)
+
+
+# ---------------------------------------------------------------------
+# AdmissionController (fake clock)
+# ---------------------------------------------------------------------
+
+class TestAdmissionController:
+    def test_queue_depth_shedding(self):
+        admission = AdmissionController(max_queue_depth=4)
+        assert admission.try_admit(queue_depth=3) == (True, "")
+        assert admission.try_admit(queue_depth=4) == (False, "queue")
+        assert admission.admitted_count == 1
+        assert admission.shed_count == 1
+
+    def test_token_bucket_refill(self):
+        clock = FakeClock()
+        admission = AdmissionController(rate=2.0, burst=2, clock=clock)
+        assert admission.try_admit()[0]
+        assert admission.try_admit()[0]
+        assert admission.try_admit() == (False, "rate")
+        clock.advance(0.5)                 # one token back
+        assert admission.try_admit()[0]
+        assert admission.try_admit() == (False, "rate")
+        clock.advance(100.0)               # refills clip at burst
+        assert admission.tokens() == 2.0
+
+    def test_deadline_slack_shedding_precedence(self):
+        admission = AdmissionController(
+            rate=1.0, burst=1, max_queue_depth=1, min_slack=0.050,
+        )
+        healthy = Deadline(30.0)
+        doomed = Deadline(1e-9)
+        time.sleep(0.001)
+        # doomed wins the reason even when the queue is also full
+        assert admission.try_admit(
+            queue_depth=99, deadline=doomed
+        ) == (False, "deadline")
+        assert admission.try_admit(deadline=healthy) == (True, "")
+
+    def test_validation(self):
+        for kwargs in (
+            {"rate": 0.0},
+            {"rate": float("nan")},
+            {"burst": 0},
+            {"max_queue_depth": 0},
+            {"min_slack": -1.0},
+        ):
+            with pytest.raises(ValueError):
+                AdmissionController(**kwargs)
+
+
+# ---------------------------------------------------------------------
+# MicroBatcher
+# ---------------------------------------------------------------------
+
+class Counting:
+    def __init__(self, fn):
+        self.fn = fn
+        self.calls = 0
+        self.sizes = []
+
+    def __call__(self, payload):
+        self.calls += 1
+        self.sizes.append(np.asarray(payload).shape[0])
+        return self.fn(payload)
+
+
+class TestMicroBatcher:
+    def test_coalesces_but_scores_per_request(self, isolated_metrics):
+        X, det = _detector()
+        scorer = Counting(det.score_samples)
+        batcher = MicroBatcher(scorer, max_batch=8, max_wait=0.01)
+
+        async def run():
+            return await asyncio.gather(*[
+                batcher.submit(X[i:i + 2]) for i in range(6)
+            ])
+
+        results = asyncio.run(run())
+        # one scorer call per request (the bitwise contract) ...
+        assert scorer.calls == 6
+        for i, scores in enumerate(results):
+            np.testing.assert_array_equal(
+                scores, det.score_samples(X[i:i + 2])
+            )
+        # ... but far fewer executor dispatches than requests
+        flushes = isolated_metrics.snapshot().counters[
+            "serve.batch.flushes"
+        ]
+        assert flushes < 6
+
+    def test_max_batch_triggers_immediate_flush(self, isolated_metrics):
+        X, det = _detector()
+        batcher = MicroBatcher(
+            det.score_samples, max_batch=2, max_wait=60.0,
+        )
+
+        async def run():
+            return await asyncio.gather(
+                batcher.submit(X[:1]), batcher.submit(X[1:2]),
+            )
+
+        results = asyncio.run(run())
+        assert len(results) == 2
+
+    def test_poisoned_item_fails_alone(self):
+        def scorer(payload):
+            if np.isnan(np.asarray(payload)).any():
+                raise ValueError("poison")
+            return np.asarray(payload).sum(axis=1)
+
+        batcher = MicroBatcher(scorer, max_batch=8, max_wait=0.001)
+        good = np.ones((2, 3))
+        bad = np.full((2, 3), np.nan)
+
+        async def run():
+            return await asyncio.gather(
+                batcher.submit(good), batcher.submit(bad),
+                batcher.submit(good), return_exceptions=True,
+            )
+
+        first, second, third = asyncio.run(run())
+        np.testing.assert_array_equal(first, [3.0, 3.0])
+        assert isinstance(second, ValueError)
+        np.testing.assert_array_equal(third, [3.0, 3.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda x: x, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda x: x, max_wait=float("nan"))
+
+
+# ---------------------------------------------------------------------
+# ScoringService
+# ---------------------------------------------------------------------
+
+class TestScoringService:
+    def test_bitwise_identity_with_batch_path_under_concurrency(
+            self, tmp_path, isolated_metrics):
+        """The acceptance contract: concurrent served scores on the
+        non-degraded route are bitwise identical to the offline batch
+        path, per request, even when requests interleave in one
+        micro-batch."""
+        X, det = _detector(n=300)
+        registry = ModelRegistry(tmp_path)
+        registry.publish("det", det)
+        requests = [X[i * 6:(i + 1) * 6] for i in range(40)]
+        expected = [det.score_samples(chunk) for chunk in requests]
+        with ScoringService(registry, ServePolicy()) as service:
+            service.add_endpoint("det")
+
+            async def run():
+                return await asyncio.gather(*[
+                    service.score("det", chunk) for chunk in requests
+                ])
+
+            responses = asyncio.run(run())
+        for response, want in zip(responses, expected):
+            assert response.status == "ok"
+            assert response.served_by == "exact"
+            assert not response.degraded
+            np.testing.assert_array_equal(np.asarray(response.scores), want)
+        # and the coalescing actually batched: fewer flushes than
+        # requests
+        flushes = isolated_metrics.snapshot().counters[
+            "serve.endpoint.det.batch.flushes"
+        ]
+        assert flushes < len(requests)
+
+    def test_kernel_endpoint_with_nystrom_twin_bitwise(self, tmp_path):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(120, 4))
+        exact = OneClassSVM(kernel=RBFKernel(gamma=0.4)).fit(X)
+        twin = OneClassSVM(
+            kernel=RBFKernel(gamma=0.4),
+            approximation=NystromApproximation(
+                n_components=24, random_state=0
+            ),
+        ).fit(X)
+        registry = ModelRegistry(tmp_path)
+        registry.publish("ocsvm", exact, twin=twin)
+        with ScoringService(registry, ServePolicy()) as service:
+            endpoint = service.add_endpoint("ocsvm")
+            # the endpoint got its own warm engine bound to the model
+            assert endpoint.engine is not None
+            assert endpoint.engine.cache_info()["entries"] >= 1
+            response = service.score_sync("ocsvm", X[:9])
+            np.testing.assert_array_equal(
+                np.asarray(response.scores),
+                exact.decision_function(X[:9]),
+            )
+            # degraded path answers with the twin's scores, tagged
+            endpoint.breaker.trip()
+            degraded = service.score_sync("ocsvm", X[:9])
+            assert degraded.degraded and degraded.served_by == "twin"
+            np.testing.assert_array_equal(
+                np.asarray(degraded.scores),
+                twin.decision_function(X[:9]),
+            )
+
+    def test_alias_version_pinning_and_stats(self, tmp_path,
+                                             isolated_metrics):
+        X, det1 = _detector(seed=1)
+        _, det2 = _detector(seed=2)
+        registry = ModelRegistry(tmp_path)
+        registry.publish("det", det1)
+        registry.publish("det", det2)
+        with ScoringService(registry, ServePolicy()) as service:
+            service.add_endpoint("det", 1, alias="det-v1")
+            service.add_endpoint("det")
+            old = service.score_sync("det-v1", X[:4])
+            new = service.score_sync("det", X[:4])
+            assert old.model_version == 1
+            assert new.model_version == 2
+            np.testing.assert_array_equal(
+                np.asarray(old.scores), det1.score_samples(X[:4])
+            )
+            stats = service.stats()
+        assert set(stats["endpoints"]) == {"det", "det-v1"}
+        assert stats["endpoints"]["det"]["breaker"]["state"] == "closed"
+        assert "serve.ok" in stats["counters"]
+        assert "serve.latency_seconds" in stats["latency"]
+        assert stats["latency"]["serve.latency_seconds"]["count"] == 2
+
+    def test_response_raise_for_status_mapping(self, tmp_path):
+        X, det = _detector()
+        registry = ModelRegistry(tmp_path)
+        registry.publish("det", det)
+        policy = ServePolicy(rate=1e-6, burst=1)
+        with ScoringService(registry, policy) as service:
+            endpoint = service.add_endpoint("det")
+            ok = service.score_sync("det", X[:2])
+            assert ok.raise_for_status() is ok
+            shed = service.score_sync("det", X[:2])
+            with pytest.raises(OverloadedError) as excinfo:
+                shed.raise_for_status()
+            assert excinfo.value.reason == "rate"
+            endpoint.breaker.trip()
+            service.admission = ServePolicy().build_admission()
+            refused = service.score_sync("det", X[:2])
+            assert refused.status == "unavailable"
+            with pytest.raises(CircuitOpenError):
+                refused.raise_for_status()
+
+    def test_add_all_endpoints(self, tmp_path):
+        _, det = _detector()
+        registry = ModelRegistry(tmp_path)
+        registry.publish("a", det)
+        registry.publish("b", det)
+        with ScoringService(registry) as service:
+            service.add_all_endpoints()
+            assert set(service.endpoints()) == {"a", "b"}
+
+
+# ---------------------------------------------------------------------
+# ScoreServer / ScoreClient
+# ---------------------------------------------------------------------
+
+class TestScoreServer:
+    def test_round_trip_pipelining_and_bad_lines(self, tmp_path):
+        X, det = _detector()
+        registry = ModelRegistry(tmp_path)
+        registry.publish("det", det)
+        expected = det.score_samples(X[:3])
+
+        async def run():
+            with ScoringService(registry, ServePolicy()) as service:
+                service.add_endpoint("det")
+                async with ScoreServer(service) as server:
+                    async with ScoreClient(
+                        "127.0.0.1", server.port
+                    ) as client:
+                        assert (await client.ping())["pong"] is True
+                        bodies = await asyncio.gather(*[
+                            client.score("det", X[:3].tolist())
+                            for _ in range(5)
+                        ])
+                        stats = (await client.stats())["stats"]
+                        # a raw bad line on a second connection gets a
+                        # typed refusal, not a dropped connection
+                        reader, writer = await asyncio.open_connection(
+                            "127.0.0.1", server.port
+                        )
+                        writer.write(b"this is not json\n")
+                        await writer.drain()
+                        bad = await asyncio.wait_for(
+                            reader.readline(), timeout=5
+                        )
+                        writer.write(b'{"op": "nonsense"}\n')
+                        await writer.drain()
+                        unknown = await asyncio.wait_for(
+                            reader.readline(), timeout=5
+                        )
+                        writer.close()
+                        await writer.wait_closed()
+                        return bodies, stats, bad, unknown
+
+        bodies, stats, bad, unknown = asyncio.run(run())
+        for body in bodies:
+            assert body["status"] == "ok"
+            np.testing.assert_array_equal(
+                np.asarray(body["scores"]), expected
+            )
+        assert "det" in stats["endpoints"]
+        import json
+        assert json.loads(bad)["status"] == "invalid"
+        assert json.loads(unknown)["status"] == "invalid"
+        assert "unknown op" in json.loads(unknown)["reason"]

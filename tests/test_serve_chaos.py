@@ -1,0 +1,323 @@
+"""Chaos suite for the online scoring front end (repro.serve).
+
+The four injected faults from the serving acceptance contract:
+
+- a **slow model** (deadline overruns -> typed ``overloaded`` -> breaker
+  opens -> twin degradation),
+- a **poisoned request** (typed ``invalid``; the breaker never notices),
+- a **crashed scorer process** (broken pool -> degraded answer -> pool
+  rebuild -> exact recovery),
+- a **breaker flap** (fail, open, degraded traffic, half-open probes,
+  re-open, eventual recovery to the exact path).
+
+Throughout: every request gets a typed :class:`ScoreResponse` — no
+request may hang, and no fault may leak an unhandled exception.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import instrument
+from repro.mfgtest.outlier import RobustMahalanobisDetector
+from repro.serve import ModelRegistry, ScoringService, ServePolicy
+from repro.testing.chaos import (
+    ChaosError,
+    CrashingScorer,
+    FailingScorer,
+    SlowScorer,
+)
+
+pytestmark = pytest.mark.chaos
+
+RESPONSE_BOUND_SECONDS = 5.0  # generous CI bound: "typed, not hung"
+
+
+@pytest.fixture()
+def isolated_metrics():
+    registry = instrument.MetricsRegistry()
+    previous = instrument.set_metrics_registry(registry)
+    try:
+        yield registry
+    finally:
+        instrument.set_metrics_registry(previous)
+
+
+def _fit_pair(seed=0, n=160, p=5):
+    """An exact detector and a (differently fitted) stand-in twin."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, p))
+    exact = RobustMahalanobisDetector().fit(X)
+    twin = RobustMahalanobisDetector(trim_fraction=0.2).fit(X)
+    return X, exact, twin
+
+
+def _score(service, endpoint, payload, deadline=None):
+    started = time.perf_counter()
+    response = service.score_sync(endpoint, payload, deadline)
+    elapsed = time.perf_counter() - started
+    assert elapsed < RESPONSE_BOUND_SECONDS, (
+        f"request took {elapsed:.1f}s — the typed-response contract "
+        f"forbids hangs"
+    )
+    return response
+
+
+class TestSlowModel:
+    def test_deadline_overrun_is_typed_then_breaker_degrades(
+            self, tmp_path, isolated_metrics):
+        X, exact, twin = _fit_pair()
+        slow = SlowScorer(
+            exact, seconds=0.4, state_dir=str(tmp_path / "state"),
+        )
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish("slow", slow, twin=twin)
+        policy = ServePolicy(
+            deadline_seconds=0.05, failure_threshold=3,
+            recovery_seconds=60.0, max_wait_seconds=0.0,
+        )
+        with ScoringService(registry, policy) as service:
+            service.add_endpoint("slow")
+            for _ in range(3):
+                response = _score(service, "slow", X[:4])
+                assert response.status == "overloaded"
+                assert response.reason == "deadline"
+            # three timeouts tripped the breaker: traffic now lands on
+            # the twin, fast and tagged
+            response = _score(service, "slow", X[:4])
+            assert response.status == "ok"
+            assert response.degraded is True
+            assert response.served_by == "twin"
+            assert "circuit open" in response.reason
+            expected = twin.score_samples(X[:4])
+            np.testing.assert_array_equal(
+                np.asarray(response.scores), expected
+            )
+        counters = isolated_metrics.snapshot().counters
+        assert counters["serve.deadline_timeouts"] == 3
+        assert counters["serve.degraded"] >= 1
+
+    def test_slow_model_without_twin_stays_typed(
+            self, tmp_path, isolated_metrics):
+        X, exact, _ = _fit_pair()
+        slow = SlowScorer(
+            exact, seconds=0.4, state_dir=str(tmp_path / "state"),
+        )
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish("slow", slow)
+        policy = ServePolicy(
+            deadline_seconds=0.05, failure_threshold=2,
+            recovery_seconds=60.0, max_wait_seconds=0.0,
+        )
+        with ScoringService(registry, policy) as service:
+            service.add_endpoint("slow")
+            for _ in range(2):
+                assert _score(service, "slow", X[:2]).status == "overloaded"
+            # breaker open, nothing to degrade to: typed refusal
+            response = _score(service, "slow", X[:2])
+            assert response.status == "unavailable"
+            assert response.scores is None
+
+
+class TestPoisonedRequest:
+    def test_poison_is_invalid_and_breaker_ignores_it(
+            self, tmp_path, isolated_metrics):
+        X, exact, _ = _fit_pair()
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish("det", exact)
+        with ScoringService(registry, ServePolicy()) as service:
+            endpoint = service.add_endpoint("det")
+            poisoned = X[:3].copy()
+            poisoned[1, 2] = np.nan
+            for bad, why in [
+                (poisoned, "non-finite"),
+                (np.array([]), "empty"),
+                ([[["nested"]]], "malformed"),
+                (np.ones((2, 2, 2)), "1-D or 2-D"),
+            ]:
+                response = _score(service, "det", bad)
+                assert response.status == "invalid"
+                assert why in response.reason
+                assert response.scores is None
+            # the scorer never saw the poison and the breaker is
+            # untouched: the next healthy request runs exact
+            assert endpoint.breaker.snapshot()["failures"] == 0
+            good = _score(service, "det", X[:3])
+            assert good.status == "ok" and good.served_by == "exact"
+            np.testing.assert_array_equal(
+                np.asarray(good.scores), exact.score_samples(X[:3])
+            )
+        counters = isolated_metrics.snapshot().counters
+        assert counters["serve.poisoned"] == 4
+        assert counters["serve.invalid"] == 4
+
+    def test_unknown_endpoint_is_invalid_not_error(
+            self, tmp_path, isolated_metrics):
+        registry = ModelRegistry(tmp_path / "models")
+        with ScoringService(registry, ServePolicy()) as service:
+            response = _score(service, "ghost", [[1.0, 2.0]])
+            assert response.status == "invalid"
+            assert "unknown endpoint" in response.reason
+
+
+class TestCrashedScorerProcess:
+    def test_crash_degrades_then_pool_rebuild_recovers(
+            self, tmp_path, isolated_metrics):
+        X, exact, twin = _fit_pair()
+        crasher = CrashingScorer(
+            exact, crash_times=1, state_dir=str(tmp_path / "state"),
+        )
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish("crashy", crasher, twin=twin)
+        policy = ServePolicy(
+            executor="process", max_workers=1, failure_threshold=5,
+            recovery_seconds=60.0, max_wait_seconds=0.0,
+            deadline_seconds=30.0,
+        )
+        with ScoringService(registry, policy) as service:
+            service.add_endpoint("crashy")
+            # call 1: the worker process dies mid-score; the pool breaks
+            # and the twin answers, tagged
+            first = _score(service, "crashy", X[:3])
+            assert first.status == "ok"
+            assert first.degraded is True
+            assert first.served_by == "twin"
+            assert "crash" in first.reason
+            # call 2: breaker still closed (1 < threshold), the pool is
+            # rebuilt, the crash budget is spent -> exact path recovers
+            second = _score(service, "crashy", X[:3])
+            assert second.status == "ok"
+            assert second.degraded is False
+            assert second.served_by == "exact"
+            np.testing.assert_array_equal(
+                np.asarray(second.scores), exact.score_samples(X[:3])
+            )
+        counters = isolated_metrics.snapshot().counters
+        assert counters["serve.pool_breaks"] == 1
+        assert counters["serve.endpoint.crashy.pool_rebuilds"] == 2
+
+
+class TestBreakerFlap:
+    def test_flap_open_probe_reopen_then_recover(
+            self, tmp_path, isolated_metrics):
+        X, exact, twin = _fit_pair()
+        failer = FailingScorer(
+            exact, fail_times=3, state_dir=str(tmp_path / "state"),
+        )
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish("flappy", failer, twin=twin)
+        recovery = 0.05
+        policy = ServePolicy(
+            failure_threshold=2, recovery_seconds=recovery,
+            probe_successes=1, breaker_jitter=0.25,
+            max_wait_seconds=0.0, deadline_seconds=30.0,
+        )
+        with ScoringService(registry, policy) as service:
+            endpoint = service.add_endpoint("flappy")
+            breaker = endpoint.breaker
+            # failures 1-2: exact raises ChaosError, the twin covers,
+            # and the second failure opens the breaker
+            for index in range(2):
+                response = _score(service, "flappy", X[:2])
+                assert response.status == "ok"
+                assert response.degraded is True
+                assert "scorer failed" in response.reason
+            assert breaker.state == "open"
+            assert failer.calls() == 2
+            # while open: traffic degrades without touching the scorer
+            response = _score(service, "flappy", X[:2])
+            assert response.degraded is True
+            assert failer.calls() == 2
+            # after the recovery window a probe goes through, the
+            # scorer fails its 3rd (final) injected failure, and the
+            # breaker re-opens — that's the flap
+            time.sleep(recovery * 1.5)
+            response = _score(service, "flappy", X[:2])
+            assert response.degraded is True
+            assert failer.calls() == 3
+            assert breaker.state == "open"
+            assert breaker.snapshot()["open_count"] == 2
+            # next probe succeeds (injection exhausted): breaker closes
+            # and the exact path is back, bitwise
+            time.sleep(recovery * 1.5)
+            response = _score(service, "flappy", X[:2])
+            assert response.status == "ok"
+            assert response.degraded is False
+            assert response.served_by == "exact"
+            assert breaker.state == "closed"
+            np.testing.assert_array_equal(
+                np.asarray(response.scores), exact.score_samples(X[:2])
+            )
+        counters = isolated_metrics.snapshot().counters
+        assert counters["serve.breaker.flappy.opened"] == 2
+        assert counters["serve.breaker.flappy.closed"] == 1
+
+
+class TestOverloadShedding:
+    def test_queue_depth_and_rate_shedding_are_typed(
+            self, tmp_path, isolated_metrics):
+        X, exact, _ = _fit_pair()
+        slow = SlowScorer(
+            exact, seconds=0.3, state_dir=str(tmp_path / "state"),
+        )
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish("det", slow)
+        policy = ServePolicy(
+            max_queue_depth=2, failure_threshold=100,
+            max_wait_seconds=0.0, max_workers=1,
+        )
+        with ScoringService(registry, policy) as service:
+            service.add_endpoint("det")
+
+            async def flood():
+                return await asyncio.gather(*[
+                    service.score("det", X[:2]) for _ in range(8)
+                ])
+
+            responses = asyncio.run(flood())
+        statuses = [response.status for response in responses]
+        shed = [r for r in responses if r.status == "overloaded"]
+        assert len(shed) >= 4, statuses
+        assert all(r.reason == "queue" for r in shed)
+        # shed responses came back instantly, not after the slow scorer
+        assert all(r.latency_seconds < 0.05 for r in shed)
+        counters = isolated_metrics.snapshot().counters
+        assert counters["serve.admission.shed_queue"] == len(shed)
+
+    def test_rate_limit_shed(self, tmp_path, isolated_metrics):
+        X, exact, _ = _fit_pair()
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish("det", exact)
+        policy = ServePolicy(rate=1e-3, burst=2, max_wait_seconds=0.0)
+        with ScoringService(registry, policy) as service:
+            service.add_endpoint("det")
+            statuses = [
+                _score(service, "det", X[:2]).status for _ in range(4)
+            ]
+        assert statuses[:2] == ["ok", "ok"]
+        assert statuses[2:] == ["overloaded", "overloaded"]
+        counters = isolated_metrics.snapshot().counters
+        assert counters["serve.admission.shed_rate"] == 2
+
+
+class TestScorerErrorsWithoutTwin:
+    def test_error_is_typed_and_chaoserror_text_survives(
+            self, tmp_path, isolated_metrics):
+        X, exact, _ = _fit_pair()
+        failer = FailingScorer(
+            exact, fail_times=1, state_dir=str(tmp_path / "state"),
+        )
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish("det", failer)
+        with ScoringService(registry, ServePolicy()) as service:
+            service.add_endpoint("det")
+            response = _score(service, "det", X[:2])
+            assert response.status == "error"
+            assert "injected scorer failure" in response.reason
+            with pytest.raises(Exception) as excinfo:
+                response.raise_for_status()
+            assert "error" in str(excinfo.value)
+            # recovery needs no breaker transition (1 < threshold)
+            assert _score(service, "det", X[:2]).status == "ok"

@@ -208,3 +208,106 @@ class TestDuplicateClaimRace:
         assert second["committed"] == 0
         assert second["resumed"] == 4
         assert run.merge().results == list(range(4))
+
+
+# ---------------------------------------------------------------------
+# graceful shutdown (SIGTERM/SIGINT drain)
+# ---------------------------------------------------------------------
+
+class TestGracefulShutdown:
+    def test_stop_event_finishes_task_and_releases_lease(self, tmp_path):
+        """A stop request mid-shard: the in-flight task commits, the
+        worker returns ``stopped=True``, and its lease is released
+        immediately — a successor claims (not steals) the remainder."""
+        import threading
+
+        root = str(tmp_path / "root")
+        payloads = list(range(8))
+        run = create_run(
+            root, slow_ident, payloads, n_shards=2, lease_ttl=60.0,
+        )
+        stop = threading.Event()
+        result = {}
+
+        def drain():
+            result["stats"] = run_worker(
+                run.run_dir, worker_id="draining", wait=True,
+                lease_ttl=60.0, stop_event=stop,
+            )
+
+        worker = threading.Thread(target=drain)
+        worker.start()
+        store = run.results_store()
+        deadline = time.monotonic() + 30.0
+        while len(store) < 1:
+            assert time.monotonic() < deadline, "worker never committed"
+            time.sleep(0.005)
+        stop.set()
+        worker.join(timeout=30)
+        assert not worker.is_alive()
+
+        stats = result["stats"]
+        assert stats["stopped"] is True
+        assert not run.all_done()
+        # the lease must be *released*, not abandoned: with a 60s TTL a
+        # successor could only proceed by fresh claims, never steals
+        successor = run_worker(
+            run.run_dir, worker_id="successor", wait=True, lease_ttl=60.0,
+        )
+        assert successor["steals"] == 0
+        assert run.all_done()
+        assert run.merge().results == payloads
+        assert run.merge().stats["duplicate_commits"] == 0
+
+    def test_sigterm_drains_spawned_worker(self, tmp_path):
+        """SIGTERM a real worker process: it exits 0 (graceful return,
+        not a signal death), its lease comes back released, and the run
+        completes without any steals under a long TTL."""
+        root = str(tmp_path / "root")
+        payloads = list(range(12))
+        run = create_run(
+            root, slow_ident, payloads, n_shards=4, lease_ttl=60.0,
+        )
+        workers = spawn_local_workers(run.run_dir, 1)
+        try:
+            store = run.results_store()
+            deadline = time.monotonic() + 30.0
+            while len(store) < 1:
+                assert time.monotonic() < deadline, "worker never committed"
+                time.sleep(0.01)
+            os.kill(workers[0].pid, signal.SIGTERM)
+            workers[0].join(timeout=30)
+            # graceful drain returns normally — unlike the SIGKILL test
+            # above, where exitcode is -9
+            assert workers[0].exitcode == 0
+        finally:
+            for process in workers:
+                if process.is_alive():
+                    process.kill()
+                process.join(timeout=5)
+
+        assert not run.all_done()
+        successor = run_worker(
+            run.run_dir, worker_id="successor", wait=True, lease_ttl=60.0,
+        )
+        assert successor["steals"] == 0
+        assert run.all_done()
+        assert run.merge().results == payloads
+        assert run.merge().stats["duplicate_commits"] == 0
+
+    def test_stop_before_any_claim_is_clean(self, tmp_path):
+        """A worker told to stop before it claims anything exits with
+        ``stopped=True`` and zero claims."""
+        import threading
+
+        root = str(tmp_path / "root")
+        run = create_run(root, slow_ident, list(range(4)), n_shards=2)
+        stop = threading.Event()
+        stop.set()
+        stats = run_worker(
+            run.run_dir, worker_id="never-started", wait=True,
+            stop_event=stop,
+        )
+        assert stats["stopped"] is True
+        assert stats["claims"] == 0
+        assert not run.all_done()

@@ -454,3 +454,129 @@ class TestExporters:
 
     def test_format_metrics_empty(self):
         assert "no metrics" in format_metrics(MetricsRegistry().snapshot())
+
+
+# ---------------------------------------------------------------------
+# concurrent emission (the serving layer's usage pattern)
+# ---------------------------------------------------------------------
+
+class TestConcurrentEmission:
+    """The serve front end emits from the asyncio event loop *and* from
+    thread-pool scorer workers into the same registry.  Counts must be
+    exact under that mix — a lost update in a latency histogram is a
+    silent SLO lie."""
+
+    N_THREADS = 8
+    PER_THREAD = 400
+
+    def test_barrier_hammer_counts_are_exact(self, registry):
+        """N threads released by a barrier, all hammering the same
+        counter and histogram: totals must be exactly N * M."""
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def hammer(index):
+            rng = np.random.default_rng(index)
+            values = rng.uniform(0.0, 1.0, size=self.PER_THREAD)
+            barrier.wait()
+            for value in values:
+                registry.increment("hammer.requests")
+                registry.observe("hammer.latency", float(value))
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,))
+            for i in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        expected = self.N_THREADS * self.PER_THREAD
+        snap = registry.snapshot()
+        assert snap.counters["hammer.requests"] == expected
+        histogram = snap.histograms["hammer.latency"]
+        assert histogram["count"] == expected
+        # every observation is in [0, 1]: the running total and extrema
+        # must agree with that exactly
+        assert 0.0 <= histogram["min"] <= histogram["max"] <= 1.0
+        assert abs(histogram["total"]
+                   - histogram["mean"] * expected) < 1e-6
+
+    def test_p2_quantiles_sane_under_concurrency(self, registry):
+        """P-squared estimates from interleaved uniform streams stay
+        near the true quantiles and keep their ordering invariant."""
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def hammer(index):
+            rng = np.random.default_rng(1000 + index)
+            values = rng.uniform(0.0, 1.0, size=self.PER_THREAD)
+            barrier.wait()
+            for value in values:
+                registry.observe("p2.stream", float(value))
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,))
+            for i in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        histogram = registry.snapshot().histograms["p2.stream"]
+        assert histogram["count"] == self.N_THREADS * self.PER_THREAD
+        assert 0.35 < histogram["p50"] < 0.65
+        assert 0.75 < histogram["p90"] < 1.0
+        assert histogram["p50"] <= histogram["p90"] <= histogram["p99"]
+        assert histogram["p99"] <= histogram["max"] <= 1.0
+
+    def test_asyncio_plus_thread_pool_emitters(self, registry):
+        """The serve-shaped mix: event-loop coroutines and thread-pool
+        workers emitting concurrently into one registry, exact counts
+        on both sides."""
+        import asyncio
+        from concurrent.futures import ThreadPoolExecutor
+
+        n_coros, n_workers, per_emitter = 16, 4, 200
+
+        def worker_emit(index):
+            for _ in range(per_emitter):
+                registry.increment("mix.worker")
+                with registry.timer("mix.latency"):
+                    pass
+            return index
+
+        async def coro_emit(index):
+            for _ in range(per_emitter):
+                registry.increment("mix.loop")
+                registry.observe("mix.latency", 0.001 * index)
+                if index % 7 == 0:
+                    await asyncio.sleep(0)
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                futures = [
+                    loop.run_in_executor(pool, worker_emit, i)
+                    for i in range(n_workers)
+                ]
+                await asyncio.gather(
+                    *[coro_emit(i) for i in range(n_coros)], *futures,
+                )
+
+        asyncio.run(main())
+        snap = registry.snapshot()
+        assert snap.counters["mix.loop"] == n_coros * per_emitter
+        assert snap.counters["mix.worker"] == n_workers * per_emitter
+        total = (n_coros + n_workers) * per_emitter
+        assert snap.histograms["mix.latency"]["count"] == total
+
+    def test_timer_context_manager_observes_once_per_use(self, registry):
+        with registry.timer("timed.block"):
+            time.sleep(0.01)
+        record = registry.snapshot().histograms["timed.block"]
+        assert record["count"] == 1
+        assert record["total"] >= 0.01
+        # the timer observes even when the block raises
+        with pytest.raises(RuntimeError):
+            with registry.timer("timed.block"):
+                raise RuntimeError("boom")
+        assert registry.snapshot().histograms["timed.block"]["count"] == 2
