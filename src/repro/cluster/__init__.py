@@ -1,6 +1,7 @@
 """Unsupervised clustering algorithms (Section 2.4 catalogue)."""
 
 from .affinity import AffinityPropagation
+from .centroid import NearestCentroid
 from .dbscan import DBSCAN, NOISE
 from .hierarchical import AgglomerativeClustering
 from .kmeans import KMeans, kmeans_plus_plus
@@ -20,6 +21,7 @@ __all__ = [
     "KMeans",
     "MeanShift",
     "NOISE",
+    "NearestCentroid",
     "SpectralClustering",
     "StabilityReport",
     "adjusted_rand_index",

@@ -294,6 +294,67 @@ def check_paired(X, y) -> None:
         )
 
 
+def supports_partial_fit(estimator) -> bool:
+    """Whether *estimator* implements the incremental-fit contract.
+
+    The contract (see ``docs/streaming.md``): ``partial_fit(X, y,
+    classes=...)`` (``partial_fit(X)`` for unsupervised estimators)
+    consumes one micro-batch and updates fitted state in place.  The
+    first call on a supervised estimator must receive ``classes=`` (the
+    complete label vocabulary — a stream cannot be re-scanned); later
+    calls must reject labels outside it.  Estimators that accumulate
+    exact sufficient statistics additionally guarantee *batch
+    equivalence*: any micro-batching (including any permutation of the
+    batches) yields a model bitwise-identical to one ``fit`` on the
+    concatenation.  SGD-style estimators guarantee only the seeded
+    contract: the same stream in the same order reproduces the same
+    model.
+    """
+    return callable(getattr(estimator, "partial_fit", None))
+
+
+def resolve_partial_fit_classes(estimator, y, classes=None) -> np.ndarray:
+    """Validate/initialize ``classes_`` for a supervised ``partial_fit``.
+
+    First call: *classes* is required (it fixes the label vocabulary
+    and the column order of every probability output for the rest of
+    the stream) and must hold at least two distinct labels.  Later
+    calls: *classes*, when given, must match the established
+    vocabulary.  Every call checks that *y* only contains known labels
+    — a streaming model cannot silently grow its output space
+    mid-stream.  Returns the established class array.
+    """
+    y = np.asarray(y)
+    known = getattr(estimator, "classes_", None)
+    if known is None:
+        if classes is None:
+            raise ValueError(
+                f"{type(estimator).__name__}.partial_fit requires "
+                "classes= on the first call: a stream cannot be "
+                "re-scanned to discover the label vocabulary"
+            )
+        known = np.unique(np.asarray(classes))
+        if len(known) < 2:
+            raise ValueError(
+                "classes must contain at least two distinct labels"
+            )
+        estimator.classes_ = known
+    elif classes is not None:
+        offered = np.unique(np.asarray(classes))
+        if len(offered) != len(known) or not np.array_equal(offered, known):
+            raise ValueError(
+                f"classes= changed mid-stream: established "
+                f"{known.tolist()!r}, got {offered.tolist()!r}"
+            )
+    unseen = np.setdiff1d(y, known)
+    if len(unseen):
+        raise ValueError(
+            f"y contains labels outside the declared classes: "
+            f"{unseen.tolist()!r} not in {known.tolist()!r}"
+        )
+    return known
+
+
 class ClassifierMixin:
     """Mixin adding ``score`` (accuracy) for classifiers."""
 

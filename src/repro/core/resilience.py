@@ -651,7 +651,15 @@ class LeaseFile:
             return None
 
     def is_stale(self, record: Optional[dict] = None) -> bool:
-        """Whether the lease exists but its heartbeat has expired."""
+        """Whether the lease exists but its heartbeat has expired.
+
+        A heartbeat is trusted only within a plausibility window: a
+        non-finite value (corrupt record) or one more than one TTL in
+        the *future* (cross-host clock skew, a stepped clock) would
+        otherwise make ``now - heartbeat > ttl`` permanently False and
+        leave a dead worker's lease unstealable forever.  Both count as
+        stale so the shard run can make progress.
+        """
         record = record if record is not None else self.read()
         if record is None:
             return os.path.exists(self.path)
@@ -659,7 +667,14 @@ class LeaseFile:
             heartbeat = float(record["heartbeat_at"])
         except (KeyError, TypeError, ValueError):
             return True
-        return (time.time() - heartbeat) > self.ttl
+        if not math.isfinite(heartbeat):
+            return True
+        age = time.time() - heartbeat
+        # future-dated beyond one TTL: no renewal discipline could have
+        # produced it, so the record is not evidence of a live owner
+        if age < -self.ttl:
+            return True
+        return age > self.ttl
 
     def held(self) -> bool:
         """Whether this instance's owner token currently holds the lease."""

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from ..core import instrument
+from ..core.exceptions import CheckpointError
 from ..core.resilience import CheckpointStore, fingerprint
 
 
@@ -123,11 +124,22 @@ class KnowledgeDiscoveryLoop:
     run_key:
         Namespaces this loop's checkpoints inside a shared store (two
         different campaigns in one directory never collide).
+    run_fingerprint:
+        Identity of the campaign's *callbacks*.  Defaults to a
+        structural fingerprint over ``(mine, judge, adjust)`` (their
+        module-qualified names), so resuming under the same ``run_key``
+        with different callbacks raises
+        :class:`~repro.core.exceptions.CheckpointError` instead of
+        silently replaying a prior campaign's stored trajectory.  Pass
+        an explicit string to version the campaign yourself (e.g. bump
+        it when a callback's *body* changes, which a name-based
+        fingerprint cannot see).
     """
 
     def __init__(self, mine: Callable, judge: Callable, adjust: Callable,
                  max_iterations: int = 5, checkpoint=None,
-                 run_key: str = "kdl"):
+                 run_key: str = "kdl",
+                 run_fingerprint: Optional[str] = None):
         if max_iterations < 1:
             raise ValueError("max_iterations must be positive")
         self.mine = mine
@@ -140,13 +152,51 @@ class KnowledgeDiscoveryLoop:
             else CheckpointStore(checkpoint, allow_pickle=True)
         )
         self.run_key = run_key
+        self.run_fingerprint = (
+            run_fingerprint
+            if run_fingerprint is not None
+            else fingerprint("kdl-campaign", mine, judge, adjust)
+        )
         self.history: List[IterationRecord] = []
         self.resumed_iterations = 0
 
+    def _meta_key(self) -> str:
+        return fingerprint("kdl-meta", self.run_key)
+
     def _iteration_key(self, iteration: int) -> str:
         return fingerprint(
-            "kdl", self.run_key, self.max_iterations, iteration
+            "kdl", self.run_key, self.run_fingerprint,
+            self.max_iterations, iteration
         )
+
+    def _check_campaign_identity(self) -> None:
+        """Refuse to resume a ``run_key`` whose callbacks changed.
+
+        Without this, a loop resumed over a same-``run_key`` store left
+        by a *different* campaign silently replays the stale stored
+        ``(result, accepted, feedback)`` trajectory and never calls the
+        new ``mine``/``judge`` at all.
+        """
+        stored = self.checkpoint.get(self._meta_key())
+        if stored is None:
+            self.checkpoint.put(
+                self._meta_key(),
+                {"run_key": self.run_key,
+                 "run_fingerprint": self.run_fingerprint},
+            )
+            return
+        prior = stored.get("run_fingerprint")
+        if prior != self.run_fingerprint:
+            raise CheckpointError(
+                f"checkpoint store already holds a campaign under "
+                f"run_key={self.run_key!r} with a different identity "
+                f"(stored run_fingerprint {prior!r}, this loop "
+                f"{self.run_fingerprint!r}).  The mine/judge/adjust "
+                "callbacks changed: resuming would silently replay the "
+                "prior campaign's results.  Use a fresh run_key (or "
+                "store), clear the store, or pass the matching "
+                "run_fingerprint= explicitly."
+            )
 
     def run(self, context) -> Optional[object]:
         """Iterate until a result is accepted or iterations run out.
@@ -157,6 +207,8 @@ class KnowledgeDiscoveryLoop:
         """
         self.history = []
         self.resumed_iterations = 0
+        if self.checkpoint is not None:
+            self._check_campaign_identity()
         metrics = instrument.metrics_registry()
         for iteration in range(self.max_iterations):
             stored = (

@@ -26,6 +26,7 @@ from .linear import (
     LeastSquaresRegressor,
     LogisticRegression,
     RidgeRegressor,
+    SGDLogisticRegression,
     dual_coordinate_linear_svc,
 )
 from .multiclass import OneVsRestClassifier
@@ -83,6 +84,7 @@ __all__ = [
     "RidgeRegressor",
     "Rule",
     "RuleSetClassifier",
+    "SGDLogisticRegression",
     "SVC",
     "SVR",
     "SelectKBest",

@@ -19,7 +19,9 @@ from ..core.base import (
     as_kernel_samples,
     check_fitted,
     check_paired,
+    resolve_partial_fit_classes,
 )
+from ..core.rng import ensure_rng
 
 
 class LeastSquaresRegressor(Estimator, RegressorMixin):
@@ -283,6 +285,119 @@ class LogisticRegression(Estimator, ClassifierMixin):
             previous_loss = loss
         self.coef_ = w
         self.intercept_ = b
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        check_fitted(self, "coef_")
+        X = as_2d_array(X)
+        return X @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities, one column per entry of ``classes_``."""
+        z = self.decision_function(X)
+        positive = 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))
+        return np.column_stack([1.0 - positive, positive])
+
+    def predict(self, X) -> np.ndarray:
+        positive = self.predict_proba(X)[:, 1]
+        return np.where(positive >= 0.5, self.classes_[1], self.classes_[0])
+
+
+class SGDLogisticRegression(Estimator, ClassifierMixin):
+    """Binary logistic regression trained by seeded mini-batch SGD —
+    the streaming counterpart of :class:`LogisticRegression`.
+
+    This is an *order-dependent* streaming model: unlike the
+    sufficient-statistics estimators, SGD cannot promise
+    batch-equivalence, so it carries the weaker seeded contract from
+    ``docs/streaming.md``:
+
+    - :meth:`partial_fit` applies exactly one mini-batch gradient step
+      per call; the same stream, fed in the same order with the same
+      parameters, reproduces bitwise the same model.
+    - :meth:`fit` is defined as ``max_epochs`` passes of seeded-shuffled
+      mini-batches through :meth:`partial_fit`, so it is deterministic
+      for a fixed ``random_state`` — but it is *not* equal to feeding
+      the stream once.
+
+    The learning rate follows an inverse-scaling schedule
+    ``learning_rate / (1 + t)**power_t`` with ``t`` counting gradient
+    steps, so long-running streams settle rather than oscillate.
+    """
+
+    def __init__(self, alpha: float = 1e-4, learning_rate: float = 0.5,
+                 power_t: float = 0.25, batch_size: int = 32,
+                 max_epochs: int = 10, shuffle: bool = True,
+                 random_state=None):
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if max_epochs < 1:
+            raise ValueError("max_epochs must be positive")
+        self.alpha = alpha
+        self.learning_rate = learning_rate
+        self.power_t = power_t
+        self.batch_size = batch_size
+        self.max_epochs = max_epochs
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def _reset_stream(self) -> None:
+        for attribute in ("classes_", "coef_", "intercept_", "t_",
+                          "_n_features_"):
+            if hasattr(self, attribute):
+                delattr(self, attribute)
+
+    def fit(self, X, y) -> "SGDLogisticRegression":
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_paired(X, y)
+        classes = np.unique(y)
+        if len(classes) != 2:
+            raise ValueError(
+                f"SGDLogisticRegression is binary; got {len(classes)} classes"
+            )
+        self._reset_stream()
+        rng = ensure_rng(self.random_state)
+        n = len(X)
+        for _ in range(self.max_epochs):
+            order = rng.permutation(n) if self.shuffle else np.arange(n)
+            for start in range(0, n, self.batch_size):
+                chunk = order[start:start + self.batch_size]
+                self.partial_fit(X[chunk], y[chunk], classes=classes)
+        return self
+
+    def partial_fit(self, X, y, classes=None) -> "SGDLogisticRegression":
+        """One mini-batch gradient step on the logistic loss."""
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_paired(X, y)
+        if classes is not None and len(np.unique(np.asarray(classes))) != 2:
+            raise ValueError(
+                "SGDLogisticRegression is binary; classes must hold "
+                "exactly two labels"
+            )
+        resolve_partial_fit_classes(self, y, classes)
+        if not hasattr(self, "coef_"):
+            self._n_features_ = X.shape[1]
+            self.coef_ = np.zeros(self._n_features_)
+            self.intercept_ = 0.0
+            self.t_ = 0
+        if X.shape[1] != self._n_features_:
+            raise ValueError(
+                f"feature width changed mid-stream: established "
+                f"{self._n_features_}, got {X.shape[1]}"
+            )
+        t = (y == self.classes_[1]).astype(float)
+        z = X @ self.coef_ + self.intercept_
+        p = 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))
+        gradient_w = X.T @ (p - t) / len(X) + self.alpha * self.coef_
+        gradient_b = float(np.mean(p - t))
+        eta = self.learning_rate / (1.0 + self.t_) ** self.power_t
+        self.coef_ = self.coef_ - eta * gradient_w
+        self.intercept_ = self.intercept_ - eta * gradient_b
+        self.t_ += 1
         return self
 
     def decision_function(self, X) -> np.ndarray:

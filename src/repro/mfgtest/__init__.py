@@ -20,12 +20,19 @@ from .outlier import (
     OneClassSVMDetector,
     PCAOutlierDetector,
     RobustMahalanobisDetector,
+    StreamingMahalanobisDetector,
 )
 from .returns import (
     DEFAULT_DEFECT_SIGNATURE,
     CustomerReturnStudy,
     ReturnStudyReport,
     ScreeningOutcome,
+)
+from .streaming import (
+    MicroBatch,
+    StreamingRunResult,
+    StreamingTestFloor,
+    run_streaming_discovery,
 )
 from .testgen import (
     ParametricTestGenerator,
@@ -60,6 +67,7 @@ __all__ = [
     "ICAIddqScreen",
     "IddqDataset",
     "InterWaferAnalysis",
+    "MicroBatch",
     "OneClassSVMDetector",
     "PCAOutlierDetector",
     "ParametricTestGenerator",
@@ -68,6 +76,9 @@ __all__ = [
     "RobustMahalanobisDetector",
     "SIGNATURE_FEATURE_NAMES",
     "ScreeningOutcome",
+    "StreamingMahalanobisDetector",
+    "StreamingRunResult",
+    "StreamingTestFloor",
     "TestDataset",
     "TestDropGenerator",
     "WaferAnalysisResult",
@@ -82,6 +93,7 @@ __all__ = [
     "make_wafer_map",
     "random_signature",
     "run_drop_study",
+    "run_streaming_discovery",
     "signature_features",
     "spatial_basis",
     "total_current_screen",

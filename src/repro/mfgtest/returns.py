@@ -10,8 +10,11 @@ methodology learns from the *one* known return:
    confirm the return projects as an outlier (Fig. 11 plot 1);
 3. apply the same model to parts manufactured months later — it flags
    the next return before it ships (plot 2);
-4. apply it (with per-product standardization) to a sister product a
-   year later — it flags that product's returns too (plot 3).
+4. apply it to a sister product a year later — it flags that product's
+   returns too (plot 3).  Standardization stays in the *training*
+   population's robust coordinate frame throughout: refitting the
+   scaler per population would re-center a shifted lot and apply the
+   learned threshold under train/serve skew.
 
 Chips here come from :class:`~repro.mfgtest.testgen.ParametricTestGenerator`
 with a latent-defect signature: the defect shifts a sparse set of tests
@@ -117,6 +120,7 @@ class CustomerReturnStudy:
         self.n_select = n_select
         self.threshold_quantile = threshold_quantile
         self._rng = rng
+        self.scaler_: Optional[RobustScaler] = None
         self.selector_: Optional[OutlierSeparationSelector] = None
         self.detector_: Optional[RobustMahalanobisDetector] = None
 
@@ -134,8 +138,22 @@ class CustomerReturnStudy:
         return dataset.passing()
 
     def _standardize(self, X: np.ndarray) -> np.ndarray:
-        """Per-population robust standardization (methodology transfer)."""
-        return RobustScaler().fit(X).transform(X)
+        """Robust standardization in the *training* coordinate frame.
+
+        The scaler is fit exactly once, on the training population
+        (:meth:`run`), and reused for every later screen.  Refitting it
+        per population — the original implementation — silently moved
+        each screened population into its own coordinate frame, so the
+        outlier threshold learned at train time was applied to
+        later/sister parts under train/serve skew: a systematically
+        shifted sister lot would be re-centered to look in-family.
+        """
+        if self.scaler_ is None:
+            raise RuntimeError(
+                "run() the study before screening; the scaler is fit on "
+                "the training population"
+            )
+        return self.scaler_.transform(X)
 
     def _screen(self, name: str, dataset: TestDataset) -> ScreeningOutcome:
         Z = self._standardize(dataset.X)[:, self.selector_.selected_indices_]
@@ -177,6 +195,10 @@ class CustomerReturnStudy:
                 "no return in the training batch; increase n_train or "
                 "train_defect_rate"
             )
+
+        # one scaler, fit on the training population: every later
+        # screen happens in this coordinate frame (no train/serve skew)
+        self.scaler_ = RobustScaler().fit(train.X)
 
         # important-test selection from the known return(s)
         Z_full = self._standardize(train.X)

@@ -1,0 +1,288 @@
+"""Streaming test floor: micro-batched replay into the discovery loop.
+
+Production screening (the Fig. 11/12 problems) is a streaming problem:
+wafers come off testers at line rate, and the Section 5 knowledge-
+discovery loop has to consume them incrementally.  This module provides
+the replay substrate:
+
+- :class:`StreamingTestFloor` draws one whole campaign of chips from
+  :class:`~repro.mfgtest.testgen.ParametricTestGenerator` up front and
+  serves it as timestamped micro-batches.  Because the campaign is
+  materialized once from the seed, ``batch(i)`` is deterministic random
+  access — a consumer resuming at batch *k* sees bitwise the same
+  stream as one that never stopped, without replaying generator RNG.
+- :func:`run_streaming_discovery` wires a floor into a
+  :class:`~repro.flows.KnowledgeDiscoveryLoop`: each loop iteration
+  consumes one micro-batch, folds its shipped chips into a
+  ``partial_fit``-capable novelty model, and records screening counts.
+  With a ``checkpoint`` store the run is resumable mid-stream — a
+  SIGKILLed driver restarted over the same store replays the judged
+  batches from disk and continues from the next one, reproducing the
+  uninterrupted trajectory exactly (the model state rides inside each
+  checkpointed result, and exact-moment models round-trip through
+  pickle bit-for-bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core.resilience import fingerprint
+from ..core.rng import ensure_rng
+from ..flows.methodology import KnowledgeDiscoveryLoop
+from .outlier import StreamingMahalanobisDetector
+from .returns import DEFAULT_DEFECT_SIGNATURE
+from .testgen import (
+    ParametricTestGenerator,
+    ProductSpec,
+    TestDataset,
+    default_product_spec,
+)
+
+
+@dataclass
+class MicroBatch:
+    """One timestamped slice of the test floor's chip stream."""
+
+    index: int
+    timestamp: float
+    dataset: TestDataset
+
+    @property
+    def n_chips(self) -> int:
+        return self.dataset.n_chips
+
+
+class StreamingTestFloor:
+    """Replays a seeded chip campaign as timestamped micro-batches.
+
+    Parameters
+    ----------
+    spec:
+        Product under test; defaults to the library's fixed demo
+        product (same convention as
+        :class:`~repro.mfgtest.returns.CustomerReturnStudy`).
+    n_batches, batch_size:
+        Stream shape: ``n_batches`` micro-batches of ``batch_size``
+        chips each.
+    defect_rate, defect_signature, measurement_dropout:
+        Passed through to the generator; the default signature is the
+        customer-return latent defect.
+    start_time, seconds_per_batch:
+        Timestamp model: batch ``i`` carries
+        ``start_time + i * seconds_per_batch``.
+    random_state:
+        Campaign seed.  Pass an ``int`` for a reproducible stream (and
+        a meaningful :meth:`fingerprint`).
+    """
+
+    def __init__(self, spec: Optional[ProductSpec] = None,
+                 n_batches: int = 20, batch_size: int = 250,
+                 defect_rate: float = 0.002,
+                 defect_signature: Optional[Dict[str, float]] = None,
+                 measurement_dropout: float = 0.0,
+                 start_time: float = 0.0, seconds_per_batch: float = 1.0,
+                 random_state=None):
+        if n_batches < 1:
+            raise ValueError("n_batches must be positive")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.spec = spec or default_product_spec(rng=ensure_rng(0xDA7A))
+        self.n_batches = n_batches
+        self.batch_size = batch_size
+        self.defect_rate = defect_rate
+        self.defect_signature = (
+            dict(defect_signature)
+            if defect_signature is not None
+            else dict(DEFAULT_DEFECT_SIGNATURE)
+        )
+        self.measurement_dropout = measurement_dropout
+        self.start_time = start_time
+        self.seconds_per_batch = seconds_per_batch
+        self.random_state = random_state
+        generator = ParametricTestGenerator(
+            self.spec, random_state=ensure_rng(random_state)
+        )
+        # the whole campaign is drawn once: batch(i) is then pure
+        # slicing, so a resumed consumer needs no generator RNG replay
+        self._campaign = generator.generate(
+            n_batches * batch_size,
+            defect_rate=defect_rate,
+            defect_signature=self.defect_signature,
+            measurement_dropout=measurement_dropout,
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n_batches
+
+    @property
+    def total_chips(self) -> int:
+        return self.n_batches * self.batch_size
+
+    @property
+    def campaign(self) -> TestDataset:
+        """The full campaign as one dataset (the stream's concatenation)."""
+        return self._campaign
+
+    def batch(self, index: int) -> MicroBatch:
+        """Deterministic random access to micro-batch *index*."""
+        if not 0 <= index < self.n_batches:
+            raise IndexError(
+                f"batch index {index} out of range [0, {self.n_batches})"
+            )
+        start = index * self.batch_size
+        stop = start + self.batch_size
+        dataset = TestDataset(
+            product=self._campaign.product,
+            X=self._campaign.X[start:stop],
+            factors=self._campaign.factors[start:stop],
+            wafer_ids=self._campaign.wafer_ids[start:stop],
+            defect_mask=self._campaign.defect_mask[start:stop],
+        )
+        return MicroBatch(
+            index=index,
+            timestamp=self.start_time + index * self.seconds_per_batch,
+            dataset=dataset,
+        )
+
+    def __iter__(self):
+        for index in range(self.n_batches):
+            yield self.batch(index)
+
+    def fingerprint(self) -> str:
+        """Structural identity of the stream (meaningful for int seeds)."""
+        return fingerprint(
+            "streaming-floor", self.spec.name, self.n_batches,
+            self.batch_size, self.defect_rate,
+            sorted(self.defect_signature.items()),
+            self.measurement_dropout, self.start_time,
+            self.seconds_per_batch, self.random_state,
+        )
+
+
+@dataclass
+class StreamingRunResult:
+    """Outcome of one streaming discovery run."""
+
+    model: object
+    loop: KnowledgeDiscoveryLoop
+    consumed_batches: int
+    resumed_batches: int
+    n_chips: int = 0
+    n_flagged: int = 0
+    n_returns: int = 0
+    n_returns_flagged: int = 0
+    records: List[dict] = field(default_factory=list)
+
+
+def run_streaming_discovery(
+    floor: StreamingTestFloor,
+    model_factory: Optional[Callable[[], object]] = None,
+    judge: Optional[Callable] = None,
+    checkpoint=None,
+    run_key: str = "streaming-floor",
+    run_fingerprint: Optional[str] = None,
+) -> StreamingRunResult:
+    """Drive a :class:`KnowledgeDiscoveryLoop` over a test floor's stream.
+
+    Each iteration mines one micro-batch: the shipped (all-tests-pass)
+    chips are folded into the model via ``partial_fit`` and screened,
+    and the updated model rides inside the iteration's result — which is
+    exactly what the loop checkpoints.  On resume, the loop replays the
+    stored batches (without re-mining) and ``adjust`` hands the last
+    stored model to the next live iteration, so an interrupted run
+    continues bitwise where it stopped.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable building a fresh ``partial_fit``-capable
+        novelty model; defaults to
+        :class:`~repro.mfgtest.outlier.StreamingMahalanobisDetector`.
+    judge:
+        ``judge(result) -> (accepted, feedback)`` override.  The default
+        accepts at the final batch (the stream is consumed) and reports
+        screening counts as feedback.
+    checkpoint, run_key:
+        Forwarded to the loop.  Pass a directory path (opened with
+        ``allow_pickle=True``) or a pickle-enabled
+        :class:`~repro.core.resilience.CheckpointStore` — results carry
+        model objects.
+    run_fingerprint:
+        Campaign identity override; defaults to a structural fingerprint
+        over the floor's configuration and the callbacks, so one store
+        can hold many distinct streaming campaigns safely.
+    """
+    factory = model_factory or StreamingMahalanobisDetector
+
+    def mine(context: dict) -> dict:
+        index = context["batch"]
+        model = context["model"] if context["model"] is not None else factory()
+        micro = floor.batch(index)
+        shipped = micro.dataset.passing()
+        model.partial_fit(shipped.X)
+        outliers = model.is_outlier(shipped.X)
+        returns = shipped.defect_mask
+        return {
+            "batch": index,
+            "timestamp": micro.timestamp,
+            "model": model,
+            "n_chips": int(shipped.n_chips),
+            "n_flagged": int(outliers.sum()),
+            "n_returns": int(returns.sum()),
+            "n_returns_flagged": int((outliers & returns).sum()),
+        }
+
+    def default_judge(result: dict):
+        done = result["batch"] == len(floor) - 1
+        feedback = (
+            f"batch {result['batch'] + 1}/{len(floor)}: flagged "
+            f"{result['n_flagged']}/{result['n_chips']} shipped chips, "
+            f"{result['n_returns_flagged']}/{result['n_returns']} returns"
+        )
+        return done, feedback
+
+    holder: dict = {}
+
+    def adjust(context: dict, feedback: str) -> dict:
+        record = holder["loop"].history[-1]
+        return {
+            "batch": record.result["batch"] + 1,
+            "model": record.result["model"],
+        }
+
+    loop = KnowledgeDiscoveryLoop(
+        mine=mine,
+        judge=judge or default_judge,
+        adjust=adjust,
+        max_iterations=len(floor),
+        checkpoint=checkpoint,
+        run_key=run_key,
+        run_fingerprint=(
+            run_fingerprint
+            if run_fingerprint is not None
+            else fingerprint(
+                "streaming-kdl", floor.fingerprint(), factory, judge
+            )
+        ),
+    )
+    holder["loop"] = loop
+    loop.run({"batch": 0, "model": None})
+
+    records = [record.result for record in loop.history]
+    final_model = records[-1]["model"] if records else None
+    return StreamingRunResult(
+        model=final_model,
+        loop=loop,
+        consumed_batches=len(records),
+        resumed_batches=loop.resumed_iterations,
+        n_chips=sum(r["n_chips"] for r in records),
+        n_flagged=sum(r["n_flagged"] for r in records),
+        n_returns=sum(r["n_returns"] for r in records),
+        n_returns_flagged=sum(r["n_returns_flagged"] for r in records),
+        records=records,
+    )

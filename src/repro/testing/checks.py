@@ -15,14 +15,20 @@ spec's capability tags:
 - ``supports-nan`` — NaN is data, not a fault (imputers);
 - ``no-predict`` — only exposes ``labels_`` after fit;
 - ``two-view`` — ``fit``/``transform`` take paired ``(X, Y)``;
-- ``meta`` / ``pipeline`` — wraps other estimators.
+- ``meta`` / ``pipeline`` — wraps other estimators;
+- ``supports-partial-fit`` — implements the streaming contract of
+  ``docs/streaming.md``; ``streaming-approximate`` additionally marks
+  SGD-style members exempt from exact batch-equivalence (they promise
+  only seeded stream determinism).
 
-Checks come in four families: API contracts (params/clone/pickle),
+Checks come in five families: API contracts (params/clone/pickle),
 fit contracts (idempotence, determinism, no input mutation, output
 shape), fault rejection (every entry of
 :data:`repro.testing.datasets.FAULTS` must raise an informative
-``ValueError``), and stress acceptance (every entry of
-:data:`repro.testing.datasets.STRESSES` must fit cleanly).
+``ValueError``), stress acceptance (every entry of
+:data:`repro.testing.datasets.STRESSES` must fit cleanly), and the
+streaming ``partial_fit`` contract (capability tagging, batch
+equivalence, mid-stream pickling).
 """
 
 from __future__ import annotations
@@ -33,7 +39,7 @@ from typing import Callable, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
-from ..core.base import Estimator, clone
+from ..core.base import Estimator, clone, supports_partial_fit
 from ..core.exceptions import NotFittedError
 from . import datasets
 from .registry import EstimatorSpec
@@ -645,3 +651,158 @@ def check_handles_one_feature_gracefully(spec: EstimatorSpec) -> None:
         _fit(est, spec, np.asarray(X, dtype=float)[:, :1], y)
     except Exception as exc:  # noqa: BLE001 — classify below
         _assert_informative(exc, f"{spec.name}.fit on one feature")
+
+
+# ----------------------------------------------------------------------
+# family 6: streaming (partial_fit) contract — see docs/streaming.md
+# ----------------------------------------------------------------------
+_streams = _tagged("supports-partial-fit")
+
+
+def _streams_supervised(spec: EstimatorSpec) -> bool:
+    return "supports-partial-fit" in spec.tags and "supervised" in spec.tags
+
+
+def _streams_exact(spec: EstimatorSpec) -> bool:
+    """Estimators under the strong (bitwise batch-equivalence) contract."""
+    return (
+        "supports-partial-fit" in spec.tags
+        and "streaming-approximate" not in spec.tags
+    )
+
+
+def _partial_fit(est: Estimator, spec: EstimatorSpec, X, y=None,
+                 classes=None):
+    if y is None or "unsupervised" in spec.tags:
+        return est.partial_fit(X)
+    if classes is None:
+        return est.partial_fit(X, y)
+    return est.partial_fit(X, y, classes=classes)
+
+
+def _micro_batches(n: int) -> Tuple[np.ndarray, ...]:
+    """Deliberately uneven batch index blocks covering range(n)."""
+    edges = [max(1, n // 7), max(2, n // 3), max(3, (3 * n) // 5)]
+    return tuple(np.split(np.arange(n), sorted(set(edges))))
+
+
+@check()
+def check_partial_fit_capability_tag(spec: EstimatorSpec) -> None:
+    """The supports-partial-fit tag and a callable partial_fit agree."""
+    est = spec.make()
+    has_method = supports_partial_fit(est)
+    tagged = "supports-partial-fit" in spec.tags
+    assert has_method == tagged, (
+        f"{spec.name}: supports_partial_fit()={has_method} but "
+        f"supports-partial-fit tag={'set' if tagged else 'unset'}; "
+        "the capability tag must match the implementation"
+    )
+
+
+@check(_streams_supervised)
+def check_partial_fit_requires_classes(spec: EstimatorSpec) -> None:
+    """First supervised partial_fit demands classes=; later labels must be known."""
+    X, y = _dataset(spec)
+    y = np.asarray(y)
+    est = spec.make()
+    _expect_value_error(
+        lambda: est.partial_fit(X, y),
+        f"{spec.name}.partial_fit without classes=",
+    )
+    est = spec.make()
+    classes = np.unique(y)
+    est.partial_fit(X, y, classes=classes)
+    alien = np.full(len(y), np.max(classes) + 1)
+    _expect_value_error(
+        lambda: est.partial_fit(X, alien),
+        f"{spec.name}.partial_fit on labels outside declared classes",
+    )
+    _expect_value_error(
+        lambda: est.partial_fit(X, y, classes=np.append(classes,
+                                                        np.max(classes) + 7)),
+        f"{spec.name}.partial_fit with classes= changed mid-stream",
+    )
+
+
+@check(_streams_exact)
+def check_partial_fit_matches_fit(spec: EstimatorSpec) -> None:
+    """Streaming micro-batches is bitwise-identical to one-shot fit."""
+    X, y = _dataset(spec)
+    reference = spec.make()
+    _fit(reference, spec, X, y)
+    est = spec.make()
+    classes = None if y is None else np.unique(np.asarray(y))
+    for block in _micro_batches(len(X)):
+        _partial_fit(est, spec, X[block],
+                     None if y is None else np.asarray(y)[block],
+                     classes=classes)
+    _assert_signatures_equal(
+        _signature(reference, spec, X, y),
+        _signature(est, spec, X, y),
+        f"{spec.name} stream-vs-fit",
+    )
+
+
+@check(_streams_exact)
+def check_partial_fit_batch_order_invariant(spec: EstimatorSpec) -> None:
+    """Permuting the micro-batches leaves the streamed model bitwise unchanged."""
+    X, y = _dataset(spec)
+    classes = None if y is None else np.unique(np.asarray(y))
+    blocks = _micro_batches(len(X))
+    forward, backward = spec.make(), spec.make()
+    for block in blocks:
+        _partial_fit(forward, spec, X[block],
+                     None if y is None else np.asarray(y)[block],
+                     classes=classes)
+    for block in reversed(blocks):
+        _partial_fit(backward, spec, X[block],
+                     None if y is None else np.asarray(y)[block],
+                     classes=classes)
+    _assert_signatures_equal(
+        _signature(forward, spec, X, y),
+        _signature(backward, spec, X, y),
+        f"{spec.name} batch-order permutation",
+    )
+
+
+@check(_streams)
+def check_partial_fit_stream_deterministic(spec: EstimatorSpec) -> None:
+    """The same stream in the same order reproduces the same model (seeded contract)."""
+    X, y = _dataset(spec)
+    classes = None if y is None else np.unique(np.asarray(y))
+    a, b = spec.make(), spec.make()
+    for block in _micro_batches(len(X)):
+        for est in (a, b):
+            _partial_fit(est, spec, X[block],
+                         None if y is None else np.asarray(y)[block],
+                         classes=classes)
+    _assert_signatures_equal(
+        _signature(a, spec, X, y),
+        _signature(b, spec, X, y),
+        f"{spec.name} replayed stream",
+    )
+
+
+@check(_streams)
+def check_partial_fit_pickle_midstream(spec: EstimatorSpec) -> None:
+    """Pickling mid-stream and continuing matches the uninterrupted stream."""
+    X, y = _dataset(spec)
+    classes = None if y is None else np.unique(np.asarray(y))
+    blocks = _micro_batches(len(X))
+    split = len(blocks) // 2
+    original = spec.make()
+    for block in blocks[:split]:
+        _partial_fit(original, spec, X[block],
+                     None if y is None else np.asarray(y)[block],
+                     classes=classes)
+    restored = pickle.loads(pickle.dumps(original))
+    for block in blocks[split:]:
+        for est in (original, restored):
+            _partial_fit(est, spec, X[block],
+                         None if y is None else np.asarray(y)[block],
+                         classes=classes)
+    _assert_signatures_equal(
+        _signature(original, spec, X, y),
+        _signature(restored, spec, X, y),
+        f"{spec.name} pickle-midstream",
+    )

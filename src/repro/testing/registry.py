@@ -195,11 +195,19 @@ def _populate() -> None:
         {"n_neighbors": 3}, REG, data="regression",
     ))
     register(EstimatorSpec(
-        "GaussianNaiveBayes", learn.GaussianNaiveBayes, {}, CLF,
+        "GaussianNaiveBayes", learn.GaussianNaiveBayes, {},
+        CLF | {"supports-partial-fit"},
     ))
     register(EstimatorSpec(
         "BernoulliNaiveBayes", learn.BernoulliNaiveBayes,
-        {"binarize_threshold": 0.0}, CLF,
+        {"binarize_threshold": 0.0}, CLF | {"supports-partial-fit"},
+    ))
+    register(EstimatorSpec(
+        "SGDLogisticRegression", learn.SGDLogisticRegression,
+        {"max_epochs": 20, "random_state": 0},
+        # SGD streams under the seeded contract, not exact batch
+        # equivalence (docs/streaming.md)
+        CLF | {"supports-partial-fit", "streaming-approximate"},
     ))
     register(EstimatorSpec(
         "LinearDiscriminantAnalysis", learn.LinearDiscriminantAnalysis,
@@ -330,6 +338,10 @@ def _populate() -> None:
         {"n_clusters": 3, "gamma": 0.5, "random_state": 0},
         CLU | {"no-predict", "needs-kernel"}, data="clustering",
     ))
+    register(EstimatorSpec(
+        "NearestCentroid", cluster.NearestCentroid, {},
+        CLF | {"supports-partial-fit"},
+    ))
 
     # --------------------------------------------------------- transform
     TRF = frozenset({"transformer", "unsupervised"})
@@ -425,6 +437,19 @@ def _populate() -> None:
             ("model", learn.LogisticRegression(max_iter=80)),
         ]},
         CLF | {"meta", "pipeline"},
+    ))
+
+    # ------------------------------------------------ mfgtest (voluntary)
+    # repro.mfgtest is outside REGISTRY_PACKAGES (it is a study layer,
+    # not an estimator catalogue), but the streaming screen is a real
+    # partial_fit estimator and earns its row in the matrix.
+    from ..mfgtest.outlier import StreamingMahalanobisDetector
+
+    register(EstimatorSpec(
+        "StreamingMahalanobisDetector", StreamingMahalanobisDetector,
+        {"regularization": 1e-3},
+        frozenset({"detector", "unsupervised", "supports-partial-fit"}),
+        data="clustering",
     ))
 
 

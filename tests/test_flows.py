@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.exceptions import CheckpointError
 from repro.flows import (
     KnowledgeDiscoveryLoop,
     MethodologyChecklist,
@@ -87,6 +88,91 @@ class TestKnowledgeDiscoveryLoop:
                 mine=lambda c: c, judge=lambda r: (True, ""),
                 adjust=lambda c, f: c, max_iterations=0,
             )
+
+
+def _mine_double(context):
+    return context * 2
+
+
+def _mine_triple(context):
+    return context * 3
+
+
+def _judge_accept(result):
+    return True, "accepted"
+
+
+def _adjust_identity(context, feedback):
+    return context
+
+
+class TestCampaignIdentity:
+    """Regression: checkpoint keys must carry the campaign's callback
+    identity.  Before the ``run_fingerprint`` guard, resuming a
+    ``run_key`` whose mine/judge/adjust had changed silently replayed
+    the *prior* campaign's stored results and never ran the new
+    callbacks at all.
+    """
+
+    def test_changed_callbacks_raise_loudly(self, tmp_path):
+        store = str(tmp_path / "kdl")
+        first = KnowledgeDiscoveryLoop(
+            _mine_double, _judge_accept, _adjust_identity,
+            checkpoint=store, run_key="campaign",
+        )
+        assert first.run(2) == 4
+        second = KnowledgeDiscoveryLoop(
+            _mine_triple, _judge_accept, _adjust_identity,
+            checkpoint=store, run_key="campaign",
+        )
+        with pytest.raises(CheckpointError, match="run_fingerprint"):
+            second.run(2)
+
+    def test_same_callbacks_resume_quietly(self, tmp_path):
+        store = str(tmp_path / "kdl")
+        first = KnowledgeDiscoveryLoop(
+            _mine_double, _judge_accept, _adjust_identity,
+            checkpoint=store, run_key="campaign",
+        )
+        assert first.run(2) == 4
+        second = KnowledgeDiscoveryLoop(
+            _mine_double, _judge_accept, _adjust_identity,
+            checkpoint=store, run_key="campaign",
+        )
+        assert second.run(2) == 4
+        assert second.resumed_iterations == 1
+
+    def test_fresh_run_key_is_isolated(self, tmp_path):
+        store = str(tmp_path / "kdl")
+        first = KnowledgeDiscoveryLoop(
+            _mine_double, _judge_accept, _adjust_identity,
+            checkpoint=store, run_key="campaign-a",
+        )
+        assert first.run(2) == 4
+        second = KnowledgeDiscoveryLoop(
+            _mine_triple, _judge_accept, _adjust_identity,
+            checkpoint=store, run_key="campaign-b",
+        )
+        assert second.run(2) == 6
+        assert second.resumed_iterations == 0
+
+    def test_explicit_run_fingerprint_opts_in(self, tmp_path):
+        """Passing the stored fingerprint explicitly says "I know these
+        are the same campaign" (e.g. a renamed-but-equivalent callback)
+        and resumes the stored trajectory."""
+        store = str(tmp_path / "kdl")
+        first = KnowledgeDiscoveryLoop(
+            _mine_double, _judge_accept, _adjust_identity,
+            checkpoint=store, run_key="campaign",
+        )
+        assert first.run(2) == 4
+        second = KnowledgeDiscoveryLoop(
+            _mine_triple, _judge_accept, _adjust_identity,
+            checkpoint=store, run_key="campaign",
+            run_fingerprint=first.run_fingerprint,
+        )
+        assert second.run(2) == 4  # replays the stored result
+        assert second.resumed_iterations == 1
 
 
 class TestReporting:

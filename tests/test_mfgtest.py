@@ -324,3 +324,84 @@ class TestDropStudy:
             generator.generate(0, "x")
         with pytest.raises(ValueError):
             generator.generate(10, "x", excursion_rate=2.0)
+
+
+class TestTrainingFrameStandardization:
+    """Regression: the screening scaler is fit once, on the training
+    population.  The original implementation refit ``RobustScaler`` on
+    every screened population, so a systematically shifted (skewed)
+    lot was silently re-centered into the training frame and screened
+    as if it were in-family — train/serve skew hiding exactly the lots
+    a zero-return flow must hold.
+    """
+
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        from repro.mfgtest import DEFAULT_DEFECT_SIGNATURE
+
+        study = CustomerReturnStudy(random_state=5)
+        report = study.run(
+            n_train=6000, n_later=2000, n_sister=2000,
+            train_defect_rate=0.001, later_defect_rate=0.001,
+            sister_defect_rate=0.002,
+        )
+        return study, report, DEFAULT_DEFECT_SIGNATURE
+
+    def test_seeded_capture_and_overkill_pinned(self, fitted):
+        _, report, _ = fitted
+        assert report.training.return_capture_rate == 1.0
+        assert report.later_batch.return_capture_rate == 1.0
+        assert report.sister_product.return_capture_rate == 1.0
+        for outcome in (report.training, report.later_batch,
+                        report.sister_product):
+            assert outcome.overkill_rate <= 0.005
+
+    def test_scaler_is_fit_once_on_training_population(self, fitted):
+        study, _, _ = fitted
+        assert study.scaler_ is not None
+        center_before = study.scaler_.center_.copy()
+        extra = ParametricTestGenerator(
+            study.spec, random_state=np.random.default_rng(99)
+        ).generate(500, defect_rate=0.0).passing()
+        study.projection(extra)
+        assert np.array_equal(study.scaler_.center_, center_before), (
+            "screening a new population must not refit the scaler"
+        )
+
+    def test_skewed_sister_lot_is_not_recentered(self, fitted):
+        """A whole-lot drift along the defect signature must be seen.
+
+        Every chip of the lot is shifted by the same vector (5 robust
+        scale units on the signature tests).  In the training frame the
+        entire lot is out-of-family and must be flagged; the pre-fix
+        per-population refit re-centered the lot exactly (a constant
+        shift moves the median by itself and leaves the IQR unchanged),
+        making the skewed lot bitwise indistinguishable from a healthy
+        one.
+        """
+        from repro.mfgtest import TestDataset
+
+        study, _, signature = fitted
+        base = ParametricTestGenerator(
+            study.spec, random_state=np.random.default_rng(123)
+        ).generate(1500, defect_rate=0.0).passing()
+
+        delta = np.zeros(len(study.spec.test_names))
+        for name in signature:
+            index = study.spec.test_names.index(name)
+            delta[index] = 5.0 * study.scaler_.scale_[index]
+        skewed = TestDataset(
+            product=base.product,
+            X=base.X + delta,
+            factors=base.factors,
+            wafer_ids=base.wafer_ids,
+            defect_mask=base.defect_mask,
+        )
+
+        flags_base = study.detector_.is_outlier(study.projection(base))
+        flags_skewed = study.detector_.is_outlier(study.projection(skewed))
+        assert flags_base.mean() < 0.01, "healthy lot over-flagged"
+        assert flags_skewed.mean() > 0.99, (
+            "skewed lot screened as in-family: standardization is not "
+            "in the training coordinate frame"
+        )

@@ -311,3 +311,73 @@ class TestGracefulShutdown:
         assert stats["stopped"] is True
         assert stats["claims"] == 0
         assert not run.all_done()
+
+
+# ---------------------------------------------------------------------
+# heartbeat plausibility window (regression: NaN / future-dated
+# heartbeats made a dead owner's lease permanently unstealable)
+# ---------------------------------------------------------------------
+
+def _rewrite_heartbeat(lease_path: str, heartbeat) -> None:
+    """Atomically rewrite the lease record's heartbeat_at in place."""
+    import json
+    import tempfile
+
+    with open(lease_path, "r") as fh:
+        record = json.load(fh)
+    record["heartbeat_at"] = heartbeat
+    fd, tmp = tempfile.mkstemp(
+        prefix=".clock.", dir=os.path.dirname(lease_path) or "."
+    )
+    with os.fdopen(fd, "w") as fh:
+        json.dump(record, fh)
+    os.replace(tmp, lease_path)
+
+
+class TestHeartbeatPlausibilityWindow:
+    def _dead_owner_lease(self, tmp_path) -> LeaseFile:
+        lease = LeaseFile(str(tmp_path / "unit.lease"), owner="dead",
+                          ttl=5.0)
+        assert lease.acquire()
+        return lease
+
+    def test_nan_heartbeat_is_stale_and_stealable(self, tmp_path):
+        """A corrupt NaN heartbeat must not wedge the lease: ``now -
+        NaN > ttl`` is always False, so before the plausibility window
+        a dead worker's lease could never be stolen."""
+        dead = self._dead_owner_lease(tmp_path)
+        _rewrite_heartbeat(dead.path, float("nan"))
+        stealer = LeaseFile(dead.path, owner="stealer", ttl=5.0)
+        assert stealer.is_stale()
+        assert stealer.steal()
+        assert stealer.read()["owner"] == "stealer"
+
+    def test_far_future_heartbeat_is_stale_and_stealable(self, tmp_path):
+        """A heartbeat more than one TTL in the future (stepped clock,
+        cross-host skew) is not evidence of a live owner; it must be
+        stealable rather than unstealable-for-hours."""
+        dead = self._dead_owner_lease(tmp_path)
+        _rewrite_heartbeat(dead.path, time.time() + 3600.0)
+        stealer = LeaseFile(dead.path, owner="stealer", ttl=5.0)
+        assert stealer.is_stale()
+        assert stealer.steal()
+        assert stealer.read()["owner"] == "stealer"
+
+    def test_slight_future_heartbeat_within_ttl_is_fresh(self, tmp_path):
+        """Sub-TTL clock skew is normal fleet behavior: a slightly
+        future heartbeat is a live owner and must NOT be stolen."""
+        live = self._dead_owner_lease(tmp_path)
+        _rewrite_heartbeat(live.path, time.time() + 0.5 * live.ttl)
+        stealer = LeaseFile(live.path, owner="stealer", ttl=5.0)
+        assert not stealer.is_stale()
+        assert not stealer.steal()
+        assert stealer.read()["owner"] == "dead"
+
+    def test_non_numeric_heartbeat_is_stale(self, tmp_path):
+        """A record whose heartbeat is not a number at all counts as
+        corrupt, hence stale."""
+        dead = self._dead_owner_lease(tmp_path)
+        _rewrite_heartbeat(dead.path, "not-a-timestamp")
+        stealer = LeaseFile(dead.path, owner="stealer", ttl=5.0)
+        assert stealer.is_stale()
+        assert stealer.steal()

@@ -1,0 +1,364 @@
+"""Batch-vs-stream equivalence suite for the ``partial_fit`` substrate.
+
+The strong contract (exact-moment estimators): any micro-batching of a
+dataset — including any permutation of the batches — produces a model
+bitwise identical to one-shot ``fit`` on the concatenation.  The weak
+contract (SGD): the stream is order-dependent but fully deterministic
+for a fixed seed and batch sequence.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import ExactMoments, supports_partial_fit
+from repro.cluster import NearestCentroid
+from repro.learn import (
+    BernoulliNaiveBayes,
+    GaussianNaiveBayes,
+    SGDLogisticRegression,
+)
+from repro.mfgtest import StreamingMahalanobisDetector
+
+
+def _micro_batches(n, seed):
+    """Random uneven cut points over ``range(n)`` — at least two blocks."""
+    gen = np.random.default_rng(seed)
+    cuts = sorted(set(gen.integers(1, n, size=4).tolist()))
+    edges = [0] + cuts + [n]
+    return [(start, stop) for start, stop in zip(edges[:-1], edges[1:])
+            if stop > start]
+
+
+def _stream(estimator, X, y, blocks, classes):
+    for start, stop in blocks:
+        estimator.partial_fit(X[start:stop], y[start:stop], classes=classes)
+    return estimator
+
+
+@pytest.fixture
+def wide_blobs(rng):
+    """Three overlapping classes, five features, ~200 rows."""
+    centers = np.array([
+        [0.0, 0.0, 1.0, -1.0, 0.5],
+        [2.5, -1.0, 0.0, 1.0, -0.5],
+        [-2.0, 1.5, -1.0, 0.0, 1.0],
+    ])
+    sizes = (70, 65, 68)
+    X = np.vstack([
+        rng.normal(center, 1.1, size=(size, 5))
+        for center, size in zip(centers, sizes)
+    ])
+    y = np.concatenate([
+        np.full(size, label) for label, size in enumerate(sizes)
+    ])
+    return X, y
+
+
+# ---------------------------------------------------------------------
+# ExactMoments
+# ---------------------------------------------------------------------
+
+
+class TestExactMoments:
+    def test_mean_variance_match_numpy(self, rng):
+        X = rng.normal(3.0, 2.0, size=(50, 4))
+        moments = ExactMoments(4, track_squares=True).update(X)
+        np.testing.assert_allclose(moments.mean(), X.mean(axis=0),
+                                   rtol=1e-12)
+        np.testing.assert_allclose(moments.variance(ddof=0),
+                                   X.var(axis=0), rtol=1e-9)
+        np.testing.assert_allclose(moments.variance(ddof=1),
+                                   X.var(axis=0, ddof=1), rtol=1e-9)
+
+    def test_covariance_matches_numpy(self, rng):
+        X = rng.normal(0.0, 1.0, size=(60, 3))
+        moments = ExactMoments(3, track_cross=True).update(X)
+        np.testing.assert_allclose(moments.covariance(ddof=1),
+                                   np.cov(X, rowvar=False), rtol=1e-9)
+
+    def test_split_updates_are_bitwise_identical(self, rng):
+        """Core exactness property: batching never changes a single bit."""
+        X = rng.normal(0.0, 1.0, size=(40, 3))
+        one = ExactMoments(3, track_squares=True, track_cross=True).update(X)
+        many = ExactMoments(3, track_squares=True, track_cross=True)
+        for start, stop in _micro_batches(40, seed=7):
+            many.update(X[start:stop])
+        assert np.array_equal(one.mean(), many.mean())
+        assert np.array_equal(one.variance(ddof=1), many.variance(ddof=1))
+        assert np.array_equal(one.covariance(), many.covariance())
+
+    def test_row_permutation_is_bitwise_identical(self, rng):
+        X = rng.normal(0.0, 1.0, size=(30, 2))
+        forward = ExactMoments(2, track_squares=True).update(X)
+        backward = ExactMoments(2, track_squares=True).update(X[::-1])
+        assert np.array_equal(forward.mean(), backward.mean())
+        assert np.array_equal(forward.variance(), backward.variance())
+
+    def test_merge_equals_combined_update(self, rng):
+        X = rng.normal(0.0, 1.0, size=(25, 2))
+        combined = ExactMoments(2, track_squares=True).update(X)
+        left = ExactMoments(2, track_squares=True).update(X[:11])
+        right = ExactMoments(2, track_squares=True).update(X[11:])
+        left.merge(right)
+        assert left.count == combined.count
+        assert np.array_equal(left.mean(), combined.mean())
+        assert np.array_equal(left.variance(), combined.variance())
+
+    def test_degenerate_and_error_cases(self):
+        moments = ExactMoments(2, track_squares=True)
+        with pytest.raises(ValueError):
+            moments.mean()
+        moments.update(np.ones((1, 2)))
+        assert np.array_equal(moments.variance(ddof=1), np.zeros(2))
+        with pytest.raises(ValueError):
+            moments.update(np.ones((3, 5)))
+        with pytest.raises(ValueError):
+            ExactMoments(0)
+        with pytest.raises(ValueError):
+            ExactMoments(1).covariance()
+
+
+# ---------------------------------------------------------------------
+# naive Bayes: the strong (bitwise) contract
+# ---------------------------------------------------------------------
+
+
+class TestGaussianNBStreamEquivalence:
+    def _assert_same_model(self, a, b):
+        assert np.array_equal(a.classes_, b.classes_)
+        assert np.array_equal(a.theta_, b.theta_)
+        assert np.array_equal(a.var_, b.var_)
+        assert np.array_equal(a.class_prior_, b.class_prior_)
+
+    def test_single_partial_fit_equals_fit(self, wide_blobs):
+        X, y = wide_blobs
+        batch = GaussianNaiveBayes().fit(X, y)
+        stream = GaussianNaiveBayes().partial_fit(
+            X, y, classes=np.unique(y)
+        )
+        self._assert_same_model(batch, stream)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_any_micro_batching_equals_fit(self, wide_blobs, seed):
+        X, y = wide_blobs
+        batch = GaussianNaiveBayes().fit(X, y)
+        stream = _stream(GaussianNaiveBayes(), X, y,
+                         _micro_batches(len(X), seed), np.unique(y))
+        self._assert_same_model(batch, stream)
+        assert np.array_equal(batch.predict(X), stream.predict(X))
+        assert np.array_equal(batch.predict_proba(X),
+                              stream.predict_proba(X))
+
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_batch_permutation_equals_fit(self, wide_blobs, seed):
+        X, y = wide_blobs
+        batch = GaussianNaiveBayes().fit(X, y)
+        blocks = _micro_batches(len(X), seed)
+        gen = np.random.default_rng(seed)
+        permuted = [blocks[i] for i in gen.permutation(len(blocks))]
+        stream = _stream(GaussianNaiveBayes(), X, y, permuted, np.unique(y))
+        self._assert_same_model(batch, stream)
+
+    def test_pickle_midstream_continues_bitwise(self, wide_blobs):
+        X, y = wide_blobs
+        classes = np.unique(y)
+        half = len(X) // 2
+        straight = GaussianNaiveBayes().partial_fit(
+            X[:half], y[:half], classes=classes
+        )
+        revived = pickle.loads(pickle.dumps(straight))
+        straight.partial_fit(X[half:], y[half:])
+        revived.partial_fit(X[half:], y[half:])
+        self._assert_same_model(straight, revived)
+
+    def test_class_absent_from_stream_so_far(self, wide_blobs):
+        """Declared-but-unseen classes get zero prior, never win predict."""
+        X, y = wide_blobs
+        model = GaussianNaiveBayes().partial_fit(
+            X[y != 2], y[y != 2], classes=np.array([0, 1, 2])
+        )
+        assert model.class_prior_[2] == 0.0
+        assert not np.any(model.predict(X) == 2)
+        model.partial_fit(X[y == 2], y[y == 2])
+        assert model.class_prior_[2] > 0.0
+        assert np.any(model.predict(X) == 2)
+
+
+class TestBernoulliNBStreamEquivalence:
+    def _binary(self, rng):
+        X = (rng.uniform(size=(150, 8)) < 0.4).astype(float)
+        y = (X[:, :4].sum(axis=1) > X[:, 4:].sum(axis=1)).astype(int)
+        return X, y
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_any_micro_batching_equals_fit(self, rng, seed):
+        X, y = self._binary(rng)
+        batch = BernoulliNaiveBayes().fit(X, y)
+        stream = _stream(BernoulliNaiveBayes(), X, y,
+                         _micro_batches(len(X), seed), np.unique(y))
+        assert np.array_equal(batch.classes_, stream.classes_)
+        assert np.array_equal(batch.feature_log_prob_,
+                              stream.feature_log_prob_)
+        assert np.array_equal(batch.class_log_prior_,
+                              stream.class_log_prior_)
+        assert np.array_equal(batch.predict(X), stream.predict(X))
+
+    def test_batch_permutation_equals_fit(self, rng):
+        X, y = self._binary(rng)
+        batch = BernoulliNaiveBayes().fit(X, y)
+        blocks = _micro_batches(len(X), seed=3)
+        stream = _stream(BernoulliNaiveBayes(), X, y, blocks[::-1],
+                         np.unique(y))
+        assert np.array_equal(batch.feature_log_prob_,
+                              stream.feature_log_prob_)
+        assert np.array_equal(batch.class_log_prior_,
+                              stream.class_log_prior_)
+
+
+# ---------------------------------------------------------------------
+# the classes= contract
+# ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("estimator_cls",
+                         [GaussianNaiveBayes, BernoulliNaiveBayes,
+                          NearestCentroid])
+class TestClassesContract:
+    def test_first_call_requires_classes(self, estimator_cls, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError, match="classes"):
+            estimator_cls().partial_fit(X, y)
+
+    def test_unseen_label_is_rejected(self, estimator_cls, blobs):
+        X, y = blobs
+        model = estimator_cls().partial_fit(X, y, classes=np.array([0, 1]))
+        alien = np.full(len(y), 7)
+        with pytest.raises(ValueError):
+            model.partial_fit(X, alien)
+
+    def test_changing_classes_is_rejected(self, estimator_cls, blobs):
+        X, y = blobs
+        model = estimator_cls().partial_fit(X, y, classes=np.array([0, 1]))
+        with pytest.raises(ValueError):
+            model.partial_fit(X, y, classes=np.array([0, 1, 2]))
+
+
+# ---------------------------------------------------------------------
+# NearestCentroid
+# ---------------------------------------------------------------------
+
+
+class TestNearestCentroidStreaming:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_stream_equals_fit_bitwise(self, wide_blobs, seed):
+        X, y = wide_blobs
+        batch = NearestCentroid().fit(X, y)
+        stream = _stream(NearestCentroid(), X, y,
+                         _micro_batches(len(X), seed), np.unique(y))
+        assert np.array_equal(batch.centroids_, stream.centroids_)
+        assert np.array_equal(batch.predict(X), stream.predict(X))
+
+    def test_classifies_separated_blobs(self, blobs):
+        X, y = blobs
+        model = NearestCentroid().fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_unseen_class_never_predicted(self, blobs):
+        X, y = blobs
+        model = NearestCentroid().partial_fit(
+            X, y, classes=np.array([0, 1, 2])
+        )
+        assert not np.any(model.predict(X) == 2)
+
+
+# ---------------------------------------------------------------------
+# SGD: the seeded (weak) contract
+# ---------------------------------------------------------------------
+
+
+class TestSGDSeededContract:
+    def test_fit_is_deterministic_for_fixed_seed(self, blobs):
+        X, y = blobs
+        a = SGDLogisticRegression(random_state=0).fit(X, y)
+        b = SGDLogisticRegression(random_state=0).fit(X, y)
+        assert np.array_equal(a.coef_, b.coef_)
+        assert a.intercept_ == b.intercept_
+
+    def test_same_stream_is_deterministic(self, blobs):
+        X, y = blobs
+        classes = np.unique(y)
+        a, b = SGDLogisticRegression(), SGDLogisticRegression()
+        for start, stop in _micro_batches(len(X), seed=5):
+            a.partial_fit(X[start:stop], y[start:stop], classes=classes)
+            b.partial_fit(X[start:stop], y[start:stop], classes=classes)
+        assert np.array_equal(a.coef_, b.coef_)
+        assert a.intercept_ == b.intercept_
+
+    def test_learns_separable_problem(self, blobs):
+        X, y = blobs
+        model = SGDLogisticRegression(max_epochs=20, random_state=0)
+        model.fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_streamed_model_learns(self, blobs):
+        X, y = blobs
+        classes = np.unique(y)
+        model = SGDLogisticRegression()
+        for _ in range(15):
+            for start, stop in _micro_batches(len(X), seed=2):
+                model.partial_fit(X[start:stop], y[start:stop],
+                                  classes=classes)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_binary_only(self, wide_blobs):
+        X, y = wide_blobs
+        with pytest.raises(ValueError):
+            SGDLogisticRegression().fit(X, y)
+        with pytest.raises(ValueError):
+            SGDLogisticRegression().partial_fit(X, y, classes=np.unique(y))
+
+
+# ---------------------------------------------------------------------
+# StreamingMahalanobisDetector
+# ---------------------------------------------------------------------
+
+
+class TestStreamingMahalanobis:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_stream_equals_fit_bitwise(self, rng, seed):
+        X = rng.normal(0.0, 1.0, size=(200, 4))
+        batch = StreamingMahalanobisDetector().fit(X)
+        stream = StreamingMahalanobisDetector()
+        for start, stop in _micro_batches(len(X), seed):
+            stream.partial_fit(X[start:stop])
+        assert np.array_equal(batch.location_, stream.location_)
+        assert np.array_equal(batch.precision_, stream.precision_)
+        assert np.array_equal(batch.score_samples(X),
+                              stream.score_samples(X))
+
+    def test_flags_planted_outliers(self, rng):
+        X = rng.normal(0.0, 1.0, size=(400, 3))
+        model = StreamingMahalanobisDetector(
+            threshold_quantile=0.99
+        ).fit(X)
+        spikes = np.full((5, 3), 12.0)
+        assert model.is_outlier(spikes).all()
+        assert model.is_outlier(X).mean() < 0.05
+
+
+# ---------------------------------------------------------------------
+# capability probe
+# ---------------------------------------------------------------------
+
+
+def test_supports_partial_fit_probe():
+    assert supports_partial_fit(GaussianNaiveBayes())
+    assert supports_partial_fit(StreamingMahalanobisDetector())
+
+    class Plain:
+        def fit(self, X, y):
+            return self
+
+    assert not supports_partial_fit(Plain())
